@@ -1,0 +1,115 @@
+//! Data-analysis throughput: segmentation, anomaly detection, clustering.
+//!
+//! The paper notes that "processing time is almost independent of
+//! parameters" (App. I) — the detector touches each measurement a bounded
+//! number of times. These benches verify the per-point cost and the
+//! parameter independence.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tero_core::analysis::anomaly::detect_anomalies;
+use tero_core::analysis::clusters::cluster_segments;
+use tero_core::analysis::segments::segment_stream;
+use tero_types::{LatencySample, SimDuration, SimRng, SimTime, TeroParams};
+
+/// A realistic series: a stable base with spikes, glitches and one level
+/// shift.
+fn synth_series(n: usize, seed: u64) -> Vec<LatencySample> {
+    let mut rng = SimRng::new(seed);
+    let mut out = Vec::with_capacity(n);
+    let mut level = 45.0;
+    for i in 0..n {
+        if rng.chance(0.002) {
+            level = if level < 60.0 { 95.0 } else { 45.0 };
+        }
+        let mut v = level + rng.normal_with(0.0, 2.0);
+        if rng.chance(0.02) {
+            v += 40.0 + rng.f64() * 60.0; // spike
+        }
+        if rng.chance(0.01) {
+            v = (v as u32 % 10) as f64 + 1.0; // digit-drop glitch
+        }
+        out.push(LatencySample::new(
+            SimTime::from_mins(5 * i as u64),
+            v.max(1.0) as u32,
+        ));
+    }
+    out
+}
+
+fn bench_segmentation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("segmentation");
+    for n in [500usize, 5_000, 50_000] {
+        let series = synth_series(n, 1);
+        let params = TeroParams::default();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &series, |b, s| {
+            b.iter(|| segment_stream(0, s, &params));
+        });
+    }
+    group.finish();
+}
+
+fn bench_anomaly_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("anomaly_detection");
+    for n in [500usize, 5_000] {
+        let series = synth_series(n, 2);
+        let params = TeroParams::default();
+        let segments = segment_stream(0, &series, &params);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &segments, |b, segs| {
+            b.iter(|| detect_anomalies(segs.clone(), &params));
+        });
+    }
+    group.finish();
+}
+
+fn bench_parameter_independence(c: &mut Criterion) {
+    // App. I: processing time should barely move with LatGap/StableLen.
+    let series = synth_series(5_000, 3);
+    let mut group = c.benchmark_group("anomaly_params");
+    for lat_gap in [8u32, 15, 25] {
+        let params = TeroParams::default().with_lat_gap_ms(lat_gap);
+        let segments = segment_stream(0, &series, &params);
+        group.bench_with_input(
+            BenchmarkId::new("lat_gap", lat_gap),
+            &segments,
+            |b, segs| {
+                b.iter(|| detect_anomalies(segs.clone(), &params));
+            },
+        );
+    }
+    for stable_min in [15u64, 30, 60] {
+        let params =
+            TeroParams::default().with_stable_len(SimDuration::from_mins(stable_min));
+        let segments = segment_stream(0, &series, &params);
+        group.bench_with_input(
+            BenchmarkId::new("stable_len", stable_min),
+            &segments,
+            |b, segs| {
+                b.iter(|| detect_anomalies(segs.clone(), &params));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let series = synth_series(20_000, 4);
+    let params = TeroParams::default();
+    let segments = segment_stream(0, &series, &params);
+    let stable: Vec<_> = segments.iter().filter(|s| s.stable).collect();
+    c.bench_function("cluster_segments_20k", |b| {
+        b.iter(|| cluster_segments(&stable, params.lat_gap_ms));
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets =
+    bench_segmentation,
+    bench_anomaly_detection,
+    bench_parameter_independence,
+    bench_clustering
+);
+criterion_main!(benches);

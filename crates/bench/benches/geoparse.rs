@@ -1,0 +1,64 @@
+//! Location-module throughput: gazetteer lookups, individual tools, and
+//! the full combination pipelines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tero_geoparse::combine::{combine_twitch_description, combine_twitter_location};
+use tero_geoparse::tools::{GeoTool, ToolKind};
+use tero_geoparse::Gazetteer;
+
+const DESCRIPTIONS: &[&str] = &[
+    "From Miami, Florida. Streams every evening!",
+    "Join us in Detroit!",
+    "pro gamer, road to top 500",
+    "I live in Polandian but have roots in Iran",
+    "Living in Los Angeles since 2019, ranked grind daily",
+    "Phoenix main, road to radiant",
+];
+
+fn bench_gazetteer(c: &mut Criterion) {
+    let gaz = Gazetteer::new();
+    c.bench_function("gazetteer_build", |b| b.iter(Gazetteer::new));
+    c.bench_function("gazetteer_lookup", |b| {
+        b.iter(|| {
+            gaz.lookup("Chicago").len()
+                + gaz.lookup("USA").len()
+                + gaz.lookup("nowhere-at-all").len()
+        })
+    });
+}
+
+fn bench_tools(c: &mut Criterion) {
+    let gaz = Gazetteer::new();
+    for kind in [ToolKind::Cliff, ToolKind::Xponents, ToolKind::Mordecai] {
+        let tool = GeoTool::new(kind, &gaz);
+        c.bench_function(&format!("tool_{}", kind.name()), |b| {
+            b.iter(|| {
+                DESCRIPTIONS
+                    .iter()
+                    .map(|d| tool.extract(d).len())
+                    .sum::<usize>()
+            })
+        });
+    }
+}
+
+fn bench_combiners(c: &mut Criterion) {
+    let gaz = Gazetteer::new();
+    c.bench_function("combine_twitch_description_x6", |b| {
+        b.iter(|| {
+            DESCRIPTIONS
+                .iter()
+                .filter_map(|d| combine_twitch_description(&gaz, d))
+                .count()
+        })
+    });
+    c.bench_function("combine_twitter_location", |b| {
+        b.iter(|| combine_twitter_location(&gaz, "Barcelona, Spain"))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_gazetteer, bench_tools, bench_combiners);
+criterion_main!(benches);

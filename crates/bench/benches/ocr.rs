@@ -1,0 +1,94 @@
+//! Image-processing cost: scene rendering, the preprocessing pipeline, a
+//! single engine, and the full three-engine voting front-end — the
+//! dominant per-thumbnail cost of a deployment (the paper runs this on two
+//! GPUs; we budget per-core).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tero_core::imageproc::{roi_for_game, ImageProcessor};
+use tero_types::{GameId, SimRng, SimTime};
+use tero_vision::combine::OcrCombiner;
+use tero_vision::ocr::{OcrEngine, OcrEngineKind};
+use tero_vision::preprocess::{preprocess, PreprocessConfig};
+use tero_vision::scene::HudScene;
+
+fn thumb() -> tero_vision::Image {
+    let mut rng = SimRng::new(42);
+    HudScene::typical(87).render(&mut rng)
+}
+
+fn bench_render(c: &mut Criterion) {
+    let scene = HudScene::typical(87);
+    c.bench_function("scene_render", |b| {
+        let mut rng = SimRng::new(1);
+        b.iter(|| scene.render(&mut rng));
+    });
+}
+
+fn bench_preprocess(c: &mut Criterion) {
+    let scene = HudScene::typical(87);
+    let thumb = thumb();
+    let roi = scene.roi();
+    let crop = thumb.crop(roi.0, roi.1, roi.2, roi.3);
+    let cfg = PreprocessConfig::default();
+    c.bench_function("preprocess_crop", |b| {
+        b.iter(|| preprocess(&crop, &cfg));
+    });
+}
+
+fn bench_single_engine(c: &mut Criterion) {
+    let scene = HudScene::typical(87);
+    let thumb = thumb();
+    let roi = scene.roi();
+    let crop = thumb.crop(roi.0, roi.1, roi.2, roi.3);
+    let cfg = PreprocessConfig::default();
+    let upscaled = crop.upscale(cfg.upscale);
+    let engine = OcrEngine::new(OcrEngineKind::EasyOcrLike);
+    c.bench_function("single_engine_recognize", |b| {
+        b.iter(|| engine.recognize_gray(&upscaled, &cfg));
+    });
+}
+
+fn bench_full_extraction(c: &mut Criterion) {
+    let thumb = thumb();
+    let combiner = OcrCombiner::new();
+    let roi = roi_for_game(GameId::LeagueOfLegends);
+    c.bench_function("three_engine_vote_extract", |b| {
+        b.iter(|| combiner.extract_from_thumbnail(&thumb, roi));
+    });
+    let processor = ImageProcessor::new();
+    c.bench_function("imageproc_module_extract", |b| {
+        b.iter(|| processor.extract(&thumb, GameId::LeagueOfLegends));
+    });
+}
+
+fn bench_render_and_extract(c: &mut Criterion) {
+    // The whole FullOcr per-thumbnail path as the pipeline pays it.
+    let processor = ImageProcessor::new();
+    let scene = {
+        let mut s = HudScene::typical(64);
+        s.noise = 0.02;
+        s
+    };
+    c.bench_function("thumbnail_end_to_end", |b| {
+        let mut rng = SimRng::new(7);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            let _ = SimTime::from_mins(t);
+            let img = scene.render(&mut rng);
+            processor.extract(&img, GameId::LeagueOfLegends)
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets =
+    bench_render,
+    bench_preprocess,
+    bench_single_engine,
+    bench_full_extraction,
+    bench_render_and_extract
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Network-simulator throughput: packet events per second under UDP
+//! saturation and TCP dynamics, and the cost of one scaled-down Table 2
+//! experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tero_simnet::experiment::{run_experiment, ExperimentConfig, GameProfile};
+use tero_simnet::link::LinkConfig;
+use tero_simnet::sim::Simulator;
+use tero_simnet::tcp::TcpFlow;
+use tero_simnet::udp::UdpFlow;
+use tero_types::{SimDuration, SimTime};
+
+fn two_node_sim(rate_bps: f64, queue: usize) -> (Simulator, usize, usize) {
+    let mut sim = Simulator::new();
+    let a = sim.add_node();
+    let b = sim.add_node();
+    sim.add_duplex_link(
+        a,
+        b,
+        LinkConfig {
+            rate_bps,
+            prop: SimDuration::from_millis(5),
+            queue_packets: queue,
+        },
+    );
+    sim.compute_routes();
+    (sim, a, b)
+}
+
+fn bench_udp_saturation(c: &mut Criterion) {
+    c.bench_function("udp_saturated_1s", |b| {
+        b.iter(|| {
+            let (mut sim, a, bn) = two_node_sim(100e6, 200);
+            sim.add_udp_flow(
+                UdpFlow::cbr(a, bn, 120e6, 1_250, SimTime::EPOCH, SimTime::from_secs(1))
+                    .with_jitter(0.1),
+            );
+            sim.run_until(SimTime::from_secs(1));
+            sim.delivered_packets
+        })
+    });
+}
+
+fn bench_tcp_dynamics(c: &mut Criterion) {
+    c.bench_function("tcp_lossy_2s", |b| {
+        b.iter(|| {
+            let (mut sim, a, bn) = two_node_sim(10e6, 20);
+            sim.add_tcp_flow(TcpFlow::new(a, bn, SimTime::EPOCH, SimTime::from_secs(2)));
+            sim.run_until(SimTime::from_secs(2));
+            sim.tcp_flows[0].delivered
+        })
+    });
+}
+
+fn bench_experiment(c: &mut Criterion) {
+    // One Table-2 cell at 1/20th duration.
+    let config = ExperimentConfig {
+        game: GameProfile::GENSHIN,
+        bottleneck_bps: 100e6,
+        bottleneck_queue: 500,
+        bg_packet_bytes: 1_250,
+    };
+    c.bench_function("table2_experiment_scaled", |b| {
+        b.iter(|| run_experiment(config, 0.05))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_udp_saturation, bench_tcp_dynamics, bench_experiment);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Storage-substrate operation costs: the KV store's queue pattern (the
+//! pipeline's inter-process backbone, App. B), the object store's put/get,
+//! and document inserts/queries.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use serde::{Deserialize, Serialize};
+use tero_store::{DocumentStore, KvStore, ObjectStore};
+
+fn bench_kv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kv");
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_function("set_get_1k", |b| {
+        b.iter(|| {
+            let kv = KvStore::new();
+            for i in 0..1_000 {
+                kv.set(&format!("key:{i}"), i.to_string());
+            }
+            (0..1_000)
+                .filter(|i| kv.get(&format!("key:{i}")).is_some())
+                .count()
+        })
+    });
+    group.bench_function("queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let kv = KvStore::new();
+            for i in 0..1_000 {
+                kv.rpush("q", i.to_string());
+            }
+            let mut n = 0;
+            while kv.lpop("q").is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+fn bench_object_store(c: &mut Criterion) {
+    let payload = vec![0u8; 160 * 90]; // one thumbnail
+    c.bench_function("object_put_get_thumbnail", |b| {
+        let store = ObjectStore::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let key = format!("s/{i}");
+            store.put("thumbs", &key, payload.clone());
+            store.get("thumbs", &key).map(|b| b.len())
+        })
+    });
+}
+
+#[derive(Serialize, Deserialize)]
+struct Doc {
+    anon: u64,
+    game: String,
+    latency_ms: u32,
+}
+
+fn bench_document_store(c: &mut Criterion) {
+    c.bench_function("doc_insert_find_500", |b| {
+        b.iter(|| {
+            let db = DocumentStore::new();
+            for i in 0..500u32 {
+                db.insert(
+                    "meas",
+                    &Doc {
+                        anon: i as u64 % 20,
+                        game: "lol".into(),
+                        latency_ms: 20 + i % 80,
+                    },
+                );
+            }
+            let high: Vec<Doc> =
+                db.find("meas", |v| v["latency_ms"].as_u64().unwrap_or(0) > 60);
+            high.len()
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_kv, bench_object_store, bench_document_store);
+criterion_main!(benches);

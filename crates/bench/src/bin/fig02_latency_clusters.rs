@@ -1,0 +1,105 @@
+//! Fig 2 / Fig 14 — examples of per-`{location, game}` latency clusters,
+//! at the default merge threshold (Fig 2) and at ×0.5 / ×1.5 `LatGap`
+//! (Fig 14's sensitivity to the merging criterion).
+//!
+//! Paper's shape: most locations have only one or two clusters heavier
+//! than 10 %; a looser threshold merges clusters, a tighter one splits
+//! them.
+//!
+//! Usage: `fig02_latency_clusters [--per 60] [--days 8]`
+
+use serde::Serialize;
+use tero_bench::{arg_usize, header, run_lol_world, write_json};
+use tero_core::analysis::clusters::merge_location_clusters;
+use tero_types::{GameId, Location};
+
+#[derive(Serialize)]
+struct ClusterRow {
+    location: String,
+    factor: f64,
+    clusters: Vec<(u32, u32, f64)>, // (min_ms, max_ms, weight)
+}
+
+fn main() {
+    let per = arg_usize("--per", 60);
+    let days = arg_usize("--days", 8) as u64;
+
+    // Fig 2's locations (city pins grouped at region level).
+    let pins = vec![
+        Location::city("France", "Ile-de-France", "Paris"),
+        Location::city("Spain", "Catalunya", "Barcelona"),
+        Location::city("Argentina", "Buenos Aires", "Buenos Aires City"),
+        Location::city("Brazil", "Sao Paulo", "Sao Paulo"),
+        Location::city("Canada", "Ontario", "Toronto"),
+        Location::city("United States", "California", "Los Angeles"),
+    ];
+    header("Fig 2 / Fig 14: latency clusters per location");
+    let (_world, report) = run_lol_world(&pins, per, days, 202);
+
+    let labels = [
+        ("Ile-de-France (FR)", "France/Ile-de-France"),
+        ("Catalunya (ES)", "Spain/Catalunya"),
+        ("Buenos Aires (AR)", "Argentina/Buenos Aires"),
+        ("Sao Paulo (BR)", "Brazil/Sao Paulo"),
+        ("Ontario (CA)", "Canada/Ontario"),
+        ("California (US)", "United States/California"),
+    ];
+
+    let mut rows: Vec<ClusterRow> = Vec::new();
+    for factor in [1.0f64, 0.5, 1.5] {
+        let gap = (15.0 * factor).round() as u32;
+        println!();
+        println!(
+            "merge threshold ×{factor} LatGap ({gap} ms){}",
+            if factor == 1.0 { "  — Fig 2" } else { "  — Fig 14" }
+        );
+        for (label, key) in labels {
+            // Re-merge from the classified streamers of the group.
+            let members: Vec<_> = report
+                .classified
+                .iter()
+                .filter(|((anon, game), _)| {
+                    *game == GameId::LeagueOfLegends
+                        && report
+                            .locations
+                            .get(anon)
+                            .is_some_and(|(l, _)| l.to_region_level().key() == key)
+                })
+                .map(|(_, c)| c)
+                .collect();
+            let clusters = merge_location_clusters(&members, gap);
+            let mut strip = String::new();
+            let mut list = Vec::new();
+            for c in &clusters {
+                let mid = (c.min_ms + c.max_ms) / 2;
+                let size = if c.weight > 0.75 {
+                    'O'
+                } else if c.weight > 0.5 {
+                    'o'
+                } else if c.weight > 0.25 {
+                    '*'
+                } else {
+                    '.'
+                };
+                list.push((c.min_ms, c.max_ms, c.weight));
+                // Place on a 0..80 ms strip.
+                let pos = (mid.min(80) as usize * 60) / 80;
+                while strip.len() <= pos {
+                    strip.push(' ');
+                }
+                strip.replace_range(pos..pos + 1, &size.to_string());
+            }
+            println!("  {label:<22} |{strip:<61}| {} clusters", clusters.len());
+            rows.push(ClusterRow {
+                location: label.to_string(),
+                factor,
+                clusters: list,
+            });
+        }
+    }
+    println!();
+    println!("legend: O >75%  o 50-75%  * 25-50%  . <25% of streamers; x-axis 0..80 ms");
+    println!("(paper: most locations have one or two clusters heavier than 10 %)");
+
+    write_json("fig02_fig14_latency_clusters", &rows);
+}

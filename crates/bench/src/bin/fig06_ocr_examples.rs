@@ -1,0 +1,45 @@
+//! Fig 6 — examples of OCR input, rendered as ASCII art.
+//!
+//! (a) a typical latency display, (b) a font too light for extraction,
+//! (c) a value partially hidden by an open menu, (d) a clock where the
+//! latency normally goes. For each, the cropped region of interest and
+//! what the image-processing module extracted from it.
+
+use tero_bench::header;
+use tero_types::SimRng;
+use tero_vision::combine::{CombineOutcome, OcrCombiner};
+use tero_vision::scene::HudScene;
+
+fn show(title: &str, scene: &HudScene, seed: u64) {
+    let combiner = OcrCombiner::new();
+    let mut rng = SimRng::new(seed);
+    let thumb = scene.render(&mut rng);
+    let roi = scene.roi();
+    let crop = thumb.crop(roi.0, roi.1, roi.2, roi.3);
+    println!();
+    println!("--- {title} (true value: {} ms) ---", scene.latency_ms);
+    print!("{}", crop.to_ascii());
+    match combiner.extract(&crop) {
+        CombineOutcome::Extracted {
+            primary,
+            alternative,
+        } => println!("=> extracted: {primary} ms (alternative: {alternative:?})"),
+        CombineOutcome::NoMeasurement => println!("=> extracted: nothing"),
+    }
+}
+
+fn main() {
+    header("Fig 6: examples of OCR input");
+    show("(a) typical latency display", &HudScene::typical(45), 1);
+    show("(b) latency font too light", &HudScene::light_font(45), 2);
+    show(
+        "(c) latency partially hidden",
+        &HudScene::partially_hidden(145, 0.38),
+        3,
+    );
+    show(
+        "(d) latency replaced by clock",
+        &HudScene::clock_overlay(45, 19, 42),
+        4,
+    );
+}

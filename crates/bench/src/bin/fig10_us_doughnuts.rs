@@ -1,0 +1,117 @@
+//! Fig 10 — League-of-Legends latency for US states (and Ontario) within
+//! the same 500-km-thick "doughnut" around the Chicago server.
+//!
+//! Paper's headline: states in the same doughnut differ by as much as
+//! 30 ms in their 75th percentile — District of Columbia and North
+//! Carolina poor, Missouri/Ontario/Texas good — which cannot be explained
+//! by distance and points at eyeball-ISP quality.
+//!
+//! Usage: `fig10_us_doughnuts [--per 60] [--days 8]`
+
+use serde::Serialize;
+use tero_bench::{arg_usize, ascii_box, header, run_lol_world, write_json};
+use tero_types::{GameId, Location};
+
+#[derive(Serialize)]
+struct Row {
+    region: String,
+    doughnut: &'static str,
+    corrected_km: f64,
+    p25: f64,
+    p50: f64,
+    p75: f64,
+    p95: f64,
+    n: usize,
+}
+
+fn main() {
+    let per = arg_usize("--per", 60);
+    let days = arg_usize("--days", 8) as u64;
+
+    // Paper's doughnut membership (Fig 10a: 500-1000 km, 10b: 1000-1500).
+    let near: &[(&str, &str)] = &[
+        ("United States", "District of Columbia"),
+        ("United States", "Georgia"),
+        ("United States", "Kentucky"),
+        ("United States", "Minnesota"),
+        ("United States", "Missouri"),
+        ("United States", "North Carolina"),
+        ("Canada", "Ontario"),
+        ("United States", "Pennsylvania"),
+        ("United States", "Tennessee"),
+        ("United States", "Virginia"),
+    ];
+    let far: &[(&str, &str)] = &[
+        ("United States", "Georgia"),
+        ("United States", "Massachusetts"),
+        ("United States", "New Jersey"),
+        ("United States", "North Carolina"),
+        ("United States", "Oklahoma"),
+        ("United States", "Pennsylvania"),
+        ("United States", "Texas"),
+    ];
+    let mut locations: Vec<Location> = near
+        .iter()
+        .chain(far.iter())
+        .map(|(c, r)| Location::region(*c, *r))
+        .collect();
+    locations.sort();
+    locations.dedup();
+
+    header("Fig 10: US states in Chicago doughnuts (building world, running pipeline)");
+    let (_world, report) = run_lol_world(&locations, per, days, 1010);
+
+    let mut rows = Vec::new();
+    for (doughnut, members) in [("500-1000 km", near), ("1000-1500 km", far)] {
+        println!();
+        println!("({doughnut} from the Chicago server)");
+        let mut sub: Vec<Row> = Vec::new();
+        for (c, r) in members {
+            let loc = Location::region(*c, *r);
+            let Some(dist) = report.distribution(&loc, GameId::LeagueOfLegends) else {
+                eprintln!("warning: no distribution for {loc}");
+                continue;
+            };
+            sub.push(Row {
+                region: format!("{r} ({})", if *c == "Canada" { "CA" } else { "US" }),
+                doughnut,
+                corrected_km: dist.corrected_distance_km.unwrap_or(0.0),
+                p25: dist.stats.p25,
+                p50: dist.stats.p50,
+                p75: dist.stats.p75,
+                p95: dist.stats.p95,
+                n: dist.stats.n,
+            });
+        }
+        sub.sort_by(|a, b| a.p75.partial_cmp(&b.p75).unwrap());
+        for r in &sub {
+            let stats = tero_stats::BoxplotStats {
+                n: r.n,
+                mean: r.p50,
+                p5: r.p25,
+                p25: r.p25,
+                p50: r.p50,
+                p75: r.p75,
+                p95: r.p95,
+            };
+            println!(
+                "  {:<26} [{}] p75 {:>5.1} ms ({:>4.0} km)",
+                r.region,
+                ascii_box(&stats, 0.0, 80.0, 40),
+                r.p75,
+                r.corrected_km
+            );
+        }
+        if let (Some(best), Some(worst)) = (sub.first(), sub.last()) {
+            println!(
+                "  → spread within the doughnut: {:.0} ms (best {} vs worst {}; paper: up to 30 ms)",
+                worst.p75 - best.p75,
+                best.region,
+                worst.region
+            );
+        }
+        rows.extend(sub);
+    }
+
+    write_json("fig10_us_doughnuts", &rows);
+}

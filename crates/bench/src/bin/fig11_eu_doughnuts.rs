@@ -1,0 +1,115 @@
+//! Fig 11 — League-of-Legends latency for EU countries within the same
+//! 500-km-thick doughnut around the Amsterdam server.
+//!
+//! Paper's shape: smaller spreads than the US doughnuts, but Poland's 75th
+//! percentile exceeds 40 ms while Switzerland sits at 15 ms; Italy's
+//! 25th–75th gap exceeds 15 ms while France's is ~5 ms (per-streamer
+//! spread differs by country).
+//!
+//! Usage: `fig11_eu_doughnuts [--per 60] [--days 8]`
+
+use serde::Serialize;
+use tero_bench::{arg_usize, ascii_box, header, run_lol_world, write_json};
+use tero_types::{GameId, Location};
+
+#[derive(Serialize)]
+struct Row {
+    country: String,
+    doughnut: &'static str,
+    corrected_km: f64,
+    p25: f64,
+    p50: f64,
+    p75: f64,
+    iqr: f64,
+    n: usize,
+}
+
+fn main() {
+    let per = arg_usize("--per", 60);
+    let days = arg_usize("--days", 8) as u64;
+
+    let near = [
+        "Austria",
+        "Denmark",
+        "France",
+        "Germany",
+        "Italy",
+        "Poland",
+        "Switzerland",
+        "United Kingdom",
+    ];
+    let far = ["France", "Italy", "Spain", "Poland"];
+    let mut locations: Vec<Location> = near
+        .iter()
+        .chain(far.iter())
+        .map(|c| Location::country(*c))
+        .collect();
+    locations.sort();
+    locations.dedup();
+
+    header("Fig 11: EU countries in Amsterdam doughnuts (building world, running pipeline)");
+    let (_world, report) = run_lol_world(&locations, per, days, 1111);
+
+    let mut rows = Vec::new();
+    for (doughnut, members) in [("500-1000 km", &near[..]), ("1000-1500 km", &far[..])] {
+        println!();
+        println!("({doughnut} from the Amsterdam server)");
+        let mut sub: Vec<Row> = Vec::new();
+        for c in members {
+            let loc = Location::country(*c);
+            let Some(dist) = report.distribution(&loc, GameId::LeagueOfLegends) else {
+                eprintln!("warning: no distribution for {loc}");
+                continue;
+            };
+            sub.push(Row {
+                country: c.to_string(),
+                doughnut,
+                corrected_km: dist.corrected_distance_km.unwrap_or(0.0),
+                p25: dist.stats.p25,
+                p50: dist.stats.p50,
+                p75: dist.stats.p75,
+                iqr: dist.stats.iqr(),
+                n: dist.stats.n,
+            });
+        }
+        sub.sort_by(|a, b| a.p75.partial_cmp(&b.p75).unwrap());
+        for r in &sub {
+            let stats = tero_stats::BoxplotStats {
+                n: r.n,
+                mean: r.p50,
+                p5: r.p25,
+                p25: r.p25,
+                p50: r.p50,
+                p75: r.p75,
+                p95: r.p75 + r.iqr,
+            };
+            println!(
+                "  {:<18} [{}] p75 {:>5.1} ms  IQR {:>4.1} ms ({:>4.0} km)",
+                r.country,
+                ascii_box(&stats, 0.0, 60.0, 40),
+                r.p75,
+                r.iqr,
+                r.corrected_km
+            );
+        }
+        rows.extend(sub);
+    }
+
+    // Paper cross-checks.
+    println!();
+    let get = |name: &str| rows.iter().find(|r| r.country == name);
+    if let (Some(pl), Some(ch)) = (get("Poland"), get("Switzerland")) {
+        println!(
+            "Poland p75 {:.0} ms vs Switzerland p75 {:.0} ms (paper: >40 vs 15)",
+            pl.p75, ch.p75
+        );
+    }
+    if let (Some(it), Some(fr)) = (get("Italy"), get("France")) {
+        println!(
+            "Italy IQR {:.1} ms vs France IQR {:.1} ms (paper: >15 vs ~5)",
+            it.iqr, fr.iqr
+        );
+    }
+
+    write_json("fig11_eu_doughnuts", &rows);
+}

@@ -1,0 +1,183 @@
+//! Fig 15 (App. I) — sensitivity of the data-cleaning step to `StableLen`
+//! and `LatGap`.
+//!
+//! Extracts measurements once, then re-runs segmentation + anomaly
+//! detection across the parameter grid:
+//!
+//! * (a) % of users and data points surviving the all-unstable filter, and
+//!   % of points flagged as spikes/glitches, as `StableLen` grows —
+//!   paper: discarded users grow much faster than discarded points;
+//! * (b) number of *significant* spikes (≥ threshold above the stream
+//!   mean) vs `StableLen` for several `LatGap` values — paper: growth
+//!   slows around 25–30 minutes, motivating `StableLen = 30 min`;
+//! * (c) the proportion of kept-but-unstable points per user by `LatGap` —
+//!   paper: nearly independent of `LatGap` once it is ≥ 15 ms.
+//!
+//! Usage: `fig15_sensitivity [--n 250] [--days 10]`
+
+use serde::Serialize;
+use tero_bench::{arg_usize, header, write_json};
+use tero_core::analysis::anomaly::{detect_anomalies, SegmentLabel};
+use tero_core::analysis::segments::{segment_stream, Segment};
+use tero_core::pipeline::{ExtractionMode, Tero};
+use tero_types::{SimDuration, TeroParams};
+use tero_world::{World, WorldConfig};
+
+#[derive(Serialize)]
+struct GridPoint {
+    stable_len_min: u64,
+    lat_gap_ms: u32,
+    users_kept_pct: f64,
+    points_kept_pct: f64,
+    spike_points_pct: f64,
+    glitch_points_pct: f64,
+    significant_spikes_15ms: usize,
+    unstable_kept_pct_p50: f64,
+}
+
+fn main() {
+    let n = arg_usize("--n", 250);
+    let days = arg_usize("--days", 10) as u64;
+    header("Fig 15: sensitivity to StableLen and LatGap");
+
+    let mut world = World::build(WorldConfig {
+        seed: 1515,
+        n_streamers: n,
+        days,
+        ..WorldConfig::default()
+    });
+    let tero = Tero {
+        mode: ExtractionMode::Calibrated,
+        ..Tero::default()
+    };
+    let report = tero.run(&mut world);
+    println!(
+        "extracted series: {} {{streamer, game}} tuples",
+        report.streams.len()
+    );
+
+    let mut grid: Vec<GridPoint> = Vec::new();
+    for &lat_gap in &[8u32, 15, 25] {
+        for &stable_min in &[5u64, 15, 25, 35, 45, 55] {
+            let params = TeroParams::default()
+                .with_lat_gap_ms(lat_gap)
+                .with_stable_len(SimDuration::from_mins(stable_min));
+            let mut users = 0usize;
+            let mut users_kept = 0usize;
+            let mut points = 0usize;
+            let mut points_kept = 0usize;
+            let mut spike_points = 0usize;
+            let mut glitch_points = 0usize;
+            let mut significant = 0usize;
+            let mut unstable_fracs: Vec<f64> = Vec::new();
+            for series in report.streams.values() {
+                users += 1;
+                let mut segments: Vec<Segment> = Vec::new();
+                for (idx, s) in series.iter().enumerate() {
+                    segments.extend(segment_stream(idx, &s.samples, &params));
+                }
+                let total: usize = segments.iter().map(|s| s.len()).sum();
+                points += total;
+                let rep = detect_anomalies(segments, &params);
+                if rep.all_unstable {
+                    continue;
+                }
+                users_kept += 1;
+                points_kept += rep.clean_samples().len();
+                spike_points += rep.spike_samples();
+                glitch_points += rep
+                    .segments
+                    .iter()
+                    .zip(&rep.labels)
+                    .filter(|(_, l)| {
+                        matches!(
+                            l,
+                            SegmentLabel::DiscardedGlitch | SegmentLabel::CorrectedGlitch
+                        )
+                    })
+                    .map(|(s, _)| s.len())
+                    .sum::<usize>();
+                // Significant spikes: magnitude ≥ 15 ms over the stream mean
+                // (the detector's magnitude is already relative to the
+                // stable neighbourhood).
+                significant += rep
+                    .spikes
+                    .iter()
+                    .filter(|sp| sp.magnitude_ms >= 15.0)
+                    .count();
+                // Kept-but-unstable proportion for (c).
+                let kept_unstable: usize = rep
+                    .segments
+                    .iter()
+                    .zip(&rep.labels)
+                    .filter(|(_, l)| **l == SegmentLabel::Kept)
+                    .map(|(s, _)| s.len())
+                    .sum();
+                if total > 0 {
+                    unstable_fracs.push(kept_unstable as f64 / total as f64);
+                }
+            }
+            unstable_fracs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            grid.push(GridPoint {
+                stable_len_min: stable_min,
+                lat_gap_ms: lat_gap,
+                users_kept_pct: 100.0 * users_kept as f64 / users.max(1) as f64,
+                points_kept_pct: 100.0 * points_kept as f64 / points.max(1) as f64,
+                spike_points_pct: 100.0 * spike_points as f64 / points.max(1) as f64,
+                glitch_points_pct: 100.0 * glitch_points as f64 / points.max(1) as f64,
+                significant_spikes_15ms: significant,
+                unstable_kept_pct_p50: 100.0
+                    * tero_stats::descriptive::percentile_sorted(&unstable_fracs, 50.0),
+            });
+        }
+    }
+
+    // (a) at the default LatGap.
+    println!();
+    println!("(a) LatGap = 15 ms:");
+    println!(
+        "{:>10} {:>11} {:>12} {:>9} {:>10}",
+        "StableLen", "users kept", "points kept", "spikes %", "glitches %"
+    );
+    for g in grid.iter().filter(|g| g.lat_gap_ms == 15) {
+        println!(
+            "{:>7}min {:>10.1}% {:>11.1}% {:>8.2}% {:>9.2}%",
+            g.stable_len_min, g.users_kept_pct, g.points_kept_pct, g.spike_points_pct, g.glitch_points_pct
+        );
+    }
+
+    println!();
+    println!("(b) significant spikes (≥15 ms) by StableLen and LatGap:");
+    print!("{:>10}", "StableLen");
+    for lg in [8, 15, 25] {
+        print!(" {:>9}", format!("gap {lg}ms"));
+    }
+    println!();
+    for &sl in &[5u64, 15, 25, 35, 45, 55] {
+        print!("{sl:>7}min");
+        for lg in [8u32, 15, 25] {
+            let g = grid
+                .iter()
+                .find(|g| g.lat_gap_ms == lg && g.stable_len_min == sl)
+                .unwrap();
+            print!(" {:>9}", g.significant_spikes_15ms);
+        }
+        println!();
+    }
+
+    println!();
+    println!("(c) median kept-but-unstable points per user, by LatGap (StableLen 25 min):");
+    for lg in [8u32, 15, 25] {
+        let g = grid
+            .iter()
+            .find(|g| g.lat_gap_ms == lg && g.stable_len_min == 25)
+            .unwrap();
+        println!("  LatGap {lg:>2} ms: {:.2}%", g.unstable_kept_pct_p50);
+    }
+    println!();
+    println!("(paper: users discarded grow quickly with StableLen while points do not;");
+    println!(" significant-spike growth slows around 25 min; the unstable share is");
+    println!(" nearly LatGap-independent once LatGap ≥ 15 ms)");
+
+    write_json("fig15_sensitivity", &grid);
+}

@@ -1,0 +1,106 @@
+//! §4.2.3's anecdote — a release-day surge of shared anomalies.
+//!
+//! Injects a 5-day world-wide event series for one game (the paper's
+//! Nov-16 Warzone 2.0 release) and checks that the shared-anomaly detector
+//! (App. F) lights up for that game, in many locations, during those days
+//! — and stays quiet elsewhere.
+//!
+//! Usage: `fig_anecdote_shared_event [--n 300] [--days 12]`
+
+use serde::Serialize;
+use tero_bench::{arg_usize, header, write_json};
+use tero_core::pipeline::{ExtractionMode, Tero};
+use tero_types::GameId;
+use tero_world::{World, WorldConfig};
+
+#[derive(Serialize)]
+struct Output {
+    total_shared: usize,
+    release_game_shared: usize,
+    in_window: usize,
+    regions_affected: usize,
+}
+
+fn main() {
+    let n = arg_usize("--n", 300);
+    let days = arg_usize("--days", 12) as u64;
+    let release_day = 4u64;
+    let game = GameId::CodWarzone;
+    header("§4.2.3 anecdote: release-day shared-anomaly surge");
+    println!("(release of {} on day {release_day}, 5-day surge)", game.name());
+
+    // Shared-anomaly detection works within {region, game} aggregates and
+    // needs population density (Eq. 2's significance gate): pin CoD
+    // streamers at a handful of hubs, as the paper's organic data had in
+    // its dense regions.
+    let gaz = tero_geoparse::Gazetteer::new();
+    let hubs = ["Los Angeles", "Chicago", "London", "Paris", "Sao Paulo", "Dallas"];
+    let per = (n / hubs.len()).max(10);
+    let pinned = hubs
+        .iter()
+        .map(|h| (World::city(&gaz, h), game, per))
+        .collect();
+    let mut world = World::build(WorldConfig {
+        seed: 1116,
+        n_streamers: 0,
+        days,
+        pinned,
+        shared_events: 3, // background noise only
+        release_event: Some((game, release_day)),
+        api_budget_per_min: 2_000,
+    });
+    let tero = Tero {
+        mode: ExtractionMode::Calibrated,
+        ..Tero::default()
+    };
+    let report = tero.run(&mut world);
+
+    let window_lo = release_day * 24 * 3_600;
+    let window_hi = (release_day + 5) * 24 * 3_600;
+    let total = report.shared_anomalies.len();
+    let of_game = report
+        .shared_anomalies
+        .iter()
+        .filter(|a| a.game == game)
+        .count();
+    let in_window = report
+        .shared_anomalies
+        .iter()
+        .filter(|a| a.game == game)
+        .filter(|a| (window_lo..window_hi).contains(&a.at.as_secs()))
+        .count();
+    let mut regions: Vec<String> = report
+        .shared_anomalies
+        .iter()
+        .filter(|a| a.game == game)
+        .map(|a| a.region.key())
+        .collect();
+    regions.sort();
+    regions.dedup();
+
+    println!();
+    println!("shared anomalies detected: {total}");
+    println!("  for the released game:   {of_game}");
+    println!("  inside the 5-day window: {in_window}");
+    println!("  distinct regions hit:    {}", regions.len());
+    for r in regions.iter().take(12) {
+        println!("    - {r}");
+    }
+    println!();
+    if of_game > 0 && in_window as f64 >= 0.8 * of_game as f64 {
+        println!("✓ the surge concentrates on the released game inside the window,");
+        println!("  across multiple locations — the paper's Nov-16 signature.");
+    } else {
+        println!("⚠ surge not localized as expected; increase --n/--days.");
+    }
+
+    write_json(
+        "fig_anecdote_shared_event",
+        &Output {
+            total_shared: total,
+            release_game_shared: of_game,
+            in_window,
+            regions_affected: regions.len(),
+        },
+    );
+}

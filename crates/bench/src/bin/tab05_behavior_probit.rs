@@ -1,0 +1,156 @@
+//! Table 5 — average marginal effects of latency spikes on server changes
+//! and game changes, per game and spike-size threshold (§6).
+//!
+//! Runs the full pipeline over a world, prepares the behaviour streams per
+//! §6's steps (change-capable streamers only; short streams dropped;
+//! no-change streams truncated at the median time-to-first-change), fits a
+//! Probit per (game, threshold) and reports the average marginal effect.
+//!
+//! Paper's shape: all effects positive; server-change effects of order
+//! 0.3–1.6 % per spike; game-change effects an order of magnitude larger
+//! (1–5 %); for some games (CoD) the effect grows with spike size.
+//!
+//! Usage: `tab05_behavior_probit [--n 900] [--days 21]`
+
+use serde::Serialize;
+use tero_bench::{arg_usize, header, write_json};
+use tero_core::behavior::{game_change_effects, server_change_effects, EffectRow, SPIKE_SIZES_MS};
+
+use tero_core::pipeline::{min_play_for, ExtractionMode, Tero};
+use tero_types::GameId;
+use tero_world::{World, WorldConfig};
+
+#[derive(Serialize)]
+struct Output {
+    server_rows: Vec<EffectRow>,
+    game_rows: Vec<EffectRow>,
+}
+
+fn print_rows(title: &str, rows: &[EffectRow]) {
+    println!();
+    println!("{title}");
+    print!("{:<22} {:>8}", "game", "Nobs");
+    for s in SPIKE_SIZES_MS {
+        print!(" {:>7}", format!("≥{s:.0}ms"));
+    }
+    println!();
+    for row in rows {
+        print!("{:<22} {:>8}", row.game.name(), row.n_obs);
+        for cell in &row.cells {
+            match cell {
+                Some(c) => {
+                    let sig = if c.p_value <= 0.01 {
+                        ""
+                    } else if c.p_value <= 0.10 {
+                        "*"
+                    } else {
+                        "°" // not significant
+                    };
+                    print!(" {:>6.4}{sig}", c.marginal_effect);
+                }
+                None => print!(" {:>7}", "-"),
+            }
+        }
+        println!();
+    }
+    println!("  (* significant at 10 % only, ° not significant, - no model)");
+}
+
+fn main() {
+    let n = arg_usize("--n", 840);
+    let days = arg_usize("--days", 21) as u64;
+    header("Table 5: marginal effects of spikes on server/game changes");
+    println!("({n} streamers, {days} days; calibrated extraction)");
+
+    // The behaviour study needs dense {location, game} groups (the paper's
+    // observations span hundreds of thousands of streams); pin streamers
+    // of each Table 5 game at major hubs so clusters and server-change
+    // detection have the populations they need.
+    let gaz = tero_geoparse::Gazetteer::new();
+    let hubs = [
+        tero_world::World::city(&gaz, "Los Angeles"),
+        tero_world::World::city(&gaz, "London"),
+    ];
+    let per = (n / (hubs.len() * GameId::TABLE5.len())).max(10);
+    let mut pinned = Vec::new();
+    for game in GameId::TABLE5 {
+        for hub in &hubs {
+            pinned.push((hub.clone(), game, per));
+        }
+    }
+    let mut world = World::build(WorldConfig {
+        seed: 505,
+        n_streamers: 0,
+        days,
+        pinned,
+        shared_events: 20,
+        api_budget_per_min: 2_000,
+        ..WorldConfig::default()
+    });
+    let tero = Tero {
+        mode: ExtractionMode::Calibrated,
+        ..Tero::default()
+    };
+    let report = tero.run(&mut world);
+
+    let mut server_rows = Vec::new();
+    let mut game_rows = Vec::new();
+    for game in GameId::TABLE5 {
+        if let Some(row) =
+            server_change_effects(&report.behavior_streams, game, min_play_for(game))
+        {
+            server_rows.push(row);
+        }
+        if let Some(row) = game_change_effects(&report.behavior_streams, game) {
+            game_rows.push(row);
+        }
+    }
+
+    print_rows("Server changes (paper: effects 0.0025-0.016 per spike):", &server_rows);
+    print_rows(
+        "Game changes (paper: an order of magnitude larger, 0.009-0.046):",
+        &game_rows,
+    );
+
+    // Headline comparisons (rows with enough observations only).
+    println!();
+    let mean_effect = |rows: &[EffectRow]| {
+        let vals: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.n_obs >= 100)
+            .flat_map(|r| r.cells.iter().flatten().map(|c| c.marginal_effect))
+            .collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    };
+    let s = mean_effect(&server_rows);
+    let g = mean_effect(&game_rows);
+    println!("mean server-change effect {s:.4}; mean game-change effect {g:.4}");
+    println!();
+    println!("note: the game-change panel is directly comparable to the paper's");
+    println!("(Nobs in the hundreds-to-thousands). The server-change panel suffers");
+    println!("small-sample changer selection at simulation scale — the paper had");
+    println!("16k-95k changer streams vs our ~10^2 — which inflates its AMEs; the");
+    println!("qualitative findings (positive, size-increasing, significant spike");
+    println!("effects) still hold. See EXPERIMENTS.md.");
+
+    // §6's closing suggestion: specific retention numbers by spike count.
+    println!();
+    println!("retention rate by spike count (the paper's proposed follow-up):");
+    for game in [GameId::LeagueOfLegends, GameId::CodWarzone, GameId::GenshinImpact] {
+        let curve = tero_core::behavior::retention_curve(&report.behavior_streams, game, 4);
+        print!("  {:<22}", game.name());
+        for (k, p, n) in &curve {
+            let label = if *k == 4 { "4+".to_string() } else { k.to_string() };
+            print!(" {label}:{:>4.1}% (n={n})", 100.0 * p);
+        }
+        println!();
+    }
+
+    write_json(
+        "tab05_behavior_probit",
+        &Output {
+            server_rows,
+            game_rows,
+        },
+    );
+}

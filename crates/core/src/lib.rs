@@ -1,0 +1,34 @@
+//! # tero-core
+//!
+//! The Tero pipeline — the paper's primary contribution (§3):
+//!
+//! * [`download`] — the coordinator/downloader architecture of App. A,
+//!   polling the (simulated) Twitch API under its rate limit and racing
+//!   thumbnail overwrites on the CDN;
+//! * [`location`] — the location module (§3.1): Twitch descriptions,
+//!   Twitter/Steam profile matching, geoparsing combination, tag recovery,
+//!   multi-location streamers;
+//! * [`imageproc`] — the image-processing module (§3.2 / App. E): game-UI
+//!   cropping plus the three-engine OCR voting front-end from
+//!   `tero-vision`;
+//! * [`analysis`] — the data-analysis module (§3.3): same-QoE segmentation,
+//!   glitch/spike detection and correction, shared anomalies (App. F),
+//!   latency clustering, static/mobile classification, end-point changes
+//!   and per-`{location, game}` latency distributions;
+//! * [`behavior`] — the §6 user-behaviour study: Probit marginal effects of
+//!   spikes on server and game changes (Table 5);
+//! * [`pipeline`] — the [`pipeline::Tero`] orchestrator that wires the
+//!   modules over the stores of `tero-store` and runs against a
+//!   `tero-world` platform.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod behavior;
+pub mod download;
+pub mod imageproc;
+pub mod location;
+pub mod pipeline;
+
+pub use pipeline::{Tero, TeroReport};

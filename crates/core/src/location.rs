@@ -1,0 +1,170 @@
+//! The location module (§3.1, App. D).
+//!
+//! Given a streamer's Twitch profile, the module outputs a
+//! `{city, region, country}` tuple from public information only: the
+//! Twitch description, a matched Twitter/Steam profile's location field,
+//! or — when the geocoders' output was discarded by the conservative
+//! filter — a stable country-level stream tag that confirms it (App. D.2).
+
+use serde::{Deserialize, Serialize};
+use tero_geoparse::combine::{combine_twitch_description, combine_twitter_location};
+use tero_geoparse::profiles::SocialPlatform;
+use tero_geoparse::tags::{recover_with_tag, TagObservation};
+use tero_geoparse::tools::{GeoTool, ToolKind};
+use tero_geoparse::{match_profile, Gazetteer, SocialProfile};
+use tero_types::Location;
+
+/// Which pathway produced the location (Table 3's row families).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LocationSource {
+    /// Extracted from the Twitch description (the "Twitch Comb." rows).
+    TwitchDescription,
+    /// Extracted from a matched Twitter profile's location field.
+    TwitterProfile,
+    /// Extracted from a matched Steam profile.
+    SteamProfile,
+    /// A discarded geocoder output recovered by a stable country tag.
+    TagRecovered,
+}
+
+/// The location module.
+#[derive(Debug)]
+pub struct LocationModule<'g> {
+    gaz: &'g Gazetteer,
+}
+
+impl<'g> LocationModule<'g> {
+    /// Bind the module to a gazetteer.
+    pub fn new(gaz: &'g Gazetteer) -> Self {
+        LocationModule { gaz }
+    }
+
+    /// Locate one streamer from their public footprint. `social_directory`
+    /// is the world's public profile directory; `tags` is the streamer's
+    /// country-tag history (may be empty).
+    pub fn locate(
+        &self,
+        twitch_username: &str,
+        description: Option<&str>,
+        social_directory: &[SocialProfile],
+        tags: &[TagObservation],
+    ) -> Option<(Location, LocationSource)> {
+        // 1. Twitch description (0.97 % of streamers in the paper).
+        if let Some(desc) = description {
+            if let Some(loc) = combine_twitch_description(self.gaz, desc) {
+                return Some((loc, LocationSource::TwitchDescription));
+            }
+            // Tag recovery (App. D.2): a raw geocoder output that the
+            // combiner discarded is accepted when a stable country tag
+            // confirms its country.
+            if !tags.is_empty() {
+                for kind in ToolKind::GEOCODERS {
+                    for candidate in GeoTool::new(kind, self.gaz).extract(desc) {
+                        if let Some(loc) = recover_with_tag(&candidate, tags, 3) {
+                            return Some((loc, LocationSource::TagRecovered));
+                        }
+                    }
+                }
+            }
+        }
+
+        // 2. Social profile via username + backlink (§3.1).
+        if let Some(profile) = match_profile(twitch_username, social_directory) {
+            let field = profile.location_field.as_deref().unwrap_or("");
+            if !field.is_empty() {
+                if let Some(loc) = combine_twitter_location(self.gaz, field) {
+                    let source = match profile.platform {
+                        SocialPlatform::Twitter => LocationSource::TwitterProfile,
+                        SocialPlatform::Steam => LocationSource::SteamProfile,
+                    };
+                    return Some((loc, source));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn twitter(username: &str, field: &str, links_to: &str) -> SocialProfile {
+        SocialProfile {
+            platform: SocialPlatform::Twitter,
+            username: username.to_string(),
+            location_field: Some(field.to_string()),
+            bio: String::new(),
+            links_to_twitch: Some(links_to.to_string()),
+        }
+    }
+
+    #[test]
+    fn description_wins_over_profile() {
+        let gaz = Gazetteer::new();
+        let module = LocationModule::new(&gaz);
+        let directory = vec![twitter("gamer", "Paris, France", "gamer")];
+        let (loc, source) = module
+            .locate("gamer", Some("From Miami, Florida"), &directory, &[])
+            .unwrap();
+        assert_eq!(loc.city.as_deref(), Some("Miami"));
+        assert_eq!(source, LocationSource::TwitchDescription);
+    }
+
+    #[test]
+    fn falls_back_to_matched_twitter() {
+        let gaz = Gazetteer::new();
+        let module = LocationModule::new(&gaz);
+        let directory = vec![twitter("gamer", "Barcelona, Spain", "gamer")];
+        let (loc, source) = module
+            .locate("gamer", Some("pro player, no cap"), &directory, &[])
+            .unwrap();
+        assert_eq!(loc.city.as_deref(), Some("Barcelona"));
+        assert_eq!(source, LocationSource::TwitterProfile);
+    }
+
+    #[test]
+    fn unmatched_profile_is_ignored() {
+        let gaz = Gazetteer::new();
+        let module = LocationModule::new(&gaz);
+        // Same field but the username doesn't match the Twitch account.
+        let directory = vec![twitter("someone_else", "Barcelona, Spain", "gamer")];
+        assert!(module
+            .locate("gamer", Some("pro player"), &directory, &[])
+            .is_none());
+    }
+
+    #[test]
+    fn tag_recovery_rescues_filtered_description() {
+        let gaz = Gazetteer::new();
+        let module = LocationModule::new(&gaz);
+        // "Join us in Detroit!" alone is recovered by 2-of-3 agreement in
+        // the combiner; to exercise the tag pathway use a description only
+        // CLIFF resolves (capitalised bait rejected by others is hard to
+        // construct, so verify the recovery call directly instead).
+        let tags: Vec<TagObservation> = (0..4)
+            .map(|i| TagObservation {
+                poll: i,
+                country_tag: Some("United States".into()),
+            })
+            .collect();
+        let candidate = Location::city("United States", "Michigan", "Detroit");
+        assert_eq!(
+            recover_with_tag(&candidate, &tags, 3),
+            Some(candidate.clone())
+        );
+        // End-to-end: any description still locates with tags present.
+        let got = module.locate("x", Some("Join us in Detroit!"), &[], &tags);
+        assert!(got.is_some());
+    }
+
+    #[test]
+    fn nothing_to_go_on() {
+        let gaz = Gazetteer::new();
+        let module = LocationModule::new(&gaz);
+        assert!(module.locate("gamer", None, &[], &[]).is_none());
+        assert!(module
+            .locate("gamer", Some("good vibes only"), &[], &[])
+            .is_none());
+    }
+}

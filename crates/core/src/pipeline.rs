@@ -1,0 +1,765 @@
+//! The Tero orchestrator: download → image-processing → location →
+//! data-analysis, wired through the stores of `tero-store` and run against
+//! a `tero-world` platform.
+
+use crate::analysis::anomaly::{detect_anomalies, AnomalyReport};
+use crate::analysis::clusters::{
+    classify_streamer, endpoint_changes, merge_location_clusters, ChangeKind,
+    ClassifiedStreamer, EndPointChange, LatencyCluster,
+};
+use crate::analysis::distributions::{location_distribution, LocationDistribution};
+use crate::analysis::segments::{segment_stream, Segment, StreamSeries};
+use crate::analysis::shared::{detect_shared_anomalies, SharedAnomaly, StreamerActivity};
+use crate::behavior::BehaviorStream;
+use crate::download::{DownloadModule, DownloadStats, ThumbnailTask};
+use crate::imageproc::ImageProcessor;
+use crate::location::{LocationModule, LocationSource};
+use std::collections::{BTreeMap, HashMap};
+use tero_geoparse::tags::TagObservation;
+use tero_store::{KvStore, ObjectStore};
+use tero_types::{
+    AnonId, GameId, LatencySample, Location, SimDuration, SimTime, StreamerId, TeroParams,
+};
+use tero_vision::combine::CombineOutcome;
+use tero_vision::scene::ScenarioKind;
+use tero_world::games::{corrected_distance_to, match_length_mins, primary_server};
+use tero_world::twitch::build_scene;
+use tero_world::World;
+
+/// How thumbnails are turned into measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtractionMode {
+    /// Render every thumbnail and run the full three-engine OCR pipeline —
+    /// the honest path; used for all accuracy evaluations.
+    FullOcr,
+    /// Skip rendering: derive the extraction outcome mechanically from the
+    /// scene's ground truth using the *same failure mechanisms* the OCR
+    /// path exhibits (light fonts miss; occlusions drop leading digits;
+    /// clocks read as plausible wrong values; mislabeled streams read
+    /// nothing), at rates matched to the measured OCR behaviour. Used only
+    /// to scale the analysis-heavy regenerators (Figs 9–16, Table 5);
+    /// see DESIGN.md.
+    Calibrated,
+}
+
+/// A gap larger than this starts a new stream (thumbnails are ≥ 5 min
+/// apart; in-stream breaks reach ~35 min; offline periods are longer).
+const STREAM_GAP: SimDuration = SimDuration(45 * 60 * 1_000_000);
+
+/// The Tero system.
+pub struct Tero {
+    /// Table 1 parameters.
+    pub params: TeroParams,
+    /// Anonymisation salt (§7's consistent hashing).
+    pub salt: u64,
+    /// Extraction mode.
+    pub mode: ExtractionMode,
+    /// Minimum streamers per `{location, game}` before a distribution is
+    /// published (the paper uses 50; tests use less).
+    pub min_streamers: usize,
+    /// §3.1.2's suggested-but-not-taken step: reject measurements that
+    /// fall outside every latency cluster of their `{location, game}`,
+    /// which screens out mislocated streamers (the paper leaves this to
+    /// the data-set's users; we implement it as an opt-in).
+    pub reject_outside_clusters: bool,
+}
+
+impl Default for Tero {
+    fn default() -> Self {
+        Tero {
+            params: TeroParams::default(),
+            salt: 0x7e60,
+            mode: ExtractionMode::FullOcr,
+            min_streamers: 5,
+            reject_outside_clusters: false,
+        }
+    }
+}
+
+/// Everything one pipeline run produces.
+pub struct TeroReport {
+    /// Download-module statistics.
+    pub download: DownloadStats,
+    /// Thumbnails processed by image-processing.
+    pub thumbnails: u64,
+    /// Measurements extracted (primary values).
+    pub extracted: u64,
+    /// Streamers the location module located, with source.
+    pub locations: HashMap<AnonId, (Location, LocationSource)>,
+    /// Streamers seen (denominator of the 2.77 % figure).
+    pub streamers_seen: usize,
+    /// Stitched streams per `{streamer, game}`.
+    pub streams: BTreeMap<(AnonId, GameId), Vec<StreamSeries>>,
+    /// Anomaly reports per `{streamer, game}`.
+    pub anomalies: BTreeMap<(AnonId, GameId), AnomalyReport>,
+    /// Classified streamers per `{streamer, game}`.
+    pub classified: BTreeMap<(AnonId, GameId), ClassifiedStreamer>,
+    /// Per-`{region-key, game}` merged latency clusters.
+    pub location_clusters: BTreeMap<(String, GameId), Vec<LatencyCluster>>,
+    /// End-point changes per `{streamer, game}`.
+    pub endpoint_changes: BTreeMap<(AnonId, GameId), Vec<EndPointChange>>,
+    /// Published latency distributions.
+    pub distributions: Vec<LocationDistribution>,
+    /// Shared anomalies.
+    pub shared_anomalies: Vec<SharedAnomaly>,
+    /// Streams prepared for the §6 behaviour study.
+    pub behavior_streams: Vec<BehaviorStream>,
+}
+
+impl TeroReport {
+    /// Total clean measurements retained after anomaly filtering.
+    pub fn retained_measurements(&self) -> usize {
+        self.anomalies
+            .values()
+            .map(|r| r.clean_samples().len())
+            .sum()
+    }
+
+    /// The distribution for a location (any granularity key) and game.
+    pub fn distribution(&self, location: &Location, game: GameId) -> Option<&LocationDistribution> {
+        self.distributions
+            .iter()
+            .find(|d| d.location == *location && d.game == game)
+    }
+}
+
+impl Tero {
+    /// Run the full pipeline over a world's entire data-set.
+    pub fn run(&self, world: &mut World) -> TeroReport {
+        let kv = KvStore::new();
+        let objects = ObjectStore::new();
+        let mut download = DownloadModule::new(kv.clone(), objects.clone());
+        let horizon = world.horizon;
+        let download_stats = download.run(world, SimTime::EPOCH, horizon);
+        let tasks = download.drain_tasks();
+
+        // ---- Image processing -------------------------------------------------
+        let processor = ImageProcessor::new();
+        let mut measurements: BTreeMap<(AnonId, GameId), Vec<LatencySample>> = BTreeMap::new();
+        let mut usernames: HashMap<AnonId, StreamerId> = HashMap::new();
+        let mut extracted = 0u64;
+        for task in &tasks {
+            let anon = AnonId::from_streamer(&task.streamer, self.salt);
+            usernames.entry(anon).or_insert_with(|| task.streamer.clone());
+            let outcome = match self.mode {
+                ExtractionMode::FullOcr => {
+                    let Some(image) = download.load_image(&task.object_key) else {
+                        continue;
+                    };
+                    processor.extract(&image, task.game_label)
+                }
+                ExtractionMode::Calibrated => calibrated_extract(world, task),
+            };
+            if let CombineOutcome::Extracted {
+                primary,
+                alternative,
+            } = outcome
+            {
+                extracted += 1;
+                let sample = match alternative {
+                    Some(alt) => {
+                        LatencySample::with_alternative(task.generated_at, primary, alt)
+                    }
+                    None => LatencySample::new(task.generated_at, primary),
+                };
+                measurements
+                    .entry((anon, task.game_label))
+                    .or_default()
+                    .push(sample);
+            }
+        }
+
+        // ---- Streams -----------------------------------------------------------
+        let mut streams: BTreeMap<(AnonId, GameId), Vec<StreamSeries>> = BTreeMap::new();
+        for ((anon, game), mut samples) in measurements {
+            samples.sort_by_key(|s| s.at);
+            let mut current: Vec<LatencySample> = Vec::new();
+            let mut series = Vec::new();
+            for s in samples {
+                if let Some(last) = current.last() {
+                    if s.at.since(last.at) > STREAM_GAP {
+                        series.push(StreamSeries {
+                            anon,
+                            game,
+                            samples: std::mem::take(&mut current),
+                        });
+                    }
+                }
+                current.push(s);
+            }
+            if !current.is_empty() {
+                series.push(StreamSeries {
+                    anon,
+                    game,
+                    samples: current,
+                });
+            }
+            streams.insert((anon, game), series);
+        }
+
+        // ---- Location ----------------------------------------------------------
+        let location_module = LocationModule::new(&world.gaz);
+        let mut locations: HashMap<AnonId, (Location, LocationSource)> = HashMap::new();
+        let mut now = horizon;
+        let names: Vec<(AnonId, StreamerId)> = usernames
+            .iter()
+            .map(|(a, n)| (*a, n.clone()))
+            .collect();
+        for (anon, name) in &names {
+            let description = loop {
+                match world.twitch.get_profile(name.as_str(), now) {
+                    Ok(d) => break d,
+                    Err(limited) => now = limited.retry_at,
+                }
+            };
+            let tags: Vec<TagObservation> = download
+                .tag_history(name.as_str())
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| TagObservation {
+                    poll: i as u64,
+                    country_tag: Some(t),
+                })
+                .collect();
+            if let Some((loc, source)) = location_module.locate(
+                name.as_str(),
+                description.as_deref(),
+                &world.social_directory,
+                &tags,
+            ) {
+                locations.insert(*anon, (loc, source));
+            }
+        }
+
+        // ---- Per-streamer analysis ----------------------------------------------
+        let mut anomalies: BTreeMap<(AnonId, GameId), AnomalyReport> = BTreeMap::new();
+        let mut classified: BTreeMap<(AnonId, GameId), ClassifiedStreamer> = BTreeMap::new();
+        for ((anon, game), series) in &streams {
+            let mut segments: Vec<Segment> = Vec::new();
+            for (idx, s) in series.iter().enumerate() {
+                segments.extend(segment_stream(idx, &s.samples, &self.params));
+            }
+            let report = detect_anomalies(segments, &self.params);
+            classified.insert((*anon, *game), classify_streamer(*anon, &report, &self.params));
+            anomalies.insert((*anon, *game), report);
+        }
+
+        // ---- Per-{region, game} aggregation --------------------------------------
+        // Group located streamers at region granularity.
+        let mut groups: BTreeMap<(String, GameId), Vec<AnonId>> = BTreeMap::new();
+        for (anon, game) in streams.keys() {
+            if let Some((loc, _)) = locations.get(anon) {
+                let key = loc.to_region_level().key();
+                groups.entry((key, *game)).or_default().push(*anon);
+            }
+        }
+
+        let mut location_clusters: BTreeMap<(String, GameId), Vec<LatencyCluster>> =
+            BTreeMap::new();
+        let mut all_endpoint_changes: BTreeMap<(AnonId, GameId), Vec<EndPointChange>> =
+            BTreeMap::new();
+        let mut distributions = Vec::new();
+        let mut shared_anomalies = Vec::new();
+
+        for ((region_key, game), members) in &groups {
+            let classified_members: Vec<&ClassifiedStreamer> = members
+                .iter()
+                .filter_map(|a| classified.get(&(*a, *game)))
+                .collect();
+            // Step 3: merged clusters from static streamers.
+            let clusters =
+                merge_location_clusters(&classified_members, self.params.lat_gap_ms);
+            // Step 4: end-point changes for everyone in the group.
+            let mut movers: Vec<AnonId> = Vec::new();
+            for anon in members {
+                if let Some(report) = anomalies.get(&(*anon, *game)) {
+                    let changes = endpoint_changes(report, &clusters, self.params.lat_gap_ms);
+                    if changes
+                        .iter()
+                        .any(|c| c.kind == ChangeKind::PossibleLocation)
+                    {
+                        movers.push(*anon);
+                    }
+                    if !changes.is_empty() {
+                        all_endpoint_changes.insert((*anon, *game), changes);
+                    }
+                }
+            }
+            location_clusters.insert((region_key.clone(), *game), clusters.clone());
+
+            // Distributions: high-quality members with no possible
+            // location change, at region granularity.
+            let contributors: Vec<&ClassifiedStreamer> = members
+                .iter()
+                .filter(|a| !movers.contains(a))
+                .filter_map(|a| classified.get(&(*a, *game)))
+                .collect();
+            if contributors.len() >= self.min_streamers {
+                let region_loc = locations
+                    .get(&members[0])
+                    .map(|(l, _)| l.to_region_level())
+                    .expect("grouped member is located");
+                let server = primary_server(&world.gaz, *game, &region_loc);
+                let distance = server
+                    .as_ref()
+                    .and_then(|s| corrected_distance_to(&world.gaz, &region_loc, s));
+                if let Some(mut dist) = location_distribution(
+                    region_loc,
+                    *game,
+                    &contributors,
+                    server.map(|s| s.location),
+                    distance,
+                ) {
+                    if self.reject_outside_clusters {
+                        reject_outside(&mut dist, &clusters, self.params.lat_gap_ms);
+                    }
+                    distributions.push(dist);
+                }
+            }
+
+            // Shared anomalies over the group.
+            let region_loc = locations
+                .get(&members[0])
+                .map(|(l, _)| l.to_region_level())
+                .expect("grouped member is located");
+            let activities: Vec<StreamerActivity> = members
+                .iter()
+                .filter_map(|a| {
+                    let report = anomalies.get(&(*a, *game))?;
+                    let times: Vec<SimTime> = report
+                        .segments
+                        .iter()
+                        .flat_map(|s| s.samples.iter().map(|x| x.at))
+                        .collect();
+                    Some(StreamerActivity {
+                        anon: *a,
+                        measurement_times: times,
+                        spikes: report.spikes.clone(),
+                    })
+                })
+                .collect();
+            shared_anomalies.extend(detect_shared_anomalies(*game, &region_loc, &activities));
+        }
+
+        // ---- Country-level distributions ------------------------------------------
+        // The paper publishes distributions at country granularity too
+        // (Figs 9, 11, 12); the aggregation logic is the same with a
+        // coarser key.
+        let mut country_groups: BTreeMap<(String, GameId), Vec<AnonId>> = BTreeMap::new();
+        for (anon, game) in streams.keys() {
+            if let Some((loc, _)) = locations.get(anon) {
+                let key = loc.to_country_level().key();
+                country_groups.entry((key, *game)).or_default().push(*anon);
+            }
+        }
+        for ((_key, game), members) in &country_groups {
+            let classified_members: Vec<&ClassifiedStreamer> = members
+                .iter()
+                .filter_map(|a| classified.get(&(*a, *game)))
+                .collect();
+            let clusters =
+                merge_location_clusters(&classified_members, self.params.lat_gap_ms);
+            let mut movers: Vec<AnonId> = Vec::new();
+            for anon in members {
+                if let Some(report) = anomalies.get(&(*anon, *game)) {
+                    let changes = endpoint_changes(report, &clusters, self.params.lat_gap_ms);
+                    if changes
+                        .iter()
+                        .any(|c| c.kind == ChangeKind::PossibleLocation)
+                    {
+                        movers.push(*anon);
+                    }
+                }
+            }
+            let contributors: Vec<&ClassifiedStreamer> = members
+                .iter()
+                .filter(|a| !movers.contains(a))
+                .filter_map(|a| classified.get(&(*a, *game)))
+                .collect();
+            if contributors.len() >= self.min_streamers {
+                let country_loc = locations
+                    .get(&members[0])
+                    .map(|(l, _)| l.to_country_level())
+                    .expect("grouped member is located");
+                let server = primary_server(&world.gaz, *game, &country_loc);
+                let distance = server
+                    .as_ref()
+                    .and_then(|s| corrected_distance_to(&world.gaz, &country_loc, s));
+                if let Some(mut dist) = location_distribution(
+                    country_loc,
+                    *game,
+                    &contributors,
+                    server.map(|s| s.location),
+                    distance,
+                ) {
+                    if self.reject_outside_clusters {
+                        reject_outside(&mut dist, &clusters, self.params.lat_gap_ms);
+                    }
+                    distributions.push(dist);
+                }
+            }
+        }
+
+        // ---- Behaviour preparation (§6) -------------------------------------------
+        let mut behavior_streams = Vec::new();
+        // Order every streamer's streams across games to detect game
+        // changes between consecutive streams.
+        let mut per_streamer: HashMap<AnonId, Vec<(SimTime, SimTime, GameId, usize)>> =
+            HashMap::new();
+        for ((anon, game), series) in &streams {
+            for (idx, s) in series.iter().enumerate() {
+                if let (Some(first), Some(last)) = (s.samples.first(), s.samples.last()) {
+                    per_streamer
+                        .entry(*anon)
+                        .or_default()
+                        .push((first.at, last.at, *game, idx));
+                }
+            }
+        }
+        for (anon, mut entries) in per_streamer {
+            entries.sort_by_key(|e| e.0);
+            for (i, &(start, end, game, idx)) in entries.iter().enumerate() {
+                let game_changed_after = entries.get(i + 1).is_some_and(|n| n.2 != game);
+                let report = anomalies.get(&(anon, game));
+                let spikes = report
+                    .map(|r| {
+                        r.spikes
+                            .iter()
+                            .filter(|s| s.start >= start && s.start <= end)
+                            .cloned()
+                            .collect::<Vec<_>>()
+                    })
+                    .unwrap_or_default();
+                let first_server_change = all_endpoint_changes
+                    .get(&(anon, game))
+                    .and_then(|changes| {
+                        changes
+                            .iter()
+                            .filter(|c| c.kind == ChangeKind::Server)
+                            .map(|c| c.at)
+                            .find(|&at| at >= start && at <= end)
+                    });
+                behavior_streams.push(BehaviorStream {
+                    anon,
+                    game,
+                    start,
+                    end,
+                    spikes,
+                    first_server_change,
+                    game_changed_after,
+                });
+                let _ = idx;
+            }
+        }
+
+        TeroReport {
+            download: download_stats,
+            thumbnails: tasks.len() as u64,
+            extracted,
+            locations,
+            streamers_seen: usernames.len(),
+            streams,
+            anomalies,
+            classified,
+            location_clusters,
+            endpoint_changes: all_endpoint_changes,
+            distributions,
+            shared_anomalies,
+            behavior_streams,
+        }
+    }
+}
+
+/// The minimum-play constraint used by the behaviour study for one game.
+pub fn min_play_for(game: GameId) -> SimDuration {
+    SimDuration::from_mins(match_length_mins(game))
+}
+
+/// §3.1.2's opt-in filter: drop a distribution's values that fall outside
+/// every latency cluster of the `{location, game}` (± `LatGap`), then
+/// recompute its summary. Mislocated streamers' measurements rarely land
+/// inside the location's real clusters, so this screens location errors
+/// at the cost of some legitimate tail mass.
+fn reject_outside(
+    dist: &mut LocationDistribution,
+    clusters: &[LatencyCluster],
+    gap: u32,
+) -> bool {
+    if clusters.is_empty() {
+        return false;
+    }
+    let inside = |v: f64| {
+        clusters.iter().any(|c| {
+            v >= c.min_ms.saturating_sub(gap) as f64 && v <= c.max_ms.saturating_add(gap) as f64
+        })
+    };
+    let before = dist.values_ms.len();
+    dist.values_ms.retain(|&v| inside(v));
+    if dist.values_ms.len() == before {
+        return false;
+    }
+    if let Some(stats) = tero_stats::BoxplotStats::from_samples(&dist.values_ms) {
+        dist.stats = stats;
+        dist.normalized = dist
+            .corrected_distance_km
+            .filter(|&d| d > 0.0)
+            .map(|d| dist.stats.scaled(1_000.0 / d));
+    }
+    true
+}
+
+/// Mechanical extraction for [`ExtractionMode::Calibrated`]: reproduce the
+/// OCR path's failure *mechanisms* from the scene ground truth, at rates
+/// matched to the measured Full-OCR behaviour (see `tab04` in
+/// EXPERIMENTS.md for the measurements this is calibrated against).
+fn calibrated_extract(world: &World, task: &ThumbnailTask) -> CombineOutcome {
+    let Some(streamer) = world.streamer(&task.streamer) else {
+        return CombineOutcome::NoMeasurement;
+    };
+    let Some(sample) = world
+        .twitch
+        .truth_sample(task.streamer.as_str(), task.generated_at)
+    else {
+        return CombineOutcome::NoMeasurement;
+    };
+    // The true game being rendered (a mislabeled stream renders its actual
+    // game, while the processor crops for the label).
+    let truth_stream_game = world
+        .timelines()
+        .iter()
+        .zip(world.streamers())
+        .find(|(_, s)| s.id == task.streamer)
+        .and_then(|(tl, _)| {
+            tl.iter()
+                .find(|st| st.start <= task.generated_at && task.generated_at < st.end)
+        })
+        .map(|st| st.game)
+        .unwrap_or(task.game_label);
+    if truth_stream_game != task.game_label {
+        // Wrong crop: nothing legible.
+        return CombineOutcome::NoMeasurement;
+    }
+
+    let (scene, mut rng) = build_scene(streamer, truth_stream_game, &sample);
+    let value = sample.displayed_ms;
+    if value == 0 {
+        return CombineOutcome::NoMeasurement; // lobby placeholder
+    }
+    match scene.scenario {
+        ScenarioKind::LightFont => CombineOutcome::NoMeasurement,
+        ScenarioKind::ClockOverlay => {
+            // The clock reads as a plausible wrong value (minutes field).
+            let (_, mm) = scene.clock.unwrap_or((0, 42));
+            if mm == 0 {
+                CombineOutcome::NoMeasurement
+            } else {
+                CombineOutcome::Extracted {
+                    primary: mm,
+                    alternative: None,
+                }
+            }
+        }
+        ScenarioKind::PartiallyHidden => {
+            let digits = value.to_string().len() as u32;
+            let covered = scene.occlusion_fraction;
+            if covered > 0.45 || digits == 1 {
+                CombineOutcome::NoMeasurement
+            } else {
+                // Digit drop: leading digit(s) hidden; engines agree on the
+                // visible tail (§4.2.2: 68 % of errors are digit drops).
+                let keep = digits - 1;
+                let primary = value % 10u32.pow(keep);
+                if primary == 0 {
+                    CombineOutcome::NoMeasurement
+                } else {
+                    // Occasionally one engine catches the full value and
+                    // survives as the alternative.
+                    let alternative = rng.chance(0.25).then_some(value);
+                    CombineOutcome::Extracted {
+                        primary,
+                        alternative,
+                    }
+                }
+            }
+        }
+        ScenarioKind::Typical => {
+            // Measured Full-OCR behaviour on typical scenes: ~1-3 % miss
+            // under heavy noise, ~2-4 % error (digit confusion), rare
+            // disagreement alternatives.
+            let noise_factor = (scene.noise * 40.0 + scene.grain / 10.0).min(1.0);
+            if rng.chance(0.01 + 0.04 * noise_factor) {
+                return CombineOutcome::NoMeasurement;
+            }
+            if rng.chance(0.015 + 0.05 * noise_factor) {
+                // Digit confusion: perturb one digit.
+                let digits = value.to_string().len() as u32;
+                let pos = rng.below(digits as u64) as u32;
+                let delta = [1u32, 2, 5, 7][rng.below(4) as usize];
+                let scale = 10u32.pow(pos);
+                let perturbed = if rng.chance(0.5) {
+                    value.saturating_add(delta * scale)
+                } else {
+                    value.saturating_sub(delta * scale)
+                };
+                let perturbed = perturbed.clamp(1, 999);
+                if perturbed != value {
+                    let alternative = rng.chance(0.4).then_some(value);
+                    return CombineOutcome::Extracted {
+                        primary: perturbed,
+                        alternative,
+                    };
+                }
+            }
+            CombineOutcome::Extracted {
+                primary: value,
+                alternative: None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tero_world::WorldConfig;
+
+    #[test]
+    fn reject_outside_recomputes_summary() {
+        let clusters = vec![LatencyCluster {
+            min_ms: 40,
+            max_ms: 50,
+            samples: vec![],
+            weight: 1.0,
+        }];
+        let values = vec![42.0, 45.0, 48.0, 200.0, 210.0];
+        let mut dist = LocationDistribution {
+            location: Location::country("France"),
+            game: GameId::LeagueOfLegends,
+            streamers: 2,
+            values_ms: values.clone(),
+            stats: tero_stats::BoxplotStats::from_samples(&values).unwrap(),
+            server: None,
+            corrected_distance_km: Some(500.0),
+            normalized: None,
+        };
+        let changed = reject_outside(&mut dist, &clusters, 15);
+        assert!(changed);
+        assert_eq!(dist.values_ms.len(), 3, "outside-cluster values dropped");
+        assert!(dist.stats.p95 <= 50.0 + 1e-9);
+        assert!(dist.normalized.is_some(), "normalised summary recomputed");
+        // No clusters -> no-op.
+        let mut dist2 = dist.clone();
+        assert!(!reject_outside(&mut dist2, &[], 15));
+        // All inside -> untouched.
+        let before = dist.values_ms.len();
+        assert!(!reject_outside(&mut dist, &clusters, 15));
+        assert_eq!(dist.values_ms.len(), before);
+    }
+
+    #[test]
+    fn stream_gap_splits_series() {
+        // Exercise the stream-splitting rule end to end: gaps within a
+        // stream stay below the threshold; gaps between streams exceed it.
+        let mut world = World::build(WorldConfig {
+            seed: 3131,
+            n_streamers: 15,
+            days: 3,
+            ..WorldConfig::default()
+        });
+        let tero = Tero {
+            mode: ExtractionMode::Calibrated,
+            ..Tero::default()
+        };
+        let report = tero.run(&mut world);
+        for series in report.streams.values() {
+            for stream in series {
+                for w in stream.samples.windows(2) {
+                    assert!(w[1].at.since(w[0].at) <= STREAM_GAP);
+                }
+            }
+            for pair in series.windows(2) {
+                let end = pair[0].samples.last().unwrap().at;
+                let start = pair[1].samples.first().unwrap().at;
+                assert!(start.since(end) > STREAM_GAP, "adjacent streams not split");
+            }
+        }
+    }
+
+    fn run(mode: ExtractionMode, seed: u64, n: usize, days: u64) -> (TeroReport, World) {
+        let mut world = World::build(WorldConfig {
+            seed,
+            n_streamers: n,
+            days,
+            ..WorldConfig::default()
+        });
+        let tero = Tero {
+            mode,
+            min_streamers: 2,
+            ..Tero::default()
+        };
+        let report = tero.run(&mut world);
+        (report, world)
+    }
+
+    #[test]
+    fn full_ocr_pipeline_end_to_end() {
+        let (report, world) = run(ExtractionMode::FullOcr, 42, 30, 3);
+        assert!(report.thumbnails > 100, "thumbnails {}", report.thumbnails);
+        // Extraction rate in the right regime (the paper misses ~28 %).
+        let rate = report.extracted as f64 / report.thumbnails as f64;
+        assert!((0.4..0.98).contains(&rate), "extraction rate {rate}");
+        // Some streamers located (not all — most have no usable footprint).
+        assert!(!report.locations.is_empty());
+        assert!(report.locations.len() < report.streamers_seen);
+        // Streams and analysis products exist.
+        assert!(!report.streams.is_empty());
+        assert!(!report.anomalies.is_empty());
+        assert!(report.retained_measurements() > 0);
+        let _ = world;
+    }
+
+    #[test]
+    fn calibrated_mode_matches_full_ocr_shape() {
+        let (full, _) = run(ExtractionMode::FullOcr, 7, 25, 3);
+        let (cal, _) = run(ExtractionMode::Calibrated, 7, 25, 3);
+        assert_eq!(full.thumbnails, cal.thumbnails, "same downloads");
+        let rate_full = full.extracted as f64 / full.thumbnails as f64;
+        let rate_cal = cal.extracted as f64 / cal.thumbnails as f64;
+        assert!(
+            (rate_full - rate_cal).abs() < 0.15,
+            "extraction rates {rate_full} vs {rate_cal}"
+        );
+    }
+
+    #[test]
+    fn extraction_accuracy_against_ground_truth() {
+        let (report, world) = run(ExtractionMode::FullOcr, 11, 25, 3);
+        // Compare extracted values to the world's truth samples.
+        let mut correct = 0u64;
+        let mut wrong = 0u64;
+        for ((anon, _game), series) in &report.streams {
+            // Recover the username (test-only; the pipeline itself never
+            // stores it).
+            let Some(streamer) = world
+                .streamers()
+                .iter()
+                .find(|s| AnonId::from_streamer(&s.id, 0x7e60) == *anon)
+            else {
+                continue;
+            };
+            for s in series.iter().flat_map(|s| &s.samples) {
+                if let Some(truth) = world.twitch.truth_sample(streamer.id.as_str(), s.at) {
+                    if truth.displayed_ms == s.latency_ms {
+                        correct += 1;
+                    } else {
+                        wrong += 1;
+                    }
+                }
+            }
+        }
+        let total = correct + wrong;
+        assert!(total > 100);
+        let err = wrong as f64 / total as f64;
+        assert!(err < 0.15, "extraction error rate {err}");
+    }
+}

@@ -1,0 +1,139 @@
+//! Combining tool outputs (§3.1, App. D.2, App. D.3).
+//!
+//! Tero accepts a location when (1) a tool's output passes the conservative
+//! filter, (2) at least two tools agree, or (3) one tool's output is a more
+//! general location compatible with another's (subsumption) — in which case
+//! the more complete output wins.
+
+use crate::filter::conservative_filter;
+use crate::gazetteer::Gazetteer;
+use crate::tools::{GeoTool, ToolKind};
+use tero_types::Location;
+
+/// Process a Twitch description (App. D.2): CLIFF + Xponents + Mordecai,
+/// conservative filter, 2-of-3 agreement, subsumption.
+pub fn combine_twitch_description(gaz: &Gazetteer, text: &str) -> Option<Location> {
+    let cliff = GeoTool::new(ToolKind::Cliff, gaz).extract(text);
+    let xponents = GeoTool::new(ToolKind::Xponents, gaz).extract(text);
+    let mordecai = GeoTool::new(ToolKind::Mordecai, gaz).extract(text);
+
+    // Step 2: conservative filter on CLIFF's and Xponents' output.
+    for out in cliff.iter().chain(xponents.iter()) {
+        if conservative_filter(gaz, text, out) {
+            return Some(out.clone());
+        }
+    }
+
+    // Step 3: at least two of the three tools agree. Mordecai contributes
+    // each of its candidates as a vote.
+    let votes: Vec<&Location> = cliff
+        .iter()
+        .chain(xponents.iter())
+        .chain(mordecai.iter())
+        .collect();
+    for (i, a) in votes.iter().enumerate() {
+        for b in votes.iter().skip(i + 1) {
+            if a == b {
+                return Some((*a).clone());
+            }
+        }
+    }
+
+    // Step 4: subsumption — one output more complete than another.
+    for (i, a) in votes.iter().enumerate() {
+        for b in votes.iter().skip(i + 1) {
+            if let Some(more) = a.more_complete(b) {
+                if more != *a || more != *b {
+                    return Some(more.clone());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Process a Twitter location field (App. D.3): Nominatim + GeoNames; if
+/// they agree or one subsumes the other, accept the more complete output;
+/// otherwise fall back to processing the field as a Twitch description.
+pub fn combine_twitter_location(gaz: &Gazetteer, field: &str) -> Option<Location> {
+    let nominatim = GeoTool::new(ToolKind::Nominatim, gaz).extract(field);
+    let geonames = GeoTool::new(ToolKind::GeoNames, gaz).extract(field);
+
+    match (nominatim.first(), geonames.first()) {
+        (Some(a), Some(b)) => {
+            if a == b {
+                return Some(a.clone());
+            }
+            if let Some(more) = a.more_complete(b) {
+                return Some(more.clone());
+            }
+            // Disagreement: process as unstructured text (the paper's
+            // "Your heart, Chicago"路 fallback).
+            combine_twitch_description(gaz, field)
+        }
+        // One tool silent: fall back to the description pipeline rather
+        // than trusting a single unconfirmed geoparse.
+        _ => combine_twitch_description(gaz, field),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaz() -> Gazetteer {
+        Gazetteer::new()
+    }
+
+    #[test]
+    fn filter_pass_accepts_immediately() {
+        let g = gaz();
+        let out = combine_twitch_description(&g, "From Miami, Florida").unwrap();
+        assert_eq!(out.city.as_deref(), Some("Miami"));
+    }
+
+    #[test]
+    fn agreement_recovers_filtered_output() {
+        // "Join us in Detroit!" fails the filter, but CLIFF, Xponents and
+        // Mordecai all output Detroit → 2-of-3 agreement accepts it.
+        let g = gaz();
+        let out = combine_twitch_description(&g, "Join us in Detroit!").unwrap();
+        assert_eq!(out.city.as_deref(), Some("Detroit"));
+    }
+
+    #[test]
+    fn no_location_yields_none() {
+        let g = gaz();
+        assert!(combine_twitch_description(&g, "pro gamer, 3k elo, road to top 500").is_none());
+        assert!(combine_twitter_location(&g, "the moon").is_none());
+    }
+
+    #[test]
+    fn twitter_field_comma_pattern() {
+        let g = gaz();
+        let out = combine_twitter_location(&g, "Barcelona, Spain").unwrap();
+        assert_eq!(out.city.as_deref(), Some("Barcelona"));
+        assert_eq!(out.country, "Spain");
+    }
+
+    #[test]
+    fn twitter_field_nongeo_fluff() {
+        let g = gaz();
+        // The paper's example: "Your heart, Chicago" — geoparser + fallback
+        // should land on Chicago.
+        let out = combine_twitter_location(&g, "Your heart, Chicago").unwrap();
+        assert_eq!(out.city.as_deref(), Some("Chicago"));
+    }
+
+    #[test]
+    fn subsumption_prefers_more_complete() {
+        let g = gaz();
+        // "Los Angeles" + "California" in one text: one tool may output the
+        // region, another the city; the city (more complete) should win
+        // via filter (California present) or subsumption.
+        let out =
+            combine_twitch_description(&g, "Los Angeles, California based streamer").unwrap();
+        assert_eq!(out.city.as_deref(), Some("Los Angeles"));
+        assert_eq!(out.region.as_deref(), Some("California"));
+    }
+}

@@ -1,0 +1,156 @@
+//! The conservative filter (App. D.1).
+//!
+//! "Accept a tool's output location as valid if the input description
+//! contains at least the country or region field of the output location."
+//! The example in the paper: "Join us in Detroit" geocodes to
+//! `(United States, Michigan, Detroit)`, but the text contains neither
+//! "United States" nor "Michigan", so the output is discarded
+//! (unnecessarily, in that case); "From Miami, Florida" contains "Florida",
+//! so `(United States, Florida, Miami)` is accepted.
+
+use crate::gazetteer::{Gazetteer, PlaceKind};
+use tero_types::Location;
+
+/// Does `text` provide country- or region-level evidence for `loc`?
+///
+/// The name comparison is case-insensitive and accepts gazetteer aliases
+/// ("USA" counts as evidence for "United States"), since real tools
+/// normalise aliases before comparing.
+pub fn conservative_filter(gaz: &Gazetteer, text: &str, loc: &Location) -> bool {
+    // Country evidence: the country name or any of its aliases.
+    if name_present(gaz, text, &loc.country, PlaceKind::Country, loc) {
+        return true;
+    }
+    // Region evidence.
+    if let Some(region) = &loc.region {
+        if name_present(gaz, text, region, PlaceKind::Region, loc) {
+            return true;
+        }
+    }
+    false
+}
+
+fn name_present(
+    gaz: &Gazetteer,
+    text: &str,
+    name: &str,
+    kind: PlaceKind,
+    loc: &Location,
+) -> bool {
+    let lower = text.to_lowercase();
+    if contains_word(&lower, &name.to_lowercase()) {
+        return true;
+    }
+    // Check aliases: try every n-gram of the text against the gazetteer's
+    // alias index. Short aliases ("US", "UK", "LA") are only accepted when
+    // the text writes them in uppercase — otherwise the English word "us"
+    // would count as country evidence.
+    for gram in crate::tools::ngrams(text, 3) {
+        if gram.text.len() <= 3 && gram.text.to_uppercase() != gram.text {
+            continue;
+        }
+        for p in gaz.lookup(&gram.text) {
+            if p.kind != kind {
+                continue;
+            }
+            let matches = match kind {
+                PlaceKind::Country => p.location.country == loc.country,
+                PlaceKind::Region => {
+                    p.location.country == loc.country
+                        && p.location.region.as_deref() == Some(name)
+                }
+                PlaceKind::City => false,
+            };
+            if matches {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Word-boundary containment: `needle` appears in `haystack` delimited by
+/// non-alphanumeric characters (so "iran" does not match "Denmarkian").
+fn contains_word(haystack: &str, needle: &str) -> bool {
+    if needle.is_empty() {
+        return false;
+    }
+    let hay: Vec<char> = haystack.chars().collect();
+    let ned: Vec<char> = needle.chars().collect();
+    let n = ned.len();
+    if n > hay.len() {
+        return false;
+    }
+    for start in 0..=(hay.len() - n) {
+        if hay[start..start + n]
+            .iter()
+            .zip(&ned)
+            .all(|(a, b)| a.eq_ignore_ascii_case(b))
+        {
+            let before_ok = start == 0 || !hay[start - 1].is_alphanumeric();
+            let after = start + n;
+            let after_ok = after == hay.len() || !hay[after].is_alphanumeric();
+            if before_ok && after_ok {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples() {
+        let gaz = Gazetteer::new();
+        let detroit = Location::city("United States", "Michigan", "Detroit");
+        assert!(
+            !conservative_filter(&gaz, "Join us in Detroit!", &detroit),
+            "no country/region evidence — discarded (the paper's example)"
+        );
+        let miami = Location::city("United States", "Florida", "Miami");
+        assert!(
+            conservative_filter(&gaz, "From Miami, Florida", &miami),
+            "region evidence present — accepted"
+        );
+    }
+
+    #[test]
+    fn aliases_count_as_evidence() {
+        let gaz = Gazetteer::new();
+        let la = Location::city("United States", "California", "Los Angeles");
+        assert!(conservative_filter(&gaz, "LA girl, USA", &la), "USA alias");
+        assert!(conservative_filter(&gaz, "Cali livin'", &la), "Cali alias");
+        assert!(!conservative_filter(&gaz, "LA girl", &la), "city alone is not enough");
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        let gaz = Gazetteer::new();
+        let iran = Location::country("Iran");
+        assert!(conservative_filter(&gaz, "roots in Iran", &iran));
+        // "Denmarkian" must not give evidence for Denmark.
+        let dk = Location::country("Denmark");
+        assert!(!conservative_filter(&gaz, "I live in Denmarkian", &dk));
+    }
+
+    #[test]
+    fn country_only_locations() {
+        let gaz = Gazetteer::new();
+        let fr = Location::country("France");
+        assert!(conservative_filter(&gaz, "bonjour from France", &fr));
+        assert!(!conservative_filter(&gaz, "bonjour from Paris", &fr), "city name is not country evidence");
+    }
+
+    #[test]
+    fn contains_word_edges() {
+        assert!(contains_word("hello world", "world"));
+        assert!(contains_word("world", "world"));
+        assert!(!contains_word("worldly", "world"));
+        assert!(!contains_word("hello", ""));
+        assert!(contains_word("a-b world!", "world"));
+        assert!(!contains_word("ab", "abc"));
+    }
+}

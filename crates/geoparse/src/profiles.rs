@@ -1,0 +1,118 @@
+//! Twitch ↔ social-profile matching (§3.1).
+//!
+//! "(1) Given a streamer account A, it looks for a social profile with the
+//! same username as A. (2) If it finds such a profile P, it checks whether
+//! P includes an explicit link to A; if yes, it associates P and A." The
+//! prototype considers Twitter and Steam profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// The social platforms the prototype considers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SocialPlatform {
+    /// Twitter (explicit `location` field, unstructured).
+    Twitter,
+    /// Steam (profile text).
+    Steam,
+}
+
+/// A (simulated) social-media profile.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SocialProfile {
+    /// Platform the profile lives on.
+    pub platform: SocialPlatform,
+    /// The profile's username.
+    pub username: String,
+    /// Twitter's location field (or Steam's location text), if set.
+    pub location_field: Option<String>,
+    /// Unstructured profile/bio text.
+    pub bio: String,
+    /// The Twitch username this profile explicitly links to, if any.
+    pub links_to_twitch: Option<String>,
+}
+
+/// Find the social profile associated with a Twitch username: same
+/// username (case-insensitive) *and* an explicit backlink to that Twitch
+/// account. Twitter profiles take precedence over Steam when both match.
+pub fn match_profile<'a>(
+    twitch_username: &str,
+    profiles: &'a [SocialProfile],
+) -> Option<&'a SocialProfile> {
+    let mut candidates: Vec<&SocialProfile> = profiles
+        .iter()
+        .filter(|p| p.username.eq_ignore_ascii_case(twitch_username))
+        .filter(|p| {
+            p.links_to_twitch
+                .as_deref()
+                .is_some_and(|l| l.eq_ignore_ascii_case(twitch_username))
+        })
+        .collect();
+    candidates.sort_by_key(|p| match p.platform {
+        SocialPlatform::Twitter => 0,
+        SocialPlatform::Steam => 1,
+    });
+    candidates.into_iter().next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(
+        platform: SocialPlatform,
+        username: &str,
+        links_to: Option<&str>,
+    ) -> SocialProfile {
+        SocialProfile {
+            platform,
+            username: username.to_string(),
+            location_field: None,
+            bio: String::new(),
+            links_to_twitch: links_to.map(str::to_string),
+        }
+    }
+
+    #[test]
+    fn requires_username_and_backlink() {
+        let profiles = vec![
+            profile(SocialPlatform::Twitter, "gamer42", Some("gamer42")),
+            profile(SocialPlatform::Twitter, "other", Some("gamer42")),
+            profile(SocialPlatform::Twitter, "gamer99", None),
+        ];
+        let m = match_profile("gamer42", &profiles).unwrap();
+        assert_eq!(m.username, "gamer42");
+        // Same backlink but different username: not matched (rule 1 fails).
+        assert!(match_profile("other", &profiles).is_none());
+        // Same username but no backlink: not matched (rule 2 fails).
+        assert!(match_profile("gamer99", &profiles).is_none());
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let profiles = vec![profile(SocialPlatform::Steam, "GaMeR42", Some("gamer42"))];
+        assert!(match_profile("Gamer42", &profiles).is_some());
+    }
+
+    #[test]
+    fn twitter_preferred_over_steam() {
+        let profiles = vec![
+            profile(SocialPlatform::Steam, "dual", Some("dual")),
+            profile(SocialPlatform::Twitter, "dual", Some("dual")),
+        ];
+        assert_eq!(
+            match_profile("dual", &profiles).unwrap().platform,
+            SocialPlatform::Twitter
+        );
+    }
+
+    #[test]
+    fn impersonator_with_wrong_backlink_rejected() {
+        // An account squatting the streamer's name but linking elsewhere.
+        let profiles = vec![profile(
+            SocialPlatform::Twitter,
+            "famous",
+            Some("famous_fake"),
+        )];
+        assert!(match_profile("famous", &profiles).is_none());
+    }
+}

@@ -1,0 +1,176 @@
+//! PELT changepoint detection (Killick, Fearnhead & Eckley \[26\]).
+//!
+//! The paper tried PELT on its latency series before designing the QoE-based
+//! detector, and found it impractical on OCR-noisy data (§3.3.2). We
+//! implement it both as a baseline for comparison and because Tero's own
+//! detector "is a simple form of changepoint detection with extra steps".
+//!
+//! The cost function is the within-segment sum of squared deviations from
+//! the segment mean (the classical mean-shift cost); the default penalty is
+//! the BIC-style `β = 2 σ̂² ln n`.
+
+/// Detect changepoints in `xs` with the PELT algorithm under the mean-shift
+/// cost. Returns the *segment end indices* (exclusive), always ending with
+/// `xs.len()` — e.g. `[5, 12]` means segments `0..5` and `5..12`.
+///
+/// `penalty` trades off fit against the number of changepoints; use
+/// [`bic_penalty`] for a standard default. `min_seg_len` is the minimum
+/// number of points per segment (≥ 1).
+pub fn pelt_mean_shift(xs: &[f64], penalty: f64, min_seg_len: usize) -> Vec<usize> {
+    let n = xs.len();
+    if n == 0 {
+        return vec![];
+    }
+    let min_seg = min_seg_len.max(1);
+    if n < 2 * min_seg {
+        return vec![n];
+    }
+
+    // Prefix sums for O(1) segment cost.
+    let mut s1 = vec![0.0; n + 1];
+    let mut s2 = vec![0.0; n + 1];
+    for (i, &x) in xs.iter().enumerate() {
+        s1[i + 1] = s1[i] + x;
+        s2[i + 1] = s2[i] + x * x;
+    }
+    // Cost of segment [a, b) = Σx² − (Σx)²/len.
+    let cost = |a: usize, b: usize| -> f64 {
+        let len = (b - a) as f64;
+        let sum = s1[b] - s1[a];
+        (s2[b] - s2[a]) - sum * sum / len
+    };
+
+    // f[t] = optimal cost of xs[0..t]; cp[t] = last changepoint before t.
+    let mut f = vec![f64::INFINITY; n + 1];
+    f[0] = -penalty;
+    let mut cp = vec![0usize; n + 1];
+    let mut candidates: Vec<usize> = vec![0];
+
+    for t in min_seg..=n {
+        let mut best = f64::INFINITY;
+        let mut best_tau = 0;
+        for &tau in &candidates {
+            if t - tau < min_seg {
+                continue;
+            }
+            let c = f[tau] + cost(tau, t) + penalty;
+            if c < best {
+                best = c;
+                best_tau = tau;
+            }
+        }
+        f[t] = best;
+        cp[t] = best_tau;
+
+        // PELT pruning: drop candidates that can never be optimal again.
+        candidates.retain(|&tau| t - tau < min_seg || f[tau] + cost(tau, t) <= f[t]);
+        candidates.push(t.saturating_sub(min_seg - 1).max(1).min(t));
+        // Keep candidate list sorted-unique (push may duplicate).
+        candidates.sort_unstable();
+        candidates.dedup();
+    }
+
+    // Backtrack.
+    let mut ends = vec![n];
+    let mut t = n;
+    while cp[t] > 0 {
+        t = cp[t];
+        ends.push(t);
+    }
+    ends.reverse();
+    ends
+}
+
+/// BIC-style penalty for the mean-shift cost: `2 σ̂² ln n`, with σ̂ estimated
+/// robustly from first differences (MAD), so that level shifts do not
+/// inflate it.
+pub fn bic_penalty(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 3 {
+        return 1.0;
+    }
+    let mut diffs: Vec<f64> = xs.windows(2).map(|w| (w[1] - w[0]).abs()).collect();
+    diffs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mad = diffs[diffs.len() / 2];
+    // σ ≈ MAD/ (0.6745 · sqrt(2)) for Gaussian first differences.
+    let sigma = (mad / (0.6745 * std::f64::consts::SQRT_2)).max(1e-6);
+    2.0 * sigma * sigma * (n as f64).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tero_types::SimRng;
+
+    fn noisy_levels(levels: &[(f64, usize)], sd: f64, seed: u64) -> Vec<f64> {
+        let mut rng = SimRng::new(seed);
+        let mut xs = Vec::new();
+        for &(mu, len) in levels {
+            for _ in 0..len {
+                xs.push(rng.normal_with(mu, sd));
+            }
+        }
+        xs
+    }
+
+    #[test]
+    fn no_change_yields_single_segment() {
+        let xs = noisy_levels(&[(50.0, 200)], 1.0, 1);
+        let ends = pelt_mean_shift(&xs, bic_penalty(&xs), 3);
+        assert_eq!(ends, vec![200]);
+    }
+
+    #[test]
+    fn detects_single_shift() {
+        let xs = noisy_levels(&[(30.0, 100), (80.0, 100)], 1.5, 2);
+        let ends = pelt_mean_shift(&xs, bic_penalty(&xs), 3);
+        assert_eq!(ends.len(), 2, "ends {ends:?}");
+        assert!((ends[0] as i64 - 100).unsigned_abs() <= 2, "ends {ends:?}");
+        assert_eq!(*ends.last().unwrap(), 200);
+    }
+
+    #[test]
+    fn detects_multiple_shifts() {
+        let xs = noisy_levels(&[(20.0, 80), (60.0, 60), (35.0, 80)], 2.0, 3);
+        let ends = pelt_mean_shift(&xs, bic_penalty(&xs), 3);
+        assert_eq!(ends.len(), 3, "ends {ends:?}");
+        assert!((ends[0] as i64 - 80).unsigned_abs() <= 3);
+        assert!((ends[1] as i64 - 140).unsigned_abs() <= 3);
+    }
+
+    #[test]
+    fn penalty_controls_sensitivity() {
+        let xs = noisy_levels(&[(30.0, 50), (45.0, 50)], 2.0, 4);
+        // Huge penalty: no changepoints.
+        let ends = pelt_mean_shift(&xs, 1e9, 3);
+        assert_eq!(ends, vec![100]);
+        // Tiny penalty: many changepoints.
+        let ends = pelt_mean_shift(&xs, 1e-6, 3);
+        assert!(ends.len() > 2);
+    }
+
+    #[test]
+    fn respects_min_segment_length() {
+        let xs = noisy_levels(&[(10.0, 30), (90.0, 30)], 1.0, 5);
+        let ends = pelt_mean_shift(&xs, 1e-6, 10);
+        for w in ends.windows(2) {
+            assert!(w[1] - w[0] >= 10, "segment too short: {ends:?}");
+        }
+        assert!(ends[0] >= 10);
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert!(pelt_mean_shift(&[], 1.0, 3).is_empty());
+        assert_eq!(pelt_mean_shift(&[1.0], 1.0, 3), vec![1]);
+        assert_eq!(pelt_mean_shift(&[1.0, 2.0, 3.0], 1.0, 3), vec![3]);
+    }
+
+    #[test]
+    fn segments_partition_input() {
+        let xs = noisy_levels(&[(5.0, 40), (25.0, 40), (5.0, 40)], 1.0, 6);
+        let ends = pelt_mean_shift(&xs, bic_penalty(&xs), 3);
+        assert_eq!(*ends.last().unwrap(), xs.len());
+        assert!(ends.windows(2).all(|w| w[0] < w[1]));
+    }
+}

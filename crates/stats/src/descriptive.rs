@@ -1,0 +1,209 @@
+//! Descriptive statistics and the paper's boxplot representation.
+//!
+//! Every latency distribution in the paper is reported as the 5th, 25th,
+//! 50th, 75th and 95th percentiles — deliberately *not* min/max, because up
+//! to ~3.7 % of the points may be image-processing errors (§5.2), so the
+//! tails are untrustworthy. [`BoxplotStats`] captures exactly that.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean. Returns `NaN` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance. Returns `NaN` for an empty slice.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Sample variance (n − 1 denominator). `NaN` when fewer than 2 points.
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Percentile `p ∈ [0, 100]` by linear interpolation between closest ranks
+/// (the "linear" method of NumPy). The input need not be sorted. Returns
+/// `NaN` for an empty slice.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    percentile_sorted(&sorted, p)
+}
+
+/// Percentile of an already-sorted slice (ascending). See [`percentile`].
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = rank - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// The five-number summary the paper uses for every latency distribution:
+/// 5th, 25th, 50th, 75th and 95th percentiles, plus count and mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoxplotStats {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// 5th percentile.
+    pub p5: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+}
+
+impl BoxplotStats {
+    /// Compute the summary. Returns `None` for an empty input.
+    pub fn from_samples(xs: &[f64]) -> Option<BoxplotStats> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in boxplot input"));
+        Some(BoxplotStats {
+            n: sorted.len(),
+            mean: mean(&sorted),
+            p5: percentile_sorted(&sorted, 5.0),
+            p25: percentile_sorted(&sorted, 25.0),
+            p50: percentile_sorted(&sorted, 50.0),
+            p75: percentile_sorted(&sorted, 75.0),
+            p95: percentile_sorted(&sorted, 95.0),
+        })
+    }
+
+    /// The inter-quartile range.
+    pub fn iqr(&self) -> f64 {
+        self.p75 - self.p25
+    }
+
+    /// Scale every summary statistic by `k` (used for distance normalisation).
+    pub fn scaled(&self, k: f64) -> BoxplotStats {
+        BoxplotStats {
+            n: self.n,
+            mean: self.mean * k,
+            p5: self.p5 * k,
+            p25: self.p25 * k,
+            p50: self.p50 * k,
+            p75: self.p75 * k,
+            p95: self.p95 * k,
+        }
+    }
+}
+
+impl std::fmt::Display for BoxplotStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} p5={:.1} p25={:.1} p50={:.1} p75={:.1} p95={:.1}",
+            self.n, self.p5, self.p25, self.p50, self.p75, self.p95
+        )
+    }
+}
+
+/// Empirical CDF evaluation points for plotting: returns `(sorted values,
+/// cumulative probabilities)`.
+pub fn ecdf(xs: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in ecdf input"));
+    let n = sorted.len();
+    let probs = (1..=n).map(|i| i as f64 / n as f64).collect();
+    (sorted, probs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+        assert!(mean(&[]).is_nan());
+        assert!(variance(&[]).is_nan());
+        assert!(sample_variance(&[1.0]).is_nan());
+        assert!((sample_variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+        assert!((percentile(&xs, 25.0) - 1.75).abs() < 1e-12);
+        assert!(percentile(&[], 50.0).is_nan());
+        // Out-of-range p clamps.
+        assert_eq!(percentile(&xs, 150.0), 4.0);
+    }
+
+    #[test]
+    fn percentile_handles_unsorted_input() {
+        let xs = [9.0, 1.0, 5.0, 3.0, 7.0];
+        assert_eq!(percentile(&xs, 50.0), 5.0);
+    }
+
+    #[test]
+    fn boxplot_from_uniform_grid() {
+        let xs: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        let b = BoxplotStats::from_samples(&xs).unwrap();
+        assert_eq!(b.n, 101);
+        assert!((b.p5 - 5.0).abs() < 1e-12);
+        assert!((b.p50 - 50.0).abs() < 1e-12);
+        assert!((b.p95 - 95.0).abs() < 1e-12);
+        assert!((b.iqr() - 50.0).abs() < 1e-12);
+        assert!(BoxplotStats::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn boxplot_scaling() {
+        let b = BoxplotStats::from_samples(&[10.0, 20.0, 30.0]).unwrap();
+        let s = b.scaled(0.1);
+        assert!((s.p50 - 2.0).abs() < 1e-12);
+        assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    fn ecdf_monotone() {
+        let (vals, probs) = ecdf(&[3.0, 1.0, 2.0]);
+        assert_eq!(vals, vec![1.0, 2.0, 3.0]);
+        assert!((probs[2] - 1.0).abs() < 1e-12);
+        assert!(probs.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

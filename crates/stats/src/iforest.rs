@@ -1,0 +1,211 @@
+//! Isolation Forest (Liu, Ting & Zhou \[29\]) — the isolation-based baseline
+//! of App. J.
+//!
+//! Points that are easy to isolate by random axis-aligned splits get short
+//! average path lengths and hence anomaly scores near 1; dense inliers get
+//! scores near 0.5 or below. Following App. J, the scores are thresholded
+//! with the inter-quartile-range outlier rule rather than a fixed
+//! contamination factor.
+
+use tero_types::SimRng;
+
+/// An ensemble of isolation trees over 1-D data.
+#[derive(Debug, Clone)]
+pub struct IsolationForest {
+    trees: Vec<Tree>,
+    sample_size: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Tree {
+    Leaf {
+        size: usize,
+    },
+    Split {
+        value: f64,
+        below: Box<Tree>,
+        above: Box<Tree>,
+    },
+}
+
+/// Average unsuccessful-search path length in a BST of `n` nodes — the
+/// normalising constant `c(n)` from the paper.
+fn c_factor(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let n = n as f64;
+    // Harmonic number approximation H(n-1) ≈ ln(n-1) + γ.
+    2.0 * ((n - 1.0).ln() + 0.577_215_664_9) - 2.0 * (n - 1.0) / n
+}
+
+fn build(values: &mut [f64], depth: usize, max_depth: usize, rng: &mut SimRng) -> Tree {
+    let n = values.len();
+    if n <= 1 || depth >= max_depth {
+        return Tree::Leaf { size: n };
+    }
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if hi - lo < 1e-12 {
+        return Tree::Leaf { size: n };
+    }
+    let split = rng.range_f64(lo, hi);
+    let mid = itertools_partition(values, split);
+    let (left, right) = values.split_at_mut(mid);
+    Tree::Split {
+        value: split,
+        below: Box::new(build(left, depth + 1, max_depth, rng)),
+        above: Box::new(build(right, depth + 1, max_depth, rng)),
+    }
+}
+
+/// Partition `values` so that elements `< split` come first; returns the
+/// boundary index.
+fn itertools_partition(values: &mut [f64], split: f64) -> usize {
+    let mut i = 0;
+    for j in 0..values.len() {
+        if values[j] < split {
+            values.swap(i, j);
+            i += 1;
+        }
+    }
+    i
+}
+
+fn path_length(tree: &Tree, x: f64, depth: usize) -> f64 {
+    match tree {
+        Tree::Leaf { size } => depth as f64 + c_factor(*size),
+        Tree::Split { value, below, above } => {
+            if x < *value {
+                path_length(below, x, depth + 1)
+            } else {
+                path_length(above, x, depth + 1)
+            }
+        }
+    }
+}
+
+impl IsolationForest {
+    /// Fit a forest of `n_trees` trees, each on a subsample of
+    /// `sample_size` points (256 in the original paper, clamped to the data
+    /// size). Deterministic given the RNG.
+    pub fn fit(xs: &[f64], n_trees: usize, sample_size: usize, rng: &mut SimRng) -> Self {
+        let sample_size = sample_size.clamp(2, xs.len().max(2));
+        let max_depth = (sample_size as f64).log2().ceil() as usize + 1;
+        let mut trees = Vec::with_capacity(n_trees);
+        for _ in 0..n_trees {
+            let mut sample: Vec<f64> = if xs.len() <= sample_size {
+                xs.to_vec()
+            } else {
+                rng.sample_indices(xs.len(), sample_size)
+                    .into_iter()
+                    .map(|i| xs[i])
+                    .collect()
+            };
+            trees.push(build(&mut sample, 0, max_depth, rng));
+        }
+        IsolationForest { trees, sample_size }
+    }
+
+    /// Anomaly score in `(0, 1)` for one point: `2^(−E[h(x)] / c(ψ))`.
+    /// Scores close to 1 indicate anomalies; ≤ 0.5, inliers.
+    pub fn score(&self, x: f64) -> f64 {
+        if self.trees.is_empty() {
+            return 0.5;
+        }
+        let mean_path: f64 = self
+            .trees
+            .iter()
+            .map(|t| path_length(t, x, 0))
+            .sum::<f64>()
+            / self.trees.len() as f64;
+        let c = c_factor(self.sample_size).max(1e-12);
+        2f64.powf(-mean_path / c)
+    }
+
+    /// Score every input point.
+    pub fn scores(&self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.score(x)).collect()
+    }
+
+    /// App. J's thresholding: rather than a fixed contamination factor,
+    /// flag points whose *scores* are IQR outliers on the high side, with
+    /// whisker factor `k_iqr` (the paper sweeps 0.5–2.0).
+    pub fn outliers_by_iqr(&self, xs: &[f64], k_iqr: f64) -> Vec<usize> {
+        let scores = self.scores(xs);
+        crate::outliers::iqr_high_outliers(&scores, k_iqr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outlier_scores_higher_than_inliers() {
+        let mut rng = SimRng::new(42);
+        let mut xs: Vec<f64> = (0..200).map(|_| rng.normal_with(50.0, 2.0)).collect();
+        xs.push(200.0);
+        let mut frng = SimRng::new(7);
+        let forest = IsolationForest::fit(&xs, 100, 128, &mut frng);
+        let scores = forest.scores(&xs);
+        let outlier = scores[200];
+        let inlier_max = scores[..200].iter().cloned().fold(0.0, f64::max);
+        assert!(outlier > inlier_max, "outlier {outlier} vs inlier max {inlier_max}");
+        assert!(outlier > 0.6, "outlier score {outlier}");
+    }
+
+    #[test]
+    fn iqr_thresholding_flags_extreme_point() {
+        let mut rng = SimRng::new(1);
+        let mut xs: Vec<f64> = (0..300).map(|_| rng.normal_with(30.0, 1.0)).collect();
+        xs.push(90.0);
+        let mut frng = SimRng::new(2);
+        let forest = IsolationForest::fit(&xs, 100, 256, &mut frng);
+        let flagged = forest.outliers_by_iqr(&xs, 1.5);
+        assert!(flagged.contains(&300), "flagged {flagged:?}");
+        // The injected point must carry the highest score of all.
+        let scores = forest.scores(&xs);
+        let max_i = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(max_i, 300);
+        // IQR whiskers on tight score distributions also pick up some noise
+        // points (this is exactly why App. J sweeps the whisker factor);
+        // just bound the false-positive fraction.
+        assert!(
+            flagged.len() < 60,
+            "too many false positives: {}",
+            flagged.len()
+        );
+    }
+
+    #[test]
+    fn constant_data_scores_uniformly() {
+        let xs = vec![25.0; 100];
+        let mut rng = SimRng::new(3);
+        let forest = IsolationForest::fit(&xs, 50, 64, &mut rng);
+        let scores = forest.scores(&xs);
+        let first = scores[0];
+        assert!(scores.iter().all(|s| (s - first).abs() < 1e-9));
+        assert!(forest.outliers_by_iqr(&xs, 1.5).is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 10.0).collect();
+        let f1 = IsolationForest::fit(&xs, 20, 64, &mut SimRng::new(9));
+        let f2 = IsolationForest::fit(&xs, 20, 64, &mut SimRng::new(9));
+        assert_eq!(f1.scores(&xs), f2.scores(&xs));
+    }
+
+    #[test]
+    fn c_factor_monotone() {
+        assert_eq!(c_factor(1), 0.0);
+        assert!(c_factor(10) < c_factor(100));
+        assert!(c_factor(256) > 0.0);
+    }
+}

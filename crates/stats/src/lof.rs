@@ -1,0 +1,154 @@
+//! Local Outlier Factor (Breunig et al. \[4\]) — the distance-based baseline
+//! of App. J.
+//!
+//! LOF compares the local density of each point (one over the average
+//! reachability distance to its `k` nearest neighbours) with the densities
+//! of those neighbours; scores substantially above 1 indicate outliers. The
+//! paper applies it to univariate latency series, which is what this
+//! implementation targets (brute-force neighbour search; series are a few
+//! hundred points).
+
+/// Compute LOF scores for each point of a 1-D data set with neighbourhood
+/// size `k`. Returns one score per input point; a score of ~1 means "as
+/// dense as its neighbours", larger means more outlying. `k` is clamped to
+/// `[1, n−1]`; inputs with fewer than 2 points get a score of 1.
+pub fn local_outlier_factor(xs: &[f64], k: usize) -> Vec<f64> {
+    let n = xs.len();
+    if n < 2 {
+        return vec![1.0; n];
+    }
+    let k = k.clamp(1, n - 1);
+
+    // k nearest neighbours per point (indices), by absolute distance.
+    // kth_dist[i] = distance to the kth neighbour.
+    let mut neighbours: Vec<Vec<usize>> = Vec::with_capacity(n);
+    let mut kth_dist: Vec<f64> = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut order: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+        order.sort_by(|&a, &b| {
+            let da = (xs[a] - xs[i]).abs();
+            let db = (xs[b] - xs[i]).abs();
+            da.partial_cmp(&db).unwrap()
+        });
+        let kd = (xs[order[k - 1]] - xs[i]).abs();
+        // Include ties at the kth distance (the definition's k-neighbourhood).
+        let nbrs: Vec<usize> = order
+            .iter()
+            .copied()
+            .take_while(|&j| (xs[j] - xs[i]).abs() <= kd + 1e-12)
+            .collect();
+        neighbours.push(nbrs);
+        kth_dist.push(kd);
+    }
+
+    // Local reachability density.
+    let mut lrd = vec![0.0; n];
+    for i in 0..n {
+        let mut sum_reach = 0.0;
+        for &j in &neighbours[i] {
+            let reach = (xs[i] - xs[j]).abs().max(kth_dist[j]);
+            sum_reach += reach;
+        }
+        let avg = sum_reach / neighbours[i].len() as f64;
+        lrd[i] = if avg <= 1e-12 { f64::INFINITY } else { 1.0 / avg };
+    }
+
+    // LOF = mean(lrd of neighbours) / lrd of the point.
+    (0..n)
+        .map(|i| {
+            let mean_nbr: f64 =
+                neighbours[i].iter().map(|&j| lrd[j]).sum::<f64>() / neighbours[i].len() as f64;
+            if lrd[i].is_infinite() {
+                // Point sits inside a zero-spread cluster.
+                if mean_nbr.is_infinite() {
+                    1.0
+                } else {
+                    // Denser than its neighbourhood average: inlier.
+                    mean_nbr / 1e12
+                }
+            } else if mean_nbr.is_infinite() {
+                f64::INFINITY
+            } else {
+                mean_nbr / lrd[i]
+            }
+        })
+        .collect()
+}
+
+/// Flag the indices whose LOF score exceeds `threshold` (1.5 is a common
+/// choice; App. J tunes `k` instead of the threshold).
+pub fn lof_outliers(xs: &[f64], k: usize, threshold: f64) -> Vec<usize> {
+    local_outlier_factor(xs, k)
+        .into_iter()
+        .enumerate()
+        .filter(|(_, s)| *s > threshold)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolated_point_scores_high() {
+        // Tight cluster at ~50 plus one point far away.
+        let mut xs: Vec<f64> = (0..20).map(|i| 50.0 + (i % 5) as f64 * 0.2).collect();
+        xs.push(120.0);
+        let scores = local_outlier_factor(&xs, 3);
+        let (max_i, max_s) = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert_eq!(max_i, 20, "outlier index");
+        assert!(*max_s > 2.0, "outlier score {max_s}");
+    }
+
+    #[test]
+    fn uniform_cluster_scores_near_one() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let scores = local_outlier_factor(&xs, 5);
+        // Interior points of an evenly spaced line have LOF ≈ 1.
+        for &s in &scores[10..40] {
+            assert!((s - 1.0).abs() < 0.3, "score {s}");
+        }
+    }
+
+    #[test]
+    fn duplicate_points_do_not_blow_up() {
+        let xs = vec![10.0; 30];
+        let scores = local_outlier_factor(&xs, 4);
+        assert!(scores.iter().all(|s| (s - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn duplicates_plus_outlier() {
+        let mut xs = vec![10.0; 30];
+        xs.push(99.0);
+        let flagged = lof_outliers(&xs, 4, 1.5);
+        assert_eq!(flagged, vec![30]);
+    }
+
+    #[test]
+    fn small_inputs() {
+        assert_eq!(local_outlier_factor(&[], 3), Vec::<f64>::new());
+        assert_eq!(local_outlier_factor(&[5.0], 3), vec![1.0]);
+        let two = local_outlier_factor(&[1.0, 2.0], 5);
+        assert_eq!(two.len(), 2);
+        assert!(two.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn k_sensitivity() {
+        // A pair of points away from the main cluster: with k=1 they shield
+        // each other (low LOF); with larger k they are exposed.
+        let mut xs: Vec<f64> = (0..30).map(|i| i as f64 * 0.1).collect();
+        xs.push(50.0);
+        xs.push(50.05);
+        let s1 = local_outlier_factor(&xs, 1);
+        let s5 = local_outlier_factor(&xs, 5);
+        assert!(s1[30] < s5[30], "k=1 {} vs k=5 {}", s1[30], s5[30]);
+        assert!(s5[30] > 2.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! A MongoDB-like document store: collections of JSON documents.
+//!
+//! Tero keeps latency measurements and analysis products in a document
+//! store (App. B). This in-process equivalent supports typed inserts via
+//! serde, predicate queries, updates and deletes, and assigns each document
+//! a monotonically increasing id within its collection.
+
+use parking_lot::RwLock;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+#[derive(Default)]
+struct Collection {
+    next_id: u64,
+    docs: BTreeMap<u64, Value>,
+}
+
+#[derive(Default)]
+struct Inner {
+    collections: BTreeMap<String, Collection>,
+}
+
+/// A thread-safe in-memory document store. Cloning is cheap (shared handle).
+#[derive(Clone, Default)]
+pub struct DocumentStore {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl DocumentStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        DocumentStore::default()
+    }
+
+    /// Insert a serialisable document; returns its id.
+    ///
+    /// # Panics
+    /// Panics if the value fails to serialise (programmer error).
+    pub fn insert<T: Serialize>(&self, collection: &str, doc: &T) -> u64 {
+        let value = serde_json::to_value(doc).expect("document serialisation failed");
+        let mut inner = self.inner.write();
+        let col = inner.collections.entry(collection.to_string()).or_default();
+        let id = col.next_id;
+        col.next_id += 1;
+        col.docs.insert(id, value);
+        id
+    }
+
+    /// Fetch one document by id, deserialised to `T`.
+    pub fn get<T: DeserializeOwned>(&self, collection: &str, id: u64) -> Option<T> {
+        let inner = self.inner.read();
+        let value = inner.collections.get(collection)?.docs.get(&id)?;
+        serde_json::from_value(value.clone()).ok()
+    }
+
+    /// All documents matching `pred` (applied to the raw JSON), in id order,
+    /// deserialised to `T`. Documents that fail to deserialise are skipped.
+    pub fn find<T, F>(&self, collection: &str, pred: F) -> Vec<T>
+    where
+        T: DeserializeOwned,
+        F: Fn(&Value) -> bool,
+    {
+        let inner = self.inner.read();
+        match inner.collections.get(collection) {
+            Some(col) => col
+                .docs
+                .values()
+                .filter(|v| pred(v))
+                .filter_map(|v| serde_json::from_value(v.clone()).ok())
+                .collect(),
+            None => vec![],
+        }
+    }
+
+    /// All documents in a collection, in id order.
+    pub fn all<T: DeserializeOwned>(&self, collection: &str) -> Vec<T> {
+        self.find(collection, |_| true)
+    }
+
+    /// Replace the document with the given id. Returns whether it existed.
+    pub fn update<T: Serialize>(&self, collection: &str, id: u64, doc: &T) -> bool {
+        let value = serde_json::to_value(doc).expect("document serialisation failed");
+        let mut inner = self.inner.write();
+        match inner.collections.get_mut(collection) {
+            Some(col) if col.docs.contains_key(&id) => {
+                col.docs.insert(id, value);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Delete documents matching `pred`; returns how many were removed.
+    pub fn delete_where<F>(&self, collection: &str, pred: F) -> usize
+    where
+        F: Fn(&Value) -> bool,
+    {
+        let mut inner = self.inner.write();
+        match inner.collections.get_mut(collection) {
+            Some(col) => {
+                let before = col.docs.len();
+                col.docs.retain(|_, v| !pred(v));
+                before - col.docs.len()
+            }
+            None => 0,
+        }
+    }
+
+    /// Number of documents in a collection.
+    pub fn count(&self, collection: &str) -> usize {
+        self.inner
+            .read()
+            .collections
+            .get(collection)
+            .map_or(0, |c| c.docs.len())
+    }
+
+    /// Names of all collections, sorted.
+    pub fn collections(&self) -> Vec<String> {
+        self.inner.read().collections.keys().cloned().collect()
+    }
+}
+
+impl std::fmt::Debug for DocumentStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.read();
+        f.debug_struct("DocumentStore")
+            .field("collections", &inner.collections.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Measurement {
+        streamer: String,
+        latency_ms: u32,
+    }
+
+    fn m(s: &str, l: u32) -> Measurement {
+        Measurement {
+            streamer: s.to_string(),
+            latency_ms: l,
+        }
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let db = DocumentStore::new();
+        let id = db.insert("meas", &m("alice", 42));
+        let got: Measurement = db.get("meas", id).unwrap();
+        assert_eq!(got, m("alice", 42));
+        assert!(db.get::<Measurement>("meas", 999).is_none());
+        assert!(db.get::<Measurement>("nope", 0).is_none());
+    }
+
+    #[test]
+    fn ids_are_monotonic() {
+        let db = DocumentStore::new();
+        let a = db.insert("c", &m("a", 1));
+        let b = db.insert("c", &m("b", 2));
+        assert!(b > a);
+        // Ids are per-collection.
+        let other = db.insert("d", &m("x", 3));
+        assert_eq!(other, 0);
+    }
+
+    #[test]
+    fn find_with_predicate() {
+        let db = DocumentStore::new();
+        for i in 0..10 {
+            db.insert("meas", &m("s", i * 10));
+        }
+        let high: Vec<Measurement> =
+            db.find("meas", |v| v["latency_ms"].as_u64().unwrap_or(0) >= 50);
+        assert_eq!(high.len(), 5);
+        assert!(high.iter().all(|d| d.latency_ms >= 50));
+        let none: Vec<Measurement> = db.find("empty", |_| true);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let db = DocumentStore::new();
+        let id = db.insert("meas", &m("a", 1));
+        assert!(db.update("meas", id, &m("a", 99)));
+        let got: Measurement = db.get("meas", id).unwrap();
+        assert_eq!(got.latency_ms, 99);
+        assert!(!db.update("meas", 12345, &m("b", 2)));
+
+        db.insert("meas", &m("b", 2));
+        let removed = db.delete_where("meas", |v| v["streamer"] == "a");
+        assert_eq!(removed, 1);
+        assert_eq!(db.count("meas"), 1);
+    }
+
+    #[test]
+    fn collection_listing() {
+        let db = DocumentStore::new();
+        db.insert("b", &m("x", 1));
+        db.insert("a", &m("y", 2));
+        assert_eq!(db.collections(), vec!["a", "b"]);
+        assert_eq!(db.count("a"), 1);
+        assert_eq!(db.count("missing"), 0);
+    }
+
+    #[test]
+    fn concurrent_inserts_get_distinct_ids() {
+        let db = DocumentStore::new();
+        let mut handles = vec![];
+        for t in 0..8 {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..50)
+                    .map(|i| db.insert("c", &m(&format!("{t}"), i)))
+                    .collect::<Vec<u64>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 400, "no id collisions");
+        assert_eq!(db.count("c"), 400);
+    }
+}

@@ -1,0 +1,479 @@
+//! A Redis-like, sharded, thread-safe key-value store.
+//!
+//! Supports the subset of Redis that the Tero pipeline uses (App. B):
+//! strings, counters, lists with blocking pop (work queues), hashes
+//! (streamer-location state), key scans by prefix, and TTLs against the
+//! simulation's logical clock.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use tero_types::SimTime;
+
+const SHARDS: usize = 16;
+
+/// A value held in the store.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    List(VecDeque<String>),
+    Hash(HashMap<String, String>),
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: Value,
+    expires_at: Option<SimTime>,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: Mutex<HashMap<String, Entry>>,
+    /// Signalled whenever a list in this shard grows.
+    list_grew: Condvar,
+}
+
+/// A sharded key-value store. Cloning is cheap (shared handle).
+#[derive(Clone)]
+pub struct KvStore {
+    shards: Arc<[Shard; SHARDS]>,
+}
+
+impl Default for KvStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn key_hash(key: &str) -> usize {
+    // FNV-1a.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key.as_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    (h % SHARDS as u64) as usize
+}
+
+impl KvStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        KvStore {
+            shards: Arc::new(std::array::from_fn(|_| Shard::default())),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Shard {
+        &self.shards[key_hash(key)]
+    }
+
+    /// Set a string value (no TTL).
+    pub fn set(&self, key: &str, value: impl Into<String>) {
+        let mut map = self.shard(key).map.lock();
+        map.insert(
+            key.to_string(),
+            Entry {
+                value: Value::Str(value.into()),
+                expires_at: None,
+            },
+        );
+    }
+
+    /// Set a string value that expires at logical time `expires_at`.
+    pub fn set_with_ttl(&self, key: &str, value: impl Into<String>, expires_at: SimTime) {
+        let mut map = self.shard(key).map.lock();
+        map.insert(
+            key.to_string(),
+            Entry {
+                value: Value::Str(value.into()),
+                expires_at: Some(expires_at),
+            },
+        );
+    }
+
+    /// Get a string value. Returns `None` for missing keys or keys holding a
+    /// non-string value.
+    pub fn get(&self, key: &str) -> Option<String> {
+        let map = self.shard(key).map.lock();
+        match map.get(key)?.value {
+            Value::Str(ref s) => Some(s.clone()),
+            _ => None,
+        }
+    }
+
+    /// Delete a key of any type. Returns whether it existed.
+    pub fn del(&self, key: &str) -> bool {
+        self.shard(key).map.lock().remove(key).is_some()
+    }
+
+    /// Whether a key exists (of any type).
+    pub fn exists(&self, key: &str) -> bool {
+        self.shard(key).map.lock().contains_key(key)
+    }
+
+    /// Atomically increment a counter key by `delta`, creating it at 0
+    /// first if missing. Returns the new value. Panics if the key holds a
+    /// non-numeric string or non-string value.
+    pub fn incr_by(&self, key: &str, delta: i64) -> i64 {
+        let mut map = self.shard(key).map.lock();
+        let entry = map.entry(key.to_string()).or_insert(Entry {
+            value: Value::Str("0".to_string()),
+            expires_at: None,
+        });
+        match entry.value {
+            Value::Str(ref mut s) => {
+                let cur: i64 = s.parse().expect("incr_by on non-numeric value");
+                let next = cur + delta;
+                *s = next.to_string();
+                next
+            }
+            _ => panic!("incr_by on non-string key {key}"),
+        }
+    }
+
+    /// Push a value to the tail of the list at `key`, creating the list if
+    /// needed, and wake any blocked poppers. Returns the new length.
+    pub fn rpush(&self, key: &str, value: impl Into<String>) -> usize {
+        let shard = self.shard(key);
+        let mut map = shard.map.lock();
+        let entry = map.entry(key.to_string()).or_insert(Entry {
+            value: Value::List(VecDeque::new()),
+            expires_at: None,
+        });
+        let len = match entry.value {
+            Value::List(ref mut l) => {
+                l.push_back(value.into());
+                l.len()
+            }
+            _ => panic!("rpush on non-list key {key}"),
+        };
+        shard.list_grew.notify_all();
+        len
+    }
+
+    /// Pop from the head of the list at `key`. Non-blocking.
+    pub fn lpop(&self, key: &str) -> Option<String> {
+        let mut map = self.shard(key).map.lock();
+        match map.get_mut(key)?.value {
+            Value::List(ref mut l) => l.pop_front(),
+            _ => None,
+        }
+    }
+
+    /// Pop up to `n` values from the head of the list at `key`. Returns an
+    /// empty vector when the list is missing or empty. Tero's batch-pulling
+    /// workers use this: "each image-processing process pulls a fixed-size
+    /// batch when ready" (App. B).
+    pub fn lpop_batch(&self, key: &str, n: usize) -> Vec<String> {
+        let mut map = self.shard(key).map.lock();
+        match map.get_mut(key) {
+            Some(Entry {
+                value: Value::List(l),
+                ..
+            }) => {
+                let take = n.min(l.len());
+                l.drain(..take).collect()
+            }
+            _ => vec![],
+        }
+    }
+
+    /// Pop exactly `n` values *only if* at least `n` are available —
+    /// otherwise pop nothing. This is the paper's fixed-batch discipline:
+    /// "if the available thumbnails are fewer than the batch size, no
+    /// process pulls them, and this allows the slower processes to … catch
+    /// up" (App. B).
+    pub fn lpop_exact_batch(&self, key: &str, n: usize) -> Vec<String> {
+        let mut map = self.shard(key).map.lock();
+        match map.get_mut(key) {
+            Some(Entry {
+                value: Value::List(l),
+                ..
+            }) if l.len() >= n => l.drain(..n).collect(),
+            _ => vec![],
+        }
+    }
+
+    /// Blocking pop with a wall-clock timeout (used by worker threads).
+    /// Returns `None` on timeout.
+    pub fn blpop(&self, key: &str, timeout: std::time::Duration) -> Option<String> {
+        let shard = self.shard(key);
+        let deadline = std::time::Instant::now() + timeout;
+        let mut map = shard.map.lock();
+        loop {
+            if let Some(Entry {
+                value: Value::List(l),
+                ..
+            }) = map.get_mut(key)
+            {
+                if let Some(v) = l.pop_front() {
+                    return Some(v);
+                }
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            if shard
+                .list_grew
+                .wait_until(&mut map, deadline)
+                .timed_out()
+            {
+                // Check one last time after the timeout.
+                if let Some(Entry {
+                    value: Value::List(l),
+                    ..
+                }) = map.get_mut(key)
+                {
+                    return l.pop_front();
+                }
+                return None;
+            }
+        }
+    }
+
+    /// Length of the list at `key` (0 when missing).
+    pub fn llen(&self, key: &str) -> usize {
+        let map = self.shard(key).map.lock();
+        match map.get(key) {
+            Some(Entry {
+                value: Value::List(l),
+                ..
+            }) => l.len(),
+            _ => 0,
+        }
+    }
+
+    /// Set a field in the hash at `key`.
+    pub fn hset(&self, key: &str, field: &str, value: impl Into<String>) {
+        let mut map = self.shard(key).map.lock();
+        let entry = map.entry(key.to_string()).or_insert(Entry {
+            value: Value::Hash(HashMap::new()),
+            expires_at: None,
+        });
+        match entry.value {
+            Value::Hash(ref mut h) => {
+                h.insert(field.to_string(), value.into());
+            }
+            _ => panic!("hset on non-hash key {key}"),
+        }
+    }
+
+    /// Get a field from the hash at `key`.
+    pub fn hget(&self, key: &str, field: &str) -> Option<String> {
+        let map = self.shard(key).map.lock();
+        match map.get(key)?.value {
+            Value::Hash(ref h) => h.get(field).cloned(),
+            _ => None,
+        }
+    }
+
+    /// All fields of the hash at `key`.
+    pub fn hgetall(&self, key: &str) -> HashMap<String, String> {
+        let map = self.shard(key).map.lock();
+        match map.get(key) {
+            Some(Entry {
+                value: Value::Hash(h),
+                ..
+            }) => h.clone(),
+            _ => HashMap::new(),
+        }
+    }
+
+    /// All keys starting with `prefix`, across all shards. O(total keys).
+    pub fn keys_with_prefix(&self, prefix: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let map = shard.map.lock();
+            out.extend(map.keys().filter(|k| k.starts_with(prefix)).cloned());
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Drop every key whose TTL is at or before `now` (logical time).
+    /// Returns the number of keys removed. The pipeline's coordinator calls
+    /// this on its periodic tick.
+    pub fn sweep_expired(&self, now: SimTime) -> usize {
+        let mut removed = 0;
+        for shard in self.shards.iter() {
+            let mut map = shard.map.lock();
+            map.retain(|_, e| match e.expires_at {
+                Some(t) if t <= now => {
+                    removed += 1;
+                    false
+                }
+                _ => true,
+            });
+        }
+        removed
+    }
+
+    /// Total number of keys.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.map.lock().len()).sum()
+    }
+
+    /// Whether the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remove every key (test helper).
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            shard.map.lock().clear();
+        }
+    }
+}
+
+impl std::fmt::Debug for KvStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvStore").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn string_roundtrip() {
+        let kv = KvStore::new();
+        kv.set("a", "1");
+        assert_eq!(kv.get("a").as_deref(), Some("1"));
+        assert!(kv.exists("a"));
+        assert!(kv.del("a"));
+        assert!(!kv.exists("a"));
+        assert!(!kv.del("a"));
+        assert_eq!(kv.get("missing"), None);
+    }
+
+    #[test]
+    fn counters() {
+        let kv = KvStore::new();
+        assert_eq!(kv.incr_by("c", 1), 1);
+        assert_eq!(kv.incr_by("c", 5), 6);
+        assert_eq!(kv.incr_by("c", -2), 4);
+        assert_eq!(kv.get("c").as_deref(), Some("4"));
+    }
+
+    #[test]
+    fn list_fifo_order() {
+        let kv = KvStore::new();
+        kv.rpush("q", "a");
+        kv.rpush("q", "b");
+        kv.rpush("q", "c");
+        assert_eq!(kv.llen("q"), 3);
+        assert_eq!(kv.lpop("q").as_deref(), Some("a"));
+        assert_eq!(kv.lpop_batch("q", 10), vec!["b", "c"]);
+        assert_eq!(kv.lpop("q"), None);
+    }
+
+    #[test]
+    fn exact_batch_discipline() {
+        let kv = KvStore::new();
+        for i in 0..5 {
+            kv.rpush("batch", i.to_string());
+        }
+        // Not enough for a batch of 8: nothing is pulled.
+        assert!(kv.lpop_exact_batch("batch", 8).is_empty());
+        assert_eq!(kv.llen("batch"), 5);
+        // Exactly enough for a batch of 5.
+        assert_eq!(kv.lpop_exact_batch("batch", 5).len(), 5);
+        assert_eq!(kv.llen("batch"), 0);
+    }
+
+    #[test]
+    fn hashes() {
+        let kv = KvStore::new();
+        kv.hset("h", "x", "1");
+        kv.hset("h", "y", "2");
+        assert_eq!(kv.hget("h", "x").as_deref(), Some("1"));
+        assert_eq!(kv.hget("h", "z"), None);
+        assert_eq!(kv.hgetall("h").len(), 2);
+        assert!(kv.hgetall("nope").is_empty());
+    }
+
+    #[test]
+    fn prefix_scan() {
+        let kv = KvStore::new();
+        kv.set("streamer:alice", "x");
+        kv.set("streamer:bob", "y");
+        kv.set("other:carol", "z");
+        let keys = kv.keys_with_prefix("streamer:");
+        assert_eq!(keys, vec!["streamer:alice", "streamer:bob"]);
+    }
+
+    #[test]
+    fn ttl_sweep() {
+        let kv = KvStore::new();
+        kv.set_with_ttl("t1", "a", SimTime::from_secs(10));
+        kv.set_with_ttl("t2", "b", SimTime::from_secs(20));
+        kv.set("forever", "c");
+        assert_eq!(kv.sweep_expired(SimTime::from_secs(10)), 1);
+        assert!(!kv.exists("t1"));
+        assert!(kv.exists("t2"));
+        assert_eq!(kv.sweep_expired(SimTime::from_secs(100)), 1);
+        assert!(kv.exists("forever"));
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push() {
+        let kv = KvStore::new();
+        let kv2 = kv.clone();
+        let t = std::thread::spawn(move || kv2.blpop("jobs", Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(50));
+        kv.rpush("jobs", "work");
+        assert_eq!(t.join().unwrap().as_deref(), Some("work"));
+    }
+
+    #[test]
+    fn blocking_pop_times_out() {
+        let kv = KvStore::new();
+        let start = std::time::Instant::now();
+        assert_eq!(kv.blpop("empty", Duration::from_millis(50)), None);
+        assert!(start.elapsed() >= Duration::from_millis(45));
+    }
+
+    #[test]
+    fn concurrent_producers_consumers() {
+        let kv = KvStore::new();
+        let mut handles = vec![];
+        for p in 0..4 {
+            let kv = kv.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    kv.rpush("mpmc", format!("{p}:{i}"));
+                }
+            }));
+        }
+        let mut consumers = vec![];
+        for _ in 0..4 {
+            let kv = kv.clone();
+            consumers.push(std::thread::spawn(move || {
+                let mut got = 0;
+                while let Some(_v) = kv.blpop("mpmc", Duration::from_millis(200)) {
+                    got += 1;
+                }
+                got
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 400);
+    }
+
+    #[test]
+    fn type_confusion_is_contained() {
+        let kv = KvStore::new();
+        kv.rpush("list", "x");
+        assert_eq!(kv.get("list"), None, "get on a list returns None");
+        kv.set("str", "v");
+        assert_eq!(kv.lpop("str"), None, "lpop on a string returns None");
+        assert_eq!(kv.hget("str", "f"), None);
+    }
+}

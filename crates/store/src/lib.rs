@@ -1,0 +1,31 @@
+//! # tero-store
+//!
+//! Storage substrate for the Tero pipeline, mirroring the paper's deployment
+//! (App. B): the production system uses **Redis** for inter-process
+//! communication and streamer-location state, an **S3-like object store**
+//! (Ceph) for thumbnails and intermediate image-processing products, and
+//! **MongoDB** for latency measurements and analysis.
+//!
+//! This crate provides in-process, thread-safe equivalents:
+//!
+//! * [`KvStore`] — a sharded key-value store with strings, lists (including
+//!   blocking pop, the pattern Tero's workers use to pull batches), hashes,
+//!   counters and logical-time TTLs;
+//! * [`ObjectStore`] — buckets of immutable byte blobs keyed by name;
+//! * [`DocumentStore`] — JSON document collections with predicate queries.
+//!
+//! Everything here follows the paper's push/pull discipline: producers push
+//! into the relevant store and consumers pull when ready, which decouples
+//! stages whose processing time varies "significantly — and sometimes
+//! unpredictably" (App. B).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod doc;
+pub mod kv;
+pub mod object;
+
+pub use doc::DocumentStore;
+pub use kv::KvStore;
+pub use object::ObjectStore;

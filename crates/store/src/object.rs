@@ -1,0 +1,176 @@
+//! An S3/Ceph-like object store: buckets of named immutable blobs.
+//!
+//! Tero stores downloaded thumbnails and the intermediate products of
+//! image-processing here (App. B), and deletes them as soon as they are
+//! processed (§7's data-minimisation rule) — hence the emphasis on cheap
+//! deletion and occupancy accounting.
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[derive(Default)]
+struct Inner {
+    buckets: HashMap<String, HashMap<String, Bytes>>,
+    total_bytes: usize,
+}
+
+/// A thread-safe in-memory object store. Cloning is cheap (shared handle).
+#[derive(Clone, Default)]
+pub struct ObjectStore {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl ObjectStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        ObjectStore::default()
+    }
+
+    /// Store an object, replacing any previous object with the same key.
+    pub fn put(&self, bucket: &str, key: &str, data: impl Into<Bytes>) {
+        let data = data.into();
+        let mut inner = self.inner.write();
+        let b = inner.buckets.entry(bucket.to_string()).or_default();
+        let old = b.insert(key.to_string(), data.clone());
+        // Borrow of `b` ends here; update accounting on `inner`.
+        inner.total_bytes += data.len();
+        if let Some(old) = old {
+            inner.total_bytes -= old.len();
+        }
+    }
+
+    /// Fetch an object (cheap: `Bytes` is reference-counted).
+    pub fn get(&self, bucket: &str, key: &str) -> Option<Bytes> {
+        self.inner.read().buckets.get(bucket)?.get(key).cloned()
+    }
+
+    /// Delete an object. Returns whether it existed.
+    pub fn delete(&self, bucket: &str, key: &str) -> bool {
+        let mut inner = self.inner.write();
+        let removed = inner
+            .buckets
+            .get_mut(bucket)
+            .and_then(|b| b.remove(key));
+        match removed {
+            Some(data) => {
+                inner.total_bytes -= data.len();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Delete a whole bucket. Returns the number of objects removed.
+    pub fn delete_bucket(&self, bucket: &str) -> usize {
+        let mut inner = self.inner.write();
+        match inner.buckets.remove(bucket) {
+            Some(b) => {
+                let n = b.len();
+                let bytes: usize = b.values().map(|v| v.len()).sum();
+                inner.total_bytes -= bytes;
+                n
+            }
+            None => 0,
+        }
+    }
+
+    /// Keys in a bucket, sorted.
+    pub fn list(&self, bucket: &str) -> Vec<String> {
+        let inner = self.inner.read();
+        let mut keys: Vec<String> = inner
+            .buckets
+            .get(bucket)
+            .map(|b| b.keys().cloned().collect())
+            .unwrap_or_default();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Number of objects in a bucket.
+    pub fn count(&self, bucket: &str) -> usize {
+        self.inner
+            .read()
+            .buckets
+            .get(bucket)
+            .map_or(0, |b| b.len())
+    }
+
+    /// Total payload bytes across all buckets.
+    pub fn total_bytes(&self) -> usize {
+        self.inner.read().total_bytes
+    }
+}
+
+impl std::fmt::Debug for ObjectStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.read();
+        f.debug_struct("ObjectStore")
+            .field("buckets", &inner.buckets.len())
+            .field("total_bytes", &inner.total_bytes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete() {
+        let s = ObjectStore::new();
+        s.put("thumbs", "a.png", &b"abc"[..]);
+        assert_eq!(s.get("thumbs", "a.png").unwrap(), Bytes::from_static(b"abc"));
+        assert!(s.delete("thumbs", "a.png"));
+        assert!(!s.delete("thumbs", "a.png"));
+        assert!(s.get("thumbs", "a.png").is_none());
+        assert!(s.get("nope", "a").is_none());
+    }
+
+    #[test]
+    fn accounting_tracks_replacement() {
+        let s = ObjectStore::new();
+        s.put("b", "k", vec![0u8; 100]);
+        assert_eq!(s.total_bytes(), 100);
+        s.put("b", "k", vec![0u8; 40]);
+        assert_eq!(s.total_bytes(), 40, "replacement adjusts accounting");
+        s.put("b", "k2", vec![0u8; 10]);
+        assert_eq!(s.total_bytes(), 50);
+        s.delete("b", "k");
+        assert_eq!(s.total_bytes(), 10);
+    }
+
+    #[test]
+    fn bucket_operations() {
+        let s = ObjectStore::new();
+        s.put("x", "2", &b"b"[..]);
+        s.put("x", "1", &b"a"[..]);
+        s.put("y", "3", &b"c"[..]);
+        assert_eq!(s.list("x"), vec!["1", "2"]);
+        assert_eq!(s.count("x"), 2);
+        assert_eq!(s.delete_bucket("x"), 2);
+        assert_eq!(s.count("x"), 0);
+        assert_eq!(s.total_bytes(), 1);
+        assert_eq!(s.delete_bucket("x"), 0);
+    }
+
+    #[test]
+    fn concurrent_writers() {
+        let s = ObjectStore::new();
+        let mut handles = vec![];
+        for t in 0..8 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    s.put("shared", &format!("{t}-{i}"), vec![1u8; 10]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.count("shared"), 400);
+        assert_eq!(s.total_bytes(), 4_000);
+    }
+}

@@ -1,0 +1,69 @@
+//! Latency measurements as extracted from thumbnails.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One latency measurement extracted from a thumbnail: the *primary* value
+/// agreed by at least two OCR engines, plus the *alternative* value kept when
+/// exactly two engines agreed and the third disagreed (§3.2 step 4). The
+/// data-analysis module may swap in the alternative when the primary is
+/// incompatible with its neighbours (§3.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LatencySample {
+    /// When the thumbnail was captured.
+    pub at: SimTime,
+    /// The primary extracted latency in milliseconds.
+    pub latency_ms: u32,
+    /// The dissenting third engine's output, if any.
+    pub alternative_ms: Option<u32>,
+}
+
+impl LatencySample {
+    /// A sample with no alternative.
+    pub fn new(at: SimTime, latency_ms: u32) -> Self {
+        LatencySample {
+            at,
+            latency_ms,
+            alternative_ms: None,
+        }
+    }
+
+    /// A sample carrying an alternative value.
+    pub fn with_alternative(at: SimTime, latency_ms: u32, alternative_ms: u32) -> Self {
+        LatencySample {
+            at,
+            latency_ms,
+            alternative_ms: Some(alternative_ms),
+        }
+    }
+
+    /// Replace the primary with the alternative (used by anomaly correction).
+    /// Returns `None` when no alternative exists.
+    pub fn corrected(self) -> Option<LatencySample> {
+        self.alternative_ms.map(|alt| LatencySample {
+            at: self.at,
+            latency_ms: alt,
+            alternative_ms: Some(self.latency_ms),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corrected_swaps_primary_and_alternative() {
+        let s = LatencySample::with_alternative(SimTime::from_secs(1), 5, 45);
+        let c = s.corrected().unwrap();
+        assert_eq!(c.latency_ms, 45);
+        assert_eq!(c.alternative_ms, Some(5));
+        assert_eq!(c.at, s.at);
+    }
+
+    #[test]
+    fn corrected_without_alternative_is_none() {
+        let s = LatencySample::new(SimTime::EPOCH, 30);
+        assert!(s.corrected().is_none());
+    }
+}

@@ -1,0 +1,258 @@
+//! The `{city, region, country}` location tuple (§3.1) and continents.
+//!
+//! Tero never localises a streamer at a granularity finer than a city; a
+//! location may leave the city (and even the region) unspecified when only
+//! coarser information is available.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A continent, used for the coverage analysis of Fig 7.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Continent {
+    /// Asia.
+    Asia,
+    /// Africa.
+    Africa,
+    /// Europe.
+    Europe,
+    /// North America (incl. Central America and the Caribbean).
+    NorthAmerica,
+    /// South America.
+    SouthAmerica,
+    /// Oceania.
+    Oceania,
+}
+
+impl Continent {
+    /// All continents in Fig 7's order (AS, AF, EU, NA, SA, OC).
+    pub const ALL: [Continent; 6] = [
+        Continent::Asia,
+        Continent::Africa,
+        Continent::Europe,
+        Continent::NorthAmerica,
+        Continent::SouthAmerica,
+        Continent::Oceania,
+    ];
+
+    /// Two-letter code as used on Fig 7's x-axis.
+    pub fn code(self) -> &'static str {
+        match self {
+            Continent::Asia => "AS",
+            Continent::Africa => "AF",
+            Continent::Europe => "EU",
+            Continent::NorthAmerica => "NA",
+            Continent::SouthAmerica => "SA",
+            Continent::Oceania => "OC",
+        }
+    }
+}
+
+impl fmt::Display for Continent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// A geographic location at the granularity Tero works with: a country,
+/// optionally refined by a first-level region (US state, Swiss canton,
+/// French province, …) and a city.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Location {
+    /// Country name (always present).
+    pub country: String,
+    /// First-level administrative region, if known.
+    pub region: Option<String>,
+    /// City, if known.
+    pub city: Option<String>,
+}
+
+impl Location {
+    /// A country-level location.
+    pub fn country(country: impl Into<String>) -> Self {
+        Location {
+            country: country.into(),
+            region: None,
+            city: None,
+        }
+    }
+
+    /// A region-level location.
+    pub fn region(country: impl Into<String>, region: impl Into<String>) -> Self {
+        Location {
+            country: country.into(),
+            region: Some(region.into()),
+            city: None,
+        }
+    }
+
+    /// A city-level location.
+    pub fn city(
+        country: impl Into<String>,
+        region: impl Into<String>,
+        city: impl Into<String>,
+    ) -> Self {
+        Location {
+            country: country.into(),
+            region: Some(region.into()),
+            city: Some(city.into()),
+        }
+    }
+
+    /// The finest granularity this location is specified at.
+    pub fn granularity(&self) -> Granularity {
+        if self.city.is_some() {
+            Granularity::City
+        } else if self.region.is_some() {
+            Granularity::Region
+        } else {
+            Granularity::Country
+        }
+    }
+
+    /// Whether `self` is *compatible with* (a generalisation of, or equal to)
+    /// `finer` — e.g. "California, USA" is compatible with
+    /// "Los Angeles, California, USA". Used by the location module's
+    /// acceptance rule (§3.1, rule 3).
+    pub fn subsumes(&self, finer: &Location) -> bool {
+        if self.country != finer.country {
+            return false;
+        }
+        if let Some(r) = &self.region {
+            match &finer.region {
+                Some(fr) if fr == r => {}
+                _ => return false,
+            }
+        }
+        if let Some(c) = &self.city {
+            match &finer.city {
+                Some(fc) if fc == c => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// The more specific of two compatible locations, if one subsumes the
+    /// other (§3.1 rule 3 / App D.2 step 4). Returns `None` when neither
+    /// subsumes the other.
+    pub fn more_complete<'a>(&'a self, other: &'a Location) -> Option<&'a Location> {
+        if self.subsumes(other) {
+            Some(other)
+        } else if other.subsumes(self) {
+            Some(self)
+        } else {
+            None
+        }
+    }
+
+    /// Drop the city component, producing a region- (or country-) level view.
+    pub fn to_region_level(&self) -> Location {
+        Location {
+            country: self.country.clone(),
+            region: self.region.clone(),
+            city: None,
+        }
+    }
+
+    /// Drop region and city, producing the country-level view.
+    pub fn to_country_level(&self) -> Location {
+        Location::country(self.country.clone())
+    }
+
+    /// A stable string key for use in stores ("country/region/city").
+    pub fn key(&self) -> String {
+        match (&self.region, &self.city) {
+            (Some(r), Some(c)) => format!("{}/{}/{}", self.country, r, c),
+            (Some(r), None) => format!("{}/{}", self.country, r),
+            _ => self.country.clone(),
+        }
+    }
+}
+
+/// The granularity of a [`Location`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Granularity {
+    /// Only the country is known.
+    Country,
+    /// Country and first-level region are known.
+    Region,
+    /// Country, region and city are known.
+    City,
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.city, &self.region) {
+            (Some(c), Some(r)) => write!(f, "{c}, {r}, {}", self.country),
+            (None, Some(r)) => write!(f, "{r}, {}", self.country),
+            _ => f.write_str(&self.country),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn granularity_levels() {
+        assert_eq!(Location::country("France").granularity(), Granularity::Country);
+        assert_eq!(
+            Location::region("USA", "California").granularity(),
+            Granularity::Region
+        );
+        assert_eq!(
+            Location::city("USA", "California", "Los Angeles").granularity(),
+            Granularity::City
+        );
+    }
+
+    #[test]
+    fn subsumption() {
+        let country = Location::country("USA");
+        let region = Location::region("USA", "California");
+        let city = Location::city("USA", "California", "Los Angeles");
+        assert!(country.subsumes(&region));
+        assert!(country.subsumes(&city));
+        assert!(region.subsumes(&city));
+        assert!(region.subsumes(&region));
+        assert!(!region.subsumes(&country), "finer does not subsume coarser");
+        assert!(!Location::region("USA", "Texas").subsumes(&city));
+        assert!(!Location::country("Canada").subsumes(&city));
+    }
+
+    #[test]
+    fn more_complete_picks_finer() {
+        let region = Location::region("USA", "California");
+        let city = Location::city("USA", "California", "Los Angeles");
+        assert_eq!(region.more_complete(&city), Some(&city));
+        assert_eq!(city.more_complete(&region), Some(&city));
+        let other = Location::region("USA", "Texas");
+        assert_eq!(city.more_complete(&other), None);
+    }
+
+    #[test]
+    fn level_projections() {
+        let city = Location::city("USA", "California", "Los Angeles");
+        assert_eq!(city.to_region_level(), Location::region("USA", "California"));
+        assert_eq!(city.to_country_level(), Location::country("USA"));
+    }
+
+    #[test]
+    fn keys_and_display() {
+        let city = Location::city("USA", "California", "Los Angeles");
+        assert_eq!(city.key(), "USA/California/Los Angeles");
+        assert_eq!(city.to_string(), "Los Angeles, California, USA");
+        assert_eq!(Location::country("Chile").key(), "Chile");
+    }
+
+    #[test]
+    fn continent_codes() {
+        assert_eq!(Continent::ALL.len(), 6);
+        assert_eq!(Continent::NorthAmerica.code(), "NA");
+        assert_eq!(Continent::Asia.to_string(), "AS");
+    }
+}

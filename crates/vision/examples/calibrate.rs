@@ -1,0 +1,64 @@
+//! Diagnostic: per-engine and voted OCR rates by scenario — the tuning
+//! harness used to calibrate the engines against Table 4's shape.
+//!
+//! ```sh
+//! cargo run --release -p tero-vision --example calibrate
+//! ```
+use tero_types::SimRng;
+use tero_vision::combine::{CombineOutcome, OcrCombiner};
+use tero_vision::ocr::OcrEngineKind;
+use tero_vision::scene::HudScene;
+
+fn run(label: &str, mk: impl Fn(&mut SimRng) -> HudScene) {
+    let c = OcrCombiner::new();
+    let mut rng = SimRng::new(99);
+    let n = 400;
+    let mut miss = [0usize; 3];
+    let mut err = [0usize; 3];
+    let mut vmiss = 0;
+    let mut verr = 0;
+    for _ in 0..n {
+        let scene = mk(&mut rng);
+        let lat = scene.latency_ms;
+        let thumb = scene.render(&mut rng);
+        let roi = scene.roi();
+        let crop = thumb.crop(roi.0, roi.1, roi.2, roi.3);
+        for (i, &k) in OcrEngineKind::ALL.iter().enumerate() {
+            match c.extract_single(&crop, k) {
+                None => miss[i] += 1,
+                Some(v) if v != lat => err[i] += 1,
+                _ => {}
+            }
+        }
+        match c.extract(&crop) {
+            CombineOutcome::NoMeasurement => vmiss += 1,
+            CombineOutcome::Extracted { primary, .. } if primary != lat => verr += 1,
+            _ => {}
+        }
+    }
+    let p = |x: usize| 100.0 * x as f64 / n as f64;
+    println!(
+        "{label:<18} tess {:>5.1}/{:<5.1} easy {:>5.1}/{:<5.1} padd {:>5.1}/{:<5.1} | vote {:>5.1}/{:<5.1}",
+        p(miss[0]), p(err[0]), p(miss[1]), p(err[1]), p(miss[2]), p(err[2]), p(vmiss), p(verr)
+    );
+}
+
+fn main() {
+    println!("{:<18} (miss/err per engine and voted)", "scenario");
+    run("light 206-225", |r| {
+        let mut s = HudScene::light_font(r.range_u64(5, 250) as u32);
+        s.fg = 206 + r.below(20) as u8;
+        s.noise = 0.005 + r.f64() * 0.06;
+        s.grain = 1.0 + r.f64() * 7.0;
+        s
+    });
+    run("typical mixed", |r| {
+        let mut s = HudScene::typical(r.range_u64(5, 250) as u32);
+        s.noise = 0.005 + r.f64() * 0.06;
+        s.grain = 1.0 + r.f64() * 7.0;
+        s
+    });
+    run("occluded", |r| {
+        HudScene::partially_hidden(r.range_u64(5, 250) as u32, 0.15 + 0.4 * r.f64())
+    });
+}

@@ -1,0 +1,511 @@
+//! Three template-matching OCR engines with complementary error profiles.
+//!
+//! The paper uses Tesseract, EasyOCR and PaddleOCR, and observes that "the
+//! three engines were complementary (they made mistakes on partially
+//! overlapping sets of thumbnails)" (§3.2). We reproduce that property by
+//! giving each engine the same template bank but its *own preprocessing
+//! policy* (threshold factor, denoising, smoothing — see
+//! [`OcrEngine::recognize_gray`]) plus distinct quantisation and
+//! acceptance thresholds:
+//!
+//! * [`OcrEngineKind::TesseractLike`] — a strict sub-Otsu threshold: faint
+//!   strokes vanish (the highest miss rate, as in Table 4) and only close
+//!   matches are accepted;
+//! * [`OcrEngineKind::EasyOcrLike`] — median-filter denoising, permissive
+//!   quantisation and the most lenient acceptance threshold (few misses,
+//!   more confusions);
+//! * [`OcrEngineKind::PaddleOcrLike`] — extra smoothing and an
+//!   edge-weighted distance that over-trusts stroke caps (a different
+//!   confusion set).
+//!
+//! Matching is scale-free: each segmented glyph is cropped to its ink
+//! bounding box and compared against *cropped* templates on the template's
+//! own grid, with an aspect-ratio penalty — so a '1' (a narrow glyph) is
+//! never confused with a ':' purely because both are thin.
+
+use crate::font::{glyph, Glyph, GLYPH_H, GLYPH_W, TEMPLATE_CHARS};
+use crate::image::Image;
+use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// Which of the three simulated engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OcrEngineKind {
+    /// Strict matcher over an eroded input (Tesseract stand-in).
+    TesseractLike,
+    /// Lenient matcher (EasyOCR stand-in).
+    EasyOcrLike,
+    /// Edge-weighted matcher (PaddleOCR stand-in).
+    PaddleOcrLike,
+}
+
+impl OcrEngineKind {
+    /// All three engines, in the paper's order.
+    pub const ALL: [OcrEngineKind; 3] = [
+        OcrEngineKind::TesseractLike,
+        OcrEngineKind::EasyOcrLike,
+        OcrEngineKind::PaddleOcrLike,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OcrEngineKind::TesseractLike => "tesseract-like",
+            OcrEngineKind::EasyOcrLike => "easyocr-like",
+            OcrEngineKind::PaddleOcrLike => "paddleocr-like",
+        }
+    }
+}
+
+/// One recognised character with its normalised match distance (lower =
+/// more confident; comparable across glyph sizes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OcrChar {
+    /// The recognised character.
+    pub ch: char,
+    /// Normalised template distance of the accepted match.
+    pub distance: f64,
+}
+
+/// A cropped template: the ink bounding box of a 5×7 font glyph.
+#[derive(Debug, Clone)]
+struct Template {
+    ch: char,
+    w: usize,
+    h: usize,
+    cells: Vec<bool>,
+    aspect: f64,
+}
+
+#[allow(clippy::needless_range_loop)]
+fn crop_template(ch: char, g: &Glyph) -> Option<Template> {
+    let mut min_r = GLYPH_H;
+    let mut max_r = 0;
+    let mut min_c = GLYPH_W;
+    let mut max_c = 0;
+    for (r, bits) in g.iter().enumerate() {
+        for c in 0..GLYPH_W {
+            if bits & (1 << (GLYPH_W - 1 - c)) != 0 {
+                min_r = min_r.min(r);
+                max_r = max_r.max(r);
+                min_c = min_c.min(c);
+                max_c = max_c.max(c);
+            }
+        }
+    }
+    if min_r > max_r {
+        return None; // blank glyph (space)
+    }
+    let (w, h) = (max_c - min_c + 1, max_r - min_r + 1);
+    let mut cells = Vec::with_capacity(w * h);
+    for r in min_r..=max_r {
+        for c in min_c..=max_c {
+            cells.push(g[r] & (1 << (GLYPH_W - 1 - c)) != 0);
+        }
+    }
+    Some(Template {
+        ch,
+        w,
+        h,
+        cells,
+        aspect: w as f64 / h as f64,
+    })
+}
+
+fn templates() -> &'static [Template] {
+    static BANK: OnceLock<Vec<Template>> = OnceLock::new();
+    BANK.get_or_init(|| {
+        TEMPLATE_CHARS
+            .iter()
+            .filter_map(|&c| crop_template(c, &glyph(c).expect("template glyph")))
+            .collect()
+    })
+}
+
+/// A template-matching OCR engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OcrEngine {
+    kind: OcrEngineKind,
+}
+
+impl OcrEngine {
+    /// Construct an engine of the given kind.
+    pub fn new(kind: OcrEngineKind) -> Self {
+        OcrEngine { kind }
+    }
+
+    /// The engine's kind.
+    pub fn kind(&self) -> OcrEngineKind {
+        self.kind
+    }
+
+    /// Recognise characters in a binarised image (0 = ink, 255 =
+    /// background). Returns the accepted characters left-to-right;
+    /// unrecognisable glyph boxes (too-wide blobs, poor matches) are
+    /// silently dropped — exactly the behaviour that turns an occluded
+    /// "45ms" into "5ms".
+    pub fn recognize(&self, bin: &Image) -> Vec<OcrChar> {
+        let boxes = segment_glyphs(bin);
+        let (ink_frac, accept) = match self.kind {
+            OcrEngineKind::TesseractLike => (0.50, 5.0),
+            OcrEngineKind::EasyOcrLike => (0.30, 9.0),
+            OcrEngineKind::PaddleOcrLike => (0.40, 8.5),
+        };
+        let mut out = Vec::new();
+        let mut rejected_any = false;
+        for gb in &boxes {
+            if gb.is_blob {
+                continue;
+            }
+            let mut best: Option<(char, f64)> = None;
+            for t in templates() {
+                let quant = quantize_to(&gb.img, t.w, t.h, ink_frac);
+                let d = match self.kind {
+                    OcrEngineKind::PaddleOcrLike => edge_weighted_distance(&quant, t),
+                    _ => plain_distance(&quant, t),
+                };
+                // Aspect-ratio penalty keeps thin glyphs from matching
+                // wide templates and vice versa.
+                let g_aspect = gb.img.width as f64 / gb.img.height.max(1) as f64;
+                let d = d + 6.0 * (g_aspect / t.aspect).ln().abs();
+                if best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((t.ch, d));
+                }
+            }
+            match best {
+                Some((ch, distance)) if distance <= accept => {
+                    out.push(OcrChar { ch, distance })
+                }
+                _ => rejected_any = true,
+            }
+        }
+        let _ = rejected_any;
+        out
+    }
+
+    /// The engine's thresholding policy (multiplier on Otsu's threshold).
+    /// The strict engine's low factor makes faint strokes vanish — its
+    /// misses; the lenient policies keep them, occasionally as misshapen
+    /// glyphs — their confusions.
+    pub fn threshold_factor(&self) -> f64 {
+        match self.kind {
+            OcrEngineKind::TesseractLike => 0.82,
+            OcrEngineKind::EasyOcrLike => 1.0,
+            OcrEngineKind::PaddleOcrLike => 0.93,
+        }
+    }
+
+    /// The engine's own smoothing radius (added to the pipeline's base
+    /// blur). PaddleOCR-like smooths harder, which suppresses speck noise
+    /// at the cost of fine stroke detail — a different error set from the
+    /// other two.
+    pub fn extra_blur(&self) -> usize {
+        match self.kind {
+            OcrEngineKind::PaddleOcrLike => 1,
+            _ => 0,
+        }
+    }
+
+    /// Whether the engine denoises with a median filter before smoothing
+    /// (EasyOCR-like's distinctive stage: salt-and-pepper specks vanish,
+    /// so its error set under noise differs from the other engines').
+    pub fn uses_median(&self) -> bool {
+        self.kind == OcrEngineKind::EasyOcrLike
+    }
+
+    /// Recognise from the shared *upscaled grayscale* stage: each engine
+    /// applies its own denoising, smoothing and binarization policy first
+    /// (real OCR engines run their own preprocessing, which is where much
+    /// of their complementary behaviour comes from).
+    pub fn recognize_gray(
+        &self,
+        upscaled: &Image,
+        cfg: &crate::preprocess::PreprocessConfig,
+    ) -> Vec<OcrChar> {
+        let mut stage = if self.uses_median() && cfg.blur_radius > 0 {
+            crate::preprocess::median3(upscaled)
+        } else {
+            upscaled.clone()
+        };
+        let blur = cfg.blur_radius + self.extra_blur();
+        if blur > 0 {
+            stage = crate::preprocess::gaussian_blur(&stage, blur);
+        }
+        let bin = crate::preprocess::finish_binary(&stage, self.threshold_factor(), cfg);
+        self.recognize(&bin)
+    }
+
+    /// Recognise and return the raw string (convenience).
+    pub fn recognize_string(&self, bin: &Image) -> String {
+        self.recognize(bin).iter().map(|c| c.ch).collect()
+    }
+}
+
+/// One segmented glyph candidate, cropped to its own ink bounding box.
+#[derive(Debug, Clone)]
+pub struct GlyphBox {
+    /// The cropped glyph image.
+    pub img: Image,
+    /// True when the box is too wide to be a single glyph (e.g. an
+    /// occluding menu blob).
+    pub is_blob: bool,
+}
+
+/// Segment a binarised text line into glyph boxes by column projection:
+/// consecutive columns with enough ink form a run; each run is cropped to
+/// its own ink bounding box. Runs wider than 1.8× the width a 5×7 glyph of
+/// that run's height would have are flagged as blobs.
+#[allow(clippy::needless_range_loop)]
+pub fn segment_glyphs(bin: &Image) -> Vec<GlyphBox> {
+    if bin.width == 0 || bin.height == 0 {
+        return vec![];
+    }
+    // Columns with enough ink to be part of a glyph (noise specks after
+    // upscaling are ≤3 px tall; glyph strokes are taller).
+    let col_threshold = 4.min(bin.height).max(1);
+    let col_ink: Vec<usize> = (0..bin.width)
+        .map(|x| (0..bin.height).filter(|&y| bin.get(x, y) == 0).count())
+        .collect();
+
+    let mut boxes = Vec::new();
+    let mut run_start: Option<usize> = None;
+    for x in 0..=bin.width {
+        let ink = x < bin.width && col_ink[x] >= col_threshold;
+        match (run_start, ink) {
+            (None, true) => run_start = Some(x),
+            (Some(s), false) => {
+                if let Some(gb) = crop_run(bin, s, x) {
+                    boxes.push(gb);
+                }
+                run_start = None;
+            }
+            _ => {}
+        }
+    }
+    boxes
+}
+
+/// Crop a column run `[x0, x1)` to its ink bounding rows; classify blobs.
+fn crop_run(bin: &Image, x0: usize, x1: usize) -> Option<GlyphBox> {
+    let mut top = None;
+    let mut bottom = None;
+    for y in 0..bin.height {
+        let ink = (x0..x1).filter(|&x| bin.get(x, y) == 0).count();
+        if ink >= 2.min(x1 - x0) {
+            if top.is_none() {
+                top = Some(y);
+            }
+            bottom = Some(y);
+        }
+    }
+    let (top, bottom) = (top?, bottom?);
+    let h = bottom - top + 1;
+    let w = x1 - x0;
+    let img = bin.crop(x0, top, w, h);
+    // A single glyph is at most 5 units wide for 7 tall; anything much
+    // wider for its height is an occlusion blob or merged junk.
+    let expected_w = (h * GLYPH_W).div_ceil(GLYPH_H);
+    let is_blob = w > expected_w * 9 / 5;
+    Some(GlyphBox { img, is_blob })
+}
+
+/// Downsample a cropped glyph image onto a `tw × th` template grid: a cell
+/// is ink when at least `ink_frac` of its pixels are ink.
+pub fn quantize_to(img: &Image, tw: usize, th: usize, ink_frac: f64) -> Vec<bool> {
+    let mut cells = vec![false; tw * th];
+    if img.width == 0 || img.height == 0 {
+        return cells;
+    }
+    for row in 0..th {
+        for col in 0..tw {
+            let y0 = row * img.height / th;
+            let y1 = ((row + 1) * img.height / th).max(y0 + 1).min(img.height);
+            let x0 = col * img.width / tw;
+            let x1 = ((col + 1) * img.width / tw).max(x0 + 1).min(img.width);
+            let total = (y1 - y0) * (x1 - x0);
+            let mut ink = 0usize;
+            for y in y0..y1 {
+                for x in x0..x1 {
+                    if img.get(x, y) == 0 {
+                        ink += 1;
+                    }
+                }
+            }
+            cells[row * tw + col] = (ink as f64) >= ink_frac * total as f64;
+        }
+    }
+    cells
+}
+
+/// Hamming distance normalised to the 35-cell (5×7) scale, so thresholds
+/// are comparable across template sizes.
+fn plain_distance(quant: &[bool], t: &Template) -> f64 {
+    let d = quant
+        .iter()
+        .zip(&t.cells)
+        .filter(|(a, b)| a != b)
+        .count();
+    d as f64 * 35.0 / (t.w * t.h) as f64
+}
+
+/// Like [`plain_distance`], but mismatches on the template's top and bottom
+/// rows count double (stroke caps distinguish many glyph pairs), with the
+/// normalisation adjusted accordingly.
+fn edge_weighted_distance(quant: &[bool], t: &Template) -> f64 {
+    let mut d = 0.0;
+    for (i, (a, b)) in quant.iter().zip(&t.cells).enumerate() {
+        if a != b {
+            let row = i / t.w;
+            d += if row == 0 || row == t.h - 1 { 2.0 } else { 1.0 };
+        }
+    }
+    let total_weight = (t.w * t.h + 2 * t.w) as f64;
+    d * 35.0 / total_weight
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::font::rasterize;
+    use crate::preprocess::{preprocess, PreprocessConfig};
+
+    fn render_and_preprocess(text: &str) -> Image {
+        let text_img = rasterize(text, 2, 20, 230);
+        let mut canvas = Image::filled(text_img.width + 12, text_img.height + 8, 230);
+        canvas.blit(&text_img, 6, 4);
+        preprocess(&canvas, &PreprocessConfig::default())
+    }
+
+    #[test]
+    fn clean_text_is_read_by_all_engines() {
+        let bin = render_and_preprocess("45ms");
+        for kind in OcrEngineKind::ALL {
+            let engine = OcrEngine::new(kind);
+            let s = engine.recognize_string(&bin);
+            // The digits must come through intact; decorations may degrade
+            // (e.g. the strict engine fragments 'm' after its extra erosion),
+            // which cleanup tolerates.
+            assert!(s.contains("45"), "{} read {s:?}", kind.name());
+            assert_eq!(
+                crate::combine::cleanup(&engine.recognize(&bin)),
+                Some(45),
+                "{} cleanup",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn all_digits_read_correctly_when_clean() {
+        for d in 0..10u32 {
+            let text = format!("{d}{d}ms");
+            let bin = render_and_preprocess(&text);
+            let engine = OcrEngine::new(OcrEngineKind::EasyOcrLike);
+            let out = crate::combine::cleanup(&engine.recognize(&bin));
+            // "00" is correctly read but rejected by cleanup as the lobby
+            // placeholder (App. E step 3).
+            let want = if d == 0 { None } else { Some(d * 11) };
+            assert_eq!(out, want, "digit {d}: {:?}", engine.recognize_string(&bin));
+        }
+    }
+
+    #[test]
+    fn three_digit_values_supported() {
+        let bin = render_and_preprocess("187ms");
+        for kind in [OcrEngineKind::EasyOcrLike, OcrEngineKind::PaddleOcrLike] {
+            let engine = OcrEngine::new(kind);
+            let out = crate::combine::cleanup(&engine.recognize(&bin));
+            assert_eq!(out, Some(187), "{}: {:?}", kind.name(), engine.recognize_string(&bin));
+        }
+    }
+
+    #[test]
+    fn ping_prefix_read() {
+        let bin = render_and_preprocess("ping 62");
+        let engine = OcrEngine::new(OcrEngineKind::EasyOcrLike);
+        let out = crate::combine::cleanup(&engine.recognize(&bin));
+        assert_eq!(out, Some(62), "read {:?}", engine.recognize_string(&bin));
+    }
+
+    #[test]
+    fn segmentation_counts_glyphs() {
+        let bin = render_and_preprocess("123");
+        let boxes = segment_glyphs(&bin);
+        assert_eq!(boxes.len(), 3);
+        assert!(boxes.iter().all(|b| !b.is_blob));
+        assert!(segment_glyphs(&Image::filled(10, 10, 255)).is_empty());
+    }
+
+    #[test]
+    fn wide_blob_is_flagged_and_dropped() {
+        // A solid block the width of several glyphs, followed by one digit.
+        let mut canvas = Image::filled(90, 22, 230);
+        canvas.fill_rect(4, 4, 40, 14, 20); // blob
+        let digit = rasterize("5", 2, 20, 230);
+        canvas.blit(&digit, 60, 4);
+        let bin = preprocess(&canvas, &PreprocessConfig::default());
+        let boxes = segment_glyphs(&bin);
+        assert!(boxes.iter().any(|b| b.is_blob), "blob not flagged");
+        let engine = OcrEngine::new(OcrEngineKind::EasyOcrLike);
+        assert_eq!(engine.recognize_string(&bin), "5", "blob must be dropped");
+    }
+
+    #[test]
+    fn quantize_recovers_exact_glyph() {
+        // '8' fills its whole 5×7 box; rasterised at scale 4 and quantised
+        // back on a 5×7 grid it must reproduce the template exactly.
+        let img = rasterize("8", 4, 0, 255);
+        let q = quantize_to(&img, 5, 7, 0.5);
+        let g = glyph('8').unwrap();
+        for (i, &cell) in q.iter().enumerate() {
+            let (r, c) = (i / 5, i % 5);
+            let want = g[r] & (1 << (4 - c)) != 0;
+            assert_eq!(cell, want, "cell ({r},{c})");
+        }
+    }
+
+    #[test]
+    fn templates_cropped_sensibly() {
+        let bank = templates();
+        assert_eq!(bank.len(), TEMPLATE_CHARS.len() , "space is not in TEMPLATE_CHARS");
+        let one = bank.iter().find(|t| t.ch == '1').unwrap();
+        assert_eq!((one.w, one.h), (3, 7), "'1' crops to 3 columns");
+        let colon = bank.iter().find(|t| t.ch == ':').unwrap();
+        assert!(colon.w < 3 && colon.h <= 6);
+    }
+
+    #[test]
+    fn engines_disagree_under_heavy_noise() {
+        // Degrade an '8'-heavy reading with noise; the three engines should
+        // sometimes disagree (partially overlapping error sets, §3.2) but
+        // not always.
+        use tero_types::SimRng;
+        let mut rng = SimRng::new(1234);
+        let mut disagreements = 0;
+        let cfg = PreprocessConfig::default();
+        for _ in 0..60 {
+            let text_img = rasterize("88ms", 2, 20, 230);
+            let mut canvas = Image::filled(text_img.width + 12, text_img.height + 8, 230);
+            canvas.blit(&text_img, 6, 4);
+            for p in canvas.pixels.iter_mut() {
+                if rng.chance(0.12) {
+                    *p = rng.range_u64(0, 256) as u8;
+                }
+            }
+            // Each engine runs its own preprocessing policy, as in the
+            // combiner.
+            let upscaled = canvas.upscale(cfg.upscale);
+            let outs: Vec<Option<u32>> = OcrEngineKind::ALL
+                .iter()
+                .map(|&k| {
+                    crate::combine::cleanup(&OcrEngine::new(k).recognize_gray(&upscaled, &cfg))
+                })
+                .collect();
+            if !(outs[0] == outs[1] && outs[1] == outs[2]) {
+                disagreements += 1;
+            }
+        }
+        assert!(disagreements > 0, "engines never disagreed under noise");
+        assert!(disagreements < 60, "engines always disagreed — too chaotic");
+    }
+}

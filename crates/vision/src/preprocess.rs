@@ -1,0 +1,358 @@
+//! The App. E pre-processing pipeline.
+//!
+//! "(b) It performs a set of standard tasks that render OCR more effective:
+//! converts the image to black-and-white, up-scales, applies a Gaussian
+//! filter to blur the edges and reduce noise, applies thresholding to
+//! separate foreground and background, and runs several iterations of
+//! dilating and eroding the image in order to merge disjoint regions
+//! [40, 54]."
+
+use crate::image::Image;
+
+/// Parameters of the pre-processing pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreprocessConfig {
+    /// Integer upscale factor applied before blurring.
+    pub upscale: usize,
+    /// Gaussian blur radius (0 disables blurring).
+    pub blur_radius: usize,
+    /// Number of dilate+erode (closing) iterations after thresholding.
+    pub morph_iterations: usize,
+    /// Run a morphological opening (two erosions then two dilations) after
+    /// closing, removing isolated noise specks that survive the closing.
+    pub despeckle: bool,
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        PreprocessConfig {
+            upscale: 3,
+            blur_radius: 1,
+            morph_iterations: 1,
+            despeckle: true,
+        }
+    }
+}
+
+/// Run the full pipeline: upscale → Gaussian blur → Otsu threshold →
+/// morphological closing. The output is binary: 0 (foreground/ink) and
+/// 255 (background).
+pub fn preprocess(img: &Image, cfg: &PreprocessConfig) -> Image {
+    let gray = preprocess_gray(img, cfg);
+    finish_binary(&gray, 1.0, cfg)
+}
+
+/// The shared grayscale stages: upscale and blur. Real OCR engines then
+/// binarize with their *own* thresholding policies, which is where part of
+/// their complementary behaviour comes from (§3.2) — see
+/// [`finish_binary`].
+pub fn preprocess_gray(img: &Image, cfg: &PreprocessConfig) -> Image {
+    let mut out = img.upscale(cfg.upscale.max(1));
+    if cfg.blur_radius > 0 {
+        out = gaussian_blur(&out, cfg.blur_radius);
+    }
+    out
+}
+
+/// Binarize a grayscale image at `threshold_factor × Otsu` and apply the
+/// configured morphology. A factor below 1 is a *strict* policy: faint
+/// (noise- or blur-degraded) strokes fall below the cutoff and vanish.
+pub fn finish_binary(gray: &Image, threshold_factor: f64, cfg: &PreprocessConfig) -> Image {
+    let t = (otsu_threshold(gray) as f64 * threshold_factor)
+        .round()
+        .clamp(0.0, 255.0) as u8;
+    let mut out = binarize(gray, t);
+    for _ in 0..cfg.morph_iterations {
+        out = dilate(&out);
+        out = erode(&out);
+    }
+    if cfg.despeckle {
+        out = erode(&erode(&out));
+        out = dilate(&dilate(&out));
+    }
+    out
+}
+
+/// Separable Gaussian blur with the given radius (σ ≈ radius/1.5), using a
+/// discretised kernel normalised to unit sum.
+pub fn gaussian_blur(img: &Image, radius: usize) -> Image {
+    if radius == 0 || img.width == 0 || img.height == 0 {
+        return img.clone();
+    }
+    let sigma = radius as f64 / 1.5;
+    let kernel: Vec<f64> = (-(radius as i64)..=(radius as i64))
+        .map(|d| (-(d as f64).powi(2) / (2.0 * sigma * sigma)).exp())
+        .collect();
+    let ksum: f64 = kernel.iter().sum();
+
+    // Horizontal pass.
+    let mut tmp = vec![0.0f64; img.width * img.height];
+    for y in 0..img.height {
+        for x in 0..img.width {
+            let mut acc = 0.0;
+            for (i, &k) in kernel.iter().enumerate() {
+                let sx = (x as i64 + i as i64 - radius as i64)
+                    .clamp(0, img.width as i64 - 1) as usize;
+                acc += k * img.get(sx, y) as f64;
+            }
+            tmp[y * img.width + x] = acc / ksum;
+        }
+    }
+    // Vertical pass.
+    let mut out = Image::filled(img.width, img.height, 0);
+    for y in 0..img.height {
+        for x in 0..img.width {
+            let mut acc = 0.0;
+            for (i, &k) in kernel.iter().enumerate() {
+                let sy = (y as i64 + i as i64 - radius as i64)
+                    .clamp(0, img.height as i64 - 1) as usize;
+                acc += k * tmp[sy * img.width + x];
+            }
+            out.pixels[y * img.width + x] = (acc / ksum).round().clamp(0.0, 255.0) as u8;
+        }
+    }
+    out
+}
+
+/// 3×3 median filter — the classic salt-and-pepper denoiser: isolated
+/// extreme pixels are replaced by their neighbourhood median while edges
+/// and 6-px strokes survive intact.
+pub fn median3(img: &Image) -> Image {
+    let mut out = img.clone();
+    if img.width < 3 || img.height < 3 {
+        return out;
+    }
+    let mut window = [0u8; 9];
+    for y in 1..img.height - 1 {
+        for x in 1..img.width - 1 {
+            let mut k = 0;
+            for dy in 0..3 {
+                for dx in 0..3 {
+                    window[k] = img.get(x + dx - 1, y + dy - 1);
+                    k += 1;
+                }
+            }
+            window.sort_unstable();
+            out.pixels[y * img.width + x] = window[4];
+        }
+    }
+    out
+}
+
+/// Otsu's method \[40\]: the threshold that maximises between-class variance
+/// of the gray-level histogram.
+#[allow(clippy::needless_range_loop)]
+pub fn otsu_threshold(img: &Image) -> u8 {
+    let mut hist = [0u64; 256];
+    for &p in &img.pixels {
+        hist[p as usize] += 1;
+    }
+    let total = img.pixels.len() as f64;
+    if total == 0.0 {
+        return 128;
+    }
+    let sum_all: f64 = hist
+        .iter()
+        .enumerate()
+        .map(|(v, &c)| v as f64 * c as f64)
+        .sum();
+
+    let mut best_t = 128u8;
+    let mut best_var = -1.0;
+    let mut w0 = 0.0;
+    let mut sum0 = 0.0;
+    for t in 0..256 {
+        w0 += hist[t] as f64;
+        if w0 == 0.0 {
+            continue;
+        }
+        let w1 = total - w0;
+        if w1 == 0.0 {
+            break;
+        }
+        sum0 += t as f64 * hist[t] as f64;
+        let mu0 = sum0 / w0;
+        let mu1 = (sum_all - sum0) / w1;
+        let var = w0 * w1 * (mu0 - mu1) * (mu0 - mu1);
+        if var > best_var {
+            best_var = var;
+            best_t = t as u8;
+        }
+    }
+    best_t
+}
+
+/// Binarize: pixels at or below the threshold become 0 (ink), the rest 255.
+pub fn binarize(img: &Image, threshold: u8) -> Image {
+    let mut out = img.clone();
+    for p in out.pixels.iter_mut() {
+        *p = if *p <= threshold { 0 } else { 255 };
+    }
+    out
+}
+
+/// Morphological dilation of the *ink* (0) regions with a 3×3 structuring
+/// element: a pixel becomes ink if any 8-neighbour is ink.
+pub fn dilate(img: &Image) -> Image {
+    morph(img, true)
+}
+
+/// Morphological erosion of the ink regions: a pixel stays ink only if all
+/// 8-neighbours are ink.
+pub fn erode(img: &Image) -> Image {
+    morph(img, false)
+}
+
+fn morph(img: &Image, dilate: bool) -> Image {
+    let mut out = img.clone();
+    for y in 0..img.height {
+        for x in 0..img.width {
+            let mut any_ink = false;
+            let mut all_ink = true;
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    let sx = x as i64 + dx;
+                    let sy = y as i64 + dy;
+                    let ink = if sx < 0 || sy < 0 || sx >= img.width as i64 || sy >= img.height as i64
+                    {
+                        false // outside the image counts as background
+                    } else {
+                        img.get(sx as usize, sy as usize) == 0
+                    };
+                    any_ink |= ink;
+                    all_ink &= ink;
+                }
+            }
+            let ink = if dilate { any_ink } else { all_ink };
+            out.pixels[y * img.width + x] = if ink { 0 } else { 255 };
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::font::rasterize;
+
+    #[test]
+    fn otsu_separates_bimodal_image() {
+        let mut img = Image::filled(10, 10, 200);
+        img.fill_rect(0, 0, 5, 10, 30);
+        let t = otsu_threshold(&img);
+        assert!((30..200).contains(&t), "threshold {t}");
+        let bin = binarize(&img, t);
+        assert_eq!(bin.get(0, 0), 0);
+        assert_eq!(bin.get(9, 9), 255);
+    }
+
+    #[test]
+    fn otsu_on_empty_image_is_safe() {
+        let img = Image::filled(0, 0, 0);
+        assert_eq!(otsu_threshold(&img), 128);
+    }
+
+    #[test]
+    fn blur_preserves_mean_roughly() {
+        let mut img = Image::filled(20, 20, 0);
+        img.fill_rect(5, 5, 10, 10, 200);
+        let blurred = gaussian_blur(&img, 2);
+        let m0 = img.mean().unwrap();
+        let m1 = blurred.mean().unwrap();
+        assert!((m0 - m1).abs() < 10.0, "{m0} vs {m1}");
+        // Edges are softened: some pixels now between 0 and 200.
+        let mids = blurred
+            .pixels
+            .iter()
+            .filter(|&&p| p > 20 && p < 180)
+            .count();
+        assert!(mids > 0);
+    }
+
+    #[test]
+    fn dilate_then_erode_closes_gaps() {
+        // Two ink pixels with a 1-px gap: closing merges them.
+        let mut img = Image::filled(9, 3, 255);
+        img.set(2, 1, 0);
+        img.set(4, 1, 0);
+        let closed = erode(&dilate(&img));
+        assert_eq!(closed.get(3, 1), 0, "gap filled");
+        assert_eq!(closed.get(2, 1), 0);
+    }
+
+    #[test]
+    fn erode_removes_isolated_pixels() {
+        let mut img = Image::filled(9, 9, 255);
+        img.set(4, 4, 0);
+        let eroded = erode(&img);
+        assert_eq!(eroded.count_below(128), 0);
+    }
+
+    #[test]
+    fn median_filter_kills_specks_keeps_strokes() {
+        let mut img = Image::filled(30, 30, 230);
+        // A 6-px-wide stroke and an isolated dark pixel.
+        img.fill_rect(5, 5, 6, 20, 20);
+        img.set(20, 20, 0);
+        let m = median3(&img);
+        assert_eq!(m.get(20, 20), 230, "speck removed");
+        assert_eq!(m.get(7, 10), 20, "stroke interior intact");
+        assert_eq!(m.get(5, 10), 20, "stroke edge intact");
+        // Tiny images pass through.
+        let tiny = Image::filled(2, 2, 9);
+        assert_eq!(median3(&tiny), tiny);
+    }
+
+    #[test]
+    fn threshold_factor_changes_faint_stroke_survival() {
+        // Faint text on a light panel: Otsu lands between the two light
+        // modes, so a strict (sub-1) factor loses the text while the
+        // standard factor keeps it — the per-engine differentiation lever
+        // behind Table 4's distinct miss rates.
+        let text = rasterize("45", 2, 205, 230);
+        let mut canvas = Image::filled(40, 22, 230);
+        canvas.blit(&text, 4, 4);
+        let cfg = PreprocessConfig::default();
+        let gray = preprocess_gray(&canvas, &cfg);
+        let strict = finish_binary(&gray, 0.82, &cfg);
+        let standard = finish_binary(&gray, 1.0, &cfg);
+        assert!(
+            standard.count_below(128) > strict.count_below(128),
+            "standard threshold must keep more faint ink: {} vs {}",
+            standard.count_below(128),
+            strict.count_below(128)
+        );
+        assert_eq!(strict.count_below(128), 0, "strict loses the faint text");
+    }
+
+    #[test]
+    fn full_pipeline_keeps_text_legible() {
+        let text = rasterize("45ms", 2, 20, 230);
+        let mut canvas = Image::filled(70, 24, 230);
+        canvas.blit(&text, 4, 4);
+        let out = preprocess(&canvas, &PreprocessConfig::default());
+        assert_eq!(out.width, 70 * 3);
+        // Binary output only.
+        assert!(out.pixels.iter().all(|&p| p == 0 || p == 255));
+        // Ink present in sensible quantity.
+        let ink = out.count_below(128);
+        let frac = ink as f64 / out.pixels.len() as f64;
+        assert!(frac > 0.02 && frac < 0.5, "ink fraction {frac}");
+    }
+
+    #[test]
+    fn pipeline_on_low_contrast_input_loses_text() {
+        // A light font on a light panel mostly vanishes after thresholding —
+        // the Fig 6b failure mode.
+        let text = rasterize("45ms", 2, 215, 230);
+        let mut canvas = Image::filled(70, 24, 230);
+        canvas.blit(&text, 4, 4);
+        // Add a dark gameplay block so Otsu anchors on the wrong mode.
+        canvas.fill_rect(0, 18, 70, 6, 40);
+        let out = preprocess(&canvas, &PreprocessConfig::default());
+        // The text rows (above the dark block) have little to no ink.
+        let text_region = out.crop(0, 0, 70 * 3, 17 * 3);
+        let frac = text_region.count_below(128) as f64 / text_region.pixels.len() as f64;
+        assert!(frac < 0.05, "low-contrast text should vanish, got {frac}");
+    }
+}

@@ -1,0 +1,290 @@
+//! HUD scene composer: renders synthetic gaming thumbnails.
+//!
+//! Each scene mimics one downloaded Twitch thumbnail: gameplay clutter, a
+//! HUD panel with the latency readout at a game-specific anchor, and one of
+//! the failure modes the paper catalogues in Fig 6 — a typical display, a
+//! font too light against its background, a value partially hidden by an
+//! open menu (the dominant cause of digit drops, §4.2.2), or a custom clock
+//! overlay sitting exactly where latency normally goes (the "trickiest
+//! error we encountered").
+
+use crate::font::{rasterize, GLYPH_H, GLYPH_SPACING, GLYPH_W};
+use crate::image::Image;
+use serde::{Deserialize, Serialize};
+use tero_types::SimRng;
+
+/// Width of a rendered thumbnail in pixels.
+pub const THUMB_W: usize = 160;
+/// Height of a rendered thumbnail in pixels.
+pub const THUMB_H: usize = 90;
+
+/// The Fig 6 scenario taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScenarioKind {
+    /// (a) Typical latency display.
+    Typical,
+    /// (b) Latency font too light against the background.
+    LightFont,
+    /// (c) Latency partially hidden by an open menu.
+    PartiallyHidden,
+    /// (d) Latency replaced by a clock (a streamer's custom UI element).
+    ClockOverlay,
+}
+
+/// How the game decorates the number on screen (§3.2 step 3 mentions "ms"
+/// right after the digits or "ping" right before them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Decoration {
+    /// the number followed by "ms"
+    MsSuffix,
+    /// "ping " followed by the number
+    PingPrefix,
+    /// Just the digits.
+    Bare,
+}
+
+/// A synthetic thumbnail scene with known ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HudScene {
+    /// The true latency the game is displaying.
+    pub latency_ms: u32,
+    /// Which Fig 6 failure mode (or the typical case) this scene exhibits.
+    pub scenario: ScenarioKind,
+    /// Top-left corner of the HUD text inside the thumbnail.
+    pub anchor: (usize, usize),
+    /// Text decoration around the number.
+    pub decoration: Decoration,
+    /// Integer font scale (font units → pixels).
+    pub text_scale: usize,
+    /// Foreground shade of the HUD text.
+    pub fg: u8,
+    /// Background shade of the HUD panel.
+    pub bg: u8,
+    /// Per-pixel salt-and-pepper noise probability.
+    pub noise: f64,
+    /// For [`ScenarioKind::PartiallyHidden`]: fraction of the text width
+    /// covered from the left by the menu panel.
+    pub occlusion_fraction: f64,
+    /// Number of random gameplay-clutter rectangles behind the HUD.
+    pub clutter: usize,
+    /// For [`ScenarioKind::ClockOverlay`]: the `(hour, minute)` shown where
+    /// the latency normally goes.
+    pub clock: Option<(u32, u32)>,
+    /// Standard deviation of per-pixel Gaussian grain (sensor/compression
+    /// noise) applied to the whole frame.
+    pub grain: f64,
+}
+
+impl HudScene {
+    /// A typical scene with paper-ish defaults: dark text on a light HUD
+    /// panel at the top-right corner, "ms" suffix, mild noise.
+    pub fn typical(latency_ms: u32) -> Self {
+        HudScene {
+            latency_ms,
+            scenario: ScenarioKind::Typical,
+            anchor: (96, 6),
+            decoration: Decoration::MsSuffix,
+            text_scale: 2,
+            fg: 20,
+            bg: 230,
+            noise: 0.01,
+            occlusion_fraction: 0.0,
+            clutter: 12,
+            clock: None,
+            grain: 2.0,
+        }
+    }
+
+    /// Fig 6b: the font is nearly the same shade as its panel — the contrast
+    /// is below the frame grain, so no (adaptive) threshold recovers it.
+    pub fn light_font(latency_ms: u32) -> Self {
+        HudScene {
+            scenario: ScenarioKind::LightFont,
+            fg: 224,
+            grain: 4.0,
+            ..HudScene::typical(latency_ms)
+        }
+    }
+
+    /// Fig 6c: an open menu covers the leading part of the value.
+    pub fn partially_hidden(latency_ms: u32, fraction: f64) -> Self {
+        HudScene {
+            scenario: ScenarioKind::PartiallyHidden,
+            occlusion_fraction: fraction.clamp(0.0, 1.0),
+            ..HudScene::typical(latency_ms)
+        }
+    }
+
+    /// Fig 6d: a clock renders where the latency normally goes.
+    pub fn clock_overlay(latency_ms: u32, hh: u32, mm: u32) -> Self {
+        let mut s = HudScene::typical(latency_ms);
+        s.scenario = ScenarioKind::ClockOverlay;
+        s.clock = Some((hh % 24, mm % 60));
+        s
+    }
+
+    /// The text the HUD actually shows.
+    pub fn hud_text(&self) -> String {
+        if let Some((hh, mm)) = self.clock {
+            return format!("{hh}:{mm:02}");
+        }
+        match self.decoration {
+            Decoration::MsSuffix => format!("{}ms", self.latency_ms),
+            Decoration::PingPrefix => format!("ping {}", self.latency_ms),
+            Decoration::Bare => self.latency_ms.to_string(),
+        }
+    }
+
+    /// Longest text this scene's decoration can produce, in characters.
+    pub fn max_chars(&self) -> usize {
+        match self.decoration {
+            Decoration::MsSuffix => 5,   // "999ms"
+            Decoration::PingPrefix => 8, // "ping 999"
+            Decoration::Bare => 5,       // "999" or a clock "23:59"
+        }
+    }
+
+    /// Adjust the decoration, shifting the anchor left if needed so the
+    /// longest possible text still fits inside the thumbnail.
+    pub fn with_decoration(mut self, decoration: Decoration) -> Self {
+        self.decoration = decoration;
+        let needed = self.max_chars() * (GLYPH_W + GLYPH_SPACING) * self.text_scale;
+        let max_x = THUMB_W.saturating_sub(needed + 4 * self.text_scale);
+        self.anchor.0 = self.anchor.0.min(max_x);
+        self
+    }
+
+    /// The region of interest that game-UI knowledge gives us: the HUD
+    /// anchor area with a small margin (§3.2 step 1 "crops around it").
+    /// Returns `(x, y, w, h)`.
+    pub fn roi(&self) -> (usize, usize, usize, usize) {
+        let margin = 3 * self.text_scale;
+        let w = self.max_chars() * (GLYPH_W + GLYPH_SPACING) * self.text_scale + 2 * margin;
+        let h = GLYPH_H * self.text_scale + 2 * margin;
+        let x = self.anchor.0.saturating_sub(margin);
+        let y = self.anchor.1.saturating_sub(margin);
+        (x, y, w.min(THUMB_W - x), h.min(THUMB_H - y))
+    }
+
+    /// Render the thumbnail. Deterministic given the RNG state.
+    pub fn render(&self, rng: &mut SimRng) -> Image {
+        let mut img = Image::filled(THUMB_W, THUMB_H, 120);
+
+        // Gameplay clutter: random rectangles of varied shade.
+        for _ in 0..self.clutter {
+            let w = rng.range_usize(8, 50);
+            let h = rng.range_usize(6, 30);
+            let x = rng.range_usize(0, THUMB_W.saturating_sub(w).max(1));
+            let y = rng.range_usize(0, THUMB_H.saturating_sub(h).max(1));
+            let shade = rng.range_u64(30, 220) as u8;
+            img.fill_rect(x, y, w, h, shade);
+        }
+
+        // HUD panel + text. The panel has a fixed size covering the whole
+        // readout area (as real game HUDs do), so it extends past the text
+        // itself and past the ROI margin.
+        let text_img = rasterize(&self.hud_text(), self.text_scale, self.fg, self.bg);
+        let pad = 3 * self.text_scale + 1;
+        let panel_w = self.max_chars() * (GLYPH_W + GLYPH_SPACING) * self.text_scale + 2 * pad;
+        img.fill_rect(
+            self.anchor.0.saturating_sub(pad),
+            self.anchor.1.saturating_sub(pad),
+            panel_w,
+            text_img.height + 2 * pad,
+            self.bg,
+        );
+        img.blit(&text_img, self.anchor.0, self.anchor.1);
+
+        // Menu occlusion over the leading part of the text.
+        if self.scenario == ScenarioKind::PartiallyHidden && self.occlusion_fraction > 0.0 {
+            let cover_w = (text_img.width as f64 * self.occlusion_fraction).round() as usize;
+            // The menu extends well beyond the HUD, as a real drop-down does.
+            img.fill_rect(
+                self.anchor.0.saturating_sub(8),
+                self.anchor.1.saturating_sub(4),
+                cover_w + 8,
+                text_img.height + 20,
+                55,
+            );
+        }
+
+        // Gaussian grain plus salt-and-pepper noise.
+        if self.grain > 0.0 || self.noise > 0.0 {
+            for p in img.pixels.iter_mut() {
+                if self.grain > 0.0 {
+                    *p = (*p as f64 + rng.normal_with(0.0, self.grain))
+                        .round()
+                        .clamp(0.0, 255.0) as u8;
+                }
+                if self.noise > 0.0 && rng.chance(self.noise) {
+                    *p = rng.range_u64(0, 256) as u8;
+                }
+            }
+        }
+
+        img
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hud_text_variants() {
+        assert_eq!(HudScene::typical(45).hud_text(), "45ms");
+        let mut s = HudScene::typical(45);
+        s.decoration = Decoration::PingPrefix;
+        assert_eq!(s.hud_text(), "ping 45");
+        s.decoration = Decoration::Bare;
+        assert_eq!(s.hud_text(), "45");
+        assert_eq!(HudScene::clock_overlay(45, 12, 5).hud_text(), "12:05");
+        assert_eq!(HudScene::clock_overlay(45, 25, 61).hud_text(), "1:01");
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let scene = HudScene::typical(87);
+        let a = scene.render(&mut SimRng::new(7));
+        let b = scene.render(&mut SimRng::new(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn roi_contains_text() {
+        let scene = HudScene::typical(123);
+        let (x, y, w, h) = scene.roi();
+        assert!(x <= scene.anchor.0 && y <= scene.anchor.1);
+        assert!(x + w <= THUMB_W && y + h <= THUMB_H);
+        // Wide enough for "999ms" at scale 2 (5 chars * 12px = 60px).
+        assert!(w >= 60, "roi width {w}");
+    }
+
+    #[test]
+    fn occlusion_darkens_leading_digits() {
+        let clean = HudScene::typical(456);
+        let hidden = HudScene::partially_hidden(456, 0.4);
+        let img_clean = clean.render(&mut SimRng::new(3));
+        let img_hidden = hidden.render(&mut SimRng::new(3));
+        // In the covered region, pixels differ from the clean render.
+        let (ax, ay) = clean.anchor;
+        let mut diffs = 0;
+        for dy in 0..10 {
+            for dx in 0..15 {
+                if img_clean.get(ax + dx, ay + dy) != img_hidden.get(ax + dx, ay + dy) {
+                    diffs += 1;
+                }
+            }
+        }
+        assert!(diffs > 40, "occlusion changed only {diffs} pixels");
+    }
+
+    #[test]
+    fn light_font_has_low_contrast() {
+        let s = HudScene::light_font(77);
+        assert!((s.bg as i32 - s.fg as i32).abs() < 2 * s.grain as i32 * 2);
+        // Render still works.
+        let img = s.render(&mut SimRng::new(1));
+        assert_eq!((img.width, img.height), (THUMB_W, THUMB_H));
+    }
+}

@@ -1,0 +1,371 @@
+//! Game metadata: server deployments (Tables 6–7), primary-server
+//! assignment, HUD conventions, and match lengths.
+
+use tero_geoparse::Gazetteer;
+use tero_types::{corrected_distance_km, GameId, LatLon, Location};
+
+/// One game server: a city-level location serving an area of the world.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GameServer {
+    /// Where the server lives (city granularity, per App. C).
+    pub location: Location,
+    /// Centre coordinates (resolved from the gazetteer at build time).
+    pub center: LatLon,
+    /// Human-readable area served (documentation; assignment itself is by
+    /// corrected distance, which is how we resolve the paper's "ambiguous"
+    /// cases too).
+    pub area: &'static str,
+}
+
+fn city(gaz: &Gazetteer, name: &str) -> (Location, LatLon) {
+    let p = gaz
+        .lookup_kind(name, tero_geoparse::PlaceKind::City)
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| panic!("server city {name} missing from gazetteer"));
+    (p.location.clone(), p.center)
+}
+
+fn region(gaz: &Gazetteer, name: &str) -> (Location, LatLon) {
+    let p = gaz
+        .lookup_kind(name, tero_geoparse::PlaceKind::Region)
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| panic!("server region {name} missing from gazetteer"));
+    (p.location.clone(), p.center)
+}
+
+/// Server deployments per game, straight from Tables 6–7. Valorant (the
+/// ninth game) has no public server data — the paper notes it found
+/// information "for 8 of them" — so it reuses the Riot deployment of
+/// League of Legends.
+pub fn server_locations(gaz: &Gazetteer, game: GameId) -> Vec<GameServer> {
+    let mk = |name: &str, area: &'static str| {
+        let (location, center) = city(gaz, name);
+        GameServer {
+            location,
+            center,
+            area,
+        }
+    };
+    // Tables 6–7 disclose some locations only at region granularity
+    // ("Virginia, USA", "California, USA", "Texas, USA").
+    let mk_region = |name: &str, area: &'static str| {
+        let (location, center) = region(gaz, name);
+        GameServer {
+            location,
+            center,
+            area,
+        }
+    };
+    match game {
+        // Riot games share the LoL deployment (Table 6 lists it once; TFT
+        // is Riot infrastructure as well).
+        GameId::LeagueOfLegends | GameId::TeamfightTactics | GameId::Valorant => vec![
+            mk("Amsterdam", "Europe"),
+            mk("Chicago", "US, Canada"),
+            mk("Sao Paulo", "Brazil"),
+            mk("Miami", "Northern South America"),
+            mk("Santiago", "Southern South America"),
+            mk("Sydney", "Oceania"),
+            mk("Istanbul", "Middle East"),
+            mk("Seoul", "Korea"),
+            mk("Tokyo", "Japan"),
+        ],
+        GameId::Dota2 => vec![
+            mk_region("Virginia", "North America"),
+            mk("Seattle", "North America"),
+            mk("Vienna", "Europe"),
+            mk("Luxembourg City", "Europe"),
+            mk("Santiago", "South America"),
+            mk("Lima", "South America"),
+            mk("Dubai", "Middle East"),
+            mk("Sydney", "Oceania"),
+            mk("Tokyo", "Asia"),
+        ],
+        GameId::GenshinImpact => vec![
+            mk_region("Virginia", "Americas"),
+            mk("Frankfurt", "Europe and Middle East"),
+            mk("Tokyo", "Asia"),
+        ],
+        GameId::LostArk => vec![
+            mk_region("Virginia", "Americas"),
+            mk("Frankfurt", "Europe and Middle East"),
+            mk("Tokyo", "Asia"),
+        ],
+        GameId::AmongUs => vec![
+            mk_region("California", "Americas and Oceania"),
+            mk_region("Texas", "Americas and Oceania"),
+            mk("Frankfurt", "Europe and Middle East"),
+            mk("Tokyo", "Asia"),
+        ],
+        GameId::CodWarzone => vec![
+            mk("Salt Lake City", "North America"),
+            mk("Los Angeles", "North America"),
+            mk("San Francisco", "North America"),
+            mk("Dallas", "North America"),
+            mk("St. Louis", "North America"),
+            mk("Columbus", "North America"),
+            mk("New York City", "North America"),
+            mk("Chicago", "North America"),
+            mk("Washington", "North America"),
+            mk("Atlanta", "North America"),
+            mk("London", "Europe"),
+            mk("Frankfurt", "Europe"),
+            mk("Amsterdam", "Europe"),
+            mk("Brussels", "Europe"),
+            mk("Paris", "Europe"),
+            mk("Madrid", "Europe"),
+            mk("Stockholm", "Europe"),
+            mk("Rome", "Europe"),
+            mk("Santiago", "South America"),
+            mk("Lima", "South America"),
+            mk("Sao Paulo", "South America"),
+            mk("Riyadh", "Middle East"),
+            mk("Sydney", "Oceania"),
+            mk("Tokyo", "Asia"),
+        ],
+        GameId::ApexLegends => vec![
+            mk_region("Virginia", "North America"),
+            mk("Dallas", "North America"),
+            mk("Salt Lake City", "North America"),
+            mk("Frankfurt", "Europe"),
+            mk("Amsterdam", "Europe"),
+            mk("London", "Europe"),
+            mk("Sao Paulo", "South America"),
+            mk("Tokyo", "Asia"),
+            mk("Sydney", "Oceania"),
+        ],
+    }
+}
+
+/// Countries the industry groups as "Middle East" game-regions.
+const MIDDLE_EAST: &[&str] = &[
+    "Turkey",
+    "Saudi Arabia",
+    "United Arab Emirates",
+    "Israel",
+    "Iran",
+];
+
+const MIAMI_AREA: &[&str] = &[
+    "Mexico", "Guatemala", "El Salvador", "Honduras", "Nicaragua", "Costa Rica", "Panama",
+    "Jamaica", "Cuba", "Dominican Republic", "Puerto Rico", "Colombia", "Venezuela", "Ecuador",
+];
+
+const SANTIAGO_AREA: &[&str] = &["Peru", "Bolivia", "Chile", "Argentina", "Uruguay", "Paraguay"];
+
+/// Whether a server's served area covers a player location. This encodes
+/// the *game-region* assignment of §2.1: providers divide the world
+/// administratively, which is why Greece plays on Amsterdam (2,068 km)
+/// rather than Istanbul (closer, but serving the Middle East region).
+fn area_matches(area: &str, gaz: &Gazetteer, loc: &Location) -> bool {
+    use tero_types::Continent::*;
+    let continent = gaz.continent_of(&loc.country);
+    let c = |want| continent == Some(want);
+    let is_me = MIDDLE_EAST.contains(&loc.country.as_str());
+    match area {
+        "Europe" => c(Europe) && !is_me,
+        "US, Canada" => loc.country == "United States" || loc.country == "Canada",
+        "Brazil" => loc.country == "Brazil",
+        "Northern South America" => MIAMI_AREA.contains(&loc.country.as_str()),
+        "Southern South America" => SANTIAGO_AREA.contains(&loc.country.as_str()),
+        "Oceania" => c(Oceania),
+        "Middle East" => is_me,
+        "Korea" => loc.country == "South Korea",
+        "Japan" => loc.country == "Japan",
+        "North America" => c(NorthAmerica),
+        "South America" => c(SouthAmerica),
+        "Asia" => c(Asia) && !is_me,
+        "Americas" => c(NorthAmerica) || c(SouthAmerica),
+        "Europe and Middle East" => c(Europe) || is_me,
+        "Americas and Oceania" => c(NorthAmerica) || c(SouthAmerica) || c(Oceania),
+        _ => false,
+    }
+}
+
+/// The *primary server* for a streamer location: among the servers whose
+/// game-region covers the location, the one with the smallest corrected
+/// distance (§3.3.3 — "we pick the server with the smallest corrected
+/// distance from location" when the choice is ambiguous, e.g. Call of
+/// Duty's ten North-American sites). Players from uncovered areas fall
+/// back to the globally nearest server.
+pub fn primary_server(
+    gaz: &Gazetteer,
+    game: GameId,
+    streamer_loc: &Location,
+) -> Option<GameServer> {
+    let place = gaz.resolve(streamer_loc)?;
+    let servers = server_locations(gaz, game);
+    let nearest = |candidates: Vec<GameServer>| {
+        candidates.into_iter().min_by(|a, b| {
+            let da = corrected_distance_km(place.center, a.center, place.mean_radius_km);
+            let db = corrected_distance_km(place.center, b.center, place.mean_radius_km);
+            da.partial_cmp(&db).unwrap()
+        })
+    };
+    let covered: Vec<GameServer> = servers
+        .iter()
+        .filter(|s| area_matches(s.area, gaz, streamer_loc))
+        .cloned()
+        .collect();
+    if covered.is_empty() {
+        nearest(servers)
+    } else {
+        nearest(covered)
+    }
+}
+
+/// Corrected distance from a streamer location to a server (km).
+pub fn corrected_distance_to(
+    gaz: &Gazetteer,
+    streamer_loc: &Location,
+    server: &GameServer,
+) -> Option<f64> {
+    let place = gaz.resolve(streamer_loc)?;
+    Some(corrected_distance_km(
+        place.center,
+        server.center,
+        place.mean_radius_km,
+    ))
+}
+
+/// Where and how a game draws its latency readout. Knowing this per game
+/// is exactly the "knowledge of each game's user interface" that §3.2 adds
+/// on top of raw OCR; it is also why *game mislabeling* breaks extraction
+/// (the module crops the wrong screen area, §3.3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HudSpec {
+    /// Top-left corner of the readout in the thumbnail.
+    pub anchor: (usize, usize),
+    /// Decoration around the number.
+    pub decoration: tero_vision::scene::Decoration,
+    /// Font scale.
+    pub text_scale: usize,
+}
+
+/// The HUD convention of each game.
+pub fn hud_spec(game: GameId) -> HudSpec {
+    use tero_vision::scene::Decoration::*;
+    match game {
+        GameId::LeagueOfLegends => HudSpec { anchor: (96, 6), decoration: MsSuffix, text_scale: 2 },
+        GameId::TeamfightTactics => HudSpec { anchor: (96, 14), decoration: MsSuffix, text_scale: 2 },
+        GameId::Valorant => HudSpec { anchor: (56, 6), decoration: PingPrefix, text_scale: 2 },
+        GameId::CodWarzone => HudSpec { anchor: (8, 6), decoration: PingPrefix, text_scale: 2 },
+        GameId::GenshinImpact => HudSpec { anchor: (96, 70), decoration: MsSuffix, text_scale: 2 },
+        GameId::Dota2 => HudSpec { anchor: (92, 6), decoration: MsSuffix, text_scale: 2 },
+        GameId::AmongUs => HudSpec { anchor: (8, 70), decoration: MsSuffix, text_scale: 2 },
+        GameId::LostArk => HudSpec { anchor: (8, 40), decoration: Bare, text_scale: 2 },
+        GameId::ApexLegends => HudSpec { anchor: (60, 70), decoration: MsSuffix, text_scale: 2 },
+    }
+}
+
+/// Average match length in minutes — the basis for `StableLen` (App. I
+/// cites 25–35 minutes for LoL and Warzone 2).
+pub fn match_length_mins(game: GameId) -> u64 {
+    match game {
+        GameId::LeagueOfLegends => 30,
+        GameId::CodWarzone => 28,
+        GameId::GenshinImpact => 35,
+        GameId::TeamfightTactics => 32,
+        GameId::Dota2 => 38,
+        GameId::AmongUs => 12,
+        GameId::LostArk => 40,
+        GameId::ApexLegends => 20,
+        GameId::Valorant => 35,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaz() -> Gazetteer {
+        Gazetteer::new()
+    }
+
+    #[test]
+    fn all_games_have_servers() {
+        let g = gaz();
+        for game in GameId::ALL {
+            let servers = server_locations(&g, game);
+            assert!(!servers.is_empty(), "{game}");
+        }
+        // CoD's deployment matches Table 7's 24 rows.
+        assert_eq!(server_locations(&g, GameId::CodWarzone).len(), 24);
+        // LoL's deployment matches Table 6's 9 rows.
+        assert_eq!(server_locations(&g, GameId::LeagueOfLegends).len(), 9);
+    }
+
+    #[test]
+    fn primary_server_examples_from_the_paper() {
+        let g = gaz();
+        // "There is one League of Legends server in Europe (in Amsterdam),
+        // and all players from Europe are supposed to play there."
+        for country in ["France", "Greece", "Poland", "Switzerland"] {
+            let loc = Location::country(country);
+            let s = primary_server(&g, GameId::LeagueOfLegends, &loc).unwrap();
+            assert_eq!(s.location.city.as_deref(), Some("Amsterdam"), "{country}");
+        }
+        // US states near Chicago play on Chicago (Figs 10).
+        for region in ["Illinois", "Missouri", "Minnesota"] {
+            let loc = Location::region("United States", region);
+            let s = primary_server(&g, GameId::LeagueOfLegends, &loc).unwrap();
+            assert_eq!(s.location.city.as_deref(), Some("Chicago"), "{region}");
+        }
+        // El Salvador and Jamaica play on Miami (Fig 12).
+        for country in ["El Salvador", "Jamaica"] {
+            let loc = Location::country(country);
+            let s = primary_server(&g, GameId::LeagueOfLegends, &loc).unwrap();
+            assert_eq!(s.location.city.as_deref(), Some("Miami"), "{country}");
+        }
+        // Bolivia plays on Santiago (Fig 9a).
+        let s = primary_server(&g, GameId::LeagueOfLegends, &Location::country("Bolivia")).unwrap();
+        assert_eq!(s.location.city.as_deref(), Some("Santiago"));
+        // Turkey plays on Istanbul (Fig 9b).
+        let s = primary_server(&g, GameId::LeagueOfLegends, &Location::country("Turkey")).unwrap();
+        assert_eq!(s.location.city.as_deref(), Some("Istanbul"));
+        // Hawaii's closest server is still in North America.
+        let s = primary_server(
+            &g,
+            GameId::LeagueOfLegends,
+            &Location::region("United States", "Hawaii"),
+        )
+        .unwrap();
+        assert_eq!(s.location.city.as_deref(), Some("Chicago"));
+    }
+
+    #[test]
+    fn cod_assignment_uses_nearest_of_many() {
+        let g = gaz();
+        let tx = Location::region("United States", "Texas");
+        let s = primary_server(&g, GameId::CodWarzone, &tx).unwrap();
+        assert_eq!(s.location.city.as_deref(), Some("Dallas"));
+        let uk = Location::country("United Kingdom");
+        let s = primary_server(&g, GameId::CodWarzone, &uk).unwrap();
+        assert_eq!(s.location.city.as_deref(), Some("London"));
+    }
+
+    #[test]
+    fn corrected_distance_nonzero_for_same_city() {
+        let g = gaz();
+        let ams = Location::city("Netherlands", "North Holland", "Amsterdam");
+        let server = primary_server(&g, GameId::LeagueOfLegends, &ams).unwrap();
+        let d = corrected_distance_to(&g, &ams, &server).unwrap();
+        // Same city: geodesic part 0, mean radius ~9 km.
+        assert!(d > 5.0 && d < 20.0, "distance {d}");
+    }
+
+    #[test]
+    fn unknown_location_yields_none() {
+        let g = gaz();
+        assert!(primary_server(&g, GameId::Dota2, &Location::country("Atlantis")).is_none());
+    }
+
+    #[test]
+    fn match_lengths_positive() {
+        for game in GameId::ALL {
+            assert!(match_length_mins(game) >= 10 || game == GameId::AmongUs);
+        }
+    }
+}

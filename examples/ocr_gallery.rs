@@ -1,0 +1,55 @@
+//! OCR gallery — render the Fig 6 failure modes and watch the three-engine
+//! voting front-end handle (or legitimately fail) each one.
+//!
+//! ```sh
+//! cargo run --release --example ocr_gallery
+//! ```
+
+use tero::types::SimRng;
+use tero::vision::combine::{CombineOutcome, OcrCombiner};
+use tero::vision::ocr::{OcrEngine, OcrEngineKind};
+use tero::vision::scene::HudScene;
+
+fn inspect(title: &str, scene: &HudScene, seed: u64) {
+    let combiner = OcrCombiner::new();
+    let mut rng = SimRng::new(seed);
+    let thumb = scene.render(&mut rng);
+    let roi = scene.roi();
+    let crop = thumb.crop(roi.0, roi.1, roi.2, roi.3);
+
+    println!();
+    println!("=== {title} — HUD shows {:?} (true latency {} ms) ===", scene.hud_text(), scene.latency_ms);
+    print!("{}", crop.to_ascii());
+
+    // What each engine reads on its own.
+    for kind in OcrEngineKind::ALL {
+        let engine = OcrEngine::new(kind);
+        let upscaled = crop.upscale(3);
+        let chars = engine.recognize_gray(&upscaled, &combiner.preprocess_cfg);
+        let raw: String = chars.iter().map(|c| c.ch).collect();
+        let value = tero::vision::combine::cleanup(&chars);
+        println!("  {:<16} read {raw:?} → {value:?}", kind.name());
+    }
+    // The vote.
+    match combiner.extract(&crop) {
+        CombineOutcome::Extracted {
+            primary,
+            alternative,
+        } => println!("  VOTE: {primary} ms (alternative {alternative:?})"),
+        CombineOutcome::NoMeasurement => println!("  VOTE: no measurement (discarded)"),
+    }
+}
+
+fn main() {
+    println!("The four Fig 6 scenarios through the image-processing module:");
+    inspect("(a) typical", &HudScene::typical(45), 11);
+    inspect("(b) light font", &HudScene::light_font(45), 12);
+    inspect("(c) partially hidden", &HudScene::partially_hidden(145, 0.4), 13);
+    inspect("(d) clock overlay", &HudScene::clock_overlay(45, 19, 42), 14);
+
+    println!();
+    println!("(a) reads cleanly; (b) dies at thresholding; (c) drops the covered");
+    println!("digit — all engines agree on the visible tail, which is why digit");
+    println!("drops dominate Tero's errors; (d) is the paper's trickiest case: a");
+    println!("plausible-but-wrong value that only data-analysis can catch.");
+}

@@ -1,0 +1,90 @@
+//! Quickstart: build a small synthetic Twitch world, run the full Tero
+//! pipeline over it (download → OCR → location → data-analysis), and print
+//! what came out the other end.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tero::core::pipeline::{ExtractionMode, Tero};
+use tero::types::GameId;
+use tero::world::{World, WorldConfig};
+
+fn main() {
+    // A world is a pure function of its seed: 60 streamers, 4 days of
+    // streaming, with everything Tero will have to cope with — OCR-hostile
+    // overlays, sparse profiles, latency spikes, server changes.
+    let mut world = World::build(WorldConfig {
+        seed: 2024,
+        n_streamers: 60,
+        days: 4,
+        ..WorldConfig::default()
+    });
+    println!(
+        "world: {} streamers, {} ground-truth thumbnails over {} days",
+        world.streamers().len(),
+        world.total_samples(),
+        world.config.days
+    );
+
+    // Run Tero end-to-end with the full OCR path.
+    let tero = Tero {
+        mode: ExtractionMode::FullOcr,
+        min_streamers: 3,
+        ..Tero::default()
+    };
+    let report = tero.run(&mut world);
+
+    println!();
+    println!("download module:");
+    println!("  polls: {}   thumbnails fetched: {}   offline redirects: {}",
+        report.download.polls, report.download.downloaded, report.download.offline_signals);
+
+    println!();
+    println!("image processing:");
+    println!(
+        "  {} thumbnails → {} measurements ({:.1} % extraction)",
+        report.thumbnails,
+        report.extracted,
+        100.0 * report.extracted as f64 / report.thumbnails.max(1) as f64
+    );
+
+    println!();
+    println!("location module:");
+    println!(
+        "  located {} of {} streamers seen",
+        report.locations.len(),
+        report.streamers_seen
+    );
+    for (anon, (loc, source)) in report.locations.iter().take(5) {
+        println!("    {anon} → {loc} (via {source:?})");
+    }
+
+    println!();
+    println!("data analysis:");
+    println!(
+        "  {} {{streamer, game}} series; {} measurements retained after cleaning",
+        report.streams.len(),
+        report.retained_measurements()
+    );
+    let spikes: usize = report.anomalies.values().map(|r| r.spikes.len()).sum();
+    println!("  {} spikes detected; {} shared anomalies", spikes, report.shared_anomalies.len());
+
+    println!();
+    println!("published latency distributions:");
+    for dist in report.distributions.iter().take(8) {
+        println!(
+            "  {} / {}: {}",
+            dist.location,
+            GameId::ALL
+                .iter()
+                .find(|g| **g == dist.game)
+                .map(|g| g.name())
+                .unwrap_or("?"),
+            dist.stats
+        );
+    }
+    if report.distributions.is_empty() {
+        println!("  (none at this world size — try more streamers or days)");
+    }
+}

@@ -1,0 +1,66 @@
+//! Testbed — run one §4.1 experiment on the Fig 3 topology and watch the
+//! displayed gaming latency track (and lag) the bottleneck's network
+//! latency.
+//!
+//! ```sh
+//! cargo run --release --example testbed
+//! ```
+
+use tero::simnet::experiment::{run_experiment, ExperimentConfig, GameProfile};
+
+fn main() {
+    let config = ExperimentConfig {
+        game: GameProfile::LOL,
+        bottleneck_bps: 100e6,
+        bottleneck_queue: 1_000,
+        bg_packet_bytes: 1_250,
+    };
+    println!(
+        "experiment: {} over a {:.0} Mbps bottleneck, {}-packet queue",
+        config.game.name,
+        config.bottleneck_bps / 1e6,
+        config.bottleneck_queue
+    );
+    println!("(5-minute protocol at half scale: startup / UDP / UDP+TCP / die-down)");
+    println!();
+
+    let result = run_experiment(config, 0.5);
+    assert!(result.startup_ok, "Control and Test disagreed during startup");
+
+    // A strip chart: one row per 5 seconds.
+    println!(
+        "{:>6} {:>10} {:>10} {:>12}  adjusted vs bottleneck",
+        "t[s]", "test[ms]", "ctrl[ms]", "bneck[ms]"
+    );
+    for s in result.samples.iter().step_by(25) {
+        let adjusted = s.test_ms - s.control_ms;
+        let bar_len = (adjusted / 8.0).clamp(0.0, 60.0) as usize;
+        let net_len = (s.bottleneck_ms / 8.0).clamp(0.0, 60.0) as usize;
+        let mut bar = vec![' '; 61];
+        bar[net_len] = '|';
+        for cell in bar.iter_mut().take(bar_len) {
+            *cell = '#';
+        }
+        println!(
+            "{:>6} {:>10.1} {:>10.1} {:>12.1}  {}",
+            s.t_ms / 1_000,
+            s.test_ms,
+            s.control_ms,
+            s.bottleneck_ms,
+            bar.into_iter().collect::<String>()
+        );
+    }
+
+    let diffs = result.differences();
+    let mut sorted = diffs.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p95 = tero::stats::descriptive::percentile_sorted(&sorted, 95.0);
+    println!();
+    println!(
+        "max bottleneck latency: {:.1} ms; p95 |adjusted − network|: {:.2} ms",
+        result.max_bottleneck_ms(),
+        p95
+    );
+    println!("(the '#' bar is the displayed-latency delta; '|' is the network truth —");
+    println!(" watch the bar lag the pipe at the start and end of background traffic)");
+}

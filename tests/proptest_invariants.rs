@@ -1,0 +1,214 @@
+//! Property-based tests over the core data structures and algorithms.
+
+use proptest::prelude::*;
+use tero::core::analysis::anomaly::detect_anomalies;
+use tero::core::analysis::clusters::cluster_segments;
+use tero::core::analysis::segments::segment_stream;
+use tero::stats::{percentile, unevenness_score, wasserstein_1d, BoxplotStats};
+use tero::store::KvStore;
+use tero::types::{
+    corrected_distance_km, haversine_km, LatLon, LatencySample, SimRng, SimTime, TeroParams,
+};
+use tero::vision::combine::{cleanup, vote};
+use tero::vision::ocr::OcrChar;
+
+fn samples(values: &[u16]) -> Vec<LatencySample> {
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| LatencySample::new(SimTime::from_mins(5 * i as u64), v as u32 + 1))
+        .collect()
+}
+
+proptest! {
+    // ---- geometry ---------------------------------------------------------
+
+    #[test]
+    fn haversine_is_a_metric(
+        lat1 in -90.0f64..90.0, lon1 in -180.0f64..180.0,
+        lat2 in -90.0f64..90.0, lon2 in -180.0f64..180.0,
+        lat3 in -90.0f64..90.0, lon3 in -180.0f64..180.0,
+    ) {
+        let a = LatLon::new(lat1, lon1);
+        let b = LatLon::new(lat2, lon2);
+        let c = LatLon::new(lat3, lon3);
+        let ab = haversine_km(a, b);
+        let ba = haversine_km(b, a);
+        prop_assert!((ab - ba).abs() < 1e-9, "symmetry");
+        prop_assert!(ab >= 0.0);
+        prop_assert!(ab <= 20_100.0, "bounded by half circumference + eps");
+        // Triangle inequality (with numerical slack).
+        let ac = haversine_km(a, c);
+        let cb = haversine_km(c, b);
+        prop_assert!(ab <= ac + cb + 1e-6);
+    }
+
+    #[test]
+    fn corrected_distance_at_least_geodesic(
+        lat1 in -90.0f64..90.0, lon1 in -180.0f64..180.0,
+        lat2 in -90.0f64..90.0, lon2 in -180.0f64..180.0,
+        radius in 0.0f64..500.0,
+    ) {
+        let a = LatLon::new(lat1, lon1);
+        let b = LatLon::new(lat2, lon2);
+        let plain = haversine_km(a, b);
+        let corrected = corrected_distance_km(a, b, radius);
+        prop_assert!(corrected >= plain - 1e-9);
+        prop_assert!((corrected - (plain + radius)).abs() < 1e-9);
+    }
+
+    // ---- statistics -------------------------------------------------------
+
+    #[test]
+    fn percentile_within_range(xs in prop::collection::vec(0.0f64..1000.0, 1..200), p in 0.0f64..100.0) {
+        let v = percentile(&xs, p);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+    }
+
+    #[test]
+    fn boxplot_percentiles_are_ordered(xs in prop::collection::vec(0.0f64..500.0, 1..200)) {
+        let b = BoxplotStats::from_samples(&xs).unwrap();
+        prop_assert!(b.p5 <= b.p25 && b.p25 <= b.p50 && b.p50 <= b.p75 && b.p75 <= b.p95);
+        prop_assert_eq!(b.n, xs.len());
+    }
+
+    #[test]
+    fn wasserstein_is_symmetric_and_zero_on_self(
+        a in prop::collection::vec(0.0f64..100.0, 1..60),
+        b in prop::collection::vec(0.0f64..100.0, 1..60),
+    ) {
+        prop_assert!(wasserstein_1d(&a, &a) < 1e-9);
+        let ab = wasserstein_1d(&a, &b);
+        let ba = wasserstein_1d(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(ab >= 0.0);
+    }
+
+    #[test]
+    fn unevenness_bounded(offsets in prop::collection::vec(0.0f64..300.0, 1..80)) {
+        let s = unevenness_score(&offsets, 300.0);
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    // ---- rng --------------------------------------------------------------
+
+    #[test]
+    fn rng_bounds_hold(seed in any::<u64>(), lo in 0u64..1000, width in 1u64..1000) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..50 {
+            let v = rng.range_u64(lo, lo + width);
+            prop_assert!(v >= lo && v < lo + width);
+            let f = rng.f64();
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    // ---- segmentation / anomaly invariants ---------------------------------
+
+    #[test]
+    fn segments_partition_and_respect_latgap(values in prop::collection::vec(0u16..400, 0..120)) {
+        let params = TeroParams::default();
+        let xs = samples(&values);
+        let segs = segment_stream(0, &xs, &params);
+        let total: usize = segs.iter().map(|s| s.len()).sum();
+        prop_assert_eq!(total, xs.len(), "partition");
+        for s in &segs {
+            prop_assert!(s.max_ms() - s.min_ms() <= params.lat_gap_ms, "span bound");
+            prop_assert!(!s.is_empty());
+        }
+        // Samples stay in order.
+        let flat: Vec<_> = segs.iter().flat_map(|s| s.samples.iter()).collect();
+        for w in flat.windows(2) {
+            prop_assert!(w[0].at < w[1].at);
+        }
+    }
+
+    #[test]
+    fn anomaly_detection_never_invents_samples(values in prop::collection::vec(0u16..400, 0..120)) {
+        let params = TeroParams::default();
+        let xs = samples(&values);
+        let segs = segment_stream(0, &xs, &params);
+        let report = detect_anomalies(segs, &params);
+        prop_assert_eq!(report.total_samples(), xs.len());
+        prop_assert!(report.clean_samples().len() <= xs.len());
+        prop_assert!(report.spike_samples() <= xs.len());
+        let frac = report.spike_fraction();
+        prop_assert!((0.0..=1.0).contains(&frac));
+    }
+
+    #[test]
+    fn clustering_conserves_samples(values in prop::collection::vec(0u16..400, 12..120)) {
+        let params = TeroParams::default();
+        let xs = samples(&values);
+        let segs = segment_stream(0, &xs, &params);
+        let stable: Vec<_> = segs.iter().filter(|s| s.stable).collect();
+        let stable_total: usize = stable.iter().map(|s| s.len()).sum();
+        let clusters = cluster_segments(&stable, params.lat_gap_ms);
+        let clustered: usize = clusters.iter().map(|c| c.samples.len()).sum();
+        prop_assert_eq!(clustered, stable_total);
+        let weight_sum: f64 = clusters.iter().map(|c| c.weight).sum();
+        if stable_total > 0 {
+            prop_assert!((weight_sum - 1.0).abs() < 1e-9);
+        }
+        // Clusters are separated by at least LatGap.
+        for (i, a) in clusters.iter().enumerate() {
+            for b in clusters.iter().skip(i + 1) {
+                prop_assert!(!a.touches(b, params.lat_gap_ms), "unmerged touching clusters");
+            }
+        }
+    }
+
+    // ---- OCR cleanup / voting ----------------------------------------------
+
+    #[test]
+    fn cleanup_output_is_valid_latency(text in "[0-9msping :]{0,12}") {
+        let chars: Vec<OcrChar> = text.chars().map(|ch| OcrChar { ch, distance: 0.0 }).collect();
+        if let Some(v) = cleanup(&chars) {
+            prop_assert!((1..=999).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vote_agrees_with_majority(a in prop::option::of(1u32..999), b in prop::option::of(1u32..999), c in prop::option::of(1u32..999)) {
+        let out = vote([a, b, c]);
+        if let Some((primary, alt)) = out {
+            // Primary must be held by at least two engines.
+            let count = [a, b, c].iter().filter(|&&v| v == Some(primary)).count();
+            prop_assert!(count >= 2);
+            if let Some(alt) = alt {
+                prop_assert_ne!(alt, primary);
+                prop_assert!([a, b, c].contains(&Some(alt)));
+            }
+        }
+    }
+
+    // ---- store -------------------------------------------------------------
+
+    #[test]
+    fn kv_list_preserves_fifo(items in prop::collection::vec("[a-z0-9]{1,8}", 0..40)) {
+        let kv = KvStore::new();
+        for item in &items {
+            kv.rpush("q", item.clone());
+        }
+        let mut popped = Vec::new();
+        while let Some(v) = kv.lpop("q") {
+            popped.push(v);
+        }
+        prop_assert_eq!(popped, items);
+    }
+
+    #[test]
+    fn kv_set_get_roundtrip(pairs in prop::collection::vec(("[a-z]{1,10}", "[a-zA-Z0-9]{0,20}"), 0..40)) {
+        let kv = KvStore::new();
+        let mut model = std::collections::HashMap::new();
+        for (k, v) in &pairs {
+            kv.set(k, v.clone());
+            model.insert(k.clone(), v.clone());
+        }
+        for (k, v) in &model {
+            prop_assert_eq!(kv.get(k), Some(v.clone()));
+        }
+    }
+}
