@@ -1,0 +1,96 @@
+//! Observability-substrate overhead: what one counter bump, one gauge
+//! update, and one `StageTimer` cost on the pipeline's hot paths. The
+//! numbers feed docs/OPERATIONS.md's overhead table; the key claim is that
+//! a *disabled* timer (the default) costs one atomic load and never reads
+//! the clock.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tero_obs::Registry;
+
+fn bench_counters(c: &mut Criterion) {
+    let registry = Registry::new();
+    let hits = registry.counter("bench.hits");
+    let mut group = c.benchmark_group("obs");
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_function("counter_inc_1k", |b| {
+        b.iter(|| {
+            for _ in 0..1_000 {
+                hits.inc();
+            }
+            hits.get()
+        })
+    });
+    let depth = registry.gauge("bench.depth");
+    group.bench_function("gauge_set_1k", |b| {
+        b.iter(|| {
+            for i in 0..1_000i64 {
+                depth.set(i);
+            }
+            depth.get()
+        })
+    });
+    let lat = registry.histogram("bench.lat");
+    group.bench_function("histogram_record_1k", |b| {
+        b.iter(|| {
+            for i in 0..1_000u64 {
+                lat.record(i * 37 + 1);
+            }
+            lat.count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_stage_timer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs");
+    group.throughput(Throughput::Elements(1_000));
+
+    // Default configuration: timing off. The guard must be ~free.
+    let off = Registry::new();
+    let h_off = off.histogram("bench.off_us");
+    group.bench_function("stage_timer_disabled_1k", |b| {
+        b.iter(|| {
+            for _ in 0..1_000 {
+                let _t = off.stage_timer(&h_off);
+            }
+            h_off.count()
+        })
+    });
+
+    // Opt-in configuration: timing on — two clock reads + one record.
+    let on = Registry::new();
+    on.set_timing(true);
+    let h_on = on.histogram("bench.on_us");
+    group.bench_function("stage_timer_enabled_1k", |b| {
+        b.iter(|| {
+            for _ in 0..1_000 {
+                let _t = on.stage_timer(&h_on);
+            }
+            h_on.count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    // A registry shaped like a real pipeline run: ~40 metrics.
+    let registry = Registry::new();
+    for i in 0..20 {
+        registry.counter(&format!("stage.counter_{i}")).add(i);
+    }
+    for i in 0..10 {
+        registry.gauge(&format!("stage.gauge_{i}")).set(i as i64);
+    }
+    for i in 0..10 {
+        let h = registry.histogram(&format!("stage.hist_{i}"));
+        for v in 0..100u64 {
+            h.record(v * (i + 1));
+        }
+    }
+    c.bench_function("obs/snapshot_40_metrics", |b| {
+        b.iter(|| registry.snapshot().metric_names().len())
+    });
+}
+
+criterion_group!(benches, bench_counters, bench_stage_timer, bench_snapshot);
+criterion_main!(benches);

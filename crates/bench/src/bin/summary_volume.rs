@@ -42,6 +42,9 @@ fn main() {
         mode: ExtractionMode::Calibrated,
         ..Tero::default()
     };
+    // Regenerators pay the (small) timing cost so the printed snapshot
+    // includes stage latencies; production-style runs leave it off.
+    tero.obs.set_timing(true);
     let report = tero.run(&mut world);
 
     let retained = report.retained_measurements();
@@ -88,4 +91,12 @@ fn main() {
     println!("  distributions published: {}", out.distributions_published);
 
     write_json("summary_volume", &out);
+
+    // ---- Pipeline metrics snapshot -------------------------------------
+    let snap = tero.metrics_snapshot();
+    println!();
+    println!("pipeline metrics snapshot:");
+    println!("{}", snap.render_text());
+    println!("metrics json:");
+    println!("{}", snap.to_json());
 }

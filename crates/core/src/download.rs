@@ -15,6 +15,7 @@
 use serde::Serialize;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use tero_obs::Registry;
 use tero_store::{KvStore, ObjectStore};
 use tero_types::{GameId, SimDuration, SimTime, StreamerId};
 use tero_world::twitch::CdnResponse;
@@ -110,6 +111,7 @@ impl PartialOrd for HeapEv {
 pub struct DownloadModule {
     kv: KvStore,
     objects: ObjectStore,
+    obs: Registry,
     /// How often the coordinator polls `Get Streams`.
     pub poll_interval: SimDuration,
     /// Number of downloader workers.
@@ -119,22 +121,68 @@ pub struct DownloadModule {
     pub fetch_cost: SimDuration,
 }
 
+/// Metric handles resolved once per [`DownloadModule::run`] — bumping them
+/// inside the event loop is lock-free.
+struct DownloadObs {
+    polls: tero_obs::CounterHandle,
+    rate_limited: tero_obs::CounterHandle,
+    get_attempts: tero_obs::CounterHandle,
+    get_hits: tero_obs::CounterHandle,
+    same_content: tero_obs::CounterHandle,
+    fetch_deferred: tero_obs::CounterHandle,
+    overwrite_missed: tero_obs::CounterHandle,
+    offline_signals: tero_obs::CounterHandle,
+    assignments: tero_obs::CounterHandle,
+    idle_steals: tero_obs::CounterHandle,
+    queue_depth: tero_obs::HistogramHandle,
+    downloader_load: tero_obs::GaugeHandle,
+}
+
+impl DownloadObs {
+    fn resolve(obs: &Registry) -> Self {
+        DownloadObs {
+            polls: obs.counter("download.polls"),
+            rate_limited: obs.counter("download.rate_limited"),
+            get_attempts: obs.counter("download.get_attempts"),
+            get_hits: obs.counter("download.get_hits"),
+            same_content: obs.counter("download.same_content"),
+            fetch_deferred: obs.counter("download.fetch_deferred"),
+            overwrite_missed: obs.counter("download.overwrite_missed"),
+            offline_signals: obs.counter("download.offline_signals"),
+            assignments: obs.counter("download.assignments"),
+            idle_steals: obs.counter("download.idle_steals"),
+            queue_depth: obs.histogram("download.queue_depth"),
+            downloader_load: obs.gauge("download.downloader_load"),
+        }
+    }
+}
+
 impl DownloadModule {
     /// A module writing into the given stores.
     pub fn new(kv: KvStore, objects: ObjectStore) -> Self {
         DownloadModule {
             kv,
             objects,
+            obs: Registry::new(),
             poll_interval: SimDuration::from_mins(2),
             downloaders: 4,
             fetch_cost: SimDuration::from_millis(500),
         }
     }
 
+    /// Record this module's metrics (`download.*`) into `registry` instead
+    /// of the private default registry.
+    pub fn instrument(&mut self, registry: &Registry) {
+        self.obs = registry.clone();
+    }
+
     /// Run the module against the world from `from` to `until` (logical
     /// time). Thumbnails land in the object store (bucket `thumbs`) and
     /// tasks on the KV list `queue:thumbs`.
     pub fn run(&mut self, world: &mut World, from: SimTime, until: SimTime) -> DownloadStats {
+        let obs = DownloadObs::resolve(&self.obs);
+        let run_us = self.obs.histogram("download.run_us");
+        let _run_timer = self.obs.stage_timer(&run_us);
         let mut stats = DownloadStats::default();
         let mut heap: BinaryHeap<Reverse<HeapEv>> = BinaryHeap::new();
         let mut seq = 0u64;
@@ -167,7 +215,13 @@ impl DownloadModule {
             let d = (0..downloader_load.len())
                 .min_by_key(|&i| downloader_load[i])
                 .unwrap_or(0);
+            obs.assignments.inc();
+            if downloader_load[d] == 0 {
+                obs.idle_steals.inc();
+            }
             downloader_load[d] += 1;
+            obs.queue_depth.record(downloader_load[d] as u64);
+            obs.downloader_load.set(downloader_load[d] as i64);
             let id = next_assignment_id;
             next_assignment_id += 1;
             assignments.insert(
@@ -192,6 +246,7 @@ impl DownloadModule {
                     match world.twitch.get_streams(at) {
                         Ok(listings) => {
                             stats.polls += 1;
+                            obs.polls.inc();
                             for l in &listings {
                                 let key = format!("active:{}", l.streamer.as_str());
                                 if self.kv.exists(&key) {
@@ -210,7 +265,13 @@ impl DownloadModule {
                                 let d = (0..downloader_load.len())
                                     .min_by_key(|&i| downloader_load[i])
                                     .unwrap_or(0);
+                                obs.assignments.inc();
+                                if downloader_load[d] == 0 {
+                                    obs.idle_steals.inc();
+                                }
                                 downloader_load[d] += 1;
+                                obs.queue_depth.record(downloader_load[d] as u64);
+                                obs.downloader_load.set(downloader_load[d] as i64);
                                 let id = next_assignment_id;
                                 next_assignment_id += 1;
                                 assignments.insert(
@@ -228,6 +289,7 @@ impl DownloadModule {
                         }
                         Err(limited) => {
                             stats.rate_limited += 1;
+                            obs.rate_limited.inc();
                             push(&mut heap, &mut seq, limited.retry_at, Ev::Poll);
                             continue;
                         }
@@ -242,10 +304,12 @@ impl DownloadModule {
                     // Serialise fetches per downloader.
                     if downloader_busy_until[d] > at {
                         let retry = downloader_busy_until[d];
+                        obs.fetch_deferred.inc();
                         push(&mut heap, &mut seq, retry, Ev::Fetch(id));
                         continue;
                     }
                     downloader_busy_until[d] = at + self.fetch_cost;
+                    obs.get_attempts.inc();
                     match world.twitch.cdn_get(&assignment.url, at) {
                         CdnResponse::Thumbnail {
                             image,
@@ -255,6 +319,7 @@ impl DownloadModule {
                             if let Some(last) = assignment.last_generated {
                                 if generated_at == last {
                                     // Same content; try again shortly.
+                                    obs.same_content.inc();
                                     push(
                                         &mut heap,
                                         &mut seq,
@@ -268,6 +333,7 @@ impl DownloadModule {
                                 let gap = generated_at.since(last).as_secs();
                                 if gap > 400 {
                                     stats.missed += gap / 330 - 1;
+                                    obs.overwrite_missed.add(gap / 330 - 1);
                                 }
                             }
                             assignment.last_generated = Some(generated_at);
@@ -291,6 +357,7 @@ impl DownloadModule {
                             };
                             self.kv.rpush("queue:thumbs", task.encode());
                             stats.downloaded += 1;
+                            obs.get_hits.inc();
                             // Schedule the next fetch right after the next
                             // expected overwrite.
                             let next = next_update
@@ -304,10 +371,12 @@ impl DownloadModule {
                             // only once — the KV active flag with TTL keeps
                             // this bounded. Signal the coordinator.
                             stats.offline_signals += 1;
+                            obs.offline_signals.inc();
                             self.kv
                                 .rpush("offline", assignment.streamer.as_str().to_string());
                             self.kv.del(&format!("active:{}", assignment.streamer.as_str()));
                             downloader_load[d] = downloader_load[d].saturating_sub(1);
+                            obs.downloader_load.set(downloader_load[d] as i64);
                             assignments.remove(&id);
                         }
                     }
@@ -411,6 +480,32 @@ mod tests {
         assert_eq!(tasks.len() as u64, stats.downloaded);
         let img = module.load_image(&tasks[0].object_key).expect("image");
         assert_eq!(img.width, tero_vision::scene::THUMB_W);
+    }
+
+    #[test]
+    fn metrics_mirror_run_stats() {
+        let mut world = small_world();
+        let mut module = DownloadModule::new(KvStore::new(), ObjectStore::new());
+        let registry = Registry::new();
+        module.instrument(&registry);
+        let horizon = world.horizon;
+        let stats = module.run(&mut world, SimTime::EPOCH, horizon);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("download.polls"), Some(stats.polls));
+        assert_eq!(snap.counter("download.get_hits"), Some(stats.downloaded));
+        assert_eq!(
+            snap.counter("download.offline_signals"),
+            Some(stats.offline_signals)
+        );
+        assert_eq!(snap.counter("download.overwrite_missed"), Some(stats.missed));
+        assert!(snap.counter("download.get_attempts") >= snap.counter("download.get_hits"));
+        assert!(snap.histogram("download.queue_depth").unwrap().count > 0);
+        assert!(snap.gauge("download.downloader_load").unwrap().high_watermark >= 1);
+        assert_eq!(
+            snap.histogram("download.run_us").unwrap().count,
+            0,
+            "wall-clock timing stays off by default"
+        );
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //! module crops a small region of interest around it before running the
 //! three engines and the 2-of-3 vote.
 
+use tero_obs::{CounterHandle, HistogramHandle, Registry};
 use tero_types::GameId;
-use tero_vision::combine::{CombineOutcome, OcrCombiner};
+use tero_vision::combine::{CombineOutcome, ExtractDetail, OcrCombiner, ENGINE_NAMES};
 use tero_vision::font::{GLYPH_H, GLYPH_SPACING, GLYPH_W};
 use tero_vision::scene::{Decoration, THUMB_H, THUMB_W};
 use tero_vision::Image;
@@ -32,10 +33,33 @@ pub fn roi_for_game(game: GameId) -> (usize, usize, usize, usize) {
     (x, y, w.min(THUMB_W - x), h.min(THUMB_H - y))
 }
 
+/// Per-engine metric handles: one `ocr.<engine>.{read,miss,confused}`
+/// triple per OCR engine.
+#[derive(Debug, Clone)]
+struct EngineObs {
+    read: CounterHandle,
+    miss: CounterHandle,
+    confused: CounterHandle,
+}
+
+/// Metric handles resolved once at [`ImageProcessor::with_registry`] time
+/// so the per-thumbnail hot path never touches the registry lock.
+#[derive(Debug, Clone)]
+struct ProcObs {
+    engines: [EngineObs; 3],
+    reprocessed: CounterHandle,
+    vote_unanimous: CounterHandle,
+    vote_majority: CounterHandle,
+    vote_failed: CounterHandle,
+    extract_us: HistogramHandle,
+    registry: Registry,
+}
+
 /// The image-processing module: game-aware cropping + the OCR combiner.
 #[derive(Debug, Clone, Default)]
 pub struct ImageProcessor {
     combiner: OcrCombiner,
+    obs: Option<ProcObs>,
 }
 
 impl ImageProcessor {
@@ -43,6 +67,29 @@ impl ImageProcessor {
     pub fn new() -> Self {
         ImageProcessor {
             combiner: OcrCombiner::new(),
+            obs: None,
+        }
+    }
+
+    /// A processor recording per-engine OCR outcomes (`ocr.*`) into
+    /// `registry`. All metric handles are resolved here, once.
+    pub fn with_registry(registry: &Registry) -> Self {
+        let engines = ENGINE_NAMES.map(|name| EngineObs {
+            read: registry.counter(&format!("ocr.{name}.read")),
+            miss: registry.counter(&format!("ocr.{name}.miss")),
+            confused: registry.counter(&format!("ocr.{name}.confused")),
+        });
+        ImageProcessor {
+            combiner: OcrCombiner::new(),
+            obs: Some(ProcObs {
+                engines,
+                reprocessed: registry.counter("ocr.reprocessed"),
+                vote_unanimous: registry.counter("ocr.vote_unanimous"),
+                vote_majority: registry.counter("ocr.vote_majority"),
+                vote_failed: registry.counter("ocr.vote_failed"),
+                extract_us: registry.histogram("ocr.extract_us"),
+                registry: registry.clone(),
+            }),
         }
     }
 
@@ -50,8 +97,57 @@ impl ImageProcessor {
     /// *labeled* as (§3.3.3: mislabeled streams make this crop the wrong
     /// screen area — those extractions mostly fail or produce junk).
     pub fn extract(&self, thumbnail: &Image, game_label: GameId) -> CombineOutcome {
-        self.combiner
-            .extract_from_thumbnail(thumbnail, roi_for_game(game_label))
+        let timer = self
+            .obs
+            .as_ref()
+            .map(|o| o.registry.stage_timer(&o.extract_us));
+        let (outcome, detail) = self
+            .combiner
+            .extract_from_thumbnail_with_detail(thumbnail, roi_for_game(game_label));
+        drop(timer);
+        if let Some(obs) = &self.obs {
+            record_detail(obs, outcome, detail);
+        }
+        outcome
+    }
+}
+
+/// Bump the per-engine and vote counters for one extraction.
+fn record_detail(obs: &ProcObs, outcome: CombineOutcome, detail: ExtractDetail) {
+    let primary = match outcome {
+        CombineOutcome::Extracted { primary, .. } => Some(primary),
+        CombineOutcome::NoMeasurement => None,
+    };
+    for (eng, value) in obs.engines.iter().zip(detail.engine_values) {
+        match value {
+            None => eng.miss.inc(),
+            Some(v) => {
+                eng.read.inc();
+                // Counts as confusion only when a vote succeeded and this
+                // engine dissented — without a vote there is no reference.
+                if primary.is_some_and(|p| p != v) {
+                    eng.confused.inc();
+                }
+            }
+        }
+    }
+    if detail.reprocessed {
+        obs.reprocessed.inc();
+    }
+    match primary {
+        None => obs.vote_failed.inc(),
+        Some(p) => {
+            let agree = detail
+                .engine_values
+                .iter()
+                .filter(|v| **v == Some(p))
+                .count();
+            if agree >= 3 {
+                obs.vote_unanimous.inc();
+            } else {
+                obs.vote_majority.inc();
+            }
+        }
     }
 }
 

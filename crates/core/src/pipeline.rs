@@ -2,7 +2,7 @@
 //! data-analysis, wired through the stores of `tero-store` and run against
 //! a `tero-world` platform.
 
-use crate::analysis::anomaly::{detect_anomalies, AnomalyReport};
+use crate::analysis::anomaly::{detect_anomalies, AnomalyReport, SegmentLabel};
 use crate::analysis::clusters::{
     classify_streamer, endpoint_changes, merge_location_clusters, ChangeKind,
     ClassifiedStreamer, EndPointChange, LatencyCluster,
@@ -16,6 +16,7 @@ use crate::imageproc::ImageProcessor;
 use crate::location::{LocationModule, LocationSource};
 use std::collections::{BTreeMap, HashMap};
 use tero_geoparse::tags::TagObservation;
+use tero_obs::{Registry, Snapshot};
 use tero_store::{KvStore, ObjectStore};
 use tero_types::{
     AnonId, GameId, LatencySample, Location, SimDuration, SimTime, StreamerId, TeroParams,
@@ -62,6 +63,10 @@ pub struct Tero {
     /// which screens out mislocated streamers (the paper leaves this to
     /// the data-set's users; we implement it as an opt-in).
     pub reject_outside_clusters: bool,
+    /// The metric registry every stage reports into. Counters are always
+    /// on; per-operation timing histograms only populate after
+    /// `obs.set_timing(true)`.
+    pub obs: Registry,
 }
 
 impl Default for Tero {
@@ -72,6 +77,7 @@ impl Default for Tero {
             mode: ExtractionMode::FullOcr,
             min_streamers: 5,
             reject_outside_clusters: false,
+            obs: Registry::new(),
         }
     }
 }
@@ -124,26 +130,53 @@ impl TeroReport {
 }
 
 impl Tero {
+    /// A point-in-time snapshot of every metric recorded so far. Usually
+    /// read after [`Tero::run`]; safe to call at any time.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.obs.snapshot()
+    }
+
     /// Run the full pipeline over a world's entire data-set.
     pub fn run(&self, world: &mut World) -> TeroReport {
+        let run_us = self.obs.histogram("pipeline.run_us");
+        let _run_timer = self.obs.stage_timer(&run_us);
+        let c_thumbs = self.obs.counter("pipeline.thumbnails");
+        let c_extracted = self.obs.counter("pipeline.extracted");
+        let c_no_measurement = self.obs.counter("pipeline.no_measurement");
+        let c_images_missing = self.obs.counter("pipeline.images_missing");
+        let c_streams = self.obs.counter("pipeline.streams_stitched");
+        let c_located = self.obs.counter("pipeline.streamers_located");
+        let a_segments = self.obs.counter("analysis.segments_built");
+        let a_glitch_fixed = self.obs.counter("analysis.glitches_corrected");
+        let a_glitch_dropped = self.obs.counter("analysis.glitches_discarded");
+        let a_spikes = self.obs.counter("analysis.spikes_detected");
+        let a_discarded = self.obs.counter("analysis.points_discarded");
+        let a_dists = self.obs.counter("analysis.distributions_published");
+        let a_shared = self.obs.counter("analysis.shared_anomalies");
+
         let kv = KvStore::new();
         let objects = ObjectStore::new();
+        kv.instrument(&self.obs);
+        objects.instrument(&self.obs);
         let mut download = DownloadModule::new(kv.clone(), objects.clone());
+        download.instrument(&self.obs);
         let horizon = world.horizon;
         let download_stats = download.run(world, SimTime::EPOCH, horizon);
         let tasks = download.drain_tasks();
 
         // ---- Image processing -------------------------------------------------
-        let processor = ImageProcessor::new();
+        let processor = ImageProcessor::with_registry(&self.obs);
         let mut measurements: BTreeMap<(AnonId, GameId), Vec<LatencySample>> = BTreeMap::new();
         let mut usernames: HashMap<AnonId, StreamerId> = HashMap::new();
         let mut extracted = 0u64;
         for task in &tasks {
+            c_thumbs.inc();
             let anon = AnonId::from_streamer(&task.streamer, self.salt);
             usernames.entry(anon).or_insert_with(|| task.streamer.clone());
             let outcome = match self.mode {
                 ExtractionMode::FullOcr => {
                     let Some(image) = download.load_image(&task.object_key) else {
+                        c_images_missing.inc();
                         continue;
                     };
                     processor.extract(&image, task.game_label)
@@ -156,6 +189,7 @@ impl Tero {
             } = outcome
             {
                 extracted += 1;
+                c_extracted.inc();
                 let sample = match alternative {
                     Some(alt) => {
                         LatencySample::with_alternative(task.generated_at, primary, alt)
@@ -166,6 +200,8 @@ impl Tero {
                     .entry((anon, task.game_label))
                     .or_default()
                     .push(sample);
+            } else {
+                c_no_measurement.inc();
             }
         }
 
@@ -194,6 +230,7 @@ impl Tero {
                     samples: current,
                 });
             }
+            c_streams.add(series.len() as u64);
             streams.insert((anon, game), series);
         }
 
@@ -230,6 +267,7 @@ impl Tero {
                 locations.insert(*anon, (loc, source));
             }
         }
+        c_located.add(locations.len() as u64);
 
         // ---- Per-streamer analysis ----------------------------------------------
         let mut anomalies: BTreeMap<(AnonId, GameId), AnomalyReport> = BTreeMap::new();
@@ -240,6 +278,18 @@ impl Tero {
                 segments.extend(segment_stream(idx, &s.samples, &self.params));
             }
             let report = detect_anomalies(segments, &self.params);
+            a_segments.add(report.segments.len() as u64);
+            a_spikes.add(report.spikes.len() as u64);
+            for label in &report.labels {
+                match label {
+                    SegmentLabel::CorrectedGlitch => a_glitch_fixed.inc(),
+                    SegmentLabel::DiscardedGlitch => a_glitch_dropped.inc(),
+                    _ => {}
+                }
+            }
+            let total_points: usize = report.segments.iter().map(|s| s.samples.len()).sum();
+            let kept = report.clean_samples().len();
+            a_discarded.add(total_points.saturating_sub(kept) as u64);
             classified.insert((*anon, *game), classify_streamer(*anon, &report, &self.params));
             anomalies.insert((*anon, *game), report);
         }
@@ -451,6 +501,9 @@ impl Tero {
                 let _ = idx;
             }
         }
+
+        a_dists.add(distributions.len() as u64);
+        a_shared.add(shared_anomalies.len() as u64);
 
         TeroReport {
             download: download_stats,
@@ -729,6 +782,50 @@ mod tests {
             (rate_full - rate_cal).abs() < 0.15,
             "extraction rates {rate_full} vs {rate_cal}"
         );
+    }
+
+    #[test]
+    fn metrics_snapshot_mirrors_report() {
+        let mut world = World::build(WorldConfig {
+            seed: 51,
+            n_streamers: 25,
+            days: 3,
+            ..WorldConfig::default()
+        });
+        let tero = Tero {
+            mode: ExtractionMode::Calibrated,
+            min_streamers: 2,
+            ..Tero::default()
+        };
+        let report = tero.run(&mut world);
+        let snap = tero.metrics_snapshot();
+        assert_eq!(snap.counter("pipeline.thumbnails"), Some(report.thumbnails));
+        assert_eq!(snap.counter("pipeline.extracted"), Some(report.extracted));
+        assert_eq!(
+            snap.counter("pipeline.no_measurement"),
+            Some(report.thumbnails - report.extracted),
+            "calibrated mode never skips an image, so misses + hits = thumbnails"
+        );
+        let stitched: u64 = report.streams.values().map(|s| s.len() as u64).sum();
+        assert_eq!(snap.counter("pipeline.streams_stitched"), Some(stitched));
+        assert_eq!(
+            snap.counter("pipeline.streamers_located"),
+            Some(report.locations.len() as u64)
+        );
+        let segments: u64 = report.anomalies.values().map(|r| r.segments.len() as u64).sum();
+        assert_eq!(snap.counter("analysis.segments_built"), Some(segments));
+        assert_eq!(
+            snap.counter("analysis.distributions_published"),
+            Some(report.distributions.len() as u64)
+        );
+        // Download metrics arrive through the same registry.
+        assert_eq!(snap.counter("download.get_hits"), Some(report.download.downloaded));
+        // Store counters are live: the run reads and writes the kv store.
+        assert!(snap.counter("store.kv.writes").unwrap() > 0);
+        assert!(snap.counter("store.object.writes").unwrap() > 0);
+        // Timing is off by default: histograms registered but empty.
+        let run_us = snap.histogram("pipeline.run_us").unwrap();
+        assert_eq!(run_us.count, 0, "timing disabled by default");
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Counters and gauges: the scalar metric primitives.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing event counter.
+///
+/// All operations use relaxed ordering: metrics tolerate reordering
+/// against surrounding code, and relaxed adds compile to a single lock-add
+/// on x86 / ldadd on aarch64.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous level that can move both ways (queue occupancy,
+/// active assignments), with a monotonic high-watermark.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+    high_watermark: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub const fn new() -> Self {
+        Gauge {
+            value: AtomicI64::new(0),
+            high_watermark: AtomicI64::new(0),
+        }
+    }
+
+    /// Set the level directly.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.high_watermark.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Move the level by `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        let now = self.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.high_watermark.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrement by one.
+    #[inline]
+    pub fn dec(&self) {
+        self.value.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest level ever set or reached via `add`/`inc`.
+    pub fn high_watermark(&self) -> i64 {
+        self.high_watermark.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_tracks_level_and_watermark() {
+        let g = Gauge::new();
+        g.set(3);
+        g.add(4);
+        g.dec();
+        assert_eq!(g.get(), 6);
+        assert_eq!(g.high_watermark(), 7);
+        g.set(1);
+        assert_eq!(g.high_watermark(), 7, "watermark is monotonic");
+    }
+}

@@ -1,0 +1,226 @@
+//! The named-metric registry.
+
+use crate::hist::Histogram;
+use crate::metrics::{Counter, Gauge};
+use crate::snapshot::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, Snapshot};
+use crate::timer::StageTimer;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Shared handle to a registered counter. Bumping through the handle is
+/// lock-free; only the initial name lookup takes the registry lock.
+pub type CounterHandle = Arc<Counter>;
+/// Shared handle to a registered gauge.
+pub type GaugeHandle = Arc<Gauge>;
+/// Shared handle to a registered histogram.
+pub type HistogramHandle = Arc<Histogram>;
+
+#[derive(Default)]
+struct Inner {
+    counters: Mutex<BTreeMap<String, CounterHandle>>,
+    gauges: Mutex<BTreeMap<String, GaugeHandle>>,
+    histograms: Mutex<BTreeMap<String, HistogramHandle>>,
+    /// The sampling knob for wall-clock stage timing. Off by default:
+    /// [`StageTimer`]s become no-ops and snapshots stay deterministic.
+    timing: AtomicBool,
+}
+
+/// A registry of named metrics, shared by every pipeline stage.
+///
+/// Cloning is cheap (`Arc`); all clones see the same metrics. Metric
+/// names are dotted paths, `<stage>.<event>[_<unit>]` — see
+/// `docs/OPERATIONS.md` for the catalogue.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Registry {
+    /// An empty registry with timing disabled.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Enable or disable wall-clock stage timing. Counters and
+    /// value-histograms are unaffected — they are always on.
+    pub fn set_timing(&self, enabled: bool) {
+        self.inner.timing.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether wall-clock stage timing is enabled.
+    #[inline]
+    pub fn timing_enabled(&self) -> bool {
+        self.inner.timing.load(Ordering::Relaxed)
+    }
+
+    /// Look up or create the counter `name`.
+    pub fn counter(&self, name: &str) -> CounterHandle {
+        let mut map = self
+            .inner
+            .counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Look up or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> GaugeHandle {
+        let mut map = self
+            .inner
+            .gauges
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Look up or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        let mut map = self
+            .inner
+            .histograms
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
+    }
+
+    /// Start a stage timer recording into `hist` on drop — a no-op guard
+    /// (no clock read) unless [`Registry::set_timing`] enabled timing.
+    #[inline]
+    pub fn stage_timer(&self, hist: &HistogramHandle) -> StageTimer {
+        StageTimer::start(self.timing_enabled(), hist.clone())
+    }
+
+    /// All registered metric names, sorted (counters, gauges, histograms
+    /// concatenated).
+    pub fn metric_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = Vec::new();
+        names.extend(
+            self.inner
+                .counters
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .keys()
+                .cloned(),
+        );
+        names.extend(
+            self.inner
+                .gauges
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .keys()
+                .cloned(),
+        );
+        names.extend(
+            self.inner
+                .histograms
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .keys()
+                .cloned(),
+        );
+        names.sort();
+        names
+    }
+
+    /// A point-in-time snapshot of every metric, in name order.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(name, c)| CounterSnapshot {
+                name: name.clone(),
+                value: c.get(),
+            })
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(name, g)| GaugeSnapshot {
+                name: name.clone(),
+                value: g.get(),
+                high_watermark: g.high_watermark(),
+            })
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(name, h)| HistogramSnapshot {
+                name: name.clone(),
+                count: h.count(),
+                sum: h.sum(),
+                min: h.min(),
+                max: h.max(),
+                mean: h.mean(),
+                p50: h.percentile(50.0),
+                p95: h.percentile(95.0),
+                p99: h.percentile(99.0),
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("metrics", &self.metric_names().len())
+            .field("timing", &self.timing_enabled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state_across_clones() {
+        let r = Registry::new();
+        let c1 = r.counter("a.b");
+        let c2 = r.clone().counter("a.b");
+        c1.inc();
+        c2.inc();
+        assert_eq!(r.snapshot().counter("a.b"), Some(2));
+    }
+
+    #[test]
+    fn names_are_sorted_and_complete() {
+        let r = Registry::new();
+        r.counter("z.last");
+        r.gauge("m.middle");
+        r.histogram("a.first");
+        assert_eq!(r.metric_names(), vec!["a.first", "m.middle", "z.last"]);
+    }
+
+    #[test]
+    fn timing_defaults_off() {
+        let r = Registry::new();
+        assert!(!r.timing_enabled());
+        let h = r.histogram("t.us");
+        {
+            let _guard = r.stage_timer(&h);
+        }
+        assert_eq!(h.count(), 0, "disabled timer records nothing");
+        r.set_timing(true);
+        {
+            let _guard = r.stage_timer(&h);
+        }
+        assert_eq!(h.count(), 1, "enabled timer records one sample");
+    }
+}

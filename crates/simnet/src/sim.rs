@@ -7,6 +7,7 @@ use crate::tcp::{TcpActions, TcpFlow};
 use crate::udp::UdpFlow;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use tero_obs::{CounterHandle, GaugeHandle, Registry};
 use tero_types::{SimDuration, SimRng, SimTime};
 
 /// Scheduled work.
@@ -76,6 +77,15 @@ pub struct Simulator {
     /// Total packets that reached a destination.
     pub delivered_packets: u64,
     rng: SimRng,
+    obs: Option<SimObs>,
+}
+
+/// Metric handles installed by [`Simulator::instrument`], resolved once so
+/// the event loop never touches the registry's name table.
+struct SimObs {
+    events: CounterHandle,
+    scheduled: CounterHandle,
+    heap_depth: GaugeHandle,
 }
 
 impl Default for Simulator {
@@ -114,7 +124,19 @@ impl Simulator {
             game_server_node: None,
             delivered_packets: 0,
             rng: SimRng::new(1),
+            obs: None,
         }
+    }
+
+    /// Register simulator metrics (`simnet.*`) with a registry: events
+    /// dispatched, events scheduled, and the event-heap occupancy gauge
+    /// (whose high-watermark records peak backlog).
+    pub fn instrument(&mut self, registry: &Registry) {
+        self.obs = Some(SimObs {
+            events: registry.counter("simnet.events"),
+            scheduled: registry.counter("simnet.scheduled"),
+            heap_depth: registry.gauge("simnet.heap_depth"),
+        });
     }
 
     /// Reseed the simulator's RNG (flow jitter). Call before adding flows.
@@ -243,6 +265,10 @@ impl Simulator {
             seq: self.seq,
             event,
         }));
+        if let Some(obs) = &self.obs {
+            obs.scheduled.inc();
+            obs.heap_depth.set(self.heap.len() as i64);
+        }
     }
 
     /// Inject a packet at its source node (routing begins immediately).
@@ -291,6 +317,10 @@ impl Simulator {
             }
             let Reverse(HeapEntry { at, event, .. }) = self.heap.pop().unwrap();
             self.now = at;
+            if let Some(obs) = &self.obs {
+                obs.events.inc();
+                obs.heap_depth.set(self.heap.len() as i64);
+            }
             self.handle(event);
         }
         self.now = self.now.max(until);
@@ -434,6 +464,23 @@ mod tests {
         // 1 Mbps of 10-kbit packets = 100 pkt/s for 1 s.
         assert_eq!(f.sent, 100);
         assert_eq!(f.received, 100, "uncongested link loses nothing");
+    }
+
+    #[test]
+    fn metrics_track_event_loop() {
+        let (mut sim, a, b, _) = two_nodes(10e6, 100);
+        let registry = Registry::new();
+        sim.instrument(&registry);
+        sim.add_udp_flow(UdpFlow::cbr(a, b, 1e6, 1250, SimTime::EPOCH, SimTime::from_secs(1)));
+        sim.run_until(SimTime::from_secs(2));
+        let snap = registry.snapshot();
+        let events = snap.counter("simnet.events").unwrap();
+        let scheduled = snap.counter("simnet.scheduled").unwrap();
+        assert!(events > 100, "events {events}");
+        assert!(scheduled >= events, "every handled event was scheduled");
+        let depth = snap.gauge("simnet.heap_depth").unwrap();
+        assert!(depth.high_watermark >= 1);
+        assert_eq!(depth.value, 0, "heap drained at quiescence");
     }
 
     #[test]

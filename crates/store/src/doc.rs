@@ -10,7 +10,8 @@ use serde::de::DeserializeOwned;
 use serde::Serialize;
 use serde_json::Value;
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use tero_obs::{CounterHandle, HistogramHandle, Registry, StageTimer};
 
 #[derive(Default)]
 struct Collection {
@@ -23,10 +24,19 @@ struct Inner {
     collections: BTreeMap<String, Collection>,
 }
 
+/// Metric handles installed by [`DocumentStore::instrument`].
+struct DocMetrics {
+    reads: CounterHandle,
+    writes: CounterHandle,
+    op_us: HistogramHandle,
+    registry: Registry,
+}
+
 /// A thread-safe in-memory document store. Cloning is cheap (shared handle).
 #[derive(Clone, Default)]
 pub struct DocumentStore {
     inner: Arc<RwLock<Inner>>,
+    metrics: Arc<OnceLock<DocMetrics>>,
 }
 
 impl DocumentStore {
@@ -35,11 +45,35 @@ impl DocumentStore {
         DocumentStore::default()
     }
 
+    /// Register this store's operation metrics (`store.doc.*`) with a
+    /// registry. The first call wins; every clone shares the handles.
+    pub fn instrument(&self, registry: &Registry) {
+        let _ = self.metrics.set(DocMetrics {
+            reads: registry.counter("store.doc.reads"),
+            writes: registry.counter("store.doc.writes"),
+            op_us: registry.histogram("store.doc.op_us"),
+            registry: registry.clone(),
+        });
+    }
+
+    /// Count one operation and (when timing is enabled) time it.
+    #[inline]
+    fn observe(&self, write: bool) -> Option<StageTimer> {
+        let m = self.metrics.get()?;
+        if write {
+            m.writes.inc();
+        } else {
+            m.reads.inc();
+        }
+        Some(m.registry.stage_timer(&m.op_us))
+    }
+
     /// Insert a serialisable document; returns its id.
     ///
     /// # Panics
     /// Panics if the value fails to serialise (programmer error).
     pub fn insert<T: Serialize>(&self, collection: &str, doc: &T) -> u64 {
+        let _op = self.observe(true);
         let value = serde_json::to_value(doc).expect("document serialisation failed");
         let mut inner = self.inner.write();
         let col = inner.collections.entry(collection.to_string()).or_default();
@@ -51,6 +85,7 @@ impl DocumentStore {
 
     /// Fetch one document by id, deserialised to `T`.
     pub fn get<T: DeserializeOwned>(&self, collection: &str, id: u64) -> Option<T> {
+        let _op = self.observe(false);
         let inner = self.inner.read();
         let value = inner.collections.get(collection)?.docs.get(&id)?;
         serde_json::from_value(value.clone()).ok()
@@ -63,6 +98,7 @@ impl DocumentStore {
         T: DeserializeOwned,
         F: Fn(&Value) -> bool,
     {
+        let _op = self.observe(false);
         let inner = self.inner.read();
         match inner.collections.get(collection) {
             Some(col) => col
@@ -82,6 +118,7 @@ impl DocumentStore {
 
     /// Replace the document with the given id. Returns whether it existed.
     pub fn update<T: Serialize>(&self, collection: &str, id: u64, doc: &T) -> bool {
+        let _op = self.observe(true);
         let value = serde_json::to_value(doc).expect("document serialisation failed");
         let mut inner = self.inner.write();
         match inner.collections.get_mut(collection) {
@@ -98,6 +135,7 @@ impl DocumentStore {
     where
         F: Fn(&Value) -> bool,
     {
+        let _op = self.observe(true);
         let mut inner = self.inner.write();
         match inner.collections.get_mut(collection) {
             Some(col) => {
@@ -111,6 +149,7 @@ impl DocumentStore {
 
     /// Number of documents in a collection.
     pub fn count(&self, collection: &str) -> usize {
+        let _op = self.observe(false);
         self.inner
             .read()
             .collections
@@ -120,6 +159,7 @@ impl DocumentStore {
 
     /// Names of all collections, sorted.
     pub fn collections(&self) -> Vec<String> {
+        let _op = self.observe(false);
         self.inner.read().collections.keys().cloned().collect()
     }
 }

@@ -7,10 +7,19 @@
 
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use tero_obs::{CounterHandle, HistogramHandle, Registry, StageTimer};
 use tero_types::SimTime;
 
 const SHARDS: usize = 16;
+
+/// Metric handles installed by [`KvStore::instrument`].
+struct KvMetrics {
+    reads: CounterHandle,
+    writes: CounterHandle,
+    op_us: HistogramHandle,
+    registry: Registry,
+}
 
 /// A value held in the store.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +46,7 @@ struct Shard {
 #[derive(Clone)]
 pub struct KvStore {
     shards: Arc<[Shard; SHARDS]>,
+    metrics: Arc<OnceLock<KvMetrics>>,
 }
 
 impl Default for KvStore {
@@ -59,7 +69,34 @@ impl KvStore {
     pub fn new() -> Self {
         KvStore {
             shards: Arc::new(std::array::from_fn(|_| Shard::default())),
+            metrics: Arc::new(OnceLock::new()),
         }
+    }
+
+    /// Register this store's operation metrics (`store.kv.*`) with a
+    /// registry. The first call wins; every clone of this store — taken
+    /// before or after — shares the installed handles. Un-instrumented
+    /// stores pay a single atomic load per operation.
+    pub fn instrument(&self, registry: &Registry) {
+        let _ = self.metrics.set(KvMetrics {
+            reads: registry.counter("store.kv.reads"),
+            writes: registry.counter("store.kv.writes"),
+            op_us: registry.histogram("store.kv.op_us"),
+            registry: registry.clone(),
+        });
+    }
+
+    /// Count one operation and (when timing is enabled) time it. Returns
+    /// the guard whose drop records the elapsed microseconds.
+    #[inline]
+    fn observe(&self, write: bool) -> Option<StageTimer> {
+        let m = self.metrics.get()?;
+        if write {
+            m.writes.inc();
+        } else {
+            m.reads.inc();
+        }
+        Some(m.registry.stage_timer(&m.op_us))
     }
 
     fn shard(&self, key: &str) -> &Shard {
@@ -68,6 +105,7 @@ impl KvStore {
 
     /// Set a string value (no TTL).
     pub fn set(&self, key: &str, value: impl Into<String>) {
+        let _op = self.observe(true);
         let mut map = self.shard(key).map.lock();
         map.insert(
             key.to_string(),
@@ -80,6 +118,7 @@ impl KvStore {
 
     /// Set a string value that expires at logical time `expires_at`.
     pub fn set_with_ttl(&self, key: &str, value: impl Into<String>, expires_at: SimTime) {
+        let _op = self.observe(true);
         let mut map = self.shard(key).map.lock();
         map.insert(
             key.to_string(),
@@ -93,6 +132,7 @@ impl KvStore {
     /// Get a string value. Returns `None` for missing keys or keys holding a
     /// non-string value.
     pub fn get(&self, key: &str) -> Option<String> {
+        let _op = self.observe(false);
         let map = self.shard(key).map.lock();
         match map.get(key)?.value {
             Value::Str(ref s) => Some(s.clone()),
@@ -102,11 +142,13 @@ impl KvStore {
 
     /// Delete a key of any type. Returns whether it existed.
     pub fn del(&self, key: &str) -> bool {
+        let _op = self.observe(true);
         self.shard(key).map.lock().remove(key).is_some()
     }
 
     /// Whether a key exists (of any type).
     pub fn exists(&self, key: &str) -> bool {
+        let _op = self.observe(false);
         self.shard(key).map.lock().contains_key(key)
     }
 
@@ -114,6 +156,7 @@ impl KvStore {
     /// first if missing. Returns the new value. Panics if the key holds a
     /// non-numeric string or non-string value.
     pub fn incr_by(&self, key: &str, delta: i64) -> i64 {
+        let _op = self.observe(true);
         let mut map = self.shard(key).map.lock();
         let entry = map.entry(key.to_string()).or_insert(Entry {
             value: Value::Str("0".to_string()),
@@ -133,6 +176,7 @@ impl KvStore {
     /// Push a value to the tail of the list at `key`, creating the list if
     /// needed, and wake any blocked poppers. Returns the new length.
     pub fn rpush(&self, key: &str, value: impl Into<String>) -> usize {
+        let _op = self.observe(true);
         let shard = self.shard(key);
         let mut map = shard.map.lock();
         let entry = map.entry(key.to_string()).or_insert(Entry {
@@ -152,6 +196,7 @@ impl KvStore {
 
     /// Pop from the head of the list at `key`. Non-blocking.
     pub fn lpop(&self, key: &str) -> Option<String> {
+        let _op = self.observe(true);
         let mut map = self.shard(key).map.lock();
         match map.get_mut(key)?.value {
             Value::List(ref mut l) => l.pop_front(),
@@ -164,6 +209,7 @@ impl KvStore {
     /// workers use this: "each image-processing process pulls a fixed-size
     /// batch when ready" (App. B).
     pub fn lpop_batch(&self, key: &str, n: usize) -> Vec<String> {
+        let _op = self.observe(true);
         let mut map = self.shard(key).map.lock();
         match map.get_mut(key) {
             Some(Entry {
@@ -183,6 +229,7 @@ impl KvStore {
     /// process pulls them, and this allows the slower processes to … catch
     /// up" (App. B).
     pub fn lpop_exact_batch(&self, key: &str, n: usize) -> Vec<String> {
+        let _op = self.observe(true);
         let mut map = self.shard(key).map.lock();
         match map.get_mut(key) {
             Some(Entry {
@@ -196,6 +243,7 @@ impl KvStore {
     /// Blocking pop with a wall-clock timeout (used by worker threads).
     /// Returns `None` on timeout.
     pub fn blpop(&self, key: &str, timeout: std::time::Duration) -> Option<String> {
+        let _op = self.observe(true);
         let shard = self.shard(key);
         let deadline = std::time::Instant::now() + timeout;
         let mut map = shard.map.lock();
@@ -233,6 +281,7 @@ impl KvStore {
 
     /// Length of the list at `key` (0 when missing).
     pub fn llen(&self, key: &str) -> usize {
+        let _op = self.observe(false);
         let map = self.shard(key).map.lock();
         match map.get(key) {
             Some(Entry {
@@ -245,6 +294,7 @@ impl KvStore {
 
     /// Set a field in the hash at `key`.
     pub fn hset(&self, key: &str, field: &str, value: impl Into<String>) {
+        let _op = self.observe(true);
         let mut map = self.shard(key).map.lock();
         let entry = map.entry(key.to_string()).or_insert(Entry {
             value: Value::Hash(HashMap::new()),
@@ -260,6 +310,7 @@ impl KvStore {
 
     /// Get a field from the hash at `key`.
     pub fn hget(&self, key: &str, field: &str) -> Option<String> {
+        let _op = self.observe(false);
         let map = self.shard(key).map.lock();
         match map.get(key)?.value {
             Value::Hash(ref h) => h.get(field).cloned(),
@@ -269,6 +320,7 @@ impl KvStore {
 
     /// All fields of the hash at `key`.
     pub fn hgetall(&self, key: &str) -> HashMap<String, String> {
+        let _op = self.observe(false);
         let map = self.shard(key).map.lock();
         match map.get(key) {
             Some(Entry {
@@ -281,6 +333,7 @@ impl KvStore {
 
     /// All keys starting with `prefix`, across all shards. O(total keys).
     pub fn keys_with_prefix(&self, prefix: &str) -> Vec<String> {
+        let _op = self.observe(false);
         let mut out = Vec::new();
         for shard in self.shards.iter() {
             let map = shard.map.lock();
@@ -294,6 +347,7 @@ impl KvStore {
     /// Returns the number of keys removed. The pipeline's coordinator calls
     /// this on its periodic tick.
     pub fn sweep_expired(&self, now: SimTime) -> usize {
+        let _op = self.observe(true);
         let mut removed = 0;
         for shard in self.shards.iter() {
             let mut map = shard.map.lock();

@@ -8,7 +8,8 @@
 use bytes::Bytes;
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use tero_obs::{CounterHandle, HistogramHandle, Registry, StageTimer};
 
 #[derive(Default)]
 struct Inner {
@@ -16,10 +17,20 @@ struct Inner {
     total_bytes: usize,
 }
 
+/// Metric handles installed by [`ObjectStore::instrument`].
+struct ObjectMetrics {
+    reads: CounterHandle,
+    writes: CounterHandle,
+    put_bytes: CounterHandle,
+    op_us: HistogramHandle,
+    registry: Registry,
+}
+
 /// A thread-safe in-memory object store. Cloning is cheap (shared handle).
 #[derive(Clone, Default)]
 pub struct ObjectStore {
     inner: Arc<RwLock<Inner>>,
+    metrics: Arc<OnceLock<ObjectMetrics>>,
 }
 
 impl ObjectStore {
@@ -28,9 +39,37 @@ impl ObjectStore {
         ObjectStore::default()
     }
 
+    /// Register this store's operation metrics (`store.object.*`) with a
+    /// registry. The first call wins; every clone shares the handles.
+    pub fn instrument(&self, registry: &Registry) {
+        let _ = self.metrics.set(ObjectMetrics {
+            reads: registry.counter("store.object.reads"),
+            writes: registry.counter("store.object.writes"),
+            put_bytes: registry.counter("store.object.put_bytes"),
+            op_us: registry.histogram("store.object.op_us"),
+            registry: registry.clone(),
+        });
+    }
+
+    /// Count one operation and (when timing is enabled) time it.
+    #[inline]
+    fn observe(&self, write: bool) -> Option<StageTimer> {
+        let m = self.metrics.get()?;
+        if write {
+            m.writes.inc();
+        } else {
+            m.reads.inc();
+        }
+        Some(m.registry.stage_timer(&m.op_us))
+    }
+
     /// Store an object, replacing any previous object with the same key.
     pub fn put(&self, bucket: &str, key: &str, data: impl Into<Bytes>) {
+        let _op = self.observe(true);
         let data = data.into();
+        if let Some(m) = self.metrics.get() {
+            m.put_bytes.add(data.len() as u64);
+        }
         let mut inner = self.inner.write();
         let b = inner.buckets.entry(bucket.to_string()).or_default();
         let old = b.insert(key.to_string(), data.clone());
@@ -43,11 +82,13 @@ impl ObjectStore {
 
     /// Fetch an object (cheap: `Bytes` is reference-counted).
     pub fn get(&self, bucket: &str, key: &str) -> Option<Bytes> {
+        let _op = self.observe(false);
         self.inner.read().buckets.get(bucket)?.get(key).cloned()
     }
 
     /// Delete an object. Returns whether it existed.
     pub fn delete(&self, bucket: &str, key: &str) -> bool {
+        let _op = self.observe(true);
         let mut inner = self.inner.write();
         let removed = inner
             .buckets
@@ -64,6 +105,7 @@ impl ObjectStore {
 
     /// Delete a whole bucket. Returns the number of objects removed.
     pub fn delete_bucket(&self, bucket: &str) -> usize {
+        let _op = self.observe(true);
         let mut inner = self.inner.write();
         match inner.buckets.remove(bucket) {
             Some(b) => {
@@ -78,6 +120,7 @@ impl ObjectStore {
 
     /// Keys in a bucket, sorted.
     pub fn list(&self, bucket: &str) -> Vec<String> {
+        let _op = self.observe(false);
         let inner = self.inner.read();
         let mut keys: Vec<String> = inner
             .buckets
@@ -90,6 +133,7 @@ impl ObjectStore {
 
     /// Number of objects in a bucket.
     pub fn count(&self, bucket: &str) -> usize {
+        let _op = self.observe(false);
         self.inner
             .read()
             .buckets
@@ -99,6 +143,7 @@ impl ObjectStore {
 
     /// Total payload bytes across all buckets.
     pub fn total_bytes(&self) -> usize {
+        let _op = self.observe(false);
         self.inner.read().total_bytes
     }
 }

@@ -100,6 +100,22 @@ pub fn vote(values: [Option<u32>; 3]) -> Option<(u32, Option<u32>)> {
     None
 }
 
+/// Engine names in the order [`OcrCombiner`] runs them — stable labels for
+/// per-engine observability (`ocr.<engine>.*` metric names).
+pub const ENGINE_NAMES: [&str; 3] = ["tesseract", "easyocr", "paddleocr"];
+
+/// Per-engine detail of one extraction, exposed for observability: what
+/// each engine produced on the *deciding* pass, and whether the thumbnail
+/// had to be reprocessed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtractDetail {
+    /// Cleaned value per engine (in [`ENGINE_NAMES`] order) from the pass
+    /// that decided the outcome — the second pass when reprocessing ran.
+    pub engine_values: [Option<u32>; 3],
+    /// Whether the second (no-pre-processing) pass ran.
+    pub reprocessed: bool,
+}
+
 /// The full image-processing front-end: three engines plus the two-pass
 /// (preprocess, reprocess) protocol.
 #[derive(Debug, Clone)]
@@ -151,22 +167,40 @@ impl OcrCombiner {
 
     /// Extract a latency measurement from a cropped region of interest.
     pub fn extract(&self, crop: &Image) -> CombineOutcome {
+        self.extract_with_detail(crop).0
+    }
+
+    /// [`OcrCombiner::extract`] plus the per-engine [`ExtractDetail`] that
+    /// observability consumers (the image-processing module's per-engine
+    /// counters) record.
+    pub fn extract_with_detail(&self, crop: &Image) -> (CombineOutcome, ExtractDetail) {
         let first = self.pass(crop, &self.preprocess_cfg);
         if let Some((primary, alternative)) = vote(first) {
-            return CombineOutcome::Extracted {
-                primary,
-                alternative,
-            };
+            return (
+                CombineOutcome::Extracted {
+                    primary,
+                    alternative,
+                },
+                ExtractDetail {
+                    engine_values: first,
+                    reprocessed: false,
+                },
+            );
         }
         // Reprocess without pre-processing (App. E step 4).
         let second = self.pass(crop, &self.reprocess_cfg);
-        match vote(second) {
+        let detail = ExtractDetail {
+            engine_values: second,
+            reprocessed: true,
+        };
+        let outcome = match vote(second) {
             Some((primary, alternative)) => CombineOutcome::Extracted {
                 primary,
                 alternative,
             },
             None => CombineOutcome::NoMeasurement,
-        }
+        };
+        (outcome, detail)
     }
 
     /// Extract from a full thumbnail given the game-UI region of interest
@@ -176,8 +210,17 @@ impl OcrCombiner {
         thumbnail: &Image,
         roi: (usize, usize, usize, usize),
     ) -> CombineOutcome {
+        self.extract_from_thumbnail_with_detail(thumbnail, roi).0
+    }
+
+    /// [`OcrCombiner::extract_from_thumbnail`] with per-engine detail.
+    pub fn extract_from_thumbnail_with_detail(
+        &self,
+        thumbnail: &Image,
+        roi: (usize, usize, usize, usize),
+    ) -> (CombineOutcome, ExtractDetail) {
         let crop = thumbnail.crop(roi.0, roi.1, roi.2, roi.3);
-        self.extract(&crop)
+        self.extract_with_detail(&crop)
     }
 
     /// Per-engine extraction (no voting) — used by the Table 4 evaluation
@@ -244,6 +287,29 @@ mod tests {
         assert_eq!(vote([Some(1), Some(2), Some(3)]), None);
         assert_eq!(vote([Some(1), None, None]), None);
         assert_eq!(vote([None, None, None]), None);
+    }
+
+    #[test]
+    fn detail_reflects_the_deciding_pass() {
+        let combiner = OcrCombiner::new();
+        let mut rng = SimRng::new(42);
+        let scene = HudScene::typical(87);
+        let thumb = scene.render(&mut rng);
+        let (outcome, detail) =
+            combiner.extract_from_thumbnail_with_detail(&thumb, scene.roi());
+        match outcome {
+            CombineOutcome::Extracted { primary, .. } => {
+                let agree = detail
+                    .engine_values
+                    .iter()
+                    .filter(|v| **v == Some(primary))
+                    .count();
+                assert!(agree >= 2, "primary needs ≥ 2 engines: {detail:?}");
+            }
+            CombineOutcome::NoMeasurement => {
+                assert!(detail.reprocessed, "a miss means both passes ran");
+            }
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`types`] | `tero-types` | time, ids, geography, Table 1 parameters, RNG |
+//! | [`obs`] | `tero-obs` | metrics: counters, gauges, histograms, snapshots |
 //! | [`stats`] | `tero-stats` | probit, Wasserstein, PELT, LOF, iForest, MCD |
 //! | [`store`] | `tero-store` | KV / object / document stores (App. B) |
 //! | [`vision`] | `tero-vision` | HUD renderer, preprocessing, 3 OCR engines |
@@ -44,6 +45,7 @@
 
 pub use tero_core as core;
 pub use tero_geoparse as geoparse;
+pub use tero_obs as obs;
 pub use tero_simnet as simnet;
 pub use tero_stats as stats;
 pub use tero_store as store;

@@ -1,0 +1,132 @@
+//! docs/OPERATIONS.md ↔ registry cross-check.
+//!
+//! The operations guide promises to document *every* metric the pipeline
+//! registers. This test enforces the contract in both directions: each
+//! documented name must appear in a populated registry, and each
+//! registered name must have a catalogue row. Adding a metric without a
+//! row (or a row without a metric) fails here.
+
+use std::collections::BTreeSet;
+use tero::core::pipeline::{ExtractionMode, Tero};
+use tero::store::DocumentStore;
+use tero_simnet::udp::UdpFlow;
+use tero_simnet::{LinkConfig, Simulator};
+use tero_types::{SimDuration, SimTime};
+use tero_world::{World, WorldConfig};
+
+const OPERATIONS_MD: &str =
+    include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/docs/OPERATIONS.md"));
+
+/// Metric names from the catalogue tables: first backtick span of rows
+/// shaped `| \`name\` | ...`.
+fn documented_names() -> BTreeSet<String> {
+    OPERATIONS_MD
+        .lines()
+        .filter_map(|line| {
+            let rest = line.strip_prefix("| `")?;
+            let name = rest.split('`').next()?;
+            // Catalogue rows hold dotted metric names; other tables (e.g.
+            // the overhead table) put API names in the same position.
+            let dotted = name.contains('.')
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "._".contains(c));
+            dotted.then(|| name.to_string())
+        })
+        .collect()
+}
+
+/// A registry populated the way the guide describes: one pipeline run
+/// (FullOcr, so the `ocr.*` engines fire) plus the two opt-in
+/// subsystems — an instrumented document store and simulator.
+fn populated_registry() -> tero_obs::Registry {
+    let mut world = World::build(WorldConfig {
+        seed: 9,
+        n_streamers: 12,
+        days: 2,
+        ..WorldConfig::default()
+    });
+    let tero = Tero {
+        mode: ExtractionMode::FullOcr,
+        min_streamers: 2,
+        ..Tero::default()
+    };
+    tero.run(&mut world);
+
+    let docs = DocumentStore::new();
+    docs.instrument(&tero.obs);
+    docs.insert("ops", &42u32);
+    let _: Vec<u32> = docs.all("ops");
+
+    let mut sim = Simulator::new();
+    sim.instrument(&tero.obs);
+    let a = sim.add_node();
+    let b = sim.add_node();
+    sim.add_duplex_link(
+        a,
+        b,
+        LinkConfig {
+            rate_bps: 1e6,
+            prop: SimDuration::from_millis(5),
+            queue_packets: 10,
+        },
+    );
+    sim.compute_routes();
+    sim.add_udp_flow(UdpFlow::cbr(
+        a,
+        b,
+        1e5,
+        1250,
+        SimTime::EPOCH,
+        SimTime::from_millis(100),
+    ));
+    sim.run_until(SimTime::from_secs(1));
+
+    tero.obs.clone()
+}
+
+#[test]
+fn catalogue_matches_registry_both_ways() {
+    let documented = documented_names();
+    assert!(
+        documented.len() >= 40,
+        "catalogue parse found only {} rows — table format changed?",
+        documented.len()
+    );
+    let registered: BTreeSet<String> =
+        populated_registry().metric_names().into_iter().collect();
+
+    let undocumented: Vec<&String> = registered.difference(&documented).collect();
+    assert!(
+        undocumented.is_empty(),
+        "registered but missing from docs/OPERATIONS.md: {undocumented:?}"
+    );
+    let stale: Vec<&String> = documented.difference(&registered).collect();
+    assert!(
+        stale.is_empty(),
+        "documented but never registered: {stale:?}"
+    );
+}
+
+#[test]
+fn documented_counters_move_during_a_run() {
+    // Spot-check the guide's "healthy look" claims on the load-bearing
+    // funnel counters.
+    let snap = populated_registry().snapshot();
+    let thumbs = snap.counter("pipeline.thumbnails").unwrap();
+    let extracted = snap.counter("pipeline.extracted").unwrap();
+    let misses = snap.counter("pipeline.no_measurement").unwrap();
+    assert!(thumbs > 0, "pipeline processed no thumbnails");
+    assert!(extracted > 0 && extracted <= thumbs);
+    assert_eq!(
+        snap.counter("download.get_hits"),
+        Some(thumbs),
+        "everything fetched gets processed"
+    );
+    assert!(extracted + misses <= thumbs, "funnel rows are consistent");
+    assert!(snap.counter("ocr.vote_unanimous").unwrap() > 0);
+    assert!(snap.counter("analysis.segments_built").unwrap() > 0);
+    assert!(snap.counter("store.kv.writes").unwrap() > 0);
+    assert!(snap.counter("simnet.events").unwrap() > 0);
+    assert_eq!(snap.counter("store.doc.writes"), Some(1));
+}

@@ -1,0 +1,321 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock micro-benchmark harness with criterion's API shape:
+//! `criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with throughput annotation, and `Bencher::iter`.
+//! Timing uses `Instant` around batched iterations; results print as
+//! `name  time: [median ns/iter]` lines. No plotting, no statistics beyond
+//! median-of-samples — enough to compare runs by eye and to keep the
+//! workspace's bench targets compiling and runnable offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from discarding a value (best-effort).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (the group name provides context).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the closure given to `bench_function`; call [`Bencher::iter`].
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<f64>,
+    config: Config,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, batching iterations so short routines are measurable.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until warm_up_time elapses (at least once).
+        let warm_end = Instant::now() + self.config.warm_up;
+        let mut warm_iters: u64 = 0;
+        let mut warm_spent = Duration::ZERO;
+        loop {
+            let t0 = Instant::now();
+            black_box(routine());
+            warm_spent += t0.elapsed();
+            warm_iters += 1;
+            if Instant::now() >= warm_end || warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_spent.as_nanos().max(1) as f64 / warm_iters as f64;
+
+        // Size batches so each sample takes roughly
+        // measurement_time / sample_size.
+        let target_ns =
+            self.config.measurement.as_nanos() as f64 / self.config.sample_size as f64;
+        let batch = ((target_ns / per_iter).ceil() as u64).clamp(1, 10_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.config.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / batch as f64;
+            self.samples.push(ns);
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 20,
+            measurement: Duration::from_secs(1),
+            warm_up: Duration::from_millis(300),
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    config: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            config: Config::default(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    /// Total time budget for the timed samples of one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement = d;
+        self
+    }
+
+    /// Warm-up time before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up = d;
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, name: &str, f: F) {
+        run_one(name, None, self.config, f);
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            config: self.config,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    config: Config,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    /// Run a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, self.config, f);
+    }
+
+    /// Run a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.throughput,
+            self.config,
+            |b| f(b, input),
+        );
+    }
+
+    /// Close the group (no-op; provided for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(
+    name: &str,
+    throughput: Option<Throughput>,
+    config: Config,
+    mut f: F,
+) {
+    let mut samples = Vec::new();
+    {
+        let mut b = Bencher {
+            samples: &mut samples,
+            config,
+        };
+        f(&mut b);
+    }
+    if samples.is_empty() {
+        println!("{name:<50} (no samples: Bencher::iter never called)");
+        return;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let lo = samples[0];
+    let hi = samples[samples.len() - 1];
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  thrpt: {:>12.0} elem/s", n as f64 * 1e9 / (median * n as f64).max(1.0) * n as f64 / n as f64)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  thrpt: {:>12.0} B/s", n as f64 * 1e9 / median.max(1.0))
+        }
+        None => String::new(),
+    };
+    println!(
+        "{name:<50} time: [{} {} {}]{rate}",
+        fmt_ns(lo),
+        fmt_ns(median),
+        fmt_ns(hi),
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Define a benchmark group function (both criterion forms supported).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::new("x", 10), &10u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(12.5), "12.50 ns");
+        assert_eq!(fmt_ns(1500.0), "1.500 µs");
+    }
+}

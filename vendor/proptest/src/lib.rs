@@ -1,0 +1,139 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`proptest!`] / [`prop_assert!`] macro family, range strategies over
+//! numbers, `[class]{m,n}` regex string strategies, tuples,
+//! `prop::collection::vec`, `prop::option::of`, and `any::<T>()`.
+//!
+//! Differences from the real crate, by design:
+//! * cases are generated from a seed derived from the test name, so every
+//!   run of a given test sees the same inputs (fully deterministic);
+//! * failing cases are reported with their inputs but NOT shrunk;
+//! * each test runs a fixed 256 cases.
+
+pub mod strategy;
+
+pub mod collection;
+pub mod option;
+pub mod test_runner;
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec`, `prop::option::of`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Define property tests. Each generated `#[test]` runs 256 deterministic
+/// cases of its body with fresh inputs drawn from the given strategies.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        #[test]
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )+) => {
+        $(
+            #[test]
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__rng| {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), __rng);
+                    )+
+                    let __inputs = || {
+                        let mut s = String::new();
+                        $(
+                            s.push_str(concat!(stringify!($arg), " = "));
+                            s.push_str(&format!("{:?}; ", $arg));
+                        )+
+                        s
+                    };
+                    let __result: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        Ok(())
+                    })();
+                    __result.map_err(|e| e.with_inputs(__inputs()))
+                });
+            }
+        )+
+    };
+}
+
+/// Assert a condition inside a [`proptest!`] body; failure reports the
+/// generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {} ({})",
+                    stringify!($cond),
+                    format!($($fmt)+),
+                ),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = &$left;
+        let r = &$right;
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                    stringify!($left), stringify!($right), l, r,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let l = &$left;
+        let r = &$right;
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {} == {} (left: {:?}, right: {:?}): {}",
+                    stringify!($left), stringify!($right), l, r, format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = &$left;
+        let r = &$right;
+        if l == r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {} != {} (both: {:?})",
+                    stringify!($left), stringify!($right), l,
+                ),
+            ));
+        }
+    }};
+}

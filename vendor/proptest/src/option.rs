@@ -1,0 +1,48 @@
+//! Option strategies (`prop::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Option`s: `None` about a quarter of the time
+/// (matching real proptest's default weighting).
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.bool(0.25) {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// An `Option` strategy wrapping `inner`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut rng = TestRng::new(8);
+        let (mut some, mut none) = (0, 0);
+        for _ in 0..200 {
+            match of(1u32..999).generate(&mut rng) {
+                Some(v) => {
+                    assert!((1..999).contains(&v));
+                    some += 1;
+                }
+                None => none += 1,
+            }
+        }
+        assert!(some > 0 && none > 0);
+    }
+}

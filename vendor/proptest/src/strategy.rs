@@ -1,0 +1,274 @@
+//! Value-generation strategies for the proptest shim.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Something that can generate values of `Self::Value` from an RNG.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a
+/// strategy is just a deterministic generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+// ------------------------------------------------------- numeric ranges --
+
+macro_rules! uint_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.range_u64(self.start as u64, self.end as u64) as $t
+            }
+        }
+    )*};
+}
+uint_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                let off = rng.range_u64(0, span.max(1));
+                (self.start as i64).wrapping_add(off as i64) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + (rng.f64() as f32) * (self.end - self.start)
+    }
+}
+
+// ------------------------------------------------------------ any::<T>() --
+
+/// Types with a full-domain default strategy (`any::<T>()`).
+pub trait Arbitrary {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.bool(0.5)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values across a wide magnitude range.
+        let mag = rng.f64() * 600.0 - 300.0;
+        let sign = if rng.bool(0.5) { 1.0 } else { -1.0 };
+        sign * mag.exp2().min(f64::MAX / 2.0)
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+// --------------------------------------------------------------- tuples --
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+// ------------------------------------------------------- regex strings --
+
+/// `&str` literals act as simplified-regex string strategies.
+///
+/// Supported syntax: a sequence of atoms, where an atom is a literal
+/// character or a character class `[...]` (with `a-z` ranges), optionally
+/// followed by `{n}` or `{m,n}`. This covers patterns like
+/// `"[a-z0-9]{1,8}"`; anchors, alternation, escapes, and negated classes
+/// are not supported and panic.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        // Parse one atom: a class or a literal character.
+        let alphabet: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"))
+                    + i;
+                let class = &chars[i + 1..close];
+                i = close + 1;
+                expand_class(class, pattern)
+            }
+            '(' | ')' | '|' | '^' | '$' | '*' | '+' | '?' | '\\' => {
+                panic!("unsupported regex syntax {:?} in pattern {pattern:?}", chars[i])
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Parse an optional {m,n} / {n} quantifier.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse::<usize>().expect("bad quantifier"),
+                    n.trim().parse::<usize>().expect("bad quantifier"),
+                ),
+                None => {
+                    let n = body.trim().parse::<usize>().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let count = rng.range_usize(lo, hi + 1);
+        for _ in 0..count {
+            out.push(alphabet[rng.range_usize(0, alphabet.len())]);
+        }
+    }
+    out
+}
+
+fn expand_class(class: &[char], pattern: &str) -> Vec<char> {
+    assert!(
+        !class.is_empty() && class[0] != '^',
+        "empty or negated class in pattern {pattern:?}"
+    );
+    let mut alphabet = Vec::new();
+    let mut j = 0;
+    while j < class.len() {
+        if j + 2 < class.len() && class[j + 1] == '-' {
+            let (lo, hi) = (class[j] as u32, class[j + 2] as u32);
+            assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+            for cp in lo..=hi {
+                alphabet.push(char::from_u32(cp).expect("bad range"));
+            }
+            j += 3;
+        } else {
+            alphabet.push(class[j]);
+            j += 1;
+        }
+    }
+    alphabet
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let v = (5u32..10).generate(&mut rng);
+            assert!((5..10).contains(&v));
+            let f = (-1.0f64..1.0).generate(&mut rng);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn regex_class_with_quantifier() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..100 {
+            let s = "[a-z0-9]{1,8}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 8);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn regex_literal_chars_and_spaces() {
+        let mut rng = TestRng::new(4);
+        let s = "[0-9msping :]{0,12}".generate(&mut rng);
+        assert!(s.len() <= 12);
+        assert!(s
+            .chars()
+            .all(|c| c.is_ascii_digit() || "msping :".contains(c)));
+    }
+
+    #[test]
+    fn regex_bare_literals() {
+        let mut rng = TestRng::new(5);
+        assert_eq!("abc".generate(&mut rng), "abc");
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut rng = TestRng::new(6);
+        let (a, b) = ("[a-z]{1,3}", 0u32..5).generate(&mut rng);
+        assert!(!a.is_empty() && a.len() <= 3);
+        assert!(b < 5);
+    }
+}

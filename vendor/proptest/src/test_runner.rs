@@ -1,0 +1,133 @@
+//! Deterministic case runner and RNG for the proptest shim.
+
+use rand::{RngCore, SeedableRng, SmallRng};
+
+/// Cases run per property test.
+pub const CASES: u32 = 256;
+
+/// Deterministic RNG handed to strategies.
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// Seeded constructor (seed is derived from the test name by [`run`]).
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform `u64` in `[lo, hi)`; `lo` when the range is empty.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        if lo >= hi {
+            return lo;
+        }
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`; `lo` when the range is empty.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// `true` with probability `p`.
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+}
+
+/// A failed property-test case.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+    inputs: Option<String>,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: String) -> Self {
+        TestCaseError {
+            message,
+            inputs: None,
+        }
+    }
+
+    /// Attach the generated inputs that produced the failure.
+    pub fn with_inputs(mut self, inputs: String) -> Self {
+        self.inputs = Some(inputs);
+        self
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)?;
+        if let Some(inputs) = &self.inputs {
+            write!(f, "\n  inputs: {inputs}")?;
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a over the test name: a stable per-test seed.
+fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Run `body` for [`CASES`] deterministic cases; panic on the first failure
+/// with its case number and inputs (no shrinking).
+pub fn run(
+    name: &str,
+    mut body: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let mut rng = TestRng::new(seed_for(name));
+    for case in 0..CASES {
+        if let Err(e) = body(&mut rng) {
+            panic!("proptest '{name}' failed at case {case}/{CASES}: {e}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        assert_eq!(seed_for("abc"), seed_for("abc"));
+        assert_ne!(seed_for("abc"), seed_for("abd"));
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(42);
+        let mut b = TestRng::new(42);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_body_panics_with_case_number() {
+        run("always_fails", |_| {
+            Err(TestCaseError::fail("nope".to_string()))
+        });
+    }
+}

@@ -1,0 +1,96 @@
+//! Offline stand-in for `rand`.
+//!
+//! The workspace's simulators use their own `SimRng`; this crate exists so
+//! the declared `rand` dependency resolves offline. It provides a tiny
+//! deterministic PRNG ([`SmallRng`], splitmix64-based) behind a subset of
+//! rand's trait surface.
+
+/// Core RNG trait: produce raw random words.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Convenience methods over [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform `f64` in `[0, 1)`.
+    fn random_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform `u64` in `[lo, hi)`. Panics if `lo >= hi`.
+    fn random_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// A random boolean with probability `p` of `true`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random_f64() < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Seedable RNGs.
+pub trait SeedableRng: Sized {
+    /// Construct from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A small, fast, deterministic PRNG (splitmix64).
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        SmallRng { state: seed }
+    }
+}
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// The `rand::rngs` namespace (compatibility).
+pub mod rngs {
+    pub use crate::SmallRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_hold() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.random_range_u64(10, 20);
+            assert!((10..20).contains(&v));
+            let f = r.random_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

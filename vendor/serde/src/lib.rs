@@ -1,0 +1,548 @@
+//! Offline stand-in for `serde`.
+//!
+//! The air-gapped build environment cannot fetch crates.io, so this crate
+//! supplies the subset of serde the workspace uses, modeled as conversion
+//! to/from an in-memory JSON [`Value`]:
+//!
+//! * [`Serialize`] — `self` → [`Value`];
+//! * [`Deserialize`] (and [`de::DeserializeOwned`]) — [`Value`] → `Self`;
+//! * `#[derive(Serialize, Deserialize)]` via the vendored `serde_derive`.
+//!
+//! The data model follows the real serde's JSON mapping: structs become
+//! objects (field order preserved), newtypes unwrap to their inner value,
+//! enums are externally tagged (`"Unit"` / `{"Variant": ...}`), maps
+//! require stringifiable keys. `serde_json` (also vendored) re-exports
+//! [`Value`] and adds text encoding/decoding.
+
+pub use serde_derive::{Deserialize as Deserialize, Serialize as Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// An in-memory JSON value — the serialisation data model.
+///
+/// Objects preserve insertion order (like `serde_json` with its
+/// `preserve_order` feature), which keeps struct-field order stable in
+/// output and makes snapshots readable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed (negative) integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object: ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+/// Deserialisation error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error with a custom message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// Wrap the error with the field it occurred in (derive helper).
+    pub fn in_field(self, field: &str) -> Self {
+        Error {
+            msg: format!("{}: {}", field, self.msg),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Value {
+    /// Object field lookup; returns `Null` for missing fields or
+    /// non-objects (so `Option` fields deserialise to `None`).
+    pub fn field(&self, name: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        match self {
+            Value::Object(m) => m
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+
+    /// Array element lookup (derive helper for tuple structs).
+    pub fn index(&self, i: usize) -> Result<&Value, Error> {
+        match self {
+            Value::Array(a) => a
+                .get(i)
+                .ok_or_else(|| Error::custom(format!("missing tuple element {i}"))),
+            _ => Err(Error::custom("expected an array")),
+        }
+    }
+
+    /// The single `(key, value)` entry of a one-entry object (externally
+    /// tagged enum payloads).
+    pub fn single_entry(&self) -> Option<(&str, &Value)> {
+        match self {
+            Value::Object(m) if m.len() == 1 => Some((m[0].0.as_str(), &m[0].1)),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            Value::I64(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::U64(v) if v <= i64::MAX as u64 => Some(v as i64),
+            Value::I64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(v) => Some(v as f64),
+            Value::I64(v) => Some(v as f64),
+            Value::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`, if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, name: &str) -> &Value {
+        self.field(name)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        match self {
+            Value::Array(a) => a.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+// ---------------------------------------------------------------- traits --
+
+/// Serialise `self` into the JSON data model.
+pub trait Serialize {
+    /// Convert to a [`Value`].
+    fn serialize(&self) -> Value;
+}
+
+/// Deserialise `Self` out of the JSON data model.
+pub trait Deserialize: Sized {
+    /// Convert from a [`Value`].
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+/// The `serde::de` namespace (compatibility).
+pub mod de {
+    /// Owned deserialisation — with this model every [`crate::Deserialize`]
+    /// is already owned, so this is a blanket alias.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+/// The `serde::ser` namespace (compatibility).
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+// ------------------------------------------------------- primitive impls --
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let raw = v
+                    .as_u64()
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(raw).map_err(Error::custom)
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let raw = v
+                    .as_i64()
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(raw).map_err(Error::custom)
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::custom("expected f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error::custom("expected f32"))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::custom("expected bool"))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::custom("expected char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-char string")),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+// ------------------------------------------------------ composite impls --
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(a) => a.iter().map(T::deserialize).collect(),
+            _ => Err(Error::custom("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::deserialize(v)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of length {N}, got {got}")))
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$n.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                Ok(($($t::deserialize(v.index($n)?)?,)+))
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Render a map key: string keys pass through, numeric/other keys use
+/// their JSON text form (mirrors `serde_json`'s map-key handling).
+fn key_string<K: Serialize>(k: &K) -> String {
+    match k.serialize() {
+        Value::String(s) => s,
+        Value::U64(v) => v.to_string(),
+        Value::I64(v) => v.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("unsupported map key type: {other:?}"),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_string(k), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+                .collect(),
+            _ => Err(Error::custom("expected object")),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize(&self) -> Value {
+        // Deterministic output: sort by rendered key.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_string(k), v.serialize()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+                .collect(),
+            _ => Err(Error::custom("expected object")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::deserialize(&42u32.serialize()), Ok(42));
+        assert_eq!(i64::deserialize(&(-3i64).serialize()), Ok(-3));
+        assert_eq!(f64::deserialize(&1.5f64.serialize()), Ok(1.5));
+        assert_eq!(bool::deserialize(&true.serialize()), Ok(true));
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(char::deserialize(&'x'.serialize()), Ok('x'));
+    }
+
+    #[test]
+    fn option_null_mapping() {
+        assert_eq!(Option::<u32>::deserialize(&Value::Null), Ok(None));
+        assert_eq!(None::<u32>.serialize(), Value::Null);
+        assert_eq!(Some(7u32).serialize(), Value::U64(7));
+    }
+
+    #[test]
+    fn vec_and_tuple_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::deserialize(&v.serialize()), Ok(v));
+        let t = (1u32, "a".to_string());
+        assert_eq!(<(u32, String)>::deserialize(&t.serialize()), Ok(t));
+    }
+
+    #[test]
+    fn out_of_range_integer_rejected() {
+        assert!(u8::deserialize(&Value::U64(300)).is_err());
+        assert!(u32::deserialize(&Value::I64(-1)).is_err());
+    }
+
+    #[test]
+    fn value_indexing() {
+        let v = Value::Object(vec![("a".into(), Value::U64(1))]);
+        assert_eq!(v["a"].as_u64(), Some(1));
+        assert!(v["missing"].is_null());
+        assert_eq!(v["a"], Value::U64(1));
+    }
+}

@@ -1,0 +1,472 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crates.io `serde_derive` cannot be fetched in the air-gapped
+//! build environment, so this proc-macro crate derives the vendored
+//! `serde`'s [`Serialize`]/[`Deserialize`] traits instead. It hand-parses
+//! the item token stream (no `syn`/`quote`) and supports exactly the shapes
+//! this workspace uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtypes serialise as their inner value, wider tuples
+//!   as sequences),
+//! * unit structs,
+//! * enums with unit, tuple and struct variants (externally tagged, the
+//!   real serde's default representation).
+//!
+//! Generic items are intentionally unsupported — the workspace has none,
+//! and failing loudly beats silently-wrong codegen.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we learned about the item under derive.
+enum Item {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Tuple struct with `arity` fields.
+    Tuple { name: String, arity: usize },
+    /// Unit struct.
+    Unit { name: String },
+    /// Enum.
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Skip one attribute: the caller saw `#`; consume the following `[...]`
+/// group (and a `!` for inner attributes, which cannot appear here anyway).
+fn skip_attribute(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '!' {
+            iter.next();
+        }
+    }
+    if let Some(TokenTree::Group(g)) = iter.peek() {
+        if g.delimiter() == Delimiter::Bracket {
+            iter.next();
+        }
+    }
+}
+
+/// Parse the fields of a `{ ... }` named-field group into field names.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = group.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility.
+        match iter.peek() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                skip_attribute(&mut iter);
+                continue;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                // `pub(crate)` etc: skip the parenthesised part.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        // Field name.
+        let Some(TokenTree::Ident(id)) = iter.next() else {
+            break;
+        };
+        fields.push(id.to_string());
+        // Expect ':', then skip the type until a comma at angle-depth 0.
+        let mut depth = 0i32;
+        for tok in iter.by_ref() {
+            match tok {
+                TokenTree::Punct(p) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Count the fields of a `( ... )` tuple group (top-level commas + 1).
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    for tok in group {
+        any = true;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => commas += 1,
+                _ => {}
+            }
+        }
+    }
+    if !any {
+        0
+    } else {
+        commas + 1
+    }
+}
+
+/// Parse the enum body into variants.
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = group.into_iter().peekable();
+    loop {
+        match iter.peek() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                skip_attribute(&mut iter);
+                continue;
+            }
+            _ => {}
+        }
+        let Some(TokenTree::Ident(id)) = iter.next() else {
+            break;
+        };
+        let name = id.to_string();
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                iter.next();
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Skip to the next top-level comma (covers `= 3` discriminants).
+        let mut depth = 0i32;
+        while let Some(tok) = iter.peek() {
+            match tok {
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    iter.next();
+                    match c {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        ',' if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                _ => {
+                    iter.next();
+                }
+            }
+        }
+    }
+    variants
+}
+
+/// Parse a derive input item.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes / visibility until `struct` or `enum`.
+    let kind = loop {
+        match iter.next() {
+            None => return Err("no struct/enum found".into()),
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => skip_attribute(&mut iter),
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // `pub`, `pub(crate)` — skip the paren group if present.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            Some(_) => {}
+        }
+    };
+    let Some(TokenTree::Ident(name)) = iter.next() else {
+        return Err("missing item name".into());
+    };
+    let name = name.to_string();
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive (vendored): generic type `{name}` is not supported"
+            ));
+        }
+    }
+    if kind == "enum" {
+        let Some(TokenTree::Group(g)) = iter.next() else {
+            return Err("missing enum body".into());
+        };
+        return Ok(Item::Enum {
+            name,
+            variants: parse_variants(g.stream()),
+        });
+    }
+    // Struct.
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Struct {
+            name,
+            fields: parse_named_fields(g.stream()),
+        }),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok(Item::Tuple {
+                name,
+                arity: count_tuple_fields(g.stream()),
+            })
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::Unit { name }),
+        None => Ok(Item::Unit { name }),
+        Some(other) => Err(format!("unexpected token after struct name: {other}")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derive the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__m.push(({f:?}.to_string(), ::serde::Serialize::serialize(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn serialize(&self) -> ::serde::Value {{\n\
+                     let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                     {inserts}\n\
+                     ::serde::Value::Object(__m)\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        Item::Tuple { name, arity } => {
+            let body = if arity == 1 {
+                "::serde::Serialize::serialize(&self.0)".to_string()
+            } else {
+                let elems: Vec<String> = (0..arity)
+                    .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Unit { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+               fn serialize(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::String({vname:?}.to_string()),\n"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|i| format!("__f{i}")).collect();
+                            let inner = if *arity == 1 {
+                                "::serde::Serialize::serialize(__f0)".to_string()
+                            } else {
+                                let elems: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                            };
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(vec![({vname:?}.to_string(), {inner})]),\n",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let inserts: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "__m.push(({f:?}.to_string(), ::serde::Serialize::serialize({f})));"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => {{\n\
+                                   let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                                   {inserts}\n\
+                                   ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Value::Object(__m))])\n\
+                                 }}\n"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn serialize(&self) -> ::serde::Value {{\n\
+                     match self {{\n{arms}\n}}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// Derive the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let lets: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(__v.field({f:?}))\
+                         .map_err(|e| e.in_field({f:?}))?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     Ok({name} {{ {lets} }})\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        Item::Tuple { name, arity } => {
+            let body = if arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::deserialize(__v)?))")
+            } else {
+                let elems: Vec<String> = (0..arity)
+                    .map(|i| {
+                        format!("::serde::Deserialize::deserialize(__v.index({i})?)?")
+                    })
+                    .collect();
+                format!("Ok({name}({}))", elems.join(", "))
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     {body}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        Item::Unit { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+               fn deserialize(_v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 Ok({name})\n\
+               }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            // Unit variants arrive as strings; payload variants as
+            // single-key objects.
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{:?} => return Ok({name}::{}),\n", v.name, v.name))
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(arity) => {
+                            let body = if *arity == 1 {
+                                format!(
+                                    "return Ok({name}::{vname}(::serde::Deserialize::deserialize(__inner)?));"
+                                )
+                            } else {
+                                let elems: Vec<String> = (0..*arity)
+                                    .map(|i| {
+                                        format!(
+                                            "::serde::Deserialize::deserialize(__inner.index({i})?)?"
+                                        )
+                                    })
+                                    .collect();
+                                format!("return Ok({name}::{vname}({}));", elems.join(", "))
+                            };
+                            Some(format!("{vname:?} => {{ {body} }}\n"))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let lets: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::deserialize(__inner.field({f:?}))\
+                                         .map_err(|e| e.in_field({f:?}))?,\n"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => {{ return Ok({name}::{vname} {{ {lets} }}); }}\n"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     if let ::serde::Value::String(__s) = __v {{\n\
+                       match __s.as_str() {{\n{unit_arms}\n_ => {{}}\n}}\n\
+                     }}\n\
+                     if let Some((__tag, __inner)) = __v.single_entry() {{\n\
+                       match __tag {{\n{payload_arms}\n_ => {{}}\n}}\n\
+                     }}\n\
+                     Err(::serde::Error::custom(concat!(\"invalid variant for enum \", stringify!({name}))))\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
