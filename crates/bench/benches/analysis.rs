@@ -79,8 +79,7 @@ fn bench_parameter_independence(c: &mut Criterion) {
         );
     }
     for stable_min in [15u64, 30, 60] {
-        let params =
-            TeroParams::default().with_stable_len(SimDuration::from_mins(stable_min));
+        let params = TeroParams::default().with_stable_len(SimDuration::from_mins(stable_min));
         let segments = segment_stream(0, &series, &params);
         group.bench_with_input(
             BenchmarkId::new("stable_len", stable_min),

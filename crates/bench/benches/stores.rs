@@ -71,8 +71,7 @@ fn bench_document_store(c: &mut Criterion) {
                     },
                 );
             }
-            let high: Vec<Doc> =
-                db.find("meas", |v| v["latency_ms"].as_u64().unwrap_or(0) > 60);
+            let high: Vec<Doc> = db.find("meas", |v| v["latency_ms"].as_u64().unwrap_or(0) > 60);
             high.len()
         })
     });

@@ -51,7 +51,11 @@ fn main() {
         println!();
         println!(
             "merge threshold ×{factor} LatGap ({gap} ms){}",
-            if factor == 1.0 { "  — Fig 2" } else { "  — Fig 14" }
+            if factor == 1.0 {
+                "  — Fig 2"
+            } else {
+                "  — Fig 14"
+            }
         );
         for (label, key) in labels {
             // Re-merge from the classified streamers of the group.

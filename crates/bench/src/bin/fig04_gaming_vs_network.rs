@@ -17,7 +17,9 @@
 
 use serde::Serialize;
 use tero_bench::{arg_f64, arg_usize, header, write_json};
-use tero_simnet::experiment::{run_experiment, ExperimentConfig, GameProfile, TCP_START_S, STARTUP_END_S, UDP_END_S};
+use tero_simnet::experiment::{
+    run_experiment, ExperimentConfig, GameProfile, STARTUP_END_S, TCP_START_S, UDP_END_S,
+};
 use tero_stats::BoxplotStats;
 
 #[derive(Serialize)]
@@ -68,10 +70,7 @@ fn main() {
                     .collect();
                 for t in result.large_difference_times(4.0) {
                     large += 1;
-                    if transitions
-                        .iter()
-                        .any(|&tr| t.abs_diff(tr) <= window_ms)
-                    {
+                    if transitions.iter().any(|&tr| t.abs_diff(tr) <= window_ms) {
                         at_transitions += 1;
                     }
                 }
@@ -99,11 +98,23 @@ fn main() {
     }
 
     // Paper sorts experiments by the worst network latency they created.
-    rows.sort_by(|a, b| a.max_bottleneck_ms.partial_cmp(&b.max_bottleneck_ms).unwrap());
+    rows.sort_by(|a, b| {
+        a.max_bottleneck_ms
+            .partial_cmp(&b.max_bottleneck_ms)
+            .unwrap()
+    });
 
     println!(
         "{:<18} {:>5} {:>6} | {:>12} | {:>8} {:>8} {:>8} | {:>14} | {:>6}",
-        "game", "bw", "queue", "max bneck ms", "diff p50", "diff p95", "diff max", "control (m±sd)", "@trans"
+        "game",
+        "bw",
+        "queue",
+        "max bneck ms",
+        "diff p50",
+        "diff p95",
+        "diff max",
+        "control (m±sd)",
+        "@trans"
     );
     for r in &rows {
         println!(

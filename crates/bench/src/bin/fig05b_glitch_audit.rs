@@ -145,8 +145,7 @@ fn main() {
     }
 
     out.detected_pct = 100.0 * out.detected as f64 / out.incorrect_total.max(1) as f64;
-    out.missed_small_error_pct =
-        100.0 * out.missed_within_latgap as f64 / out.missed.max(1) as f64;
+    out.missed_small_error_pct = 100.0 * out.missed_within_latgap as f64 / out.missed.max(1) as f64;
     out.false_positive_pct = 100.0 * discarded_right as f64 / discarded_total.max(1) as f64;
 
     println!();

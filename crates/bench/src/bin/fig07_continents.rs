@@ -13,8 +13,8 @@ use serde::Serialize;
 use tero_bench::{arg_usize, header, write_json};
 use tero_geoparse::Gazetteer;
 use tero_types::Continent;
-use tero_world::population::{internet_user_share, population_share, PopulationModel};
 use tero_types::SimRng;
+use tero_world::population::{internet_user_share, population_share, PopulationModel};
 
 #[derive(Serialize)]
 struct Row {
@@ -33,7 +33,9 @@ fn main() {
     let mut rng = SimRng::new(7);
     let mut counts = std::collections::HashMap::new();
     for _ in 0..n {
-        *counts.entry(model.sample(&mut rng).continent).or_insert(0usize) += 1;
+        *counts
+            .entry(model.sample(&mut rng).continent)
+            .or_insert(0usize) += 1;
     }
 
     let mut rows = Vec::new();
@@ -45,7 +47,10 @@ fn main() {
         let tero = 100.0 * counts.get(&c).copied().unwrap_or(0) as f64 / n as f64;
         let internet = 100.0 * internet_user_share(c);
         let pop = 100.0 * population_share(c);
-        println!("{:>4} {tero:>9.1}% {internet:>14.1}% {pop:>12.1}%", c.code());
+        println!(
+            "{:>4} {tero:>9.1}% {internet:>14.1}% {pop:>12.1}%",
+            c.code()
+        );
         rows.push(Row {
             continent: c.code(),
             tero_pct: tero,

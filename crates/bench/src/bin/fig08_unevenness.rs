@@ -70,7 +70,10 @@ fn main() {
     }
 
     println!();
-    println!("{:>20} {:>8} {:>10} {:>10} {:>14}", "streamers/window", "windows", "median", "p80", "share ≤ 0.5");
+    println!(
+        "{:>20} {:>8} {:>10} {:>10} {:>14}",
+        "streamers/window", "windows", "median", "p80", "share ≤ 0.5"
+    );
     let mut per_count = Vec::new();
     for (count, scores) in &by_count {
         let mut s = scores.clone();

@@ -101,11 +101,7 @@ fn main() {
 
     // (b) by distance-normalised median.
     let mut by_norm: Vec<&Row> = rows.iter().filter(|r| r.normalized_p50.is_some()).collect();
-    by_norm.sort_by(|a, b| {
-        b.normalized_p50
-            .partial_cmp(&a.normalized_p50)
-            .unwrap()
-    });
+    by_norm.sort_by(|a, b| b.normalized_p50.partial_cmp(&a.normalized_p50).unwrap());
     println!();
     println!("(b) by distance-normalised latency (worst → best, ms per 1000 km):");
     for r in &by_norm {

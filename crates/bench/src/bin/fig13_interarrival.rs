@@ -45,7 +45,10 @@ fn main() {
     let mut gaps_s: Vec<f64> = Vec::new();
     for pair in tasks.windows(2) {
         if pair[0].streamer == pair[1].streamer {
-            let gap = pair[1].generated_at.since(pair[0].generated_at).as_secs_f64();
+            let gap = pair[1]
+                .generated_at
+                .since(pair[0].generated_at)
+                .as_secs_f64();
             if gap < 2_700.0 {
                 gaps_s.push(gap);
             }
@@ -55,14 +58,20 @@ fn main() {
     let pct = |p: f64| tero_stats::descriptive::percentile_sorted(&gaps_s, p);
 
     println!("inter-arrivals measured: {}", gaps_s.len());
-    println!("p10 {:.0} s   p50 {:.0} s   p90 {:.0} s   p99 {:.0} s", pct(10.0), pct(50.0), pct(90.0), pct(99.0));
+    println!(
+        "p10 {:.0} s   p50 {:.0} s   p90 {:.0} s   p99 {:.0} s",
+        pct(10.0),
+        pct(50.0),
+        pct(90.0),
+        pct(99.0)
+    );
     println!("(paper: mass in [300 s, ~400 s], 90th percentile = 6 min = 360 s)");
     println!();
     println!("CDF:");
     let mut cdf = Vec::new();
     for &t in &[300u64, 320, 340, 360, 380, 400, 600, 1200, 2400] {
-        let frac = gaps_s.iter().filter(|&&g| g <= t as f64).count() as f64
-            / gaps_s.len().max(1) as f64;
+        let frac =
+            gaps_s.iter().filter(|&&g| g <= t as f64).count() as f64 / gaps_s.len().max(1) as f64;
         println!("  ≤ {t:>5} s: {:>5.1}%", 100.0 * frac);
         cdf.push((t, frac));
     }

@@ -142,7 +142,11 @@ fn main() {
     for g in grid.iter().filter(|g| g.lat_gap_ms == 15) {
         println!(
             "{:>7}min {:>10.1}% {:>11.1}% {:>8.2}% {:>9.2}%",
-            g.stable_len_min, g.users_kept_pct, g.points_kept_pct, g.spike_points_pct, g.glitch_points_pct
+            g.stable_len_min,
+            g.users_kept_pct,
+            g.points_kept_pct,
+            g.spike_points_pct,
+            g.glitch_points_pct
         );
     }
 

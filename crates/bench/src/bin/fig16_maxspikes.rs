@@ -79,16 +79,8 @@ fn main() {
 
     // (b)/(c): sweep MaxSpikes.
     let total_users = fractions.len();
-    let total_spikes: usize = report
-        .anomalies
-        .values()
-        .map(|r| r.spikes.len())
-        .sum();
-    let total_points: usize = report
-        .anomalies
-        .values()
-        .map(|r| r.total_samples())
-        .sum();
+    let total_spikes: usize = report.anomalies.values().map(|r| r.spikes.len()).sum();
+    let total_points: usize = report.anomalies.values().map(|r| r.total_samples()).sum();
 
     println!();
     println!("(b)/(c) sweeping MaxSpikes:");
@@ -104,8 +96,10 @@ fn main() {
         let mut points_lost = 0usize;
         let mut spikes_kept = 0usize;
         // Shared anomalies recomputed per {region, game} over kept users.
-        let mut groups: std::collections::BTreeMap<(String, tero_types::GameId), Vec<StreamerActivity>> =
-            std::collections::BTreeMap::new();
+        let mut groups: std::collections::BTreeMap<
+            (String, tero_types::GameId),
+            Vec<StreamerActivity>,
+        > = std::collections::BTreeMap::new();
         for ((anon, game), r) in &report.anomalies {
             if r.all_unstable {
                 continue;

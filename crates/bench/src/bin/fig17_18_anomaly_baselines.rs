@@ -132,8 +132,7 @@ fn main() {
                         .unwrap_or_default(),
                     _ => {
                         let mut rng = SimRng::new(17);
-                        let forest =
-                            IsolationForest::fit(&series.values, 50, 128, &mut rng);
+                        let forest = IsolationForest::fit(&series.values, 50, 128, &mut rng);
                         forest.outliers_by_iqr(&series.values, p)
                     }
                 };

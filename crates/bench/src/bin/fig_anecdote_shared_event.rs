@@ -27,14 +27,24 @@ fn main() {
     let release_day = 4u64;
     let game = GameId::CodWarzone;
     header("§4.2.3 anecdote: release-day shared-anomaly surge");
-    println!("(release of {} on day {release_day}, 5-day surge)", game.name());
+    println!(
+        "(release of {} on day {release_day}, 5-day surge)",
+        game.name()
+    );
 
     // Shared-anomaly detection works within {region, game} aggregates and
     // needs population density (Eq. 2's significance gate): pin CoD
     // streamers at a handful of hubs, as the paper's organic data had in
     // its dense regions.
     let gaz = tero_geoparse::Gazetteer::new();
-    let hubs = ["Los Angeles", "Chicago", "London", "Paris", "Sao Paulo", "Dallas"];
+    let hubs = [
+        "Los Angeles",
+        "Chicago",
+        "London",
+        "Paris",
+        "Sao Paulo",
+        "Dallas",
+    ];
     let per = (n / hubs.len()).max(10);
     let pinned = hubs
         .iter()

@@ -64,8 +64,7 @@ fn main() {
         retained_pct: 100.0 * retained as f64 / report.extracted.max(1) as f64,
         users_seen: report.streamers_seen,
         users_located: report.locations.len(),
-        located_pct: 100.0 * report.locations.len() as f64
-            / report.streamers_seen.max(1) as f64,
+        located_pct: 100.0 * report.locations.len() as f64 / report.streamers_seen.max(1) as f64,
         streams,
         countries: countries.len(),
         distributions_published: report.distributions.len(),

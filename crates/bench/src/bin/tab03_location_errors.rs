@@ -84,23 +84,20 @@ fn main() {
     }
 
     let mut rows: Vec<Row> = Vec::new();
-    let mut add = |name: &str,
-                   extracted: usize,
-                   wrong: usize,
-                   total: usize,
-                   paper: Option<(f64, f64)>| {
-        rows.push(Row {
-            technique: name.to_string(),
-            extracted_pct: 100.0 * extracted as f64 / total.max(1) as f64,
-            error_pct: if extracted == 0 {
-                0.0
-            } else {
-                100.0 * wrong as f64 / extracted as f64
-            },
-            paper_extracted_pct: paper.map(|p| p.0),
-            paper_error_pct: paper.map(|p| p.1),
-        });
-    };
+    let mut add =
+        |name: &str, extracted: usize, wrong: usize, total: usize, paper: Option<(f64, f64)>| {
+            rows.push(Row {
+                technique: name.to_string(),
+                extracted_pct: 100.0 * extracted as f64 / total.max(1) as f64,
+                error_pct: if extracted == 0 {
+                    0.0
+                } else {
+                    100.0 * wrong as f64 / extracted as f64
+                },
+                paper_extracted_pct: paper.map(|p| p.0),
+                paper_error_pct: paper.map(|p| p.1),
+            });
+        };
 
     // --- Raw geocoders and Tool++ on Twitch descriptions -------------------
     for kind in ToolKind::GEOCODERS {
@@ -143,7 +140,13 @@ fn main() {
             ToolKind::Mordecai => (17.94, 2.43),
             _ => unreachable!(),
         };
-        add(&format!("{}++", kind.name()), ext_pp, wrong_pp, n, Some(paper_pp));
+        add(
+            &format!("{}++", kind.name()),
+            ext_pp,
+            wrong_pp,
+            n,
+            Some(paper_pp),
+        );
     }
 
     // --- Twitch combination -------------------------------------------------
@@ -168,17 +171,19 @@ fn main() {
                 mapped += 1;
                 // The mapping is wrong if the matched profile is not the
                 // streamer's own.
-                let own = s
-                    .twitter
-                    .iter()
-                    .chain(s.steam.iter())
-                    .any(|p| p == profile);
+                let own = s.twitter.iter().chain(s.steam.iter()).any(|p| p == profile);
                 if !own {
                     wrong += 1;
                 }
             }
         }
-        add("Twitter-Twitch mapping", mapped, wrong, n, Some((1.96, 1.6)));
+        add(
+            "Twitter-Twitch mapping",
+            mapped,
+            wrong,
+            n,
+            Some((1.96, 1.6)),
+        );
     }
 
     // --- Raw geoparsers + Twitter combination on location fields ------------
@@ -230,7 +235,13 @@ fn main() {
                 }
             }
         }
-        add("Twitter Comb.", ext, wrong, with_fields.len(), Some((70.77, 1.91)));
+        add(
+            "Twitter Comb.",
+            ext,
+            wrong,
+            with_fields.len(),
+            Some((70.77, 1.91)),
+        );
     }
 
     // --- Full Tero location module -------------------------------------------

@@ -22,6 +22,7 @@
 
 use serde::Serialize;
 use tero_bench::{arg_usize, header, write_json};
+use tero_core::imageproc::roi_for_game;
 use tero_geoparse::{Gazetteer, PlaceKind};
 use tero_types::{SimRng, SimTime};
 use tero_vision::combine::{CombineOutcome, OcrCombiner};
@@ -29,7 +30,6 @@ use tero_vision::ocr::OcrEngineKind;
 use tero_world::sessions::TruthSample;
 use tero_world::streamer::Streamer;
 use tero_world::twitch::{build_scene, render_thumbnail};
-use tero_core::imageproc::roi_for_game;
 
 #[derive(Default, Clone, Copy, Serialize)]
 struct Rates {
@@ -89,8 +89,7 @@ fn main() {
         let mut rng = SimRng::new(4_242 + rep as u64);
         for i in 0..n {
             let home = homes[rng.range_usize(0, homes.len())].clone();
-            let streamer =
-                Streamer::generate(&gaz, home, SimTime::from_hours(1_000), &mut rng);
+            let streamer = Streamer::generate(&gaz, home, SimTime::from_hours(1_000), &mut rng);
             let game = streamer.games[0];
             // Latency mix spanning the realistic range.
             let truth = 5 + rng.below(245) as u32;
@@ -143,9 +142,7 @@ fn main() {
             // Ablation: whole-thumbnail OCR (no game-UI crop).
             match combiner.extract(&thumb) {
                 CombineOutcome::NoMeasurement => nocrop_miss += 1,
-                CombineOutcome::Extracted { primary, .. } if primary != truth => {
-                    nocrop_wrong += 1
-                }
+                CombineOutcome::Extracted { primary, .. } if primary != truth => nocrop_wrong += 1,
                 _ => {}
             }
             let _ = build_scene(&streamer, game, &sample);
@@ -184,7 +181,11 @@ fn main() {
 
     println!();
     println!("{:<22} {:>10} {:>10}   (paper)", "", "missed %", "wrong %");
-    let paper = [("tesseract-like", 15.52, 8.77), ("easyocr-like", 5.75, 8.31), ("paddleocr-like", 5.84, 9.96)];
+    let paper = [
+        ("tesseract-like", 15.52, 8.77),
+        ("easyocr-like", 5.75, 8.31),
+        ("paddleocr-like", 5.84, 9.96),
+    ];
     for (name, r) in &engines {
         let p = paper.iter().find(|(n, _, _)| n == name).unwrap();
         println!(
@@ -215,7 +216,10 @@ fn main() {
     println!("digit drops among Tero's errors: {drop_share:.1}% (paper: 68.42%)");
     println!();
     println!("Fig 5a — extractions by latency bin (no high-latency bias expected):");
-    println!("{:>10} {:>9} {:>10} {:>9} {:>8}", "bin [ms]", "correct", "incorrect", "missing", "miss %");
+    println!(
+        "{:>10} {:>9} {:>10} {:>9} {:>8}",
+        "bin [ms]", "correct", "incorrect", "missing", "miss %"
+    );
     for b in &bins {
         let tot = (b.correct + b.incorrect + b.missing).max(1);
         println!(

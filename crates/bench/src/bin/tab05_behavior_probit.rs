@@ -96,8 +96,7 @@ fn main() {
     let mut server_rows = Vec::new();
     let mut game_rows = Vec::new();
     for game in GameId::TABLE5 {
-        if let Some(row) =
-            server_change_effects(&report.behavior_streams, game, min_play_for(game))
+        if let Some(row) = server_change_effects(&report.behavior_streams, game, min_play_for(game))
         {
             server_rows.push(row);
         }
@@ -106,7 +105,10 @@ fn main() {
         }
     }
 
-    print_rows("Server changes (paper: effects 0.0025-0.016 per spike):", &server_rows);
+    print_rows(
+        "Server changes (paper: effects 0.0025-0.016 per spike):",
+        &server_rows,
+    );
     print_rows(
         "Game changes (paper: an order of magnitude larger, 0.009-0.046):",
         &game_rows,
@@ -136,11 +138,19 @@ fn main() {
     // §6's closing suggestion: specific retention numbers by spike count.
     println!();
     println!("retention rate by spike count (the paper's proposed follow-up):");
-    for game in [GameId::LeagueOfLegends, GameId::CodWarzone, GameId::GenshinImpact] {
+    for game in [
+        GameId::LeagueOfLegends,
+        GameId::CodWarzone,
+        GameId::GenshinImpact,
+    ] {
         let curve = tero_core::behavior::retention_curve(&report.behavior_streams, game, 4);
         print!("  {:<22}", game.name());
         for (k, p, n) in &curve {
-            let label = if *k == 4 { "4+".to_string() } else { k.to_string() };
+            let label = if *k == 4 {
+                "4+".to_string()
+            } else {
+                k.to_string()
+            };
             print!(" {label}:{:>4.1}% (n={n})", 100.0 * p);
         }
         println!();

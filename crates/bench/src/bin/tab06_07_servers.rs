@@ -28,7 +28,10 @@ fn main() {
         ("Jamaica (LoL)", Location::country("Jamaica")),
         ("Hawaii (LoL)", Location::region("United States", "Hawaii")),
         ("Turkey (LoL)", Location::country("Turkey")),
-        ("Illinois (LoL)", Location::region("United States", "Illinois")),
+        (
+            "Illinois (LoL)",
+            Location::region("United States", "Illinois"),
+        ),
         ("South Korea (LoL)", Location::country("South Korea")),
     ];
     for (label, loc) in cases {

@@ -1,0 +1,436 @@
+//! # tero-chaos
+//!
+//! Deterministic fault injection for the Tero ingest pipeline.
+//!
+//! The paper's download module survives a hostile environment — Helix rate
+//! limits, CDN overwrites every ~5 minutes, offline redirects, and machine
+//! crashes (App. A/B). The synthetic world is far kinder than the real
+//! platform, so this crate supplies the missing hostility *on demand*: a
+//! [`FaultPlan`] describes the failure modes and their rates, and a
+//! [`ChaosInjector`] built from it hands out per-call fault decisions from
+//! seeded [`SimRng`] streams. The same `(seed, plan)` pair always produces
+//! the same fault sequence, so every chaos experiment is replayable and
+//! every recovery test is deterministic.
+//!
+//! Fault classes:
+//!
+//! * **Transient API 5xx** on `get_streams` / `get_profile` — the caller is
+//!   expected to retry with backoff;
+//! * **CDN faults** on `cdn_get` — request timeouts, truncated payloads
+//!   (stored bytes shorter than the header promises), and corrupted pixel
+//!   bytes (length preserved, content garbage);
+//! * **Downloader crash windows** — a worker dies at a planned instant and
+//!   recovers later; the coordinator must reassign its streamers;
+//! * **Write drops** on the KV / object stores — the write is acknowledged
+//!   but never lands, as a crashed store node would lose it.
+//!
+//! Every injected fault is counted under `chaos.injected.*` once the
+//! injector is [instrumented](ChaosInjector::instrument), so a recovery
+//! test can assert that the fault classes it claims to survive actually
+//! fired.
+//!
+//! ```
+//! use tero_chaos::{ChaosInjector, FaultPlan};
+//!
+//! let plan = FaultPlan { cdn_timeout_rate: 1.0, ..FaultPlan::quiet(7) };
+//! let chaos = ChaosInjector::new(plan);
+//! assert!(matches!(
+//!     chaos.cdn_fault(),
+//!     Some(tero_chaos::CdnFault::Timeout)
+//! ));
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::sync::{Arc, OnceLock};
+use tero_obs::{CounterHandle, Registry};
+use tero_types::{SimRng, SimTime};
+
+/// One planned downloader crash: the worker is dead over `[at, until)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct CrashWindow {
+    /// Index of the downloader that dies.
+    pub downloader: usize,
+    /// When it dies.
+    pub at: SimTime,
+    /// When it comes back.
+    pub until: SimTime,
+}
+
+/// A fault a CDN fetch can suffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CdnFault {
+    /// The request times out; no payload is returned. Detectable at fetch
+    /// time — the caller should retry with backoff.
+    Timeout,
+    /// The payload arrives shorter than its header promises. Undetectable
+    /// at fetch time; surfaces as a decode failure downstream.
+    Truncated,
+    /// The payload arrives with corrupted pixel bytes but the right
+    /// length. Decodes fine; the OCR stage reads garbage and extracts
+    /// nothing.
+    Corrupted,
+}
+
+/// The declarative fault schedule: rates per fault class plus explicit
+/// crash windows. All probabilities are per-call Bernoulli draws from the
+/// injector's seeded streams.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultPlan {
+    /// Seed of the injector's RNG streams. The whole fault sequence is a
+    /// pure function of `(seed, plan rates, call sequence)`.
+    pub seed: u64,
+    /// Probability that an API call (`get_streams` / `get_profile`)
+    /// returns a transient 5xx after spending its rate-limit budget.
+    pub api_5xx_rate: f64,
+    /// Probability that a CDN fetch times out.
+    pub cdn_timeout_rate: f64,
+    /// Probability that a CDN payload is truncated.
+    pub cdn_truncate_rate: f64,
+    /// Probability that a CDN payload has corrupted pixels.
+    pub cdn_corrupt_rate: f64,
+    /// Probability that a KV write (set / rpush / hset) is silently lost.
+    pub kv_write_drop_rate: f64,
+    /// Probability that an object-store put is silently lost.
+    pub object_write_drop_rate: f64,
+    /// Planned downloader crashes.
+    pub crashes: Vec<CrashWindow>,
+}
+
+impl FaultPlan {
+    /// A plan with every fault class disabled — installing it is a no-op.
+    pub fn quiet(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            api_5xx_rate: 0.0,
+            cdn_timeout_rate: 0.0,
+            cdn_truncate_rate: 0.0,
+            cdn_corrupt_rate: 0.0,
+            kv_write_drop_rate: 0.0,
+            object_write_drop_rate: 0.0,
+            crashes: Vec::new(),
+        }
+    }
+
+    /// The default chaos mix used by the recovery suite: transient API
+    /// errors, CDN timeouts and payload corruption at modest rates, and
+    /// one downloader crash a few hours in. A hardened ingest pipeline
+    /// retains ≥ 90 % of its fault-free throughput under this plan.
+    pub fn default_plan(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            api_5xx_rate: 0.05,
+            cdn_timeout_rate: 0.03,
+            cdn_truncate_rate: 0.01,
+            cdn_corrupt_rate: 0.01,
+            kv_write_drop_rate: 0.0,
+            object_write_drop_rate: 0.0,
+            crashes: vec![CrashWindow {
+                downloader: 1,
+                at: SimTime::from_hours(6),
+                until: SimTime::from_hours(10),
+            }],
+        }
+    }
+}
+
+/// Counter handles resolved by [`ChaosInjector::instrument`]. All names
+/// are registered eagerly so the catalogue stays complete even for fault
+/// classes that never fire.
+struct ChaosMetrics {
+    api_5xx: CounterHandle,
+    cdn_timeout: CounterHandle,
+    cdn_truncated: CounterHandle,
+    cdn_corrupt: CounterHandle,
+    kv_write_drop: CounterHandle,
+    object_write_drop: CounterHandle,
+    crash: CounterHandle,
+}
+
+struct Inner {
+    plan: FaultPlan,
+    /// Independent streams per call site, so (say) KV write volume never
+    /// perturbs the CDN fault sequence.
+    api_rng: Mutex<SimRng>,
+    cdn_rng: Mutex<SimRng>,
+    kv_rng: Mutex<SimRng>,
+    object_rng: Mutex<SimRng>,
+    metrics: OnceLock<ChaosMetrics>,
+}
+
+/// The live injector: consulted by the world's API/CDN, the stores, and
+/// the download module. Cloning is cheap (shared handle); all clones draw
+/// from the same streams.
+#[derive(Clone)]
+pub struct ChaosInjector {
+    inner: Arc<Inner>,
+}
+
+impl ChaosInjector {
+    /// Build an injector from a plan. The four decision streams are forked
+    /// deterministically from `plan.seed`.
+    pub fn new(plan: FaultPlan) -> ChaosInjector {
+        let mut root = SimRng::new(plan.seed);
+        ChaosInjector {
+            inner: Arc::new(Inner {
+                api_rng: Mutex::new(root.fork()),
+                cdn_rng: Mutex::new(root.fork()),
+                kv_rng: Mutex::new(root.fork()),
+                object_rng: Mutex::new(root.fork()),
+                plan,
+                metrics: OnceLock::new(),
+            }),
+        }
+    }
+
+    /// Register the `chaos.injected.*` counters with a registry. All
+    /// counter names are created immediately (at zero), so the metric
+    /// catalogue cross-check sees them whether or not they fire. The first
+    /// call wins; all clones share the handles.
+    pub fn instrument(&self, registry: &Registry) {
+        let _ = self.inner.metrics.set(ChaosMetrics {
+            api_5xx: registry.counter("chaos.injected.api_5xx"),
+            cdn_timeout: registry.counter("chaos.injected.cdn_timeout"),
+            cdn_truncated: registry.counter("chaos.injected.cdn_truncated"),
+            cdn_corrupt: registry.counter("chaos.injected.cdn_corrupt"),
+            kv_write_drop: registry.counter("chaos.injected.kv_write_drop"),
+            object_write_drop: registry.counter("chaos.injected.object_write_drop"),
+            crash: registry.counter("chaos.injected.crash"),
+        });
+    }
+
+    /// The plan this injector was built from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.inner.plan
+    }
+
+    /// The planned downloader crash windows.
+    pub fn crash_windows(&self) -> &[CrashWindow] {
+        &self.inner.plan.crashes
+    }
+
+    /// Should this API call fail with a transient 5xx?
+    pub fn api_fault(&self) -> bool {
+        let rate = self.inner.plan.api_5xx_rate;
+        if rate <= 0.0 {
+            return false;
+        }
+        let hit = self.inner.api_rng.lock().chance(rate);
+        if hit {
+            if let Some(m) = self.inner.metrics.get() {
+                m.api_5xx.inc();
+            }
+        }
+        hit
+    }
+
+    /// Should this CDN fetch fault, and how? One draw per call; the three
+    /// fault classes partition the unit interval.
+    pub fn cdn_fault(&self) -> Option<CdnFault> {
+        let p = &self.inner.plan;
+        let total = p.cdn_timeout_rate + p.cdn_truncate_rate + p.cdn_corrupt_rate;
+        if total <= 0.0 {
+            return None;
+        }
+        let u = self.inner.cdn_rng.lock().f64();
+        let fault = if u < p.cdn_timeout_rate {
+            CdnFault::Timeout
+        } else if u < p.cdn_timeout_rate + p.cdn_truncate_rate {
+            CdnFault::Truncated
+        } else if u < total {
+            CdnFault::Corrupted
+        } else {
+            return None;
+        };
+        if let Some(m) = self.inner.metrics.get() {
+            match fault {
+                CdnFault::Timeout => m.cdn_timeout.inc(),
+                CdnFault::Truncated => m.cdn_truncated.inc(),
+                CdnFault::Corrupted => m.cdn_corrupt.inc(),
+            }
+        }
+        Some(fault)
+    }
+
+    /// Deterministically mangle a payload according to a CDN fault.
+    /// `Truncated` halves the pixel bytes; `Corrupted` XOR-flips a stride
+    /// of bytes in place (same length, garbage content).
+    pub fn mangle_payload(&self, fault: CdnFault, pixels: &mut Vec<u8>) {
+        match fault {
+            CdnFault::Timeout => {}
+            CdnFault::Truncated => {
+                let keep = pixels.len() / 2;
+                pixels.truncate(keep);
+            }
+            CdnFault::Corrupted => {
+                for byte in pixels.iter_mut().step_by(3) {
+                    *byte ^= 0xA5;
+                }
+            }
+        }
+    }
+
+    /// Should this KV write be silently dropped?
+    pub fn drop_kv_write(&self) -> bool {
+        let rate = self.inner.plan.kv_write_drop_rate;
+        if rate <= 0.0 {
+            return false;
+        }
+        let hit = self.inner.kv_rng.lock().chance(rate);
+        if hit {
+            if let Some(m) = self.inner.metrics.get() {
+                m.kv_write_drop.inc();
+            }
+        }
+        hit
+    }
+
+    /// Should this object-store put be silently dropped?
+    pub fn drop_object_write(&self) -> bool {
+        let rate = self.inner.plan.object_write_drop_rate;
+        if rate <= 0.0 {
+            return false;
+        }
+        let hit = self.inner.object_rng.lock().chance(rate);
+        if hit {
+            if let Some(m) = self.inner.metrics.get() {
+                m.object_write_drop.inc();
+            }
+        }
+        hit
+    }
+
+    /// Record that a planned crash window activated (called by the
+    /// download module when the crash event fires).
+    pub fn note_crash(&self) {
+        if let Some(m) = self.inner.metrics.get() {
+            m.crash.inc();
+        }
+    }
+}
+
+impl std::fmt::Debug for ChaosInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaosInjector")
+            .field("plan", &self.inner.plan)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<T>(n: usize, mut f: impl FnMut() -> T) -> Vec<T> {
+        (0..n).map(|_| f()).collect()
+    }
+
+    #[test]
+    fn quiet_plan_never_faults() {
+        let chaos = ChaosInjector::new(FaultPlan::quiet(1));
+        for _ in 0..1000 {
+            assert!(!chaos.api_fault());
+            assert!(chaos.cdn_fault().is_none());
+            assert!(!chaos.drop_kv_write());
+            assert!(!chaos.drop_object_write());
+        }
+    }
+
+    #[test]
+    fn fault_sequence_is_deterministic() {
+        let seq = |seed| {
+            let chaos = ChaosInjector::new(FaultPlan::default_plan(seed));
+            (
+                drain(500, || chaos.api_fault()),
+                drain(500, || chaos.cdn_fault()),
+            )
+        };
+        assert_eq!(seq(42), seq(42));
+        assert_ne!(seq(42), seq(43));
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        // Interleaving KV draws must not perturb the CDN fault sequence.
+        let plain = {
+            let chaos = ChaosInjector::new(FaultPlan {
+                kv_write_drop_rate: 0.5,
+                ..FaultPlan::default_plan(7)
+            });
+            drain(200, || chaos.cdn_fault())
+        };
+        let interleaved = {
+            let chaos = ChaosInjector::new(FaultPlan {
+                kv_write_drop_rate: 0.5,
+                ..FaultPlan::default_plan(7)
+            });
+            drain(200, || {
+                chaos.drop_kv_write();
+                chaos.api_fault();
+                chaos.cdn_fault()
+            })
+        };
+        assert_eq!(plain, interleaved);
+    }
+
+    #[test]
+    fn rates_are_respected() {
+        let chaos = ChaosInjector::new(FaultPlan {
+            api_5xx_rate: 0.3,
+            cdn_timeout_rate: 0.2,
+            cdn_truncate_rate: 0.1,
+            cdn_corrupt_rate: 0.1,
+            ..FaultPlan::quiet(11)
+        });
+        let n = 20_000;
+        let api = (0..n).filter(|_| chaos.api_fault()).count();
+        assert!((api as f64 / n as f64 - 0.3).abs() < 0.02);
+        let faults: Vec<_> = (0..n).filter_map(|_| chaos.cdn_fault()).collect();
+        let frac = faults.len() as f64 / n as f64;
+        assert!((frac - 0.4).abs() < 0.02, "cdn fault fraction {frac}");
+        let timeouts = faults.iter().filter(|f| **f == CdnFault::Timeout).count();
+        assert!((timeouts as f64 / n as f64 - 0.2).abs() < 0.02);
+    }
+
+    #[test]
+    fn metrics_count_injected_faults() {
+        let registry = Registry::new();
+        let chaos = ChaosInjector::new(FaultPlan {
+            cdn_timeout_rate: 1.0,
+            ..FaultPlan::quiet(3)
+        });
+        chaos.instrument(&registry);
+        for _ in 0..5 {
+            assert_eq!(chaos.cdn_fault(), Some(CdnFault::Timeout));
+        }
+        chaos.note_crash();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("chaos.injected.cdn_timeout"), Some(5));
+        assert_eq!(snap.counter("chaos.injected.crash"), Some(1));
+        // Every chaos counter is registered, fired or not.
+        assert_eq!(snap.counter("chaos.injected.api_5xx"), Some(0));
+        assert_eq!(snap.counter("chaos.injected.kv_write_drop"), Some(0));
+    }
+
+    #[test]
+    fn mangle_truncates_and_corrupts() {
+        let chaos = ChaosInjector::new(FaultPlan::quiet(5));
+        let original: Vec<u8> = (0..100).map(|i| i as u8).collect();
+
+        let mut truncated = original.clone();
+        chaos.mangle_payload(CdnFault::Truncated, &mut truncated);
+        assert_eq!(truncated.len(), 50);
+
+        let mut corrupted = original.clone();
+        chaos.mangle_payload(CdnFault::Corrupted, &mut corrupted);
+        assert_eq!(corrupted.len(), original.len());
+        assert_ne!(corrupted, original);
+
+        let mut untouched = original.clone();
+        chaos.mangle_payload(CdnFault::Timeout, &mut untouched);
+        assert_eq!(untouched, original);
+    }
+}

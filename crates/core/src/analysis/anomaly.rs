@@ -197,8 +197,7 @@ pub fn detect_anomalies(mut segments: Vec<Segment>, params: &TeroParams) -> Anom
             let min = segments[i].min_ms();
             let above = |j: usize| min >= segments[j].max_ms().saturating_add(gap);
             // Closest relevant neighbour on each side: stable or spike.
-            let relevant =
-                |l: SegmentLabel| l == SegmentLabel::Stable;
+            let relevant = |l: SegmentLabel| l == SegmentLabel::Stable;
             let left_stable = closest_left(&labels, i, relevant);
             let right_stable = closest_right(&labels, i, relevant);
             let left_spike = (0..i).rev().find(|&j| spike[j]);
@@ -246,11 +245,8 @@ pub fn detect_anomalies(mut segments: Vec<Segment>, params: &TeroParams) -> Anom
         if !glitch[i] && !spike[i] {
             continue;
         }
-        let corrected: Option<Vec<LatencySample>> = segments[i]
-            .samples
-            .iter()
-            .map(|s| s.corrected())
-            .collect();
+        let corrected: Option<Vec<LatencySample>> =
+            segments[i].samples.iter().map(|s| s.corrected()).collect();
         let fits = |cand: &[LatencySample]| {
             let sides = [
                 closest_left(&labels, i, is_stable),
@@ -259,7 +255,8 @@ pub fn detect_anomalies(mut segments: Vec<Segment>, params: &TeroParams) -> Anom
             sides.iter().flatten().any(|&j| {
                 let lo = segments[j].min_ms().saturating_sub(gap);
                 let hi = segments[j].max_ms().saturating_add(gap);
-                cand.iter().all(|s| s.latency_ms >= lo && s.latency_ms <= hi)
+                cand.iter()
+                    .all(|s| s.latency_ms >= lo && s.latency_ms <= hi)
             })
         };
         match corrected {
@@ -343,7 +340,11 @@ pub fn detect_anomalies(mut segments: Vec<Segment>, params: &TeroParams) -> Anom
                     / segments[j].len().max(1) as f64
             })
             .unwrap_or(spike_mean);
-        let start = segments[group[0]].samples.first().map(|s| s.at).unwrap_or_default();
+        let start = segments[group[0]]
+            .samples
+            .first()
+            .map(|s| s.at)
+            .unwrap_or_default();
         let end = segments[*group.last().unwrap()]
             .samples
             .last()
@@ -379,9 +380,7 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, &(v, alt))| match alt {
-                Some(a) => {
-                    LatencySample::with_alternative(SimTime::from_mins(5 * i as u64), v, a)
-                }
+                Some(a) => LatencySample::with_alternative(SimTime::from_mins(5 * i as u64), v, a),
                 None => LatencySample::new(SimTime::from_mins(5 * i as u64), v),
             })
             .collect();
@@ -437,7 +436,11 @@ mod tests {
         assert_eq!(report.spikes.len(), 1);
         let spike = &report.spikes[0];
         assert_eq!(spike.samples, 3);
-        assert!((spike.magnitude_ms - 51.0).abs() < 2.0, "{}", spike.magnitude_ms);
+        assert!(
+            (spike.magnitude_ms - 51.0).abs() < 2.0,
+            "{}",
+            spike.magnitude_ms
+        );
         // Spike samples are excluded from the clean series.
         assert_eq!(report.clean_samples().len(), 14);
     }
@@ -481,7 +484,12 @@ mod tests {
         vals.extend([65u32, 66]);
         vals.extend([90u32; 7].iter());
         let report = detect_anomalies(plain(&vals), &TeroParams::default());
-        assert_eq!(report.labels[1], SegmentLabel::Discarded, "{:?}", report.labels);
+        assert_eq!(
+            report.labels[1],
+            SegmentLabel::Discarded,
+            "{:?}",
+            report.labels
+        );
     }
 
     #[test]

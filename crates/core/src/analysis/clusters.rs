@@ -79,10 +79,7 @@ fn merge_until_stable(mut clusters: Vec<LatencyCluster>, gap: u32) -> Vec<Latenc
 /// Cluster one streamer's stable segments (spikes were already excluded by
 /// the anomaly stage). `merge_gap_ms` is `LatGap` by default; Fig 14
 /// sweeps ×0.5 and ×1.5.
-pub fn cluster_segments(
-    stable: &[&Segment],
-    merge_gap_ms: u32,
-) -> Vec<LatencyCluster> {
+pub fn cluster_segments(stable: &[&Segment], merge_gap_ms: u32) -> Vec<LatencyCluster> {
     let total: usize = stable.iter().map(|s| s.len()).sum();
     if total == 0 {
         return vec![];
@@ -118,7 +115,11 @@ pub fn classify_streamer(
     report: &AnomalyReport,
     params: &TeroParams,
 ) -> ClassifiedStreamer {
-    let stable: Vec<&Segment> = report.stable_segments().into_iter().map(|(_, s)| s).collect();
+    let stable: Vec<&Segment> = report
+        .stable_segments()
+        .into_iter()
+        .map(|(_, s)| s)
+        .collect();
     let clusters = cluster_segments(&stable, params.lat_gap_ms);
     let is_static = clusters
         .first()
@@ -239,7 +240,11 @@ mod tests {
         let s2 = seg(&[50; 8], 0);
         let stable: Vec<&Segment> = s1.iter().chain(s2.iter()).collect();
         let clusters = cluster_segments(&stable, 15);
-        assert_eq!(clusters.len(), 1, "ranges 40..40 and 50..50 touch at gap 15");
+        assert_eq!(
+            clusters.len(),
+            1,
+            "ranges 40..40 and 50..50 touch at gap 15"
+        );
         assert!((clusters[0].weight - 1.0).abs() < 1e-9);
     }
 
@@ -334,8 +339,18 @@ mod tests {
         vals.extend([90u32; 10].iter());
         let report = detect_anomalies(seg(&vals, 0), &params);
         let clusters = vec![
-            LatencyCluster { min_ms: 35, max_ms: 45, samples: vec![], weight: 0.5 },
-            LatencyCluster { min_ms: 85, max_ms: 95, samples: vec![], weight: 0.5 },
+            LatencyCluster {
+                min_ms: 35,
+                max_ms: 45,
+                samples: vec![],
+                weight: 0.5,
+            },
+            LatencyCluster {
+                min_ms: 85,
+                max_ms: 95,
+                samples: vec![],
+                weight: 0.5,
+            },
         ];
         let changes = endpoint_changes(&report, &clusters, 5);
         assert_eq!(changes.len(), 1);

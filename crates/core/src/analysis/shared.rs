@@ -74,10 +74,7 @@ pub fn detect_shared_anomalies(
             let mut active = 0u64;
             let mut spiking = 0u64;
             for (j, other) in activities.iter().enumerate() {
-                let has_measurement = other
-                    .measurement_times
-                    .iter()
-                    .any(|&t| t >= lo && t <= hi);
+                let has_measurement = other.measurement_times.iter().any(|&t| t >= lo && t <= hi);
                 if !has_measurement {
                     continue;
                 }
@@ -94,9 +91,7 @@ pub fn detect_shared_anomalies(
             if spiking >= 2 && test.is_shared_anomaly(active, spiking) {
                 // Deduplicate: skip if we already emitted an anomaly whose
                 // window overlaps this one.
-                let dup = out
-                    .iter()
-                    .any(|a| a.at >= lo && a.at <= hi);
+                let dup = out.iter().any(|a| a.at >= lo && a.at <= hi);
                 if !dup {
                     out.push(SharedAnomaly {
                         game,

@@ -137,8 +137,7 @@ pub fn server_change_effects(
 
 /// Table 5 (bottom): game-change marginal effects for one game.
 pub fn game_change_effects(streams: &[BehaviorStream], game: GameId) -> Option<EffectRow> {
-    let eligible: Vec<&BehaviorStream> =
-        streams.iter().filter(|s| s.game == game).collect();
+    let eligible: Vec<&BehaviorStream> = streams.iter().filter(|s| s.game == game).collect();
     if eligible.len() < 50 {
         return None;
     }
@@ -147,10 +146,7 @@ pub fn game_change_effects(streams: &[BehaviorStream], game: GameId) -> Option<E
         .map(|&size| {
             let mut model = ProbitModel::new();
             for s in &eligible {
-                model.push(
-                    s.spikes_before(size, s.end) as f64,
-                    s.game_changed_after,
-                );
+                model.push(s.spikes_before(size, s.end) as f64, s.game_changed_after);
             }
             fit_cell(&model, size)
         })
@@ -178,7 +174,11 @@ pub fn retention_curve(
             .filter(|s| s.game == game)
             .filter(|s| {
                 let n = s.spikes.len() as u32;
-                if k == max_spikes { n >= k } else { n == k }
+                if k == max_spikes {
+                    n >= k
+                } else {
+                    n == k
+                }
             })
             .collect();
         if bucket.is_empty() {
@@ -243,8 +243,7 @@ mod tests {
                 .collect();
             let p = (0.05 + effect * spikes.len() as f64).min(0.95);
             let changed = rng.chance(p);
-            let first_server_change =
-                changed.then(|| start + SimDuration::from_mins(100));
+            let first_server_change = changed.then(|| start + SimDuration::from_mins(100));
             out.push(BehaviorStream {
                 anon: AnonId(i as u64 % 40), // 40 streamers
                 game: GameId::LeagueOfLegends,
@@ -275,10 +274,13 @@ mod tests {
     #[test]
     fn null_effect_is_insignificant() {
         let streams = synth(4_000, 0.0, 7);
-        let row =
-            game_change_effects(&streams, GameId::LeagueOfLegends).expect("row");
+        let row = game_change_effects(&streams, GameId::LeagueOfLegends).expect("row");
         let cell = row.cells[2].expect("cell");
-        assert!(cell.marginal_effect.abs() < 0.02, "AME {}", cell.marginal_effect);
+        assert!(
+            cell.marginal_effect.abs() < 0.02,
+            "AME {}",
+            cell.marginal_effect
+        );
         assert!(cell.p_value > 0.01, "p {}", cell.p_value);
     }
 

@@ -11,15 +11,69 @@
 //! Load balancing follows the paper: "a downloader takes on a new streamer
 //! whenever it becomes idle" — here, new URLs go to the downloader with
 //! the fewest assignments.
+//!
+//! ## Failure handling
+//!
+//! The module survives every fault class `tero-chaos` can inject:
+//!
+//! * **API 5xx** on `Get Streams` → bounded retries with exponential
+//!   backoff and deterministic jitter, then skip to the next regular poll;
+//! * **CDN timeouts and truncated payloads** (detected via the
+//!   content-length the header promises) → per-assignment retry/backoff,
+//!   escalating to a circuit breaker that opens after
+//!   [`DownloadModule::breaker_threshold`] consecutive faults and
+//!   half-opens with a single probe after
+//!   [`DownloadModule::breaker_cooldown`];
+//! * **Downloader crashes** → the coordinator notices on its next poll and
+//!   moves the dead worker's streamers to the least-loaded survivor
+//!   (deterministically, in assignment-id order);
+//! * **Lost KV writes** → `active:*` registrations are TTL leases,
+//!   refreshed on every successful fetch and swept each poll; a lapsed
+//!   lease releases the assignment so the coordinator re-acquires it;
+//! * **Poison queue entries** → quarantined onto the
+//!   `queue:thumbs:dead` dead-letter list instead of silently dropped.
 
 use serde::Serialize;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use tero_obs::Registry;
 use tero_store::{KvStore, ObjectStore};
-use tero_types::{GameId, SimDuration, SimTime, StreamerId};
-use tero_world::twitch::CdnResponse;
+use tero_types::{GameId, SimDuration, SimRng, SimTime, StreamerId};
+use tero_world::twitch::{ApiError, CdnResponse};
 use tero_world::World;
+
+/// KV list holding tasks that could not be processed (undecodable queue
+/// entries, corrupt stored payloads). Never dropped silently; drained via
+/// [`DownloadModule::drain_dead_letters`].
+pub const DEAD_LETTER_QUEUE: &str = "queue:thumbs:dead";
+
+/// Percent-escape a task field so `|` can never masquerade as the
+/// separator (`%` itself is escaped first so decoding is unambiguous).
+fn escape_field(s: &str) -> String {
+    s.replace('%', "%25").replace('|', "%7C")
+}
+
+/// Reverse [`escape_field`]. Returns `None` for malformed escapes — the
+/// caller routes such entries to the dead-letter list.
+fn unescape_field(s: &str) -> Option<String> {
+    if !s.contains('%') {
+        return Some(s.to_string());
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = s.get(i + 1..i + 3)?;
+            out.push(u8::from_str_radix(hex, 16).ok()?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
 
 /// A downloaded-thumbnail task pushed onto the processing queue.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
@@ -35,21 +89,23 @@ pub struct ThumbnailTask {
 }
 
 impl ThumbnailTask {
-    /// Serialise for the KV work queue.
+    /// Serialise for the KV work queue. The username is percent-escaped so
+    /// a `|` in it cannot corrupt the field layout.
     pub fn encode(&self) -> String {
         format!(
             "{}|{}|{}|{}",
-            self.streamer.as_str(),
+            escape_field(self.streamer.as_str()),
             self.game_label.slug(),
             self.generated_at.as_micros(),
             self.object_key
         )
     }
 
-    /// Parse a queue entry.
+    /// Parse a queue entry. `None` means the entry is malformed and should
+    /// be dead-lettered.
     pub fn decode(s: &str) -> Option<ThumbnailTask> {
         let mut parts = s.splitn(4, '|');
-        let streamer = StreamerId::new(parts.next()?);
+        let streamer = StreamerId::new(&unescape_field(parts.next()?)?);
         let slug = parts.next()?;
         let game_label = GameId::ALL.into_iter().find(|g| g.slug() == slug)?;
         let generated_at = SimTime::from_micros(parts.next()?.parse().ok()?);
@@ -63,13 +119,17 @@ impl ThumbnailTask {
     }
 }
 
-/// Statistics of one download run.
-#[derive(Debug, Clone, Default, Serialize)]
+/// Statistics of one download run. With the same world seed and the same
+/// fault plan, two runs produce byte-identical stats (fault injection and
+/// recovery are fully deterministic).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
 pub struct DownloadStats {
     /// API polls issued.
     pub polls: u64,
     /// Polls rejected by the rate limiter.
     pub rate_limited: u64,
+    /// Polls failed by transient API 5xx errors.
+    pub api_errors: u64,
     /// Thumbnails fetched and stored.
     pub downloaded: u64,
     /// Thumbnails lost to CDN overwrites (a new thumbnail replaced one we
@@ -77,6 +137,16 @@ pub struct DownloadStats {
     pub missed: u64,
     /// Offline redirects observed.
     pub offline_signals: u64,
+    /// CDN fetches that timed out or arrived truncated.
+    pub cdn_faults: u64,
+    /// Backoff retries scheduled (poll and fetch paths).
+    pub retries: u64,
+    /// Circuit-breaker trips (including half-open probes that re-opened).
+    pub breaker_trips: u64,
+    /// Assignments moved off a crashed downloader.
+    pub reassigned: u64,
+    /// Expired TTL keys removed by the per-poll sweep.
+    pub swept: u64,
 }
 
 #[derive(Debug)]
@@ -86,12 +156,39 @@ struct Assignment {
     game_label: GameId,
     last_generated: Option<SimTime>,
     downloader: usize,
+    /// Consecutive CDN faults since the last clean fetch.
+    consecutive_faults: u32,
+    /// When the circuit breaker re-closes enough to allow one probe.
+    breaker_until: Option<SimTime>,
+    /// The next fetch is the breaker's single half-open probe.
+    half_open: bool,
+    /// The assignment's fetch-event chain died on a crashed downloader and
+    /// must be restarted when the assignment is reassigned.
+    chain_dead: bool,
+}
+
+impl Assignment {
+    fn new(url: String, streamer: StreamerId, game_label: GameId, downloader: usize) -> Self {
+        Assignment {
+            url,
+            streamer,
+            game_label,
+            last_generated: None,
+            downloader,
+            consecutive_faults: 0,
+            breaker_until: None,
+            half_open: false,
+            chain_dead: false,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
     Poll,
-    Fetch(u32), // assignment id
+    Fetch(u32),     // assignment id
+    Crash(usize),   // downloader index dies
+    Recover(usize), // downloader index comes back
 }
 
 #[derive(PartialEq, Eq)]
@@ -119,6 +216,24 @@ pub struct DownloadModule {
     /// Time a downloader spends fetching one thumbnail (serialised per
     /// worker — the reason the coordinator/downloader split exists).
     pub fetch_cost: SimDuration,
+    /// Maximum consecutive backoff retries before giving up on a round
+    /// (API polls skip to the next regular poll; fetches defer to the
+    /// circuit breaker, which trips first at the default settings).
+    pub max_retries: u32,
+    /// First-retry backoff; doubles per attempt, plus deterministic jitter.
+    pub backoff_base: SimDuration,
+    /// Consecutive CDN faults on one assignment that trip its breaker.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker stays open before its half-open probe.
+    pub breaker_cooldown: SimDuration,
+    /// Cooldown after an offline redirect before the streamer may be
+    /// re-acquired (must stay below `poll_interval` so a comeback is
+    /// picked up on the next poll after expiry).
+    pub offline_cooldown: SimDuration,
+    /// TTL of the `active:*` lease; refreshed on every successful fetch.
+    pub active_ttl: SimDuration,
+    /// Seed of the retry-jitter stream (independent of the world seed).
+    pub retry_seed: u64,
 }
 
 /// Metric handles resolved once per [`DownloadModule::run`] — bumping them
@@ -126,6 +241,7 @@ pub struct DownloadModule {
 struct DownloadObs {
     polls: tero_obs::CounterHandle,
     rate_limited: tero_obs::CounterHandle,
+    api_errors: tero_obs::CounterHandle,
     get_attempts: tero_obs::CounterHandle,
     get_hits: tero_obs::CounterHandle,
     same_content: tero_obs::CounterHandle,
@@ -134,15 +250,26 @@ struct DownloadObs {
     offline_signals: tero_obs::CounterHandle,
     assignments: tero_obs::CounterHandle,
     idle_steals: tero_obs::CounterHandle,
+    cdn_timeouts: tero_obs::CounterHandle,
+    retries: tero_obs::CounterHandle,
+    backoff_us: tero_obs::HistogramHandle,
+    breaker_open: tero_obs::CounterHandle,
+    reassigned: tero_obs::CounterHandle,
+    ttl_swept: tero_obs::CounterHandle,
     queue_depth: tero_obs::HistogramHandle,
     downloader_load: tero_obs::GaugeHandle,
 }
 
 impl DownloadObs {
     fn resolve(obs: &Registry) -> Self {
+        // Registered eagerly (at zero) so the metric catalogue stays
+        // complete even on fault-free runs.
+        let _ = obs.counter("download.dead_letter");
+        let _ = obs.counter("download.decode_failures");
         DownloadObs {
             polls: obs.counter("download.polls"),
             rate_limited: obs.counter("download.rate_limited"),
+            api_errors: obs.counter("download.api_errors"),
             get_attempts: obs.counter("download.get_attempts"),
             get_hits: obs.counter("download.get_hits"),
             same_content: obs.counter("download.same_content"),
@@ -151,10 +278,24 @@ impl DownloadObs {
             offline_signals: obs.counter("download.offline_signals"),
             assignments: obs.counter("download.assignments"),
             idle_steals: obs.counter("download.idle_steals"),
+            cdn_timeouts: obs.counter("download.cdn_timeouts"),
+            retries: obs.counter("download.retries"),
+            backoff_us: obs.histogram("download.backoff_us"),
+            breaker_open: obs.counter("download.breaker_open"),
+            reassigned: obs.counter("download.reassigned"),
+            ttl_swept: obs.counter("download.ttl_swept"),
             queue_depth: obs.histogram("download.queue_depth"),
             downloader_load: obs.gauge("download.downloader_load"),
         }
     }
+}
+
+/// `base * 2^(attempt-1)` with the exponent capped, plus deterministic
+/// jitter in `[0, base)` drawn from the dedicated retry stream.
+fn backoff_delay(base: SimDuration, attempt: u32, rng: &mut SimRng) -> SimDuration {
+    let shift = attempt.saturating_sub(1).min(10);
+    let scaled = base.as_micros().saturating_mul(1u64 << shift);
+    SimDuration::from_micros(scaled + rng.below(base.as_micros().max(1)))
 }
 
 impl DownloadModule {
@@ -167,6 +308,13 @@ impl DownloadModule {
             poll_interval: SimDuration::from_mins(2),
             downloaders: 4,
             fetch_cost: SimDuration::from_millis(500),
+            max_retries: 4,
+            backoff_base: SimDuration::from_millis(500),
+            breaker_threshold: 3,
+            breaker_cooldown: SimDuration::from_mins(2),
+            offline_cooldown: SimDuration::from_secs(90),
+            active_ttl: SimDuration::from_hours(2),
+            retry_seed: 0x5eed_cafe,
         }
     }
 
@@ -184,6 +332,7 @@ impl DownloadModule {
         let run_us = self.obs.histogram("download.run_us");
         let _run_timer = self.obs.stage_timer(&run_us);
         let mut stats = DownloadStats::default();
+        let mut retry_rng = SimRng::new(self.retry_seed);
         let mut heap: BinaryHeap<Reverse<HeapEv>> = BinaryHeap::new();
         let mut seq = 0u64;
         let push = |heap: &mut BinaryHeap<Reverse<HeapEv>>, seq: &mut u64, at: SimTime, ev: Ev| {
@@ -196,6 +345,23 @@ impl DownloadModule {
         let mut next_assignment_id = 0u32;
         let mut downloader_load = vec![0usize; self.downloaders.max(1)];
         let mut downloader_busy_until = vec![SimTime::EPOCH; self.downloaders.max(1)];
+        let mut downloader_alive = vec![true; self.downloaders.max(1)];
+
+        // Planned crash windows come from the world's fault injector.
+        let chaos = world.chaos().cloned();
+        if let Some(chaos) = &chaos {
+            for w in chaos.crash_windows() {
+                if w.downloader >= downloader_alive.len() || w.until <= from || w.at >= until {
+                    continue;
+                }
+                push(&mut heap, &mut seq, w.at.max(from), Ev::Crash(w.downloader));
+                push(&mut heap, &mut seq, w.until, Ev::Recover(w.downloader));
+            }
+        }
+
+        // Drop leases that expired while the module was down, then rebuild
+        // the assignment table from the survivors.
+        stats.swept += self.kv.sweep_expired(from) as u64;
 
         // Crash recovery (App. A/B): after a restart, the coordinator
         // rebuilds its assignment table from the `active:*` keys persisted
@@ -224,18 +390,11 @@ impl DownloadModule {
             obs.downloader_load.set(downloader_load[d] as i64);
             let id = next_assignment_id;
             next_assignment_id += 1;
-            assignments.insert(
-                id,
-                Assignment {
-                    url,
-                    streamer,
-                    game_label,
-                    last_generated: None,
-                    downloader: d,
-                },
-            );
+            assignments.insert(id, Assignment::new(url, streamer, game_label, d));
             push(&mut heap, &mut seq, from, Ev::Fetch(id));
         }
+
+        let mut poll_error_streak = 0u32;
 
         while let Some(Reverse(HeapEv(at, _, ev))) = heap.pop() {
             if at > until {
@@ -243,28 +402,77 @@ impl DownloadModule {
             }
             match ev {
                 Ev::Poll => {
+                    // Expire lapsed TTL keys (`active:*` leases, offline
+                    // cooldowns) before reading any of them.
+                    let swept = self.kv.sweep_expired(at);
+                    stats.swept += swept as u64;
+                    obs.ttl_swept.add(swept as u64);
+
+                    // Detect dead downloaders and move their streamers to
+                    // the least-loaded survivor. Ids are visited sorted so
+                    // the reassignment is deterministic.
+                    let mut dead_ids: Vec<u32> = assignments
+                        .iter()
+                        .filter(|(_, a)| !downloader_alive[a.downloader])
+                        .map(|(id, _)| *id)
+                        .collect();
+                    dead_ids.sort_unstable();
+                    for id in dead_ids {
+                        let Some(target) = (0..downloader_load.len())
+                            .filter(|&i| downloader_alive[i])
+                            .min_by_key(|&i| downloader_load[i])
+                        else {
+                            break; // every downloader is down; wait for a recovery
+                        };
+                        let a = assignments.get_mut(&id).expect("id collected above");
+                        let old = a.downloader;
+                        downloader_load[old] = downloader_load[old].saturating_sub(1);
+                        a.downloader = target;
+                        downloader_load[target] += 1;
+                        obs.reassigned.inc();
+                        obs.queue_depth.record(downloader_load[target] as u64);
+                        obs.downloader_load.set(downloader_load[target] as i64);
+                        stats.reassigned += 1;
+                        if a.chain_dead {
+                            a.chain_dead = false;
+                            push(&mut heap, &mut seq, at, Ev::Fetch(id));
+                        }
+                    }
+
                     match world.twitch.get_streams(at) {
                         Ok(listings) => {
+                            poll_error_streak = 0;
                             stats.polls += 1;
                             obs.polls.inc();
                             for l in &listings {
-                                let key = format!("active:{}", l.streamer.as_str());
+                                let user = l.streamer.as_str();
+                                // Recently went offline: let the cooldown
+                                // lapse before re-acquiring.
+                                if self.kv.exists(&format!("cooldown:{user}")) {
+                                    continue;
+                                }
+                                let key = format!("active:{user}");
                                 if self.kv.exists(&key) {
                                     continue;
                                 }
-                                self.kv.set(&key, &l.thumbnail_url);
                                 self.kv
-                                    .set(&format!("game:{}", l.streamer.as_str()), l.game_label.slug());
+                                    .set_with_ttl(&key, &l.thumbnail_url, at + self.active_ttl);
+                                self.kv.set(&format!("game:{user}"), l.game_label.slug());
                                 // Record country tags for the location
                                 // module's tag recovery.
                                 if let Some(tag) = &l.country_tag {
-                                    self.kv
-                                        .rpush(&format!("tags:{}", l.streamer.as_str()), tag.clone());
+                                    self.kv.rpush(&format!("tags:{user}"), tag.clone());
                                 }
-                                // Least-loaded downloader takes the URL.
-                                let d = (0..downloader_load.len())
+                                // Least-loaded alive downloader takes the URL.
+                                let Some(d) = (0..downloader_load.len())
+                                    .filter(|&i| downloader_alive[i])
                                     .min_by_key(|&i| downloader_load[i])
-                                    .unwrap_or(0);
+                                else {
+                                    // Total outage: drop the lease so a later
+                                    // poll re-acquires once someone recovers.
+                                    self.kv.del(&key);
+                                    continue;
+                                };
                                 obs.assignments.inc();
                                 if downloader_load[d] == 0 {
                                     obs.idle_steals.inc();
@@ -276,31 +484,90 @@ impl DownloadModule {
                                 next_assignment_id += 1;
                                 assignments.insert(
                                     id,
-                                    Assignment {
-                                        url: l.thumbnail_url.clone(),
-                                        streamer: l.streamer.clone(),
-                                        game_label: l.game_label,
-                                        last_generated: None,
-                                        downloader: d,
-                                    },
+                                    Assignment::new(
+                                        l.thumbnail_url.clone(),
+                                        l.streamer.clone(),
+                                        l.game_label,
+                                        d,
+                                    ),
                                 );
                                 push(&mut heap, &mut seq, at, Ev::Fetch(id));
                             }
                         }
-                        Err(limited) => {
+                        Err(ApiError::RateLimited(limited)) => {
                             stats.rate_limited += 1;
                             obs.rate_limited.inc();
                             push(&mut heap, &mut seq, limited.retry_at, Ev::Poll);
                             continue;
                         }
+                        Err(ApiError::ServerError) => {
+                            stats.api_errors += 1;
+                            obs.api_errors.inc();
+                            poll_error_streak += 1;
+                            if poll_error_streak <= self.max_retries {
+                                let delay = backoff_delay(
+                                    self.backoff_base,
+                                    poll_error_streak,
+                                    &mut retry_rng,
+                                );
+                                stats.retries += 1;
+                                obs.retries.inc();
+                                obs.backoff_us.record(delay.as_micros());
+                                push(&mut heap, &mut seq, at + delay, Ev::Poll);
+                            } else {
+                                // Give up on this round; resume the regular
+                                // poll cadence.
+                                poll_error_streak = 0;
+                                push(&mut heap, &mut seq, at + self.poll_interval, Ev::Poll);
+                            }
+                            continue;
+                        }
                     }
                     push(&mut heap, &mut seq, at + self.poll_interval, Ev::Poll);
+                }
+                Ev::Crash(d) => {
+                    downloader_alive[d] = false;
+                    if let Some(chaos) = &chaos {
+                        chaos.note_crash();
+                    }
+                }
+                Ev::Recover(d) => {
+                    downloader_alive[d] = true;
+                    downloader_busy_until[d] = at;
                 }
                 Ev::Fetch(id) => {
                     let Some(assignment) = assignments.get_mut(&id) else {
                         continue;
                     };
                     let d = assignment.downloader;
+                    // A dead downloader executes nothing: the event chain
+                    // stops here and restarts when the coordinator
+                    // reassigns the streamer on its next poll.
+                    if !downloader_alive[d] {
+                        assignment.chain_dead = true;
+                        continue;
+                    }
+                    // Lease lapsed (TTL expiry or a lost KV write): release
+                    // the assignment; the coordinator re-acquires the
+                    // streamer if it is still live.
+                    if !self
+                        .kv
+                        .exists(&format!("active:{}", assignment.streamer.as_str()))
+                    {
+                        downloader_load[d] = downloader_load[d].saturating_sub(1);
+                        obs.downloader_load.set(downloader_load[d] as i64);
+                        assignments.remove(&id);
+                        continue;
+                    }
+                    // Open breaker: only the scheduled half-open probe may
+                    // pass; stray earlier events are swallowed (the probe
+                    // event sustains the chain).
+                    if let Some(break_until) = assignment.breaker_until {
+                        if at < break_until {
+                            continue;
+                        }
+                        assignment.half_open = true;
+                    }
                     // Serialise fetches per downloader.
                     if downloader_busy_until[d] > at {
                         let retry = downloader_busy_until[d];
@@ -310,12 +577,56 @@ impl DownloadModule {
                     }
                     downloader_busy_until[d] = at + self.fetch_cost;
                     obs.get_attempts.inc();
-                    match world.twitch.cdn_get(&assignment.url, at) {
+                    let response = world.twitch.cdn_get(&assignment.url, at);
+                    // Truncated payloads are detectable at fetch time: the
+                    // transfer delivered fewer bytes than the content
+                    // length promised. Fold them into the timeout path.
+                    let fault = match &response {
+                        CdnResponse::TimedOut => true,
+                        CdnResponse::Thumbnail { image, .. } => {
+                            image.pixels.len() != image.width * image.height
+                        }
+                        CdnResponse::Offline => false,
+                    };
+                    if fault {
+                        if matches!(response, CdnResponse::TimedOut) {
+                            obs.cdn_timeouts.inc();
+                        }
+                        stats.cdn_faults += 1;
+                        assignment.consecutive_faults += 1;
+                        let reopen = assignment.half_open;
+                        assignment.half_open = false;
+                        if reopen || assignment.consecutive_faults >= self.breaker_threshold {
+                            // Trip (or re-open after a failed probe): stop
+                            // hammering the URL; probe again after the
+                            // cooldown.
+                            let reopen_at = at + self.breaker_cooldown;
+                            assignment.breaker_until = Some(reopen_at);
+                            stats.breaker_trips += 1;
+                            obs.breaker_open.inc();
+                            push(&mut heap, &mut seq, reopen_at, Ev::Fetch(id));
+                        } else {
+                            let delay = backoff_delay(
+                                self.backoff_base,
+                                assignment.consecutive_faults,
+                                &mut retry_rng,
+                            );
+                            stats.retries += 1;
+                            obs.retries.inc();
+                            obs.backoff_us.record(delay.as_micros());
+                            push(&mut heap, &mut seq, at + delay, Ev::Fetch(id));
+                        }
+                        continue;
+                    }
+                    match response {
                         CdnResponse::Thumbnail {
                             image,
                             generated_at,
                             next_update,
                         } => {
+                            assignment.consecutive_faults = 0;
+                            assignment.breaker_until = None;
+                            assignment.half_open = false;
                             if let Some(last) = assignment.last_generated {
                                 if generated_at == last {
                                     // Same content; try again shortly.
@@ -343,8 +654,7 @@ impl DownloadModule {
                                 generated_at.as_micros()
                             );
                             let bytes: Vec<u8> = image.pixels.clone();
-                            let mut payload =
-                                Vec::with_capacity(bytes.len() + 8);
+                            let mut payload = Vec::with_capacity(bytes.len() + 8);
                             payload.extend((image.width as u32).to_le_bytes());
                             payload.extend((image.height as u32).to_le_bytes());
                             payload.extend(bytes);
@@ -356,6 +666,12 @@ impl DownloadModule {
                                 object_key,
                             };
                             self.kv.rpush("queue:thumbs", task.encode());
+                            // Refresh the activity lease.
+                            self.kv.set_with_ttl(
+                                &format!("active:{}", assignment.streamer.as_str()),
+                                &assignment.url,
+                                at + self.active_ttl,
+                            );
                             stats.downloaded += 1;
                             obs.get_hits.inc();
                             // Schedule the next fetch right after the next
@@ -363,22 +679,36 @@ impl DownloadModule {
                             let next = next_update
                                 .map(|t| t + SimDuration::from_secs(5))
                                 .unwrap_or(at + SimDuration::from_mins(5));
-                            push(&mut heap, &mut seq, next.max(at + self.fetch_cost), Ev::Fetch(id));
+                            push(
+                                &mut heap,
+                                &mut seq,
+                                next.max(at + self.fetch_cost),
+                                Ev::Fetch(id),
+                            );
                         }
                         CdnResponse::Offline => {
                             // Could be "live but first thumbnail pending":
                             // check activity via another short retry, but
                             // only once — the KV active flag with TTL keeps
-                            // this bounded. Signal the coordinator.
+                            // this bounded. Signal the coordinator and set a
+                            // short cooldown so a comeback is re-acquired on
+                            // the next poll after it lapses.
+                            let user = assignment.streamer.as_str();
                             stats.offline_signals += 1;
                             obs.offline_signals.inc();
-                            self.kv
-                                .rpush("offline", assignment.streamer.as_str().to_string());
-                            self.kv.del(&format!("active:{}", assignment.streamer.as_str()));
+                            self.kv.rpush("offline", user.to_string());
+                            self.kv.del(&format!("active:{user}"));
+                            self.kv.del(&format!("game:{user}"));
+                            self.kv.set_with_ttl(
+                                &format!("cooldown:{user}"),
+                                "1",
+                                at + self.offline_cooldown,
+                            );
                             downloader_load[d] = downloader_load[d].saturating_sub(1);
                             obs.downloader_load.set(downloader_load[d] as i64);
                             assignments.remove(&id);
                         }
+                        CdnResponse::TimedOut => unreachable!("handled by the fault path"),
                     }
                 }
             }
@@ -386,28 +716,64 @@ impl DownloadModule {
         stats
     }
 
-    /// Decode and drain every queued thumbnail task.
+    /// Decode and drain every queued thumbnail task. Undecodable entries
+    /// are moved to the dead-letter list (and counted) instead of being
+    /// silently dropped.
     pub fn drain_tasks(&self) -> Vec<ThumbnailTask> {
+        let decode_failures = self.obs.counter("download.decode_failures");
         let mut out = Vec::new();
         while let Some(raw) = self.kv.lpop("queue:thumbs") {
-            if let Some(task) = ThumbnailTask::decode(&raw) {
-                out.push(task);
+            match ThumbnailTask::decode(&raw) {
+                Some(task) => out.push(task),
+                None => {
+                    decode_failures.inc();
+                    self.dead_letter(raw);
+                }
             }
         }
         out
     }
 
-    /// Fetch a stored thumbnail image back from the object store.
+    /// Quarantine a poison entry onto the dead-letter list.
+    pub fn dead_letter(&self, entry: impl Into<String>) {
+        self.obs.counter("download.dead_letter").inc();
+        self.kv.rpush(DEAD_LETTER_QUEUE, entry.into());
+    }
+
+    /// Drain the dead-letter list: every quarantined raw entry, in arrival
+    /// order.
+    pub fn drain_dead_letters(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        while let Some(raw) = self.kv.lpop(DEAD_LETTER_QUEUE) {
+            out.push(raw);
+        }
+        out
+    }
+
+    /// Current depth of the dead-letter list.
+    pub fn dead_letter_depth(&self) -> usize {
+        self.kv.llen(DEAD_LETTER_QUEUE)
+    }
+
+    /// Fetch a stored thumbnail image back from the object store. `None`
+    /// means the object is missing or its payload is corrupt (short header
+    /// or a pixel-count mismatch) — corrupt payloads bump
+    /// `download.decode_failures`, and the caller should route the task to
+    /// [`DownloadModule::dead_letter`].
     pub fn load_image(&self, object_key: &str) -> Option<tero_vision::Image> {
         let bytes = self.objects.get("thumbs", object_key)?;
+        let corrupt = || {
+            self.obs.counter("download.decode_failures").inc();
+            None
+        };
         if bytes.len() < 8 {
-            return None;
+            return corrupt();
         }
         let width = u32::from_le_bytes(bytes[0..4].try_into().ok()?) as usize;
         let height = u32::from_le_bytes(bytes[4..8].try_into().ok()?) as usize;
         let pixels = bytes[8..].to_vec();
         if pixels.len() != width * height {
-            return None;
+            return corrupt();
         }
         Some(tero_vision::Image {
             width,
@@ -455,6 +821,45 @@ mod tests {
     }
 
     #[test]
+    fn task_roundtrip_with_separator_in_username() {
+        // A `|` in the username must not shift the field layout.
+        let task = ThumbnailTask {
+            streamer: StreamerId::new("dark|wolf%42"),
+            game_label: GameId::Dota2,
+            generated_at: SimTime::from_mins(7),
+            object_key: "dark|wolf%42/420000000".into(),
+        };
+        let encoded = task.encode();
+        assert_eq!(ThumbnailTask::decode(&encoded), Some(task));
+        // Malformed escapes are rejected, not mis-decoded.
+        assert_eq!(ThumbnailTask::decode("bad%zz|dota2|1|k"), None);
+        assert_eq!(ThumbnailTask::decode("trail%2|dota2|1|k"), None);
+    }
+
+    #[test]
+    fn undecodable_queue_entries_are_dead_lettered() {
+        let kv = KvStore::new();
+        let module = DownloadModule::new(kv.clone(), ObjectStore::new());
+        let good = ThumbnailTask {
+            streamer: StreamerId::new("ok"),
+            game_label: GameId::Dota2,
+            generated_at: SimTime::from_mins(1),
+            object_key: "ok/1".into(),
+        };
+        kv.rpush("queue:thumbs", good.encode());
+        kv.rpush("queue:thumbs", "not|a|task");
+        kv.rpush("queue:thumbs", "junk");
+        let tasks = module.drain_tasks();
+        assert_eq!(tasks, vec![good]);
+        assert_eq!(module.dead_letter_depth(), 2);
+        assert_eq!(
+            module.drain_dead_letters(),
+            vec!["not|a|task".to_string(), "junk".to_string()]
+        );
+        assert_eq!(module.dead_letter_depth(), 0);
+    }
+
+    #[test]
     fn downloads_track_world_thumbnails() {
         let mut world = small_world();
         let kv = KvStore::new();
@@ -497,15 +902,31 @@ mod tests {
             snap.counter("download.offline_signals"),
             Some(stats.offline_signals)
         );
-        assert_eq!(snap.counter("download.overwrite_missed"), Some(stats.missed));
+        assert_eq!(
+            snap.counter("download.overwrite_missed"),
+            Some(stats.missed)
+        );
         assert!(snap.counter("download.get_attempts") >= snap.counter("download.get_hits"));
         assert!(snap.histogram("download.queue_depth").unwrap().count > 0);
-        assert!(snap.gauge("download.downloader_load").unwrap().high_watermark >= 1);
+        assert!(
+            snap.gauge("download.downloader_load")
+                .unwrap()
+                .high_watermark
+                >= 1
+        );
         assert_eq!(
             snap.histogram("download.run_us").unwrap().count,
             0,
             "wall-clock timing stays off by default"
         );
+        // Without a fault injector, the recovery machinery stays silent —
+        // but all of its metrics are registered.
+        assert_eq!(snap.counter("download.api_errors"), Some(0));
+        assert_eq!(snap.counter("download.cdn_timeouts"), Some(0));
+        assert_eq!(snap.counter("download.breaker_open"), Some(0));
+        assert_eq!(snap.counter("download.reassigned"), Some(0));
+        assert_eq!(snap.counter("download.dead_letter"), Some(0));
+        assert_eq!(snap.counter("download.decode_failures"), Some(0));
     }
 
     #[test]
@@ -516,6 +937,46 @@ mod tests {
         let stats = module.run(&mut world, SimTime::EPOCH, horizon);
         assert!(stats.offline_signals > 0, "streams end → offline signals");
         assert!(stats.polls > 100);
+        assert!(stats.swept > 0, "offline cooldowns expire via the sweep");
+    }
+
+    #[test]
+    fn offline_comeback_is_reacquired() {
+        // Regression test for the Offline release path: a streamer whose
+        // stream ends (offline redirect, lease released) and who later
+        // starts a new stream must be re-assigned and downloaded again.
+        let mut world = small_world();
+        let kv = KvStore::new();
+        let mut module = DownloadModule::new(kv.clone(), ObjectStore::new());
+        let horizon = world.horizon;
+        let stats = module.run(&mut world, SimTime::EPOCH, horizon);
+        assert!(stats.offline_signals > 0);
+
+        // Find streamers with at least two streams and verify thumbnails
+        // were captured from a later stream (i.e. after an offline release).
+        let tasks = module.drain_tasks();
+        let mut comebacks = 0;
+        for (streamer, timeline) in world.streamers().iter().zip(world.timelines()) {
+            if timeline.len() < 2 {
+                continue;
+            }
+            let later = &timeline[1];
+            let captured_later = tasks.iter().any(|t| {
+                t.streamer == streamer.id
+                    && t.generated_at >= later.start
+                    && t.generated_at < later.end
+            });
+            if captured_later {
+                comebacks += 1;
+            }
+        }
+        assert!(
+            comebacks > 0,
+            "no streamer was re-acquired after coming back online"
+        );
+        // The release path ran exactly once per offline signal: no key or
+        // load-accounting residue survives beyond the final in-flight set.
+        assert_eq!(kv.llen("offline") as u64, stats.offline_signals);
     }
 
     #[test]

@@ -4,8 +4,8 @@
 
 use crate::analysis::anomaly::{detect_anomalies, AnomalyReport, SegmentLabel};
 use crate::analysis::clusters::{
-    classify_streamer, endpoint_changes, merge_location_clusters, ChangeKind,
-    ClassifiedStreamer, EndPointChange, LatencyCluster,
+    classify_streamer, endpoint_changes, merge_location_clusters, ChangeKind, ClassifiedStreamer,
+    EndPointChange, LatencyCluster,
 };
 use crate::analysis::distributions::{location_distribution, LocationDistribution};
 use crate::analysis::segments::{segment_stream, Segment, StreamSeries};
@@ -153,11 +153,19 @@ impl Tero {
         let a_discarded = self.obs.counter("analysis.points_discarded");
         let a_dists = self.obs.counter("analysis.distributions_published");
         let a_shared = self.obs.counter("analysis.shared_anomalies");
+        let c_profile_retries = self.obs.counter("pipeline.profile_retries");
 
         let kv = KvStore::new();
         let objects = ObjectStore::new();
         kv.instrument(&self.obs);
         objects.instrument(&self.obs);
+        // If the world carries a fault injector, surface its counters in
+        // this registry and let it sabotage store writes too.
+        if let Some(chaos) = world.chaos().cloned() {
+            chaos.instrument(&self.obs);
+            kv.inject_faults(chaos.clone());
+            objects.inject_faults(chaos);
+        }
         let mut download = DownloadModule::new(kv.clone(), objects.clone());
         download.instrument(&self.obs);
         let horizon = world.horizon;
@@ -172,11 +180,16 @@ impl Tero {
         for task in &tasks {
             c_thumbs.inc();
             let anon = AnonId::from_streamer(&task.streamer, self.salt);
-            usernames.entry(anon).or_insert_with(|| task.streamer.clone());
+            usernames
+                .entry(anon)
+                .or_insert_with(|| task.streamer.clone());
             let outcome = match self.mode {
                 ExtractionMode::FullOcr => {
                     let Some(image) = download.load_image(&task.object_key) else {
+                        // Lost or corrupt object: quarantine the task so the
+                        // failure stays auditable, and keep going.
                         c_images_missing.inc();
+                        download.dead_letter(task.encode());
                         continue;
                     };
                     processor.extract(&image, task.game_label)
@@ -191,9 +204,7 @@ impl Tero {
                 extracted += 1;
                 c_extracted.inc();
                 let sample = match alternative {
-                    Some(alt) => {
-                        LatencySample::with_alternative(task.generated_at, primary, alt)
-                    }
+                    Some(alt) => LatencySample::with_alternative(task.generated_at, primary, alt),
                     None => LatencySample::new(task.generated_at, primary),
                 };
                 measurements
@@ -238,15 +249,27 @@ impl Tero {
         let location_module = LocationModule::new(&world.gaz);
         let mut locations: HashMap<AnonId, (Location, LocationSource)> = HashMap::new();
         let mut now = horizon;
-        let names: Vec<(AnonId, StreamerId)> = usernames
-            .iter()
-            .map(|(a, n)| (*a, n.clone()))
-            .collect();
+        let names: Vec<(AnonId, StreamerId)> =
+            usernames.iter().map(|(a, n)| (*a, n.clone())).collect();
         for (anon, name) in &names {
+            let mut server_errors = 0u32;
             let description = loop {
                 match world.twitch.get_profile(name.as_str(), now) {
                     Ok(d) => break d,
-                    Err(limited) => now = limited.retry_at,
+                    Err(tero_world::twitch::ApiError::RateLimited(limited)) => {
+                        now = limited.retry_at;
+                    }
+                    Err(tero_world::twitch::ApiError::ServerError) => {
+                        // Transient 5xx: retry a few times with logical-time
+                        // spacing, then carry on without a profile — the
+                        // streamer is simply unlocated this run.
+                        server_errors += 1;
+                        c_profile_retries.inc();
+                        if server_errors > 4 {
+                            break None;
+                        }
+                        now += SimDuration::from_secs(1);
+                    }
                 }
             };
             let tags: Vec<TagObservation> = download
@@ -290,7 +313,10 @@ impl Tero {
             let total_points: usize = report.segments.iter().map(|s| s.samples.len()).sum();
             let kept = report.clean_samples().len();
             a_discarded.add(total_points.saturating_sub(kept) as u64);
-            classified.insert((*anon, *game), classify_streamer(*anon, &report, &self.params));
+            classified.insert(
+                (*anon, *game),
+                classify_streamer(*anon, &report, &self.params),
+            );
             anomalies.insert((*anon, *game), report);
         }
 
@@ -317,8 +343,7 @@ impl Tero {
                 .filter_map(|a| classified.get(&(*a, *game)))
                 .collect();
             // Step 3: merged clusters from static streamers.
-            let clusters =
-                merge_location_clusters(&classified_members, self.params.lat_gap_ms);
+            let clusters = merge_location_clusters(&classified_members, self.params.lat_gap_ms);
             // Step 4: end-point changes for everyone in the group.
             let mut movers: Vec<AnonId> = Vec::new();
             for anon in members {
@@ -407,8 +432,7 @@ impl Tero {
                 .iter()
                 .filter_map(|a| classified.get(&(*a, *game)))
                 .collect();
-            let clusters =
-                merge_location_clusters(&classified_members, self.params.lat_gap_ms);
+            let clusters = merge_location_clusters(&classified_members, self.params.lat_gap_ms);
             let mut movers: Vec<AnonId> = Vec::new();
             for anon in members {
                 if let Some(report) = anomalies.get(&(*anon, *game)) {
@@ -480,9 +504,8 @@ impl Tero {
                             .collect::<Vec<_>>()
                     })
                     .unwrap_or_default();
-                let first_server_change = all_endpoint_changes
-                    .get(&(anon, game))
-                    .and_then(|changes| {
+                let first_server_change =
+                    all_endpoint_changes.get(&(anon, game)).and_then(|changes| {
                         changes
                             .iter()
                             .filter(|c| c.kind == ChangeKind::Server)
@@ -533,11 +556,7 @@ pub fn min_play_for(game: GameId) -> SimDuration {
 /// recompute its summary. Mislocated streamers' measurements rarely land
 /// inside the location's real clusters, so this screens location errors
 /// at the cost of some legitimate tail mass.
-fn reject_outside(
-    dist: &mut LocationDistribution,
-    clusters: &[LatencyCluster],
-    gap: u32,
-) -> bool {
+fn reject_outside(dist: &mut LocationDistribution, clusters: &[LatencyCluster], gap: u32) -> bool {
     if clusters.is_empty() {
         return false;
     }
@@ -812,14 +831,21 @@ mod tests {
             snap.counter("pipeline.streamers_located"),
             Some(report.locations.len() as u64)
         );
-        let segments: u64 = report.anomalies.values().map(|r| r.segments.len() as u64).sum();
+        let segments: u64 = report
+            .anomalies
+            .values()
+            .map(|r| r.segments.len() as u64)
+            .sum();
         assert_eq!(snap.counter("analysis.segments_built"), Some(segments));
         assert_eq!(
             snap.counter("analysis.distributions_published"),
             Some(report.distributions.len() as u64)
         );
         // Download metrics arrive through the same registry.
-        assert_eq!(snap.counter("download.get_hits"), Some(report.download.downloaded));
+        assert_eq!(
+            snap.counter("download.get_hits"),
+            Some(report.download.downloaded)
+        );
         // Store counters are live: the run reads and writes the kv store.
         assert!(snap.counter("store.kv.writes").unwrap() > 0);
         assert!(snap.counter("store.object.writes").unwrap() > 0);

@@ -131,8 +131,7 @@ mod tests {
         // "Los Angeles" + "California" in one text: one tool may output the
         // region, another the city; the city (more complete) should win
         // via filter (California present) or subsumption.
-        let out =
-            combine_twitch_description(&g, "Los Angeles, California based streamer").unwrap();
+        let out = combine_twitch_description(&g, "Los Angeles, California based streamer").unwrap();
         assert_eq!(out.city.as_deref(), Some("Los Angeles"));
         assert_eq!(out.region.as_deref(), Some("California"));
     }

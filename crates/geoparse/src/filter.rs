@@ -30,13 +30,7 @@ pub fn conservative_filter(gaz: &Gazetteer, text: &str, loc: &Location) -> bool 
     false
 }
 
-fn name_present(
-    gaz: &Gazetteer,
-    text: &str,
-    name: &str,
-    kind: PlaceKind,
-    loc: &Location,
-) -> bool {
+fn name_present(gaz: &Gazetteer, text: &str, name: &str, kind: PlaceKind, loc: &Location) -> bool {
     let lower = text.to_lowercase();
     if contains_word(&lower, &name.to_lowercase()) {
         return true;
@@ -56,8 +50,7 @@ fn name_present(
             let matches = match kind {
                 PlaceKind::Country => p.location.country == loc.country,
                 PlaceKind::Region => {
-                    p.location.country == loc.country
-                        && p.location.region.as_deref() == Some(name)
+                    p.location.country == loc.country && p.location.region.as_deref() == Some(name)
                 }
                 PlaceKind::City => false,
             };
@@ -123,7 +116,10 @@ mod tests {
         let la = Location::city("United States", "California", "Los Angeles");
         assert!(conservative_filter(&gaz, "LA girl, USA", &la), "USA alias");
         assert!(conservative_filter(&gaz, "Cali livin'", &la), "Cali alias");
-        assert!(!conservative_filter(&gaz, "LA girl", &la), "city alone is not enough");
+        assert!(
+            !conservative_filter(&gaz, "LA girl", &la),
+            "city alone is not enough"
+        );
     }
 
     #[test]
@@ -141,7 +137,10 @@ mod tests {
         let gaz = Gazetteer::new();
         let fr = Location::country("France");
         assert!(conservative_filter(&gaz, "bonjour from France", &fr));
-        assert!(!conservative_filter(&gaz, "bonjour from Paris", &fr), "city name is not country evidence");
+        assert!(
+            !conservative_filter(&gaz, "bonjour from Paris", &fr),
+            "city name is not country evidence"
+        );
     }
 
     #[test]

@@ -58,11 +58,7 @@ pub fn match_profile<'a>(
 mod tests {
     use super::*;
 
-    fn profile(
-        platform: SocialPlatform,
-        username: &str,
-        links_to: Option<&str>,
-    ) -> SocialProfile {
+    fn profile(platform: SocialPlatform, username: &str, links_to: Option<&str>) -> SocialProfile {
         SocialProfile {
             platform,
             username: username.to_string(),

@@ -99,13 +99,7 @@ mod tests {
 
     #[test]
     fn interruptions_reset_runs() {
-        let h = obs(&[
-            Some("France"),
-            None,
-            Some("France"),
-            None,
-            Some("France"),
-        ]);
+        let h = obs(&[Some("France"), None, Some("France"), None, Some("France")]);
         assert_eq!(stable_country(&h, 2), None, "no run of 2 consecutive");
         assert_eq!(stable_country(&h, 1).as_deref(), Some("France"));
     }

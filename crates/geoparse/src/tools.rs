@@ -100,8 +100,8 @@ impl<'g> GeoTool<'g> {
         if gap == 0 || p.population_m >= 0.4 {
             return true;
         }
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325
-            ^ (self.kind as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut h: u64 =
+            0xcbf2_9ce4_8422_2325 ^ (self.kind as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
         for b in place_name(p).to_lowercase().bytes() {
             h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
         }
@@ -262,8 +262,7 @@ impl<'g> GeoTool<'g> {
                     None => true,
                     Some(b) => {
                         specificity(h) > specificity(b)
-                            || (specificity(h) == specificity(b)
-                                && h.population_m > b.population_m)
+                            || (specificity(h) == specificity(b) && h.population_m > b.population_m)
                     }
                 };
                 if better {
@@ -451,8 +450,8 @@ mod tests {
         let out = tool.extract("I live in Denmarkian but have roots in Iran");
         assert_eq!(out.len(), 1);
         // CLIFF, context-driven, sees only "in Iran".
-        let cliff =
-            GeoTool::new(ToolKind::Cliff, &g).extract("I live in Denmarkian but have roots in Iran");
+        let cliff = GeoTool::new(ToolKind::Cliff, &g)
+            .extract("I live in Denmarkian but have roots in Iran");
         assert_eq!(cliff[0].country, "Iran");
     }
 

@@ -104,10 +104,7 @@ impl Snapshot {
             .max("metric".len());
         let mut out = String::new();
         if !self.counters.is_empty() {
-            out.push_str(&format!(
-                "{:<name_width$}  {:>12}\n",
-                "counter", "value"
-            ));
+            out.push_str(&format!("{:<name_width$}  {:>12}\n", "counter", "value"));
             for c in &self.counters {
                 out.push_str(&format!("{:<name_width$}  {:>12}\n", c.name, c.value));
             }

@@ -85,9 +85,10 @@ fn concurrent_registration_is_idempotent() {
 /// ([min, max]) must hold exactly.
 #[test]
 fn percentiles_track_exact_estimator() {
+    type Sampler = Box<dyn Fn(&mut SimRng) -> u64>;
     let mut rng = SimRng::new(0xb5);
     // Three shapes: uniform, heavy-tailed, and tightly clustered.
-    let shapes: [(&str, Box<dyn Fn(&mut SimRng) -> u64>); 3] = [
+    let shapes: [(&str, Sampler); 3] = [
         ("uniform", Box::new(|r: &mut SimRng| 1 + r.below(10_000))),
         (
             "heavy-tail",
@@ -116,7 +117,10 @@ fn percentiles_track_exact_estimator() {
         let hist = snap.histogram("acc.us").unwrap();
 
         assert!(hist.p50 <= hist.p95 && hist.p95 <= hist.p99, "{shape}");
-        assert!(hist.p50 >= hist.min as f64 && hist.p99 <= hist.max as f64, "{shape}");
+        assert!(
+            hist.p50 >= hist.min as f64 && hist.p99 <= hist.max as f64,
+            "{shape}"
+        );
         for (est, p) in [(hist.p50, 50.0), (hist.p95, 95.0), (hist.p99, 99.0)] {
             let truth = tero_stats::percentile(&exact, p);
             let ratio = est / truth;

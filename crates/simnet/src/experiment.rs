@@ -144,8 +144,7 @@ impl ExperimentResult {
             .map(|s| s.control_ms)
             .collect();
         let mean = xs.iter().sum::<f64>() / xs.len().max(1) as f64;
-        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / xs.len().max(1) as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len().max(1) as f64;
         (mean, var.sqrt())
     }
 }
@@ -195,7 +194,8 @@ pub fn run_experiment(config: ExperimentConfig, duration_scale: f64) -> Experime
     // Eight TCP flows at 10 % BD each, staggered by 5 s, during the mixed
     // minute.
     for i in 0..8u64 {
-        let start = scale(TCP_START_S) + SimDuration::from_secs_f64(5.0 * i as f64 * duration_scale);
+        let start =
+            scale(TCP_START_S) + SimDuration::from_secs_f64(5.0 * i as f64 * duration_scale);
         let flow = TcpFlow::new(tb.gen, tb.sink, start, scale(UDP_END_S))
             .with_app_limit(config.bottleneck_bps * 0.1);
         tb.sim.add_tcp_flow(flow);
@@ -222,8 +222,8 @@ pub fn run_experiment(config: ExperimentConfig, duration_scale: f64) -> Experime
         let link = tb.sim.link(tb.bottleneck_down);
         // Round trip across the bottleneck: queue + tx downstream, plus
         // propagation both ways (the reverse direction is uncongested).
-        let instantaneous = link.current_latency_ms(config.bg_packet_bytes)
-            + link.cfg.prop.as_millis_f64();
+        let instantaneous =
+            link.current_latency_ms(config.bg_packet_bytes) + link.cfg.prop.as_millis_f64();
         bneck_window.push_back(instantaneous);
         if bneck_window.len() > 4 {
             bneck_window.pop_front();
@@ -303,7 +303,11 @@ mod tests {
     fn matrix_enumerates_table2() {
         let m = ExperimentConfig::matrix(GameProfile::GENSHIN);
         assert_eq!(m.len(), 8);
-        assert!(m.iter().any(|c| c.bottleneck_bps == 1e9 && c.bottleneck_queue == 50));
-        assert!(m.iter().any(|c| c.bottleneck_bps == 100e6 && c.bottleneck_queue == 5000));
+        assert!(m
+            .iter()
+            .any(|c| c.bottleneck_bps == 1e9 && c.bottleneck_queue == 50));
+        assert!(m
+            .iter()
+            .any(|c| c.bottleneck_bps == 100e6 && c.bottleneck_queue == 5000));
     }
 }

@@ -182,14 +182,22 @@ mod tests {
         now += SimDuration::from_millis(100);
         let sent = now - SimDuration::from_millis(130);
         s.on_input(sent, 0, now);
-        assert!(s.displayed_ms() < 40.0, "display lags: {}", s.displayed_ms());
+        assert!(
+            s.displayed_ms() < 40.0,
+            "display lags: {}",
+            s.displayed_ms()
+        );
         // After a full window of high samples, the display converges.
         for _ in 0..30 {
             now += SimDuration::from_millis(100);
             let sent = now - SimDuration::from_millis(130);
             s.on_input(sent, 0, now);
         }
-        assert!((s.displayed_ms() - 130.0).abs() < 1.0, "{}", s.displayed_ms());
+        assert!(
+            (s.displayed_ms() - 130.0).abs() < 1.0,
+            "{}",
+            s.displayed_ms()
+        );
     }
 
     #[test]
@@ -204,7 +212,9 @@ mod tests {
         assert_eq!(c.displayed_ms, Some(42.0));
         let p = c.tick(SimTime::from_millis(73), 3);
         match p.kind {
-            PacketKind::GameInput { echo_ts, hold_ms, .. } => {
+            PacketKind::GameInput {
+                echo_ts, hold_ms, ..
+            } => {
                 assert_eq!(echo_ts, SimTime::from_millis(5));
                 assert_eq!(hold_ms, 33);
             }

@@ -78,7 +78,13 @@ impl Link {
             let tx = SimDuration::from_secs_f64(pkt.tx_time_ms(self.cfg.rate_bps) / 1_000.0);
             let free_at = now + tx;
             let deliver_at = free_at + self.cfg.prop;
-            (Offer::Transmit { free_at, deliver_at }, Some(pkt))
+            (
+                Offer::Transmit {
+                    free_at,
+                    deliver_at,
+                },
+                Some(pkt),
+            )
         } else if self.queue.len() < self.cfg.queue_packets {
             self.queued_bytes += pkt.size_bytes as u64;
             self.queue.push_back(pkt);
@@ -159,7 +165,13 @@ mod tests {
         let mut l = link(10);
         let now = SimTime::from_millis(100);
         match l.offer(pkt(1250), now) {
-            (Offer::Transmit { free_at, deliver_at }, Some(_)) => {
+            (
+                Offer::Transmit {
+                    free_at,
+                    deliver_at,
+                },
+                Some(_),
+            ) => {
                 assert_eq!(free_at, SimTime::from_millis(110));
                 assert_eq!(deliver_at, SimTime::from_millis(115));
             }

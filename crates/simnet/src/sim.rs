@@ -289,14 +289,18 @@ impl Simulator {
             return;
         };
         let now = self.now;
-        if let (Offer::Transmit { free_at, deliver_at }, Some(p)) =
-            self.links[lid].offer(pkt, now)
+        if let (
+            Offer::Transmit {
+                free_at,
+                deliver_at,
+            },
+            Some(p),
+        ) = self.links[lid].offer(pkt, now)
         {
             let to = self.links[lid].to;
             self.schedule(free_at, Event::LinkFree { link: lid });
             self.schedule(deliver_at, Event::Deliver { node: to, pkt: p });
         } // else: queued or dropped
-
     }
 
     fn apply_tcp_actions(&mut self, flow: usize, actions: TcpActions) {
@@ -458,7 +462,14 @@ mod tests {
     #[test]
     fn udp_flow_delivers_at_rate() {
         let (mut sim, a, b, _) = two_nodes(10e6, 100);
-        sim.add_udp_flow(UdpFlow::cbr(a, b, 1e6, 1250, SimTime::EPOCH, SimTime::from_secs(1)));
+        sim.add_udp_flow(UdpFlow::cbr(
+            a,
+            b,
+            1e6,
+            1250,
+            SimTime::EPOCH,
+            SimTime::from_secs(1),
+        ));
         sim.run_until(SimTime::from_secs(2));
         let f = &sim.udp_flows[0];
         // 1 Mbps of 10-kbit packets = 100 pkt/s for 1 s.
@@ -471,7 +482,14 @@ mod tests {
         let (mut sim, a, b, _) = two_nodes(10e6, 100);
         let registry = Registry::new();
         sim.instrument(&registry);
-        sim.add_udp_flow(UdpFlow::cbr(a, b, 1e6, 1250, SimTime::EPOCH, SimTime::from_secs(1)));
+        sim.add_udp_flow(UdpFlow::cbr(
+            a,
+            b,
+            1e6,
+            1250,
+            SimTime::EPOCH,
+            SimTime::from_secs(1),
+        ));
         sim.run_until(SimTime::from_secs(2));
         let snap = registry.snapshot();
         let events = snap.counter("simnet.events").unwrap();
@@ -487,7 +505,14 @@ mod tests {
     fn udp_overload_fills_queue_and_drops() {
         // 2 Mbps offered into a 1 Mbps link with a 10-packet queue.
         let (mut sim, a, b, ab) = two_nodes(1e6, 10);
-        sim.add_udp_flow(UdpFlow::cbr(a, b, 2e6, 1250, SimTime::EPOCH, SimTime::from_secs(2)));
+        sim.add_udp_flow(UdpFlow::cbr(
+            a,
+            b,
+            2e6,
+            1250,
+            SimTime::EPOCH,
+            SimTime::from_secs(2),
+        ));
         sim.run_until(SimTime::from_secs(1));
         let link = sim.link(ab);
         assert_eq!(link.queue_len(), 10, "standing queue at capacity");
@@ -512,7 +537,14 @@ mod tests {
         sim.add_duplex_link(a, m, cfg);
         sim.add_duplex_link(m, b, cfg);
         sim.compute_routes();
-        sim.add_udp_flow(UdpFlow::cbr(a, b, 1e6, 1250, SimTime::EPOCH, SimTime::from_millis(100)));
+        sim.add_udp_flow(UdpFlow::cbr(
+            a,
+            b,
+            1e6,
+            1250,
+            SimTime::EPOCH,
+            SimTime::from_millis(100),
+        ));
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(sim.udp_flows[0].received, sim.udp_flows[0].sent);
         assert!(sim.udp_flows[0].sent > 0);
@@ -598,8 +630,15 @@ mod tests {
         let calm = sim.game_clients[0].displayed_ms.unwrap();
         // Saturating UDP from client side toward the server.
         sim.add_udp_flow(
-            UdpFlow::cbr(client, server, 4e6, 1250, SimTime::from_secs(5), SimTime::from_secs(20))
-                .with_jitter(0.1),
+            UdpFlow::cbr(
+                client,
+                server,
+                4e6,
+                1250,
+                SimTime::from_secs(5),
+                SimTime::from_secs(20),
+            )
+            .with_jitter(0.1),
         );
         sim.run_until(SimTime::from_secs(15));
         let loaded = sim.game_clients[0].displayed_ms.unwrap();

@@ -155,8 +155,8 @@ impl TcpFlow {
     fn refill_tokens(&mut self, now: SimTime) {
         if let Some(bps) = self.app_limit_bps {
             let dt = now.since(self.tokens_at).as_secs_f64();
-            self.tokens_bytes = (self.tokens_bytes + bps / 8.0 * dt)
-                .min(8.0 * self.seg_bytes as f64); // small burst bucket
+            self.tokens_bytes =
+                (self.tokens_bytes + bps / 8.0 * dt).min(8.0 * self.seg_bytes as f64); // small burst bucket
             self.tokens_at = now;
         }
     }
@@ -239,7 +239,9 @@ impl TcpFlow {
                     } else {
                         // Partial ACK: retransmit the next hole.
                         self.retransmits += 1;
-                        actions.send.push(self.data_packet(self.snd_una, now, flow_idx));
+                        actions
+                            .send
+                            .push(self.data_packet(self.snd_una, now, flow_idx));
                     }
                 }
                 CcState::SlowStart => {
@@ -280,7 +282,9 @@ impl TcpFlow {
                     self.cc = CcState::FastRecovery;
                     self.retransmits += 1;
                     self.send_times.remove(&self.snd_una); // Karn
-                    actions.send.push(self.data_packet(self.snd_una, now, flow_idx));
+                    actions
+                        .send
+                        .push(self.data_packet(self.snd_una, now, flow_idx));
                     self.rto_gen += 1;
                     actions.set_rto_at = Some(now + self.rto);
                 }
@@ -306,7 +310,9 @@ impl TcpFlow {
         self.rto = SimDuration::from_micros((self.rto.as_micros() * 2).min(60_000_000));
         self.retransmits += 1;
         self.send_times.remove(&self.snd_una); // Karn
-        actions.send.push(self.data_packet(self.snd_una, now, flow_idx));
+        actions
+            .send
+            .push(self.data_packet(self.snd_una, now, flow_idx));
         self.rto_gen += 1;
         actions.set_rto_at = Some(now + self.rto);
         actions

@@ -100,8 +100,8 @@ mod tests {
 
     #[test]
     fn jitter_preserves_mean_interval() {
-        let f = UdpFlow::cbr(0, 1, 1e6, 1250, SimTime::EPOCH, SimTime::from_secs(10))
-            .with_jitter(0.2);
+        let f =
+            UdpFlow::cbr(0, 1, 1e6, 1250, SimTime::EPOCH, SimTime::from_secs(10)).with_jitter(0.2);
         let mut rng = SimRng::new(5);
         let n = 20_000;
         let mean_us: f64 = (0..n)
@@ -120,7 +120,14 @@ mod tests {
 
     #[test]
     fn activity_window() {
-        let f = UdpFlow::cbr(0, 1, 1e6, 1250, SimTime::from_secs(1), SimTime::from_secs(2));
+        let f = UdpFlow::cbr(
+            0,
+            1,
+            1e6,
+            1250,
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+        );
         assert!(!f.active_at(SimTime::from_millis(999)));
         assert!(f.active_at(SimTime::from_secs(1)));
         assert!(!f.active_at(SimTime::from_secs(2)));

@@ -75,7 +75,11 @@ fn itertools_partition(values: &mut [f64], split: f64) -> usize {
 fn path_length(tree: &Tree, x: f64, depth: usize) -> f64 {
     match tree {
         Tree::Leaf { size } => depth as f64 + c_factor(*size),
-        Tree::Split { value, below, above } => {
+        Tree::Split {
+            value,
+            below,
+            above,
+        } => {
             if x < *value {
                 path_length(below, x, depth + 1)
             } else {
@@ -113,12 +117,8 @@ impl IsolationForest {
         if self.trees.is_empty() {
             return 0.5;
         }
-        let mean_path: f64 = self
-            .trees
-            .iter()
-            .map(|t| path_length(t, x, 0))
-            .sum::<f64>()
-            / self.trees.len() as f64;
+        let mean_path: f64 =
+            self.trees.iter().map(|t| path_length(t, x, 0)).sum::<f64>() / self.trees.len() as f64;
         let c = c_factor(self.sample_size).max(1e-12);
         2f64.powf(-mean_path / c)
     }
@@ -151,7 +151,10 @@ mod tests {
         let scores = forest.scores(&xs);
         let outlier = scores[200];
         let inlier_max = scores[..200].iter().cloned().fold(0.0, f64::max);
-        assert!(outlier > inlier_max, "outlier {outlier} vs inlier max {inlier_max}");
+        assert!(
+            outlier > inlier_max,
+            "outlier {outlier} vs inlier max {inlier_max}"
+        );
         assert!(outlier > 0.6, "outlier score {outlier}");
     }
 

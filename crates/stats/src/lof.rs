@@ -50,7 +50,11 @@ pub fn local_outlier_factor(xs: &[f64], k: usize) -> Vec<f64> {
             sum_reach += reach;
         }
         let avg = sum_reach / neighbours[i].len() as f64;
-        lrd[i] = if avg <= 1e-12 { f64::INFINITY } else { 1.0 / avg };
+        lrd[i] = if avg <= 1e-12 {
+            f64::INFINITY
+        } else {
+            1.0 / avg
+        };
     }
 
     // LOF = mean(lrd of neighbours) / lrd of the point.

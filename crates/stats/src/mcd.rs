@@ -143,7 +143,11 @@ mod tests {
         let mut xs: Vec<f64> = (0..400).map(|_| rng.normal_with(50.0, 2.0)).collect();
         xs.extend(std::iter::repeat_n(200.0, 100));
         let mcd = UnivariateMcd::fit(&xs, None).unwrap();
-        assert!((mcd.location - 50.0).abs() < 0.5, "location {}", mcd.location);
+        assert!(
+            (mcd.location - 50.0).abs() < 0.5,
+            "location {}",
+            mcd.location
+        );
         // Under 20 % contamination the h-subset covers a wider central slice
         // of the clean component than h/n assumes, so the corrected scale
         // overshoots a little — the classical MCD behaviour.

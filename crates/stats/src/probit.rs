@@ -137,7 +137,11 @@ impl ProbitModel {
             let step = solve(&info, &score)?;
             let step_norm: f64 = step.iter().map(|s| s * s).sum::<f64>().sqrt();
             // Dampen huge steps (near-separation safety).
-            let scale = if step_norm > 10.0 { 10.0 / step_norm } else { 1.0 };
+            let scale = if step_norm > 10.0 {
+                10.0 / step_norm
+            } else {
+                1.0
+            };
             for i in 0..k {
                 beta[i] += scale * step[i];
             }
@@ -348,7 +352,12 @@ mod tests {
         let n_pos = (0..m.len()).filter(|&i| m.ys[i]).count() as f64;
         let p = n_pos / m.len() as f64;
         let ll0 = n_pos * p.ln() + (m.len() as f64 - n_pos) * (1.0 - p).ln();
-        assert!(fit.log_likelihood > ll0, "{} vs {}", fit.log_likelihood, ll0);
+        assert!(
+            fit.log_likelihood > ll0,
+            "{} vs {}",
+            fit.log_likelihood,
+            ll0
+        );
     }
 
     #[test]

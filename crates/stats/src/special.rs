@@ -274,7 +274,17 @@ mod tests {
     #[test]
     fn inv_norm_cdf_round_trips() {
         for &p in &[
-            1e-6, 0.001, 0.01, 0.025, 0.2, 0.5, 0.8, 0.975, 0.99, 0.999, 1.0 - 1e-6,
+            1e-6,
+            0.001,
+            0.01,
+            0.025,
+            0.2,
+            0.5,
+            0.8,
+            0.975,
+            0.99,
+            0.999,
+            1.0 - 1e-6,
         ] {
             let x = inv_norm_cdf(p);
             assert!(

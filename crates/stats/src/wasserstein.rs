@@ -13,7 +13,10 @@
 /// quantile-function representation:
 /// `W1 = ∫ |F⁻¹(q) − G⁻¹(q)| dq`.
 pub fn wasserstein_1d(a: &[f64], b: &[f64]) -> f64 {
-    assert!(!a.is_empty() && !b.is_empty(), "wasserstein_1d: empty input");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "wasserstein_1d: empty input"
+    );
     let mut xa: Vec<f64> = a.to_vec();
     let mut xb: Vec<f64> = b.to_vec();
     xa.sort_by(|x, y| x.partial_cmp(y).expect("NaN in wasserstein input"));
@@ -165,7 +168,10 @@ mod tests {
         let grid: Vec<f64> = (0..10_000).map(|i| (i as f64 + 0.5) / 100.0).collect();
         let approx = wasserstein_1d(&sample, &grid);
         let exact = wasserstein_to_uniform(&sample, span);
-        assert!((approx - exact).abs() < 0.05, "approx {approx} exact {exact}");
+        assert!(
+            (approx - exact).abs() < 0.05,
+            "approx {approx} exact {exact}"
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, OnceLock};
+use tero_chaos::ChaosInjector;
 use tero_obs::{CounterHandle, HistogramHandle, Registry, StageTimer};
 use tero_types::SimTime;
 
@@ -47,6 +48,7 @@ struct Shard {
 pub struct KvStore {
     shards: Arc<[Shard; SHARDS]>,
     metrics: Arc<OnceLock<KvMetrics>>,
+    chaos: Arc<OnceLock<ChaosInjector>>,
 }
 
 impl Default for KvStore {
@@ -70,7 +72,23 @@ impl KvStore {
         KvStore {
             shards: Arc::new(std::array::from_fn(|_| Shard::default())),
             metrics: Arc::new(OnceLock::new()),
+            chaos: Arc::new(OnceLock::new()),
         }
+    }
+
+    /// Install a fault injector: insert-type writes (`set`, `set_with_ttl`,
+    /// `rpush`, `hset`) may then be acked but silently lost, per the
+    /// injector's `kv_write_drop_rate`. Deletes and pops are never dropped
+    /// (a lost delete would mask rather than surface pipeline bugs). First
+    /// call wins; every clone shares the injector.
+    pub fn inject_faults(&self, injector: ChaosInjector) {
+        let _ = self.chaos.set(injector);
+    }
+
+    /// Whether this write should be silently dropped.
+    #[inline]
+    fn dropped_write(&self) -> bool {
+        self.chaos.get().is_some_and(|c| c.drop_kv_write())
     }
 
     /// Register this store's operation metrics (`store.kv.*`) with a
@@ -106,6 +124,9 @@ impl KvStore {
     /// Set a string value (no TTL).
     pub fn set(&self, key: &str, value: impl Into<String>) {
         let _op = self.observe(true);
+        if self.dropped_write() {
+            return;
+        }
         let mut map = self.shard(key).map.lock();
         map.insert(
             key.to_string(),
@@ -119,6 +140,9 @@ impl KvStore {
     /// Set a string value that expires at logical time `expires_at`.
     pub fn set_with_ttl(&self, key: &str, value: impl Into<String>, expires_at: SimTime) {
         let _op = self.observe(true);
+        if self.dropped_write() {
+            return;
+        }
         let mut map = self.shard(key).map.lock();
         map.insert(
             key.to_string(),
@@ -179,6 +203,13 @@ impl KvStore {
         let _op = self.observe(true);
         let shard = self.shard(key);
         let mut map = shard.map.lock();
+        if self.dropped_write() {
+            // Acked-but-lost: report the length the client expects to see.
+            return match map.get(key).map(|e| &e.value) {
+                Some(Value::List(l)) => l.len() + 1,
+                _ => 1,
+            };
+        }
         let entry = map.entry(key.to_string()).or_insert(Entry {
             value: Value::List(VecDeque::new()),
             expires_at: None,
@@ -261,11 +292,7 @@ impl KvStore {
             if now >= deadline {
                 return None;
             }
-            if shard
-                .list_grew
-                .wait_until(&mut map, deadline)
-                .timed_out()
-            {
+            if shard.list_grew.wait_until(&mut map, deadline).timed_out() {
                 // Check one last time after the timeout.
                 if let Some(Entry {
                     value: Value::List(l),
@@ -295,6 +322,9 @@ impl KvStore {
     /// Set a field in the hash at `key`.
     pub fn hset(&self, key: &str, field: &str, value: impl Into<String>) {
         let _op = self.observe(true);
+        if self.dropped_write() {
+            return;
+        }
         let mut map = self.shard(key).map.lock();
         let entry = map.entry(key.to_string()).or_insert(Entry {
             value: Value::Hash(HashMap::new()),

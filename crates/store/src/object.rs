@@ -9,6 +9,7 @@ use bytes::Bytes;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
+use tero_chaos::ChaosInjector;
 use tero_obs::{CounterHandle, HistogramHandle, Registry, StageTimer};
 
 #[derive(Default)]
@@ -31,6 +32,7 @@ struct ObjectMetrics {
 pub struct ObjectStore {
     inner: Arc<RwLock<Inner>>,
     metrics: Arc<OnceLock<ObjectMetrics>>,
+    chaos: Arc<OnceLock<ChaosInjector>>,
 }
 
 impl ObjectStore {
@@ -63,9 +65,19 @@ impl ObjectStore {
         Some(m.registry.stage_timer(&m.op_us))
     }
 
+    /// Install a fault injector: `put` calls may then be acked but silently
+    /// lost, per the injector's `object_write_drop_rate`. Deletes are never
+    /// dropped. First call wins; every clone shares the injector.
+    pub fn inject_faults(&self, injector: ChaosInjector) {
+        let _ = self.chaos.set(injector);
+    }
+
     /// Store an object, replacing any previous object with the same key.
     pub fn put(&self, bucket: &str, key: &str, data: impl Into<Bytes>) {
         let _op = self.observe(true);
+        if self.chaos.get().is_some_and(|c| c.drop_object_write()) {
+            return;
+        }
         let data = data.into();
         if let Some(m) = self.metrics.get() {
             m.put_bytes.add(data.len() as u64);
@@ -90,10 +102,7 @@ impl ObjectStore {
     pub fn delete(&self, bucket: &str, key: &str) -> bool {
         let _op = self.observe(true);
         let mut inner = self.inner.write();
-        let removed = inner
-            .buckets
-            .get_mut(bucket)
-            .and_then(|b| b.remove(key));
+        let removed = inner.buckets.get_mut(bucket).and_then(|b| b.remove(key));
         match removed {
             Some(data) => {
                 inner.total_bytes -= data.len();
@@ -134,11 +143,7 @@ impl ObjectStore {
     /// Number of objects in a bucket.
     pub fn count(&self, bucket: &str) -> usize {
         let _op = self.observe(false);
-        self.inner
-            .read()
-            .buckets
-            .get(bucket)
-            .map_or(0, |b| b.len())
+        self.inner.read().buckets.get(bucket).map_or(0, |b| b.len())
     }
 
     /// Total payload bytes across all buckets.
@@ -166,7 +171,10 @@ mod tests {
     fn put_get_delete() {
         let s = ObjectStore::new();
         s.put("thumbs", "a.png", &b"abc"[..]);
-        assert_eq!(s.get("thumbs", "a.png").unwrap(), Bytes::from_static(b"abc"));
+        assert_eq!(
+            s.get("thumbs", "a.png").unwrap(),
+            Bytes::from_static(b"abc")
+        );
         assert!(s.delete("thumbs", "a.png"));
         assert!(!s.delete("thumbs", "a.png"));
         assert!(s.get("thumbs", "a.png").is_none());

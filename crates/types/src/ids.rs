@@ -82,9 +82,7 @@ fn keyed_fnv1a(bytes: &[u8], salt: u64) -> u64 {
 /// One of the online video games processed by Tero (App. §C lists nine; we
 /// model the eight with public server-location data plus a ninth placeholder,
 /// exactly as the paper does).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum GameId {
     /// League of Legends (Riot Games) — the paper's running example.
     LeagueOfLegends,

@@ -8,9 +8,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A continent, used for the coverage analysis of Fig 7.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Continent {
     /// Asia.
     Asia,
@@ -199,7 +197,10 @@ mod tests {
 
     #[test]
     fn granularity_levels() {
-        assert_eq!(Location::country("France").granularity(), Granularity::Country);
+        assert_eq!(
+            Location::country("France").granularity(),
+            Granularity::Country
+        );
         assert_eq!(
             Location::region("USA", "California").granularity(),
             Granularity::Region
@@ -237,7 +238,10 @@ mod tests {
     #[test]
     fn level_projections() {
         let city = Location::city("USA", "California", "Los Angeles");
-        assert_eq!(city.to_region_level(), Location::region("USA", "California"));
+        assert_eq!(
+            city.to_region_level(),
+            Location::region("USA", "California")
+        );
         assert_eq!(city.to_country_level(), Location::country("USA"));
     }
 

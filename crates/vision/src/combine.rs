@@ -225,11 +225,7 @@ impl OcrCombiner {
 
     /// Per-engine extraction (no voting) — used by the Table 4 evaluation
     /// of individual engines.
-    pub fn extract_single(
-        &self,
-        crop: &Image,
-        kind: OcrEngineKind,
-    ) -> Option<u32> {
+    pub fn extract_single(&self, crop: &Image, kind: OcrEngineKind) -> Option<u32> {
         let upscaled = crop.upscale(self.preprocess_cfg.upscale.max(1));
         let engine = self
             .engines
@@ -295,8 +291,7 @@ mod tests {
         let mut rng = SimRng::new(42);
         let scene = HudScene::typical(87);
         let thumb = scene.render(&mut rng);
-        let (outcome, detail) =
-            combiner.extract_from_thumbnail_with_detail(&thumb, scene.roi());
+        let (outcome, detail) = combiner.extract_from_thumbnail_with_detail(&thumb, scene.roi());
         match outcome {
             CombineOutcome::Extracted { primary, .. } => {
                 let agree = detail
@@ -332,13 +327,15 @@ mod tests {
             let mut rng = SimRng::new(seed);
             let scene = HudScene::light_font(64);
             let thumb = scene.render(&mut rng);
-            if combiner.extract_from_thumbnail(&thumb, scene.roi())
-                == CombineOutcome::NoMeasurement
+            if combiner.extract_from_thumbnail(&thumb, scene.roi()) == CombineOutcome::NoMeasurement
             {
                 misses += 1;
             }
         }
-        assert!(misses >= 15, "light font should mostly be missed: {misses}/20");
+        assert!(
+            misses >= 15,
+            "light font should mostly be missed: {misses}/20"
+        );
     }
 
     #[test]
@@ -354,13 +351,15 @@ mod tests {
                 combiner.extract_from_thumbnail(&thumb, scene.roi())
             {
                 trials += 1;
-                if primary < 145 && 145 % 10u32.pow(primary.to_string().len() as u32) == primary
-                {
+                if primary < 145 && 145 % 10u32.pow(primary.to_string().len() as u32) == primary {
                     drops += 1;
                 }
             }
         }
-        assert!(drops > 0, "occlusion produced no digit drops ({trials} extractions)");
+        assert!(
+            drops > 0,
+            "occlusion produced no digit drops ({trials} extractions)"
+        );
     }
 
     #[test]

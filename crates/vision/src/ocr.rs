@@ -173,9 +173,7 @@ impl OcrEngine {
                 }
             }
             match best {
-                Some((ch, distance)) if distance <= accept => {
-                    out.push(OcrChar { ch, distance })
-                }
+                Some((ch, distance)) if distance <= accept => out.push(OcrChar { ch, distance }),
                 _ => rejected_any = true,
             }
         }
@@ -340,11 +338,7 @@ pub fn quantize_to(img: &Image, tw: usize, th: usize, ink_frac: f64) -> Vec<bool
 /// Hamming distance normalised to the 35-cell (5×7) scale, so thresholds
 /// are comparable across template sizes.
 fn plain_distance(quant: &[bool], t: &Template) -> f64 {
-    let d = quant
-        .iter()
-        .zip(&t.cells)
-        .filter(|(a, b)| a != b)
-        .count();
+    let d = quant.iter().zip(&t.cells).filter(|(a, b)| a != b).count();
     d as f64 * 35.0 / (t.w * t.h) as f64
 }
 
@@ -415,7 +409,13 @@ mod tests {
         for kind in [OcrEngineKind::EasyOcrLike, OcrEngineKind::PaddleOcrLike] {
             let engine = OcrEngine::new(kind);
             let out = crate::combine::cleanup(&engine.recognize(&bin));
-            assert_eq!(out, Some(187), "{}: {:?}", kind.name(), engine.recognize_string(&bin));
+            assert_eq!(
+                out,
+                Some(187),
+                "{}: {:?}",
+                kind.name(),
+                engine.recognize_string(&bin)
+            );
         }
     }
 
@@ -467,7 +467,11 @@ mod tests {
     #[test]
     fn templates_cropped_sensibly() {
         let bank = templates();
-        assert_eq!(bank.len(), TEMPLATE_CHARS.len() , "space is not in TEMPLATE_CHARS");
+        assert_eq!(
+            bank.len(),
+            TEMPLATE_CHARS.len(),
+            "space is not in TEMPLATE_CHARS"
+        );
         let one = bank.iter().find(|t| t.ch == '1').unwrap();
         assert_eq!((one.w, one.h), (3, 7), "'1' crops to 3 columns");
         let colon = bank.iter().find(|t| t.ch == ':').unwrap();

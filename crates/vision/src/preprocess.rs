@@ -91,8 +91,8 @@ pub fn gaussian_blur(img: &Image, radius: usize) -> Image {
         for x in 0..img.width {
             let mut acc = 0.0;
             for (i, &k) in kernel.iter().enumerate() {
-                let sx = (x as i64 + i as i64 - radius as i64)
-                    .clamp(0, img.width as i64 - 1) as usize;
+                let sx =
+                    (x as i64 + i as i64 - radius as i64).clamp(0, img.width as i64 - 1) as usize;
                 acc += k * img.get(sx, y) as f64;
             }
             tmp[y * img.width + x] = acc / ksum;
@@ -104,8 +104,8 @@ pub fn gaussian_blur(img: &Image, radius: usize) -> Image {
         for x in 0..img.width {
             let mut acc = 0.0;
             for (i, &k) in kernel.iter().enumerate() {
-                let sy = (y as i64 + i as i64 - radius as i64)
-                    .clamp(0, img.height as i64 - 1) as usize;
+                let sy =
+                    (y as i64 + i as i64 - radius as i64).clamp(0, img.height as i64 - 1) as usize;
                 acc += k * tmp[sy * img.width + x];
             }
             out.pixels[y * img.width + x] = (acc / ksum).round().clamp(0.0, 255.0) as u8;
@@ -213,12 +213,12 @@ fn morph(img: &Image, dilate: bool) -> Image {
                 for dx in -1i64..=1 {
                     let sx = x as i64 + dx;
                     let sy = y as i64 + dy;
-                    let ink = if sx < 0 || sy < 0 || sx >= img.width as i64 || sy >= img.height as i64
-                    {
-                        false // outside the image counts as background
-                    } else {
-                        img.get(sx as usize, sy as usize) == 0
-                    };
+                    let ink =
+                        if sx < 0 || sy < 0 || sx >= img.width as i64 || sy >= img.height as i64 {
+                            false // outside the image counts as background
+                        } else {
+                            img.get(sx as usize, sy as usize) == 0
+                        };
                     any_ink |= ink;
                     all_ink &= ink;
                 }

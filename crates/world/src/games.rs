@@ -149,11 +149,30 @@ const MIDDLE_EAST: &[&str] = &[
 ];
 
 const MIAMI_AREA: &[&str] = &[
-    "Mexico", "Guatemala", "El Salvador", "Honduras", "Nicaragua", "Costa Rica", "Panama",
-    "Jamaica", "Cuba", "Dominican Republic", "Puerto Rico", "Colombia", "Venezuela", "Ecuador",
+    "Mexico",
+    "Guatemala",
+    "El Salvador",
+    "Honduras",
+    "Nicaragua",
+    "Costa Rica",
+    "Panama",
+    "Jamaica",
+    "Cuba",
+    "Dominican Republic",
+    "Puerto Rico",
+    "Colombia",
+    "Venezuela",
+    "Ecuador",
 ];
 
-const SANTIAGO_AREA: &[&str] = &["Peru", "Bolivia", "Chile", "Argentina", "Uruguay", "Paraguay"];
+const SANTIAGO_AREA: &[&str] = &[
+    "Peru",
+    "Bolivia",
+    "Chile",
+    "Argentina",
+    "Uruguay",
+    "Paraguay",
+];
 
 /// Whether a server's served area covers a player location. This encodes
 /// the *game-region* assignment of §2.1: providers divide the world
@@ -248,15 +267,51 @@ pub struct HudSpec {
 pub fn hud_spec(game: GameId) -> HudSpec {
     use tero_vision::scene::Decoration::*;
     match game {
-        GameId::LeagueOfLegends => HudSpec { anchor: (96, 6), decoration: MsSuffix, text_scale: 2 },
-        GameId::TeamfightTactics => HudSpec { anchor: (96, 14), decoration: MsSuffix, text_scale: 2 },
-        GameId::Valorant => HudSpec { anchor: (56, 6), decoration: PingPrefix, text_scale: 2 },
-        GameId::CodWarzone => HudSpec { anchor: (8, 6), decoration: PingPrefix, text_scale: 2 },
-        GameId::GenshinImpact => HudSpec { anchor: (96, 70), decoration: MsSuffix, text_scale: 2 },
-        GameId::Dota2 => HudSpec { anchor: (92, 6), decoration: MsSuffix, text_scale: 2 },
-        GameId::AmongUs => HudSpec { anchor: (8, 70), decoration: MsSuffix, text_scale: 2 },
-        GameId::LostArk => HudSpec { anchor: (8, 40), decoration: Bare, text_scale: 2 },
-        GameId::ApexLegends => HudSpec { anchor: (60, 70), decoration: MsSuffix, text_scale: 2 },
+        GameId::LeagueOfLegends => HudSpec {
+            anchor: (96, 6),
+            decoration: MsSuffix,
+            text_scale: 2,
+        },
+        GameId::TeamfightTactics => HudSpec {
+            anchor: (96, 14),
+            decoration: MsSuffix,
+            text_scale: 2,
+        },
+        GameId::Valorant => HudSpec {
+            anchor: (56, 6),
+            decoration: PingPrefix,
+            text_scale: 2,
+        },
+        GameId::CodWarzone => HudSpec {
+            anchor: (8, 6),
+            decoration: PingPrefix,
+            text_scale: 2,
+        },
+        GameId::GenshinImpact => HudSpec {
+            anchor: (96, 70),
+            decoration: MsSuffix,
+            text_scale: 2,
+        },
+        GameId::Dota2 => HudSpec {
+            anchor: (92, 6),
+            decoration: MsSuffix,
+            text_scale: 2,
+        },
+        GameId::AmongUs => HudSpec {
+            anchor: (8, 70),
+            decoration: MsSuffix,
+            text_scale: 2,
+        },
+        GameId::LostArk => HudSpec {
+            anchor: (8, 40),
+            decoration: Bare,
+            text_scale: 2,
+        },
+        GameId::ApexLegends => HudSpec {
+            anchor: (60, 70),
+            decoration: MsSuffix,
+            text_scale: 2,
+        },
     }
 }
 

@@ -265,7 +265,10 @@ mod tests {
         assert!(pl > ch * 1.8, "PL {pl} vs CH {ch}");
         let (_, it_spread) = region_quality("Italy", None);
         let (_, fr_spread) = region_quality("France", None);
-        assert!(it_spread > 3.0 * fr_spread, "IT {it_spread} vs FR {fr_spread}");
+        assert!(
+            it_spread > 3.0 * fr_spread,
+            "IT {it_spread} vs FR {fr_spread}"
+        );
     }
 
     #[test]
@@ -307,8 +310,8 @@ mod tests {
         let mut rng = SimRng::new(7);
         let ams = place(&gaz, "Amsterdam");
         let profile = NetProfile::sample(&ams, &mut rng);
-        let near = crate::games::primary_server(&gaz, GameId::LeagueOfLegends, &ams.location)
-            .unwrap();
+        let near =
+            crate::games::primary_server(&gaz, GameId::LeagueOfLegends, &ams.location).unwrap();
         let far = crate::games::server_locations(&gaz, GameId::LeagueOfLegends)
             .into_iter()
             .find(|s| s.location.city.as_deref() == Some("Tokyo"))
@@ -333,12 +336,7 @@ mod tests {
         let mut total = 0usize;
         let reps = 200;
         for _ in 0..reps {
-            let spikes = draw_spikes(
-                &profile,
-                SimTime::EPOCH,
-                SimTime::from_hours(3),
-                &mut rng,
-            );
+            let spikes = draw_spikes(&profile, SimTime::EPOCH, SimTime::from_hours(3), &mut rng);
             total += spikes.len();
             for s in &spikes {
                 assert!(s.end > s.start);

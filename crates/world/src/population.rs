@@ -117,15 +117,29 @@ mod tests {
             let place = model.sample(&mut rng);
             *counts.entry(place.continent).or_default() += 1;
         }
-        let share = |c: Continent| {
-            counts.get(&c).copied().unwrap_or(0) as f64 / n as f64
-        };
+        let share = |c: Continent| counts.get(&c).copied().unwrap_or(0) as f64 / n as f64;
         // Fig 7's qualitative shape: the Americas + Europe dominate Tero's
         // users; Asia is far below its Internet-user share; Africa tiny.
-        assert!(share(Continent::NorthAmerica) > 0.25, "NA {}", share(Continent::NorthAmerica));
-        assert!(share(Continent::Europe) > 0.15, "EU {}", share(Continent::Europe));
-        assert!(share(Continent::Asia) < 0.20, "AS {}", share(Continent::Asia));
-        assert!(share(Continent::Africa) < 0.05, "AF {}", share(Continent::Africa));
+        assert!(
+            share(Continent::NorthAmerica) > 0.25,
+            "NA {}",
+            share(Continent::NorthAmerica)
+        );
+        assert!(
+            share(Continent::Europe) > 0.15,
+            "EU {}",
+            share(Continent::Europe)
+        );
+        assert!(
+            share(Continent::Asia) < 0.20,
+            "AS {}",
+            share(Continent::Asia)
+        );
+        assert!(
+            share(Continent::Africa) < 0.05,
+            "AF {}",
+            share(Continent::Africa)
+        );
         assert!(
             share(Continent::Asia) < internet_user_share(Continent::Asia) / 2.0,
             "Asia under-represented vs Internet users"

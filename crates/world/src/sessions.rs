@@ -85,10 +85,8 @@ pub fn generate_timeline(
         if !rng.chance(streamer.daily_stream_prob) {
             continue;
         }
-        let start_s = day * 86_400
-            + streamer.preferred_utc_hour * 3_600;
-        let start =
-            SimTime::from_secs(start_s) + SimDuration::from_secs(rng.below(7_200));
+        let start_s = day * 86_400 + streamer.preferred_utc_hour * 3_600;
+        let start = SimTime::from_secs(start_s) + SimDuration::from_secs(rng.below(7_200));
         let hours = (0.5 + rng.exponential(streamer.session_mean_hours - 0.5).min(7.5)).min(8.0);
         let end = (start + SimDuration::from_secs_f64(hours * 3_600.0)).min(horizon);
         if start >= horizon || end <= start {
@@ -96,7 +94,16 @@ pub fn generate_timeline(
         }
 
         let game = streamer.games[current_game_idx];
-        let stream = generate_stream(streamer, gaz, shared, game, current_game_idx, start, end, rng);
+        let stream = generate_stream(
+            streamer,
+            gaz,
+            shared,
+            game,
+            current_game_idx,
+            start,
+            end,
+            rng,
+        );
 
         // Decide the next stream's game: spikes push players to switch
         // (§6's game-change hypothesis).
@@ -136,8 +143,7 @@ fn generate_stream(
     let place = streamer.location_at(start).clone();
     let net = streamer.net_at(start).clone();
     let servers = server_locations(gaz, game);
-    let primary = primary_server(gaz, game, &place.location)
-        .unwrap_or_else(|| servers[0].clone());
+    let primary = primary_server(gaz, game, &place.location).unwrap_or_else(|| servers[0].clone());
     let primary_idx = servers
         .iter()
         .position(|s| s.location == primary.location)
@@ -202,29 +208,26 @@ fn generate_stream(
             .find(|sp| sp.start <= at && at <= sp.end + min_play);
         let p = behavior.base_server_change
             + active_spike
-                .map(|sp| {
-                    behavior.spike_server_coeff * (sp.magnitude_ms.min(40.0) / 40.0)
-                })
+                .map(|sp| behavior.spike_server_coeff * (sp.magnitude_ms.min(40.0) / 40.0))
                 .unwrap_or(0.0);
-        if at.since(last_change) >= min_play && rng.chance(p)
-            && at > last_change && at < end {
-                let current = schedule.last().expect("schedule non-empty").1;
-                // Move to another server: usually the big "crowd" hub the
-                // streamer's friends play on, sometimes a random one.
-                let next = if rng.chance(0.7) {
-                    crowd_server(&servers, current)
-                } else {
-                    rng.range_usize(0, servers.len())
-                };
-                let next = if next == current {
-                    (next + 1) % servers.len()
-                } else {
-                    next
-                };
-                server_changes.push(at);
-                schedule.push((at, next));
-                last_change = at;
-            }
+        if at.since(last_change) >= min_play && rng.chance(p) && at > last_change && at < end {
+            let current = schedule.last().expect("schedule non-empty").1;
+            // Move to another server: usually the big "crowd" hub the
+            // streamer's friends play on, sometimes a random one.
+            let next = if rng.chance(0.7) {
+                crowd_server(&servers, current)
+            } else {
+                rng.range_usize(0, servers.len())
+            };
+            let next = if next == current {
+                (next + 1) % servers.len()
+            } else {
+                next
+            };
+            server_changes.push(at);
+            schedule.push((at, next));
+            last_change = at;
+        }
     }
 
     // Samples at thumbnail instants.
@@ -350,7 +353,10 @@ mod tests {
         let in_spike: usize = streams.iter().map(|st| st.spike_samples()).sum();
         assert!(total > 100, "samples {total}");
         assert!(in_spike > 0, "some samples in spikes");
-        assert!((in_spike as f64) < total as f64 * 0.5, "spikes are transient");
+        assert!(
+            (in_spike as f64) < total as f64 * 0.5,
+            "spikes are transient"
+        );
     }
 
     #[test]

@@ -6,8 +6,8 @@ use crate::textgen::{
     sample_description_style, sample_twitter_style, twitch_description, twitter_field, username,
     DescriptionStyle, TwitterFieldStyle,
 };
-use tero_geoparse::{Gazetteer, Place, PlaceKind, SocialProfile};
 use tero_geoparse::profiles::SocialPlatform;
+use tero_geoparse::{Gazetteer, Place, PlaceKind, SocialProfile};
 use tero_types::{GameId, SimRng, SimTime, StreamerId};
 
 /// Per-streamer HUD quirks — the knobs that drive the image-processing
@@ -185,9 +185,8 @@ impl Streamer {
                 .filter(|p| p.kind == PlaceKind::City && p.location != home.location)
                 .collect();
             let pick = (*rng.choose(&candidates)).clone();
-            let move_at = SimTime::from_micros(
-                (horizon.as_micros() as f64 * (0.3 + 0.4 * rng.f64())) as u64,
-            );
+            let move_at =
+                SimTime::from_micros((horizon.as_micros() as f64 * (0.3 + 0.4 * rng.f64())) as u64);
             Some((pick, move_at))
         } else {
             None
@@ -330,7 +329,10 @@ mod tests {
             .find(|s| s.second_home.is_some())
             .expect("no mover generated in 2000 draws");
         let (second, move_at) = mover.second_home.clone().unwrap();
-        assert_eq!(mover.location_at(SimTime::EPOCH).location, mover.home.location);
+        assert_eq!(
+            mover.location_at(SimTime::EPOCH).location,
+            mover.home.location
+        );
         assert_eq!(mover.location_at(move_at).location, second.location);
         assert!(move_at > SimTime::EPOCH && move_at < horizon);
         // Net profile switches too.
@@ -355,7 +357,10 @@ mod tests {
             })
             .count() as f64
             / n as f64;
-        assert!((0.45..0.65).contains(&with_matching_twitter), "{with_matching_twitter}");
+        assert!(
+            (0.45..0.65).contains(&with_matching_twitter),
+            "{with_matching_twitter}"
+        );
         let movers = streamers.iter().filter(|s| s.second_home.is_some()).count();
         assert!(movers < 60, "movers {movers}");
     }

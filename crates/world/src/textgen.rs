@@ -117,7 +117,12 @@ impl TwitterFieldStyle {
     }
 }
 
-const FICTION_FIELDS: &[&str] = &["the moon", "everywhere and nowhere", "in the rift", "gamer land"];
+const FICTION_FIELDS: &[&str] = &[
+    "the moon",
+    "everywhere and nowhere",
+    "in the rift",
+    "gamer land",
+];
 
 /// Generate a Twitter location field of the given style.
 pub fn twitter_field(style: TwitterFieldStyle, home: &Place, rng: &mut SimRng) -> String {
@@ -204,10 +209,7 @@ mod tests {
         let mut rng = SimRng::new(1);
         for _ in 0..20 {
             let d = twitch_description(DescriptionStyle::Formal, &home, &mut rng);
-            assert!(
-                d.contains("Florida") || d.contains("United States"),
-                "{d}"
-            );
+            assert!(d.contains("Florida") || d.contains("United States"), "{d}");
             assert!(d.contains("Miami"));
         }
     }

@@ -6,6 +6,7 @@
 use crate::games::hud_spec;
 use crate::sessions::{TruthSample, TruthStream};
 use crate::streamer::Streamer;
+use tero_chaos::{CdnFault, ChaosInjector};
 use tero_types::{GameId, SimRng, SimTime, StreamerId};
 use tero_vision::scene::HudScene;
 use tero_vision::Image;
@@ -39,6 +40,8 @@ pub enum CdnResponse {
     },
     /// The streamer is offline; the URL redirects to a placeholder.
     Offline,
+    /// The fetch timed out (injected CDN fault); nothing was received.
+    TimedOut,
 }
 
 /// API rate limiting error.
@@ -46,6 +49,25 @@ pub enum CdnResponse {
 pub struct RateLimited {
     /// When the client's budget refreshes.
     pub retry_at: SimTime,
+}
+
+/// Why an API request failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApiError {
+    /// The per-minute request budget is spent; retry at the given time.
+    RateLimited(RateLimited),
+    /// Transient server-side 5xx (only produced under fault injection).
+    ServerError,
+}
+
+impl ApiError {
+    /// The earliest sensible retry time, if the error carries one.
+    pub fn retry_at(&self) -> Option<SimTime> {
+        match self {
+            ApiError::RateLimited(r) => Some(r.retry_at),
+            ApiError::ServerError => None,
+        }
+    }
 }
 
 /// A token-bucket rate limiter (per-minute budget, like Helix).
@@ -91,9 +113,21 @@ pub struct TwitchSim {
     /// Per-streamer timelines (parallel to `streamers`).
     pub(crate) timelines: Vec<Vec<TruthStream>>,
     pub(crate) limiter: RateLimiter,
+    /// Optional deterministic fault injector (none by default).
+    pub(crate) chaos: Option<ChaosInjector>,
 }
 
 impl TwitchSim {
+    /// Install a fault injector; subsequent API/CDN calls consult it.
+    pub fn install_chaos(&mut self, injector: ChaosInjector) {
+        self.chaos = Some(injector);
+    }
+
+    /// The installed fault injector, if any.
+    pub fn chaos(&self) -> Option<&ChaosInjector> {
+        self.chaos.as_ref()
+    }
+
     /// Find the live stream of streamer `idx` at `now`, if any.
     fn live_stream(&self, idx: usize, now: SimTime) -> Option<&TruthStream> {
         self.timelines[idx]
@@ -101,9 +135,13 @@ impl TwitchSim {
             .find(|s| s.start <= now && now < s.end)
     }
 
-    /// `Get Streams`: all live broadcasts at `now`. Costs one API request.
-    pub fn get_streams(&mut self, now: SimTime) -> Result<Vec<StreamListing>, RateLimited> {
-        self.limiter.check(now)?;
+    /// `Get Streams`: all live broadcasts at `now`. Costs one API request
+    /// (spent even when the server then 5xx's, like the real Helix).
+    pub fn get_streams(&mut self, now: SimTime) -> Result<Vec<StreamListing>, ApiError> {
+        self.limiter.check(now).map_err(ApiError::RateLimited)?;
+        if self.chaos.as_ref().is_some_and(|c| c.api_fault()) {
+            return Err(ApiError::ServerError);
+        }
         let mut out = Vec::new();
         for (idx, streamer) in self.streamers.iter().enumerate() {
             let Some(stream) = self.timelines[idx]
@@ -134,8 +172,15 @@ impl TwitchSim {
 
     /// `Get Users`-style profile lookup: the streamer's description.
     /// Costs one API request.
-    pub fn get_profile(&mut self, username: &str, now: SimTime) -> Result<Option<String>, RateLimited> {
-        self.limiter.check(now)?;
+    pub fn get_profile(
+        &mut self,
+        username: &str,
+        now: SimTime,
+    ) -> Result<Option<String>, ApiError> {
+        self.limiter.check(now).map_err(ApiError::RateLimited)?;
+        if self.chaos.as_ref().is_some_and(|c| c.api_fault()) {
+            return Err(ApiError::ServerError);
+        }
         Ok(self
             .streamers
             .iter()
@@ -166,6 +211,22 @@ impl TwitchSim {
         };
         let sample = stream.samples[pos];
         let next_update = stream.samples.get(pos + 1).map(|s| s.t);
+        // Faults only apply where a real response would exist — an Offline
+        // redirect is already its own failure mode.
+        if let Some(chaos) = self.chaos.as_ref() {
+            if let Some(fault) = chaos.cdn_fault() {
+                if fault == CdnFault::Timeout {
+                    return CdnResponse::TimedOut;
+                }
+                let mut image = render_thumbnail(&self.streamers[idx], stream.game, &sample);
+                chaos.mangle_payload(fault, &mut image.pixels);
+                return CdnResponse::Thumbnail {
+                    image,
+                    generated_at: sample.t,
+                    next_update,
+                };
+            }
+        }
         let image = render_thumbnail(&self.streamers[idx], stream.game, &sample);
         CdnResponse::Thumbnail {
             image,
@@ -182,7 +243,7 @@ impl TwitchSim {
                 next_update,
                 ..
             } => Some((generated_at, next_update)),
-            CdnResponse::Offline => None,
+            CdnResponse::Offline | CdnResponse::TimedOut => None,
         }
     }
 
@@ -221,7 +282,11 @@ pub fn build_scene(streamer: &Streamer, game: GameId, sample: &TruthSample) -> (
         // A clock sits where latency goes (Fig 6d). Derive HH:MM from the
         // simulated time of day.
         let mins = sample.t.as_mins();
-        HudScene::clock_overlay(sample.displayed_ms, ((mins / 60) % 24) as u32, (mins % 60) as u32)
+        HudScene::clock_overlay(
+            sample.displayed_ms,
+            ((mins / 60) % 24) as u32,
+            (mins % 60) as u32,
+        )
     } else if streamer.hud.light_font {
         // A continuum of faintness: the faintest cases defeat every
         // engine; milder ones are readable by the lenient engines but
@@ -332,7 +397,10 @@ mod tests {
         let t = SimTime::from_secs(5);
         assert!(world.twitch.get_profile(&name, t).unwrap().is_some());
         assert!(world.twitch.get_profile("nobody", t).unwrap().is_none());
-        assert!(world.twitch.get_profile(&name, t).is_err(), "budget of 2 spent");
+        assert!(
+            world.twitch.get_profile(&name, t).is_err(),
+            "budget of 2 spent"
+        );
     }
 
     #[test]

@@ -73,7 +73,12 @@ impl World {
         // the platform (Twitch enforces this).
         let mut streamers: Vec<Streamer> = Vec::new();
         let mut taken: std::collections::HashSet<String> = std::collections::HashSet::new();
-        let unique = |s: Streamer, taken: &mut std::collections::HashSet<String>, rng: &mut SimRng, gaz: &Gazetteer, horizon: SimTime| -> Streamer {
+        let unique = |s: Streamer,
+                      taken: &mut std::collections::HashSet<String>,
+                      rng: &mut SimRng,
+                      gaz: &Gazetteer,
+                      horizon: SimTime|
+         -> Streamer {
             let mut s = s;
             while !taken.insert(s.id.as_str().to_string()) {
                 let home = s.home.clone();
@@ -139,8 +144,8 @@ impl World {
         if let Some((game, start_day)) = config.release_event {
             for day in start_day..(start_day + 5).min(config.days) {
                 for _ in 0..30 {
-                    let start = SimTime::from_hours(24 * day)
-                        + SimDuration::from_secs(rng.below(86_400));
+                    let start =
+                        SimTime::from_hours(24 * day) + SimDuration::from_secs(rng.below(86_400));
                     shared_events.push(SharedEvent {
                         game,
                         region: None,
@@ -175,9 +180,8 @@ impl World {
                         for p in &mut profiles {
                             if p.location_field.is_some() {
                                 let style = crate::textgen::TwitterFieldStyle::CityRegion;
-                                p.location_field = Some(crate::textgen::twitter_field(
-                                    style, second, &mut rng,
-                                ));
+                                p.location_field =
+                                    Some(crate::textgen::twitter_field(style, second, &mut rng));
                             }
                         }
                     }
@@ -213,6 +217,7 @@ impl World {
             streamers,
             timelines,
             limiter: RateLimiter::new(config.api_budget_per_min),
+            chaos: None,
         };
 
         World {
@@ -223,6 +228,18 @@ impl World {
             social_directory,
             horizon,
         }
+    }
+
+    /// Install a deterministic fault injector on the platform simulator.
+    /// API and CDN calls consult it from then on; the injector is also
+    /// what the stores and the download module should share (clone it).
+    pub fn install_chaos(&mut self, injector: tero_chaos::ChaosInjector) {
+        self.twitch.install_chaos(injector);
+    }
+
+    /// The installed fault injector, if any.
+    pub fn chaos(&self) -> Option<&tero_chaos::ChaosInjector> {
+        self.twitch.chaos()
     }
 
     /// All streamers (ground truth).
@@ -342,7 +359,11 @@ mod tests {
         assert!(!listings.is_empty(), "no live stream found in 3 days");
         let url = &listings[0].thumbnail_url;
         match world.twitch.cdn_get(url, t) {
-            crate::twitch::CdnResponse::Thumbnail { image, generated_at, .. } => {
+            crate::twitch::CdnResponse::Thumbnail {
+                image,
+                generated_at,
+                ..
+            } => {
                 assert_eq!(image.width, tero_vision::scene::THUMB_W);
                 assert!(generated_at <= t);
             }
@@ -351,6 +372,9 @@ mod tests {
                 // within 5 min of stream start; accept but verify the HEAD
                 // agrees.
                 assert!(world.twitch.cdn_head(url, t).is_none());
+            }
+            crate::twitch::CdnResponse::TimedOut => {
+                unreachable!("no fault injector installed");
             }
         }
         // Unknown URL is offline.

@@ -65,11 +65,7 @@ fn main() {
     for a in &report.shared_anomalies {
         println!(
             "  {} @ {}: {}/{} streamers spiking together (p = {:.2e})",
-            a.region,
-            a.at,
-            a.spiking,
-            a.active,
-            a.probability
+            a.region, a.at, a.spiking, a.active, a.probability
         );
     }
 

@@ -18,7 +18,11 @@ fn inspect(title: &str, scene: &HudScene, seed: u64) {
     let crop = thumb.crop(roi.0, roi.1, roi.2, roi.3);
 
     println!();
-    println!("=== {title} — HUD shows {:?} (true latency {} ms) ===", scene.hud_text(), scene.latency_ms);
+    println!(
+        "=== {title} — HUD shows {:?} (true latency {} ms) ===",
+        scene.hud_text(),
+        scene.latency_ms
+    );
     print!("{}", crop.to_ascii());
 
     // What each engine reads on its own.
@@ -44,8 +48,16 @@ fn main() {
     println!("The four Fig 6 scenarios through the image-processing module:");
     inspect("(a) typical", &HudScene::typical(45), 11);
     inspect("(b) light font", &HudScene::light_font(45), 12);
-    inspect("(c) partially hidden", &HudScene::partially_hidden(145, 0.4), 13);
-    inspect("(d) clock overlay", &HudScene::clock_overlay(45, 19, 42), 14);
+    inspect(
+        "(c) partially hidden",
+        &HudScene::partially_hidden(145, 0.4),
+        13,
+    );
+    inspect(
+        "(d) clock overlay",
+        &HudScene::clock_overlay(45, 19, 42),
+        14,
+    );
 
     println!();
     println!("(a) reads cleanly; (b) dies at thresholding; (c) drops the covered");

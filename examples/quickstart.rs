@@ -37,8 +37,10 @@ fn main() {
 
     println!();
     println!("download module:");
-    println!("  polls: {}   thumbnails fetched: {}   offline redirects: {}",
-        report.download.polls, report.download.downloaded, report.download.offline_signals);
+    println!(
+        "  polls: {}   thumbnails fetched: {}   offline redirects: {}",
+        report.download.polls, report.download.downloaded, report.download.offline_signals
+    );
 
     println!();
     println!("image processing:");
@@ -68,7 +70,11 @@ fn main() {
         report.retained_measurements()
     );
     let spikes: usize = report.anomalies.values().map(|r| r.spikes.len()).sum();
-    println!("  {} spikes detected; {} shared anomalies", spikes, report.shared_anomalies.len());
+    println!(
+        "  {} spikes detected; {} shared anomalies",
+        spikes,
+        report.shared_anomalies.len()
+    );
 
     println!();
     println!("published latency distributions:");

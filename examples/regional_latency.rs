@@ -64,7 +64,10 @@ fn main() {
             dist.corrected_distance_km.unwrap_or(0.0)
         );
         if let Some(norm) = &dist.normalized {
-            println!("    distance-normalised median: {:.1} ms per 1000 km", norm.p50);
+            println!(
+                "    distance-normalised median: {:.1} ms per 1000 km",
+                norm.p50
+            );
         }
     }
     println!();

@@ -25,7 +25,10 @@ fn main() {
     println!();
 
     let result = run_experiment(config, 0.5);
-    assert!(result.startup_ok, "Control and Test disagreed during startup");
+    assert!(
+        result.startup_ok,
+        "Control and Test disagreed during startup"
+    );
 
     // A strip chart: one row per 5 seconds.
     println!(

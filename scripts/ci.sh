@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus lint hygiene, in the order a failure is cheapest to
+# surface. Run from anywhere; everything is offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test -q
+
+echo "CI green."

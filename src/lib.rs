@@ -22,6 +22,7 @@
 //! | [`simnet`] | `tero-simnet` | network simulator + Fig 3 testbed |
 //! | [`world`] | `tero-world` | synthetic Twitch world with ground truth |
 //! | [`core`] | `tero-core` | the Tero pipeline itself |
+//! | [`chaos`] | `tero-chaos` | deterministic fault injection (API 5xx, CDN faults, crashes) |
 //!
 //! ## Quickstart
 //!
@@ -43,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use tero_chaos as chaos;
 pub use tero_core as core;
 pub use tero_geoparse as geoparse;
 pub use tero_obs as obs;

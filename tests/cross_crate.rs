@@ -46,7 +46,10 @@ fn formal_descriptions_geocode_to_the_true_home() {
             );
         }
     }
-    assert!(located >= 25, "only {located}/30 formal descriptions located");
+    assert!(
+        located >= 25,
+        "only {located}/30 formal descriptions located"
+    );
 }
 
 #[test]
@@ -126,6 +129,9 @@ fn cdn_contents_match_ground_truth_samples() {
                     }
                     tero::world::twitch::CdnResponse::Offline => {
                         panic!("live sample not served")
+                    }
+                    tero::world::twitch::CdnResponse::TimedOut => {
+                        panic!("no fault injector installed; the CDN cannot time out")
                     }
                 }
             }

@@ -40,6 +40,13 @@ fn full_ocr_pipeline_produces_consistent_report() {
     assert_eq!(in_streams as u64, report.extracted);
     // Cleaning never grows the data.
     assert!(report.retained_measurements() <= in_streams);
+    // TTL housekeeping ran: offline cooldowns (and any lapsed leases) are
+    // swept by the coordinator on every poll.
+    let snap = tero.metrics_snapshot();
+    assert!(
+        snap.counter("download.ttl_swept").unwrap_or(0) > 0,
+        "expired TTL keys must be swept during the run"
+    );
 }
 
 #[test]
@@ -65,7 +72,10 @@ fn located_streamers_match_ground_truth() {
     }
     assert!(checked >= 5, "only {checked} located");
     let accuracy = correct as f64 / checked as f64;
-    assert!(accuracy > 0.9, "location accuracy {accuracy} ({correct}/{checked})");
+    assert!(
+        accuracy > 0.9,
+        "location accuracy {accuracy} ({correct}/{checked})"
+    );
 }
 
 #[test]

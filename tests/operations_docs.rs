@@ -46,6 +46,11 @@ fn populated_registry() -> tero_obs::Registry {
         days: 2,
         ..WorldConfig::default()
     });
+    // Install the stock fault plan so the `chaos.*` and recovery-side
+    // `download.*` metrics are registered (and exercised) too.
+    world.install_chaos(tero::chaos::ChaosInjector::new(
+        tero::chaos::FaultPlan::default_plan(5),
+    ));
     let tero = Tero {
         mode: ExtractionMode::FullOcr,
         min_streamers: 2,
@@ -93,8 +98,7 @@ fn catalogue_matches_registry_both_ways() {
         "catalogue parse found only {} rows — table format changed?",
         documented.len()
     );
-    let registered: BTreeSet<String> =
-        populated_registry().metric_names().into_iter().collect();
+    let registered: BTreeSet<String> = populated_registry().metric_names().into_iter().collect();
 
     let undocumented: Vec<&String> = registered.difference(&documented).collect();
     assert!(

@@ -4,10 +4,12 @@ use proptest::prelude::*;
 use tero::core::analysis::anomaly::detect_anomalies;
 use tero::core::analysis::clusters::cluster_segments;
 use tero::core::analysis::segments::segment_stream;
+use tero::core::download::ThumbnailTask;
 use tero::stats::{percentile, unevenness_score, wasserstein_1d, BoxplotStats};
 use tero::store::KvStore;
 use tero::types::{
-    corrected_distance_km, haversine_km, LatLon, LatencySample, SimRng, SimTime, TeroParams,
+    corrected_distance_km, haversine_km, GameId, LatLon, LatencySample, SimRng, SimTime,
+    StreamerId, TeroParams,
 };
 use tero::vision::combine::{cleanup, vote};
 use tero::vision::ocr::OcrChar;
@@ -197,6 +199,27 @@ proptest! {
             popped.push(v);
         }
         prop_assert_eq!(popped, items);
+    }
+
+    // ---- download queue ----------------------------------------------------
+
+    #[test]
+    fn thumbnail_task_roundtrips_any_username(
+        // Deliberately includes the field separator `|` and the escape
+        // character `%` — encode must keep the field layout unambiguous.
+        username in "[a-zA-Z0-9_|%]{1,24}",
+        game_idx in 0usize..GameId::ALL.len(),
+        at_us in 0u64..u64::MAX / 2,
+        key in "[a-z0-9/]{1,30}",
+    ) {
+        let task = ThumbnailTask {
+            streamer: StreamerId::new(&username),
+            game_label: GameId::ALL[game_idx],
+            generated_at: SimTime::from_micros(at_us),
+            object_key: key.clone(),
+        };
+        let encoded = task.encode();
+        prop_assert_eq!(ThumbnailTask::decode(&encoded), Some(task));
     }
 
     #[test]

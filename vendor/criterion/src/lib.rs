@@ -79,8 +79,7 @@ impl Bencher<'_> {
 
         // Size batches so each sample takes roughly
         // measurement_time / sample_size.
-        let target_ns =
-            self.config.measurement.as_nanos() as f64 / self.config.sample_size as f64;
+        let target_ns = self.config.measurement.as_nanos() as f64 / self.config.sample_size as f64;
         let batch = ((target_ns / per_iter).ceil() as u64).clamp(1, 10_000_000);
 
         self.samples.clear();
@@ -113,16 +112,9 @@ impl Default for Config {
 }
 
 /// The benchmark harness entry point.
+#[derive(Default)]
 pub struct Criterion {
     config: Config,
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion {
-            config: Config::default(),
-        }
-    }
 }
 
 impl Criterion {
@@ -181,12 +173,13 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Run a benchmark within the group.
-    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
-        &mut self,
-        id: impl fmt::Display,
-        f: F,
-    ) {
-        run_one(&format!("{}/{}", self.name, id), self.throughput, self.config, f);
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: impl fmt::Display, f: F) {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.throughput,
+            self.config,
+            f,
+        );
     }
 
     /// Run a benchmark parameterised by `input`.
@@ -232,7 +225,10 @@ fn run_one<F: FnMut(&mut Bencher<'_>)>(
     let hi = samples[samples.len() - 1];
     let rate = match throughput {
         Some(Throughput::Elements(n)) => {
-            format!("  thrpt: {:>12.0} elem/s", n as f64 * 1e9 / (median * n as f64).max(1.0) * n as f64 / n as f64)
+            format!(
+                "  thrpt: {:>12.0} elem/s",
+                n as f64 * 1e9 / (median * n as f64).max(1.0) * n as f64 / n as f64
+            )
         }
         Some(Throughput::Bytes(n)) => {
             format!("  thrpt: {:>12.0} B/s", n as f64 * 1e9 / median.max(1.0))
@@ -307,9 +303,7 @@ mod tests {
             .warm_up_time(Duration::from_millis(5));
         let mut g = c.benchmark_group("g");
         g.throughput(Throughput::Elements(10));
-        g.bench_with_input(BenchmarkId::new("x", 10), &10u32, |b, &n| {
-            b.iter(|| n * 2)
-        });
+        g.bench_with_input(BenchmarkId::new("x", 10), &10u32, |b, &n| b.iter(|| n * 2));
         g.finish();
     }
 

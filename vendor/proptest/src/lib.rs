@@ -128,12 +128,12 @@ macro_rules! prop_assert_ne {
         let l = &$left;
         let r = &$right;
         if l == r {
-            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
-                format!(
-                    "assertion failed: {} != {} (both: {:?})",
-                    stringify!($left), stringify!($right), l,
-                ),
-            ));
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+            )));
         }
     }};
 }

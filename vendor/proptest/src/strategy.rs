@@ -162,7 +162,10 @@ fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
                 expand_class(class, pattern)
             }
             '(' | ')' | '|' | '^' | '$' | '*' | '+' | '?' | '\\' => {
-                panic!("unsupported regex syntax {:?} in pattern {pattern:?}", chars[i])
+                panic!(
+                    "unsupported regex syntax {:?} in pattern {pattern:?}",
+                    chars[i]
+                )
             }
             c => {
                 i += 1;
@@ -244,7 +247,9 @@ mod tests {
         for _ in 0..100 {
             let s = "[a-z0-9]{1,8}".generate(&mut rng);
             assert!(!s.is_empty() && s.len() <= 8);
-            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
         }
     }
 

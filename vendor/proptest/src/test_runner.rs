@@ -92,10 +92,7 @@ fn seed_for(name: &str) -> u64 {
 
 /// Run `body` for [`CASES`] deterministic cases; panic on the first failure
 /// with its case number and inputs (no shrinking).
-pub fn run(
-    name: &str,
-    mut body: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
-) {
+pub fn run(name: &str, mut body: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>) {
     let mut rng = TestRng::new(seed_for(name));
     for case in 0..CASES {
         if let Err(e) = body(&mut rng) {

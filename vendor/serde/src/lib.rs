@@ -14,7 +14,7 @@
 //! require stringifiable keys. `serde_json` (also vendored) re-exports
 //! [`Value`] and adds text encoding/decoding.
 
-pub use serde_derive::{Deserialize as Deserialize, Serialize as Serialize};
+pub use serde_derive::{Deserialize, Serialize};
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;

@@ -27,7 +27,10 @@ enum Item {
     /// Unit struct.
     Unit { name: String },
     /// Enum.
-    Enum { name: String, variants: Vec<Variant> },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// One enum variant.
@@ -90,14 +93,13 @@ fn parse_named_fields(group: TokenStream) -> Vec<String> {
         // Expect ':', then skip the type until a comma at angle-depth 0.
         let mut depth = 0i32;
         for tok in iter.by_ref() {
-            match tok {
-                TokenTree::Punct(p) => match p.as_char() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
                     '<' => depth += 1,
                     '>' => depth -= 1,
                     ',' if depth == 0 => break,
                     _ => {}
-                },
-                _ => {}
+                }
             }
         }
     }
@@ -231,12 +233,10 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
             name,
             fields: parse_named_fields(g.stream()),
         }),
-        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
-            Ok(Item::Tuple {
-                name,
-                arity: count_tuple_fields(g.stream()),
-            })
-        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Item::Tuple {
+            name,
+            arity: count_tuple_fields(g.stream()),
+        }),
         Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::Unit { name }),
         None => Ok(Item::Unit { name }),
         Some(other) => Err(format!("unexpected token after struct name: {other}")),

@@ -37,7 +37,10 @@ pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
 
 /// Parse a JSON string into any [`DeserializeOwned`] type.
 pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T, Error> {
-    let mut p = Parser { src: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        src: s.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -187,7 +190,10 @@ impl<'a> Parser<'a> {
             self.pos += word.len();
             Ok(v)
         } else {
-            Err(Error::custom(format!("invalid literal at byte {}", self.pos)))
+            Err(Error::custom(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
         }
     }
 
@@ -284,8 +290,7 @@ impl<'a> Parser<'a> {
                             self.expect(b'\\')?;
                             self.expect(b'u')?;
                             let low = self.hex4()?;
-                            let combined =
-                                0x10000 + ((cp - 0xd800) << 10) + (low - 0xdc00);
+                            let combined = 0x10000 + ((cp - 0xd800) << 10) + (low - 0xdc00);
                             out.push(
                                 char::from_u32(combined)
                                     .ok_or_else(|| Error::custom("bad surrogate pair"))?,
@@ -297,12 +302,7 @@ impl<'a> Parser<'a> {
                             );
                         }
                     }
-                    c => {
-                        return Err(Error::custom(format!(
-                            "invalid escape '\\{}'",
-                            c as char
-                        )))
-                    }
+                    c => return Err(Error::custom(format!("invalid escape '\\{}'", c as char))),
                 },
                 c if c < 0x80 => out.push(c as char),
                 c => {
@@ -318,8 +318,8 @@ impl<'a> Parser<'a> {
                         .src
                         .get(start..end)
                         .ok_or_else(|| Error::custom("truncated UTF-8"))?;
-                    let s = std::str::from_utf8(chunk)
-                        .map_err(|_| Error::custom("invalid UTF-8"))?;
+                    let s =
+                        std::str::from_utf8(chunk).map_err(|_| Error::custom("invalid UTF-8"))?;
                     out.push_str(s);
                     self.pos = end;
                 }
@@ -390,7 +390,10 @@ mod tests {
     fn roundtrip_compact() {
         let v = Value::Object(vec![
             ("a".into(), Value::U64(1)),
-            ("b".into(), Value::Array(vec![Value::Bool(true), Value::Null])),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
             ("c".into(), Value::String("x\"y".into())),
         ]);
         let s = to_string(&v).unwrap();
