@@ -1,0 +1,154 @@
+//! Pool scaling on the pipeline's two parallel hot stages.
+//!
+//! The standard workload mirrors what `Tero::run` hands the pool: a batch
+//! of rendered thumbnails through the full three-engine OCR front-end
+//! (the extraction stage) and a batch of per-`{streamer, game}` series
+//! through segmentation + anomaly detection + classification (the
+//! analysis stage). Each stage is benched at 1, 2, 4 and 8 workers;
+//! `workers = 1` is the exact sequential path, so the ratio of the
+//! 1-worker to the 4-worker median is the speedup recorded in
+//! `docs/PERFORMANCE.md`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tero_core::analysis::anomaly::detect_anomalies;
+use tero_core::analysis::clusters::classify_streamer;
+use tero_core::analysis::segments::segment_stream;
+use tero_core::imageproc::ImageProcessor;
+use tero_pool::Pool;
+use tero_types::{AnonId, GameId, LatencySample, SimRng, SimTime, TeroParams};
+use tero_vision::scene::HudScene;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// A batch of rendered thumbnails with varied displayed values and noise —
+/// the extraction stage's input after the download module has run.
+fn thumbnail_batch(n: usize) -> Vec<tero_vision::Image> {
+    let mut rng = SimRng::new(42);
+    (0..n)
+        .map(|i| {
+            let mut scene = HudScene::typical(20 + (i as u32 * 7) % 180);
+            scene.noise = 0.005 + 0.002 * (i % 10) as f64;
+            scene.render(&mut rng)
+        })
+        .collect()
+}
+
+/// A realistic series: stable base, spikes, glitches, one level shift
+/// (same generator as the analysis bench).
+fn synth_series(n: usize, seed: u64) -> Vec<LatencySample> {
+    let mut rng = SimRng::new(seed);
+    let mut out = Vec::with_capacity(n);
+    let mut level = 45.0;
+    for i in 0..n {
+        if rng.chance(0.002) {
+            level = if level < 60.0 { 95.0 } else { 45.0 };
+        }
+        let mut v = level + rng.normal_with(0.0, 2.0);
+        if rng.chance(0.02) {
+            v += 40.0 + rng.f64() * 60.0;
+        }
+        if rng.chance(0.01) {
+            v = (v as u32 % 10) as f64 + 1.0;
+        }
+        out.push(LatencySample::new(
+            SimTime::from_mins(5 * i as u64),
+            v.max(1.0) as u32,
+        ));
+    }
+    out
+}
+
+fn bench_extraction_scaling(c: &mut Criterion) {
+    let thumbs = thumbnail_batch(96);
+    let processor = ImageProcessor::new();
+    let mut group = c.benchmark_group("pool_extract_96_thumbs");
+    group.throughput(Throughput::Elements(thumbs.len() as u64));
+    group.sample_size(10);
+    for workers in WORKER_COUNTS {
+        let pool = Pool::new(workers);
+        group.bench_with_input(BenchmarkId::new("workers", workers), &pool, |b, pool| {
+            b.iter(|| {
+                pool.par_map(&thumbs, |img| {
+                    processor.extract(img, GameId::LeagueOfLegends)
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_analysis_scaling(c: &mut Criterion) {
+    // 64 streamer-game series of 2 000 points each, analysed exactly the
+    // way the pipeline's per-stream stage does it.
+    let series: Vec<(u64, Vec<LatencySample>)> = (0..64u64)
+        .map(|i| (i, synth_series(2_000, i + 1)))
+        .collect();
+    let params = TeroParams::default();
+    let mut group = c.benchmark_group("pool_analyze_64_series");
+    group.throughput(Throughput::Elements(series.len() as u64));
+    group.sample_size(10);
+    for workers in WORKER_COUNTS {
+        let pool = Pool::new(workers);
+        group.bench_with_input(BenchmarkId::new("workers", workers), &pool, |b, pool| {
+            b.iter(|| {
+                pool.par_map(&series, |(id, samples)| {
+                    let segments = segment_stream(0, samples, &params);
+                    let report = detect_anomalies(segments, &params);
+                    classify_streamer(AnonId(*id), &report, &params)
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_extraction_io_scaling(c: &mut Criterion) {
+    // The production extraction stage is download-bound: each task fetches
+    // a thumbnail before running OCR on it. Model the fetch as a 10 ms
+    // blocking wait (conservative for a CDN round trip). Workers overlap
+    // their waits, so this variant scales with worker count even on a
+    // single-core host — which is exactly the regime the pipeline runs in
+    // when thumbnails come off the network rather than a warm cache.
+    let thumbs = thumbnail_batch(32);
+    let processor = ImageProcessor::new();
+    let mut group = c.benchmark_group("pool_extract_32_thumbs_io10ms");
+    group.throughput(Throughput::Elements(thumbs.len() as u64));
+    group.sample_size(10);
+    for workers in WORKER_COUNTS {
+        let pool = Pool::new(workers);
+        group.bench_with_input(BenchmarkId::new("workers", workers), &pool, |b, pool| {
+            b.iter(|| {
+                pool.par_map(&thumbs, |img| {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    processor.extract(img, GameId::LeagueOfLegends)
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_par_map_overhead(c: &mut Criterion) {
+    // The fixed cost of a fan-out on trivial tasks: scope spawn + chunking
+    // + ordered merge, without any real work to amortise it.
+    let items: Vec<u64> = (0..1_000).collect();
+    let mut group = c.benchmark_group("pool_overhead_1k_trivial");
+    for workers in WORKER_COUNTS {
+        let pool = Pool::new(workers);
+        group.bench_with_input(BenchmarkId::new("workers", workers), &pool, |b, pool| {
+            b.iter(|| pool.par_map(&items, |&x| x.wrapping_mul(31)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets =
+    bench_extraction_scaling,
+    bench_extraction_io_scaling,
+    bench_analysis_scaling,
+    bench_par_map_overhead
+);
+criterion_main!(benches);

@@ -9,7 +9,7 @@
 //! machine-checkable.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use serde::Serialize;
 use std::io::Write;

@@ -84,6 +84,27 @@ impl AnomalyReport {
             .collect()
     }
 
+    /// The number of samples [`AnomalyReport::clean_samples`] would return,
+    /// without materialising them (the pipeline counts survivors per
+    /// series; allocating a fresh sample vector per report just to `len()`
+    /// it dominated the analysis stage's allocations).
+    pub fn clean_count(&self) -> usize {
+        self.segments
+            .iter()
+            .zip(&self.labels)
+            .filter(|(_, l)| {
+                matches!(
+                    l,
+                    SegmentLabel::Stable
+                        | SegmentLabel::Kept
+                        | SegmentLabel::CorrectedGlitch
+                        | SegmentLabel::CorrectedSpike
+                )
+            })
+            .map(|(s, _)| s.samples.len())
+            .sum()
+    }
+
     /// Total samples in the input series.
     pub fn total_samples(&self) -> usize {
         self.segments.iter().map(|s| s.len()).sum()

@@ -22,7 +22,7 @@
 //!   `tero-world` platform.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod analysis;
 pub mod behavior;

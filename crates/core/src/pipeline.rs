@@ -1,6 +1,13 @@
 //! The Tero orchestrator: download → image-processing → location →
 //! data-analysis, wired through the stores of `tero-store` and run against
 //! a `tero-world` platform.
+//!
+//! The three hot stages — thumbnail extraction, per-`{streamer, game}`
+//! cleaning/changepoint analysis, and per-group aggregation — fan out over
+//! a [`tero_pool::Pool`] sized by [`Tero::worker_threads`]. Each parallel
+//! stage is a pure map whose results are merged back *in input order*, so
+//! the report (and every funnel counter) is byte-identical at any worker
+//! count; `worker_threads == 1` runs the exact legacy sequential path.
 
 use crate::analysis::anomaly::{detect_anomalies, AnomalyReport, SegmentLabel};
 use crate::analysis::clusters::{
@@ -16,7 +23,9 @@ use crate::imageproc::ImageProcessor;
 use crate::location::{LocationModule, LocationSource};
 use std::collections::{BTreeMap, HashMap};
 use tero_geoparse::tags::TagObservation;
+use tero_geoparse::Gazetteer;
 use tero_obs::{Registry, Snapshot};
+use tero_pool::Pool;
 use tero_store::{KvStore, ObjectStore};
 use tero_types::{
     AnonId, GameId, LatencySample, Location, SimDuration, SimTime, StreamerId, TeroParams,
@@ -67,6 +76,11 @@ pub struct Tero {
     /// on; per-operation timing histograms only populate after
     /// `obs.set_timing(true)`.
     pub obs: Registry,
+    /// Worker threads for the parallel stages (extraction, per-stream
+    /// analysis, per-group aggregation). Defaults to the machine's
+    /// available parallelism; `1` runs the exact sequential legacy path.
+    /// The report is identical for every value — see `tests/determinism.rs`.
+    pub worker_threads: usize,
 }
 
 impl Default for Tero {
@@ -78,6 +92,7 @@ impl Default for Tero {
             min_streamers: 5,
             reject_outside_clusters: false,
             obs: Registry::new(),
+            worker_threads: tero_pool::default_workers(),
         }
     }
 }
@@ -115,10 +130,7 @@ pub struct TeroReport {
 impl TeroReport {
     /// Total clean measurements retained after anomaly filtering.
     pub fn retained_measurements(&self) -> usize {
-        self.anomalies
-            .values()
-            .map(|r| r.clean_samples().len())
-            .sum()
+        self.anomalies.values().map(|r| r.clean_count()).sum()
     }
 
     /// The distribution for a location (any granularity key) and game.
@@ -154,6 +166,13 @@ impl Tero {
         let a_dists = self.obs.counter("analysis.distributions_published");
         let a_shared = self.obs.counter("analysis.shared_anomalies");
         let c_profile_retries = self.obs.counter("pipeline.profile_retries");
+        let stage_extract_us = self.obs.histogram("pipeline.stage.extract_us");
+        let stage_stitch_us = self.obs.histogram("pipeline.stage.stitch_us");
+        let stage_locate_us = self.obs.histogram("pipeline.stage.locate_us");
+        let stage_analyze_us = self.obs.histogram("pipeline.stage.analyze_us");
+        let stage_aggregate_us = self.obs.histogram("pipeline.stage.aggregate_us");
+        let stage_behavior_us = self.obs.histogram("pipeline.stage.behavior_us");
+        let pool = Pool::with_metrics(self.worker_threads, &self.obs);
 
         let kv = KvStore::new();
         let objects = ObjectStore::new();
@@ -173,28 +192,38 @@ impl Tero {
         let tasks = download.drain_tasks();
 
         // ---- Image processing -------------------------------------------------
+        // The OCR fan-out: every task reads only thread-safe stores and
+        // immutable world state, so the heavy extraction runs on the pool.
+        // `None` marks a lost/corrupt object. Everything order-sensitive —
+        // funnel counters, dead-lettering, measurement insertion — happens
+        // in the ordered merge below, which walks results in task order
+        // and is therefore byte-identical to the sequential path.
         let processor = ImageProcessor::with_registry(&self.obs);
         let mut measurements: BTreeMap<(AnonId, GameId), Vec<LatencySample>> = BTreeMap::new();
         let mut usernames: HashMap<AnonId, StreamerId> = HashMap::new();
         let mut extracted = 0u64;
-        for task in &tasks {
+        let outcomes: Vec<Option<CombineOutcome>> = {
+            let _t = self.obs.stage_timer(&stage_extract_us);
+            let world_ro: &World = world;
+            pool.par_map(&tasks, |task| match self.mode {
+                ExtractionMode::FullOcr => download
+                    .load_image(&task.object_key)
+                    .map(|image| processor.extract(&image, task.game_label)),
+                ExtractionMode::Calibrated => Some(calibrated_extract(world_ro, task)),
+            })
+        };
+        for (task, outcome) in tasks.iter().zip(outcomes) {
             c_thumbs.inc();
             let anon = AnonId::from_streamer(&task.streamer, self.salt);
             usernames
                 .entry(anon)
                 .or_insert_with(|| task.streamer.clone());
-            let outcome = match self.mode {
-                ExtractionMode::FullOcr => {
-                    let Some(image) = download.load_image(&task.object_key) else {
-                        // Lost or corrupt object: quarantine the task so the
-                        // failure stays auditable, and keep going.
-                        c_images_missing.inc();
-                        download.dead_letter(task.encode());
-                        continue;
-                    };
-                    processor.extract(&image, task.game_label)
-                }
-                ExtractionMode::Calibrated => calibrated_extract(world, task),
+            let Some(outcome) = outcome else {
+                // Lost or corrupt object: quarantine the task so the
+                // failure stays auditable, and keep going.
+                c_images_missing.inc();
+                download.dead_letter(task.encode());
+                continue;
             };
             if let CombineOutcome::Extracted {
                 primary,
@@ -217,6 +246,7 @@ impl Tero {
         }
 
         // ---- Streams -----------------------------------------------------------
+        let _t_stitch = self.obs.stage_timer(&stage_stitch_us);
         let mut streams: BTreeMap<(AnonId, GameId), Vec<StreamSeries>> = BTreeMap::new();
         for ((anon, game), mut samples) in measurements {
             samples.sort_by_key(|s| s.at);
@@ -244,13 +274,21 @@ impl Tero {
             c_streams.add(series.len() as u64);
             streams.insert((anon, game), series);
         }
+        drop(_t_stitch);
 
         // ---- Location ----------------------------------------------------------
+        // Profile lookups stay sequential: they advance the platform's
+        // rate limiter, whose state threads from one call to the next.
+        // Sorting by anonymised id pins that order — HashMap iteration
+        // varies between processes, and with fault injection the call
+        // order decides which lookups hit an injected 5xx.
+        let _t_locate = self.obs.stage_timer(&stage_locate_us);
         let location_module = LocationModule::new(&world.gaz);
         let mut locations: HashMap<AnonId, (Location, LocationSource)> = HashMap::new();
         let mut now = horizon;
-        let names: Vec<(AnonId, StreamerId)> =
+        let mut names: Vec<(AnonId, StreamerId)> =
             usernames.iter().map(|(a, n)| (*a, n.clone())).collect();
+        names.sort_unstable_by_key(|(a, _)| *a);
         for (anon, name) in &names {
             let mut server_errors = 0u32;
             let description = loop {
@@ -291,16 +329,30 @@ impl Tero {
             }
         }
         c_located.add(locations.len() as u64);
+        drop(_t_locate);
 
         // ---- Per-streamer analysis ----------------------------------------------
+        // The cleaning + PELT changepoint fan-out: each `{streamer, game}`
+        // series is segmented, anomaly-scanned and classified
+        // independently; counters are bumped in the ordered merge.
         let mut anomalies: BTreeMap<(AnonId, GameId), AnomalyReport> = BTreeMap::new();
         let mut classified: BTreeMap<(AnonId, GameId), ClassifiedStreamer> = BTreeMap::new();
-        for ((anon, game), series) in &streams {
-            let mut segments: Vec<Segment> = Vec::new();
-            for (idx, s) in series.iter().enumerate() {
-                segments.extend(segment_stream(idx, &s.samples, &self.params));
-            }
-            let report = detect_anomalies(segments, &self.params);
+        let stream_entries: Vec<(&(AnonId, GameId), &Vec<StreamSeries>)> = streams.iter().collect();
+        let analyzed: Vec<(AnomalyReport, ClassifiedStreamer)> = {
+            let _t = self.obs.stage_timer(&stage_analyze_us);
+            pool.par_map(&stream_entries, |(key, series)| {
+                let (anon, _game) = **key;
+                let mut segments: Vec<Segment> = Vec::new();
+                for (idx, s) in series.iter().enumerate() {
+                    segments.extend(segment_stream(idx, &s.samples, &self.params));
+                }
+                let report = detect_anomalies(segments, &self.params);
+                let cls = classify_streamer(anon, &report, &self.params);
+                (report, cls)
+            })
+        };
+        for ((key, _series), (report, cls)) in stream_entries.iter().zip(analyzed) {
+            let (anon, game) = **key;
             a_segments.add(report.segments.len() as u64);
             a_spikes.add(report.spikes.len() as u64);
             for label in &report.labels {
@@ -311,13 +363,10 @@ impl Tero {
                 }
             }
             let total_points: usize = report.segments.iter().map(|s| s.samples.len()).sum();
-            let kept = report.clean_samples().len();
+            let kept = report.clean_count();
             a_discarded.add(total_points.saturating_sub(kept) as u64);
-            classified.insert(
-                (*anon, *game),
-                classify_streamer(*anon, &report, &self.params),
-            );
-            anomalies.insert((*anon, *game), report);
+            classified.insert((anon, game), cls);
+            anomalies.insert((anon, game), report);
         }
 
         // ---- Per-{region, game} aggregation --------------------------------------
@@ -337,83 +386,32 @@ impl Tero {
         let mut distributions = Vec::new();
         let mut shared_anomalies = Vec::new();
 
-        for ((region_key, game), members) in &groups {
-            let classified_members: Vec<&ClassifiedStreamer> = members
-                .iter()
-                .filter_map(|a| classified.get(&(*a, *game)))
-                .collect();
-            // Step 3: merged clusters from static streamers.
-            let clusters = merge_location_clusters(&classified_members, self.params.lat_gap_ms);
-            // Step 4: end-point changes for everyone in the group.
-            let mut movers: Vec<AnonId> = Vec::new();
-            for anon in members {
-                if let Some(report) = anomalies.get(&(*anon, *game)) {
-                    let changes = endpoint_changes(report, &clusters, self.params.lat_gap_ms);
-                    if changes
-                        .iter()
-                        .any(|c| c.kind == ChangeKind::PossibleLocation)
-                    {
-                        movers.push(*anon);
-                    }
-                    if !changes.is_empty() {
-                        all_endpoint_changes.insert((*anon, *game), changes);
-                    }
-                }
+        // The per-group §5/§6 fan-out: each `{region, game}` group reads
+        // only the classified/anomaly maps built above, so groups run on
+        // the pool and the merge walks them in `BTreeMap` key order —
+        // exactly the order the sequential loop published distributions.
+        let _t_aggregate = self.obs.stage_timer(&stage_aggregate_us);
+        let group_entries: Vec<(&(String, GameId), &Vec<AnonId>)> = groups.iter().collect();
+        let group_results: Vec<GroupAnalysis> = pool.par_map(&group_entries, |(key, members)| {
+            self.analyze_group(
+                &world.gaz,
+                key.1,
+                members,
+                &locations,
+                &classified,
+                &anomalies,
+                Granularity::Region,
+            )
+        });
+        for ((key, _members), analysis) in group_entries.iter().zip(group_results) {
+            for (anon, changes) in analysis.changes {
+                all_endpoint_changes.insert((anon, key.1), changes);
             }
-            location_clusters.insert((region_key.clone(), *game), clusters.clone());
-
-            // Distributions: high-quality members with no possible
-            // location change, at region granularity.
-            let contributors: Vec<&ClassifiedStreamer> = members
-                .iter()
-                .filter(|a| !movers.contains(a))
-                .filter_map(|a| classified.get(&(*a, *game)))
-                .collect();
-            if contributors.len() >= self.min_streamers {
-                let region_loc = locations
-                    .get(&members[0])
-                    .map(|(l, _)| l.to_region_level())
-                    .expect("grouped member is located");
-                let server = primary_server(&world.gaz, *game, &region_loc);
-                let distance = server
-                    .as_ref()
-                    .and_then(|s| corrected_distance_to(&world.gaz, &region_loc, s));
-                if let Some(mut dist) = location_distribution(
-                    region_loc,
-                    *game,
-                    &contributors,
-                    server.map(|s| s.location),
-                    distance,
-                ) {
-                    if self.reject_outside_clusters {
-                        reject_outside(&mut dist, &clusters, self.params.lat_gap_ms);
-                    }
-                    distributions.push(dist);
-                }
+            location_clusters.insert((key.0.clone(), key.1), analysis.clusters);
+            if let Some(dist) = analysis.distribution {
+                distributions.push(dist);
             }
-
-            // Shared anomalies over the group.
-            let region_loc = locations
-                .get(&members[0])
-                .map(|(l, _)| l.to_region_level())
-                .expect("grouped member is located");
-            let activities: Vec<StreamerActivity> = members
-                .iter()
-                .filter_map(|a| {
-                    let report = anomalies.get(&(*a, *game))?;
-                    let times: Vec<SimTime> = report
-                        .segments
-                        .iter()
-                        .flat_map(|s| s.samples.iter().map(|x| x.at))
-                        .collect();
-                    Some(StreamerActivity {
-                        anon: *a,
-                        measurement_times: times,
-                        spikes: report.spikes.clone(),
-                    })
-                })
-                .collect();
-            shared_anomalies.extend(detect_shared_anomalies(*game, &region_loc, &activities));
+            shared_anomalies.extend(analysis.shared);
         }
 
         // ---- Country-level distributions ------------------------------------------
@@ -427,59 +425,35 @@ impl Tero {
                 country_groups.entry((key, *game)).or_default().push(*anon);
             }
         }
-        for ((_key, game), members) in &country_groups {
-            let classified_members: Vec<&ClassifiedStreamer> = members
-                .iter()
-                .filter_map(|a| classified.get(&(*a, *game)))
-                .collect();
-            let clusters = merge_location_clusters(&classified_members, self.params.lat_gap_ms);
-            let mut movers: Vec<AnonId> = Vec::new();
-            for anon in members {
-                if let Some(report) = anomalies.get(&(*anon, *game)) {
-                    let changes = endpoint_changes(report, &clusters, self.params.lat_gap_ms);
-                    if changes
-                        .iter()
-                        .any(|c| c.kind == ChangeKind::PossibleLocation)
-                    {
-                        movers.push(*anon);
-                    }
-                }
-            }
-            let contributors: Vec<&ClassifiedStreamer> = members
-                .iter()
-                .filter(|a| !movers.contains(a))
-                .filter_map(|a| classified.get(&(*a, *game)))
-                .collect();
-            if contributors.len() >= self.min_streamers {
-                let country_loc = locations
-                    .get(&members[0])
-                    .map(|(l, _)| l.to_country_level())
-                    .expect("grouped member is located");
-                let server = primary_server(&world.gaz, *game, &country_loc);
-                let distance = server
-                    .as_ref()
-                    .and_then(|s| corrected_distance_to(&world.gaz, &country_loc, s));
-                if let Some(mut dist) = location_distribution(
-                    country_loc,
-                    *game,
-                    &contributors,
-                    server.map(|s| s.location),
-                    distance,
-                ) {
-                    if self.reject_outside_clusters {
-                        reject_outside(&mut dist, &clusters, self.params.lat_gap_ms);
-                    }
-                    distributions.push(dist);
-                }
+        let country_entries: Vec<(&(String, GameId), &Vec<AnonId>)> =
+            country_groups.iter().collect();
+        let country_results: Vec<GroupAnalysis> =
+            pool.par_map(&country_entries, |(key, members)| {
+                self.analyze_group(
+                    &world.gaz,
+                    key.1,
+                    members,
+                    &locations,
+                    &classified,
+                    &anomalies,
+                    Granularity::Country,
+                )
+            });
+        for analysis in country_results {
+            if let Some(dist) = analysis.distribution {
+                distributions.push(dist);
             }
         }
+        drop(_t_aggregate);
 
         // ---- Behaviour preparation (§6) -------------------------------------------
+        let _t_behavior = self.obs.stage_timer(&stage_behavior_us);
         let mut behavior_streams = Vec::new();
         // Order every streamer's streams across games to detect game
-        // changes between consecutive streams.
-        let mut per_streamer: HashMap<AnonId, Vec<(SimTime, SimTime, GameId, usize)>> =
-            HashMap::new();
+        // changes between consecutive streams. A BTreeMap keeps the
+        // emitted order deterministic across processes.
+        let mut per_streamer: BTreeMap<AnonId, Vec<(SimTime, SimTime, GameId, usize)>> =
+            BTreeMap::new();
         for ((anon, game), series) in &streams {
             for (idx, s) in series.iter().enumerate() {
                 if let (Some(first), Some(last)) = (s.samples.first(), s.samples.last()) {
@@ -525,6 +499,7 @@ impl Tero {
             }
         }
 
+        drop(_t_behavior);
         a_dists.add(distributions.len() as u64);
         a_shared.add(shared_anomalies.len() as u64);
 
@@ -542,6 +517,141 @@ impl Tero {
             distributions,
             shared_anomalies,
             behavior_streams,
+        }
+    }
+}
+
+/// The aggregation granularity of one analysis group (§5's two published
+/// levels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Granularity {
+    /// Region-level groups: the full §3.3.3/§5/§6 product set.
+    Region,
+    /// Country-level groups: distributions only (Figs 9, 11, 12).
+    Country,
+}
+
+/// Everything the per-`{location, game}` aggregation derives from one
+/// group — produced on a pool worker, merged in group-key order.
+struct GroupAnalysis {
+    /// §3.3.3 step-3 merged clusters (region granularity only).
+    clusters: Vec<LatencyCluster>,
+    /// Per-member end-point changes (region granularity only).
+    changes: Vec<(AnonId, Vec<EndPointChange>)>,
+    /// The published distribution, if the group clears `min_streamers`.
+    distribution: Option<LocationDistribution>,
+    /// Shared anomalies over the group (region granularity only).
+    shared: Vec<SharedAnomaly>,
+}
+
+impl Tero {
+    /// Analyse one `{location, game}` group: merged clusters, end-point
+    /// changes, the published distribution and shared anomalies. Pure with
+    /// respect to the pipeline's mutable state, so groups can run in
+    /// parallel; at [`Granularity::Country`] only the distribution is
+    /// produced (matching the sequential country loop).
+    #[allow(clippy::too_many_arguments)]
+    fn analyze_group(
+        &self,
+        gaz: &Gazetteer,
+        game: GameId,
+        members: &[AnonId],
+        locations: &HashMap<AnonId, (Location, LocationSource)>,
+        classified: &BTreeMap<(AnonId, GameId), ClassifiedStreamer>,
+        anomalies: &BTreeMap<(AnonId, GameId), AnomalyReport>,
+        granularity: Granularity,
+    ) -> GroupAnalysis {
+        let level = |loc: &Location| match granularity {
+            Granularity::Region => loc.to_region_level(),
+            Granularity::Country => loc.to_country_level(),
+        };
+        let classified_members: Vec<&ClassifiedStreamer> = members
+            .iter()
+            .filter_map(|a| classified.get(&(*a, game)))
+            .collect();
+        // Step 3: merged clusters from static streamers.
+        let clusters = merge_location_clusters(&classified_members, self.params.lat_gap_ms);
+        // Step 4: end-point changes for everyone in the group.
+        let mut movers: Vec<AnonId> = Vec::new();
+        let mut all_changes: Vec<(AnonId, Vec<EndPointChange>)> = Vec::new();
+        for anon in members {
+            if let Some(report) = anomalies.get(&(*anon, game)) {
+                let changes = endpoint_changes(report, &clusters, self.params.lat_gap_ms);
+                if changes
+                    .iter()
+                    .any(|c| c.kind == ChangeKind::PossibleLocation)
+                {
+                    movers.push(*anon);
+                }
+                if granularity == Granularity::Region && !changes.is_empty() {
+                    all_changes.push((*anon, changes));
+                }
+            }
+        }
+
+        // Distributions: high-quality members with no possible location
+        // change, at the group's granularity.
+        let contributors: Vec<&ClassifiedStreamer> = members
+            .iter()
+            .filter(|a| !movers.contains(a))
+            .filter_map(|a| classified.get(&(*a, game)))
+            .collect();
+        let mut distribution = None;
+        if contributors.len() >= self.min_streamers {
+            let group_loc = locations
+                .get(&members[0])
+                .map(|(l, _)| level(l))
+                .expect("grouped member is located");
+            let server = primary_server(gaz, game, &group_loc);
+            let distance = server
+                .as_ref()
+                .and_then(|s| corrected_distance_to(gaz, &group_loc, s));
+            if let Some(mut dist) = location_distribution(
+                group_loc,
+                game,
+                &contributors,
+                server.map(|s| s.location),
+                distance,
+            ) {
+                if self.reject_outside_clusters {
+                    reject_outside(&mut dist, &clusters, self.params.lat_gap_ms);
+                }
+                distribution = Some(dist);
+            }
+        }
+
+        // Shared anomalies over the group (region granularity only).
+        let shared = if granularity == Granularity::Region {
+            let region_loc = locations
+                .get(&members[0])
+                .map(|(l, _)| level(l))
+                .expect("grouped member is located");
+            let activities: Vec<StreamerActivity> = members
+                .iter()
+                .filter_map(|a| {
+                    let report = anomalies.get(&(*a, game))?;
+                    let times: Vec<SimTime> = report
+                        .segments
+                        .iter()
+                        .flat_map(|s| s.samples.iter().map(|x| x.at))
+                        .collect();
+                    Some(StreamerActivity {
+                        anon: *a,
+                        measurement_times: times,
+                        spikes: report.spikes.clone(),
+                    })
+                })
+                .collect();
+            detect_shared_anomalies(game, &region_loc, &activities)
+        } else {
+            Vec::new()
+        };
+
+        GroupAnalysis {
+            clusters,
+            changes: all_changes,
+            distribution,
+            shared,
         }
     }
 }

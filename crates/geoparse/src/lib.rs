@@ -22,7 +22,7 @@
 //! * [`profiles`] — the Twitch ↔ Twitter/Steam profile-matching algorithm.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod combine;
 pub mod filter;

@@ -20,7 +20,7 @@
 //!   [`experiment`]).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod experiment;
 pub mod game;

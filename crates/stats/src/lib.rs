@@ -22,7 +22,7 @@
 //!   Isolation-Forest scores (App. J).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod binomial;
 pub mod changepoint;

@@ -20,7 +20,7 @@
 //! unpredictably" (App. B).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod doc;
 pub mod kv;

@@ -12,7 +12,7 @@
 //! ([`SimRng`]) that makes every experiment bit-reproducible.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod geo;
 pub mod ids;

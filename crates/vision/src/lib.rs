@@ -22,7 +22,7 @@
 //!   alternative outputs, plus the reprocessing fallback (App. E step 4).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod combine;
 pub mod font;

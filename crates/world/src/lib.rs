@@ -25,7 +25,7 @@
 //! * [`world`] — ties everything together behind a single [`World`] handle.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod games;
 pub mod latency;

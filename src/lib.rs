@@ -23,6 +23,7 @@
 //! | [`world`] | `tero-world` | synthetic Twitch world with ground truth |
 //! | [`core`] | `tero-core` | the Tero pipeline itself |
 //! | [`chaos`] | `tero-chaos` | deterministic fault injection (API 5xx, CDN faults, crashes) |
+//! | [`pool`] | `tero-pool` | work-stealing thread pool with deterministic ordered results |
 //!
 //! ## Quickstart
 //!
@@ -42,12 +43,13 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use tero_chaos as chaos;
 pub use tero_core as core;
 pub use tero_geoparse as geoparse;
 pub use tero_obs as obs;
+pub use tero_pool as pool;
 pub use tero_simnet as simnet;
 pub use tero_stats as stats;
 pub use tero_store as store;

@@ -1,0 +1,113 @@
+//! Parallelism must be unobservable: one seed ⇒ one report.
+//!
+//! The pipeline's hot stages fan out over `tero-pool`, whose ordered merge
+//! promises byte-identical output at every worker count. This suite pins
+//! that promise end to end: the full `TeroReport` (streams, labels,
+//! clusters, distributions, behaviour streams) and the funnel counters of
+//! `metrics_snapshot` must be identical for `worker_threads ∈ {1, 2, 8}`,
+//! with and without a non-trivial fault-injection plan.
+
+use std::collections::BTreeMap;
+use tero::chaos::{ChaosInjector, FaultPlan};
+use tero::core::pipeline::{ExtractionMode, Tero, TeroReport};
+use tero::world::{World, WorldConfig};
+
+/// A deterministic, order-stable rendering of everything a run produced.
+/// `HashMap`-backed fields are projected through `BTreeMap` first; every
+/// other collection in the report is already ordered.
+fn fingerprint(report: &TeroReport) -> String {
+    let locations: BTreeMap<_, _> = report.locations.iter().collect();
+    format!(
+        "download={:?}\nthumbnails={} extracted={} streamers_seen={}\n\
+         locations={locations:?}\nstreams={:?}\nanomalies={:?}\nclassified={:?}\n\
+         location_clusters={:?}\nendpoint_changes={:?}\ndistributions={:?}\n\
+         shared_anomalies={:?}\nbehavior_streams={:?}\n",
+        report.download,
+        report.thumbnails,
+        report.extracted,
+        report.streamers_seen,
+        report.streams,
+        report.anomalies,
+        report.classified,
+        report.location_clusters,
+        report.endpoint_changes,
+        report.distributions,
+        report.shared_anomalies,
+        report.behavior_streams,
+    )
+}
+
+/// The funnel counters the operations guide treats as the run's identity:
+/// every counter except the scheduling-dependent `pool.steals` (how often
+/// workers rebalanced is a property of the schedule, not of the data).
+fn funnel(tero: &Tero) -> BTreeMap<String, u64> {
+    tero.metrics_snapshot()
+        .counters
+        .iter()
+        .filter(|c| c.name != "pool.steals")
+        .map(|c| (c.name.clone(), c.value))
+        .collect()
+}
+
+fn run_once(workers: usize, chaos_seed: Option<u64>) -> (String, BTreeMap<String, u64>) {
+    let mut world = World::build(WorldConfig {
+        seed: 4242,
+        n_streamers: 25,
+        days: 2,
+        ..WorldConfig::default()
+    });
+    if let Some(seed) = chaos_seed {
+        world.install_chaos(ChaosInjector::new(FaultPlan::default_plan(seed)));
+    }
+    let tero = Tero {
+        mode: ExtractionMode::FullOcr,
+        min_streamers: 2,
+        worker_threads: workers,
+        ..Tero::default()
+    };
+    let report = tero.run(&mut world);
+    (fingerprint(&report), funnel(&tero))
+}
+
+#[test]
+fn report_identical_across_worker_counts() {
+    let (reference, ref_counters) = run_once(1, None);
+    assert!(reference.len() > 1_000, "fingerprint covers a real run");
+    for workers in [2, 8] {
+        let (fp, counters) = run_once(workers, None);
+        assert_eq!(fp, reference, "report diverged at {workers} workers");
+        assert_eq!(
+            counters, ref_counters,
+            "funnel counters diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn report_identical_across_worker_counts_under_chaos() {
+    // A non-trivial fault plan exercises the recovery paths (missing
+    // objects → dead-lettering, API 5xx → profile retries); the ordered
+    // merge must keep even those byte-identical.
+    let (reference, ref_counters) = run_once(1, Some(7));
+    for workers in [2, 8] {
+        let (fp, counters) = run_once(workers, Some(7));
+        assert_eq!(
+            fp, reference,
+            "report diverged at {workers} workers under chaos"
+        );
+        assert_eq!(
+            counters, ref_counters,
+            "funnel counters diverged at {workers} workers under chaos"
+        );
+    }
+}
+
+#[test]
+fn same_seed_same_process_is_reproducible() {
+    // Two full runs in one process (fresh worlds, fresh registries) —
+    // guards against hidden global state leaking between runs.
+    let a = run_once(4, Some(7));
+    let b = run_once(4, Some(7));
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+}
