@@ -1,0 +1,92 @@
+//! tero-trace span overhead: what opening and closing a span costs with
+//! recording disabled (the default — every pipeline run pays this) and
+//! enabled (opt-in debugging). The numbers feed docs/PERFORMANCE.md; the
+//! key claim is that a disabled span is one atomic load, within 2× of a
+//! disabled `StageTimer`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tero_trace::{Level, SampleKey, SampleState, Tracer};
+use tero_types::{AnonId, GameId, SimTime};
+
+fn bench_spans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace");
+    group.throughput(Throughput::Elements(1_000));
+
+    // Default configuration: recording off. Span creation must be ~free so
+    // the instrumented pipeline costs nothing when nobody is looking.
+    let off = Tracer::new();
+    group.bench_function("span_disabled_1k", |b| {
+        b.iter(|| {
+            for _ in 0..1_000 {
+                let _sp = off.span("bench.span");
+            }
+        })
+    });
+
+    // Opt-in configuration: recording on — two records plus the journal.
+    group.bench_function("span_enabled_1k", |b| {
+        b.iter(|| {
+            let on = Tracer::new();
+            on.set_enabled(true);
+            for _ in 0..1_000 {
+                let _sp = on.span("bench.span");
+            }
+        })
+    });
+
+    // Flight-recorder mode: same writes, bounded memory, ring eviction.
+    group.bench_function("span_ring_1k", |b| {
+        b.iter(|| {
+            let ring = Tracer::new();
+            ring.set_enabled(true);
+            ring.set_flight_recorder(Some(64));
+            for _ in 0..1_000 {
+                let _sp = ring.span("bench.span");
+            }
+        })
+    });
+
+    let on = Tracer::new();
+    on.set_enabled(true);
+    let root = on.span("bench.root");
+    group.bench_function("event_enabled_1k", |b| {
+        b.iter(|| {
+            let scratch = Tracer::new();
+            scratch.set_enabled(true);
+            let sp = scratch.span("bench.root");
+            for _ in 0..1_000 {
+                sp.event(Level::Debug, "bench event");
+            }
+        })
+    });
+    drop(root);
+    group.finish();
+}
+
+fn bench_ledger(c: &mut Criterion) {
+    // The provenance ledger is always on, so ingest/resolve sit on the
+    // per-thumbnail hot path alongside the funnel counters.
+    let mut group = c.benchmark_group("trace");
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_function("ledger_ingest_resolve_1k", |b| {
+        let tracer = Tracer::new();
+        let ledger = tracer.ledger();
+        b.iter(|| {
+            ledger.reset();
+            for i in 0..1_000u64 {
+                let key = SampleKey {
+                    anon: AnonId(i),
+                    game: GameId::Dota2,
+                    at: SimTime::from_micros(i),
+                };
+                ledger.ingest(key);
+                ledger.resolve(&key, SampleState::Published);
+            }
+            ledger.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spans, bench_ledger);
+criterion_main!(benches);

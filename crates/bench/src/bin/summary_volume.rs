@@ -45,6 +45,11 @@ fn main() {
     // Regenerators pay the (small) timing cost so the printed snapshot
     // includes stage latencies; production-style runs leave it off.
     tero.obs.set_timing(true);
+    // Record the run in flight-recorder mode: the ring keeps only the most
+    // recent spans/events, so the post-run dump stays readable at any
+    // world size while still showing the tail of the pipeline.
+    tero.trace.set_enabled(true);
+    tero.trace.set_flight_recorder(Some(48));
     let report = tero.run(&mut world);
 
     let retained = report.retained_measurements();
@@ -98,4 +103,20 @@ fn main() {
     println!("{}", snap.render_text());
     println!("metrics json:");
     println!("{}", snap.to_json());
+
+    // ---- Provenance + flight recorder ----------------------------------
+    // The ledger proves the funnel conserves samples: every ingested
+    // thumbnail is either published or carries a typed drop reason, and
+    // the totals must equal the `pipeline.funnel.*` counters above.
+    println!();
+    match tero.trace.ledger().reconcile(&tero.obs) {
+        Ok(summary) => {
+            println!("sample provenance (ledger, reconciled against counters):");
+            print!("{}", summary.render_text());
+        }
+        Err(err) => println!("provenance ledger DISAGREES with counters: {err}"),
+    }
+    println!();
+    println!("flight recorder (last 48 trace records):");
+    print!("{}", tero.trace.dump());
 }

@@ -47,6 +47,7 @@ use parking_lot::Mutex;
 use serde::Serialize;
 use std::sync::{Arc, OnceLock};
 use tero_obs::{CounterHandle, Registry};
+use tero_trace::{Level, Tracer};
 use tero_types::{SimRng, SimTime};
 
 /// One planned downloader crash: the worker is dead over `[at, until)`.
@@ -159,6 +160,7 @@ struct Inner {
     kv_rng: Mutex<SimRng>,
     object_rng: Mutex<SimRng>,
     metrics: OnceLock<ChaosMetrics>,
+    trace: OnceLock<Tracer>,
 }
 
 /// The live injector: consulted by the world's API/CDN, the stores, and
@@ -182,6 +184,7 @@ impl ChaosInjector {
                 object_rng: Mutex::new(root.fork()),
                 plan,
                 metrics: OnceLock::new(),
+                trace: OnceLock::new(),
             }),
         }
     }
@@ -200,6 +203,20 @@ impl ChaosInjector {
             object_write_drop: registry.counter("chaos.injected.object_write_drop"),
             crash: registry.counter("chaos.injected.crash"),
         });
+    }
+
+    /// Attach a tracer: every injected fault is also journaled as a
+    /// `chaos:` event, so faults show up inline in span timelines and
+    /// flight-recorder dumps. The first call wins, like
+    /// [`ChaosInjector::instrument`].
+    pub fn set_trace(&self, tracer: &Tracer) {
+        let _ = self.inner.trace.set(tracer.clone());
+    }
+
+    fn journal(&self, level: Level, message: &str) {
+        if let Some(t) = self.inner.trace.get() {
+            t.event(level, message);
+        }
     }
 
     /// The plan this injector was built from.
@@ -223,6 +240,7 @@ impl ChaosInjector {
             if let Some(m) = self.inner.metrics.get() {
                 m.api_5xx.inc();
             }
+            self.journal(Level::Warn, "chaos: injected transient API 5xx");
         }
         hit
     }
@@ -252,6 +270,14 @@ impl ChaosInjector {
                 CdnFault::Corrupted => m.cdn_corrupt.inc(),
             }
         }
+        self.journal(
+            Level::Warn,
+            match fault {
+                CdnFault::Timeout => "chaos: injected CDN timeout",
+                CdnFault::Truncated => "chaos: injected CDN truncated payload",
+                CdnFault::Corrupted => "chaos: injected CDN corrupted payload",
+            },
+        );
         Some(fault)
     }
 
@@ -284,6 +310,7 @@ impl ChaosInjector {
             if let Some(m) = self.inner.metrics.get() {
                 m.kv_write_drop.inc();
             }
+            self.journal(Level::Error, "chaos: silently dropped KV write");
         }
         hit
     }
@@ -299,6 +326,7 @@ impl ChaosInjector {
             if let Some(m) = self.inner.metrics.get() {
                 m.object_write_drop.inc();
             }
+            self.journal(Level::Error, "chaos: silently dropped object-store put");
         }
         hit
     }
@@ -309,6 +337,7 @@ impl ChaosInjector {
         if let Some(m) = self.inner.metrics.get() {
             m.crash.inc();
         }
+        self.journal(Level::Error, "chaos: downloader crash window opened");
     }
 }
 
@@ -413,6 +442,30 @@ mod tests {
         // Every chaos counter is registered, fired or not.
         assert_eq!(snap.counter("chaos.injected.api_5xx"), Some(0));
         assert_eq!(snap.counter("chaos.injected.kv_write_drop"), Some(0));
+    }
+
+    #[test]
+    fn injected_faults_are_journaled() {
+        let tracer = Tracer::new();
+        tracer.set_enabled(true);
+        let chaos = ChaosInjector::new(FaultPlan {
+            cdn_corrupt_rate: 1.0,
+            ..FaultPlan::quiet(3)
+        });
+        chaos.set_trace(&tracer);
+        assert_eq!(chaos.cdn_fault(), Some(CdnFault::Corrupted));
+        chaos.note_crash();
+        let (_, events) = tracer.records();
+        let messages: Vec<&str> = events.iter().map(|e| e.message.as_str()).collect();
+        assert_eq!(
+            messages,
+            vec![
+                "chaos: injected CDN corrupted payload",
+                "chaos: downloader crash window opened"
+            ]
+        );
+        assert_eq!(events[0].level, Level::Warn);
+        assert_eq!(events[1].level, Level::Error);
     }
 
     #[test]

@@ -38,6 +38,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use tero_obs::Registry;
 use tero_store::{KvStore, ObjectStore};
+use tero_trace::{Level, Tracer};
 use tero_types::{GameId, SimDuration, SimRng, SimTime, StreamerId};
 use tero_world::twitch::{ApiError, CdnResponse};
 use tero_world::World;
@@ -209,6 +210,7 @@ pub struct DownloadModule {
     kv: KvStore,
     objects: ObjectStore,
     obs: Registry,
+    trace: Tracer,
     /// How often the coordinator polls `Get Streams`.
     pub poll_interval: SimDuration,
     /// Number of downloader workers.
@@ -305,6 +307,7 @@ impl DownloadModule {
             kv,
             objects,
             obs: Registry::new(),
+            trace: Tracer::new(),
             poll_interval: SimDuration::from_mins(2),
             downloaders: 4,
             fetch_cost: SimDuration::from_millis(500),
@@ -324,6 +327,13 @@ impl DownloadModule {
         self.obs = registry.clone();
     }
 
+    /// Journal this module's spans and recovery events through `tracer`
+    /// (the `download.run` span, breaker trips, crash reassignments,
+    /// dead-letter quarantines). A no-op unless the tracer is enabled.
+    pub fn set_trace(&mut self, tracer: &Tracer) {
+        self.trace = tracer.clone();
+    }
+
     /// Run the module against the world from `from` to `until` (logical
     /// time). Thumbnails land in the object store (bucket `thumbs`) and
     /// tasks on the KV list `queue:thumbs`.
@@ -331,6 +341,7 @@ impl DownloadModule {
         let obs = DownloadObs::resolve(&self.obs);
         let run_us = self.obs.histogram("download.run_us");
         let _run_timer = self.obs.stage_timer(&run_us);
+        let sp_run = self.trace.span_at("download.run", from);
         let mut stats = DownloadStats::default();
         let mut retry_rng = SimRng::new(self.retry_seed);
         let mut heap: BinaryHeap<Reverse<HeapEv>> = BinaryHeap::new();
@@ -433,6 +444,11 @@ impl DownloadModule {
                         obs.queue_depth.record(downloader_load[target] as u64);
                         obs.downloader_load.set(downloader_load[target] as i64);
                         stats.reassigned += 1;
+                        sp_run.event_at(
+                            Level::Warn,
+                            format!("assignment {id} moved off crashed downloader {old}"),
+                            at,
+                        );
                         if a.chain_dead {
                             a.chain_dead = false;
                             push(&mut heap, &mut seq, at, Ev::Fetch(id));
@@ -604,6 +620,11 @@ impl DownloadModule {
                             assignment.breaker_until = Some(reopen_at);
                             stats.breaker_trips += 1;
                             obs.breaker_open.inc();
+                            sp_run.event_at(
+                                Level::Warn,
+                                format!("circuit breaker opened (assignment {id})"),
+                                at,
+                            );
                             push(&mut heap, &mut seq, reopen_at, Ev::Fetch(id));
                         } else {
                             let delay = backoff_delay(
@@ -737,6 +758,8 @@ impl DownloadModule {
     /// Quarantine a poison entry onto the dead-letter list.
     pub fn dead_letter(&self, entry: impl Into<String>) {
         self.obs.counter("download.dead_letter").inc();
+        self.trace
+            .event(Level::Error, "entry quarantined to the dead-letter queue");
         self.kv.rpush(DEAD_LETTER_QUEUE, entry.into());
     }
 

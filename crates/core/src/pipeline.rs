@@ -21,12 +21,14 @@ use crate::behavior::BehaviorStream;
 use crate::download::{DownloadModule, DownloadStats, ThumbnailTask};
 use crate::imageproc::ImageProcessor;
 use crate::location::{LocationModule, LocationSource};
+use std::collections::BTreeSet;
 use std::collections::{BTreeMap, HashMap};
 use tero_geoparse::tags::TagObservation;
 use tero_geoparse::Gazetteer;
-use tero_obs::{Registry, Snapshot};
+use tero_obs::{CounterHandle, Registry, Snapshot};
 use tero_pool::Pool;
 use tero_store::{KvStore, ObjectStore};
+use tero_trace::{DropReason, Level, SampleKey, SampleState, TaskTrace, Tracer};
 use tero_types::{
     AnonId, GameId, LatencySample, Location, SimDuration, SimTime, StreamerId, TeroParams,
 };
@@ -81,6 +83,12 @@ pub struct Tero {
     /// available parallelism; `1` runs the exact sequential legacy path.
     /// The report is identical for every value — see `tests/determinism.rs`.
     pub worker_threads: usize,
+    /// The structured tracer (`tero-trace`). Span/event recording is off
+    /// by default — enable with `trace.set_enabled(true)` — but the
+    /// sample-provenance ledger underneath it is always on, so
+    /// [`tero_trace::Ledger::reconcile`] can audit any run. Trace output
+    /// is deterministic: identical for every `worker_threads` value.
+    pub trace: Tracer,
 }
 
 impl Default for Tero {
@@ -93,6 +101,7 @@ impl Default for Tero {
             reject_outside_clusters: false,
             obs: Registry::new(),
             worker_threads: tero_pool::default_workers(),
+            trace: Tracer::new(),
         }
     }
 }
@@ -172,6 +181,22 @@ impl Tero {
         let stage_analyze_us = self.obs.histogram("pipeline.stage.analyze_us");
         let stage_aggregate_us = self.obs.histogram("pipeline.stage.aggregate_us");
         let stage_behavior_us = self.obs.histogram("pipeline.stage.behavior_us");
+        // The provenance funnel: `ingested` counts every thumbnail task,
+        // `published` the samples that reached a distribution, and one
+        // counter per typed drop reason accounts for the rest. All thirteen
+        // are registered eagerly so the catalogue is complete on clean
+        // runs, and every one is provably equal to the ledger's books —
+        // see [`tero_trace::Ledger::reconcile`].
+        let f_ingested = self.obs.counter("pipeline.funnel.ingested");
+        let f_published = self.obs.counter("pipeline.funnel.published");
+        let f_dropped: Vec<CounterHandle> = DropReason::ALL
+            .iter()
+            .map(|r| self.obs.counter(r.metric_name()))
+            .collect();
+        self.trace.begin_run();
+        self.trace.instrument(&self.obs);
+        let ledger = self.trace.ledger();
+        let sp_run = self.trace.span("pipeline.run");
         let pool = Pool::with_metrics(self.worker_threads, &self.obs);
 
         let kv = KvStore::new();
@@ -182,11 +207,15 @@ impl Tero {
         // this registry and let it sabotage store writes too.
         if let Some(chaos) = world.chaos().cloned() {
             chaos.instrument(&self.obs);
+            // Injected faults journal themselves as trace events, so a
+            // flight-recorder dump shows *why* a window looks anomalous.
+            chaos.set_trace(&self.trace);
             kv.inject_faults(chaos.clone());
             objects.inject_faults(chaos);
         }
         let mut download = DownloadModule::new(kv.clone(), objects.clone());
         download.instrument(&self.obs);
+        download.set_trace(&self.trace);
         let horizon = world.horizon;
         let download_stats = download.run(world, SimTime::EPOCH, horizon);
         let tasks = download.drain_tasks();
@@ -202,19 +231,45 @@ impl Tero {
         let mut measurements: BTreeMap<(AnonId, GameId), Vec<LatencySample>> = BTreeMap::new();
         let mut usernames: HashMap<AnonId, StreamerId> = HashMap::new();
         let mut extracted = 0u64;
-        let outcomes: Vec<Option<CombineOutcome>> = {
+        let sp_extract = sp_run.child("stage.extract");
+        let extract_stage = self.trace.stage(&sp_extract, "extract.task");
+        let outcomes: Vec<(Option<CombineOutcome>, TaskTrace)> = {
             let _t = self.obs.stage_timer(&stage_extract_us);
             let world_ro: &World = world;
-            pool.par_map(&tasks, |task| match self.mode {
-                ExtractionMode::FullOcr => download
-                    .load_image(&task.object_key)
-                    .map(|image| processor.extract(&image, task.game_label)),
-                ExtractionMode::Calibrated => Some(calibrated_extract(world_ro, task)),
+            pool.par_map_indexed(&tasks, |i, task| {
+                let mut t = extract_stage.task(i as u64);
+                t.set_sim_time(task.generated_at);
+                let outcome = match self.mode {
+                    ExtractionMode::FullOcr => download
+                        .load_image(&task.object_key)
+                        .map(|image| processor.extract(&image, task.game_label)),
+                    ExtractionMode::Calibrated => Some(calibrated_extract(world_ro, task)),
+                };
+                match &outcome {
+                    None => t.event(Level::Error, "thumbnail missing or corrupt; dead-lettered"),
+                    Some(CombineOutcome::NoMeasurement) => {
+                        t.event(Level::Debug, "ocr: 2-of-3 vote failed, no measurement")
+                    }
+                    Some(CombineOutcome::Extracted { .. }) => {}
+                }
+                (outcome, t.finish())
             })
         };
-        for (task, outcome) in tasks.iter().zip(outcomes) {
+        let mut extract_traces = Vec::with_capacity(outcomes.len());
+        for (task, (outcome, trace)) in tasks.iter().zip(outcomes) {
+            extract_traces.push(trace);
             c_thumbs.inc();
             let anon = AnonId::from_streamer(&task.streamer, self.salt);
+            // Birth of a lineage record: every thumbnail task becomes a
+            // ledger entry that must later be published or dropped with a
+            // typed reason.
+            let key = SampleKey {
+                anon,
+                game: task.game_label,
+                at: task.generated_at,
+            };
+            ledger.ingest(key);
+            f_ingested.inc();
             usernames
                 .entry(anon)
                 .or_insert_with(|| task.streamer.clone());
@@ -222,6 +277,8 @@ impl Tero {
                 // Lost or corrupt object: quarantine the task so the
                 // failure stays auditable, and keep going.
                 c_images_missing.inc();
+                f_dropped[DropReason::DeadLetter.index()].inc();
+                ledger.resolve(&key, SampleState::Dropped(DropReason::DeadLetter));
                 download.dead_letter(task.encode());
                 continue;
             };
@@ -242,10 +299,15 @@ impl Tero {
                     .push(sample);
             } else {
                 c_no_measurement.inc();
+                f_dropped[DropReason::OcrUnreadable.index()].inc();
+                ledger.resolve(&key, SampleState::Dropped(DropReason::OcrUnreadable));
             }
         }
+        extract_stage.flush(extract_traces);
+        drop(sp_extract);
 
         // ---- Streams -----------------------------------------------------------
+        let sp_stitch = sp_run.child("stage.stitch");
         let _t_stitch = self.obs.stage_timer(&stage_stitch_us);
         let mut streams: BTreeMap<(AnonId, GameId), Vec<StreamSeries>> = BTreeMap::new();
         for ((anon, game), mut samples) in measurements {
@@ -275,6 +337,7 @@ impl Tero {
             streams.insert((anon, game), series);
         }
         drop(_t_stitch);
+        drop(sp_stitch);
 
         // ---- Location ----------------------------------------------------------
         // Profile lookups stay sequential: they advance the platform's
@@ -282,6 +345,7 @@ impl Tero {
         // Sorting by anonymised id pins that order — HashMap iteration
         // varies between processes, and with fault injection the call
         // order decides which lookups hit an injected 5xx.
+        let sp_locate = sp_run.child("stage.locate");
         let _t_locate = self.obs.stage_timer(&stage_locate_us);
         let location_module = LocationModule::new(&world.gaz);
         let mut locations: HashMap<AnonId, (Location, LocationSource)> = HashMap::new();
@@ -330,6 +394,7 @@ impl Tero {
         }
         c_located.add(locations.len() as u64);
         drop(_t_locate);
+        drop(sp_locate);
 
         // ---- Per-streamer analysis ----------------------------------------------
         // The cleaning + PELT changepoint fan-out: each `{streamer, game}`
@@ -338,20 +403,31 @@ impl Tero {
         let mut anomalies: BTreeMap<(AnonId, GameId), AnomalyReport> = BTreeMap::new();
         let mut classified: BTreeMap<(AnonId, GameId), ClassifiedStreamer> = BTreeMap::new();
         let stream_entries: Vec<(&(AnonId, GameId), &Vec<StreamSeries>)> = streams.iter().collect();
-        let analyzed: Vec<(AnomalyReport, ClassifiedStreamer)> = {
+        let sp_analyze = sp_run.child("stage.analyze");
+        let analyze_stage = self.trace.stage(&sp_analyze, "analyze.task");
+        let analyzed: Vec<((AnomalyReport, ClassifiedStreamer), TaskTrace)> = {
             let _t = self.obs.stage_timer(&stage_analyze_us);
-            pool.par_map(&stream_entries, |(key, series)| {
+            pool.par_map_indexed(&stream_entries, |i, (key, series)| {
+                let mut t = analyze_stage.task(i as u64);
+                if let Some(first) = series.first().and_then(|s| s.samples.first()) {
+                    t.set_sim_time(first.at);
+                }
                 let (anon, _game) = **key;
                 let mut segments: Vec<Segment> = Vec::new();
                 for (idx, s) in series.iter().enumerate() {
                     segments.extend(segment_stream(idx, &s.samples, &self.params));
                 }
                 let report = detect_anomalies(segments, &self.params);
+                if report.all_unstable {
+                    t.event(Level::Warn, "all segments unstable; streamer discarded");
+                }
                 let cls = classify_streamer(anon, &report, &self.params);
-                (report, cls)
+                ((report, cls), t.finish())
             })
         };
-        for ((key, _series), (report, cls)) in stream_entries.iter().zip(analyzed) {
+        let mut analyze_traces = Vec::with_capacity(analyzed.len());
+        for ((key, _series), ((report, cls), trace)) in stream_entries.iter().zip(analyzed) {
+            analyze_traces.push(trace);
             let (anon, game) = **key;
             a_segments.add(report.segments.len() as u64);
             a_spikes.add(report.spikes.len() as u64);
@@ -368,6 +444,8 @@ impl Tero {
             classified.insert((anon, game), cls);
             anomalies.insert((anon, game), report);
         }
+        analyze_stage.flush(analyze_traces);
+        drop(sp_analyze);
 
         // ---- Per-{region, game} aggregation --------------------------------------
         // Group located streamers at region granularity.
@@ -390,7 +468,13 @@ impl Tero {
         // only the classified/anomaly maps built above, so groups run on
         // the pool and the merge walks them in `BTreeMap` key order —
         // exactly the order the sequential loop published distributions.
+        let sp_aggregate = sp_run.child("stage.aggregate");
         let _t_aggregate = self.obs.stage_timer(&stage_aggregate_us);
+        // Per-member publication outcomes at each granularity, for the
+        // provenance pass below: a sample is published if its streamer
+        // contributed at either level.
+        let mut region_outcomes: BTreeMap<(AnonId, GameId), MemberOutcome> = BTreeMap::new();
+        let mut country_outcomes: BTreeMap<(AnonId, GameId), MemberOutcome> = BTreeMap::new();
         let group_entries: Vec<(&(String, GameId), &Vec<AnonId>)> = groups.iter().collect();
         let group_results: Vec<GroupAnalysis> = pool.par_map(&group_entries, |(key, members)| {
             self.analyze_group(
@@ -406,6 +490,9 @@ impl Tero {
         for ((key, _members), analysis) in group_entries.iter().zip(group_results) {
             for (anon, changes) in analysis.changes {
                 all_endpoint_changes.insert((anon, key.1), changes);
+            }
+            for (anon, outcome) in analysis.outcomes {
+                region_outcomes.insert((anon, key.1), outcome);
             }
             location_clusters.insert((key.0.clone(), key.1), analysis.clusters);
             if let Some(dist) = analysis.distribution {
@@ -439,14 +526,95 @@ impl Tero {
                     Granularity::Country,
                 )
             });
-        for analysis in country_results {
+        for ((key, _members), analysis) in country_entries.iter().zip(country_results) {
+            for (anon, outcome) in analysis.outcomes {
+                country_outcomes.insert((anon, key.1), outcome);
+            }
             if let Some(dist) = analysis.distribution {
                 distributions.push(dist);
             }
         }
         drop(_t_aggregate);
+        drop(sp_aggregate);
+
+        // ---- Sample provenance --------------------------------------------------
+        // Resolve every still-pending ledger record to its final fate,
+        // mirroring the publication rules of `analysis::distributions`:
+        // a clean sample is published iff its streamer is located,
+        // high-quality, the sample sits in a cluster the streamer
+        // publishes (all clusters when static, the top-weight cluster
+        // when mobile), and the streamer contributed — without a possible
+        // location change — to a group that cleared `min_streamers` at
+        // region or country granularity. Each failure along that chain is
+        // a typed [`DropReason`]; the funnel counters are bumped from the
+        // same decisions, which is what lets `Ledger::reconcile` prove
+        // the metrics and the ledger agree record-for-record.
+        let sp_prov = sp_run.child("stage.provenance");
+        for ((anon, game), report) in &anomalies {
+            let cls = classified.get(&(*anon, *game));
+            let (high_quality, is_static) = cls
+                .map(|c| (c.high_quality, c.is_static))
+                .unwrap_or((false, true));
+            let mut all_set: BTreeSet<u64> = BTreeSet::new();
+            let mut top_set: BTreeSet<u64> = BTreeSet::new();
+            if let Some(c) = cls {
+                for (ci, cluster) in c.clusters.iter().enumerate() {
+                    for s in &cluster.samples {
+                        all_set.insert(s.at.as_micros());
+                        if ci == 0 {
+                            top_set.insert(s.at.as_micros());
+                        }
+                    }
+                }
+            }
+            let located = locations.contains_key(anon);
+            let contributed = |m: &BTreeMap<(AnonId, GameId), MemberOutcome>, o| {
+                m.get(&(*anon, *game)) == Some(&o)
+            };
+            let published_somewhere = contributed(&region_outcomes, MemberOutcome::Contributor)
+                || contributed(&country_outcomes, MemberOutcome::Contributor);
+            let moved_somewhere = contributed(&region_outcomes, MemberOutcome::Mover)
+                || contributed(&country_outcomes, MemberOutcome::Mover);
+            for (segment, label) in report.segments.iter().zip(&report.labels) {
+                let segment_drop = match label {
+                    SegmentLabel::Spike => Some(DropReason::Spike),
+                    SegmentLabel::DiscardedGlitch => Some(DropReason::Glitch),
+                    SegmentLabel::Discarded => Some(DropReason::Unstable),
+                    _ => None,
+                };
+                for s in &segment.samples {
+                    let key = SampleKey {
+                        anon: *anon,
+                        game: *game,
+                        at: s.at,
+                    };
+                    let state = match segment_drop {
+                        Some(reason) => SampleState::Dropped(reason),
+                        None if !located => SampleState::Dropped(DropReason::GeoparseMiss),
+                        None if !high_quality => SampleState::Dropped(DropReason::LowQuality),
+                        None if !all_set.contains(&s.at.as_micros()) => {
+                            SampleState::Dropped(DropReason::NotClustered)
+                        }
+                        None if !is_static && !top_set.contains(&s.at.as_micros()) => {
+                            SampleState::Dropped(DropReason::MinWeight)
+                        }
+                        None if published_somewhere => SampleState::Published,
+                        None if moved_somewhere => SampleState::Dropped(DropReason::LocationChange),
+                        None => SampleState::Dropped(DropReason::GroupTooSmall),
+                    };
+                    match state {
+                        SampleState::Published => f_published.inc(),
+                        SampleState::Dropped(reason) => f_dropped[reason.index()].inc(),
+                        SampleState::Pending => unreachable!("provenance always resolves"),
+                    }
+                    ledger.resolve(&key, state);
+                }
+            }
+        }
+        drop(sp_prov);
 
         // ---- Behaviour preparation (§6) -------------------------------------------
+        let sp_behavior = sp_run.child("stage.behavior");
         let _t_behavior = self.obs.stage_timer(&stage_behavior_us);
         let mut behavior_streams = Vec::new();
         // Order every streamer's streams across games to detect game
@@ -500,6 +668,7 @@ impl Tero {
         }
 
         drop(_t_behavior);
+        drop(sp_behavior);
         a_dists.add(distributions.len() as u64);
         a_shared.add(shared_anomalies.len() as u64);
 
@@ -531,6 +700,22 @@ enum Granularity {
     Country,
 }
 
+/// How one member of a `{location, game}` group fared in the
+/// distribution-publication decision — the group-level input to the
+/// sample-provenance pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MemberOutcome {
+    /// Non-mover in a group that published a distribution: the member's
+    /// cluster samples are in the data-set (subject to the per-streamer
+    /// quality gates, which provenance checks separately).
+    Contributor,
+    /// Excluded for a possible location change (§3.3.3 step 4).
+    Mover,
+    /// The group published nothing — too few contributors, or no summary
+    /// statistics could be computed.
+    Withheld,
+}
+
 /// Everything the per-`{location, game}` aggregation derives from one
 /// group — produced on a pool worker, merged in group-key order.
 struct GroupAnalysis {
@@ -542,6 +727,8 @@ struct GroupAnalysis {
     distribution: Option<LocationDistribution>,
     /// Shared anomalies over the group (region granularity only).
     shared: Vec<SharedAnomaly>,
+    /// Per-member publication outcome, for the provenance ledger.
+    outcomes: Vec<(AnonId, MemberOutcome)>,
 }
 
 impl Tero {
@@ -647,11 +834,26 @@ impl Tero {
             Vec::new()
         };
 
+        let outcomes = members
+            .iter()
+            .map(|a| {
+                let outcome = if movers.contains(a) {
+                    MemberOutcome::Mover
+                } else if distribution.is_some() {
+                    MemberOutcome::Contributor
+                } else {
+                    MemberOutcome::Withheld
+                };
+                (*a, outcome)
+            })
+            .collect();
+
         GroupAnalysis {
             clusters,
             changes: all_changes,
             distribution,
             shared,
+            outcomes,
         }
     }
 }
@@ -962,6 +1164,38 @@ mod tests {
         // Timing is off by default: histograms registered but empty.
         let run_us = snap.histogram("pipeline.run_us").unwrap();
         assert_eq!(run_us.count, 0, "timing disabled by default");
+    }
+
+    #[test]
+    fn ledger_reconciles_with_funnel_counters() {
+        // The provenance pass must account for every ingested thumbnail
+        // in both extraction modes, and the ledger's books must match the
+        // pipeline.funnel.* counters exactly.
+        for mode in [ExtractionMode::Calibrated, ExtractionMode::FullOcr] {
+            let mut world = World::build(WorldConfig {
+                seed: 77,
+                n_streamers: 25,
+                days: 2,
+                ..WorldConfig::default()
+            });
+            let tero = Tero {
+                mode,
+                min_streamers: 2,
+                ..Tero::default()
+            };
+            let report = tero.run(&mut world);
+            let summary = tero
+                .trace
+                .ledger()
+                .reconcile(&tero.obs)
+                .expect("ledger reconciles");
+            assert_eq!(summary.ingested, report.thumbnails, "{mode:?}");
+            assert!(summary.ingested > 0, "{mode:?}");
+            assert!(
+                summary.published + summary.total_dropped() == summary.ingested,
+                "{mode:?}: every sample resolved"
+            );
+        }
     }
 
     #[test]

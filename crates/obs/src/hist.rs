@@ -1,4 +1,15 @@
 //! Log-bucketed histograms with interpolated percentiles.
+//!
+//! ## Bucket-boundary rounding
+//!
+//! Bucket 0 holds exactly the value `0`; bucket `i ≥ 1` holds the
+//! half-open range `[2^(i-1), 2^i)`. The boundaries round *up*: a value
+//! that is exactly a power of two is the **lower** bound of its bucket,
+//! so `1023` lands in bucket 10 (`[512, 1024)`) while `1024` starts
+//! bucket 11 (`[1024, 2048)`). Percentiles interpolate linearly by rank
+//! inside the containing bucket and are clamped to the observed
+//! `[min, max]`, which bounds the relative error by the bucket width (a
+//! factor of two) and makes single-valued histograms exact.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -92,12 +103,14 @@ impl Histogram {
     }
 
     /// The `p`-th percentile (0–100), linearly interpolated inside the
-    /// containing bucket and clamped to the observed min/max. Returns 0.0
-    /// when empty.
-    pub fn percentile(&self, p: f64) -> f64 {
+    /// containing bucket and clamped to the observed min/max. `None` when
+    /// the histogram is empty — a percentile of nothing is not `0`, and
+    /// conflating the two hid empty timing histograms behind legitimate
+    /// zero readings.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
         let total = self.count();
         if total == 0 {
-            return 0.0;
+            return None;
         }
         let p = p.clamp(0.0, 100.0);
         // Nearest-rank target (1-based), like tero-stats' exact percentile.
@@ -113,11 +126,11 @@ impl Histogram {
                 let (lo, hi) = bucket_bounds(i);
                 let into = (target - cumulative) as f64 / in_bucket as f64;
                 let est = lo as f64 + into * (hi - lo) as f64;
-                return est.clamp(self.min() as f64, self.max() as f64);
+                return Some(est.clamp(self.min() as f64, self.max() as f64));
             }
             cumulative += in_bucket;
         }
-        self.max() as f64
+        Some(self.max() as f64)
     }
 
     /// Bucket counts as `(lower_bound, count)` pairs for non-empty
@@ -178,7 +191,27 @@ mod tests {
         assert_eq!(h.count(), 0);
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
-        assert_eq!(h.percentile(50.0), 0.0);
+        // A percentile of nothing is None, never a fake 0.0.
+        for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), None, "p{p} of empty");
+        }
+    }
+
+    #[test]
+    fn single_observation_percentiles_are_exact() {
+        // One recorded value: every percentile is that value, including
+        // the rank-boundary cases p0 and p100.
+        let h = Histogram::new();
+        h.record(7);
+        assert_eq!(h.count(), 1);
+        assert_eq!((h.min(), h.max()), (7, 7));
+        for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), Some(7.0), "p{p}");
+        }
+        // A recorded zero is a real observation, distinct from empty.
+        let z = Histogram::new();
+        z.record(0);
+        assert_eq!(z.percentile(50.0), Some(0.0));
     }
 
     #[test]
@@ -189,12 +222,12 @@ mod tests {
         }
         // Exact p50 is 500; the estimate must land within the containing
         // power-of-two bucket [512, 1024) or the one below.
-        let p50 = h.percentile(50.0);
+        let p50 = h.percentile(50.0).unwrap();
         assert!((250.0..=1000.0).contains(&p50), "p50 {p50}");
-        let p99 = h.percentile(99.0);
+        let p99 = h.percentile(99.0).unwrap();
         assert!((500.0..=1000.0).contains(&p99), "p99 {p99}");
         // p100 == max exactly (clamped).
-        assert_eq!(h.percentile(100.0), 1000.0);
+        assert_eq!(h.percentile(100.0), Some(1000.0));
     }
 
     #[test]
@@ -204,8 +237,20 @@ mod tests {
             h.record(42);
         }
         for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
-            assert_eq!(h.percentile(p), 42.0, "p{p}");
+            assert_eq!(h.percentile(p), Some(42.0), "p{p}");
         }
+    }
+
+    #[test]
+    fn power_of_two_boundary_rounds_up() {
+        // The documented boundary rule: 2^k is the lower bound of bucket
+        // k+1, so 1023 and 1024 land in different buckets.
+        assert_eq!(Histogram::bucket_for(1023), 10);
+        assert_eq!(Histogram::bucket_for(1024), 11);
+        let h = Histogram::new();
+        h.record(1023);
+        h.record(1024);
+        assert_eq!(h.nonempty_buckets(), vec![(512, 1), (1024, 1)]);
     }
 
     #[test]

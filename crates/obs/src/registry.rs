@@ -163,9 +163,9 @@ impl Registry {
                 min: h.min(),
                 max: h.max(),
                 mean: h.mean(),
-                p50: h.percentile(50.0),
-                p95: h.percentile(95.0),
-                p99: h.percentile(99.0),
+                p50: h.percentile(50.0).unwrap_or(0.0),
+                p95: h.percentile(95.0).unwrap_or(0.0),
+                p99: h.percentile(99.0).unwrap_or(0.0),
             })
             .collect();
         Snapshot {
@@ -173,6 +173,38 @@ impl Registry {
             gauges,
             histograms,
         }
+    }
+
+    /// The change in every metric since `baseline` was taken: a snapshot
+    /// whose counter values, gauge levels and histogram count/sum are the
+    /// difference between now and the baseline. Metrics registered after
+    /// the baseline delta against zero. Distribution-shape fields
+    /// (histogram min/max/percentiles, gauge high-watermark) cannot be
+    /// recovered for a window from two point-in-time summaries, so the
+    /// delta carries their *current* values; a delta histogram's mean is
+    /// recomputed from the differenced count and sum.
+    pub fn delta_since(&self, baseline: &Snapshot) -> Snapshot {
+        let mut now = self.snapshot();
+        for c in &mut now.counters {
+            c.value = c
+                .value
+                .saturating_sub(baseline.counter(&c.name).unwrap_or(0));
+        }
+        for g in &mut now.gauges {
+            g.value -= baseline.gauge(&g.name).map(|b| b.value).unwrap_or(0);
+        }
+        for h in &mut now.histograms {
+            if let Some(b) = baseline.histogram(&h.name) {
+                h.count = h.count.saturating_sub(b.count);
+                h.sum = h.sum.saturating_sub(b.sum);
+            }
+            h.mean = if h.count == 0 {
+                0.0
+            } else {
+                h.sum as f64 / h.count as f64
+            };
+        }
+        now
     }
 }
 
@@ -206,6 +238,41 @@ mod tests {
         r.gauge("m.middle");
         r.histogram("a.first");
         assert_eq!(r.metric_names(), vec!["a.first", "m.middle", "z.last"]);
+    }
+
+    #[test]
+    fn delta_since_equals_snapshot_difference() {
+        let r = Registry::new();
+        r.counter("work.done").add(5);
+        r.gauge("queue.depth").set(9);
+        r.histogram("op.us").record(100);
+        let baseline = r.snapshot();
+
+        r.counter("work.done").add(3);
+        r.counter("work.late").add(2); // registered after the baseline
+        r.gauge("queue.depth").set(4);
+        r.histogram("op.us").record(50);
+        r.histogram("op.us").record(50);
+
+        let delta = r.delta_since(&baseline);
+        // Counters: difference of the two snapshots, field by field.
+        let after = r.snapshot();
+        assert_eq!(
+            delta.counter("work.done"),
+            Some(after.counter("work.done").unwrap() - baseline.counter("work.done").unwrap())
+        );
+        assert_eq!(delta.counter("work.done"), Some(3));
+        assert_eq!(delta.counter("work.late"), Some(2), "new metric vs zero");
+        // Gauges difference signed levels.
+        assert_eq!(delta.gauge("queue.depth").unwrap().value, -5);
+        // Histograms difference count/sum and recompute the mean.
+        let h = delta.histogram("op.us").unwrap();
+        assert_eq!((h.count, h.sum), (2, 100));
+        assert!((h.mean - 50.0).abs() < 1e-9);
+        // A delta against the latest snapshot is all zeros.
+        let zero = r.delta_since(&after);
+        assert!(zero.counters.iter().all(|c| c.value == 0));
+        assert!(zero.histograms.iter().all(|h| h.count == 0));
     }
 
     #[test]

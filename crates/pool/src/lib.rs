@@ -109,6 +109,19 @@ impl Pool {
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
+        self.par_map_indexed(items, |_, item| f(item))
+    }
+
+    /// Like [`Pool::par_map`], but `f` also receives each item's input
+    /// index — the hook tracing contexts use to stamp fan-out tasks with a
+    /// schedule-independent identity (`tero-trace` derives span ids from
+    /// the index, never from the worker that ran the task).
+    pub fn par_map_indexed<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
         let n = items.len();
         if let Some(obs) = &self.obs {
             obs.tasks.add(n as u64);
@@ -116,7 +129,11 @@ impl Pool {
         let workers = self.workers.min(n);
         if workers <= 1 {
             // Exact legacy path: same thread, same order, no machinery.
-            return items.iter().map(f).collect();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| f(i, item))
+                .collect();
         }
 
         // Carve the index space into contiguous chunks. Small chunks give
@@ -183,14 +200,14 @@ fn worker_loop<T, R, F>(
     obs: Option<&PoolObs>,
 ) -> Vec<(usize, R)>
 where
-    F: Fn(&T) -> R,
+    F: Fn(usize, &T) -> R,
 {
     let mut out = Vec::new();
     loop {
         // Own deque first (front: the oldest locally queued index).
         let next = deques[me].lock().pop_front();
         if let Some(i) = next {
-            out.push((i, f(&items[i])));
+            out.push((i, f(i, &items[i])));
             continue;
         }
         // Refill from the global injector.
@@ -250,6 +267,18 @@ mod tests {
                 expected,
                 "workers={workers}"
             );
+        }
+    }
+
+    #[test]
+    fn indexed_map_sees_input_indices() {
+        let items: Vec<u64> = (0..500).map(|x| x * 10).collect();
+        for workers in [1, 4, 8] {
+            let pool = Pool::new(workers);
+            let out = pool.par_map_indexed(&items, |i, &x| (i, x));
+            let expected: Vec<(usize, u64)> =
+                items.iter().enumerate().map(|(i, &x)| (i, x)).collect();
+            assert_eq!(out, expected, "workers={workers}");
         }
     }
 

@@ -1,0 +1,90 @@
+//! Trace explorer: run the pipeline with `tero-trace` recording on, write
+//! the Chrome trace-event JSON to disk, and print the text timeline plus
+//! the sample-provenance ledger.
+//!
+//! ```sh
+//! cargo run --release --example trace_explore            # defaults
+//! cargo run --release --example trace_explore -- 7 /tmp/tero-trace.json
+//! ```
+//!
+//! The first argument is the world seed, the second the output path for
+//! the Chrome trace. Both the JSON and the timeline are deterministic:
+//! for a fixed seed they are byte-identical across runs and across
+//! `worker_threads` values, which `scripts/ci.sh` checks by running this
+//! example twice and comparing the files. Load the JSON at
+//! <https://ui.perfetto.dev> (or `chrome://tracing`) to browse the spans.
+
+use tero::core::pipeline::{ExtractionMode, Tero};
+use tero::world::{World, WorldConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args
+        .next()
+        .map(|a| a.parse().expect("seed must be a u64"))
+        .unwrap_or(7);
+    let out_path = args
+        .next()
+        .unwrap_or_else(|| "target/trace_explore.json".to_string());
+
+    let mut world = World::build(WorldConfig {
+        seed,
+        n_streamers: 12,
+        days: 2,
+        ..WorldConfig::default()
+    });
+
+    // Calibrated extraction keeps the run fast; the span structure is the
+    // same as the full OCR path. Recording is off by default — flip it on
+    // before `run` or the exporters will have nothing to show.
+    let tero = Tero {
+        mode: ExtractionMode::Calibrated,
+        min_streamers: 2,
+        ..Tero::default()
+    };
+    tero.trace.set_enabled(true);
+    let report = tero.run(&mut world);
+
+    // The text timeline: every span indented under its parent, with the
+    // journal events beneath the span that emitted them. Large worlds
+    // produce one `extract.task[i]` span per thumbnail, so cap the dump.
+    let timeline = tero.trace.render_timeline();
+    const HEAD: usize = 48;
+    let total_lines = timeline.lines().count();
+    for line in timeline.lines().take(HEAD) {
+        println!("{line}");
+    }
+    if total_lines > HEAD {
+        println!("... ({} more timeline lines)", total_lines - HEAD);
+    }
+
+    // The provenance ledger: where every ingested sample ended up, proved
+    // consistent with the `pipeline.funnel.*` counters.
+    println!();
+    match tero.trace.ledger().reconcile(&tero.obs) {
+        Ok(summary) => print!("{}", summary.render_text()),
+        Err(err) => {
+            eprintln!("ledger reconcile FAILED: {err}");
+            std::process::exit(1);
+        }
+    }
+
+    // The Chrome trace, written to disk for Perfetto / chrome://tracing.
+    let json = tero.trace.chrome_trace();
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&out_path, &json).expect("write chrome trace");
+    // The path is run-specific, so it goes to stderr — stdout stays
+    // byte-identical across runs with the same seed (ci.sh checks this).
+    eprintln!(
+        "wrote {} bytes of Chrome trace-event JSON to {out_path}",
+        json.len()
+    );
+    println!();
+    println!(
+        "run summary: {} thumbnails, {} distributions published",
+        report.thumbnails,
+        report.distributions.len()
+    );
+}

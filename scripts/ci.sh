@@ -16,7 +16,23 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> cargo build --examples"
+cargo build --release --examples
+
 echo "==> cargo test"
 cargo test -q
+
+echo "==> trace determinism (trace_explore twice, byte-compare + JSON parse)"
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+cargo run --quiet --release --example trace_explore -- 7 "$trace_dir/a.json" > "$trace_dir/a.out"
+cargo run --quiet --release --example trace_explore -- 7 "$trace_dir/b.json" > "$trace_dir/b.out"
+cmp "$trace_dir/a.json" "$trace_dir/b.json" \
+  || { echo "FAIL: chrome trace differs across identical runs"; exit 1; }
+cmp "$trace_dir/a.out" "$trace_dir/b.out" \
+  || { echo "FAIL: trace_explore stdout differs across identical runs"; exit 1; }
+# The JSON must round-trip through the workspace's own serde_json.
+cargo test -q --test determinism chrome_trace_parses -- --exact >/dev/null \
+  || { echo "FAIL: chrome trace is not valid JSON"; exit 1; }
 
 echo "CI green."

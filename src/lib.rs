@@ -24,6 +24,7 @@
 //! | [`core`] | `tero-core` | the Tero pipeline itself |
 //! | [`chaos`] | `tero-chaos` | deterministic fault injection (API 5xx, CDN faults, crashes) |
 //! | [`pool`] | `tero-pool` | work-stealing thread pool with deterministic ordered results |
+//! | [`trace`] | `tero-trace` | structured tracing: spans, flight recorder, sample provenance |
 //!
 //! ## Quickstart
 //!
@@ -53,6 +54,7 @@ pub use tero_pool as pool;
 pub use tero_simnet as simnet;
 pub use tero_stats as stats;
 pub use tero_store as store;
+pub use tero_trace as trace;
 pub use tero_types as types;
 pub use tero_vision as vision;
 pub use tero_world as world;

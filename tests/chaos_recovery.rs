@@ -181,4 +181,18 @@ fn full_pipeline_survives_default_faults() {
     let snap = tero.metrics_snapshot();
     assert!(snap.counter("chaos.injected.api_5xx").unwrap_or(0) > 0);
     assert!(snap.counter("download.retries").unwrap_or(0) > 0);
+    // Even with faults dead-lettering thumbnails mid-flight, the ledger
+    // still conserves samples: everything ingested is either published or
+    // carries a typed drop reason, and the totals equal the counters.
+    let summary = tero
+        .trace
+        .ledger()
+        .reconcile(&tero.obs)
+        .expect("ledger reconciles under the default fault plan");
+    assert_eq!(summary.ingested, report.thumbnails);
+    assert_eq!(
+        summary.published + summary.total_dropped(),
+        summary.ingested,
+        "every sample is published or carries a typed drop reason"
+    );
 }

@@ -102,6 +102,55 @@ fn report_identical_across_worker_counts_under_chaos() {
     }
 }
 
+/// One traced run: the Chrome trace-event JSON and text timeline for a
+/// fixed seed at a given worker count.
+fn trace_once(workers: usize) -> (String, String) {
+    let mut world = World::build(WorldConfig {
+        seed: 4242,
+        n_streamers: 12,
+        days: 2,
+        ..WorldConfig::default()
+    });
+    let tero = Tero {
+        mode: ExtractionMode::Calibrated,
+        min_streamers: 2,
+        worker_threads: workers,
+        ..Tero::default()
+    };
+    tero.trace.set_enabled(true);
+    tero.run(&mut world);
+    (tero.trace.chrome_trace(), tero.trace.render_timeline())
+}
+
+#[test]
+fn chrome_trace_identical_across_worker_counts() {
+    // The tracer's contract: span ids, ticks and record order are logical,
+    // so the exported trace is *byte*-identical at every worker count.
+    let (ref_json, ref_text) = trace_once(1);
+    assert!(
+        ref_json.matches("extract.task").count() > 50,
+        "trace covers a real fan-out"
+    );
+    for workers in [2, 8] {
+        let (json, text) = trace_once(workers);
+        assert_eq!(json, ref_json, "chrome trace diverged at {workers} workers");
+        assert_eq!(text, ref_text, "timeline diverged at {workers} workers");
+    }
+}
+
+#[test]
+fn chrome_trace_parses() {
+    // The exporter hand-assembles its JSON; the workspace's own serde_json
+    // must accept it (this is also what Perfetto will parse).
+    let (json, _) = trace_once(2);
+    let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+    let events = parsed
+        .field("traceEvents")
+        .as_array()
+        .expect("traceEvents array");
+    assert!(events.len() > 100, "trace has real content");
+}
+
 #[test]
 fn same_seed_same_process_is_reproducible() {
     // Two full runs in one process (fresh worlds, fresh registries) —

@@ -47,6 +47,19 @@ fn full_ocr_pipeline_produces_consistent_report() {
         snap.counter("download.ttl_swept").unwrap_or(0) > 0,
         "expired TTL keys must be swept during the run"
     );
+    // The provenance ledger accounts for every ingested sample and its
+    // totals match the pipeline.funnel.* counters record-for-record.
+    let summary = tero
+        .trace
+        .ledger()
+        .reconcile(&tero.obs)
+        .expect("ledger reconciles with the funnel counters");
+    assert_eq!(summary.ingested, report.thumbnails);
+    assert_eq!(
+        summary.published + summary.total_dropped(),
+        summary.ingested,
+        "every sample is published or carries a typed drop reason"
+    );
 }
 
 #[test]

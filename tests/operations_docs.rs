@@ -134,3 +134,50 @@ fn documented_counters_move_during_a_run() {
     assert!(snap.counter("simnet.events").unwrap() > 0);
     assert_eq!(snap.counter("store.doc.writes"), Some(1));
 }
+
+#[test]
+fn trace_metrics_are_catalogued_and_consistent() {
+    // The tero-trace layer registers its metrics eagerly (even with span
+    // recording disabled), so every trace.* and pipeline.funnel.* name
+    // must be present after a run and have a catalogue row.
+    let registry = populated_registry();
+    let registered: BTreeSet<String> = registry.metric_names().into_iter().collect();
+    let documented = documented_names();
+    let fixed = [
+        "trace.spans",
+        "trace.events.trace",
+        "trace.events.debug",
+        "trace.events.info",
+        "trace.events.warn",
+        "trace.events.error",
+        "trace.ring.evicted",
+        "trace.export_bytes",
+        "pipeline.funnel.ingested",
+        "pipeline.funnel.published",
+    ];
+    let funnel_drops = tero::trace::DropReason::ALL.map(|r| r.metric_name());
+    for name in fixed.iter().copied().chain(funnel_drops.iter().copied()) {
+        assert!(registered.contains(name), "{name} not registered");
+        assert!(documented.contains(name), "{name} has no catalogue row");
+    }
+
+    // The funnel conserves samples: ingested = published + every typed
+    // drop, straight from the counters (the ledger proves the same
+    // equality record-by-record; see tests/end_to_end.rs).
+    let snap = registry.snapshot();
+    let ingested = snap.counter("pipeline.funnel.ingested").unwrap();
+    let published = snap.counter("pipeline.funnel.published").unwrap();
+    let dropped: u64 = funnel_drops.iter().map(|n| snap.counter(n).unwrap()).sum();
+    assert!(ingested > 0, "run ingested nothing");
+    assert_eq!(published + dropped, ingested, "funnel leaks samples");
+    assert_eq!(
+        snap.counter("pipeline.funnel.ingested"),
+        snap.counter("pipeline.thumbnails"),
+        "funnel ingestion mirrors the legacy thumbnail counter"
+    );
+    // Span recording stays off by default: the counters exist but are
+    // untouched until `Tracer::set_enabled(true)`.
+    assert_eq!(snap.counter("trace.spans"), Some(0));
+    assert_eq!(snap.counter("trace.ring.evicted"), Some(0));
+    assert_eq!(snap.counter("trace.export_bytes"), Some(0));
+}
