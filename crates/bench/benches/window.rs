@@ -1,0 +1,100 @@
+//! Windowed-execution overhead: what slicing a run into N windows costs
+//! over the single-shot path. Each window adds a store commit (cursor +
+//! counter + ledger-delta writes into the `engine:*` keys) and an extra
+//! ingest/extract stage invocation; the report is byte-identical either
+//! way, so the delta between these benches *is* the windowing overhead.
+//! The numbers feed docs/PERFORMANCE.md.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tero_core::pipeline::{ExtractionMode, Tero, WindowOutcome};
+use tero_types::{SimDuration, SimTime};
+use tero_world::{World, WorldConfig};
+
+fn build_world() -> World {
+    World::build(WorldConfig {
+        seed: 7,
+        n_streamers: 12,
+        days: 2,
+        ..WorldConfig::default()
+    })
+}
+
+fn build_tero() -> Tero {
+    Tero {
+        mode: ExtractionMode::Calibrated,
+        min_streamers: 2,
+        worker_threads: 2,
+        ..Tero::default()
+    }
+}
+
+fn bench_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("window");
+    group.sample_size(10);
+
+    // Baseline: the legacy single-shot path (one full-horizon window).
+    // World construction is included in every variant, so it cancels.
+    group.bench_function("single_shot", |b| {
+        b.iter(|| {
+            let mut world = build_world();
+            let tero = build_tero();
+            black_box(tero.run(&mut world).thumbnails)
+        })
+    });
+
+    for windows in [4u64, 16, 64] {
+        group.bench_function(BenchmarkId::new("windows", windows), |b| {
+            b.iter(|| {
+                let mut world = build_world();
+                let tero = build_tero();
+                let horizon = world.horizon;
+                let step = SimDuration::from_micros(horizon.as_micros().div_ceil(windows).max(1));
+                let mut to = SimTime::EPOCH + step;
+                let report = loop {
+                    match tero.run_window(&mut world, SimTime::EPOCH, to) {
+                        WindowOutcome::Complete(report) => break report,
+                        WindowOutcome::Advanced => to += step,
+                        WindowOutcome::Killed => unreachable!("no chaos installed"),
+                    }
+                };
+                black_box(report.thumbnails)
+            })
+        });
+    }
+
+    // The commit in isolation: after one real quarter-horizon window, 16
+    // one-second slivers each advance the cursor past (almost) no new
+    // data but still pay the full per-window cost — an ingest invocation,
+    // an extract invocation over an empty drain, and two store commits
+    // (cursor + counters + ledger delta + markers).
+    group.bench_function("near_empty_window_marginal_x16", |b| {
+        b.iter(|| {
+            let mut world = build_world();
+            let tero = build_tero();
+            let horizon = world.horizon;
+            let quarter = SimDuration::from_micros(horizon.as_micros() / 4);
+            let mut to = SimTime::EPOCH + quarter;
+            assert!(matches!(
+                tero.run_window(&mut world, SimTime::EPOCH, to),
+                WindowOutcome::Advanced
+            ));
+            for _ in 0..16 {
+                to += SimDuration::from_secs(1);
+                match tero.run_window(&mut world, SimTime::EPOCH, to) {
+                    WindowOutcome::Advanced => {}
+                    _ => unreachable!("bound is below the horizon"),
+                }
+            }
+            black_box(tero.engine_snapshot().is_some())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_window
+}
+criterion_main!(benches);

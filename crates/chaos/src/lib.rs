@@ -61,6 +61,16 @@ pub struct CrashWindow {
     pub until: SimTime,
 }
 
+/// One planned engine kill: the staged pipeline engine aborts the given
+/// window mid-flight — after the ingest stage has committed its cursor
+/// but before the extract stage runs — exactly once. The caller resumes
+/// the window from the persisted stage cursors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct EngineKill {
+    /// Zero-based index of the window to abort.
+    pub window: u64,
+}
+
 /// A fault a CDN fetch can suffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CdnFault {
@@ -99,6 +109,8 @@ pub struct FaultPlan {
     pub object_write_drop_rate: f64,
     /// Planned downloader crashes.
     pub crashes: Vec<CrashWindow>,
+    /// Planned staged-engine kills (each fires at most once).
+    pub engine_kills: Vec<EngineKill>,
 }
 
 impl FaultPlan {
@@ -113,6 +125,7 @@ impl FaultPlan {
             kv_write_drop_rate: 0.0,
             object_write_drop_rate: 0.0,
             crashes: Vec::new(),
+            engine_kills: Vec::new(),
         }
     }
 
@@ -134,6 +147,7 @@ impl FaultPlan {
                 at: SimTime::from_hours(6),
                 until: SimTime::from_hours(10),
             }],
+            engine_kills: Vec::new(),
         }
     }
 }
@@ -149,6 +163,7 @@ struct ChaosMetrics {
     kv_write_drop: CounterHandle,
     object_write_drop: CounterHandle,
     crash: CounterHandle,
+    engine_kill: CounterHandle,
 }
 
 struct Inner {
@@ -161,6 +176,9 @@ struct Inner {
     object_rng: Mutex<SimRng>,
     metrics: OnceLock<ChaosMetrics>,
     trace: OnceLock<Tracer>,
+    /// Window indices whose planned engine kill has already fired, so a
+    /// resumed window is not killed again.
+    fired_engine_kills: Mutex<Vec<u64>>,
 }
 
 /// The live injector: consulted by the world's API/CDN, the stores, and
@@ -185,6 +203,7 @@ impl ChaosInjector {
                 plan,
                 metrics: OnceLock::new(),
                 trace: OnceLock::new(),
+                fired_engine_kills: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -202,6 +221,7 @@ impl ChaosInjector {
             kv_write_drop: registry.counter("chaos.injected.kv_write_drop"),
             object_write_drop: registry.counter("chaos.injected.object_write_drop"),
             crash: registry.counter("chaos.injected.crash"),
+            engine_kill: registry.counter("chaos.injected.engine_kill"),
         });
     }
 
@@ -329,6 +349,33 @@ impl ChaosInjector {
             self.journal(Level::Error, "chaos: silently dropped object-store put");
         }
         hit
+    }
+
+    /// Should the engine abort `window` mid-flight? True exactly once per
+    /// planned [`EngineKill`]: the first check of a planned window fires
+    /// (and is counted under `chaos.injected.engine_kill`); the re-check
+    /// after the caller resumes does not, so resumed runs terminate.
+    pub fn engine_kill(&self, window: u64) -> bool {
+        if !self
+            .inner
+            .plan
+            .engine_kills
+            .iter()
+            .any(|k| k.window == window)
+        {
+            return false;
+        }
+        let mut fired = self.inner.fired_engine_kills.lock();
+        if fired.contains(&window) {
+            return false;
+        }
+        fired.push(window);
+        drop(fired);
+        if let Some(m) = self.inner.metrics.get() {
+            m.engine_kill.inc();
+        }
+        self.journal(Level::Error, "chaos: killed engine mid-window");
+        true
     }
 
     /// Record that a planned crash window activated (called by the
@@ -466,6 +513,23 @@ mod tests {
         );
         assert_eq!(events[0].level, Level::Warn);
         assert_eq!(events[1].level, Level::Error);
+    }
+
+    #[test]
+    fn engine_kill_fires_exactly_once_per_window() {
+        let registry = Registry::new();
+        let chaos = ChaosInjector::new(FaultPlan {
+            engine_kills: vec![EngineKill { window: 2 }],
+            ..FaultPlan::quiet(9)
+        });
+        chaos.instrument(&registry);
+        assert!(!chaos.engine_kill(0), "unplanned window is never killed");
+        assert!(chaos.engine_kill(2), "planned window is killed");
+        assert!(!chaos.engine_kill(2), "resumed window is not re-killed");
+        assert_eq!(
+            registry.snapshot().counter("chaos.injected.engine_kill"),
+            Some(1)
+        );
     }
 
     #[test]

@@ -33,7 +33,7 @@
 //! * **Poison queue entries** → quarantined onto the
 //!   `queue:thumbs:dead` dead-letter list instead of silently dropped.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use tero_obs::Registry;
@@ -123,7 +123,7 @@ impl ThumbnailTask {
 /// Statistics of one download run. With the same world seed and the same
 /// fault plan, two runs produce byte-identical stats (fault injection and
 /// recovery are fully deterministic).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DownloadStats {
     /// API polls issued.
     pub polls: u64,
@@ -150,7 +150,7 @@ pub struct DownloadStats {
     pub swept: u64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Assignment {
     url: String,
     streamer: StreamerId,
@@ -184,7 +184,7 @@ impl Assignment {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 enum Ev {
     Poll,
     Fetch(u32),     // assignment id
@@ -192,7 +192,7 @@ enum Ev {
     Recover(usize), // downloader index comes back
 }
 
-#[derive(PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 struct HeapEv(SimTime, u64, Ev);
 impl Ord for HeapEv {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
@@ -202,6 +202,160 @@ impl Ord for HeapEv {
 impl PartialOrd for HeapEv {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
+    }
+}
+
+/// Resumable state of a windowed download run.
+///
+/// A cursor pins the run's global bounds `[from, until]` and carries
+/// everything the event loop needs across windows: the pending event
+/// heap (with its sequence counter, so replayed pop order is exact), the
+/// assignment table, per-downloader load/busy/alive state, the retry-
+/// jitter RNG, and the cumulative [`DownloadStats`]. Driving it through
+/// [`DownloadModule::run_cursor`] over any increasing window schedule
+/// performs exactly the same world calls, in the same order, as a single
+/// full-range [`DownloadModule::run`].
+///
+/// Cursors serialize (`serde`) so the engine can persist one at each
+/// window commit and a fresh process can resume from the persisted copy.
+#[derive(Debug)]
+pub struct DownloadCursor {
+    from: SimTime,
+    until: SimTime,
+    /// Where the next window starts (trace span bookkeeping only).
+    window_start: SimTime,
+    initialized: bool,
+    heap: BinaryHeap<Reverse<HeapEv>>,
+    seq: u64,
+    assignments: HashMap<u32, Assignment>,
+    next_assignment_id: u32,
+    downloader_load: Vec<usize>,
+    downloader_busy_until: Vec<SimTime>,
+    downloader_alive: Vec<bool>,
+    retry_rng: SimRng,
+    poll_error_streak: u32,
+    stats: DownloadStats,
+}
+
+impl DownloadCursor {
+    /// A fresh cursor covering `[from, until]`. Worker vectors, the retry
+    /// RNG and the initial poll/crash events are installed lazily by the
+    /// first [`DownloadModule::run_cursor`] call (they depend on module
+    /// knobs).
+    pub fn new(from: SimTime, until: SimTime) -> DownloadCursor {
+        DownloadCursor {
+            from,
+            until,
+            window_start: from,
+            initialized: false,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            assignments: HashMap::new(),
+            next_assignment_id: 0,
+            downloader_load: Vec::new(),
+            downloader_busy_until: Vec::new(),
+            downloader_alive: Vec::new(),
+            retry_rng: SimRng::new(0),
+            poll_error_streak: 0,
+            stats: DownloadStats::default(),
+        }
+    }
+
+    /// Cumulative statistics across every window driven so far.
+    pub fn stats(&self) -> &DownloadStats {
+        &self.stats
+    }
+
+    /// The run's global bounds, `(from, until)`.
+    pub fn bounds(&self) -> (SimTime, SimTime) {
+        (self.from, self.until)
+    }
+
+    /// Whether every pending event has been processed (no work remains at
+    /// any window end).
+    pub fn is_drained(&self) -> bool {
+        self.initialized && self.heap.is_empty()
+    }
+}
+
+/// Serde mirror of [`DownloadCursor`]: the heap flattens to events sorted
+/// by `(time, seq)` and the assignment table to id-sorted pairs, so equal
+/// cursors serialize byte-identically.
+#[derive(Serialize, Deserialize)]
+struct CursorRepr {
+    from: SimTime,
+    until: SimTime,
+    window_start: SimTime,
+    initialized: bool,
+    events: Vec<(SimTime, u64, Ev)>,
+    seq: u64,
+    assignments: Vec<(u32, Assignment)>,
+    next_assignment_id: u32,
+    downloader_load: Vec<usize>,
+    downloader_busy_until: Vec<SimTime>,
+    downloader_alive: Vec<bool>,
+    retry_rng: SimRng,
+    poll_error_streak: u32,
+    stats: DownloadStats,
+}
+
+impl Serialize for DownloadCursor {
+    fn serialize(&self) -> serde::Value {
+        let mut events: Vec<(SimTime, u64, Ev)> = self
+            .heap
+            .iter()
+            .map(|Reverse(HeapEv(at, seq, ev))| (*at, *seq, *ev))
+            .collect();
+        events.sort_by_key(|&(at, seq, _)| (at, seq));
+        let mut assignments: Vec<(u32, Assignment)> = self
+            .assignments
+            .iter()
+            .map(|(id, a)| (*id, a.clone()))
+            .collect();
+        assignments.sort_by_key(|&(id, _)| id);
+        CursorRepr {
+            from: self.from,
+            until: self.until,
+            window_start: self.window_start,
+            initialized: self.initialized,
+            events,
+            seq: self.seq,
+            assignments,
+            next_assignment_id: self.next_assignment_id,
+            downloader_load: self.downloader_load.clone(),
+            downloader_busy_until: self.downloader_busy_until.clone(),
+            downloader_alive: self.downloader_alive.clone(),
+            retry_rng: self.retry_rng.clone(),
+            poll_error_streak: self.poll_error_streak,
+            stats: self.stats.clone(),
+        }
+        .serialize()
+    }
+}
+
+impl Deserialize for DownloadCursor {
+    fn deserialize(v: &serde::Value) -> Result<DownloadCursor, serde::Error> {
+        let repr = CursorRepr::deserialize(v)?;
+        Ok(DownloadCursor {
+            from: repr.from,
+            until: repr.until,
+            window_start: repr.window_start,
+            initialized: repr.initialized,
+            heap: repr
+                .events
+                .into_iter()
+                .map(|(at, seq, ev)| Reverse(HeapEv(at, seq, ev)))
+                .collect(),
+            seq: repr.seq,
+            assignments: repr.assignments.into_iter().collect(),
+            next_assignment_id: repr.next_assignment_id,
+            downloader_load: repr.downloader_load,
+            downloader_busy_until: repr.downloader_busy_until,
+            downloader_alive: repr.downloader_alive,
+            retry_rng: repr.retry_rng,
+            poll_error_streak: repr.poll_error_streak,
+            stats: repr.stats,
+        })
     }
 }
 
@@ -337,80 +491,120 @@ impl DownloadModule {
     /// Run the module against the world from `from` to `until` (logical
     /// time). Thumbnails land in the object store (bucket `thumbs`) and
     /// tasks on the KV list `queue:thumbs`.
+    ///
+    /// Implemented as one full-range window over a fresh
+    /// [`DownloadCursor`]; windowed callers drive
+    /// [`DownloadModule::run_cursor`] directly.
     pub fn run(&mut self, world: &mut World, from: SimTime, until: SimTime) -> DownloadStats {
+        let mut cursor = DownloadCursor::new(from, until);
+        self.run_cursor(world, &mut cursor, until);
+        cursor.stats
+    }
+
+    /// Advance `cursor` through every pending event at or before
+    /// `window_end` (clamped to the cursor's global `until` bound).
+    ///
+    /// The first call installs the initial poll, the planned crash
+    /// windows, and the `active:*` lease recovery exactly as a full run
+    /// would; later calls resume from the persisted heap. Driving one
+    /// cursor over any increasing schedule of window ends makes exactly
+    /// the same world calls in the same order as a single full-range
+    /// [`DownloadModule::run`], so stats, stores and metrics stay
+    /// byte-identical.
+    pub fn run_cursor(
+        &mut self,
+        world: &mut World,
+        cursor: &mut DownloadCursor,
+        window_end: SimTime,
+    ) {
+        let window_end = window_end.min(cursor.until);
         let obs = DownloadObs::resolve(&self.obs);
         let run_us = self.obs.histogram("download.run_us");
         let _run_timer = self.obs.stage_timer(&run_us);
-        let sp_run = self.trace.span_at("download.run", from);
-        let mut stats = DownloadStats::default();
-        let mut retry_rng = SimRng::new(self.retry_seed);
-        let mut heap: BinaryHeap<Reverse<HeapEv>> = BinaryHeap::new();
-        let mut seq = 0u64;
+        let sp_run = self.trace.span_at("download.run", cursor.window_start);
+        let from = cursor.from;
+        let until = cursor.until;
+        let chaos = world.chaos().cloned();
+        let init = !cursor.initialized;
+        if init {
+            cursor.initialized = true;
+            cursor.retry_rng = SimRng::new(self.retry_seed);
+            cursor.downloader_load = vec![0usize; self.downloaders.max(1)];
+            cursor.downloader_busy_until = vec![SimTime::EPOCH; self.downloaders.max(1)];
+            cursor.downloader_alive = vec![true; self.downloaders.max(1)];
+        }
+        let mut seq = cursor.seq;
+        let mut next_assignment_id = cursor.next_assignment_id;
+        let mut poll_error_streak = cursor.poll_error_streak;
+        let mut retry_rng = cursor.retry_rng.clone();
+        let mut stats = std::mem::take(&mut cursor.stats);
+        let heap = &mut cursor.heap;
+        let assignments = &mut cursor.assignments;
+        let downloader_load = &mut cursor.downloader_load;
+        let downloader_busy_until = &mut cursor.downloader_busy_until;
+        let downloader_alive = &mut cursor.downloader_alive;
         let push = |heap: &mut BinaryHeap<Reverse<HeapEv>>, seq: &mut u64, at: SimTime, ev: Ev| {
             *seq += 1;
             heap.push(Reverse(HeapEv(at, *seq, ev)));
         };
-        push(&mut heap, &mut seq, from, Ev::Poll);
 
-        let mut assignments: HashMap<u32, Assignment> = HashMap::new();
-        let mut next_assignment_id = 0u32;
-        let mut downloader_load = vec![0usize; self.downloaders.max(1)];
-        let mut downloader_busy_until = vec![SimTime::EPOCH; self.downloaders.max(1)];
-        let mut downloader_alive = vec![true; self.downloaders.max(1)];
+        if init {
+            push(heap, &mut seq, from, Ev::Poll);
 
-        // Planned crash windows come from the world's fault injector.
-        let chaos = world.chaos().cloned();
-        if let Some(chaos) = &chaos {
-            for w in chaos.crash_windows() {
-                if w.downloader >= downloader_alive.len() || w.until <= from || w.at >= until {
-                    continue;
+            // Planned crash windows come from the world's fault injector.
+            if let Some(chaos) = &chaos {
+                for w in chaos.crash_windows() {
+                    if w.downloader >= downloader_alive.len() || w.until <= from || w.at >= until {
+                        continue;
+                    }
+                    push(heap, &mut seq, w.at.max(from), Ev::Crash(w.downloader));
+                    push(heap, &mut seq, w.until, Ev::Recover(w.downloader));
                 }
-                push(&mut heap, &mut seq, w.at.max(from), Ev::Crash(w.downloader));
-                push(&mut heap, &mut seq, w.until, Ev::Recover(w.downloader));
+            }
+
+            // Drop leases that expired while the module was down, then
+            // rebuild the assignment table from the survivors.
+            stats.swept += self.kv.sweep_expired(from) as u64;
+
+            // Crash recovery (App. A/B): after a restart, the coordinator
+            // rebuilds its assignment table from the `active:*` keys
+            // persisted in the KV store, so streamers being tracked before
+            // the crash keep being downloaded without waiting for the next
+            // status change.
+            for key in self.kv.keys_with_prefix("active:") {
+                let Some(url) = self.kv.get(&key) else {
+                    continue;
+                };
+                let username = key.trim_start_matches("active:");
+                let streamer = StreamerId::new(username);
+                let game_label = self
+                    .kv
+                    .get(&format!("game:{username}"))
+                    .and_then(|slug| GameId::ALL.into_iter().find(|g| g.slug() == slug))
+                    .unwrap_or(GameId::LeagueOfLegends);
+                let d = (0..downloader_load.len())
+                    .min_by_key(|&i| downloader_load[i])
+                    .unwrap_or(0);
+                obs.assignments.inc();
+                if downloader_load[d] == 0 {
+                    obs.idle_steals.inc();
+                }
+                downloader_load[d] += 1;
+                obs.queue_depth.record(downloader_load[d] as u64);
+                obs.downloader_load.set(downloader_load[d] as i64);
+                let id = next_assignment_id;
+                next_assignment_id += 1;
+                assignments.insert(id, Assignment::new(url, streamer, game_label, d));
+                push(heap, &mut seq, from, Ev::Fetch(id));
             }
         }
 
-        // Drop leases that expired while the module was down, then rebuild
-        // the assignment table from the survivors.
-        stats.swept += self.kv.sweep_expired(from) as u64;
-
-        // Crash recovery (App. A/B): after a restart, the coordinator
-        // rebuilds its assignment table from the `active:*` keys persisted
-        // in the KV store, so streamers being tracked before the crash keep
-        // being downloaded without waiting for the next status change.
-        for key in self.kv.keys_with_prefix("active:") {
-            let Some(url) = self.kv.get(&key) else {
-                continue;
-            };
-            let username = key.trim_start_matches("active:");
-            let streamer = StreamerId::new(username);
-            let game_label = self
-                .kv
-                .get(&format!("game:{username}"))
-                .and_then(|slug| GameId::ALL.into_iter().find(|g| g.slug() == slug))
-                .unwrap_or(GameId::LeagueOfLegends);
-            let d = (0..downloader_load.len())
-                .min_by_key(|&i| downloader_load[i])
-                .unwrap_or(0);
-            obs.assignments.inc();
-            if downloader_load[d] == 0 {
-                obs.idle_steals.inc();
+        loop {
+            match heap.peek() {
+                Some(Reverse(HeapEv(at, _, _))) if *at <= window_end => {}
+                _ => break,
             }
-            downloader_load[d] += 1;
-            obs.queue_depth.record(downloader_load[d] as u64);
-            obs.downloader_load.set(downloader_load[d] as i64);
-            let id = next_assignment_id;
-            next_assignment_id += 1;
-            assignments.insert(id, Assignment::new(url, streamer, game_label, d));
-            push(&mut heap, &mut seq, from, Ev::Fetch(id));
-        }
-
-        let mut poll_error_streak = 0u32;
-
-        while let Some(Reverse(HeapEv(at, _, ev))) = heap.pop() {
-            if at > until {
-                break;
-            }
+            let Reverse(HeapEv(at, _, ev)) = heap.pop().expect("peeked above");
             match ev {
                 Ev::Poll => {
                     // Expire lapsed TTL keys (`active:*` leases, offline
@@ -451,7 +645,7 @@ impl DownloadModule {
                         );
                         if a.chain_dead {
                             a.chain_dead = false;
-                            push(&mut heap, &mut seq, at, Ev::Fetch(id));
+                            push(heap, &mut seq, at, Ev::Fetch(id));
                         }
                     }
 
@@ -507,13 +701,13 @@ impl DownloadModule {
                                         d,
                                     ),
                                 );
-                                push(&mut heap, &mut seq, at, Ev::Fetch(id));
+                                push(heap, &mut seq, at, Ev::Fetch(id));
                             }
                         }
                         Err(ApiError::RateLimited(limited)) => {
                             stats.rate_limited += 1;
                             obs.rate_limited.inc();
-                            push(&mut heap, &mut seq, limited.retry_at, Ev::Poll);
+                            push(heap, &mut seq, limited.retry_at, Ev::Poll);
                             continue;
                         }
                         Err(ApiError::ServerError) => {
@@ -529,17 +723,17 @@ impl DownloadModule {
                                 stats.retries += 1;
                                 obs.retries.inc();
                                 obs.backoff_us.record(delay.as_micros());
-                                push(&mut heap, &mut seq, at + delay, Ev::Poll);
+                                push(heap, &mut seq, at + delay, Ev::Poll);
                             } else {
                                 // Give up on this round; resume the regular
                                 // poll cadence.
                                 poll_error_streak = 0;
-                                push(&mut heap, &mut seq, at + self.poll_interval, Ev::Poll);
+                                push(heap, &mut seq, at + self.poll_interval, Ev::Poll);
                             }
                             continue;
                         }
                     }
-                    push(&mut heap, &mut seq, at + self.poll_interval, Ev::Poll);
+                    push(heap, &mut seq, at + self.poll_interval, Ev::Poll);
                 }
                 Ev::Crash(d) => {
                     downloader_alive[d] = false;
@@ -588,7 +782,7 @@ impl DownloadModule {
                     if downloader_busy_until[d] > at {
                         let retry = downloader_busy_until[d];
                         obs.fetch_deferred.inc();
-                        push(&mut heap, &mut seq, retry, Ev::Fetch(id));
+                        push(heap, &mut seq, retry, Ev::Fetch(id));
                         continue;
                     }
                     downloader_busy_until[d] = at + self.fetch_cost;
@@ -625,7 +819,7 @@ impl DownloadModule {
                                 format!("circuit breaker opened (assignment {id})"),
                                 at,
                             );
-                            push(&mut heap, &mut seq, reopen_at, Ev::Fetch(id));
+                            push(heap, &mut seq, reopen_at, Ev::Fetch(id));
                         } else {
                             let delay = backoff_delay(
                                 self.backoff_base,
@@ -635,7 +829,7 @@ impl DownloadModule {
                             stats.retries += 1;
                             obs.retries.inc();
                             obs.backoff_us.record(delay.as_micros());
-                            push(&mut heap, &mut seq, at + delay, Ev::Fetch(id));
+                            push(heap, &mut seq, at + delay, Ev::Fetch(id));
                         }
                         continue;
                     }
@@ -653,7 +847,7 @@ impl DownloadModule {
                                     // Same content; try again shortly.
                                     obs.same_content.inc();
                                     push(
-                                        &mut heap,
+                                        heap,
                                         &mut seq,
                                         at + SimDuration::from_secs(30),
                                         Ev::Fetch(id),
@@ -701,7 +895,7 @@ impl DownloadModule {
                                 .map(|t| t + SimDuration::from_secs(5))
                                 .unwrap_or(at + SimDuration::from_mins(5));
                             push(
-                                &mut heap,
+                                heap,
                                 &mut seq,
                                 next.max(at + self.fetch_cost),
                                 Ev::Fetch(id),
@@ -734,7 +928,12 @@ impl DownloadModule {
                 }
             }
         }
-        stats
+        cursor.seq = seq;
+        cursor.next_assignment_id = next_assignment_id;
+        cursor.poll_error_streak = poll_error_streak;
+        cursor.retry_rng = retry_rng;
+        cursor.stats = stats;
+        cursor.window_start = window_end;
     }
 
     /// Decode and drain every queued thumbnail task. Undecodable entries
@@ -1056,6 +1255,86 @@ mod tests {
         assert!(
             two_phase as f64 > uninterrupted as f64 * 0.9,
             "recovery lost too much: {two_phase} vs {uninterrupted}"
+        );
+    }
+
+    #[test]
+    fn windowed_cursor_matches_single_shot() {
+        // One cursor driven over many windows must make exactly the same
+        // world calls as one full-range run(): stats, object store and
+        // queue contents all byte-identical.
+        let single = {
+            let mut world = small_world();
+            let kv = KvStore::new();
+            let objects = ObjectStore::new();
+            let mut module = DownloadModule::new(kv.clone(), objects.clone());
+            let horizon = world.horizon;
+            let stats = module.run(&mut world, SimTime::EPOCH, horizon);
+            (stats, kv.snapshot(), objects.snapshot())
+        };
+        let windowed = {
+            let mut world = small_world();
+            let kv = KvStore::new();
+            let objects = ObjectStore::new();
+            let mut module = DownloadModule::new(kv.clone(), objects.clone());
+            let horizon = world.horizon;
+            let mut cursor = DownloadCursor::new(SimTime::EPOCH, horizon);
+            let step = SimDuration::from_hours(5);
+            let mut end = SimTime::EPOCH + step;
+            loop {
+                module.run_cursor(&mut world, &mut cursor, end);
+                if end >= horizon {
+                    break;
+                }
+                end = (end + step).min(horizon);
+            }
+            (cursor.stats.clone(), kv.snapshot(), objects.snapshot())
+        };
+        assert_eq!(
+            serde_json::to_string(&single.0).unwrap(),
+            serde_json::to_string(&windowed.0).unwrap()
+        );
+        assert_eq!(
+            serde_json::to_string(&single.1).unwrap(),
+            serde_json::to_string(&windowed.1).unwrap()
+        );
+        assert_eq!(
+            serde_json::to_string(&single.2).unwrap(),
+            serde_json::to_string(&windowed.2).unwrap()
+        );
+    }
+
+    #[test]
+    fn cursor_serde_roundtrip_resumes_identically() {
+        // Persist the cursor mid-run, resurrect it from JSON, and finish:
+        // the result must equal an uninterrupted run over the same stores.
+        let horizon = small_world().horizon;
+        let half = SimTime::from_micros(horizon.as_micros() / 2);
+        let direct = {
+            let mut world = small_world();
+            let mut module = DownloadModule::new(KvStore::new(), ObjectStore::new());
+            module.run(&mut world, SimTime::EPOCH, horizon)
+        };
+        let resumed = {
+            let mut world = small_world();
+            let kv = KvStore::new();
+            let objects = ObjectStore::new();
+            let mut module = DownloadModule::new(kv.clone(), objects.clone());
+            let mut cursor = DownloadCursor::new(SimTime::EPOCH, horizon);
+            module.run_cursor(&mut world, &mut cursor, half);
+            let json = serde_json::to_string(&cursor).unwrap();
+            drop(cursor); // the crash: in-memory cursor state is lost
+            let mut revived: DownloadCursor = serde_json::from_str(&json).unwrap();
+            // The revived cursor serializes back to the same bytes.
+            assert_eq!(serde_json::to_string(&revived).unwrap(), json);
+            assert_eq!(revived.bounds(), (SimTime::EPOCH, horizon));
+            let mut module2 = DownloadModule::new(kv, objects);
+            module2.run_cursor(&mut world, &mut revived, horizon);
+            revived.stats.clone()
+        };
+        assert_eq!(
+            serde_json::to_string(&direct).unwrap(),
+            serde_json::to_string(&resumed).unwrap()
         );
     }
 

@@ -1,0 +1,392 @@
+//! The staged execution engine: owns the run-scoped wiring (stores, pool,
+//! tracer spans, chaos hookup) once, and drives the [`crate::stages`]
+//! either as a single full-horizon window or incrementally.
+//!
+//! # Windowed execution and crash recovery
+//!
+//! The engine processes `[from, horizon]` as a sequence of windows. The
+//! ingest and extract stages advance per window; stitch, locate, clean and
+//! publish are *finalize* stages that run once when a window reaches the
+//! horizon, because their outputs depend on the complete timeline (stream
+//! splitting needs the next sample, profile lookups thread rate-limiter
+//! state). After every per-window stage the engine **commits**: the
+//! download cursor, the funnel ledger delta, every counter, and the
+//! engine's own progress markers are written under the chaos-exempt
+//! `engine:` key prefix. A run killed mid-window (see
+//! [`tero_chaos::EngineKill`]) can therefore be resumed — in-process or
+//! from a [`StoreSnapshot`] in a fresh [`Tero`] — without re-ingesting or
+//! double-counting anything: resumption replays the committed state and
+//! re-runs only the work after the last commit.
+
+use crate::download::{DownloadCursor, DownloadModule};
+use crate::pipeline::{PipelineMetrics, Tero, TeroReport, WindowOutcome};
+use crate::stages::clean::CleanStage;
+use crate::stages::extract::ExtractStage;
+use crate::stages::ingest::IngestStage;
+use crate::stages::locate::LocateStage;
+use crate::stages::publish::{PublishInput, PublishStage};
+use crate::stages::stitch::StitchStage;
+use crate::stages::{Stage, StageCx};
+use serde::{Deserialize, Serialize};
+use tero_obs::Registry;
+use tero_pool::Pool;
+use tero_store::{KvSnapshot, KvStore, ObjectSnapshot, ObjectStore};
+use tero_trace::{DropReason, SampleKey, SampleState, SpanGuard};
+use tero_types::{AnonId, GameId, SimTime};
+use tero_world::World;
+
+/// KV key holding the serialised [`DownloadCursor`].
+const CURSOR_KEY: &str = "engine:download_cursor";
+/// KV hash holding the engine's own progress markers.
+const ENGINE_KEY: &str = "engine:cursor";
+/// KV hash holding every counter value at the last commit.
+const COUNTERS_KEY: &str = "engine:counters";
+/// KV list holding the committed ledger records, in ingest order.
+const LEDGER_KEY: &str = "engine:ledger";
+
+/// A portable snapshot of the engine's stores, for resuming a killed run
+/// in a fresh process (the in-memory analogue of Redis persistence plus
+/// an S3 bucket listing).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StoreSnapshot {
+    /// The KV store: queues, leases, and all committed `engine:` state.
+    pub kv: KvSnapshot,
+    /// The object store: thumbnail blobs not yet consumed.
+    pub objects: ObjectSnapshot,
+}
+
+/// The staged engine for one run. Created lazily by the first
+/// [`Tero::run_window`] call and dropped when the run completes.
+pub struct Engine {
+    kv: KvStore,
+    objects: ObjectStore,
+    pool: Pool,
+    /// Store-facing I/O view shared by the non-ingest stages.
+    io: DownloadModule,
+    sp_run: SpanGuard,
+    metrics: PipelineMetrics,
+    ingest: IngestStage,
+    extract: ExtractStage,
+    stitch: StitchStage,
+    locate: LocateStage,
+    clean: CleanStage,
+    publish: PublishStage,
+    /// Index of the window currently being processed (0-based).
+    window_index: u64,
+    /// High-water mark of completed ingest work.
+    ingested_to: Option<SimTime>,
+    /// High-water mark of completed extract work.
+    extracted_to: Option<SimTime>,
+    horizon: SimTime,
+    /// Ledger records already written to `engine:ledger`.
+    ledger_committed: usize,
+}
+
+impl Engine {
+    /// Wire up a fresh engine: stores, pool, chaos, tracer — everything
+    /// the legacy `run()` preamble did, done once per run.
+    pub fn new(tero: &Tero, world: &World, from: SimTime) -> Engine {
+        let metrics = tero.metrics_for_run();
+        tero.trace.begin_run();
+        tero.trace.instrument(&tero.obs);
+        let sp_run = tero.trace.span("pipeline.run");
+        let pool = Pool::with_metrics(tero.worker_threads, &tero.obs);
+        let kv = KvStore::new();
+        let objects = ObjectStore::new();
+        kv.instrument(&tero.obs);
+        objects.instrument(&tero.obs);
+        // If the world carries a fault injector, surface its counters in
+        // this registry and let it sabotage store writes too.
+        if let Some(chaos) = world.chaos().cloned() {
+            chaos.instrument(&tero.obs);
+            // Injected faults journal themselves as trace events, so a
+            // flight-recorder dump shows *why* a window looks anomalous.
+            chaos.set_trace(&tero.trace);
+            kv.inject_faults(chaos.clone());
+            objects.inject_faults(chaos);
+        }
+        let mut download = DownloadModule::new(kv.clone(), objects.clone());
+        download.instrument(&tero.obs);
+        download.set_trace(&tero.trace);
+        let mut io = DownloadModule::new(kv.clone(), objects.clone());
+        io.instrument(&tero.obs);
+        io.set_trace(&tero.trace);
+        let horizon = world.horizon;
+        Engine {
+            pool,
+            io,
+            sp_run,
+            extract: ExtractStage::new(&tero.obs),
+            ingest: IngestStage::new(download, from, horizon),
+            stitch: StitchStage,
+            locate: LocateStage,
+            clean: CleanStage,
+            publish: PublishStage,
+            metrics,
+            kv,
+            objects,
+            window_index: 0,
+            ingested_to: None,
+            extracted_to: None,
+            horizon,
+            ledger_committed: 0,
+        }
+    }
+
+    /// Rebuild an engine from a [`StoreSnapshot`] taken after a kill:
+    /// restore the stores, replay the committed counters and ledger, and
+    /// deserialise the download cursor and progress markers.
+    pub fn restore(tero: &Tero, world: &World, snap: &StoreSnapshot) -> Engine {
+        let mut engine = Engine::new(tero, world, SimTime::EPOCH);
+        engine.kv.restore(&snap.kv);
+        engine.objects.restore(&snap.objects);
+        // Counters are monotonic, so a fresh registry catches up by adding
+        // each committed value. (Histograms hold only summary snapshots
+        // and are not restorable; every cross-run comparison uses
+        // counters, the funnel, and the report.)
+        let mut counters: Vec<(String, u64)> = engine
+            .kv
+            .hgetall(COUNTERS_KEY)
+            .into_iter()
+            .filter_map(|(name, v)| Some((name, v.parse().ok()?)))
+            .collect();
+        counters.sort_unstable();
+        for (name, value) in counters {
+            tero.obs.counter(&name).add(value);
+        }
+        // Replay the ledger: every committed record is re-ingested in its
+        // original FIFO order, and resolved records resolve immediately.
+        let records = engine.kv.lpop_batch(LEDGER_KEY, engine.kv.llen(LEDGER_KEY));
+        engine.kv.rpush_batch(LEDGER_KEY, records.iter().cloned());
+        let ledger = tero.trace.ledger();
+        for raw in &records {
+            let Some((key, state)) = decode_ledger_record(raw) else {
+                continue;
+            };
+            ledger.ingest(key);
+            if state != SampleState::Pending {
+                ledger.resolve(&key, state);
+            }
+        }
+        engine.ledger_committed = records.len();
+        if let Some(cursor) = engine
+            .kv
+            .get(CURSOR_KEY)
+            .and_then(|raw| serde_json::from_str::<DownloadCursor>(&raw).ok())
+        {
+            engine.ingest.cursor = cursor;
+        }
+        let markers = engine.kv.hgetall(ENGINE_KEY);
+        let read = |field: &str| markers.get(field).and_then(|v| v.parse::<u64>().ok());
+        engine.window_index = read("window_index").unwrap_or(0);
+        engine.ingested_to = read("ingested_to").map(SimTime::from_micros);
+        engine.extracted_to = read("extracted_to").map(SimTime::from_micros);
+        engine.extract.tasks_processed = read("tasks_processed").unwrap_or(0);
+        engine.extract.extracted = read("extracted").unwrap_or(0);
+        engine.metrics.window_resumed.inc();
+        engine
+    }
+
+    /// Advance the run to `to` (clamped to the horizon): run the
+    /// per-window stages with a commit after each, honour any scheduled
+    /// [`tero_chaos::EngineKill`], and finalize when the horizon is
+    /// reached.
+    pub fn run_window(&mut self, tero: &Tero, world: &mut World, to: SimTime) -> WindowOutcome {
+        let to = to.min(self.horizon);
+        if self.ingested_to.is_none_or(|t| t < to) {
+            let mut cx = StageCx {
+                tero,
+                world,
+                pool: &self.pool,
+                kv: &self.kv,
+                objects: &self.objects,
+                io: &self.io,
+                metrics: &self.metrics,
+                sp_run: &self.sp_run,
+            };
+            self.ingest.run(&mut cx, to);
+            self.ingested_to = Some(to);
+            self.commit(tero);
+        }
+        // The scheduled kill fires between the ingest commit and the
+        // extract stage — the worst case for double-counting, since the
+        // queued tasks are committed but not yet drained.
+        if world
+            .chaos()
+            .is_some_and(|c| c.engine_kill(self.window_index))
+        {
+            self.metrics.window_killed.inc();
+            return WindowOutcome::Killed;
+        }
+        if self.extracted_to.is_none_or(|t| t < to) {
+            let mut cx = StageCx {
+                tero,
+                world,
+                pool: &self.pool,
+                kv: &self.kv,
+                objects: &self.objects,
+                io: &self.io,
+                metrics: &self.metrics,
+                sp_run: &self.sp_run,
+            };
+            self.extract.run(&mut cx, ());
+            self.extracted_to = Some(to);
+            self.commit(tero);
+        }
+        self.window_index += 1;
+        self.metrics.window_runs.inc();
+        if to >= self.horizon {
+            WindowOutcome::Complete(self.finalize(tero, world))
+        } else {
+            WindowOutcome::Advanced
+        }
+    }
+
+    /// Persist everything needed to resume after this point: the download
+    /// cursor, the counter values, the ledger delta, and the progress
+    /// markers. All under `engine:` keys, which chaos never drops.
+    fn commit(&mut self, tero: &Tero) {
+        self.kv.set(
+            CURSOR_KEY,
+            serde_json::to_string(&self.ingest.cursor).expect("cursor serialises"),
+        );
+        for c in tero.obs.snapshot().counters {
+            self.kv.hset(COUNTERS_KEY, &c.name, c.value.to_string());
+        }
+        let records = tero.trace.ledger().records();
+        if records.len() > self.ledger_committed {
+            self.kv.rpush_batch(
+                LEDGER_KEY,
+                records[self.ledger_committed..]
+                    .iter()
+                    .map(|(k, s)| encode_ledger_record(k, s)),
+            );
+            self.ledger_committed = records.len();
+        }
+        self.kv
+            .hset(ENGINE_KEY, "window_index", self.window_index.to_string());
+        if let Some(t) = self.ingested_to {
+            self.kv
+                .hset(ENGINE_KEY, "ingested_to", t.as_micros().to_string());
+        }
+        if let Some(t) = self.extracted_to {
+            self.kv
+                .hset(ENGINE_KEY, "extracted_to", t.as_micros().to_string());
+        }
+        self.kv.hset(
+            ENGINE_KEY,
+            "tasks_processed",
+            self.extract.tasks_processed.to_string(),
+        );
+        self.kv
+            .hset(ENGINE_KEY, "extracted", self.extract.extracted.to_string());
+        self.metrics.window_commits.inc();
+    }
+
+    /// A portable snapshot of the stores for cross-process resume.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        StoreSnapshot {
+            kv: self.kv.snapshot(),
+            objects: self.objects.snapshot(),
+        }
+    }
+
+    /// Run the finalize stages — stitch, locate, clean, publish — and
+    /// assemble the report. Called once, when a window reaches the horizon.
+    fn finalize(&mut self, tero: &Tero, world: &mut World) -> TeroReport {
+        let horizon = self.horizon;
+        let mut cx = StageCx {
+            tero,
+            world,
+            pool: &self.pool,
+            kv: &self.kv,
+            objects: &self.objects,
+            io: &self.io,
+            metrics: &self.metrics,
+            sp_run: &self.sp_run,
+        };
+        let streams = self.stitch.run(&mut cx, ());
+        let located = self.locate.run(&mut cx, horizon);
+        let cleaned = self.clean.run(&mut cx, streams);
+        self.publish.run(
+            &mut cx,
+            PublishInput {
+                cleaned,
+                located,
+                download: self.ingest.stats().clone(),
+                thumbnails: self.extract.tasks_processed,
+                extracted: self.extract.extracted,
+            },
+        )
+    }
+
+    /// The metric registry this engine records into (for assertions).
+    pub fn registry(&self) -> &Registry {
+        self.metrics.registry()
+    }
+}
+
+/// Wire encoding of one ledger record:
+/// `{anon:016x}|{game_idx:02}|{at_micros}|{state}` with state `?`
+/// (pending), `P` (published) or `D{drop_reason_idx}`.
+fn encode_ledger_record(key: &SampleKey, state: &SampleState) -> String {
+    let game_idx = GameId::ALL
+        .iter()
+        .position(|g| *g == key.game)
+        .expect("every GameId is in GameId::ALL");
+    let state = match state {
+        SampleState::Pending => "?".to_string(),
+        SampleState::Published => "P".to_string(),
+        SampleState::Dropped(reason) => format!("D{}", reason.index()),
+    };
+    format!(
+        "{:016x}|{game_idx:02}|{}|{state}",
+        key.anon.0,
+        key.at.as_micros()
+    )
+}
+
+/// Decode an [`encode_ledger_record`] string.
+fn decode_ledger_record(raw: &str) -> Option<(SampleKey, SampleState)> {
+    let mut parts = raw.split('|');
+    let anon = AnonId(u64::from_str_radix(parts.next()?, 16).ok()?);
+    let game = *GameId::ALL.get(parts.next()?.parse::<usize>().ok()?)?;
+    let at = SimTime::from_micros(parts.next()?.parse().ok()?);
+    let state = match parts.next()? {
+        "?" => SampleState::Pending,
+        "P" => SampleState::Published,
+        s => {
+            let idx: usize = s.strip_prefix('D')?.parse().ok()?;
+            SampleState::Dropped(*DropReason::ALL.get(idx)?)
+        }
+    };
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((SampleKey { anon, game, at }, state))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_record_roundtrip() {
+        let key = SampleKey {
+            anon: AnonId(0xfeed_0000_0000_0042),
+            game: GameId::ALL[3],
+            at: SimTime::from_mins(17),
+        };
+        for state in [
+            SampleState::Pending,
+            SampleState::Published,
+            SampleState::Dropped(DropReason::ALL[0]),
+            SampleState::Dropped(DropReason::ALL[10]),
+        ] {
+            let raw = encode_ledger_record(&key, &state);
+            assert_eq!(decode_ledger_record(&raw), Some((key, state)));
+        }
+        assert_eq!(decode_ledger_record("junk"), None);
+        assert_eq!(decode_ledger_record("00|00|1|P|extra"), None);
+    }
+}

@@ -17,9 +17,17 @@
 //!   and per-`{location, game}` latency distributions;
 //! * [`behavior`] — the §6 user-behaviour study: Probit marginal effects of
 //!   spikes on server and game changes (Table 5);
-//! * [`pipeline`] — the [`pipeline::Tero`] orchestrator that wires the
-//!   modules over the stores of `tero-store` and runs against a
-//!   `tero-world` platform.
+//! * [`stages`] — the staged execution engine's stage layer (App. B):
+//!   six typed [`stages::Stage`] implementations (ingest, extract,
+//!   stitch, locate, clean, publish) connected through `tero-store`
+//!   lists and blobs;
+//! * [`engine`] — the [`engine::Engine`] that owns the wiring (stores,
+//!   pool, tracer, chaos) once and drives the stages windowed, with
+//!   resumable cursors committed into the store;
+//! * [`pipeline`] — the [`pipeline::Tero`] orchestrator: configuration,
+//!   [`pipeline::PipelineMetrics`], and the [`pipeline::Tero::run`] /
+//!   [`pipeline::Tero::run_window`] entry points against a `tero-world`
+//!   platform.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -27,8 +35,11 @@
 pub mod analysis;
 pub mod behavior;
 pub mod download;
+pub mod engine;
 pub mod imageproc;
 pub mod location;
 pub mod pipeline;
+pub mod stages;
 
-pub use pipeline::{Tero, TeroReport};
+pub use engine::StoreSnapshot;
+pub use pipeline::{Tero, TeroReport, WindowOutcome};

@@ -1,6 +1,15 @@
 //! The Tero orchestrator: download → image-processing → location →
-//! data-analysis, wired through the stores of `tero-store` and run against
-//! a `tero-world` platform.
+//! data-analysis, decomposed into the staged execution engine of
+//! [`crate::engine`] and [`crate::stages`] (App. B's architecture), wired
+//! through the stores of `tero-store` and run against a `tero-world`
+//! platform.
+//!
+//! [`Tero::run`] processes the whole horizon as one window;
+//! [`Tero::run_window`] drives the same engine incrementally, one time
+//! slice at a time, committing resumable state into the store after every
+//! per-window stage. Both produce byte-identical reports, funnel counters
+//! and ledger books — at any window schedule and any worker count, and
+//! across a chaos kill/resume (see `tests/determinism.rs`).
 //!
 //! The three hot stages — thumbnail extraction, per-`{streamer, game}`
 //! cleaning/changepoint analysis, and per-group aggregation — fan out over
@@ -9,33 +18,21 @@
 //! the report (and every funnel counter) is byte-identical at any worker
 //! count; `worker_threads == 1` runs the exact legacy sequential path.
 
-use crate::analysis::anomaly::{detect_anomalies, AnomalyReport, SegmentLabel};
-use crate::analysis::clusters::{
-    classify_streamer, endpoint_changes, merge_location_clusters, ChangeKind, ClassifiedStreamer,
-    EndPointChange, LatencyCluster,
-};
-use crate::analysis::distributions::{location_distribution, LocationDistribution};
-use crate::analysis::segments::{segment_stream, Segment, StreamSeries};
-use crate::analysis::shared::{detect_shared_anomalies, SharedAnomaly, StreamerActivity};
+use crate::analysis::anomaly::AnomalyReport;
+use crate::analysis::clusters::{ClassifiedStreamer, EndPointChange, LatencyCluster};
+use crate::analysis::distributions::LocationDistribution;
+use crate::analysis::segments::StreamSeries;
+use crate::analysis::shared::SharedAnomaly;
 use crate::behavior::BehaviorStream;
-use crate::download::{DownloadModule, DownloadStats, ThumbnailTask};
-use crate::imageproc::ImageProcessor;
-use crate::location::{LocationModule, LocationSource};
-use std::collections::BTreeSet;
+use crate::download::DownloadStats;
+use crate::engine::{Engine, StoreSnapshot};
+use crate::location::LocationSource;
 use std::collections::{BTreeMap, HashMap};
-use tero_geoparse::tags::TagObservation;
-use tero_geoparse::Gazetteer;
-use tero_obs::{CounterHandle, Registry, Snapshot};
-use tero_pool::Pool;
-use tero_store::{KvStore, ObjectStore};
-use tero_trace::{DropReason, Level, SampleKey, SampleState, TaskTrace, Tracer};
-use tero_types::{
-    AnonId, GameId, LatencySample, Location, SimDuration, SimTime, StreamerId, TeroParams,
-};
-use tero_vision::combine::CombineOutcome;
-use tero_vision::scene::ScenarioKind;
-use tero_world::games::{corrected_distance_to, match_length_mins, primary_server};
-use tero_world::twitch::build_scene;
+use std::sync::{Mutex, PoisonError};
+use tero_obs::{CounterHandle, HistogramHandle, Registry, Snapshot, StageMetrics};
+use tero_trace::{DropReason, Tracer};
+use tero_types::{AnonId, GameId, Location, SimDuration, SimTime, TeroParams};
+use tero_world::games::match_length_mins;
 use tero_world::World;
 
 /// How thumbnails are turned into measurements.
@@ -53,10 +50,6 @@ pub enum ExtractionMode {
     /// see DESIGN.md.
     Calibrated,
 }
-
-/// A gap larger than this starts a new stream (thumbnails are ≥ 5 min
-/// apart; in-stream breaks reach ~35 min; offline periods are longer).
-const STREAM_GAP: SimDuration = SimDuration(45 * 60 * 1_000_000);
 
 /// The Tero system.
 pub struct Tero {
@@ -89,20 +82,211 @@ pub struct Tero {
     /// [`tero_trace::Ledger::reconcile`] can audit any run. Trace output
     /// is deterministic: identical for every `worker_threads` value.
     pub trace: Tracer,
+    /// Every pipeline metric handle, resolved once at construction
+    /// against [`Tero::obs`] and reused across windows.
+    pub metrics: PipelineMetrics,
+    /// The engine slot behind [`Tero::run_window`]: holds the staged
+    /// engine between windows, or a [`StoreSnapshot`] scheduled for
+    /// restore. [`Tero::run`] resets it and drives one full-horizon
+    /// window.
+    pub engine: EngineCell,
 }
 
 impl Default for Tero {
     fn default() -> Self {
+        let obs = Registry::new();
+        let metrics = PipelineMetrics::new(&obs);
         Tero {
             params: TeroParams::default(),
             salt: 0x7e60,
             mode: ExtractionMode::FullOcr,
             min_streamers: 5,
             reject_outside_clusters: false,
-            obs: Registry::new(),
+            obs,
             worker_threads: tero_pool::default_workers(),
             trace: Tracer::new(),
+            metrics,
+            engine: EngineCell::default(),
         }
+    }
+}
+
+/// Every counter and histogram handle the pipeline bumps, resolved (and
+/// eagerly registered, so the catalogue is complete even on clean runs)
+/// once per registry instead of 30+ times at the top of every run.
+#[derive(Clone)]
+pub struct PipelineMetrics {
+    registry: Registry,
+    pub(crate) run_us: HistogramHandle,
+    pub(crate) thumbnails: CounterHandle,
+    pub(crate) extracted: CounterHandle,
+    pub(crate) no_measurement: CounterHandle,
+    pub(crate) images_missing: CounterHandle,
+    pub(crate) streams_stitched: CounterHandle,
+    pub(crate) streamers_located: CounterHandle,
+    pub(crate) segments_built: CounterHandle,
+    pub(crate) glitches_corrected: CounterHandle,
+    pub(crate) glitches_discarded: CounterHandle,
+    pub(crate) spikes_detected: CounterHandle,
+    pub(crate) points_discarded: CounterHandle,
+    pub(crate) distributions_published: CounterHandle,
+    pub(crate) shared_anomalies: CounterHandle,
+    pub(crate) profile_retries: CounterHandle,
+    pub(crate) stage_extract_us: HistogramHandle,
+    pub(crate) stage_stitch_us: HistogramHandle,
+    pub(crate) stage_locate_us: HistogramHandle,
+    pub(crate) stage_analyze_us: HistogramHandle,
+    pub(crate) stage_aggregate_us: HistogramHandle,
+    pub(crate) stage_behavior_us: HistogramHandle,
+    /// The provenance funnel: `ingested` counts every thumbnail task,
+    /// `published` the samples that reached a distribution, and one
+    /// counter per typed drop reason accounts for the rest. Every one is
+    /// provably equal to the ledger's books — see
+    /// [`tero_trace::Ledger::reconcile`].
+    pub(crate) funnel_ingested: CounterHandle,
+    pub(crate) funnel_published: CounterHandle,
+    pub(crate) funnel_dropped: Vec<CounterHandle>,
+    pub(crate) window_runs: CounterHandle,
+    pub(crate) window_killed: CounterHandle,
+    pub(crate) window_resumed: CounterHandle,
+    pub(crate) window_commits: CounterHandle,
+    st_ingest: StageMetrics,
+    st_extract: StageMetrics,
+    st_stitch: StageMetrics,
+    st_locate: StageMetrics,
+    st_clean: StageMetrics,
+    st_publish: StageMetrics,
+}
+
+impl PipelineMetrics {
+    /// Resolve every pipeline handle against `registry`.
+    pub fn new(registry: &Registry) -> PipelineMetrics {
+        PipelineMetrics {
+            run_us: registry.histogram("pipeline.run_us"),
+            thumbnails: registry.counter("pipeline.thumbnails"),
+            extracted: registry.counter("pipeline.extracted"),
+            no_measurement: registry.counter("pipeline.no_measurement"),
+            images_missing: registry.counter("pipeline.images_missing"),
+            streams_stitched: registry.counter("pipeline.streams_stitched"),
+            streamers_located: registry.counter("pipeline.streamers_located"),
+            segments_built: registry.counter("analysis.segments_built"),
+            glitches_corrected: registry.counter("analysis.glitches_corrected"),
+            glitches_discarded: registry.counter("analysis.glitches_discarded"),
+            spikes_detected: registry.counter("analysis.spikes_detected"),
+            points_discarded: registry.counter("analysis.points_discarded"),
+            distributions_published: registry.counter("analysis.distributions_published"),
+            shared_anomalies: registry.counter("analysis.shared_anomalies"),
+            profile_retries: registry.counter("pipeline.profile_retries"),
+            stage_extract_us: registry.histogram("pipeline.stage.extract_us"),
+            stage_stitch_us: registry.histogram("pipeline.stage.stitch_us"),
+            stage_locate_us: registry.histogram("pipeline.stage.locate_us"),
+            stage_analyze_us: registry.histogram("pipeline.stage.analyze_us"),
+            stage_aggregate_us: registry.histogram("pipeline.stage.aggregate_us"),
+            stage_behavior_us: registry.histogram("pipeline.stage.behavior_us"),
+            funnel_ingested: registry.counter("pipeline.funnel.ingested"),
+            funnel_published: registry.counter("pipeline.funnel.published"),
+            funnel_dropped: DropReason::ALL
+                .iter()
+                .map(|r| registry.counter(r.metric_name()))
+                .collect(),
+            window_runs: registry.counter("pipeline.window.runs"),
+            window_killed: registry.counter("pipeline.window.killed"),
+            window_resumed: registry.counter("pipeline.window.resumed"),
+            window_commits: registry.counter("pipeline.window.commits"),
+            st_ingest: StageMetrics::new(registry, "ingest"),
+            st_extract: StageMetrics::new(registry, "extract"),
+            st_stitch: StageMetrics::new(registry, "stitch"),
+            st_locate: StageMetrics::new(registry, "locate"),
+            st_clean: StageMetrics::new(registry, "clean"),
+            st_publish: StageMetrics::new(registry, "publish"),
+            registry: registry.clone(),
+        }
+    }
+
+    /// The `stage.<name>.*` bundle for one of the six engine stages.
+    pub(crate) fn stage(&self, name: &str) -> &StageMetrics {
+        match name {
+            "ingest" => &self.st_ingest,
+            "extract" => &self.st_extract,
+            "stitch" => &self.st_stitch,
+            "locate" => &self.st_locate,
+            "clean" => &self.st_clean,
+            "publish" => &self.st_publish,
+            other => panic!("unknown stage {other:?}"),
+        }
+    }
+
+    /// The registry these handles record into.
+    pub(crate) fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Whether these handles record into `registry`.
+    pub(crate) fn same_registry(&self, registry: &Registry) -> bool {
+        self.registry.same_registry(registry)
+    }
+}
+
+impl std::fmt::Debug for PipelineMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineMetrics").finish_non_exhaustive()
+    }
+}
+
+/// What one [`Tero::run_window`] call did.
+// The report-carrying variant is built once per completed run and moved
+// straight to the caller; the size gap never sits in a hot collection.
+#[allow(clippy::large_enum_variant)]
+pub enum WindowOutcome {
+    /// The window's ingest + extract work completed and was committed;
+    /// the horizon is not yet reached — call again with a later `to`.
+    Advanced,
+    /// A scheduled [`tero_chaos::EngineKill`] fired mid-window, after the
+    /// ingest commit. The committed state is intact: calling
+    /// [`Tero::run_window`] again resumes from it (in-process), or
+    /// [`Tero::engine_snapshot`] / [`Tero::restore_engine`] carry it to a
+    /// fresh `Tero`.
+    Killed,
+    /// The horizon was reached: the finalize stages ran and produced the
+    /// report. The engine slot is cleared.
+    Complete(TeroReport),
+}
+
+/// Interior-mutable slot holding the staged engine between
+/// [`Tero::run_window`] calls (`run(&self)` keeps its historical shared
+/// receiver, so the engine cannot live in a `&mut Tero` field).
+#[derive(Default)]
+pub struct EngineCell {
+    slot: Mutex<EngineSlot>,
+}
+
+#[derive(Default)]
+enum EngineSlot {
+    #[default]
+    Idle,
+    Restore(StoreSnapshot),
+    Running(Box<Engine>),
+}
+
+impl EngineCell {
+    fn lock(&self) -> std::sync::MutexGuard<'_, EngineSlot> {
+        self.slot.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Drop any in-flight engine or pending restore.
+    pub fn reset(&self) {
+        *self.lock() = EngineSlot::Idle;
+    }
+}
+
+impl std::fmt::Debug for EngineCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = match &*self.lock() {
+            EngineSlot::Idle => "Idle",
+            EngineSlot::Restore(_) => "Restore",
+            EngineSlot::Running(_) => "Running",
+        };
+        f.debug_struct("EngineCell").field("slot", &state).finish()
     }
 }
 
@@ -157,888 +341,90 @@ impl Tero {
         self.obs.snapshot()
     }
 
-    /// Run the full pipeline over a world's entire data-set.
-    pub fn run(&self, world: &mut World) -> TeroReport {
-        let run_us = self.obs.histogram("pipeline.run_us");
-        let _run_timer = self.obs.stage_timer(&run_us);
-        let c_thumbs = self.obs.counter("pipeline.thumbnails");
-        let c_extracted = self.obs.counter("pipeline.extracted");
-        let c_no_measurement = self.obs.counter("pipeline.no_measurement");
-        let c_images_missing = self.obs.counter("pipeline.images_missing");
-        let c_streams = self.obs.counter("pipeline.streams_stitched");
-        let c_located = self.obs.counter("pipeline.streamers_located");
-        let a_segments = self.obs.counter("analysis.segments_built");
-        let a_glitch_fixed = self.obs.counter("analysis.glitches_corrected");
-        let a_glitch_dropped = self.obs.counter("analysis.glitches_discarded");
-        let a_spikes = self.obs.counter("analysis.spikes_detected");
-        let a_discarded = self.obs.counter("analysis.points_discarded");
-        let a_dists = self.obs.counter("analysis.distributions_published");
-        let a_shared = self.obs.counter("analysis.shared_anomalies");
-        let c_profile_retries = self.obs.counter("pipeline.profile_retries");
-        let stage_extract_us = self.obs.histogram("pipeline.stage.extract_us");
-        let stage_stitch_us = self.obs.histogram("pipeline.stage.stitch_us");
-        let stage_locate_us = self.obs.histogram("pipeline.stage.locate_us");
-        let stage_analyze_us = self.obs.histogram("pipeline.stage.analyze_us");
-        let stage_aggregate_us = self.obs.histogram("pipeline.stage.aggregate_us");
-        let stage_behavior_us = self.obs.histogram("pipeline.stage.behavior_us");
-        // The provenance funnel: `ingested` counts every thumbnail task,
-        // `published` the samples that reached a distribution, and one
-        // counter per typed drop reason accounts for the rest. All thirteen
-        // are registered eagerly so the catalogue is complete on clean
-        // runs, and every one is provably equal to the ledger's books —
-        // see [`tero_trace::Ledger::reconcile`].
-        let f_ingested = self.obs.counter("pipeline.funnel.ingested");
-        let f_published = self.obs.counter("pipeline.funnel.published");
-        let f_dropped: Vec<CounterHandle> = DropReason::ALL
-            .iter()
-            .map(|r| self.obs.counter(r.metric_name()))
-            .collect();
-        self.trace.begin_run();
-        self.trace.instrument(&self.obs);
-        let ledger = self.trace.ledger();
-        let sp_run = self.trace.span("pipeline.run");
-        let pool = Pool::with_metrics(self.worker_threads, &self.obs);
-
-        let kv = KvStore::new();
-        let objects = ObjectStore::new();
-        kv.instrument(&self.obs);
-        objects.instrument(&self.obs);
-        // If the world carries a fault injector, surface its counters in
-        // this registry and let it sabotage store writes too.
-        if let Some(chaos) = world.chaos().cloned() {
-            chaos.instrument(&self.obs);
-            // Injected faults journal themselves as trace events, so a
-            // flight-recorder dump shows *why* a window looks anomalous.
-            chaos.set_trace(&self.trace);
-            kv.inject_faults(chaos.clone());
-            objects.inject_faults(chaos);
-        }
-        let mut download = DownloadModule::new(kv.clone(), objects.clone());
-        download.instrument(&self.obs);
-        download.set_trace(&self.trace);
-        let horizon = world.horizon;
-        let download_stats = download.run(world, SimTime::EPOCH, horizon);
-        let tasks = download.drain_tasks();
-
-        // ---- Image processing -------------------------------------------------
-        // The OCR fan-out: every task reads only thread-safe stores and
-        // immutable world state, so the heavy extraction runs on the pool.
-        // `None` marks a lost/corrupt object. Everything order-sensitive —
-        // funnel counters, dead-lettering, measurement insertion — happens
-        // in the ordered merge below, which walks results in task order
-        // and is therefore byte-identical to the sequential path.
-        let processor = ImageProcessor::with_registry(&self.obs);
-        let mut measurements: BTreeMap<(AnonId, GameId), Vec<LatencySample>> = BTreeMap::new();
-        let mut usernames: HashMap<AnonId, StreamerId> = HashMap::new();
-        let mut extracted = 0u64;
-        let sp_extract = sp_run.child("stage.extract");
-        let extract_stage = self.trace.stage(&sp_extract, "extract.task");
-        let outcomes: Vec<(Option<CombineOutcome>, TaskTrace)> = {
-            let _t = self.obs.stage_timer(&stage_extract_us);
-            let world_ro: &World = world;
-            pool.par_map_indexed(&tasks, |i, task| {
-                let mut t = extract_stage.task(i as u64);
-                t.set_sim_time(task.generated_at);
-                let outcome = match self.mode {
-                    ExtractionMode::FullOcr => download
-                        .load_image(&task.object_key)
-                        .map(|image| processor.extract(&image, task.game_label)),
-                    ExtractionMode::Calibrated => Some(calibrated_extract(world_ro, task)),
-                };
-                match &outcome {
-                    None => t.event(Level::Error, "thumbnail missing or corrupt; dead-lettered"),
-                    Some(CombineOutcome::NoMeasurement) => {
-                        t.event(Level::Debug, "ocr: 2-of-3 vote failed, no measurement")
-                    }
-                    Some(CombineOutcome::Extracted { .. }) => {}
-                }
-                (outcome, t.finish())
-            })
-        };
-        let mut extract_traces = Vec::with_capacity(outcomes.len());
-        for (task, (outcome, trace)) in tasks.iter().zip(outcomes) {
-            extract_traces.push(trace);
-            c_thumbs.inc();
-            let anon = AnonId::from_streamer(&task.streamer, self.salt);
-            // Birth of a lineage record: every thumbnail task becomes a
-            // ledger entry that must later be published or dropped with a
-            // typed reason.
-            let key = SampleKey {
-                anon,
-                game: task.game_label,
-                at: task.generated_at,
-            };
-            ledger.ingest(key);
-            f_ingested.inc();
-            usernames
-                .entry(anon)
-                .or_insert_with(|| task.streamer.clone());
-            let Some(outcome) = outcome else {
-                // Lost or corrupt object: quarantine the task so the
-                // failure stays auditable, and keep going.
-                c_images_missing.inc();
-                f_dropped[DropReason::DeadLetter.index()].inc();
-                ledger.resolve(&key, SampleState::Dropped(DropReason::DeadLetter));
-                download.dead_letter(task.encode());
-                continue;
-            };
-            if let CombineOutcome::Extracted {
-                primary,
-                alternative,
-            } = outcome
-            {
-                extracted += 1;
-                c_extracted.inc();
-                let sample = match alternative {
-                    Some(alt) => LatencySample::with_alternative(task.generated_at, primary, alt),
-                    None => LatencySample::new(task.generated_at, primary),
-                };
-                measurements
-                    .entry((anon, task.game_label))
-                    .or_default()
-                    .push(sample);
-            } else {
-                c_no_measurement.inc();
-                f_dropped[DropReason::OcrUnreadable.index()].inc();
-                ledger.resolve(&key, SampleState::Dropped(DropReason::OcrUnreadable));
-            }
-        }
-        extract_stage.flush(extract_traces);
-        drop(sp_extract);
-
-        // ---- Streams -----------------------------------------------------------
-        let sp_stitch = sp_run.child("stage.stitch");
-        let _t_stitch = self.obs.stage_timer(&stage_stitch_us);
-        let mut streams: BTreeMap<(AnonId, GameId), Vec<StreamSeries>> = BTreeMap::new();
-        for ((anon, game), mut samples) in measurements {
-            samples.sort_by_key(|s| s.at);
-            let mut current: Vec<LatencySample> = Vec::new();
-            let mut series = Vec::new();
-            for s in samples {
-                if let Some(last) = current.last() {
-                    if s.at.since(last.at) > STREAM_GAP {
-                        series.push(StreamSeries {
-                            anon,
-                            game,
-                            samples: std::mem::take(&mut current),
-                        });
-                    }
-                }
-                current.push(s);
-            }
-            if !current.is_empty() {
-                series.push(StreamSeries {
-                    anon,
-                    game,
-                    samples: current,
-                });
-            }
-            c_streams.add(series.len() as u64);
-            streams.insert((anon, game), series);
-        }
-        drop(_t_stitch);
-        drop(sp_stitch);
-
-        // ---- Location ----------------------------------------------------------
-        // Profile lookups stay sequential: they advance the platform's
-        // rate limiter, whose state threads from one call to the next.
-        // Sorting by anonymised id pins that order — HashMap iteration
-        // varies between processes, and with fault injection the call
-        // order decides which lookups hit an injected 5xx.
-        let sp_locate = sp_run.child("stage.locate");
-        let _t_locate = self.obs.stage_timer(&stage_locate_us);
-        let location_module = LocationModule::new(&world.gaz);
-        let mut locations: HashMap<AnonId, (Location, LocationSource)> = HashMap::new();
-        let mut now = horizon;
-        let mut names: Vec<(AnonId, StreamerId)> =
-            usernames.iter().map(|(a, n)| (*a, n.clone())).collect();
-        names.sort_unstable_by_key(|(a, _)| *a);
-        for (anon, name) in &names {
-            let mut server_errors = 0u32;
-            let description = loop {
-                match world.twitch.get_profile(name.as_str(), now) {
-                    Ok(d) => break d,
-                    Err(tero_world::twitch::ApiError::RateLimited(limited)) => {
-                        now = limited.retry_at;
-                    }
-                    Err(tero_world::twitch::ApiError::ServerError) => {
-                        // Transient 5xx: retry a few times with logical-time
-                        // spacing, then carry on without a profile — the
-                        // streamer is simply unlocated this run.
-                        server_errors += 1;
-                        c_profile_retries.inc();
-                        if server_errors > 4 {
-                            break None;
-                        }
-                        now += SimDuration::from_secs(1);
-                    }
-                }
-            };
-            let tags: Vec<TagObservation> = download
-                .tag_history(name.as_str())
-                .into_iter()
-                .enumerate()
-                .map(|(i, t)| TagObservation {
-                    poll: i as u64,
-                    country_tag: Some(t),
-                })
-                .collect();
-            if let Some((loc, source)) = location_module.locate(
-                name.as_str(),
-                description.as_deref(),
-                &world.social_directory,
-                &tags,
-            ) {
-                locations.insert(*anon, (loc, source));
-            }
-        }
-        c_located.add(locations.len() as u64);
-        drop(_t_locate);
-        drop(sp_locate);
-
-        // ---- Per-streamer analysis ----------------------------------------------
-        // The cleaning + PELT changepoint fan-out: each `{streamer, game}`
-        // series is segmented, anomaly-scanned and classified
-        // independently; counters are bumped in the ordered merge.
-        let mut anomalies: BTreeMap<(AnonId, GameId), AnomalyReport> = BTreeMap::new();
-        let mut classified: BTreeMap<(AnonId, GameId), ClassifiedStreamer> = BTreeMap::new();
-        let stream_entries: Vec<(&(AnonId, GameId), &Vec<StreamSeries>)> = streams.iter().collect();
-        let sp_analyze = sp_run.child("stage.analyze");
-        let analyze_stage = self.trace.stage(&sp_analyze, "analyze.task");
-        let analyzed: Vec<((AnomalyReport, ClassifiedStreamer), TaskTrace)> = {
-            let _t = self.obs.stage_timer(&stage_analyze_us);
-            pool.par_map_indexed(&stream_entries, |i, (key, series)| {
-                let mut t = analyze_stage.task(i as u64);
-                if let Some(first) = series.first().and_then(|s| s.samples.first()) {
-                    t.set_sim_time(first.at);
-                }
-                let (anon, _game) = **key;
-                let mut segments: Vec<Segment> = Vec::new();
-                for (idx, s) in series.iter().enumerate() {
-                    segments.extend(segment_stream(idx, &s.samples, &self.params));
-                }
-                let report = detect_anomalies(segments, &self.params);
-                if report.all_unstable {
-                    t.event(Level::Warn, "all segments unstable; streamer discarded");
-                }
-                let cls = classify_streamer(anon, &report, &self.params);
-                ((report, cls), t.finish())
-            })
-        };
-        let mut analyze_traces = Vec::with_capacity(analyzed.len());
-        for ((key, _series), ((report, cls), trace)) in stream_entries.iter().zip(analyzed) {
-            analyze_traces.push(trace);
-            let (anon, game) = **key;
-            a_segments.add(report.segments.len() as u64);
-            a_spikes.add(report.spikes.len() as u64);
-            for label in &report.labels {
-                match label {
-                    SegmentLabel::CorrectedGlitch => a_glitch_fixed.inc(),
-                    SegmentLabel::DiscardedGlitch => a_glitch_dropped.inc(),
-                    _ => {}
-                }
-            }
-            let total_points: usize = report.segments.iter().map(|s| s.samples.len()).sum();
-            let kept = report.clean_count();
-            a_discarded.add(total_points.saturating_sub(kept) as u64);
-            classified.insert((anon, game), cls);
-            anomalies.insert((anon, game), report);
-        }
-        analyze_stage.flush(analyze_traces);
-        drop(sp_analyze);
-
-        // ---- Per-{region, game} aggregation --------------------------------------
-        // Group located streamers at region granularity.
-        let mut groups: BTreeMap<(String, GameId), Vec<AnonId>> = BTreeMap::new();
-        for (anon, game) in streams.keys() {
-            if let Some((loc, _)) = locations.get(anon) {
-                let key = loc.to_region_level().key();
-                groups.entry((key, *game)).or_default().push(*anon);
-            }
-        }
-
-        let mut location_clusters: BTreeMap<(String, GameId), Vec<LatencyCluster>> =
-            BTreeMap::new();
-        let mut all_endpoint_changes: BTreeMap<(AnonId, GameId), Vec<EndPointChange>> =
-            BTreeMap::new();
-        let mut distributions = Vec::new();
-        let mut shared_anomalies = Vec::new();
-
-        // The per-group §5/§6 fan-out: each `{region, game}` group reads
-        // only the classified/anomaly maps built above, so groups run on
-        // the pool and the merge walks them in `BTreeMap` key order —
-        // exactly the order the sequential loop published distributions.
-        let sp_aggregate = sp_run.child("stage.aggregate");
-        let _t_aggregate = self.obs.stage_timer(&stage_aggregate_us);
-        // Per-member publication outcomes at each granularity, for the
-        // provenance pass below: a sample is published if its streamer
-        // contributed at either level.
-        let mut region_outcomes: BTreeMap<(AnonId, GameId), MemberOutcome> = BTreeMap::new();
-        let mut country_outcomes: BTreeMap<(AnonId, GameId), MemberOutcome> = BTreeMap::new();
-        let group_entries: Vec<(&(String, GameId), &Vec<AnonId>)> = groups.iter().collect();
-        let group_results: Vec<GroupAnalysis> = pool.par_map(&group_entries, |(key, members)| {
-            self.analyze_group(
-                &world.gaz,
-                key.1,
-                members,
-                &locations,
-                &classified,
-                &anomalies,
-                Granularity::Region,
-            )
-        });
-        for ((key, _members), analysis) in group_entries.iter().zip(group_results) {
-            for (anon, changes) in analysis.changes {
-                all_endpoint_changes.insert((anon, key.1), changes);
-            }
-            for (anon, outcome) in analysis.outcomes {
-                region_outcomes.insert((anon, key.1), outcome);
-            }
-            location_clusters.insert((key.0.clone(), key.1), analysis.clusters);
-            if let Some(dist) = analysis.distribution {
-                distributions.push(dist);
-            }
-            shared_anomalies.extend(analysis.shared);
-        }
-
-        // ---- Country-level distributions ------------------------------------------
-        // The paper publishes distributions at country granularity too
-        // (Figs 9, 11, 12); the aggregation logic is the same with a
-        // coarser key.
-        let mut country_groups: BTreeMap<(String, GameId), Vec<AnonId>> = BTreeMap::new();
-        for (anon, game) in streams.keys() {
-            if let Some((loc, _)) = locations.get(anon) {
-                let key = loc.to_country_level().key();
-                country_groups.entry((key, *game)).or_default().push(*anon);
-            }
-        }
-        let country_entries: Vec<(&(String, GameId), &Vec<AnonId>)> =
-            country_groups.iter().collect();
-        let country_results: Vec<GroupAnalysis> =
-            pool.par_map(&country_entries, |(key, members)| {
-                self.analyze_group(
-                    &world.gaz,
-                    key.1,
-                    members,
-                    &locations,
-                    &classified,
-                    &anomalies,
-                    Granularity::Country,
-                )
-            });
-        for ((key, _members), analysis) in country_entries.iter().zip(country_results) {
-            for (anon, outcome) in analysis.outcomes {
-                country_outcomes.insert((anon, key.1), outcome);
-            }
-            if let Some(dist) = analysis.distribution {
-                distributions.push(dist);
-            }
-        }
-        drop(_t_aggregate);
-        drop(sp_aggregate);
-
-        // ---- Sample provenance --------------------------------------------------
-        // Resolve every still-pending ledger record to its final fate,
-        // mirroring the publication rules of `analysis::distributions`:
-        // a clean sample is published iff its streamer is located,
-        // high-quality, the sample sits in a cluster the streamer
-        // publishes (all clusters when static, the top-weight cluster
-        // when mobile), and the streamer contributed — without a possible
-        // location change — to a group that cleared `min_streamers` at
-        // region or country granularity. Each failure along that chain is
-        // a typed [`DropReason`]; the funnel counters are bumped from the
-        // same decisions, which is what lets `Ledger::reconcile` prove
-        // the metrics and the ledger agree record-for-record.
-        let sp_prov = sp_run.child("stage.provenance");
-        for ((anon, game), report) in &anomalies {
-            let cls = classified.get(&(*anon, *game));
-            let (high_quality, is_static) = cls
-                .map(|c| (c.high_quality, c.is_static))
-                .unwrap_or((false, true));
-            let mut all_set: BTreeSet<u64> = BTreeSet::new();
-            let mut top_set: BTreeSet<u64> = BTreeSet::new();
-            if let Some(c) = cls {
-                for (ci, cluster) in c.clusters.iter().enumerate() {
-                    for s in &cluster.samples {
-                        all_set.insert(s.at.as_micros());
-                        if ci == 0 {
-                            top_set.insert(s.at.as_micros());
-                        }
-                    }
-                }
-            }
-            let located = locations.contains_key(anon);
-            let contributed = |m: &BTreeMap<(AnonId, GameId), MemberOutcome>, o| {
-                m.get(&(*anon, *game)) == Some(&o)
-            };
-            let published_somewhere = contributed(&region_outcomes, MemberOutcome::Contributor)
-                || contributed(&country_outcomes, MemberOutcome::Contributor);
-            let moved_somewhere = contributed(&region_outcomes, MemberOutcome::Mover)
-                || contributed(&country_outcomes, MemberOutcome::Mover);
-            for (segment, label) in report.segments.iter().zip(&report.labels) {
-                let segment_drop = match label {
-                    SegmentLabel::Spike => Some(DropReason::Spike),
-                    SegmentLabel::DiscardedGlitch => Some(DropReason::Glitch),
-                    SegmentLabel::Discarded => Some(DropReason::Unstable),
-                    _ => None,
-                };
-                for s in &segment.samples {
-                    let key = SampleKey {
-                        anon: *anon,
-                        game: *game,
-                        at: s.at,
-                    };
-                    let state = match segment_drop {
-                        Some(reason) => SampleState::Dropped(reason),
-                        None if !located => SampleState::Dropped(DropReason::GeoparseMiss),
-                        None if !high_quality => SampleState::Dropped(DropReason::LowQuality),
-                        None if !all_set.contains(&s.at.as_micros()) => {
-                            SampleState::Dropped(DropReason::NotClustered)
-                        }
-                        None if !is_static && !top_set.contains(&s.at.as_micros()) => {
-                            SampleState::Dropped(DropReason::MinWeight)
-                        }
-                        None if published_somewhere => SampleState::Published,
-                        None if moved_somewhere => SampleState::Dropped(DropReason::LocationChange),
-                        None => SampleState::Dropped(DropReason::GroupTooSmall),
-                    };
-                    match state {
-                        SampleState::Published => f_published.inc(),
-                        SampleState::Dropped(reason) => f_dropped[reason.index()].inc(),
-                        SampleState::Pending => unreachable!("provenance always resolves"),
-                    }
-                    ledger.resolve(&key, state);
-                }
-            }
-        }
-        drop(sp_prov);
-
-        // ---- Behaviour preparation (§6) -------------------------------------------
-        let sp_behavior = sp_run.child("stage.behavior");
-        let _t_behavior = self.obs.stage_timer(&stage_behavior_us);
-        let mut behavior_streams = Vec::new();
-        // Order every streamer's streams across games to detect game
-        // changes between consecutive streams. A BTreeMap keeps the
-        // emitted order deterministic across processes.
-        let mut per_streamer: BTreeMap<AnonId, Vec<(SimTime, SimTime, GameId, usize)>> =
-            BTreeMap::new();
-        for ((anon, game), series) in &streams {
-            for (idx, s) in series.iter().enumerate() {
-                if let (Some(first), Some(last)) = (s.samples.first(), s.samples.last()) {
-                    per_streamer
-                        .entry(*anon)
-                        .or_default()
-                        .push((first.at, last.at, *game, idx));
-                }
-            }
-        }
-        for (anon, mut entries) in per_streamer {
-            entries.sort_by_key(|e| e.0);
-            for (i, &(start, end, game, idx)) in entries.iter().enumerate() {
-                let game_changed_after = entries.get(i + 1).is_some_and(|n| n.2 != game);
-                let report = anomalies.get(&(anon, game));
-                let spikes = report
-                    .map(|r| {
-                        r.spikes
-                            .iter()
-                            .filter(|s| s.start >= start && s.start <= end)
-                            .cloned()
-                            .collect::<Vec<_>>()
-                    })
-                    .unwrap_or_default();
-                let first_server_change =
-                    all_endpoint_changes.get(&(anon, game)).and_then(|changes| {
-                        changes
-                            .iter()
-                            .filter(|c| c.kind == ChangeKind::Server)
-                            .map(|c| c.at)
-                            .find(|&at| at >= start && at <= end)
-                    });
-                behavior_streams.push(BehaviorStream {
-                    anon,
-                    game,
-                    start,
-                    end,
-                    spikes,
-                    first_server_change,
-                    game_changed_after,
-                });
-                let _ = idx;
-            }
-        }
-
-        drop(_t_behavior);
-        drop(sp_behavior);
-        a_dists.add(distributions.len() as u64);
-        a_shared.add(shared_anomalies.len() as u64);
-
-        TeroReport {
-            download: download_stats,
-            thumbnails: tasks.len() as u64,
-            extracted,
-            locations,
-            streamers_seen: usernames.len(),
-            streams,
-            anomalies,
-            classified,
-            location_clusters,
-            endpoint_changes: all_endpoint_changes,
-            distributions,
-            shared_anomalies,
-            behavior_streams,
-        }
-    }
-}
-
-/// The aggregation granularity of one analysis group (§5's two published
-/// levels).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Granularity {
-    /// Region-level groups: the full §3.3.3/§5/§6 product set.
-    Region,
-    /// Country-level groups: distributions only (Figs 9, 11, 12).
-    Country,
-}
-
-/// How one member of a `{location, game}` group fared in the
-/// distribution-publication decision — the group-level input to the
-/// sample-provenance pass.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum MemberOutcome {
-    /// Non-mover in a group that published a distribution: the member's
-    /// cluster samples are in the data-set (subject to the per-streamer
-    /// quality gates, which provenance checks separately).
-    Contributor,
-    /// Excluded for a possible location change (§3.3.3 step 4).
-    Mover,
-    /// The group published nothing — too few contributors, or no summary
-    /// statistics could be computed.
-    Withheld,
-}
-
-/// Everything the per-`{location, game}` aggregation derives from one
-/// group — produced on a pool worker, merged in group-key order.
-struct GroupAnalysis {
-    /// §3.3.3 step-3 merged clusters (region granularity only).
-    clusters: Vec<LatencyCluster>,
-    /// Per-member end-point changes (region granularity only).
-    changes: Vec<(AnonId, Vec<EndPointChange>)>,
-    /// The published distribution, if the group clears `min_streamers`.
-    distribution: Option<LocationDistribution>,
-    /// Shared anomalies over the group (region granularity only).
-    shared: Vec<SharedAnomaly>,
-    /// Per-member publication outcome, for the provenance ledger.
-    outcomes: Vec<(AnonId, MemberOutcome)>,
-}
-
-impl Tero {
-    /// Analyse one `{location, game}` group: merged clusters, end-point
-    /// changes, the published distribution and shared anomalies. Pure with
-    /// respect to the pipeline's mutable state, so groups can run in
-    /// parallel; at [`Granularity::Country`] only the distribution is
-    /// produced (matching the sequential country loop).
-    #[allow(clippy::too_many_arguments)]
-    fn analyze_group(
-        &self,
-        gaz: &Gazetteer,
-        game: GameId,
-        members: &[AnonId],
-        locations: &HashMap<AnonId, (Location, LocationSource)>,
-        classified: &BTreeMap<(AnonId, GameId), ClassifiedStreamer>,
-        anomalies: &BTreeMap<(AnonId, GameId), AnomalyReport>,
-        granularity: Granularity,
-    ) -> GroupAnalysis {
-        let level = |loc: &Location| match granularity {
-            Granularity::Region => loc.to_region_level(),
-            Granularity::Country => loc.to_country_level(),
-        };
-        let classified_members: Vec<&ClassifiedStreamer> = members
-            .iter()
-            .filter_map(|a| classified.get(&(*a, game)))
-            .collect();
-        // Step 3: merged clusters from static streamers.
-        let clusters = merge_location_clusters(&classified_members, self.params.lat_gap_ms);
-        // Step 4: end-point changes for everyone in the group.
-        let mut movers: Vec<AnonId> = Vec::new();
-        let mut all_changes: Vec<(AnonId, Vec<EndPointChange>)> = Vec::new();
-        for anon in members {
-            if let Some(report) = anomalies.get(&(*anon, game)) {
-                let changes = endpoint_changes(report, &clusters, self.params.lat_gap_ms);
-                if changes
-                    .iter()
-                    .any(|c| c.kind == ChangeKind::PossibleLocation)
-                {
-                    movers.push(*anon);
-                }
-                if granularity == Granularity::Region && !changes.is_empty() {
-                    all_changes.push((*anon, changes));
-                }
-            }
-        }
-
-        // Distributions: high-quality members with no possible location
-        // change, at the group's granularity.
-        let contributors: Vec<&ClassifiedStreamer> = members
-            .iter()
-            .filter(|a| !movers.contains(a))
-            .filter_map(|a| classified.get(&(*a, game)))
-            .collect();
-        let mut distribution = None;
-        if contributors.len() >= self.min_streamers {
-            let group_loc = locations
-                .get(&members[0])
-                .map(|(l, _)| level(l))
-                .expect("grouped member is located");
-            let server = primary_server(gaz, game, &group_loc);
-            let distance = server
-                .as_ref()
-                .and_then(|s| corrected_distance_to(gaz, &group_loc, s));
-            if let Some(mut dist) = location_distribution(
-                group_loc,
-                game,
-                &contributors,
-                server.map(|s| s.location),
-                distance,
-            ) {
-                if self.reject_outside_clusters {
-                    reject_outside(&mut dist, &clusters, self.params.lat_gap_ms);
-                }
-                distribution = Some(dist);
-            }
-        }
-
-        // Shared anomalies over the group (region granularity only).
-        let shared = if granularity == Granularity::Region {
-            let region_loc = locations
-                .get(&members[0])
-                .map(|(l, _)| level(l))
-                .expect("grouped member is located");
-            let activities: Vec<StreamerActivity> = members
-                .iter()
-                .filter_map(|a| {
-                    let report = anomalies.get(&(*a, game))?;
-                    let times: Vec<SimTime> = report
-                        .segments
-                        .iter()
-                        .flat_map(|s| s.samples.iter().map(|x| x.at))
-                        .collect();
-                    Some(StreamerActivity {
-                        anon: *a,
-                        measurement_times: times,
-                        spikes: report.spikes.clone(),
-                    })
-                })
-                .collect();
-            detect_shared_anomalies(game, &region_loc, &activities)
+    /// The metric handles to use for a run: the pre-built
+    /// [`Tero::metrics`] when they still point at [`Tero::obs`], or a
+    /// fresh resolution when a caller swapped in a different registry via
+    /// struct-update syntax.
+    pub(crate) fn metrics_for_run(&self) -> PipelineMetrics {
+        if self.metrics.same_registry(&self.obs) {
+            self.metrics.clone()
         } else {
-            Vec::new()
-        };
-
-        let outcomes = members
-            .iter()
-            .map(|a| {
-                let outcome = if movers.contains(a) {
-                    MemberOutcome::Mover
-                } else if distribution.is_some() {
-                    MemberOutcome::Contributor
-                } else {
-                    MemberOutcome::Withheld
-                };
-                (*a, outcome)
-            })
-            .collect();
-
-        GroupAnalysis {
-            clusters,
-            changes: all_changes,
-            distribution,
-            shared,
-            outcomes,
+            PipelineMetrics::new(&self.obs)
         }
+    }
+
+    /// Run the full pipeline over a world's entire data-set, as one
+    /// horizon-sized window through the staged engine.
+    pub fn run(&self, world: &mut World) -> TeroReport {
+        let metrics = self.metrics_for_run();
+        let _run_timer = self.obs.stage_timer(&metrics.run_us);
+        self.engine.reset();
+        let horizon = world.horizon;
+        // A scheduled engine kill returns `Killed` once; looping resumes
+        // from the commit and completes — `run()` under chaos degrades to
+        // kill-and-resume instead of dying.
+        loop {
+            if let WindowOutcome::Complete(report) = self.run_window(world, SimTime::EPOCH, horizon)
+            {
+                return report;
+            }
+        }
+    }
+
+    /// Process one window of the run: ingest then extract up to `to`
+    /// (clamped to the world horizon), committing resumable state after
+    /// each stage; when `to` reaches the horizon, run the finalize stages
+    /// and return [`WindowOutcome::Complete`].
+    ///
+    /// The first call creates the engine (`from` sets the start of the
+    /// download range; later calls ignore it); subsequent calls must use
+    /// non-decreasing `to`. Driving the run as any sequence of windows
+    /// produces a report byte-identical to [`Tero::run`].
+    pub fn run_window(&self, world: &mut World, from: SimTime, to: SimTime) -> WindowOutcome {
+        let mut slot = self.engine.lock();
+        let mut engine = match std::mem::take(&mut *slot) {
+            EngineSlot::Running(engine) => engine,
+            EngineSlot::Idle => Box::new(Engine::new(self, world, from)),
+            EngineSlot::Restore(snap) => Box::new(Engine::restore(self, world, &snap)),
+        };
+        let outcome = engine.run_window(self, world, to);
+        if !matches!(outcome, WindowOutcome::Complete(_)) {
+            *slot = EngineSlot::Running(engine);
+        }
+        outcome
+    }
+
+    /// A portable snapshot of the in-flight engine's stores (committed
+    /// cursors, queues, ledger, counters, blobs), or `None` when no
+    /// windowed run is in flight. Restore it into a fresh `Tero` with
+    /// [`Tero::restore_engine`].
+    pub fn engine_snapshot(&self) -> Option<StoreSnapshot> {
+        match &*self.engine.lock() {
+            EngineSlot::Running(engine) => Some(engine.snapshot()),
+            _ => None,
+        }
+    }
+
+    /// Schedule `snapshot` to be restored on the next
+    /// [`Tero::run_window`] call, resuming a killed run in this `Tero`.
+    pub fn restore_engine(&self, snapshot: StoreSnapshot) {
+        *self.engine.lock() = EngineSlot::Restore(snapshot);
     }
 }
 
-/// The minimum-play constraint used by the behaviour study for one game.
+/// The minimum-play constraint used by the behaviour study for one game:
+/// §6's stream-preparation step 2 drops streams shorter than the game's
+/// typical match length (the `Min. play` column of Table 4), because a
+/// server or game change cannot plausibly occur before one full match.
 pub fn min_play_for(game: GameId) -> SimDuration {
     SimDuration::from_mins(match_length_mins(game))
-}
-
-/// §3.1.2's opt-in filter: drop a distribution's values that fall outside
-/// every latency cluster of the `{location, game}` (± `LatGap`), then
-/// recompute its summary. Mislocated streamers' measurements rarely land
-/// inside the location's real clusters, so this screens location errors
-/// at the cost of some legitimate tail mass.
-fn reject_outside(dist: &mut LocationDistribution, clusters: &[LatencyCluster], gap: u32) -> bool {
-    if clusters.is_empty() {
-        return false;
-    }
-    let inside = |v: f64| {
-        clusters.iter().any(|c| {
-            v >= c.min_ms.saturating_sub(gap) as f64 && v <= c.max_ms.saturating_add(gap) as f64
-        })
-    };
-    let before = dist.values_ms.len();
-    dist.values_ms.retain(|&v| inside(v));
-    if dist.values_ms.len() == before {
-        return false;
-    }
-    if let Some(stats) = tero_stats::BoxplotStats::from_samples(&dist.values_ms) {
-        dist.stats = stats;
-        dist.normalized = dist
-            .corrected_distance_km
-            .filter(|&d| d > 0.0)
-            .map(|d| dist.stats.scaled(1_000.0 / d));
-    }
-    true
-}
-
-/// Mechanical extraction for [`ExtractionMode::Calibrated`]: reproduce the
-/// OCR path's failure *mechanisms* from the scene ground truth, at rates
-/// matched to the measured Full-OCR behaviour (see `tab04` in
-/// EXPERIMENTS.md for the measurements this is calibrated against).
-fn calibrated_extract(world: &World, task: &ThumbnailTask) -> CombineOutcome {
-    let Some(streamer) = world.streamer(&task.streamer) else {
-        return CombineOutcome::NoMeasurement;
-    };
-    let Some(sample) = world
-        .twitch
-        .truth_sample(task.streamer.as_str(), task.generated_at)
-    else {
-        return CombineOutcome::NoMeasurement;
-    };
-    // The true game being rendered (a mislabeled stream renders its actual
-    // game, while the processor crops for the label).
-    let truth_stream_game = world
-        .timelines()
-        .iter()
-        .zip(world.streamers())
-        .find(|(_, s)| s.id == task.streamer)
-        .and_then(|(tl, _)| {
-            tl.iter()
-                .find(|st| st.start <= task.generated_at && task.generated_at < st.end)
-        })
-        .map(|st| st.game)
-        .unwrap_or(task.game_label);
-    if truth_stream_game != task.game_label {
-        // Wrong crop: nothing legible.
-        return CombineOutcome::NoMeasurement;
-    }
-
-    let (scene, mut rng) = build_scene(streamer, truth_stream_game, &sample);
-    let value = sample.displayed_ms;
-    if value == 0 {
-        return CombineOutcome::NoMeasurement; // lobby placeholder
-    }
-    match scene.scenario {
-        ScenarioKind::LightFont => CombineOutcome::NoMeasurement,
-        ScenarioKind::ClockOverlay => {
-            // The clock reads as a plausible wrong value (minutes field).
-            let (_, mm) = scene.clock.unwrap_or((0, 42));
-            if mm == 0 {
-                CombineOutcome::NoMeasurement
-            } else {
-                CombineOutcome::Extracted {
-                    primary: mm,
-                    alternative: None,
-                }
-            }
-        }
-        ScenarioKind::PartiallyHidden => {
-            let digits = value.to_string().len() as u32;
-            let covered = scene.occlusion_fraction;
-            if covered > 0.45 || digits == 1 {
-                CombineOutcome::NoMeasurement
-            } else {
-                // Digit drop: leading digit(s) hidden; engines agree on the
-                // visible tail (§4.2.2: 68 % of errors are digit drops).
-                let keep = digits - 1;
-                let primary = value % 10u32.pow(keep);
-                if primary == 0 {
-                    CombineOutcome::NoMeasurement
-                } else {
-                    // Occasionally one engine catches the full value and
-                    // survives as the alternative.
-                    let alternative = rng.chance(0.25).then_some(value);
-                    CombineOutcome::Extracted {
-                        primary,
-                        alternative,
-                    }
-                }
-            }
-        }
-        ScenarioKind::Typical => {
-            // Measured Full-OCR behaviour on typical scenes: ~1-3 % miss
-            // under heavy noise, ~2-4 % error (digit confusion), rare
-            // disagreement alternatives.
-            let noise_factor = (scene.noise * 40.0 + scene.grain / 10.0).min(1.0);
-            if rng.chance(0.01 + 0.04 * noise_factor) {
-                return CombineOutcome::NoMeasurement;
-            }
-            if rng.chance(0.015 + 0.05 * noise_factor) {
-                // Digit confusion: perturb one digit.
-                let digits = value.to_string().len() as u32;
-                let pos = rng.below(digits as u64) as u32;
-                let delta = [1u32, 2, 5, 7][rng.below(4) as usize];
-                let scale = 10u32.pow(pos);
-                let perturbed = if rng.chance(0.5) {
-                    value.saturating_add(delta * scale)
-                } else {
-                    value.saturating_sub(delta * scale)
-                };
-                let perturbed = perturbed.clamp(1, 999);
-                if perturbed != value {
-                    let alternative = rng.chance(0.4).then_some(value);
-                    return CombineOutcome::Extracted {
-                        primary: perturbed,
-                        alternative,
-                    };
-                }
-            }
-            CombineOutcome::Extracted {
-                primary: value,
-                alternative: None,
-            }
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stages::stitch::STREAM_GAP;
     use tero_world::WorldConfig;
-
-    #[test]
-    fn reject_outside_recomputes_summary() {
-        let clusters = vec![LatencyCluster {
-            min_ms: 40,
-            max_ms: 50,
-            samples: vec![],
-            weight: 1.0,
-        }];
-        let values = vec![42.0, 45.0, 48.0, 200.0, 210.0];
-        let mut dist = LocationDistribution {
-            location: Location::country("France"),
-            game: GameId::LeagueOfLegends,
-            streamers: 2,
-            values_ms: values.clone(),
-            stats: tero_stats::BoxplotStats::from_samples(&values).unwrap(),
-            server: None,
-            corrected_distance_km: Some(500.0),
-            normalized: None,
-        };
-        let changed = reject_outside(&mut dist, &clusters, 15);
-        assert!(changed);
-        assert_eq!(dist.values_ms.len(), 3, "outside-cluster values dropped");
-        assert!(dist.stats.p95 <= 50.0 + 1e-9);
-        assert!(dist.normalized.is_some(), "normalised summary recomputed");
-        // No clusters -> no-op.
-        let mut dist2 = dist.clone();
-        assert!(!reject_outside(&mut dist2, &[], 15));
-        // All inside -> untouched.
-        let before = dist.values_ms.len();
-        assert!(!reject_outside(&mut dist, &clusters, 15));
-        assert_eq!(dist.values_ms.len(), before);
-    }
 
     #[test]
     fn stream_gap_splits_series() {
@@ -1161,6 +547,31 @@ mod tests {
         // Store counters are live: the run reads and writes the kv store.
         assert!(snap.counter("store.kv.writes").unwrap() > 0);
         assert!(snap.counter("store.object.writes").unwrap() > 0);
+        // The staged engine's own accounting: one window, one commit per
+        // per-window stage, no kills, no resumes.
+        assert_eq!(snap.counter("pipeline.window.runs"), Some(1));
+        assert_eq!(snap.counter("pipeline.window.commits"), Some(2));
+        assert_eq!(snap.counter("pipeline.window.killed"), Some(0));
+        assert_eq!(snap.counter("pipeline.window.resumed"), Some(0));
+        // Per-stage record flow matches the report.
+        assert_eq!(snap.counter("stage.ingest.runs"), Some(1));
+        assert_eq!(
+            snap.counter("stage.extract.records_in"),
+            Some(report.thumbnails)
+        );
+        assert_eq!(
+            snap.counter("stage.extract.records_out"),
+            Some(report.extracted)
+        );
+        assert_eq!(snap.counter("stage.stitch.records_out"), Some(stitched));
+        assert_eq!(
+            snap.counter("stage.locate.records_in"),
+            Some(report.streamers_seen as u64)
+        );
+        assert_eq!(
+            snap.counter("stage.publish.records_out"),
+            Some(report.distributions.len() as u64)
+        );
         // Timing is off by default: histograms registered but empty.
         let run_us = snap.histogram("pipeline.run_us").unwrap();
         assert_eq!(run_us.count, 0, "timing disabled by default");

@@ -1,0 +1,98 @@
+//! The clean stage: §3.3 per-`{streamer, game}` cleaning and
+//! classification — segmentation, glitch/spike anomaly detection, and
+//! static/mobile cluster classification — fanned out over the pool.
+
+use super::{Stage, StageCx};
+use crate::analysis::anomaly::{detect_anomalies, AnomalyReport, SegmentLabel};
+use crate::analysis::clusters::{classify_streamer, ClassifiedStreamer};
+use crate::analysis::segments::{segment_stream, Segment, StreamSeries};
+use std::collections::BTreeMap;
+use tero_trace::{Level, TaskTrace};
+use tero_types::{AnonId, GameId};
+
+/// What the clean stage hands the publish stage.
+pub struct Cleaned {
+    /// Stitched streams per `{streamer, game}` (passed through).
+    pub streams: BTreeMap<(AnonId, GameId), Vec<StreamSeries>>,
+    /// Anomaly reports per `{streamer, game}`.
+    pub anomalies: BTreeMap<(AnonId, GameId), AnomalyReport>,
+    /// Classified streamers per `{streamer, game}`.
+    pub classified: BTreeMap<(AnonId, GameId), ClassifiedStreamer>,
+}
+
+/// The clean stage. Stateless: pure analysis over the stitched streams.
+#[derive(Debug, Default)]
+pub struct CleanStage;
+
+impl Stage for CleanStage {
+    type In = BTreeMap<(AnonId, GameId), Vec<StreamSeries>>;
+    type Out = Cleaned;
+    const NAME: &'static str = "clean";
+
+    /// Segment, anomaly-scan and classify every `{streamer, game}` series.
+    fn run(&mut self, cx: &mut StageCx<'_>, streams: Self::In) -> Self::Out {
+        let m = cx.stage_metrics(Self::NAME);
+        let _t = m.begin();
+        m.records_in.add(streams.len() as u64);
+        // The cleaning + PELT changepoint fan-out: each `{streamer, game}`
+        // series is segmented, anomaly-scanned and classified
+        // independently; counters are bumped in the ordered merge.
+        let mut anomalies: BTreeMap<(AnonId, GameId), AnomalyReport> = BTreeMap::new();
+        let mut classified: BTreeMap<(AnonId, GameId), ClassifiedStreamer> = BTreeMap::new();
+        let stream_entries: Vec<(&(AnonId, GameId), &Vec<StreamSeries>)> = streams.iter().collect();
+        let sp_analyze = cx.sp_run.child("stage.analyze");
+        let analyze_stage = cx.tero.trace.stage(&sp_analyze, "analyze.task");
+        let params = &cx.tero.params;
+        let analyzed: Vec<((AnomalyReport, ClassifiedStreamer), TaskTrace)> = {
+            let _t = cx.tero.obs.stage_timer(&cx.metrics.stage_analyze_us);
+            cx.pool
+                .par_map_indexed(&stream_entries, |i, (key, series)| {
+                    let mut t = analyze_stage.task(i as u64);
+                    if let Some(first) = series.first().and_then(|s| s.samples.first()) {
+                        t.set_sim_time(first.at);
+                    }
+                    let (anon, _game) = **key;
+                    let mut segments: Vec<Segment> = Vec::new();
+                    for (idx, s) in series.iter().enumerate() {
+                        segments.extend(segment_stream(idx, &s.samples, params));
+                    }
+                    let report = detect_anomalies(segments, params);
+                    if report.all_unstable {
+                        t.event(Level::Warn, "all segments unstable; streamer discarded");
+                    }
+                    let cls = classify_streamer(anon, &report, params);
+                    ((report, cls), t.finish())
+                })
+        };
+        let mut analyze_traces = Vec::with_capacity(analyzed.len());
+        for ((key, _series), ((report, cls), trace)) in stream_entries.iter().zip(analyzed) {
+            analyze_traces.push(trace);
+            let (anon, game) = **key;
+            cx.metrics.segments_built.add(report.segments.len() as u64);
+            cx.metrics.spikes_detected.add(report.spikes.len() as u64);
+            for label in &report.labels {
+                match label {
+                    SegmentLabel::CorrectedGlitch => cx.metrics.glitches_corrected.inc(),
+                    SegmentLabel::DiscardedGlitch => cx.metrics.glitches_discarded.inc(),
+                    _ => {}
+                }
+            }
+            let total_points: usize = report.segments.iter().map(|s| s.samples.len()).sum();
+            let kept = report.clean_count();
+            cx.metrics
+                .points_discarded
+                .add(total_points.saturating_sub(kept) as u64);
+            classified.insert((anon, game), cls);
+            anomalies.insert((anon, game), report);
+        }
+        analyze_stage.flush(analyze_traces);
+        drop(sp_analyze);
+        m.records_out.add(anomalies.len() as u64);
+        drop(stream_entries);
+        Cleaned {
+            streams,
+            anomalies,
+            classified,
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! The locate stage: the §3.1 location module over every streamer the
+//! extract stage registered in the [`super::NAMES_KEY`] hash.
+//!
+//! Runs once, at finalize: profile lookups advance the platform's rate
+//! limiter, whose state threads from one call to the next, so running
+//! them incrementally per window would make the lookup schedule (and
+//! which lookups hit injected 5xx faults) depend on the window schedule.
+
+use super::{Stage, StageCx, NAMES_KEY};
+use crate::location::{LocationModule, LocationSource};
+use std::collections::HashMap;
+use tero_geoparse::tags::TagObservation;
+use tero_types::{AnonId, Location, SimDuration, SimTime, StreamerId};
+
+/// What the locate stage hands the downstream stages.
+pub struct Located {
+    /// Streamers the location module located, with source.
+    pub locations: HashMap<AnonId, (Location, LocationSource)>,
+    /// Streamers seen (denominator of the 2.77 % figure).
+    pub streamers_seen: usize,
+}
+
+/// The locate stage. Stateless: its input is the names hash in the store.
+#[derive(Debug, Default)]
+pub struct LocateStage;
+
+impl Stage for LocateStage {
+    type In = SimTime;
+    type Out = Located;
+    const NAME: &'static str = "locate";
+
+    /// Locate every registered streamer, starting lookups at `horizon`.
+    fn run(&mut self, cx: &mut StageCx<'_>, horizon: Self::In) -> Self::Out {
+        let m = cx.stage_metrics(Self::NAME);
+        let _t = m.begin();
+        // Profile lookups stay sequential: they advance the platform's
+        // rate limiter, whose state threads from one call to the next.
+        // Sorting by anonymised id pins that order — hash iteration
+        // varies between processes, and with fault injection the call
+        // order decides which lookups hit an injected 5xx.
+        let _sp_locate = cx.sp_run.child("stage.locate");
+        let _t_locate = cx.tero.obs.stage_timer(&cx.metrics.stage_locate_us);
+        let mut names: Vec<(AnonId, StreamerId)> = cx
+            .kv
+            .hgetall(NAMES_KEY)
+            .into_iter()
+            .filter_map(|(hex, name)| {
+                let anon = u64::from_str_radix(&hex, 16).ok()?;
+                Some((AnonId(anon), StreamerId::new(&name)))
+            })
+            .collect();
+        names.sort_unstable_by_key(|(a, _)| *a);
+        m.records_in.add(names.len() as u64);
+        let location_module = LocationModule::new(&cx.world.gaz);
+        let mut locations: HashMap<AnonId, (Location, LocationSource)> = HashMap::new();
+        let mut now = horizon;
+        for (anon, name) in &names {
+            let mut server_errors = 0u32;
+            let description = loop {
+                match cx.world.twitch.get_profile(name.as_str(), now) {
+                    Ok(d) => break d,
+                    Err(tero_world::twitch::ApiError::RateLimited(limited)) => {
+                        now = limited.retry_at;
+                    }
+                    Err(tero_world::twitch::ApiError::ServerError) => {
+                        // Transient 5xx: retry a few times with logical-time
+                        // spacing, then carry on without a profile — the
+                        // streamer is simply unlocated this run.
+                        server_errors += 1;
+                        cx.metrics.profile_retries.inc();
+                        if server_errors > 4 {
+                            break None;
+                        }
+                        now += SimDuration::from_secs(1);
+                    }
+                }
+            };
+            let tags: Vec<TagObservation> = cx
+                .io
+                .tag_history(name.as_str())
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| TagObservation {
+                    poll: i as u64,
+                    country_tag: Some(t),
+                })
+                .collect();
+            if let Some((loc, source)) = location_module.locate(
+                name.as_str(),
+                description.as_deref(),
+                &cx.world.social_directory,
+                &tags,
+            ) {
+                locations.insert(*anon, (loc, source));
+            }
+        }
+        cx.metrics.streamers_located.add(locations.len() as u64);
+        m.records_out.add(locations.len() as u64);
+        Located {
+            locations,
+            streamers_seen: names.len(),
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! The staged execution engine's stage layer (App. B).
+//!
+//! The paper's production pipeline is four decoupled programs connected
+//! through Redis lists and S3 buckets. This module reproduces that shape
+//! in-process: each stage is a [`Stage`] implementation with typed input
+//! and output records, and stages hand work to each other through
+//! [`tero_store::KvStore`] lists and [`tero_store::ObjectStore`] blobs —
+//! never through shared memory. The [`crate::engine::Engine`] owns the
+//! wiring (stores, pool, tracer, chaos) once and drives the stages either
+//! as one full-horizon window ([`crate::Tero::run`]) or incrementally
+//! ([`crate::Tero::run_window`]).
+//!
+//! * [`ingest`] — the App. A coordinator/downloader module, driven
+//!   through a resumable [`crate::download::DownloadCursor`];
+//! * [`extract`] — image-processing (§3.2): drains `queue:thumbs`,
+//!   OCRs thumbnails on the pool, and appends [`SampleRecord`]s to
+//!   per-`{streamer, game}` KV lists;
+//! * [`stitch`] — splits each streamer's sample timeline into streams at
+//!   gaps larger than [`stitch::STREAM_GAP`];
+//! * [`locate`] — the §3.1 location module over the names the extractor
+//!   registered;
+//! * [`clean`] — §3.3 per-`{streamer, game}` segmentation, anomaly
+//!   detection and classification;
+//! * [`publish`] — §3.3.3/§5/§6 aggregation, the provenance pass, and
+//!   final report assembly.
+
+pub mod clean;
+pub mod extract;
+pub mod ingest;
+pub mod locate;
+pub mod publish;
+pub mod stitch;
+
+use crate::download::DownloadModule;
+use crate::pipeline::{PipelineMetrics, Tero};
+use tero_obs::StageMetrics;
+use tero_pool::Pool;
+use tero_store::{KvStore, ObjectStore};
+use tero_trace::SpanGuard;
+use tero_types::{AnonId, GameId, SimTime};
+use tero_world::World;
+
+/// Everything a stage invocation may touch. The engine builds one per
+/// stage call, so the borrows stay scoped to the invocation; stages keep
+/// their own resumable state in their struct, not in the context.
+pub struct StageCx<'a> {
+    /// The orchestrator's configuration (params, mode, salt, tracer…).
+    pub tero: &'a Tero,
+    /// The simulated platform the run executes against.
+    pub world: &'a mut World,
+    /// The worker pool shared by every parallel stage.
+    pub pool: &'a Pool,
+    /// The engine's KV store — queues, leases and `engine:*` state.
+    pub kv: &'a KvStore,
+    /// The engine's object store — thumbnail blobs.
+    pub objects: &'a ObjectStore,
+    /// Store-facing I/O helpers (task drain, dead-letter, image load,
+    /// tag history). A second [`DownloadModule`] view over the same
+    /// stores; the ingest stage owns the stateful one.
+    pub io: &'a DownloadModule,
+    /// The pipeline's pre-resolved metric handles.
+    pub metrics: &'a PipelineMetrics,
+    /// The run-level trace span stages hang their children off.
+    pub sp_run: &'a SpanGuard,
+}
+
+impl<'a> StageCx<'a> {
+    /// The `stage.<name>.*` metric bundle for `name`. Tied to the metrics
+    /// borrow, not to `self`, so holding it doesn't freeze the context.
+    pub fn stage_metrics(&self, name: &str) -> &'a StageMetrics {
+        self.metrics.stage(name)
+    }
+}
+
+/// One typed stage of the staged execution engine.
+///
+/// A stage consumes `In`, produces `Out`, and communicates with its
+/// neighbours only through the stores in its [`StageCx`] (App. B's
+/// push/pull discipline). Implementations bump their own
+/// `stage.<NAME>.*` metrics via [`StageCx::stage_metrics`].
+pub trait Stage {
+    /// The input record the engine hands this stage.
+    type In;
+    /// The output record the stage returns to the engine.
+    type Out;
+    /// The stage's metric/trace name (`stage.<NAME>.*`).
+    const NAME: &'static str;
+    /// Run one invocation of the stage.
+    fn run(&mut self, cx: &mut StageCx<'_>, input: Self::In) -> Self::Out;
+}
+
+/// KV key prefix for the per-`{streamer, game}` extracted-sample lists
+/// the extract stage appends to and the stitch stage drains. Lives under
+/// the chaos-exempt [`tero_store::PROTECTED_PREFIX`]: these lists are the
+/// engine's own commit log, not the simulated data plane.
+pub const SAMPLES_PREFIX: &str = "engine:samples:";
+
+/// KV hash mapping `{anon:016x}` → raw streamer username, written by the
+/// extract stage (first write wins) and read by the locate stage.
+pub const NAMES_KEY: &str = "engine:names";
+
+/// The KV list key for one `{streamer, game}` sample series.
+pub fn sample_list_key(anon: AnonId, game: GameId) -> String {
+    let idx = GameId::ALL
+        .iter()
+        .position(|g| *g == game)
+        .expect("every GameId is in GameId::ALL");
+    format!("{SAMPLES_PREFIX}{:016x}:{idx:02}", anon.0)
+}
+
+/// Parse a [`sample_list_key`] back into its `{streamer, game}` pair.
+pub fn parse_sample_list_key(key: &str) -> Option<(AnonId, GameId)> {
+    let rest = key.strip_prefix(SAMPLES_PREFIX)?;
+    let (anon_hex, idx) = rest.split_once(':')?;
+    let anon = u64::from_str_radix(anon_hex, 16).ok()?;
+    let game = *GameId::ALL.get(idx.parse::<usize>().ok()?)?;
+    Some((AnonId(anon), game))
+}
+
+/// One extracted measurement, as it travels between the extract and
+/// stitch stages through a KV list (the in-process analogue of the
+/// paper's Redis measurement queue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleRecord {
+    /// When the thumbnail was generated (the measurement's timestamp).
+    pub at: SimTime,
+    /// The primary extracted value (ms).
+    pub primary: u32,
+    /// A dissenting OCR engine's alternative reading, if any.
+    pub alternative: Option<u32>,
+}
+
+impl SampleRecord {
+    /// Wire encoding: `{at_micros}|{primary}|{alternative or -}`.
+    pub fn encode(&self) -> String {
+        match self.alternative {
+            Some(alt) => format!("{}|{}|{alt}", self.at.as_micros(), self.primary),
+            None => format!("{}|{}|-", self.at.as_micros(), self.primary),
+        }
+    }
+
+    /// Decode a [`SampleRecord::encode`] string.
+    pub fn decode(raw: &str) -> Option<SampleRecord> {
+        let mut parts = raw.split('|');
+        let at = SimTime::from_micros(parts.next()?.parse().ok()?);
+        let primary = parts.next()?.parse().ok()?;
+        let alt_raw = parts.next()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        let alternative = match alt_raw {
+            "-" => None,
+            v => Some(v.parse().ok()?),
+        };
+        Some(SampleRecord {
+            at,
+            primary,
+            alternative,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_record_roundtrip() {
+        for rec in [
+            SampleRecord {
+                at: SimTime::from_mins(7),
+                primary: 42,
+                alternative: None,
+            },
+            SampleRecord {
+                at: SimTime::from_micros(1),
+                primary: 999,
+                alternative: Some(17),
+            },
+        ] {
+            assert_eq!(SampleRecord::decode(&rec.encode()), Some(rec));
+        }
+        assert_eq!(SampleRecord::decode("junk"), None);
+        assert_eq!(SampleRecord::decode("1|2|3|4"), None);
+    }
+
+    #[test]
+    fn sample_list_key_roundtrip() {
+        for game in GameId::ALL {
+            let anon = AnonId(0xdead_beef_0000_0001);
+            let key = sample_list_key(anon, game);
+            assert!(key.starts_with(tero_store::PROTECTED_PREFIX));
+            assert_eq!(parse_sample_list_key(&key), Some((anon, game)));
+        }
+        assert_eq!(parse_sample_list_key("engine:samples:zz:00"), None);
+        assert_eq!(parse_sample_list_key("queue:thumbs"), None);
+    }
+}

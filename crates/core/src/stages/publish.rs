@@ -1,0 +1,597 @@
+//! The publish stage: §3.3.3 location-based aggregation, §5's published
+//! distributions, the sample-provenance pass, §6 behaviour preparation,
+//! and final [`TeroReport`] assembly.
+
+use super::{Stage, StageCx};
+use crate::analysis::anomaly::{AnomalyReport, SegmentLabel};
+use crate::analysis::clusters::{
+    endpoint_changes, merge_location_clusters, ChangeKind, ClassifiedStreamer, EndPointChange,
+    LatencyCluster,
+};
+use crate::analysis::distributions::{location_distribution, LocationDistribution};
+use crate::analysis::shared::{detect_shared_anomalies, SharedAnomaly, StreamerActivity};
+use crate::behavior::BehaviorStream;
+use crate::download::DownloadStats;
+use crate::location::LocationSource;
+use crate::pipeline::{Tero, TeroReport};
+use crate::stages::clean::Cleaned;
+use crate::stages::locate::Located;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use tero_geoparse::Gazetteer;
+use tero_trace::{DropReason, SampleKey, SampleState};
+use tero_types::{AnonId, GameId, Location, SimTime};
+use tero_world::games::{corrected_distance_to, primary_server};
+
+/// Everything the publish stage consumes: the upstream stages' outputs
+/// plus the cumulative run totals the engine tracked across windows.
+pub struct PublishInput {
+    /// The clean stage's output (streams, anomalies, classifications).
+    pub cleaned: Cleaned,
+    /// The locate stage's output.
+    pub located: Located,
+    /// Cumulative download statistics.
+    pub download: DownloadStats,
+    /// Thumbnails processed by the extract stage, across all windows.
+    pub thumbnails: u64,
+    /// Measurements extracted, across all windows.
+    pub extracted: u64,
+}
+
+/// The publish stage. Stateless: pure aggregation over upstream outputs.
+#[derive(Debug, Default)]
+pub struct PublishStage;
+
+impl Stage for PublishStage {
+    type In = PublishInput;
+    type Out = TeroReport;
+    const NAME: &'static str = "publish";
+
+    /// Aggregate, resolve provenance, and assemble the final report.
+    fn run(&mut self, cx: &mut StageCx<'_>, input: Self::In) -> Self::Out {
+        let m = cx.stage_metrics(Self::NAME);
+        let _t = m.begin();
+        let PublishInput {
+            cleaned,
+            located,
+            download,
+            thumbnails,
+            extracted,
+        } = input;
+        let Cleaned {
+            streams,
+            anomalies,
+            classified,
+        } = cleaned;
+        let Located {
+            locations,
+            streamers_seen,
+        } = located;
+        m.records_in.add(anomalies.len() as u64);
+        let tero = cx.tero;
+        let ledger = tero.trace.ledger();
+
+        // ---- Per-{region, game} aggregation ----------------------------
+        // Group located streamers at region granularity.
+        let mut groups: BTreeMap<(String, GameId), Vec<AnonId>> = BTreeMap::new();
+        for (anon, game) in streams.keys() {
+            if let Some((loc, _)) = locations.get(anon) {
+                let key = loc.to_region_level().key();
+                groups.entry((key, *game)).or_default().push(*anon);
+            }
+        }
+
+        let mut location_clusters: BTreeMap<(String, GameId), Vec<LatencyCluster>> =
+            BTreeMap::new();
+        let mut all_endpoint_changes: BTreeMap<(AnonId, GameId), Vec<EndPointChange>> =
+            BTreeMap::new();
+        let mut distributions = Vec::new();
+        let mut shared_anomalies = Vec::new();
+
+        // The per-group §5/§6 fan-out: each `{region, game}` group reads
+        // only the classified/anomaly maps built above, so groups run on
+        // the pool and the merge walks them in `BTreeMap` key order —
+        // exactly the order the sequential loop published distributions.
+        let sp_aggregate = cx.sp_run.child("stage.aggregate");
+        let _t_aggregate = tero.obs.stage_timer(&cx.metrics.stage_aggregate_us);
+        // Per-member publication outcomes at each granularity, for the
+        // provenance pass below: a sample is published if its streamer
+        // contributed at either level.
+        let mut region_outcomes: BTreeMap<(AnonId, GameId), MemberOutcome> = BTreeMap::new();
+        let mut country_outcomes: BTreeMap<(AnonId, GameId), MemberOutcome> = BTreeMap::new();
+        let group_entries: Vec<(&(String, GameId), &Vec<AnonId>)> = groups.iter().collect();
+        let group_results: Vec<GroupAnalysis> =
+            cx.pool.par_map(&group_entries, |(key, members)| {
+                analyze_group(
+                    tero,
+                    &cx.world.gaz,
+                    key.1,
+                    members,
+                    &locations,
+                    &classified,
+                    &anomalies,
+                    Granularity::Region,
+                )
+            });
+        for ((key, _members), analysis) in group_entries.iter().zip(group_results) {
+            for (anon, changes) in analysis.changes {
+                all_endpoint_changes.insert((anon, key.1), changes);
+            }
+            for (anon, outcome) in analysis.outcomes {
+                region_outcomes.insert((anon, key.1), outcome);
+            }
+            location_clusters.insert((key.0.clone(), key.1), analysis.clusters);
+            if let Some(dist) = analysis.distribution {
+                distributions.push(dist);
+            }
+            shared_anomalies.extend(analysis.shared);
+        }
+
+        // ---- Country-level distributions -------------------------------
+        // The paper publishes distributions at country granularity too
+        // (Figs 9, 11, 12); the aggregation logic is the same with a
+        // coarser key.
+        let mut country_groups: BTreeMap<(String, GameId), Vec<AnonId>> = BTreeMap::new();
+        for (anon, game) in streams.keys() {
+            if let Some((loc, _)) = locations.get(anon) {
+                let key = loc.to_country_level().key();
+                country_groups.entry((key, *game)).or_default().push(*anon);
+            }
+        }
+        let country_entries: Vec<(&(String, GameId), &Vec<AnonId>)> =
+            country_groups.iter().collect();
+        let country_results: Vec<GroupAnalysis> =
+            cx.pool.par_map(&country_entries, |(key, members)| {
+                analyze_group(
+                    tero,
+                    &cx.world.gaz,
+                    key.1,
+                    members,
+                    &locations,
+                    &classified,
+                    &anomalies,
+                    Granularity::Country,
+                )
+            });
+        for ((key, _members), analysis) in country_entries.iter().zip(country_results) {
+            for (anon, outcome) in analysis.outcomes {
+                country_outcomes.insert((anon, key.1), outcome);
+            }
+            if let Some(dist) = analysis.distribution {
+                distributions.push(dist);
+            }
+        }
+        drop(_t_aggregate);
+        drop(sp_aggregate);
+
+        // ---- Sample provenance -----------------------------------------
+        // Resolve every still-pending ledger record to its final fate,
+        // mirroring the publication rules of `analysis::distributions`:
+        // a clean sample is published iff its streamer is located,
+        // high-quality, the sample sits in a cluster the streamer
+        // publishes (all clusters when static, the top-weight cluster
+        // when mobile), and the streamer contributed — without a possible
+        // location change — to a group that cleared `min_streamers` at
+        // region or country granularity. Each failure along that chain is
+        // a typed [`DropReason`]; the funnel counters are bumped from the
+        // same decisions, which is what lets `Ledger::reconcile` prove
+        // the metrics and the ledger agree record-for-record.
+        let sp_prov = cx.sp_run.child("stage.provenance");
+        for ((anon, game), report) in &anomalies {
+            let cls = classified.get(&(*anon, *game));
+            let (high_quality, is_static) = cls
+                .map(|c| (c.high_quality, c.is_static))
+                .unwrap_or((false, true));
+            let mut all_set: BTreeSet<u64> = BTreeSet::new();
+            let mut top_set: BTreeSet<u64> = BTreeSet::new();
+            if let Some(c) = cls {
+                for (ci, cluster) in c.clusters.iter().enumerate() {
+                    for s in &cluster.samples {
+                        all_set.insert(s.at.as_micros());
+                        if ci == 0 {
+                            top_set.insert(s.at.as_micros());
+                        }
+                    }
+                }
+            }
+            let located_here = locations.contains_key(anon);
+            let contributed = |m: &BTreeMap<(AnonId, GameId), MemberOutcome>, o| {
+                m.get(&(*anon, *game)) == Some(&o)
+            };
+            let published_somewhere = contributed(&region_outcomes, MemberOutcome::Contributor)
+                || contributed(&country_outcomes, MemberOutcome::Contributor);
+            let moved_somewhere = contributed(&region_outcomes, MemberOutcome::Mover)
+                || contributed(&country_outcomes, MemberOutcome::Mover);
+            for (segment, label) in report.segments.iter().zip(&report.labels) {
+                let segment_drop = match label {
+                    SegmentLabel::Spike => Some(DropReason::Spike),
+                    SegmentLabel::DiscardedGlitch => Some(DropReason::Glitch),
+                    SegmentLabel::Discarded => Some(DropReason::Unstable),
+                    _ => None,
+                };
+                for s in &segment.samples {
+                    let key = SampleKey {
+                        anon: *anon,
+                        game: *game,
+                        at: s.at,
+                    };
+                    let state = match segment_drop {
+                        Some(reason) => SampleState::Dropped(reason),
+                        None if !located_here => SampleState::Dropped(DropReason::GeoparseMiss),
+                        None if !high_quality => SampleState::Dropped(DropReason::LowQuality),
+                        None if !all_set.contains(&s.at.as_micros()) => {
+                            SampleState::Dropped(DropReason::NotClustered)
+                        }
+                        None if !is_static && !top_set.contains(&s.at.as_micros()) => {
+                            SampleState::Dropped(DropReason::MinWeight)
+                        }
+                        None if published_somewhere => SampleState::Published,
+                        None if moved_somewhere => SampleState::Dropped(DropReason::LocationChange),
+                        None => SampleState::Dropped(DropReason::GroupTooSmall),
+                    };
+                    match state {
+                        SampleState::Published => cx.metrics.funnel_published.inc(),
+                        SampleState::Dropped(reason) => {
+                            cx.metrics.funnel_dropped[reason.index()].inc()
+                        }
+                        SampleState::Pending => unreachable!("provenance always resolves"),
+                    }
+                    ledger.resolve(&key, state);
+                }
+            }
+        }
+        drop(sp_prov);
+
+        // ---- Behaviour preparation (§6) --------------------------------
+        let sp_behavior = cx.sp_run.child("stage.behavior");
+        let _t_behavior = tero.obs.stage_timer(&cx.metrics.stage_behavior_us);
+        let mut behavior_streams = Vec::new();
+        // Order every streamer's streams across games to detect game
+        // changes between consecutive streams. A BTreeMap keeps the
+        // emitted order deterministic across processes.
+        let mut per_streamer: BTreeMap<AnonId, Vec<(SimTime, SimTime, GameId, usize)>> =
+            BTreeMap::new();
+        for ((anon, game), series) in &streams {
+            for (idx, s) in series.iter().enumerate() {
+                if let (Some(first), Some(last)) = (s.samples.first(), s.samples.last()) {
+                    per_streamer
+                        .entry(*anon)
+                        .or_default()
+                        .push((first.at, last.at, *game, idx));
+                }
+            }
+        }
+        for (anon, mut entries) in per_streamer {
+            entries.sort_by_key(|e| e.0);
+            for (i, &(start, end, game, idx)) in entries.iter().enumerate() {
+                let game_changed_after = entries.get(i + 1).is_some_and(|n| n.2 != game);
+                let report = anomalies.get(&(anon, game));
+                let spikes = report
+                    .map(|r| {
+                        r.spikes
+                            .iter()
+                            .filter(|s| s.start >= start && s.start <= end)
+                            .cloned()
+                            .collect::<Vec<_>>()
+                    })
+                    .unwrap_or_default();
+                let first_server_change =
+                    all_endpoint_changes.get(&(anon, game)).and_then(|changes| {
+                        changes
+                            .iter()
+                            .filter(|c| c.kind == ChangeKind::Server)
+                            .map(|c| c.at)
+                            .find(|&at| at >= start && at <= end)
+                    });
+                behavior_streams.push(BehaviorStream {
+                    anon,
+                    game,
+                    start,
+                    end,
+                    spikes,
+                    first_server_change,
+                    game_changed_after,
+                });
+                let _ = idx;
+            }
+        }
+
+        drop(_t_behavior);
+        drop(sp_behavior);
+        cx.metrics
+            .distributions_published
+            .add(distributions.len() as u64);
+        cx.metrics
+            .shared_anomalies
+            .add(shared_anomalies.len() as u64);
+        m.records_out.add(distributions.len() as u64);
+
+        TeroReport {
+            download,
+            thumbnails,
+            extracted,
+            locations,
+            streamers_seen,
+            streams,
+            anomalies,
+            classified,
+            location_clusters,
+            endpoint_changes: all_endpoint_changes,
+            distributions,
+            shared_anomalies,
+            behavior_streams,
+        }
+    }
+}
+
+/// The aggregation granularity of one analysis group (§5's two published
+/// levels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Granularity {
+    /// Region-level groups: the full §3.3.3/§5/§6 product set.
+    Region,
+    /// Country-level groups: distributions only (Figs 9, 11, 12).
+    Country,
+}
+
+/// How one member of a `{location, game}` group fared in the
+/// distribution-publication decision — the group-level input to the
+/// sample-provenance pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MemberOutcome {
+    /// Non-mover in a group that published a distribution: the member's
+    /// cluster samples are in the data-set (subject to the per-streamer
+    /// quality gates, which provenance checks separately).
+    Contributor,
+    /// Excluded for a possible location change (§3.3.3 step 4).
+    Mover,
+    /// The group published nothing — too few contributors, or no summary
+    /// statistics could be computed.
+    Withheld,
+}
+
+/// Everything the per-`{location, game}` aggregation derives from one
+/// group — produced on a pool worker, merged in group-key order.
+struct GroupAnalysis {
+    /// §3.3.3 step-3 merged clusters (region granularity only).
+    clusters: Vec<LatencyCluster>,
+    /// Per-member end-point changes (region granularity only).
+    changes: Vec<(AnonId, Vec<EndPointChange>)>,
+    /// The published distribution, if the group clears `min_streamers`.
+    distribution: Option<LocationDistribution>,
+    /// Shared anomalies over the group (region granularity only).
+    shared: Vec<SharedAnomaly>,
+    /// Per-member publication outcome, for the provenance ledger.
+    outcomes: Vec<(AnonId, MemberOutcome)>,
+}
+
+/// Analyse one `{location, game}` group: merged clusters, end-point
+/// changes, the published distribution and shared anomalies. Pure with
+/// respect to the pipeline's mutable state, so groups can run in
+/// parallel; at [`Granularity::Country`] only the distribution is
+/// produced (matching the sequential country loop).
+#[allow(clippy::too_many_arguments)]
+fn analyze_group(
+    tero: &Tero,
+    gaz: &Gazetteer,
+    game: GameId,
+    members: &[AnonId],
+    locations: &HashMap<AnonId, (Location, LocationSource)>,
+    classified: &BTreeMap<(AnonId, GameId), ClassifiedStreamer>,
+    anomalies: &BTreeMap<(AnonId, GameId), AnomalyReport>,
+    granularity: Granularity,
+) -> GroupAnalysis {
+    let level = |loc: &Location| match granularity {
+        Granularity::Region => loc.to_region_level(),
+        Granularity::Country => loc.to_country_level(),
+    };
+    let classified_members: Vec<&ClassifiedStreamer> = members
+        .iter()
+        .filter_map(|a| classified.get(&(*a, game)))
+        .collect();
+    // Step 3: merged clusters from static streamers.
+    let clusters = merge_location_clusters(&classified_members, tero.params.lat_gap_ms);
+    // Step 4: end-point changes for everyone in the group.
+    let mut movers: Vec<AnonId> = Vec::new();
+    let mut all_changes: Vec<(AnonId, Vec<EndPointChange>)> = Vec::new();
+    for anon in members {
+        if let Some(report) = anomalies.get(&(*anon, game)) {
+            let changes = endpoint_changes(report, &clusters, tero.params.lat_gap_ms);
+            if changes
+                .iter()
+                .any(|c| c.kind == ChangeKind::PossibleLocation)
+            {
+                movers.push(*anon);
+            }
+            if granularity == Granularity::Region && !changes.is_empty() {
+                all_changes.push((*anon, changes));
+            }
+        }
+    }
+
+    // Distributions: high-quality members with no possible location
+    // change, at the group's granularity.
+    let contributors: Vec<&ClassifiedStreamer> = members
+        .iter()
+        .filter(|a| !movers.contains(a))
+        .filter_map(|a| classified.get(&(*a, game)))
+        .collect();
+    let mut distribution = None;
+    if contributors.len() >= tero.min_streamers {
+        let group_loc = locations
+            .get(&members[0])
+            .map(|(l, _)| level(l))
+            .expect("grouped member is located");
+        let server = primary_server(gaz, game, &group_loc);
+        let distance = server
+            .as_ref()
+            .and_then(|s| corrected_distance_to(gaz, &group_loc, s));
+        if let Some(mut dist) = location_distribution(
+            group_loc,
+            game,
+            &contributors,
+            server.map(|s| s.location),
+            distance,
+        ) {
+            if tero.reject_outside_clusters {
+                reject_outside(&mut dist, &clusters, tero.params.lat_gap_ms);
+            }
+            distribution = Some(dist);
+        }
+    }
+
+    // Shared anomalies over the group (region granularity only).
+    let shared = if granularity == Granularity::Region {
+        let region_loc = locations
+            .get(&members[0])
+            .map(|(l, _)| level(l))
+            .expect("grouped member is located");
+        let activities: Vec<StreamerActivity> = members
+            .iter()
+            .filter_map(|a| {
+                let report = anomalies.get(&(*a, game))?;
+                let times: Vec<SimTime> = report
+                    .segments
+                    .iter()
+                    .flat_map(|s| s.samples.iter().map(|x| x.at))
+                    .collect();
+                Some(StreamerActivity {
+                    anon: *a,
+                    measurement_times: times,
+                    spikes: report.spikes.clone(),
+                })
+            })
+            .collect();
+        detect_shared_anomalies(game, &region_loc, &activities)
+    } else {
+        Vec::new()
+    };
+
+    let outcomes = members
+        .iter()
+        .map(|a| {
+            let outcome = if movers.contains(a) {
+                MemberOutcome::Mover
+            } else if distribution.is_some() {
+                MemberOutcome::Contributor
+            } else {
+                MemberOutcome::Withheld
+            };
+            (*a, outcome)
+        })
+        .collect();
+
+    GroupAnalysis {
+        clusters,
+        changes: all_changes,
+        distribution,
+        shared,
+        outcomes,
+    }
+}
+
+/// §3.1.2's suggested-but-not-taken mislocation screen, implemented as an
+/// opt-in ([`Tero::reject_outside_clusters`]): drop a distribution's
+/// values that fall outside every §3.3.3 step-3 merged latency cluster of
+/// the `{location, game}` (± `LatGap`, Table 1), then recompute its
+/// summary. §3.1.2 observes that a mislocated streamer's measurements
+/// rarely land inside the location's real clusters and leaves the filter
+/// to the data-set's users; applying it screens location errors at the
+/// cost of some legitimate tail mass.
+pub(crate) fn reject_outside(
+    dist: &mut LocationDistribution,
+    clusters: &[LatencyCluster],
+    gap: u32,
+) -> bool {
+    if clusters.is_empty() {
+        return false;
+    }
+    let inside = |v: f64| {
+        clusters.iter().any(|c| {
+            v >= c.min_ms.saturating_sub(gap) as f64 && v <= c.max_ms.saturating_add(gap) as f64
+        })
+    };
+    let before = dist.values_ms.len();
+    dist.values_ms.retain(|&v| inside(v));
+    if dist.values_ms.len() == before {
+        return false;
+    }
+    if let Some(stats) = tero_stats::BoxplotStats::from_samples(&dist.values_ms) {
+        dist.stats = stats;
+        dist.normalized = dist
+            .corrected_distance_km
+            .filter(|&d| d > 0.0)
+            .map(|d| dist.stats.scaled(1_000.0 / d));
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist_with(values: Vec<f64>) -> LocationDistribution {
+        LocationDistribution {
+            location: Location::country("France"),
+            game: GameId::LeagueOfLegends,
+            streamers: 2,
+            stats: tero_stats::BoxplotStats::from_samples(&values).unwrap(),
+            values_ms: values,
+            server: None,
+            corrected_distance_km: Some(500.0),
+            normalized: None,
+        }
+    }
+
+    #[test]
+    fn reject_outside_recomputes_summary() {
+        let clusters = vec![LatencyCluster {
+            min_ms: 40,
+            max_ms: 50,
+            samples: vec![],
+            weight: 1.0,
+        }];
+        let mut dist = dist_with(vec![42.0, 45.0, 48.0, 200.0, 210.0]);
+        let changed = reject_outside(&mut dist, &clusters, 15);
+        assert!(changed);
+        assert_eq!(dist.values_ms.len(), 3, "outside-cluster values dropped");
+        assert!(dist.stats.p95 <= 50.0 + 1e-9);
+        assert!(dist.normalized.is_some(), "normalised summary recomputed");
+        // No clusters -> no-op.
+        let mut dist2 = dist.clone();
+        assert!(!reject_outside(&mut dist2, &[], 15));
+        // All inside -> untouched.
+        let before = dist.values_ms.len();
+        assert!(!reject_outside(&mut dist, &clusters, 15));
+        assert_eq!(dist.values_ms.len(), before);
+    }
+
+    #[test]
+    fn reject_outside_empty_cluster_edge_cases() {
+        // Empty cluster list: the filter must be a no-op even when every
+        // value would fail an "inside any cluster" test vacuously.
+        let mut dist = dist_with(vec![10.0, 20.0, 30.0]);
+        let stats_before = dist.stats;
+        assert!(!reject_outside(&mut dist, &[], 0));
+        assert_eq!(dist.values_ms, vec![10.0, 20.0, 30.0]);
+        assert_eq!(dist.stats.p50, stats_before.p50);
+
+        // Every value outside the clusters: the distribution is emptied
+        // and reported as changed. `BoxplotStats::from_samples(&[])` is
+        // `None`, so the stale pre-filter summary is deliberately kept —
+        // callers treat an empty `values_ms` as "nothing to publish".
+        let clusters = vec![LatencyCluster {
+            min_ms: 500,
+            max_ms: 510,
+            samples: vec![],
+            weight: 1.0,
+        }];
+        let mut dist = dist_with(vec![10.0, 20.0, 30.0]);
+        let stats_before = dist.stats;
+        assert!(reject_outside(&mut dist, &clusters, 5));
+        assert!(dist.values_ms.is_empty(), "all values rejected");
+        assert_eq!(
+            dist.stats.p50, stats_before.p50,
+            "no summary recomputed from an empty sample set"
+        );
+    }
+}

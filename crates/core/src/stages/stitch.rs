@@ -1,0 +1,83 @@
+//! The stitch stage: measurement lists → per-`{streamer, game}` streams.
+//!
+//! Drains every [`super::SAMPLES_PREFIX`] KV list the extract stage
+//! appended to (across all windows), decodes the [`SampleRecord`]s back
+//! into [`LatencySample`]s, and splits each `{streamer, game}` timeline
+//! into [`StreamSeries`] at gaps larger than [`STREAM_GAP`]. Runs once,
+//! at finalize — stream boundaries depend on the *next* sample's
+//! timestamp, so splitting cannot be decided until ingest is complete.
+
+use super::{parse_sample_list_key, SampleRecord, Stage, StageCx, SAMPLES_PREFIX};
+use crate::analysis::segments::StreamSeries;
+use std::collections::BTreeMap;
+use tero_types::{AnonId, GameId, LatencySample, SimDuration};
+
+/// A gap larger than this starts a new stream (thumbnails are ≥ 5 min
+/// apart; in-stream breaks reach ~35 min; offline periods are longer).
+pub const STREAM_GAP: SimDuration = SimDuration(45 * 60 * 1_000_000);
+
+/// The stitch stage. Stateless: all of its input lives in the KV lists.
+#[derive(Debug, Default)]
+pub struct StitchStage;
+
+impl Stage for StitchStage {
+    type In = ();
+    type Out = BTreeMap<(AnonId, GameId), Vec<StreamSeries>>;
+    const NAME: &'static str = "stitch";
+
+    /// Drain the sample lists and stitch each timeline into streams.
+    fn run(&mut self, cx: &mut StageCx<'_>, _input: ()) -> Self::Out {
+        let m = cx.stage_metrics(Self::NAME);
+        let _t = m.begin();
+        let _sp_stitch = cx.sp_run.child("stage.stitch");
+        let _t_stitch = cx.tero.obs.stage_timer(&cx.metrics.stage_stitch_us);
+        let mut streams: BTreeMap<(AnonId, GameId), Vec<StreamSeries>> = BTreeMap::new();
+        // Key order is the store's BTreeMap order == (anon, game) order,
+        // the same order the legacy in-memory BTreeMap was walked in.
+        for key in cx.kv.keys_with_prefix(SAMPLES_PREFIX) {
+            let Some((anon, game)) = parse_sample_list_key(&key) else {
+                continue;
+            };
+            let len = cx.kv.llen(&key);
+            let mut samples: Vec<LatencySample> = cx
+                .kv
+                .lpop_batch(&key, len)
+                .iter()
+                .filter_map(|raw| SampleRecord::decode(raw))
+                .map(|r| match r.alternative {
+                    Some(alt) => LatencySample::with_alternative(r.at, r.primary, alt),
+                    None => LatencySample::new(r.at, r.primary),
+                })
+                .collect();
+            m.records_in.add(samples.len() as u64);
+            // Windows arrive in time order but re-sort anyway: the split
+            // below requires it, and it makes the stage order-insensitive.
+            samples.sort_by_key(|s| s.at);
+            let mut current: Vec<LatencySample> = Vec::new();
+            let mut series = Vec::new();
+            for s in samples {
+                if let Some(last) = current.last() {
+                    if s.at.since(last.at) > STREAM_GAP {
+                        series.push(StreamSeries {
+                            anon,
+                            game,
+                            samples: std::mem::take(&mut current),
+                        });
+                    }
+                }
+                current.push(s);
+            }
+            if !current.is_empty() {
+                series.push(StreamSeries {
+                    anon,
+                    game,
+                    samples: current,
+                });
+            }
+            cx.metrics.streams_stitched.add(series.len() as u64);
+            m.records_out.add(series.len() as u64);
+            streams.insert((anon, game), series);
+        }
+        streams
+    }
+}

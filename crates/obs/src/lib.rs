@@ -46,10 +46,12 @@ mod hist;
 mod metrics;
 mod registry;
 mod snapshot;
+mod stage;
 mod timer;
 
 pub use hist::Histogram;
 pub use metrics::{Counter, Gauge};
 pub use registry::{CounterHandle, GaugeHandle, HistogramHandle, Registry};
 pub use snapshot::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, Snapshot};
+pub use stage::StageMetrics;
 pub use timer::StageTimer;

@@ -6,6 +6,7 @@
 //! simulation's logical clock.
 
 use parking_lot::{Condvar, Mutex};
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, OnceLock};
 use tero_chaos::ChaosInjector;
@@ -13,6 +14,14 @@ use tero_obs::{CounterHandle, HistogramHandle, Registry, StageTimer};
 use tero_types::SimTime;
 
 const SHARDS: usize = 16;
+
+/// Key prefix reserved for pipeline control-plane state (stage cursors,
+/// committed counters, the provenance ledger). Writes under this prefix
+/// bypass fault injection: chaos targets the *data* plane (queues,
+/// leases, tag lists) the way a flaky Redis would, while the engine's
+/// own commit records stay trustworthy — losing a commit marker would
+/// corrupt resume bookkeeping rather than exercise recovery paths.
+pub const PROTECTED_PREFIX: &str = "engine:";
 
 /// Metric handles installed by [`KvStore::instrument`].
 struct KvMetrics {
@@ -85,9 +94,14 @@ impl KvStore {
         let _ = self.chaos.set(injector);
     }
 
-    /// Whether this write should be silently dropped.
+    /// Whether a write to `key` should be silently dropped. Control-plane
+    /// keys under [`PROTECTED_PREFIX`] are never dropped (and consume no
+    /// fault-injection randomness).
     #[inline]
-    fn dropped_write(&self) -> bool {
+    fn dropped_write(&self, key: &str) -> bool {
+        if key.starts_with(PROTECTED_PREFIX) {
+            return false;
+        }
         self.chaos.get().is_some_and(|c| c.drop_kv_write())
     }
 
@@ -124,7 +138,7 @@ impl KvStore {
     /// Set a string value (no TTL).
     pub fn set(&self, key: &str, value: impl Into<String>) {
         let _op = self.observe(true);
-        if self.dropped_write() {
+        if self.dropped_write(key) {
             return;
         }
         let mut map = self.shard(key).map.lock();
@@ -140,7 +154,7 @@ impl KvStore {
     /// Set a string value that expires at logical time `expires_at`.
     pub fn set_with_ttl(&self, key: &str, value: impl Into<String>, expires_at: SimTime) {
         let _op = self.observe(true);
-        if self.dropped_write() {
+        if self.dropped_write(key) {
             return;
         }
         let mut map = self.shard(key).map.lock();
@@ -203,7 +217,7 @@ impl KvStore {
         let _op = self.observe(true);
         let shard = self.shard(key);
         let mut map = shard.map.lock();
-        if self.dropped_write() {
+        if self.dropped_write(key) {
             // Acked-but-lost: report the length the client expects to see.
             return match map.get(key).map(|e| &e.value) {
                 Some(Value::List(l)) => l.len() + 1,
@@ -220,6 +234,41 @@ impl KvStore {
                 l.len()
             }
             _ => panic!("rpush on non-list key {key}"),
+        };
+        shard.list_grew.notify_all();
+        len
+    }
+
+    /// Push a batch of values to the tail of the list at `key` under a
+    /// single lock acquisition, waking blocked poppers once. Counts as one
+    /// store operation. Each element is still subject to an independent
+    /// fault-injection draw (matching a loop of [`KvStore::rpush`] calls),
+    /// so replay streams line up whichever API the producer uses. Returns
+    /// the length the client observes after the push.
+    pub fn rpush_batch<I>(&self, key: &str, values: I) -> usize
+    where
+        I: IntoIterator,
+        I::Item: Into<String>,
+    {
+        let _op = self.observe(true);
+        let shard = self.shard(key);
+        let mut map = shard.map.lock();
+        let entry = map.entry(key.to_string()).or_insert(Entry {
+            value: Value::List(VecDeque::new()),
+            expires_at: None,
+        });
+        let len = match entry.value {
+            Value::List(ref mut l) => {
+                let mut acked = l.len();
+                for v in values {
+                    acked += 1;
+                    if !self.dropped_write(key) {
+                        l.push_back(v.into());
+                    }
+                }
+                acked
+            }
+            _ => panic!("rpush_batch on non-list key {key}"),
         };
         shard.list_grew.notify_all();
         len
@@ -322,7 +371,7 @@ impl KvStore {
     /// Set a field in the hash at `key`.
     pub fn hset(&self, key: &str, field: &str, value: impl Into<String>) {
         let _op = self.observe(true);
-        if self.dropped_write() {
+        if self.dropped_write(key) {
             return;
         }
         let mut map = self.shard(key).map.lock();
@@ -408,6 +457,99 @@ impl KvStore {
             shard.map.lock().clear();
         }
     }
+
+    /// Capture the full store contents as a deterministic, serializable
+    /// snapshot: entries sorted by key, hash fields sorted by field name.
+    /// Two stores holding the same data produce equal snapshots however
+    /// the data arrived. Administrative — not counted in `store.kv.*`.
+    pub fn snapshot(&self) -> KvSnapshot {
+        let mut entries = Vec::new();
+        for shard in self.shards.iter() {
+            let map = shard.map.lock();
+            for (key, entry) in map.iter() {
+                let value = match &entry.value {
+                    Value::Str(s) => SnapshotValue::Str(s.clone()),
+                    Value::List(l) => SnapshotValue::List(l.iter().cloned().collect()),
+                    Value::Hash(h) => {
+                        let mut fields: Vec<(String, String)> =
+                            h.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+                        fields.sort();
+                        SnapshotValue::Hash(fields)
+                    }
+                };
+                entries.push(SnapshotEntry {
+                    key: key.clone(),
+                    value,
+                    expires_at: entry.expires_at,
+                });
+            }
+        }
+        entries.sort_by(|a, b| a.key.cmp(&b.key));
+        KvSnapshot { entries }
+    }
+
+    /// Replace the full store contents with a snapshot's. TTLs are
+    /// restored verbatim (logical clock, so they stay meaningful across
+    /// processes). Bypasses fault injection and, like `snapshot`, is not
+    /// counted in `store.kv.*`.
+    pub fn restore(&self, snapshot: &KvSnapshot) {
+        self.clear();
+        for entry in &snapshot.entries {
+            let value = match &entry.value {
+                SnapshotValue::Str(s) => Value::Str(s.clone()),
+                SnapshotValue::List(l) => Value::List(l.iter().cloned().collect()),
+                SnapshotValue::Hash(fields) => Value::Hash(fields.iter().cloned().collect()),
+            };
+            let shard = self.shard(&entry.key);
+            shard.map.lock().insert(
+                entry.key.clone(),
+                Entry {
+                    value,
+                    expires_at: entry.expires_at,
+                },
+            );
+            shard.list_grew.notify_all();
+        }
+    }
+}
+
+/// A point-in-time copy of a [`KvStore`], in deterministic order. Produced
+/// by [`KvStore::snapshot`], consumed by [`KvStore::restore`]; serializable
+/// so checkpoints can leave the process.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct KvSnapshot {
+    entries: Vec<SnapshotEntry>,
+}
+
+impl KvSnapshot {
+    /// Number of keys captured.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// One key in a [`KvSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct SnapshotEntry {
+    key: String,
+    value: SnapshotValue,
+    expires_at: Option<SimTime>,
+}
+
+/// Snapshot form of a stored value (hash fields sorted for determinism).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+enum SnapshotValue {
+    /// A string (or counter) value.
+    Str(String),
+    /// A list, head first.
+    List(Vec<String>),
+    /// A hash, as sorted `(field, value)` pairs.
+    Hash(Vec<(String, String)>),
 }
 
 impl std::fmt::Debug for KvStore {
@@ -549,6 +691,80 @@ mod tests {
         }
         let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
         assert_eq!(total, 400);
+    }
+
+    #[test]
+    fn rpush_batch_matches_looped_rpush() {
+        let kv = KvStore::new();
+        let loops = KvStore::new();
+        kv.rpush_batch("q", ["a", "b", "c"].map(String::from));
+        for v in ["a", "b", "c"] {
+            loops.rpush("q", v);
+        }
+        assert_eq!(kv.snapshot(), loops.snapshot());
+        assert_eq!(kv.rpush_batch("q", ["d".to_string()]), 4);
+        assert_eq!(kv.lpop_batch("q", 10), vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let kv = KvStore::new();
+        kv.set("s", "v");
+        kv.set_with_ttl("lease", "x", SimTime::from_secs(30));
+        kv.rpush("q", "1");
+        kv.rpush("q", "2");
+        kv.hset("h", "b", "2");
+        kv.hset("h", "a", "1");
+        let snap = kv.snapshot();
+        assert_eq!(snap.len(), 4);
+
+        let other = KvStore::new();
+        other.set("stale", "gone");
+        other.restore(&snap);
+        assert_eq!(other.get("s").as_deref(), Some("v"));
+        assert!(!other.exists("stale"), "restore replaces prior contents");
+        assert_eq!(other.lpop("q").as_deref(), Some("1"));
+        assert_eq!(other.hget("h", "a").as_deref(), Some("1"));
+        // TTLs survive: the lease still expires on the logical clock.
+        assert_eq!(other.sweep_expired(SimTime::from_secs(30)), 1);
+        assert!(!other.exists("lease"));
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_serializable() {
+        let a = KvStore::new();
+        let b = KvStore::new();
+        // Same data, different arrival order.
+        a.hset("h", "x", "1");
+        a.hset("h", "y", "2");
+        a.set("k", "v");
+        b.set("k", "v");
+        b.hset("h", "y", "2");
+        b.hset("h", "x", "1");
+        assert_eq!(a.snapshot(), b.snapshot());
+
+        let json = serde_json::to_string(&a.snapshot()).unwrap();
+        let back: KvSnapshot = serde_json::from_str(&json).unwrap();
+        let fresh = KvStore::new();
+        fresh.restore(&back);
+        assert_eq!(fresh.snapshot(), a.snapshot());
+    }
+
+    #[test]
+    fn protected_prefix_bypasses_chaos() {
+        use tero_chaos::{ChaosInjector, FaultPlan};
+        let kv = KvStore::new();
+        let mut plan = FaultPlan::quiet(1);
+        plan.kv_write_drop_rate = 1.0; // drop every data-plane write
+        kv.inject_faults(ChaosInjector::new(plan));
+        kv.set("data", "lost");
+        kv.rpush("queue", "lost");
+        assert!(!kv.exists("data"));
+        assert_eq!(kv.llen("queue"), 0);
+        kv.set("engine:cursor", "kept");
+        kv.rpush_batch("engine:ledger", ["a", "b"].map(String::from));
+        assert_eq!(kv.get("engine:cursor").as_deref(), Some("kept"));
+        assert_eq!(kv.llen("engine:ledger"), 2);
     }
 
     #[test]

@@ -27,5 +27,5 @@ pub mod kv;
 pub mod object;
 
 pub use doc::DocumentStore;
-pub use kv::KvStore;
-pub use object::ObjectStore;
+pub use kv::{KvSnapshot, KvStore, PROTECTED_PREFIX};
+pub use object::{ObjectSnapshot, ObjectStore};

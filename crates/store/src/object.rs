@@ -151,6 +151,58 @@ impl ObjectStore {
         let _op = self.observe(false);
         self.inner.read().total_bytes
     }
+
+    /// Capture every object as a deterministic, serializable snapshot
+    /// (sorted by bucket then key). Administrative — not counted in
+    /// `store.object.*`.
+    pub fn snapshot(&self) -> ObjectSnapshot {
+        let inner = self.inner.read();
+        let mut objects = Vec::new();
+        for (bucket, contents) in &inner.buckets {
+            for (key, data) in contents {
+                objects.push((bucket.clone(), key.clone(), data.to_vec()));
+            }
+        }
+        objects.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        ObjectSnapshot { objects }
+    }
+
+    /// Replace the full store contents with a snapshot's. Bypasses fault
+    /// injection and is not counted in `store.object.*`.
+    pub fn restore(&self, snapshot: &ObjectSnapshot) {
+        let mut inner = self.inner.write();
+        inner.buckets.clear();
+        inner.total_bytes = 0;
+        for (bucket, key, data) in &snapshot.objects {
+            inner.total_bytes += data.len();
+            inner
+                .buckets
+                .entry(bucket.clone())
+                .or_default()
+                .insert(key.clone(), Bytes::from(data.clone()));
+        }
+    }
+}
+
+/// A point-in-time copy of an [`ObjectStore`], in deterministic order.
+/// Produced by [`ObjectStore::snapshot`], consumed by
+/// [`ObjectStore::restore`]; serializable so checkpoints can leave the
+/// process.
+#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct ObjectSnapshot {
+    objects: Vec<(String, String, Vec<u8>)>,
+}
+
+impl ObjectSnapshot {
+    /// Number of objects captured.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the snapshot holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
 }
 
 impl std::fmt::Debug for ObjectStore {
@@ -206,6 +258,31 @@ mod tests {
         assert_eq!(s.count("x"), 0);
         assert_eq!(s.total_bytes(), 1);
         assert_eq!(s.delete_bucket("x"), 0);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let s = ObjectStore::new();
+        s.put("thumbs", "b", &b"two"[..]);
+        s.put("thumbs", "a", &b"one"[..]);
+        s.put("aux", "x", &b"y"[..]);
+        let snap = s.snapshot();
+        assert_eq!(snap.len(), 3);
+
+        let other = ObjectStore::new();
+        other.put("stale", "k", &b"gone"[..]);
+        other.restore(&snap);
+        assert_eq!(
+            other.get("thumbs", "a").unwrap(),
+            Bytes::from_static(b"one")
+        );
+        assert_eq!(other.count("stale"), 0, "restore replaces prior contents");
+        assert_eq!(other.total_bytes(), s.total_bytes());
+        assert_eq!(other.snapshot(), snap, "roundtrip is lossless");
+
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: ObjectSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
     }
 
     #[test]

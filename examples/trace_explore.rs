@@ -5,17 +5,39 @@
 //! ```sh
 //! cargo run --release --example trace_explore            # defaults
 //! cargo run --release --example trace_explore -- 7 /tmp/tero-trace.json
+//! cargo run --release --example trace_explore -- 7 /tmp/tero-trace.json 4
 //! ```
 //!
 //! The first argument is the world seed, the second the output path for
-//! the Chrome trace. Both the JSON and the timeline are deterministic:
-//! for a fixed seed they are byte-identical across runs and across
-//! `worker_threads` values, which `scripts/ci.sh` checks by running this
-//! example twice and comparing the files. Load the JSON at
-//! <https://ui.perfetto.dev> (or `chrome://tracing`) to browse the spans.
+//! the Chrome trace, the optional third a *window count*: when present,
+//! the run is driven through `Tero::run_window` in that many equal time
+//! slices (`1` = the legacy single-shot `run()`), and stdout prints the
+//! sample funnel only — the trace's span structure legitimately varies
+//! with the window schedule, but the funnel may not. Without the third
+//! argument the JSON and the timeline are deterministic: for a fixed
+//! seed they are byte-identical across runs and across `worker_threads`
+//! values, which `scripts/ci.sh` checks by running this example twice
+//! and comparing the files (and once single-shot vs once windowed,
+//! comparing the funnels). Load the JSON at <https://ui.perfetto.dev>
+//! (or `chrome://tracing`) to browse the spans.
 
-use tero::core::pipeline::{ExtractionMode, Tero};
+use tero::core::pipeline::{ExtractionMode, Tero, TeroReport, WindowOutcome};
 use tero::world::{World, WorldConfig};
+use tero_types::{SimDuration, SimTime};
+
+/// Drive the run as `n` equal windows through the staged engine.
+fn run_windowed(tero: &Tero, world: &mut World, n: u64) -> TeroReport {
+    let horizon = world.horizon;
+    let step = SimDuration::from_micros(horizon.as_micros().div_ceil(n).max(1));
+    let mut to = SimTime::EPOCH + step;
+    loop {
+        match tero.run_window(world, SimTime::EPOCH, to) {
+            WindowOutcome::Complete(report) => return report,
+            WindowOutcome::Advanced => to += step,
+            WindowOutcome::Killed => {}
+        }
+    }
+}
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -26,6 +48,9 @@ fn main() {
     let out_path = args
         .next()
         .unwrap_or_else(|| "target/trace_explore.json".to_string());
+    let windows: Option<u64> = args
+        .next()
+        .map(|a| a.parse().expect("windows must be a u64"));
 
     let mut world = World::build(WorldConfig {
         seed,
@@ -43,19 +68,25 @@ fn main() {
         ..Tero::default()
     };
     tero.trace.set_enabled(true);
-    let report = tero.run(&mut world);
+    let report = match windows {
+        None | Some(0) | Some(1) => tero.run(&mut world),
+        Some(n) => run_windowed(&tero, &mut world, n),
+    };
 
-    // The text timeline: every span indented under its parent, with the
-    // journal events beneath the span that emitted them. Large worlds
-    // produce one `extract.task[i]` span per thumbnail, so cap the dump.
-    let timeline = tero.trace.render_timeline();
-    const HEAD: usize = 48;
-    let total_lines = timeline.lines().count();
-    for line in timeline.lines().take(HEAD) {
-        println!("{line}");
-    }
-    if total_lines > HEAD {
-        println!("... ({} more timeline lines)", total_lines - HEAD);
+    if windows.is_none() {
+        // The text timeline: every span indented under its parent, with
+        // the journal events beneath the span that emitted them. Large
+        // worlds produce one `extract.task[i]` span per thumbnail, so cap
+        // the dump.
+        let timeline = tero.trace.render_timeline();
+        const HEAD: usize = 48;
+        let total_lines = timeline.lines().count();
+        for line in timeline.lines().take(HEAD) {
+            println!("{line}");
+        }
+        if total_lines > HEAD {
+            println!("... ({} more timeline lines)", total_lines - HEAD);
+        }
     }
 
     // The provenance ledger: where every ingested sample ended up, proved

@@ -35,4 +35,13 @@ cmp "$trace_dir/a.out" "$trace_dir/b.out" \
 cargo test -q --test determinism chrome_trace_parses -- --exact >/dev/null \
   || { echo "FAIL: chrome trace is not valid JSON"; exit 1; }
 
+echo "==> window determinism (trace_explore single-shot vs 4 windows, funnel compare)"
+# The third argument drives the run through Tero::run_window in N equal
+# slices and prints the sample funnel only; the funnel must be
+# byte-identical between the legacy single-shot path and any schedule.
+cargo run --quiet --release --example trace_explore -- 7 "$trace_dir/w1.json" 1 > "$trace_dir/w1.out"
+cargo run --quiet --release --example trace_explore -- 7 "$trace_dir/w4.json" 4 > "$trace_dir/w4.out"
+cmp "$trace_dir/w1.out" "$trace_dir/w4.out" \
+  || { echo "FAIL: sample funnel differs between single-shot and windowed runs"; exit 1; }
+
 echo "CI green."

@@ -72,6 +72,7 @@ fn every_fault_class_is_visible_in_metrics() {
             at: SimTime::from_hours(6),
             until: SimTime::from_hours(9),
         }],
+        engine_kills: vec![],
     };
     let registry = Registry::new();
     let stats = run_download(34, Some(plan), &registry);

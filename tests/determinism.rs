@@ -1,16 +1,20 @@
-//! Parallelism must be unobservable: one seed ⇒ one report.
+//! Parallelism and windowing must be unobservable: one seed ⇒ one report.
 //!
 //! The pipeline's hot stages fan out over `tero-pool`, whose ordered merge
-//! promises byte-identical output at every worker count. This suite pins
-//! that promise end to end: the full `TeroReport` (streams, labels,
+//! promises byte-identical output at every worker count; the staged engine
+//! promises the same across any window schedule, including a chaos kill
+//! mid-window and a snapshot/restore into a fresh `Tero`. This suite pins
+//! both promises end to end: the full `TeroReport` (streams, labels,
 //! clusters, distributions, behaviour streams) and the funnel counters of
 //! `metrics_snapshot` must be identical for `worker_threads ∈ {1, 2, 8}`,
-//! with and without a non-trivial fault-injection plan.
+//! for window sizes ∈ {1 day, 3 days, full horizon}, with and without a
+//! non-trivial fault-injection plan.
 
 use std::collections::BTreeMap;
-use tero::chaos::{ChaosInjector, FaultPlan};
-use tero::core::pipeline::{ExtractionMode, Tero, TeroReport};
+use tero::chaos::{ChaosInjector, EngineKill, FaultPlan};
+use tero::core::pipeline::{ExtractionMode, Tero, TeroReport, WindowOutcome};
 use tero::world::{World, WorldConfig};
+use tero_types::{SimDuration, SimTime};
 
 /// A deterministic, order-stable rendering of everything a run produced.
 /// `HashMap`-backed fields are projected through `BTreeMap` first; every
@@ -149,6 +153,183 @@ fn chrome_trace_parses() {
         .as_array()
         .expect("traceEvents array");
     assert!(events.len() > 100, "trace has real content");
+}
+
+// ---------------------------------------------------------------------------
+// Windowed incremental execution (`Tero::run_window`).
+
+/// Counters that describe the *schedule* rather than the data: commit
+/// frequency (`store.kv.*`), window/stage bookkeeping, and the planned
+/// engine kill. Everything else — the funnel, `download.*`, `ocr.*`,
+/// `analysis.*`, `store.object.*` — must be byte-identical between a
+/// single-shot run and any windowed drive.
+fn schedule_invariant(counters: BTreeMap<String, u64>) -> BTreeMap<String, u64> {
+    counters
+        .into_iter()
+        .filter(|(name, _)| {
+            !name.starts_with("store.kv.")
+                && !name.starts_with("pipeline.window.")
+                && !name.starts_with("stage.")
+                && name != "chaos.injected.engine_kill"
+        })
+        .collect()
+}
+
+/// A 4-day world, so a 1-day window takes four `run_window` calls and a
+/// 3-day window takes two (the second clamped to the horizon).
+fn windowed_world(chaos: Option<FaultPlan>) -> World {
+    let mut world = World::build(WorldConfig {
+        seed: 4242,
+        n_streamers: 25,
+        days: 4,
+        ..WorldConfig::default()
+    });
+    if let Some(plan) = chaos {
+        world.install_chaos(ChaosInjector::new(plan));
+    }
+    world
+}
+
+fn windowed_tero(workers: usize) -> Tero {
+    Tero {
+        mode: ExtractionMode::Calibrated,
+        min_streamers: 2,
+        worker_threads: workers,
+        ..Tero::default()
+    }
+}
+
+/// Drive a run as a sequence of `window`-sized slices (`None` = one
+/// full-horizon window). A `Killed` outcome re-drives the same slice —
+/// the engine must resume from its commit, not repeat work.
+fn drive(tero: &Tero, world: &mut World, window: Option<SimDuration>) -> TeroReport {
+    let horizon = world.horizon;
+    let mut to = window.map_or(horizon, |w| SimTime::EPOCH + w);
+    loop {
+        match tero.run_window(world, SimTime::EPOCH, to) {
+            WindowOutcome::Complete(report) => return report,
+            WindowOutcome::Advanced => to = window.map_or(horizon, |w| to + w),
+            WindowOutcome::Killed => {}
+        }
+    }
+}
+
+#[test]
+fn windowed_schedules_match_single_shot() {
+    let mut world = windowed_world(None);
+    let tero_ref = windowed_tero(1);
+    let reference = fingerprint(&tero_ref.run(&mut world));
+    assert!(reference.len() > 1_000, "fingerprint covers a real run");
+    let ref_counters = schedule_invariant(funnel(&tero_ref));
+
+    let day = SimDuration::from_hours(24);
+    for window in [Some(day), Some(SimDuration::from_hours(72)), None] {
+        for workers in [1, 2, 8] {
+            let mut world = windowed_world(None);
+            let tero = windowed_tero(workers);
+            let report = drive(&tero, &mut world, window);
+            assert_eq!(
+                fingerprint(&report),
+                reference,
+                "report diverged: window {window:?}, {workers} workers"
+            );
+            assert_eq!(
+                schedule_invariant(funnel(&tero)),
+                ref_counters,
+                "counters diverged: window {window:?}, {workers} workers"
+            );
+            tero.trace
+                .ledger()
+                .reconcile(&tero.obs)
+                .expect("ledger reconciles after a windowed run");
+        }
+    }
+}
+
+#[test]
+fn windowed_kill_and_resume_matches_single_shot_under_chaos() {
+    // Reference: a single-shot run under the stock fault plan.
+    let mut world = windowed_world(Some(FaultPlan::default_plan(7)));
+    let tero_ref = windowed_tero(1);
+    let reference = fingerprint(&tero_ref.run(&mut world));
+    let ref_counters = schedule_invariant(funnel(&tero_ref));
+
+    // Same plan plus a planned engine kill in window 1: the kill fires
+    // after the ingest commit, the drive loop re-calls `run_window`, and
+    // the engine must resume from the commit without double-counting.
+    let plan = FaultPlan {
+        engine_kills: vec![EngineKill { window: 1 }],
+        ..FaultPlan::default_plan(7)
+    };
+    let day = SimDuration::from_hours(24);
+    for workers in [1, 2, 8] {
+        let mut world = windowed_world(Some(plan.clone()));
+        let tero = windowed_tero(workers);
+        let report = drive(&tero, &mut world, Some(day));
+        assert_eq!(
+            fingerprint(&report),
+            reference,
+            "kill/resume diverged at {workers} workers"
+        );
+        assert_eq!(
+            schedule_invariant(funnel(&tero)),
+            ref_counters,
+            "kill/resume counters diverged at {workers} workers"
+        );
+        let snap = tero.metrics_snapshot();
+        assert_eq!(snap.counter("chaos.injected.engine_kill"), Some(1));
+        assert_eq!(snap.counter("pipeline.window.killed"), Some(1));
+        tero.trace
+            .ledger()
+            .reconcile(&tero.obs)
+            .expect("ledger reconciles across a kill/resume");
+    }
+}
+
+#[test]
+fn snapshot_restores_into_fresh_tero() {
+    let mut world = windowed_world(None);
+    let tero_ref = windowed_tero(1);
+    let reference = fingerprint(&tero_ref.run(&mut world));
+    let ref_counters = schedule_invariant(funnel(&tero_ref));
+
+    // Run the first 1-day window on one Tero, snapshot its committed
+    // state, and finish the run on a brand-new Tero — fresh registry,
+    // fresh tracer, fresh engine — fed only the snapshot and the world.
+    let day = SimDuration::from_hours(24);
+    let mut world = windowed_world(None);
+    let first = windowed_tero(2);
+    assert!(matches!(
+        first.run_window(&mut world, SimTime::EPOCH, SimTime::EPOCH + day),
+        WindowOutcome::Advanced
+    ));
+    let snap = first.engine_snapshot().expect("windowed run in flight");
+    drop(first);
+
+    let second = windowed_tero(2);
+    second.restore_engine(snap);
+    let horizon = world.horizon;
+    let mut to = SimTime::EPOCH + day + day;
+    let report = loop {
+        match second.run_window(&mut world, SimTime::EPOCH, to) {
+            WindowOutcome::Complete(report) => break report,
+            WindowOutcome::Advanced => to = (to + day).min(horizon),
+            WindowOutcome::Killed => unreachable!("no chaos installed"),
+        }
+    };
+    assert_eq!(fingerprint(&report), reference, "restored run diverged");
+    assert_eq!(
+        schedule_invariant(funnel(&second)),
+        ref_counters,
+        "restored counters diverged"
+    );
+    let snap = second.metrics_snapshot();
+    assert_eq!(snap.counter("pipeline.window.resumed"), Some(1));
+    second
+        .trace
+        .ledger()
+        .reconcile(&second.obs)
+        .expect("replayed ledger reconciles");
 }
 
 #[test]
