@@ -1,0 +1,93 @@
+//! Serving-layer throughput: queries per second through the
+//! `tero-serve` front-end, cache on vs cache off, sequential vs fanned
+//! out over `tero-pool`. The store holds pre-committed sketches (the
+//! shape `Tero::serving_store` produces), so the benches isolate the
+//! query path — version check, cache probe, decode-on-miss, sketch
+//! arithmetic — from the pipeline itself. The numbers feed the QPS /
+//! latency table in docs/PERFORMANCE.md.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tero_core::serving::{ServeGranularity, SERVE_VERSION_KEY};
+use tero_obs::Registry;
+use tero_pool::Pool;
+use tero_serve::{run_load, LoadGen, QueryEngine, SketchRef};
+use tero_stats::QuantileSketch;
+use tero_store::KvStore;
+use tero_types::{GameId, SimRng};
+
+/// A serving store of `n` committed distribution sketches, ~1k samples
+/// each — the size a multi-day, many-location run publishes.
+fn serving_fixture(n: usize) -> (KvStore, Vec<SketchRef>) {
+    let kv = KvStore::new();
+    let mut rng = SimRng::new(0x5e7e_be9c);
+    let mut targets = Vec::with_capacity(n);
+    for i in 0..n {
+        let game = GameId::ALL[i % GameId::ALL.len()];
+        let target = SketchRef::dist(ServeGranularity::Country, game, &format!("Country-{i:03}"));
+        let values: Vec<f64> = (0..1_000)
+            .map(|_| rng.range_f64(5.0, 60.0) + rng.range_f64(0.0, 300.0) * rng.range_f64(0.0, 1.0))
+            .collect();
+        kv.set(target.key(), QuantileSketch::from_values(&values).encode());
+        targets.push(target);
+    }
+    kv.incr_by(SERVE_VERSION_KEY, 1);
+    (kv, targets)
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve");
+
+    let (kv, targets) = serving_fixture(64);
+    let queries = LoadGen::new(99, targets.clone()).generate(10_000);
+
+    // Sequential replay, warm cache: the hot path is a HashMap probe +
+    // sketch arithmetic; the steady-state per-query cost.
+    group.bench_function("10k_queries_cache_warm", |b| {
+        let registry = Registry::new();
+        let engine = QueryEngine::new(kv.clone(), &registry);
+        for q in &queries {
+            engine.query(q); // warm every key before measuring
+        }
+        b.iter(|| {
+            let mut answered = 0u64;
+            for q in &queries {
+                answered += engine.query(q).is_answered() as u64;
+            }
+            black_box(answered)
+        })
+    });
+
+    // Sequential replay, cache disabled: every query decodes its
+    // sketch(es) from the store — the miss-path upper bound.
+    group.bench_function("10k_queries_cache_off", |b| {
+        let registry = Registry::new();
+        let engine = QueryEngine::with_cache_capacity(kv.clone(), &registry, 0);
+        b.iter(|| {
+            let mut answered = 0u64;
+            for q in &queries {
+                answered += engine.query(q).is_answered() as u64;
+            }
+            black_box(answered)
+        })
+    });
+
+    // Parallel replay through tero-pool: the contended, many-clients
+    // shape — workers share one engine (one cache mutex, one store).
+    for workers in [2usize, 4] {
+        group.bench_function(BenchmarkId::new("10k_queries_pool", workers), |b| {
+            let registry = Registry::new();
+            let engine = QueryEngine::new(kv.clone(), &registry);
+            let pool = Pool::new(workers);
+            b.iter(|| black_box(run_load(&engine, &pool, &queries).checksum))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_serve
+}
+criterion_main!(benches);

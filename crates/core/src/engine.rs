@@ -20,6 +20,7 @@
 
 use crate::download::{DownloadCursor, DownloadModule};
 use crate::pipeline::{PipelineMetrics, Tero, TeroReport, WindowOutcome};
+use crate::serving::{parse_raw_sketch_key, raw_sketch_key, RAW_SKETCH_PREFIX, SERVE_VERSION_KEY};
 use crate::stages::clean::CleanStage;
 use crate::stages::extract::ExtractStage;
 use crate::stages::ingest::IngestStage;
@@ -183,6 +184,22 @@ impl Engine {
         engine.extracted_to = read("extracted_to").map(SimTime::from_micros);
         engine.extract.tasks_processed = read("tasks_processed").unwrap_or(0);
         engine.extract.extracted = read("extracted").unwrap_or(0);
+        // Rebuild the extract stage's raw serving sketches from the
+        // committed view, so later windows extend them instead of
+        // restarting from empty (the committed sketch already holds every
+        // value extracted before the kill).
+        for key in engine.kv.keys_with_prefix(RAW_SKETCH_PREFIX) {
+            let Some(pair) = parse_raw_sketch_key(&key) else {
+                continue;
+            };
+            if let Some(sketch) = engine
+                .kv
+                .get(&key)
+                .and_then(|raw| tero_stats::QuantileSketch::decode(&raw))
+            {
+                engine.extract.sketches.insert(pair, sketch);
+            }
+        }
         engine.metrics.window_resumed.inc();
         engine
     }
@@ -280,6 +297,22 @@ impl Engine {
         );
         self.kv
             .hset(ENGINE_KEY, "extracted", self.extract.extracted.to_string());
+        // Persist this window's dirty raw sketches and bump the serving
+        // version so `tero-serve` caches drop entries computed over the
+        // now-stale view. Re-writing a whole sketch (not a delta) keeps
+        // the commit idempotent: resuming and re-extracting a window
+        // rebuilds the identical sketch (bucket addition is
+        // order-independent) and overwrites with the same bytes.
+        let dirty = std::mem::take(&mut self.extract.dirty_sketches);
+        if !dirty.is_empty() {
+            for (anon, game) in dirty {
+                let encoded = self.extract.sketches[&(anon, game)].encode();
+                self.metrics.sketch_bytes.add(encoded.len() as u64);
+                self.metrics.sketch_commits.inc();
+                self.kv.set(&raw_sketch_key(anon, game), encoded);
+            }
+            self.kv.incr_by(SERVE_VERSION_KEY, 1);
+        }
         self.metrics.window_commits.inc();
     }
 
@@ -323,6 +356,12 @@ impl Engine {
     /// The metric registry this engine records into (for assertions).
     pub fn registry(&self) -> &Registry {
         self.metrics.registry()
+    }
+
+    /// The engine's KV store — shared-handle clone-able; the pipeline
+    /// stashes it as the serving store when a run completes.
+    pub(crate) fn kv_store(&self) -> &KvStore {
+        &self.kv
     }
 }
 

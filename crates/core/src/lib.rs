@@ -27,7 +27,10 @@
 //! * [`pipeline`] — the [`pipeline::Tero`] orchestrator: configuration,
 //!   [`pipeline::PipelineMetrics`], and the [`pipeline::Tero::run`] /
 //!   [`pipeline::Tero::run_window`] entry points against a `tero-world`
-//!   platform.
+//!   platform;
+//! * [`serving`] — the serving-layer key schema: where the engine commits
+//!   mergeable quantile sketches into the store at each window boundary,
+//!   and how the `tero-serve` query front-end finds them.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -39,6 +42,7 @@ pub mod engine;
 pub mod imageproc;
 pub mod location;
 pub mod pipeline;
+pub mod serving;
 pub mod stages;
 
 pub use engine::StoreSnapshot;

@@ -30,6 +30,7 @@ use crate::location::LocationSource;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Mutex, PoisonError};
 use tero_obs::{CounterHandle, HistogramHandle, Registry, Snapshot, StageMetrics};
+use tero_store::KvStore;
 use tero_trace::{DropReason, Tracer};
 use tero_types::{AnonId, GameId, Location, SimDuration, SimTime, TeroParams};
 use tero_world::games::match_length_mins;
@@ -150,6 +151,13 @@ pub struct PipelineMetrics {
     pub(crate) window_killed: CounterHandle,
     pub(crate) window_resumed: CounterHandle,
     pub(crate) window_commits: CounterHandle,
+    /// Serving-layer sketch accounting: values folded into the extract
+    /// stage's raw sketches, sketch encodings committed to the store
+    /// (raw at window commits, distributions at publish), and the total
+    /// encoded bytes written.
+    pub(crate) sketch_inserts: CounterHandle,
+    pub(crate) sketch_commits: CounterHandle,
+    pub(crate) sketch_bytes: CounterHandle,
     st_ingest: StageMetrics,
     st_extract: StageMetrics,
     st_stitch: StageMetrics,
@@ -193,6 +201,9 @@ impl PipelineMetrics {
             window_killed: registry.counter("pipeline.window.killed"),
             window_resumed: registry.counter("pipeline.window.resumed"),
             window_commits: registry.counter("pipeline.window.commits"),
+            sketch_inserts: registry.counter("stats.sketch.inserts"),
+            sketch_commits: registry.counter("stats.sketch.commits"),
+            sketch_bytes: registry.counter("stats.sketch.bytes"),
             st_ingest: StageMetrics::new(registry, "ingest"),
             st_extract: StageMetrics::new(registry, "extract"),
             st_stitch: StageMetrics::new(registry, "stitch"),
@@ -258,6 +269,9 @@ pub enum WindowOutcome {
 #[derive(Default)]
 pub struct EngineCell {
     slot: Mutex<EngineSlot>,
+    /// The completed run's KV store, kept alive for the serving layer
+    /// after the engine itself is dropped (see [`Tero::serving_store`]).
+    served: Mutex<Option<KvStore>>,
 }
 
 #[derive(Default)]
@@ -273,9 +287,11 @@ impl EngineCell {
         self.slot.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Drop any in-flight engine or pending restore.
+    /// Drop any in-flight engine or pending restore, and forget the
+    /// previous run's serving store.
     pub fn reset(&self) {
         *self.lock() = EngineSlot::Idle;
+        *self.served.lock().unwrap_or_else(PoisonError::into_inner) = None;
     }
 }
 
@@ -388,10 +404,32 @@ impl Tero {
             EngineSlot::Restore(snap) => Box::new(Engine::restore(self, world, &snap)),
         };
         let outcome = engine.run_window(self, world, to);
-        if !matches!(outcome, WindowOutcome::Complete(_)) {
+        if matches!(outcome, WindowOutcome::Complete(_)) {
+            // The engine is dropped, but its KV store — holding the
+            // committed serving sketches — stays alive for `tero-serve`.
+            *self
+                .engine
+                .served
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) = Some(engine.kv_store().clone());
+        } else {
             *slot = EngineSlot::Running(engine);
         }
         outcome
+    }
+
+    /// The serving store of the most recently completed run on this
+    /// `Tero`: the KV store holding every committed serving-layer sketch
+    /// (see [`crate::serving`]), ready to back a `tero-serve` query
+    /// engine. `None` before the first completed run. While a windowed
+    /// run is in flight, the previous run's store is still served — the
+    /// handle swaps atomically when the new run completes.
+    pub fn serving_store(&self) -> Option<KvStore> {
+        self.engine
+            .served
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// A portable snapshot of the in-flight engine's stores (committed

@@ -1,0 +1,195 @@
+//! The serving-layer key schema: where the staged engine commits
+//! [`QuantileSketch`] state into [`tero_store::KvStore`], and how
+//! `tero-serve` finds it.
+//!
+//! Two sketch families live under the chaos-exempt `engine:serve:` prefix:
+//!
+//! * **Raw sketches** ([`raw_sketch_key`], one per `{streamer, game}`):
+//!   every extracted primary value, maintained by the extract stage and
+//!   committed — together with the rest of the engine's resumable state —
+//!   at every window boundary. This is the incrementally-updating view: it
+//!   is complete up to the last committed window even while a run is still
+//!   in flight, and it survives a chaos kill/resume.
+//! * **Distribution sketches** ([`dist_sketch_key`], one per `{granularity,
+//!   game, location}`): the cleaned per-`{location, game}` §5.2
+//!   distributions, written by the publish stage at finalize from exactly
+//!   the values behind the report's `LocationDistribution`s. These are
+//!   what `tero-serve` answers percentile/CDF/histogram/Wasserstein
+//!   queries from.
+//!
+//! The granularity tag (`r`/`c`) comes *before* the location key because
+//! region-level and country-level groups can share a key string (a
+//! country-only-located streamer's region-level location *is* its
+//! country), and because location keys contain `/` and `:` freely — the
+//! tag and game index are fixed-width fields in front, so parsing never
+//! has to guess where the location starts.
+//!
+//! Every write to the serving view bumps [`SERVE_VERSION_KEY`]; the
+//! `tero-serve` hot-key cache stamps entries with the version it read and
+//! drops them when it changes, so a committed window invalidates the
+//! cache without any cross-component signalling.
+
+use tero_stats::QuantileSketch;
+use tero_store::KvStore;
+use tero_types::{AnonId, GameId};
+
+/// Everything the serving layer stores lives under this prefix (inside
+/// [`tero_store::PROTECTED_PREFIX`], so chaos never drops it).
+pub const SERVE_PREFIX: &str = "engine:serve:";
+
+/// Monotonic version of the serving view. Bumped once per engine commit
+/// that touched a sketch and once by the publish stage; cache entries
+/// carry the version they were computed at and expire when it moves.
+pub const SERVE_VERSION_KEY: &str = "engine:serve:version";
+
+/// Prefix of the per-`{streamer, game}` raw sketches.
+pub const RAW_SKETCH_PREFIX: &str = "engine:serve:raw:";
+
+/// Prefix of the per-`{granularity, game, location}` distribution
+/// sketches.
+pub const DIST_SKETCH_PREFIX: &str = "engine:serve:dist:";
+
+/// The aggregation level a distribution sketch was published at — the
+/// serving-layer mirror of the publish stage's two §5 granularities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ServeGranularity {
+    /// Region-level `{location, game}` groups.
+    Region,
+    /// Country-level groups (Figs 9, 11, 12).
+    Country,
+}
+
+impl ServeGranularity {
+    /// The single-character key tag (`r` / `c`).
+    pub fn tag(self) -> char {
+        match self {
+            ServeGranularity::Region => 'r',
+            ServeGranularity::Country => 'c',
+        }
+    }
+
+    /// Parse a [`ServeGranularity::tag`] character.
+    pub fn from_tag(tag: &str) -> Option<ServeGranularity> {
+        match tag {
+            "r" => Some(ServeGranularity::Region),
+            "c" => Some(ServeGranularity::Country),
+            _ => None,
+        }
+    }
+}
+
+/// Index of `game` in [`GameId::ALL`], the serving schema's fixed-width
+/// game field (same convention as `stages::sample_list_key`).
+fn game_index(game: GameId) -> usize {
+    GameId::ALL
+        .iter()
+        .position(|g| *g == game)
+        .expect("every GameId is in GameId::ALL")
+}
+
+/// The KV key of one `{streamer, game}` raw sketch:
+/// `engine:serve:raw:{anon:016x}:{game_idx:02}`.
+pub fn raw_sketch_key(anon: AnonId, game: GameId) -> String {
+    format!("{RAW_SKETCH_PREFIX}{:016x}:{:02}", anon.0, game_index(game))
+}
+
+/// Parse a [`raw_sketch_key`] back into its `{streamer, game}` pair.
+pub fn parse_raw_sketch_key(key: &str) -> Option<(AnonId, GameId)> {
+    let rest = key.strip_prefix(RAW_SKETCH_PREFIX)?;
+    let (anon_hex, idx) = rest.split_once(':')?;
+    let anon = u64::from_str_radix(anon_hex, 16).ok()?;
+    let game = *GameId::ALL.get(idx.parse::<usize>().ok()?)?;
+    Some((AnonId(anon), game))
+}
+
+/// The KV key of one published distribution sketch:
+/// `engine:serve:dist:{r|c}:{game_idx:02}:{location_key}` where
+/// `location_key` is `Location::key()` at the group's granularity.
+pub fn dist_sketch_key(granularity: ServeGranularity, game: GameId, location_key: &str) -> String {
+    format!(
+        "{DIST_SKETCH_PREFIX}{}:{:02}:{location_key}",
+        granularity.tag(),
+        game_index(game)
+    )
+}
+
+/// Parse a [`dist_sketch_key`] into `(granularity, game, location_key)`.
+pub fn parse_dist_sketch_key(key: &str) -> Option<(ServeGranularity, GameId, &str)> {
+    let rest = key.strip_prefix(DIST_SKETCH_PREFIX)?;
+    let (tag, rest) = rest.split_once(':')?;
+    let granularity = ServeGranularity::from_tag(tag)?;
+    let (idx, location_key) = rest.split_once(':')?;
+    let game = *GameId::ALL.get(idx.parse::<usize>().ok()?)?;
+    Some((granularity, game, location_key))
+}
+
+/// The serving view's current version (0 before anything committed).
+pub fn serve_version(kv: &KvStore) -> u64 {
+    kv.get(SERVE_VERSION_KEY)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Load and decode the sketch at `key`, if present and well-formed.
+pub fn load_sketch(kv: &KvStore, key: &str) -> Option<QuantileSketch> {
+    QuantileSketch::decode(&kv.get(key)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_key_roundtrip() {
+        for game in GameId::ALL {
+            let anon = AnonId(0xfeed_f00d_0000_0001);
+            let key = raw_sketch_key(anon, game);
+            assert!(key.starts_with(tero_store::PROTECTED_PREFIX));
+            assert_eq!(parse_raw_sketch_key(&key), Some((anon, game)));
+        }
+        assert_eq!(parse_raw_sketch_key("engine:serve:raw:zz:00"), None);
+        assert_eq!(parse_raw_sketch_key("engine:samples:00:00"), None);
+    }
+
+    #[test]
+    fn dist_key_roundtrip_with_slashes_and_colons() {
+        let game = GameId::ALL[2];
+        for (granularity, loc_key) in [
+            (ServeGranularity::Region, "France/Île-de-France"),
+            (ServeGranularity::Country, "France"),
+            // Location keys may contain the schema's own separators; the
+            // fixed-width front fields keep parsing unambiguous.
+            (ServeGranularity::Region, "a/b:c/d"),
+        ] {
+            let key = dist_sketch_key(granularity, game, loc_key);
+            assert_eq!(
+                parse_dist_sketch_key(&key),
+                Some((granularity, game, loc_key))
+            );
+        }
+        assert_eq!(parse_dist_sketch_key("engine:serve:dist:x:00:a"), None);
+        assert_eq!(parse_dist_sketch_key("engine:serve:raw:00:00"), None);
+    }
+
+    #[test]
+    fn region_and_country_keys_never_collide() {
+        // The motivating case: a country-only-located group publishes the
+        // same location key at both granularities.
+        let game = GameId::ALL[0];
+        let r = dist_sketch_key(ServeGranularity::Region, game, "France");
+        let c = dist_sketch_key(ServeGranularity::Country, game, "France");
+        assert_ne!(r, c);
+    }
+
+    #[test]
+    fn version_and_sketch_helpers() {
+        let kv = KvStore::new();
+        assert_eq!(serve_version(&kv), 0);
+        kv.incr_by(SERVE_VERSION_KEY, 1);
+        assert_eq!(serve_version(&kv), 1);
+        assert!(load_sketch(&kv, "missing").is_none());
+        let sketch = QuantileSketch::from_values(&[1.0, 2.0, 3.0]);
+        kv.set("engine:serve:test", sketch.encode());
+        assert_eq!(load_sketch(&kv, "engine:serve:test"), Some(sketch));
+    }
+}

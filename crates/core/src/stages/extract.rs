@@ -13,7 +13,8 @@ use super::{sample_list_key, SampleRecord, Stage, StageCx, NAMES_KEY};
 use crate::download::ThumbnailTask;
 use crate::imageproc::ImageProcessor;
 use crate::pipeline::ExtractionMode;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use tero_stats::QuantileSketch;
 use tero_trace::{DropReason, Level, SampleKey, SampleState, TaskTrace};
 use tero_types::{AnonId, GameId};
 use tero_vision::combine::CombineOutcome;
@@ -29,6 +30,15 @@ pub struct ExtractStage {
     pub tasks_processed: u64,
     /// Measurements extracted so far (== `pipeline.extracted`).
     pub extracted: u64,
+    /// The serving layer's raw sketches: every extracted primary value,
+    /// per `{streamer, game}`. Updated in the ordered merge (insertion
+    /// order never affects a sketch, but the fixed order keeps this loop
+    /// on the same path as every other side effect) and persisted by the
+    /// engine at each window commit under
+    /// [`crate::serving::raw_sketch_key`].
+    pub(crate) sketches: BTreeMap<(AnonId, GameId), QuantileSketch>,
+    /// Sketches touched since the last engine commit.
+    pub(crate) dirty_sketches: BTreeSet<(AnonId, GameId)>,
 }
 
 impl ExtractStage {
@@ -38,6 +48,8 @@ impl ExtractStage {
             processor: ImageProcessor::with_registry(registry),
             tasks_processed: 0,
             extracted: 0,
+            sketches: BTreeMap::new(),
+            dirty_sketches: BTreeSet::new(),
         }
     }
 }
@@ -127,6 +139,12 @@ impl Stage for ExtractStage {
             {
                 batch_extracted += 1;
                 cx.metrics.extracted.inc();
+                self.sketches
+                    .entry((anon, task.game_label))
+                    .or_default()
+                    .insert(primary as f64);
+                self.dirty_sketches.insert((anon, task.game_label));
+                cx.metrics.sketch_inserts.inc();
                 batch.entry((anon, task.game_label)).or_default().push(
                     SampleRecord {
                         at: task.generated_at,

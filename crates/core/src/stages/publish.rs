@@ -14,6 +14,7 @@ use crate::behavior::BehaviorStream;
 use crate::download::DownloadStats;
 use crate::location::LocationSource;
 use crate::pipeline::{Tero, TeroReport};
+use crate::serving::{dist_sketch_key, ServeGranularity, SERVE_VERSION_KEY};
 use crate::stages::clean::Cleaned;
 use crate::stages::locate::Located;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -121,6 +122,7 @@ impl Stage for PublishStage {
             }
             location_clusters.insert((key.0.clone(), key.1), analysis.clusters);
             if let Some(dist) = analysis.distribution {
+                commit_dist_sketch(cx, ServeGranularity::Region, &key.0, key.1, &dist);
                 distributions.push(dist);
             }
             shared_anomalies.extend(analysis.shared);
@@ -157,8 +159,14 @@ impl Stage for PublishStage {
                 country_outcomes.insert((anon, key.1), outcome);
             }
             if let Some(dist) = analysis.distribution {
+                commit_dist_sketch(cx, ServeGranularity::Country, &key.0, key.1, &dist);
                 distributions.push(dist);
             }
+        }
+        // One version bump for the whole publish pass: the serving view
+        // moved, so `tero-serve` caches must drop pre-publish answers.
+        if !distributions.is_empty() {
+            cx.kv.incr_by(SERVE_VERSION_KEY, 1);
         }
         drop(_t_aggregate);
         drop(sp_aggregate);
@@ -321,6 +329,25 @@ impl Stage for PublishStage {
             behavior_streams,
         }
     }
+}
+
+/// Encode one published distribution as a serving-layer sketch and commit
+/// it under the granularity-tagged key. The sketch is built from exactly
+/// the values behind the report's `LocationDistribution`, so a serving
+/// answer and the report answer summarise the same sample multiset.
+fn commit_dist_sketch(
+    cx: &mut StageCx<'_>,
+    granularity: ServeGranularity,
+    location_key: &str,
+    game: GameId,
+    dist: &LocationDistribution,
+) {
+    let sketch = tero_stats::QuantileSketch::from_values(&dist.values_ms);
+    let encoded = sketch.encode();
+    cx.metrics.sketch_bytes.add(encoded.len() as u64);
+    cx.metrics.sketch_commits.inc();
+    cx.kv
+        .set(&dist_sketch_key(granularity, game, location_key), encoded);
 }
 
 /// The aggregation granularity of one analysis group (§5's two published

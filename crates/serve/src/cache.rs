@@ -1,0 +1,155 @@
+//! The hot-key cache: decoded sketches kept by recency, invalidated by
+//! serving-view version.
+//!
+//! Decoding a committed sketch (JSON → buckets) is the expensive step of
+//! every query; the answers themselves are a walk over a few hundred
+//! buckets. The cache therefore holds *decoded sketches* keyed by their
+//! KV key, bounded by a capacity with least-recently-used eviction.
+//!
+//! Invalidation is version-based, not per-key: every engine commit that
+//! touches a sketch bumps `engine:serve:version`, and the cache drops its
+//! whole contents the first time it is consulted at a newer version. A
+//! window commit can rewrite any number of raw sketches, so per-key
+//! tracking would buy little — and the whole-view drop is what keeps a
+//! cached answer from ever mixing two serving versions.
+
+use std::collections::HashMap;
+use tero_stats::QuantileSketch;
+
+/// A bounded LRU of decoded sketches, stamped with the serving-view
+/// version its contents were read at. Not thread-safe on its own — the
+/// query engine wraps it in a mutex.
+#[derive(Debug)]
+pub struct HotKeyCache {
+    capacity: usize,
+    version: u64,
+    /// Key → (last-touched tick, decoded sketch).
+    entries: HashMap<String, (u64, QuantileSketch)>,
+    tick: u64,
+}
+
+impl HotKeyCache {
+    /// An empty cache holding at most `capacity` sketches. Capacity 0
+    /// disables caching: every lookup misses and nothing is stored.
+    pub fn new(capacity: usize) -> HotKeyCache {
+        HotKeyCache {
+            capacity,
+            version: 0,
+            entries: HashMap::new(),
+            tick: 0,
+        }
+    }
+
+    /// Number of cached sketches.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Reconcile with the serving view's current version: if it moved,
+    /// drop everything. Returns the number of entries invalidated.
+    pub fn sync_version(&mut self, version: u64) -> usize {
+        if version == self.version {
+            return 0;
+        }
+        self.version = version;
+        let dropped = self.entries.len();
+        self.entries.clear();
+        dropped
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &str) -> Option<&QuantileSketch> {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.entries.get_mut(key)?;
+        entry.0 = tick;
+        Some(&entry.1)
+    }
+
+    /// Insert a decoded sketch, evicting the least-recently-used entry
+    /// if the cache is full. Returns the number of evictions (0 or 1;
+    /// always 0 at capacity 0, where nothing is stored at all).
+    pub fn insert(&mut self, key: String, sketch: QuantileSketch) -> u64 {
+        if self.capacity == 0 {
+            return 0;
+        }
+        self.tick += 1;
+        let mut evicted = 0;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            // Ties on the tick cannot happen (every touch increments it),
+            // so the victim — and therefore the cache's whole behaviour —
+            // is deterministic for a fixed lookup sequence.
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (tick, _))| *tick)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&victim);
+                evicted = 1;
+            }
+        }
+        self.entries.insert(key, (self.tick, sketch));
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sketch(v: f64) -> QuantileSketch {
+        QuantileSketch::from_values(&[v])
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_key() {
+        let mut cache = HotKeyCache::new(2);
+        assert_eq!(cache.insert("a".into(), sketch(1.0)), 0);
+        assert_eq!(cache.insert("b".into(), sketch(2.0)), 0);
+        assert!(cache.get("a").is_some()); // "b" is now coldest
+        assert_eq!(cache.insert("c".into(), sketch(3.0)), 1);
+        assert!(cache.get("b").is_none(), "coldest key evicted");
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinserting_a_cached_key_never_evicts() {
+        let mut cache = HotKeyCache::new(2);
+        cache.insert("a".into(), sketch(1.0));
+        cache.insert("b".into(), sketch(2.0));
+        assert_eq!(
+            cache.insert("a".into(), sketch(9.0)),
+            0,
+            "overwrite in place"
+        );
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get("a").unwrap().max(), Some(9.0));
+    }
+
+    #[test]
+    fn version_change_drops_everything() {
+        let mut cache = HotKeyCache::new(4);
+        cache.insert("a".into(), sketch(1.0));
+        cache.insert("b".into(), sketch(2.0));
+        assert_eq!(cache.sync_version(0), 0, "same version keeps entries");
+        assert_eq!(cache.sync_version(3), 2, "new version invalidates all");
+        assert!(cache.is_empty());
+        assert_eq!(cache.sync_version(3), 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let mut cache = HotKeyCache::new(0);
+        assert_eq!(cache.insert("a".into(), sketch(1.0)), 0);
+        assert!(cache.get("a").is_none());
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,428 @@
+//! The query engine: typed queries over the committed serving sketches.
+
+use crate::cache::HotKeyCache;
+use std::sync::{Mutex, PoisonError};
+use tero_core::serving::{
+    load_sketch, parse_dist_sketch_key, serve_version, ServeGranularity, DIST_SKETCH_PREFIX,
+};
+use tero_obs::{CounterHandle, GaugeHandle, HistogramHandle, Registry};
+use tero_stats::{BoxplotStats, QuantileSketch};
+use tero_store::KvStore;
+use tero_types::{AnonId, GameId};
+
+/// A handle to one served distribution: the KV key its sketch lives
+/// under. Build with [`SketchRef::dist`] (published `{location, game}`
+/// distributions) or [`SketchRef::raw`] (per-`{streamer, game}` raw
+/// sketches, the incrementally-updating view).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SketchRef(String);
+
+impl SketchRef {
+    /// The published distribution at `granularity` for `{location_key,
+    /// game}`, where `location_key` is `Location::key()` at that
+    /// granularity (e.g. `"France/Île-de-France"` or `"France"`).
+    pub fn dist(granularity: ServeGranularity, game: GameId, location_key: &str) -> SketchRef {
+        SketchRef(tero_core::serving::dist_sketch_key(
+            granularity,
+            game,
+            location_key,
+        ))
+    }
+
+    /// The raw sketch of every extracted value for one `{streamer, game}`.
+    pub fn raw(anon: AnonId, game: GameId) -> SketchRef {
+        SketchRef(tero_core::serving::raw_sketch_key(anon, game))
+    }
+
+    /// The underlying KV key.
+    pub fn key(&self) -> &str {
+        &self.0
+    }
+}
+
+/// One query against the serving view.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// The `p`-th percentile (0–100) of a distribution, by the shared
+    /// nearest-rank definition (see `tero_stats::sketch`).
+    Percentile {
+        /// The distribution to query.
+        target: SketchRef,
+        /// Percentile in `[0, 100]`.
+        p: f64,
+    },
+    /// The fraction of the distribution's mass at or below `x` ms.
+    Cdf {
+        /// The distribution to query.
+        target: SketchRef,
+        /// The evaluation point (ms).
+        x: f64,
+    },
+    /// The distribution's full bucket histogram.
+    Histogram {
+        /// The distribution to query.
+        target: SketchRef,
+    },
+    /// The approximate Wasserstein-1 distance between two distributions
+    /// (the Fig 8 comparison shape).
+    Wasserstein {
+        /// First distribution.
+        a: SketchRef,
+        /// Second distribution.
+        b: SketchRef,
+    },
+}
+
+/// A query's answer. Scalar queries answer `None` when the distribution
+/// does not exist or is empty — mirroring `Histogram::percentile` and
+/// `BoxplotStats::from_samples`, a percentile of nothing is not a number.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Answer {
+    /// A percentile, CDF or Wasserstein value.
+    Value(Option<f64>),
+    /// Histogram rows `(bucket_lo, bucket_hi, count)`, ascending; empty
+    /// when the distribution does not exist.
+    Histogram(Vec<(f64, f64, u64)>),
+}
+
+impl Answer {
+    /// The scalar value, if this is a non-empty scalar answer.
+    pub fn value(&self) -> Option<f64> {
+        match self {
+            Answer::Value(v) => *v,
+            Answer::Histogram(_) => None,
+        }
+    }
+
+    /// Whether the query found a non-empty distribution.
+    pub fn is_answered(&self) -> bool {
+        match self {
+            Answer::Value(v) => v.is_some(),
+            Answer::Histogram(rows) => !rows.is_empty(),
+        }
+    }
+
+    /// A deterministic digest of the answer: the exact f64 bit patterns
+    /// (and bucket counts) folded with a Fibonacci-mix. Two answer
+    /// streams are byte-equivalent iff their folded checksums agree —
+    /// the load generator's cheap whole-run identity check.
+    pub fn checksum(&self) -> u64 {
+        const MIX: u64 = 0x9e37_79b9_7f4a_7c15;
+        let fold = |acc: u64, v: u64| (acc ^ v).wrapping_mul(MIX).rotate_left(17);
+        match self {
+            Answer::Value(None) => fold(1, 0),
+            Answer::Value(Some(v)) => fold(2, v.to_bits()),
+            Answer::Histogram(rows) => rows.iter().fold(3, |acc, &(lo, hi, n)| {
+                fold(fold(fold(acc, lo.to_bits()), hi.to_bits()), n)
+            }),
+        }
+    }
+}
+
+/// The `serve.*` metric handles, registered eagerly so the operations
+/// catalogue is complete as soon as an engine exists.
+struct ServeMetrics {
+    queries: CounterHandle,
+    cache_hits: CounterHandle,
+    cache_misses: CounterHandle,
+    cache_evictions: CounterHandle,
+    cache_entries: GaugeHandle,
+    query_us: HistogramHandle,
+    registry: Registry,
+}
+
+impl ServeMetrics {
+    fn new(registry: &Registry) -> ServeMetrics {
+        ServeMetrics {
+            queries: registry.counter("serve.queries"),
+            cache_hits: registry.counter("serve.cache.hits"),
+            cache_misses: registry.counter("serve.cache.misses"),
+            cache_evictions: registry.counter("serve.cache.evictions"),
+            cache_entries: registry.gauge("serve.cache.entries"),
+            query_us: registry.histogram("serve.query_us"),
+            registry: registry.clone(),
+        }
+    }
+}
+
+/// Default hot-key cache capacity (decoded sketches).
+pub const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+/// The distribution query front-end.
+///
+/// Wraps a serving store — [`tero_core::Tero::serving_store`] after a
+/// completed run, or any `KvStore` an engine committed into — and answers
+/// [`Query`]s from the committed sketches, through a hot-key LRU cache of
+/// decoded sketches. Thread-safe: the load generator fans queries out
+/// over a `tero_pool::Pool` against one shared engine.
+///
+/// Answers are deterministic: they depend only on the committed sketch
+/// bytes, which are themselves byte-identical across worker counts and
+/// window schedules, so a query stream replayed against any equivalent
+/// run folds to the same [`Answer::checksum`].
+pub struct QueryEngine {
+    kv: KvStore,
+    cache: Mutex<HotKeyCache>,
+    metrics: ServeMetrics,
+}
+
+impl QueryEngine {
+    /// An engine over `kv` with the default cache capacity, reporting
+    /// `serve.*` metrics into `registry`.
+    pub fn new(kv: KvStore, registry: &Registry) -> QueryEngine {
+        QueryEngine::with_cache_capacity(kv, registry, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// An engine with an explicit hot-key cache capacity. Capacity 0
+    /// disables the cache (every query decodes from the store) — the
+    /// cache-off arm of the benchmarks.
+    pub fn with_cache_capacity(kv: KvStore, registry: &Registry, capacity: usize) -> QueryEngine {
+        QueryEngine {
+            kv,
+            cache: Mutex::new(HotKeyCache::new(capacity)),
+            metrics: ServeMetrics::new(registry),
+        }
+    }
+
+    /// The serving view's current version (see
+    /// `tero_core::serving::SERVE_VERSION_KEY`).
+    pub fn version(&self) -> u64 {
+        serve_version(&self.kv)
+    }
+
+    /// Every published distribution in the serving view, sorted by key:
+    /// `(granularity, game, location_key)`.
+    pub fn distributions(&self) -> Vec<(ServeGranularity, GameId, String)> {
+        self.kv
+            .keys_with_prefix(DIST_SKETCH_PREFIX)
+            .iter()
+            .filter_map(|k| {
+                let (g, game, loc) = parse_dist_sketch_key(k)?;
+                Some((g, game, loc.to_string()))
+            })
+            .collect()
+    }
+
+    /// Answer one query.
+    pub fn query(&self, q: &Query) -> Answer {
+        self.metrics.queries.inc();
+        let _t = self.metrics.registry.stage_timer(&self.metrics.query_us);
+        match q {
+            Query::Percentile { target, p } => {
+                Answer::Value(self.sketch(target).and_then(|s| s.quantile(*p)))
+            }
+            Query::Cdf { target, x } => Answer::Value(self.sketch(target).and_then(|s| s.cdf(*x))),
+            Query::Histogram { target } => Answer::Histogram(
+                self.sketch(target)
+                    .map(|s| s.histogram())
+                    .unwrap_or_default(),
+            ),
+            Query::Wasserstein { a, b } => Answer::Value(
+                self.sketch(a)
+                    .zip(self.sketch(b))
+                    .and_then(|(a, b)| a.wasserstein(&b)),
+            ),
+        }
+    }
+
+    /// The `p`-th percentile of `target` (`None`: absent or empty).
+    pub fn percentile(&self, target: &SketchRef, p: f64) -> Option<f64> {
+        self.query(&Query::Percentile {
+            target: target.clone(),
+            p,
+        })
+        .value()
+    }
+
+    /// The CDF of `target` at `x` ms (`None`: absent or empty).
+    pub fn cdf(&self, target: &SketchRef, x: f64) -> Option<f64> {
+        self.query(&Query::Cdf {
+            target: target.clone(),
+            x,
+        })
+        .value()
+    }
+
+    /// The bucket histogram of `target` (empty when absent).
+    pub fn histogram(&self, target: &SketchRef) -> Vec<(f64, f64, u64)> {
+        match self.query(&Query::Histogram {
+            target: target.clone(),
+        }) {
+            Answer::Histogram(rows) => rows,
+            Answer::Value(_) => unreachable!("histogram query answers histogram"),
+        }
+    }
+
+    /// The approximate Wasserstein-1 distance between two served
+    /// distributions (`None` when either is absent or empty).
+    pub fn wasserstein(&self, a: &SketchRef, b: &SketchRef) -> Option<f64> {
+        self.query(&Query::Wasserstein {
+            a: a.clone(),
+            b: b.clone(),
+        })
+        .value()
+    }
+
+    /// The sketch-served five-number summary of `target` — the serving
+    /// mirror of the report's §5.2 `BoxplotStats`.
+    pub fn boxplot(&self, target: &SketchRef) -> Option<BoxplotStats> {
+        self.metrics.queries.inc();
+        let _t = self.metrics.registry.stage_timer(&self.metrics.query_us);
+        self.sketch(target)?.boxplot()
+    }
+
+    /// Cache counters so far: `(hits, misses, evictions)`.
+    pub fn cache_stats(&self) -> (u64, u64, u64) {
+        (
+            self.metrics.cache_hits.get(),
+            self.metrics.cache_misses.get(),
+            self.metrics.cache_evictions.get(),
+        )
+    }
+
+    /// Fetch a decoded sketch through the hot-key cache. Consulting the
+    /// cache first reconciles it with the serving version, so an engine
+    /// commit between two queries invalidates every cached sketch.
+    fn sketch(&self, target: &SketchRef) -> Option<QuantileSketch> {
+        let version = serve_version(&self.kv);
+        let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
+        cache.sync_version(version);
+        if let Some(sketch) = cache.get(target.key()) {
+            self.metrics.cache_hits.inc();
+            return Some(sketch.clone());
+        }
+        self.metrics.cache_misses.inc();
+        let sketch = load_sketch(&self.kv, target.key())?;
+        let evicted = cache.insert(target.key().to_string(), sketch.clone());
+        self.metrics.cache_evictions.add(evicted);
+        self.metrics.cache_entries.set(cache.len() as i64);
+        Some(sketch)
+    }
+}
+
+impl std::fmt::Debug for QueryEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryEngine")
+            .field("version", &self.version())
+            .field("distributions", &self.distributions().len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tero_core::serving::SERVE_VERSION_KEY;
+
+    fn store_with(values: &[f64], key: &SketchRef) -> KvStore {
+        let kv = KvStore::new();
+        kv.set(key.key(), QuantileSketch::from_values(values).encode());
+        kv.incr_by(SERVE_VERSION_KEY, 1);
+        kv
+    }
+
+    #[test]
+    fn answers_all_query_shapes() {
+        let game = GameId::ALL[0];
+        let target = SketchRef::dist(ServeGranularity::Region, game, "France/Île-de-France");
+        let values: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let kv = store_with(&values, &target);
+        let other = SketchRef::dist(ServeGranularity::Country, game, "France");
+        kv.set(
+            other.key(),
+            QuantileSketch::from_values(&values.iter().map(|v| v + 10.0).collect::<Vec<_>>())
+                .encode(),
+        );
+        let registry = Registry::new();
+        let engine = QueryEngine::new(kv, &registry);
+
+        let p50 = engine.percentile(&target, 50.0).unwrap();
+        assert!((p50 - 50.0).abs() <= 50.0 * 0.021, "p50 {p50}");
+        let cdf = engine.cdf(&target, 50.0).unwrap();
+        assert!((cdf - 0.5).abs() < 0.03, "cdf {cdf}");
+        let rows = engine.histogram(&target);
+        assert_eq!(rows.iter().map(|r| r.2).sum::<u64>(), 100);
+        let w = engine.wasserstein(&target, &other).unwrap();
+        assert!((w - 10.0).abs() < 1.0, "translation distance {w}");
+        let bp = engine.boxplot(&target).unwrap();
+        assert_eq!(bp.n, 100);
+        assert_eq!(engine.distributions().len(), 2);
+    }
+
+    #[test]
+    fn missing_and_empty_distributions_answer_none() {
+        let registry = Registry::new();
+        let kv = KvStore::new();
+        let empty = SketchRef::raw(AnonId(7), GameId::ALL[0]);
+        kv.set(empty.key(), QuantileSketch::default().encode());
+        let engine = QueryEngine::new(kv, &registry);
+        let missing = SketchRef::dist(ServeGranularity::Region, GameId::ALL[0], "Atlantis");
+        assert_eq!(engine.percentile(&missing, 95.0), None);
+        assert_eq!(engine.percentile(&empty, 95.0), None, "empty sketch: None");
+        assert_eq!(engine.cdf(&missing, 10.0), None);
+        assert!(engine.histogram(&missing).is_empty());
+        assert_eq!(engine.wasserstein(&missing, &empty), None);
+        assert_eq!(engine.boxplot(&empty), None);
+    }
+
+    #[test]
+    fn cache_hits_and_version_invalidation() {
+        let game = GameId::ALL[1];
+        let target = SketchRef::raw(AnonId(42), game);
+        let kv = store_with(&[10.0, 20.0, 30.0], &target);
+        let registry = Registry::new();
+        let engine = QueryEngine::new(kv.clone(), &registry);
+
+        engine.percentile(&target, 50.0);
+        assert_eq!(engine.cache_stats(), (0, 1, 0), "first query misses");
+        engine.percentile(&target, 95.0);
+        engine.cdf(&target, 15.0);
+        assert_eq!(engine.cache_stats(), (2, 1, 0), "repeat queries hit");
+
+        // A commit-style update: new sketch bytes plus a version bump.
+        kv.set(
+            target.key(),
+            QuantileSketch::from_values(&[100.0, 200.0]).encode(),
+        );
+        kv.incr_by(SERVE_VERSION_KEY, 1);
+        let p50 = engine.percentile(&target, 50.0).unwrap();
+        assert!(p50 >= 99.0, "post-commit answer reflects the new sketch");
+        assert_eq!(engine.cache_stats(), (2, 2, 0), "version bump invalidated");
+        assert_eq!(registry.snapshot().counter("serve.queries"), Some(4));
+    }
+
+    #[test]
+    fn lru_evictions_are_counted() {
+        let registry = Registry::new();
+        let kv = KvStore::new();
+        let game = GameId::ALL[0];
+        let targets: Vec<SketchRef> = (0..3).map(|i| SketchRef::raw(AnonId(i), game)).collect();
+        for t in &targets {
+            kv.set(t.key(), QuantileSketch::from_values(&[1.0]).encode());
+        }
+        let engine = QueryEngine::with_cache_capacity(kv, &registry, 2);
+        for t in &targets {
+            engine.percentile(t, 50.0);
+        }
+        let (hits, misses, evictions) = engine.cache_stats();
+        assert_eq!((hits, misses), (0, 3));
+        assert_eq!(evictions, 1, "third distinct key evicts the coldest");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("serve.cache.evictions"), Some(1));
+        assert_eq!(snap.gauge("serve.cache.entries").unwrap().value, 2);
+    }
+
+    #[test]
+    fn checksum_distinguishes_answers() {
+        let a = Answer::Value(Some(42.0));
+        let b = Answer::Value(Some(43.0));
+        assert_ne!(a.checksum(), b.checksum());
+        assert_ne!(Answer::Value(None).checksum(), a.checksum());
+        assert_eq!(a.checksum(), Answer::Value(Some(42.0)).checksum());
+        let h1 = Answer::Histogram(vec![(0.0, 1.0, 2)]);
+        let h2 = Answer::Histogram(vec![(0.0, 1.0, 3)]);
+        assert_ne!(h1.checksum(), h2.checksum());
+        assert!(!Answer::Histogram(vec![]).is_answered());
+        assert!(h1.is_answered());
+    }
+}

@@ -67,6 +67,26 @@ pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
     }
 }
 
+/// Nearest-rank percentile of an *unsorted* slice: the value at 1-based
+/// rank `ceil(p/100 · n)`, clamped to at least rank 1. `None` when empty.
+///
+/// This is the definition shared by `tero_obs::Histogram::percentile` and
+/// [`tero_stats::sketch::QuantileSketch::quantile`](crate::sketch::QuantileSketch::quantile)
+/// — the one docs/OPERATIONS.md quotes for every served p50/p95/p99. It
+/// always returns an observed sample, unlike [`percentile`] which
+/// linearly interpolates *between* samples (the §5.2 report method); on a
+/// sorted slice the two differ by at most one rank position.
+pub fn percentile_nearest_rank(xs: &[f64], p: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    Some(sorted[rank - 1])
+}
+
 /// The five-number summary the paper uses for every latency distribution:
 /// 5th, 25th, 50th, 75th and 95th percentiles, plus count and mean.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -171,6 +191,21 @@ mod tests {
         assert!(percentile(&[], 50.0).is_nan());
         // Out-of-range p clamps.
         assert_eq!(percentile(&xs, 150.0), 4.0);
+    }
+
+    #[test]
+    fn nearest_rank_matches_shared_definition() {
+        let xs = [9.0, 1.0, 5.0, 3.0, 7.0];
+        // rank = ceil(p/100 · 5): p50 → rank 3 → 5.0, p95 → rank 5 → 9.0.
+        assert_eq!(percentile_nearest_rank(&xs, 50.0), Some(5.0));
+        assert_eq!(percentile_nearest_rank(&xs, 95.0), Some(9.0));
+        assert_eq!(percentile_nearest_rank(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile_nearest_rank(&xs, 100.0), Some(9.0));
+        assert_eq!(percentile_nearest_rank(&[], 50.0), None);
+        // Always an observed sample; linear interpolation is not.
+        let pair = [1.0, 1000.0];
+        assert_eq!(percentile_nearest_rank(&pair, 50.0), Some(1.0));
+        assert!((percentile(&pair, 50.0) - 500.5).abs() < 1e-12);
     }
 
     #[test]

@@ -19,7 +19,10 @@
 //!   baselines of App. J (Local Outlier Factor, Isolation Forest, Minimum
 //!   Covariance Determinant);
 //! * [`outliers`] — the inter-quartile-range rule used to threshold
-//!   Isolation-Forest scores (App. J).
+//!   Isolation-Forest scores (App. J);
+//! * [`sketch`] — the mergeable DDSketch-style quantile sketch behind the
+//!   `tero-serve` query front-end (percentile/CDF/histogram/Wasserstein
+//!   answers within a documented relative-error bound).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -32,16 +35,18 @@ pub mod lof;
 pub mod mcd;
 pub mod outliers;
 pub mod probit;
+pub mod sketch;
 pub mod special;
 pub mod wasserstein;
 
 pub use binomial::{binomial_pmf, binomial_sf, SharedAnomalyTest};
 pub use changepoint::pelt_mean_shift;
-pub use descriptive::{mean, percentile, std_dev, variance, BoxplotStats};
+pub use descriptive::{mean, percentile, percentile_nearest_rank, std_dev, variance, BoxplotStats};
 pub use iforest::IsolationForest;
 pub use lof::local_outlier_factor;
 pub use mcd::UnivariateMcd;
 pub use outliers::iqr_outliers;
 pub use probit::{ProbitFit, ProbitModel};
+pub use sketch::{QuantileSketch, DEFAULT_ALPHA};
 pub use special::{erf, inv_norm_cdf, ln_gamma, norm_cdf, norm_pdf};
 pub use wasserstein::{unevenness_score, wasserstein_1d};

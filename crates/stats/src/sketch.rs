@@ -1,0 +1,618 @@
+//! Mergeable quantile sketches for the serving layer (`tero-serve`).
+//!
+//! A [`QuantileSketch`] is a DDSketch-style summary of a latency
+//! distribution: values land in logarithmically-spaced buckets chosen so
+//! that every value in a bucket is within a fixed *relative* distance of
+//! every other. Two sketches built over disjoint sample sets merge by
+//! adding bucket counts — merging is associative and commutative *in
+//! effect* (any merge order yields an identical sketch, byte-for-byte in
+//! its wire encoding), which is what lets the staged engine commit
+//! per-window sketches and the serving layer combine them freely.
+//!
+//! ## Accuracy contract
+//!
+//! With relative accuracy `α` (default [`DEFAULT_ALPHA`]), bucket `i ≥ 1`
+//! covers the half-open range `(γ^(i-1), γ^i]` with `γ = (1+α)/(1−α)`;
+//! bucket 0 covers exactly the value `0` (and anything non-positive), and
+//! negative indices cover values below 1. Because the bucket ranges are
+//! disjoint and ordered, the sketch's cumulative counts agree with the
+//! exact sorted sample's ranks at every bucket boundary, so the value the
+//! sketch returns for a quantile sits in the **same bucket** as the exact
+//! nearest-rank sample. The documented guarantee, pinned by the property
+//! tests in this module and by `tests/serve_accuracy.rs`:
+//!
+//! > `quantile(p)` differs from the exact nearest-rank percentile
+//! > ([`crate::descriptive::percentile_nearest_rank`]) by a relative
+//! > error of at most [`QuantileSketch::relative_error_bound`]
+//! > `= γ − 1 = 2α/(1−α)` (≈ 2.02 % at the default `α = 1 %`). Zero
+//! > values are exact.
+//!
+//! ## One percentile definition
+//!
+//! `quantile` uses the **same nearest-rank definition** as
+//! `tero_obs::Histogram::percentile`: the target is rank
+//! `ceil(p/100 · n)` (1-based, clamped to at least 1), the estimate
+//! interpolates linearly *by rank* inside the containing bucket, and the
+//! result is clamped to the observed `[min, max]` — so single-valued
+//! sketches are exact at every percentile. The two structures differ
+//! only in bucket geometry (powers of two vs powers of `γ`) and boundary
+//! rounding: a value exactly `2^k` starts `Histogram` bucket `k+1`
+//! (lower-inclusive), while a value exactly `γ^k` *closes* sketch bucket
+//! `k` (upper-inclusive). docs/OPERATIONS.md quotes this shared
+//! definition for every p50/p95/p99 the system reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Default relative accuracy `α`: served quantiles within ~2 % of the
+/// exact nearest-rank value (see the module docs for the exact bound).
+pub const DEFAULT_ALPHA: f64 = 0.01;
+
+/// A mergeable quantile sketch over non-negative `f64` values.
+///
+/// Insertion and merging only touch integer bucket counts (plus exact
+/// min/max/sum bookkeeping), so the sketch built from a multiset of
+/// values is identical regardless of insertion order, worker count, or
+/// how the values were split across merged partial sketches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    /// Relative accuracy the sketch was built with.
+    alpha: f64,
+    /// `(1+α)/(1−α)` — the bucket-width ratio.
+    gamma: f64,
+    /// `ln γ`, cached for bucket indexing.
+    ln_gamma: f64,
+    /// Count of non-positive values (the exact "zero bucket").
+    zero: u64,
+    /// Positive-value buckets as `(index, count)`, sorted by index.
+    /// Bucket `i` covers `(γ^(i-1), γ^i]`.
+    buckets: Vec<(i32, u64)>,
+    /// Total inserted values (zero bucket included).
+    count: u64,
+    /// Exact sum of inserted values.
+    sum: f64,
+    /// Exact smallest inserted value (`f64::INFINITY` when empty).
+    min: f64,
+    /// Exact largest inserted value (`f64::NEG_INFINITY` when empty).
+    max: f64,
+}
+
+/// The serde wire shape: everything needed to reconstruct the sketch.
+/// `count` is derivable (zero + Σ bucket counts) and `min`/`max` are
+/// `None` when empty, so a decoded sketch can never be internally
+/// inconsistent.
+#[derive(Serialize, Deserialize)]
+struct Wire {
+    alpha: f64,
+    zero: u64,
+    buckets: Vec<(i32, u64)>,
+    sum: f64,
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        QuantileSketch::new(DEFAULT_ALPHA)
+    }
+}
+
+impl QuantileSketch {
+    /// An empty sketch with relative accuracy `alpha ∈ (0, 1)`.
+    pub fn new(alpha: f64) -> QuantileSketch {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "sketch accuracy must be in (0, 1), got {alpha}"
+        );
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        QuantileSketch {
+            alpha,
+            gamma,
+            ln_gamma: gamma.ln(),
+            zero: 0,
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The relative accuracy `α` this sketch was built with.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The documented worst-case relative error of [`Self::quantile`]
+    /// against the exact nearest-rank percentile: `γ − 1 = 2α/(1−α)`.
+    pub fn relative_error_bound(&self) -> f64 {
+        self.gamma - 1.0
+    }
+
+    /// Bucket index for a positive value: `ceil(ln v / ln γ)`, so bucket
+    /// `i` covers `(γ^(i-1), γ^i]` (upper-inclusive).
+    #[inline]
+    fn bucket_for(&self, v: f64) -> i32 {
+        (v.ln() / self.ln_gamma).ceil() as i32
+    }
+
+    /// `(lo, hi]` value bounds of bucket `i`.
+    #[inline]
+    fn bucket_bounds(&self, i: i32) -> (f64, f64) {
+        (self.gamma.powi(i - 1), self.gamma.powi(i))
+    }
+
+    /// Insert one value. Non-positive values land in the exact zero
+    /// bucket; `NaN` panics (nothing in the pipeline produces one).
+    pub fn insert(&mut self, v: f64) {
+        self.insert_n(v, 1);
+    }
+
+    /// Insert `n` copies of one value in O(log buckets).
+    pub fn insert_n(&mut self, v: f64, n: u64) {
+        assert!(!v.is_nan(), "NaN inserted into QuantileSketch");
+        if n == 0 {
+            return;
+        }
+        if v <= 0.0 {
+            self.zero += n;
+        } else {
+            let idx = self.bucket_for(v);
+            match self.buckets.binary_search_by_key(&idx, |&(i, _)| i) {
+                Ok(pos) => self.buckets[pos].1 += n,
+                Err(pos) => self.buckets.insert(pos, (idx, n)),
+            }
+        }
+        self.count += n;
+        self.sum += v * n as f64;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Build a sketch at the default accuracy from a slice of values.
+    pub fn from_values(values: &[f64]) -> QuantileSketch {
+        let mut s = QuantileSketch::default();
+        for &v in values {
+            s.insert(v);
+        }
+        s
+    }
+
+    /// Number of inserted values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether the sketch has seen no values.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact sum of inserted values (0.0 when empty).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact mean (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Exact smallest inserted value (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact largest inserted value (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merge another sketch into this one by adding bucket counts.
+    /// Associative and commutative in effect: any merge order over the
+    /// same partial sketches yields an identical (byte-identical once
+    /// encoded) result. Panics on mismatched accuracy — sketches from
+    /// different `α` families have incompatible bucket geometry.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        assert!(
+            self.alpha == other.alpha,
+            "cannot merge sketches with different accuracy ({} vs {})",
+            self.alpha,
+            other.alpha
+        );
+        self.zero += other.zero;
+        for &(idx, n) in &other.buckets {
+            match self.buckets.binary_search_by_key(&idx, |&(i, _)| i) {
+                Ok(pos) => self.buckets[pos].1 += n,
+                Err(pos) => self.buckets.insert(pos, (idx, n)),
+            }
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Merge an iterator of sketches into one, in the order given.
+    /// Callers that want a pinned byte-identical result across processes
+    /// should iterate a sorted key order (e.g. a `BTreeMap`), though the
+    /// merged *contents* are the same for any order. `None` when the
+    /// iterator is empty.
+    pub fn merge_all<'a>(
+        sketches: impl IntoIterator<Item = &'a QuantileSketch>,
+    ) -> Option<QuantileSketch> {
+        let mut iter = sketches.into_iter();
+        let mut acc = iter.next()?.clone();
+        for s in iter {
+            acc.merge(s);
+        }
+        Some(acc)
+    }
+
+    /// The `p`-th percentile (0–100) by the shared nearest-rank
+    /// definition (see the module docs): target rank `ceil(p/100 · n)`
+    /// clamped to at least 1, linear interpolation by rank inside the
+    /// containing bucket, clamped to the exact `[min, max]`. `None` when
+    /// the sketch is empty, mirroring `tero_obs::Histogram::percentile`
+    /// and `BoxplotStats::from_samples` — a percentile of nothing is not
+    /// a number.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        if target <= self.zero {
+            return Some(0.0);
+        }
+        let mut cumulative = self.zero;
+        for &(idx, n) in &self.buckets {
+            if cumulative + n >= target {
+                let (lo, hi) = self.bucket_bounds(idx);
+                let into = (target - cumulative) as f64 / n as f64;
+                let est = lo + into * (hi - lo);
+                return Some(est.clamp(self.min, self.max));
+            }
+            cumulative += n;
+        }
+        Some(self.max)
+    }
+
+    /// The sketch-served five-number summary the paper publishes for
+    /// every distribution (§5.2): p5/p25/p50/p75/p95 plus count and
+    /// exact mean. `None` when empty.
+    pub fn boxplot(&self) -> Option<crate::descriptive::BoxplotStats> {
+        Some(crate::descriptive::BoxplotStats {
+            n: usize::try_from(self.count).unwrap_or(usize::MAX),
+            mean: self.mean()?,
+            p5: self.quantile(5.0)?,
+            p25: self.quantile(25.0)?,
+            p50: self.quantile(50.0)?,
+            p75: self.quantile(75.0)?,
+            p95: self.quantile(95.0)?,
+        })
+    }
+
+    /// The empirical CDF at `x`: the fraction of inserted mass ≤ `x`,
+    /// with linear rank interpolation inside `x`'s bucket. Exact at every
+    /// bucket boundary; inside a bucket the error is bounded by that
+    /// bucket's mass fraction. `None` when empty.
+    pub fn cdf(&self, x: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if x < self.min.max(0.0) {
+            // Below every observation (zero bucket included: min is 0.0
+            // whenever the zero bucket is occupied).
+            if x < 0.0 || self.zero == 0 {
+                return Some(0.0);
+            }
+        }
+        if x >= self.max {
+            return Some(1.0);
+        }
+        let mut below = self.zero;
+        let idx = self.bucket_for(x.max(f64::MIN_POSITIVE));
+        for &(i, n) in &self.buckets {
+            if i < idx {
+                below += n;
+            } else if i == idx {
+                // Interpolate by rank across x's position in the bucket.
+                let (lo, hi) = self.bucket_bounds(i);
+                let frac = ((x - lo) / (hi - lo)).clamp(0.0, 1.0);
+                below += (frac * n as f64).round() as u64;
+            } else {
+                break;
+            }
+        }
+        Some(below.min(self.count) as f64 / self.count as f64)
+    }
+
+    /// The sketch as a histogram: `(lo, hi, count)` rows for every
+    /// occupied bucket, ascending, with the zero bucket reported as
+    /// `(0, 0, n)`. This is the raw shape behind every other query.
+    pub fn histogram(&self) -> Vec<(f64, f64, u64)> {
+        let mut rows = Vec::with_capacity(self.buckets.len() + 1);
+        if self.zero > 0 {
+            rows.push((0.0, 0.0, self.zero));
+        }
+        for &(idx, n) in &self.buckets {
+            let (lo, hi) = self.bucket_bounds(idx);
+            rows.push((lo, hi, n));
+        }
+        rows
+    }
+
+    /// Approximate 1-D Wasserstein-1 distance to another sketch, by the
+    /// quantile-function integral `∫|F⁻¹(q) − G⁻¹(q)| dq` evaluated with
+    /// a midpoint rule at [`WASSERSTEIN_GRID`] ranks. Deterministic; the
+    /// discretisation adds `O(1/grid)` rank error on top of the per-value
+    /// relative bound. `None` when either sketch is empty.
+    pub fn wasserstein(&self, other: &QuantileSketch) -> Option<f64> {
+        if self.count == 0 || other.count == 0 {
+            return None;
+        }
+        let mut acc = 0.0;
+        for i in 0..WASSERSTEIN_GRID {
+            let q = (i as f64 + 0.5) / WASSERSTEIN_GRID as f64 * 100.0;
+            let a = self.quantile(q).expect("non-empty");
+            let b = other.quantile(q).expect("non-empty");
+            acc += (a - b).abs();
+        }
+        Some(acc / WASSERSTEIN_GRID as f64)
+    }
+
+    /// Serialise to the JSON wire encoding (vendored `serde_json`).
+    /// Byte-identical for identical sketch contents: buckets are kept
+    /// sorted and every field is order-independent under insert/merge.
+    pub fn encode(&self) -> String {
+        serde_json::to_string(self).expect("sketch serialises")
+    }
+
+    /// Decode a [`Self::encode`] string. `None` on malformed input.
+    pub fn decode(raw: &str) -> Option<QuantileSketch> {
+        serde_json::from_str(raw).ok()
+    }
+}
+
+/// Midpoint-rule resolution of [`QuantileSketch::wasserstein`].
+pub const WASSERSTEIN_GRID: usize = 256;
+
+impl Serialize for QuantileSketch {
+    fn serialize(&self) -> serde::Value {
+        Wire {
+            alpha: self.alpha,
+            zero: self.zero,
+            buckets: self.buckets.clone(),
+            sum: self.sum,
+            min: self.min(),
+            max: self.max(),
+        }
+        .serialize()
+    }
+}
+
+impl Deserialize for QuantileSketch {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        let wire = Wire::deserialize(v)?;
+        if !(wire.alpha > 0.0 && wire.alpha < 1.0) {
+            return Err(serde::Error::custom("sketch alpha out of range"));
+        }
+        let mut s = QuantileSketch::new(wire.alpha);
+        let bucket_total: u64 = wire.buckets.iter().map(|&(_, n)| n).sum();
+        if wire.buckets.windows(2).any(|w| w[0].0 >= w[1].0) {
+            return Err(serde::Error::custom("sketch buckets not sorted"));
+        }
+        s.zero = wire.zero;
+        s.buckets = wire.buckets;
+        s.count = wire.zero + bucket_total;
+        s.sum = wire.sum;
+        s.min = wire.min.unwrap_or(f64::INFINITY);
+        s.max = wire.max.unwrap_or(f64::NEG_INFINITY);
+        if (s.count > 0) != (wire.min.is_some() && wire.max.is_some()) {
+            return Err(serde::Error::custom("sketch min/max inconsistent"));
+        }
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::percentile_nearest_rank;
+
+    fn assert_within_bound(sketch: &QuantileSketch, values: &[f64], p: f64) {
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let exact = percentile_nearest_rank(&sorted, p).unwrap();
+        let served = sketch.quantile(p).unwrap();
+        let bound = sketch.relative_error_bound() * exact.abs() + 1e-12;
+        assert!(
+            (served - exact).abs() <= bound,
+            "p{p}: served {served} vs exact {exact} (bound {bound})"
+        );
+    }
+
+    #[test]
+    fn empty_sketch_answers_none() {
+        let s = QuantileSketch::default();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(50.0), None);
+        assert_eq!(s.cdf(10.0), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.boxplot(), None);
+        assert!(s.histogram().is_empty());
+        assert_eq!(s.wasserstein(&QuantileSketch::default()), None);
+    }
+
+    #[test]
+    fn single_value_is_exact_everywhere() {
+        let mut s = QuantileSketch::default();
+        s.insert(42.0);
+        for p in [0.0, 5.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(s.quantile(p), Some(42.0), "p{p}");
+        }
+        assert_eq!(s.min(), Some(42.0));
+        assert_eq!(s.max(), Some(42.0));
+        assert_eq!(s.cdf(41.0), Some(0.0));
+        assert_eq!(s.cdf(42.0), Some(1.0));
+    }
+
+    #[test]
+    fn zero_values_are_exact() {
+        let mut s = QuantileSketch::default();
+        s.insert_n(0.0, 10);
+        s.insert_n(100.0, 10);
+        assert_eq!(s.quantile(25.0), Some(0.0));
+        assert!((s.cdf(0.0).unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(s.count(), 20);
+    }
+
+    #[test]
+    fn quantiles_within_documented_bound() {
+        let values: Vec<f64> = (1..=1000).map(|i| (i as f64).powf(1.3)).collect();
+        let s = QuantileSketch::from_values(&values);
+        for p in [1.0, 5.0, 25.0, 50.0, 75.0, 95.0, 99.0, 100.0] {
+            assert_within_bound(&s, &values, p);
+        }
+    }
+
+    #[test]
+    fn merge_equals_bulk_build() {
+        let a: Vec<f64> = (1..=500).map(|i| i as f64 * 0.7).collect();
+        let b: Vec<f64> = (1..=300).map(|i| i as f64 * 1.9 + 3.0).collect();
+        let mut merged = QuantileSketch::from_values(&a);
+        merged.merge(&QuantileSketch::from_values(&b));
+        let mut all = a.clone();
+        all.extend(&b);
+        let bulk = QuantileSketch::from_values(&all);
+        assert_eq!(merged, bulk);
+        assert_eq!(merged.encode(), bulk.encode(), "byte-identical encoding");
+        // Commutative in effect.
+        let mut flipped = QuantileSketch::from_values(&b);
+        flipped.merge(&QuantileSketch::from_values(&a));
+        assert_eq!(flipped.encode(), bulk.encode());
+    }
+
+    #[test]
+    fn merge_all_in_sorted_order() {
+        let parts: Vec<QuantileSketch> = (0..4)
+            .map(|k| QuantileSketch::from_values(&[(k + 1) as f64, (k + 10) as f64]))
+            .collect();
+        let merged = QuantileSketch::merge_all(parts.iter()).unwrap();
+        assert_eq!(merged.count(), 8);
+        assert!(QuantileSketch::merge_all(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "different accuracy")]
+    fn merge_rejects_mismatched_alpha() {
+        let mut a = QuantileSketch::new(0.01);
+        a.merge(&QuantileSketch::new(0.02));
+    }
+
+    #[test]
+    fn cdf_monotone_and_bounded() {
+        let values: Vec<f64> = (1..=200).map(|i| (i * 7 % 97) as f64 + 1.0).collect();
+        let s = QuantileSketch::from_values(&values);
+        let mut prev = 0.0;
+        for x in 0..110 {
+            let c = s.cdf(x as f64).unwrap();
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c >= prev, "cdf not monotone at {x}");
+            prev = c;
+        }
+        assert_eq!(s.cdf(0.5), Some(0.0));
+        assert_eq!(s.cdf(1000.0), Some(1.0));
+    }
+
+    #[test]
+    fn cdf_exact_at_bucket_boundaries() {
+        // Values far enough apart to occupy distinct buckets: the CDF at
+        // any point between two buckets is the exact fraction below.
+        let values = [1.0, 10.0, 100.0, 1000.0];
+        let s = QuantileSketch::from_values(&values);
+        assert!((s.cdf(5.0).unwrap() - 0.25).abs() < 1e-12);
+        assert!((s.cdf(50.0).unwrap() - 0.5).abs() < 1e-12);
+        assert!((s.cdf(500.0).unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_rows_cover_all_mass() {
+        let values = [0.0, 0.0, 3.0, 3.0, 3.0, 90.0];
+        let s = QuantileSketch::from_values(&values);
+        let rows = s.histogram();
+        assert_eq!(rows[0], (0.0, 0.0, 2));
+        let total: u64 = rows.iter().map(|&(_, _, n)| n).sum();
+        assert_eq!(total, s.count());
+        for w in rows.windows(2) {
+            assert!(w[0].1 <= w[1].0 + 1e-12, "rows out of order");
+        }
+    }
+
+    #[test]
+    fn wasserstein_tracks_translation() {
+        let a: Vec<f64> = (1..=400).map(|i| 50.0 + (i % 20) as f64).collect();
+        let b: Vec<f64> = a.iter().map(|v| v * 2.0).collect();
+        let sa = QuantileSketch::from_values(&a);
+        let sb = QuantileSketch::from_values(&b);
+        let d = sa.wasserstein(&sb).unwrap();
+        let exact = crate::wasserstein::wasserstein_1d(&a, &b);
+        // Relative bound on values plus the grid discretisation.
+        assert!(
+            (d - exact).abs() <= 0.05 * exact + 1.0,
+            "sketch W1 {d} vs exact {exact}"
+        );
+        assert!((sa.wasserstein(&sa).unwrap()).abs() < 1e-9);
+        // Symmetric.
+        assert!((sa.wasserstein(&sb).unwrap() - sb.wasserstein(&sa).unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let values: Vec<f64> = (0..300).map(|i| (i % 37) as f64 * 1.5).collect();
+        let s = QuantileSketch::from_values(&values);
+        let decoded = QuantileSketch::decode(&s.encode()).unwrap();
+        assert_eq!(decoded, s);
+        assert_eq!(decoded.encode(), s.encode());
+        // Empty sketch round-trips too.
+        let e = QuantileSketch::default();
+        assert_eq!(QuantileSketch::decode(&e.encode()).unwrap(), e);
+        // Garbage is rejected, not misparsed.
+        assert!(QuantileSketch::decode("not json").is_none());
+        assert!(QuantileSketch::decode("{\"alpha\":7.0}").is_none());
+    }
+
+    #[test]
+    fn gamma_power_boundary_rounds_down() {
+        // The documented boundary rule, opposite of tero_obs::Histogram:
+        // a value exactly γ^k closes (is the upper bound of) bucket k.
+        let s = QuantileSketch::new(0.01);
+        let gamma: f64 = (1.0 + 0.01) / (1.0 - 0.01);
+        let k = 10;
+        let boundary = gamma.powi(k);
+        assert_eq!(s.bucket_for(boundary), k);
+        assert_eq!(s.bucket_for(boundary * 1.000001), k + 1);
+    }
+
+    #[test]
+    fn boxplot_matches_exact_within_bound() {
+        let values: Vec<f64> = (1..=777).map(|i| 20.0 + (i % 113) as f64).collect();
+        let s = QuantileSketch::from_values(&values);
+        let bp = s.boxplot().unwrap();
+        assert_eq!(bp.n as u64, s.count());
+        for (p, served) in [
+            (5.0, bp.p5),
+            (25.0, bp.p25),
+            (50.0, bp.p50),
+            (75.0, bp.p75),
+            (95.0, bp.p95),
+        ] {
+            let exact = percentile_nearest_rank(&values, p).unwrap();
+            assert!(
+                (served - exact).abs() <= s.relative_error_bound() * exact + 1e-12,
+                "p{p}: {served} vs {exact}"
+            );
+        }
+    }
+}

@@ -44,4 +44,18 @@ cargo run --quiet --release --example trace_explore -- 7 "$trace_dir/w4.json" 4 
 cmp "$trace_dir/w1.out" "$trace_dir/w4.out" \
   || { echo "FAIL: sample funnel differs between single-shot and windowed runs"; exit 1; }
 
+echo "==> serving determinism (serve_explore twice + windowed, stdout byte-compare)"
+# Everything serve_explore prints derives from the committed sketches
+# (byte-identical across schedules by contract) and seed-pinned query
+# streams; only stderr carries run-specific facts like the serving
+# version. Stdout must be byte-identical run-to-run AND between the
+# single-shot and a 4-window schedule.
+cargo run --quiet --release --example serve_explore -- 7 > "$trace_dir/s1.out" 2>/dev/null
+cargo run --quiet --release --example serve_explore -- 7 > "$trace_dir/s2.out" 2>/dev/null
+cmp "$trace_dir/s1.out" "$trace_dir/s2.out" \
+  || { echo "FAIL: serve_explore stdout differs across identical runs"; exit 1; }
+cargo run --quiet --release --example serve_explore -- 7 4 > "$trace_dir/s4.out" 2>/dev/null
+cmp "$trace_dir/s1.out" "$trace_dir/s4.out" \
+  || { echo "FAIL: served answers differ between single-shot and windowed runs"; exit 1; }
+
 echo "CI green."

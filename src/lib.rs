@@ -25,6 +25,7 @@
 //! | [`chaos`] | `tero-chaos` | deterministic fault injection (API 5xx, CDN faults, crashes) |
 //! | [`pool`] | `tero-pool` | work-stealing thread pool with deterministic ordered results |
 //! | [`trace`] | `tero-trace` | structured tracing: spans, flight recorder, sample provenance |
+//! | [`serve`] | `tero-serve` | distribution query front-end: sketch queries, hot-key cache, load generator |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@ pub use tero_core as core;
 pub use tero_geoparse as geoparse;
 pub use tero_obs as obs;
 pub use tero_pool as pool;
+pub use tero_serve as serve;
 pub use tero_simnet as simnet;
 pub use tero_stats as stats;
 pub use tero_store as store;

@@ -8,10 +8,12 @@
 
 use std::collections::BTreeSet;
 use tero::core::pipeline::{ExtractionMode, Tero};
+use tero::core::serving::ServeGranularity;
+use tero::serve::{QueryEngine, SketchRef};
 use tero::store::DocumentStore;
 use tero_simnet::udp::UdpFlow;
 use tero_simnet::{LinkConfig, Simulator};
-use tero_types::{SimDuration, SimTime};
+use tero_types::{GameId, SimDuration, SimTime};
 use tero_world::{World, WorldConfig};
 
 const OPERATIONS_MD: &str =
@@ -57,6 +59,23 @@ fn populated_registry() -> tero_obs::Registry {
         ..Tero::default()
     };
     tero.run(&mut world);
+
+    // The serving front-end registers the `serve.*` family on
+    // construction; issue a query per served distribution (plus one
+    // guaranteed miss — a small world can publish nothing) so the
+    // counters move too.
+    let serve = QueryEngine::new(tero.serving_store().expect("run completed"), &tero.obs);
+    for (granularity, game, location_key) in serve.distributions() {
+        serve.percentile(&SketchRef::dist(granularity, game, &location_key), 95.0);
+    }
+    serve.percentile(
+        &SketchRef::dist(
+            ServeGranularity::Country,
+            GameId::LeagueOfLegends,
+            "Atlantis",
+        ),
+        50.0,
+    );
 
     let docs = DocumentStore::new();
     docs.instrument(&tero.obs);
@@ -133,6 +152,16 @@ fn documented_counters_move_during_a_run() {
     assert!(snap.counter("store.kv.writes").unwrap() > 0);
     assert!(snap.counter("simnet.events").unwrap() > 0);
     assert_eq!(snap.counter("store.doc.writes"), Some(1));
+    assert!(
+        snap.counter("stats.sketch.inserts").unwrap() > 0,
+        "extraction feeds the serving sketches"
+    );
+    assert!(
+        snap.counter("stats.sketch.commits").unwrap() > 0,
+        "window commits persist the sketches"
+    );
+    assert!(snap.counter("serve.queries").unwrap() > 0);
+    assert!(snap.counter("serve.cache.misses").unwrap() > 0);
 }
 
 #[test]

@@ -1,0 +1,134 @@
+//! Property tests for the mergeable quantile sketch behind the serving
+//! layer (`tero_stats::QuantileSketch`).
+//!
+//! The serving determinism contract rests on three sketch properties:
+//! merging is commutative and associative *in effect* (identical wire
+//! bytes, whatever the merge tree — this is what makes the committed
+//! sketches worker-count- and window-schedule-invariant), served
+//! quantiles sit within the documented relative-error bound of the exact
+//! nearest-rank values, and empty distributions answer `None` rather
+//! than inventing a number.
+
+use proptest::prelude::*;
+use tero::stats::{percentile_nearest_rank, QuantileSketch, DEFAULT_ALPHA};
+
+fn sketch(values: &[f64]) -> QuantileSketch {
+    QuantileSketch::from_values(values)
+}
+
+/// Integer-millisecond latencies as f64 — the sketch's real input
+/// domain: the pipeline inserts OCR-extracted integer values, whose f64
+/// sums are exact (< 2^53), so byte-identity holds for the *wire* bytes
+/// including the running sum. Arbitrary reals would break the last ulp
+/// of the sum under re-ordered addition; the bucket counts never move.
+fn ms(values: &[u16]) -> Vec<f64> {
+    values.iter().map(|&v| f64::from(v)).collect()
+}
+
+proptest! {
+    // ---- merge algebra ----------------------------------------------------
+
+    #[test]
+    fn merge_is_commutative_in_effect(
+        a in prop::collection::vec(1u16..800, 0..120),
+        b in prop::collection::vec(1u16..800, 0..120),
+    ) {
+        let (a, b) = (ms(&a), ms(&b));
+        let mut ab = sketch(&a);
+        ab.merge(&sketch(&b));
+        let mut ba = sketch(&b);
+        ba.merge(&sketch(&a));
+        prop_assert_eq!(ab.encode(), ba.encode(), "merge order changed the wire bytes");
+    }
+
+    #[test]
+    fn merge_is_associative_in_effect(
+        a in prop::collection::vec(1u16..800, 0..80),
+        b in prop::collection::vec(1u16..800, 0..80),
+        c in prop::collection::vec(1u16..800, 0..80),
+    ) {
+        let (a, b, c) = (ms(&a), ms(&b), ms(&c));
+        // (a ∪ b) ∪ c
+        let mut left = sketch(&a);
+        left.merge(&sketch(&b));
+        left.merge(&sketch(&c));
+        // a ∪ (b ∪ c)
+        let mut bc = sketch(&b);
+        bc.merge(&sketch(&c));
+        let mut right = sketch(&a);
+        right.merge(&bc);
+        prop_assert_eq!(left.encode(), right.encode(), "merge tree changed the wire bytes");
+
+        // And both equal inserting everything into one sketch — a merge
+        // of partial views is indistinguishable from the unpartitioned
+        // stream, the property window commits rely on.
+        let all: Vec<f64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(left.encode(), sketch(&all).encode());
+    }
+
+    #[test]
+    fn insert_order_is_irrelevant(
+        values in prop::collection::vec(1u16..800, 0..150),
+    ) {
+        let values = ms(&values);
+        let forward = sketch(&values);
+        let reversed: Vec<f64> = values.iter().rev().copied().collect();
+        prop_assert_eq!(forward.encode(), sketch(&reversed).encode());
+        // Round-trip stability: decode(encode(s)) re-encodes identically.
+        let decoded = QuantileSketch::decode(&forward.encode()).unwrap();
+        prop_assert_eq!(forward.encode(), decoded.encode());
+    }
+
+    // ---- accuracy ---------------------------------------------------------
+
+    #[test]
+    fn quantiles_within_documented_bound(
+        values in prop::collection::vec(0.5f64..800.0, 1..200),
+        p in 0.0f64..100.0,
+    ) {
+        let s = sketch(&values);
+        let served = s.quantile(p).unwrap();
+        let exact = percentile_nearest_rank(&values, p).unwrap();
+        let bound = s.relative_error_bound();
+        prop_assert!(
+            (served - exact).abs() <= bound * exact + 1e-9,
+            "p{}: served {} vs exact {} exceeds relative bound {}",
+            p, served, exact, bound
+        );
+        prop_assert!((DEFAULT_ALPHA - 0.01).abs() < 1e-12, "bound documented for α = 0.01");
+    }
+
+    #[test]
+    fn cdf_is_a_distribution_function(
+        values in prop::collection::vec(0.5f64..800.0, 1..150),
+        x in 0.0f64..900.0,
+        y in 0.0f64..900.0,
+    ) {
+        let s = sketch(&values);
+        let fx = s.cdf(x).unwrap();
+        let fy = s.cdf(y).unwrap();
+        prop_assert!((0.0..=1.0).contains(&fx));
+        if x <= y {
+            prop_assert!(fx <= fy + 1e-12, "CDF must be monotone");
+        }
+        let max = values.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!((s.cdf(max + 1.0).unwrap() - 1.0).abs() < 1e-12, "everything below max+1");
+    }
+
+    // ---- emptiness --------------------------------------------------------
+
+    #[test]
+    fn empty_sketches_answer_none(p in 0.0f64..100.0) {
+        let empty = QuantileSketch::new(DEFAULT_ALPHA);
+        prop_assert!(empty.is_empty());
+        prop_assert_eq!(empty.quantile(p), None);
+        prop_assert_eq!(empty.cdf(p), None);
+        prop_assert_eq!(empty.boxplot(), None);
+        prop_assert_eq!(empty.wasserstein(&empty), None);
+        prop_assert!(empty.histogram().is_empty());
+        // Merging empties is the identity on the wire.
+        let mut merged = QuantileSketch::new(DEFAULT_ALPHA);
+        merged.merge(&empty);
+        prop_assert_eq!(merged.encode(), empty.encode());
+    }
+}
