@@ -48,7 +48,7 @@ use serde::Serialize;
 use std::sync::{Arc, OnceLock};
 use tero_obs::{CounterHandle, Registry};
 use tero_trace::{Level, Tracer};
-use tero_types::{SimRng, SimTime};
+use tero_types::{SimDuration, SimRng, SimTime};
 
 /// One planned downloader crash: the worker is dead over `[at, until)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -69,6 +69,85 @@ pub struct CrashWindow {
 pub struct EngineKill {
     /// Zero-based index of the window to abort.
     pub window: u64,
+}
+
+/// A planned network partition: frames between hosts `a` and `b` (in
+/// either direction) are dropped for every window in
+/// `[from_window, until_window)`. Host names follow the sharded
+/// topology's convention (`engine{i}`, `shard{s}p`, `shard{s}r`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct NetPartition {
+    /// One side of the severed pair.
+    pub a: String,
+    /// The other side.
+    pub b: String,
+    /// First window (zero-based) during which the pair is partitioned.
+    pub from_window: u64,
+    /// First window during which the pair is healed again.
+    pub until_window: u64,
+}
+
+/// A planned store-host kill: the named host answers no frames for every
+/// window in `[from_window, until_window)`, then comes back with whatever
+/// state it held when it died (a stale replica until resynced).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct HostKill {
+    /// Name of the store host that dies (e.g. `shard1p`).
+    pub host: String,
+    /// First window (zero-based) during which the host is dead.
+    pub from_window: u64,
+    /// First window during which the host is back.
+    pub until_window: u64,
+}
+
+/// The network-layer fault schedule consulted by the simnet transport:
+/// random frame loss and delay, plus planned partitions and store-host
+/// kills. All rates are per-frame Bernoulli draws from the injector's
+/// dedicated net stream.
+#[derive(Debug, Clone, Serialize)]
+pub struct NetFault {
+    /// Probability that a frame is dropped in flight (the client sees a
+    /// deadline expiry and retries).
+    pub frame_drop_rate: f64,
+    /// Probability that a frame is delayed by [`NetFault::frame_delay`]
+    /// on top of its modelled transfer time.
+    pub frame_delay_rate: f64,
+    /// Extra logical delay applied to delayed frames.
+    pub frame_delay: SimDuration,
+    /// Planned host-pair partitions.
+    pub partitions: Vec<NetPartition>,
+    /// Planned store-host kills.
+    pub kills: Vec<HostKill>,
+}
+
+impl NetFault {
+    /// A net-fault schedule with everything disabled.
+    pub fn quiet() -> NetFault {
+        NetFault {
+            frame_drop_rate: 0.0,
+            frame_delay_rate: 0.0,
+            frame_delay: SimDuration(0),
+            partitions: Vec::new(),
+            kills: Vec::new(),
+        }
+    }
+
+    /// True when no class of network fault can ever fire.
+    pub fn is_quiet(&self) -> bool {
+        self.frame_drop_rate <= 0.0
+            && self.frame_delay_rate <= 0.0
+            && self.partitions.is_empty()
+            && self.kills.is_empty()
+    }
+}
+
+/// A random fault drawn for one frame in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFrameFault {
+    /// The frame is lost; the sender sees a deadline expiry.
+    Drop,
+    /// The frame arrives late by the given extra delay.
+    Delay(SimDuration),
 }
 
 /// A fault a CDN fetch can suffer.
@@ -111,6 +190,8 @@ pub struct FaultPlan {
     pub crashes: Vec<CrashWindow>,
     /// Planned staged-engine kills (each fires at most once).
     pub engine_kills: Vec<EngineKill>,
+    /// Network-layer faults, consulted by the simnet store transport.
+    pub net: NetFault,
 }
 
 impl FaultPlan {
@@ -126,6 +207,7 @@ impl FaultPlan {
             object_write_drop_rate: 0.0,
             crashes: Vec::new(),
             engine_kills: Vec::new(),
+            net: NetFault::quiet(),
         }
     }
 
@@ -148,6 +230,7 @@ impl FaultPlan {
                 until: SimTime::from_hours(10),
             }],
             engine_kills: Vec::new(),
+            net: NetFault::quiet(),
         }
     }
 }
@@ -164,6 +247,10 @@ struct ChaosMetrics {
     object_write_drop: CounterHandle,
     crash: CounterHandle,
     engine_kill: CounterHandle,
+    net_partition_drop: CounterHandle,
+    net_frame_drop: CounterHandle,
+    net_frame_delay: CounterHandle,
+    net_shard_kill: CounterHandle,
 }
 
 struct Inner {
@@ -174,6 +261,7 @@ struct Inner {
     cdn_rng: Mutex<SimRng>,
     kv_rng: Mutex<SimRng>,
     object_rng: Mutex<SimRng>,
+    net_rng: Mutex<SimRng>,
     metrics: OnceLock<ChaosMetrics>,
     trace: OnceLock<Tracer>,
     /// Window indices whose planned engine kill has already fired, so a
@@ -190,8 +278,9 @@ pub struct ChaosInjector {
 }
 
 impl ChaosInjector {
-    /// Build an injector from a plan. The four decision streams are forked
-    /// deterministically from `plan.seed`.
+    /// Build an injector from a plan. The decision streams are forked
+    /// deterministically from `plan.seed`; the net stream is forked last
+    /// so pre-existing replay sequences are unchanged by its addition.
     pub fn new(plan: FaultPlan) -> ChaosInjector {
         let mut root = SimRng::new(plan.seed);
         ChaosInjector {
@@ -200,6 +289,7 @@ impl ChaosInjector {
                 cdn_rng: Mutex::new(root.fork()),
                 kv_rng: Mutex::new(root.fork()),
                 object_rng: Mutex::new(root.fork()),
+                net_rng: Mutex::new(root.fork()),
                 plan,
                 metrics: OnceLock::new(),
                 trace: OnceLock::new(),
@@ -222,6 +312,10 @@ impl ChaosInjector {
             object_write_drop: registry.counter("chaos.injected.object_write_drop"),
             crash: registry.counter("chaos.injected.crash"),
             engine_kill: registry.counter("chaos.injected.engine_kill"),
+            net_partition_drop: registry.counter("chaos.injected.net_partition_drop"),
+            net_frame_drop: registry.counter("chaos.injected.net_frame_drop"),
+            net_frame_delay: registry.counter("chaos.injected.net_frame_delay"),
+            net_shard_kill: registry.counter("chaos.injected.net_shard_kill"),
         });
     }
 
@@ -378,6 +472,77 @@ impl ChaosInjector {
         true
     }
 
+    /// Is the host pair `(a, b)` partitioned during `window`? Pure plan
+    /// lookup — no RNG is consumed. Counted under
+    /// `chaos.injected.net_partition_drop` once per blocked frame.
+    pub fn net_partitioned(&self, a: &str, b: &str, window: u64) -> bool {
+        let hit = self.inner.plan.net.partitions.iter().any(|p| {
+            ((p.a == a && p.b == b) || (p.a == b && p.b == a))
+                && window >= p.from_window
+                && window < p.until_window
+        });
+        if hit {
+            if let Some(m) = self.inner.metrics.get() {
+                m.net_partition_drop.inc();
+            }
+            self.journal(Level::Error, "chaos: frame blocked by network partition");
+        }
+        hit
+    }
+
+    /// Is the named store host dead during `window`? Pure plan lookup — no
+    /// RNG is consumed. Counted under `chaos.injected.net_shard_kill` once
+    /// per frame the dead host would have answered.
+    pub fn net_host_killed(&self, host: &str, window: u64) -> bool {
+        let hit = self
+            .inner
+            .plan
+            .net
+            .kills
+            .iter()
+            .any(|k| k.host == host && window >= k.from_window && window < k.until_window);
+        if hit {
+            if let Some(m) = self.inner.metrics.get() {
+                m.net_shard_kill.inc();
+            }
+            self.journal(Level::Error, "chaos: frame addressed to killed store host");
+        }
+        hit
+    }
+
+    /// Should this frame in flight suffer a random fault, and which? One
+    /// draw per call from the dedicated net stream; the drop and delay
+    /// rates partition the unit interval. Zero rates consume no RNG.
+    pub fn net_frame_fault(&self) -> Option<NetFrameFault> {
+        let net = &self.inner.plan.net;
+        let total = net.frame_drop_rate + net.frame_delay_rate;
+        if total <= 0.0 {
+            return None;
+        }
+        let u = self.inner.net_rng.lock().f64();
+        let fault = if u < net.frame_drop_rate {
+            NetFrameFault::Drop
+        } else if u < total {
+            NetFrameFault::Delay(net.frame_delay)
+        } else {
+            return None;
+        };
+        if let Some(m) = self.inner.metrics.get() {
+            match fault {
+                NetFrameFault::Drop => m.net_frame_drop.inc(),
+                NetFrameFault::Delay(_) => m.net_frame_delay.inc(),
+            }
+        }
+        self.journal(
+            Level::Warn,
+            match fault {
+                NetFrameFault::Drop => "chaos: dropped store frame in flight",
+                NetFrameFault::Delay(_) => "chaos: delayed store frame in flight",
+            },
+        );
+        Some(fault)
+    }
+
     /// Record that a planned crash window activated (called by the
     /// download module when the crash event fires).
     pub fn note_crash(&self) {
@@ -530,6 +695,85 @@ mod tests {
             registry.snapshot().counter("chaos.injected.engine_kill"),
             Some(1)
         );
+    }
+
+    #[test]
+    fn net_faults_follow_the_plan() {
+        let registry = Registry::new();
+        let chaos = ChaosInjector::new(FaultPlan {
+            net: NetFault {
+                frame_drop_rate: 1.0,
+                partitions: vec![NetPartition {
+                    a: "engine0".into(),
+                    b: "shard1p".into(),
+                    from_window: 2,
+                    until_window: 4,
+                }],
+                kills: vec![HostKill {
+                    host: "shard0p".into(),
+                    from_window: 1,
+                    until_window: 3,
+                }],
+                ..NetFault::quiet()
+            },
+            ..FaultPlan::quiet(21)
+        });
+        chaos.instrument(&registry);
+        // Partition is symmetric and window-bounded.
+        assert!(!chaos.net_partitioned("engine0", "shard1p", 1));
+        assert!(chaos.net_partitioned("engine0", "shard1p", 2));
+        assert!(chaos.net_partitioned("shard1p", "engine0", 3));
+        assert!(!chaos.net_partitioned("engine0", "shard1p", 4));
+        assert!(!chaos.net_partitioned("engine0", "shard0p", 2));
+        // Kill is host- and window-bounded.
+        assert!(!chaos.net_host_killed("shard0p", 0));
+        assert!(chaos.net_host_killed("shard0p", 1));
+        assert!(!chaos.net_host_killed("shard0p", 3));
+        assert!(!chaos.net_host_killed("shard0r", 1));
+        // Certain drop rate fires every draw.
+        assert_eq!(chaos.net_frame_fault(), Some(NetFrameFault::Drop));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("chaos.injected.net_partition_drop"), Some(2));
+        assert_eq!(snap.counter("chaos.injected.net_shard_kill"), Some(1));
+        assert_eq!(snap.counter("chaos.injected.net_frame_drop"), Some(1));
+        assert_eq!(snap.counter("chaos.injected.net_frame_delay"), Some(0));
+    }
+
+    #[test]
+    fn net_stream_is_forked_last() {
+        // Adding the net stream must not have perturbed the pre-existing
+        // streams, and quiet net plans must not consume net draws.
+        let chaos = ChaosInjector::new(FaultPlan::default_plan(7));
+        let baseline = drain(200, || chaos.cdn_fault());
+        let noisy = ChaosInjector::new(FaultPlan {
+            net: NetFault {
+                frame_drop_rate: 0.5,
+                frame_delay_rate: 0.3,
+                frame_delay: SimDuration::from_millis(5),
+                ..NetFault::quiet()
+            },
+            ..FaultPlan::default_plan(7)
+        });
+        let interleaved = drain(200, || {
+            noisy.net_frame_fault();
+            noisy.cdn_fault()
+        });
+        assert_eq!(baseline, interleaved);
+        // And the net stream itself is deterministic per seed.
+        let seq = |seed| {
+            let c = ChaosInjector::new(FaultPlan {
+                net: NetFault {
+                    frame_drop_rate: 0.4,
+                    frame_delay_rate: 0.2,
+                    frame_delay: SimDuration::from_millis(2),
+                    ..NetFault::quiet()
+                },
+                ..FaultPlan::quiet(seed)
+            });
+            drain(300, || c.net_frame_fault())
+        };
+        assert_eq!(seq(13), seq(13));
+        assert_ne!(seq(13), seq(14));
     }
 
     #[test]

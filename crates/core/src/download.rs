@@ -182,6 +182,51 @@ impl Assignment {
             chain_dead: false,
         }
     }
+
+    /// Admission decision at fetch time. A closed breaker admits
+    /// everything; an open one swallows stray events before the cooldown
+    /// elapses and admits the scheduled probe as the single half-open
+    /// attempt.
+    fn breaker_admits(&mut self, at: SimTime) -> bool {
+        if let Some(break_until) = self.breaker_until {
+            if at < break_until {
+                return false;
+            }
+            self.half_open = true;
+        }
+        true
+    }
+
+    /// Record a faulted fetch. Returns `Some(reopen_at)` when the
+    /// breaker tripped — the fault streak reached `threshold`, or the
+    /// half-open probe itself failed and re-opened it — and the caller
+    /// should schedule the next probe at `reopen_at`; `None` means stay
+    /// closed and back off normally.
+    fn breaker_on_fault(
+        &mut self,
+        at: SimTime,
+        threshold: u32,
+        cooldown: SimDuration,
+    ) -> Option<SimTime> {
+        self.consecutive_faults += 1;
+        let failed_probe = self.half_open;
+        self.half_open = false;
+        if failed_probe || self.consecutive_faults >= threshold {
+            let reopen_at = at + cooldown;
+            self.breaker_until = Some(reopen_at);
+            Some(reopen_at)
+        } else {
+            None
+        }
+    }
+
+    /// A clean fetch closes the breaker and clears the fault streak —
+    /// whether it was the half-open probe or an ordinary fetch.
+    fn breaker_on_success(&mut self) {
+        self.consecutive_faults = 0;
+        self.breaker_until = None;
+        self.half_open = false;
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -772,11 +817,8 @@ impl DownloadModule {
                     // Open breaker: only the scheduled half-open probe may
                     // pass; stray earlier events are swallowed (the probe
                     // event sustains the chain).
-                    if let Some(break_until) = assignment.breaker_until {
-                        if at < break_until {
-                            continue;
-                        }
-                        assignment.half_open = true;
+                    if !assignment.breaker_admits(at) {
+                        continue;
                     }
                     // Serialise fetches per downloader.
                     if downloader_busy_until[d] > at {
@@ -803,15 +845,14 @@ impl DownloadModule {
                             obs.cdn_timeouts.inc();
                         }
                         stats.cdn_faults += 1;
-                        assignment.consecutive_faults += 1;
-                        let reopen = assignment.half_open;
-                        assignment.half_open = false;
-                        if reopen || assignment.consecutive_faults >= self.breaker_threshold {
+                        if let Some(reopen_at) = assignment.breaker_on_fault(
+                            at,
+                            self.breaker_threshold,
+                            self.breaker_cooldown,
+                        ) {
                             // Trip (or re-open after a failed probe): stop
                             // hammering the URL; probe again after the
                             // cooldown.
-                            let reopen_at = at + self.breaker_cooldown;
-                            assignment.breaker_until = Some(reopen_at);
                             stats.breaker_trips += 1;
                             obs.breaker_open.inc();
                             sp_run.event_at(
@@ -839,9 +880,7 @@ impl DownloadModule {
                             generated_at,
                             next_update,
                         } => {
-                            assignment.consecutive_faults = 0;
-                            assignment.breaker_until = None;
-                            assignment.half_open = false;
+                            assignment.breaker_on_success();
                             if let Some(last) = assignment.last_generated {
                                 if generated_at == last {
                                     // Same content; try again shortly.
@@ -977,6 +1016,39 @@ impl DownloadModule {
         self.kv.llen(DEAD_LETTER_QUEUE)
     }
 
+    /// Reinject quarantined tasks back onto `queue:thumbs` — the
+    /// operator's "the fault plan is over, try again" lever. Entries that
+    /// decode as [`ThumbnailTask`]s (typically parked because the object
+    /// payload was corrupted by a chaos fault, not because the task
+    /// itself was malformed) go back to the live queue in arrival order;
+    /// entries that still fail to decode are genuine poison and stay
+    /// quarantined. Returns `(requeued, still_dead)`.
+    pub fn requeue_dead(&self) -> (usize, usize) {
+        let mut requeued = 0;
+        let mut poison = Vec::new();
+        for raw in self.drain_dead_letters() {
+            if ThumbnailTask::decode(&raw).is_some() {
+                self.kv.rpush("queue:thumbs", raw);
+                requeued += 1;
+            } else {
+                poison.push(raw);
+            }
+        }
+        let still_dead = poison.len();
+        for raw in poison {
+            // Back onto the dead-letter list *without* re-counting it as
+            // a fresh quarantine.
+            self.kv.rpush(DEAD_LETTER_QUEUE, raw);
+        }
+        if requeued > 0 {
+            self.trace.event(
+                Level::Info,
+                "dead-lettered tasks reinjected onto the live queue",
+            );
+        }
+        (requeued, still_dead)
+    }
+
     /// Fetch a stored thumbnail image back from the object store. `None`
     /// means the object is missing or its payload is corrupt (short header
     /// or a pixel-count mismatch) — corrupt payloads bump
@@ -1056,6 +1128,78 @@ mod tests {
         // Malformed escapes are rejected, not mis-decoded.
         assert_eq!(ThumbnailTask::decode("bad%zz|dota2|1|k"), None);
         assert_eq!(ThumbnailTask::decode("trail%2|dota2|1|k"), None);
+    }
+
+    /// The full download-breaker walk — closed → open → half-open →
+    /// closed — on the same `Assignment` transition methods the fetch
+    /// loop runs, independent of any chaos e2e.
+    #[test]
+    fn download_breaker_walks_closed_open_half_open_closed() {
+        let threshold = 3;
+        let cooldown = SimDuration::from_mins(2);
+        let mut a = Assignment::new(
+            "cdn://x".into(),
+            StreamerId::new("finewolf"),
+            GameId::Dota2,
+            0,
+        );
+        let mut at = SimTime::from_mins(10);
+
+        // Closed: faults below the threshold back off but never trip.
+        for _ in 0..threshold - 1 {
+            assert!(a.breaker_admits(at));
+            assert_eq!(a.breaker_on_fault(at, threshold, cooldown), None);
+        }
+        // The threshold-th consecutive fault opens the breaker.
+        assert!(a.breaker_admits(at));
+        let reopen_at = a
+            .breaker_on_fault(at, threshold, cooldown)
+            .expect("threshold fault trips the breaker");
+        assert_eq!(reopen_at, at + cooldown);
+
+        // Open: stray events before the cooldown are swallowed.
+        assert!(!a.breaker_admits(at + SimDuration::from_secs(1)));
+        assert!(!a.breaker_admits(reopen_at - SimDuration::from_micros(1)));
+
+        // Half-open: the scheduled probe is admitted, and its success
+        // closes the breaker and clears the fault streak.
+        at = reopen_at;
+        assert!(a.breaker_admits(at));
+        assert!(a.half_open);
+        a.breaker_on_success();
+        assert_eq!(a.consecutive_faults, 0);
+        assert_eq!(a.breaker_until, None);
+        assert!(!a.half_open);
+
+        // Closed again: a single fresh fault does not trip.
+        assert!(a.breaker_admits(at));
+        assert_eq!(a.breaker_on_fault(at, threshold, cooldown), None);
+    }
+
+    /// A faulted half-open probe re-opens the breaker immediately — one
+    /// fault, not a fresh threshold's worth.
+    #[test]
+    fn download_breaker_failed_probe_reopens() {
+        let threshold = 3;
+        let cooldown = SimDuration::from_mins(2);
+        let mut a = Assignment::new(
+            "cdn://x".into(),
+            StreamerId::new("finewolf"),
+            GameId::Dota2,
+            0,
+        );
+        let mut at = SimTime::from_mins(5);
+        for _ in 0..threshold {
+            assert!(a.breaker_admits(at));
+            a.breaker_on_fault(at, threshold, cooldown);
+        }
+        at += cooldown;
+        assert!(a.breaker_admits(at), "probe admitted at the cooldown edge");
+        let reopen_at = a
+            .breaker_on_fault(at, threshold, cooldown)
+            .expect("failed probe re-opens");
+        assert_eq!(reopen_at, at + cooldown);
+        assert!(!a.breaker_admits(at + SimDuration::from_secs(30)));
     }
 
     #[test]

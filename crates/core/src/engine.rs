@@ -37,13 +37,13 @@ use tero_types::{AnonId, GameId, SimTime};
 use tero_world::World;
 
 /// KV key holding the serialised [`DownloadCursor`].
-const CURSOR_KEY: &str = "engine:download_cursor";
+pub(crate) const CURSOR_KEY: &str = "engine:download_cursor";
 /// KV hash holding the engine's own progress markers.
-const ENGINE_KEY: &str = "engine:cursor";
+pub(crate) const ENGINE_KEY: &str = "engine:cursor";
 /// KV hash holding every counter value at the last commit.
-const COUNTERS_KEY: &str = "engine:counters";
+pub(crate) const COUNTERS_KEY: &str = "engine:counters";
 /// KV list holding the committed ledger records, in ingest order.
-const LEDGER_KEY: &str = "engine:ledger";
+pub(crate) const LEDGER_KEY: &str = "engine:ledger";
 
 /// A portable snapshot of the engine's stores, for resuming a killed run
 /// in a fresh process (the in-memory analogue of Redis persistence plus
@@ -92,8 +92,14 @@ impl Engine {
         tero.trace.instrument(&tero.obs);
         let sp_run = tero.trace.span("pipeline.run");
         let pool = Pool::with_metrics(tero.worker_threads, &tero.obs);
-        let kv = KvStore::new();
-        let objects = ObjectStore::new();
+        // A sharded deployment injects network-backed store facades; a
+        // plain run gets private in-process stores. Either way the
+        // facade is the same type, so every stage below is oblivious to
+        // where its reads and writes actually land.
+        let (kv, objects) = match &tero.stores {
+            Some((kv, objects)) => (kv.clone(), objects.clone()),
+            None => (KvStore::new(), ObjectStore::new()),
+        };
         kv.instrument(&tero.obs);
         objects.instrument(&tero.obs);
         // If the world carries a fault injector, surface its counters in
@@ -209,6 +215,25 @@ impl Engine {
     /// [`tero_chaos::EngineKill`], and finalize when the horizon is
     /// reached.
     pub fn run_window(&mut self, tero: &Tero, world: &mut World, to: SimTime) -> WindowOutcome {
+        self.drive(tero, world, to, true)
+    }
+
+    /// Like [`Engine::run_window`], but never finalizes: reaching the
+    /// horizon still runs ingest and extract (with commits) and returns
+    /// [`WindowOutcome::Advanced`]. A sharded orchestrator drives every
+    /// per-shard engine this way, then merges their committed state and
+    /// finalizes the merged store exactly once.
+    pub fn advance_window(&mut self, tero: &Tero, world: &mut World, to: SimTime) -> WindowOutcome {
+        self.drive(tero, world, to, false)
+    }
+
+    fn drive(
+        &mut self,
+        tero: &Tero,
+        world: &mut World,
+        to: SimTime,
+        finalize: bool,
+    ) -> WindowOutcome {
         let to = to.min(self.horizon);
         if self.ingested_to.is_none_or(|t| t < to) {
             let mut cx = StageCx {
@@ -252,7 +277,7 @@ impl Engine {
         }
         self.window_index += 1;
         self.metrics.window_runs.inc();
-        if to >= self.horizon {
+        if finalize && to >= self.horizon {
             WindowOutcome::Complete(self.finalize(tero, world))
         } else {
             WindowOutcome::Advanced

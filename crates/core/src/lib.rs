@@ -43,6 +43,7 @@ pub mod imageproc;
 pub mod location;
 pub mod pipeline;
 pub mod serving;
+pub mod sharded;
 pub mod stages;
 
 pub use engine::StoreSnapshot;

@@ -27,12 +27,13 @@ use crate::behavior::BehaviorStream;
 use crate::download::DownloadStats;
 use crate::engine::{Engine, StoreSnapshot};
 use crate::location::LocationSource;
+use crate::serving::{ServingError, DIST_SKETCH_PREFIX};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Mutex, PoisonError};
 use tero_obs::{CounterHandle, HistogramHandle, Registry, Snapshot, StageMetrics};
-use tero_store::KvStore;
+use tero_store::{KvStore, ObjectStore};
 use tero_trace::{DropReason, Tracer};
-use tero_types::{AnonId, GameId, Location, SimDuration, SimTime, TeroParams};
+use tero_types::{AnonId, GameId, Location, ShardSpec, SimDuration, SimTime, TeroParams};
 use tero_world::games::match_length_mins;
 use tero_world::World;
 
@@ -91,6 +92,17 @@ pub struct Tero {
     /// restore. [`Tero::run`] resets it and drives one full-horizon
     /// window.
     pub engine: EngineCell,
+    /// Pre-built store backends for the engine. `None` (the default)
+    /// gives each run private in-process stores; a sharded deployment
+    /// injects facades backed by a `tero-net` client here, so every
+    /// engine read and write crosses the simulated store network.
+    pub stores: Option<(KvStore, ObjectStore)>,
+    /// Restrict this instance to its shard of the streamer population:
+    /// the extract stage keeps only thumbnail tasks whose anonymised
+    /// streamer id satisfies [`ShardSpec::owns`]. `None` (the default)
+    /// processes everything. Used by [`crate::sharded`], which runs one
+    /// engine per shard and merges their state at the horizon.
+    pub shard: Option<ShardSpec>,
 }
 
 impl Default for Tero {
@@ -108,6 +120,8 @@ impl Default for Tero {
             trace: Tracer::new(),
             metrics,
             engine: EngineCell::default(),
+            stores: None,
+            shard: None,
         }
     }
 }
@@ -348,6 +362,33 @@ impl TeroReport {
             .iter()
             .find(|d| d.location == *location && d.game == game)
     }
+
+    /// A canonical, deterministic textual rendering of every report
+    /// field (unordered maps are sorted first): two reports are
+    /// byte-identical exactly when their digests are equal. This is the
+    /// comparator behind the sharded-deployment invariant — a merged
+    /// sharded run under network chaos must digest identically to the
+    /// fault-free single-process run (`tests/net_failover.rs`,
+    /// `scripts/ci.sh`).
+    pub fn digest(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let locations: BTreeMap<_, _> = self.locations.iter().collect();
+        let _ = writeln!(out, "download: {:?}", self.download);
+        let _ = writeln!(out, "thumbnails: {}", self.thumbnails);
+        let _ = writeln!(out, "extracted: {}", self.extracted);
+        let _ = writeln!(out, "locations: {locations:?}");
+        let _ = writeln!(out, "streamers_seen: {}", self.streamers_seen);
+        let _ = writeln!(out, "streams: {:?}", self.streams);
+        let _ = writeln!(out, "anomalies: {:?}", self.anomalies);
+        let _ = writeln!(out, "classified: {:?}", self.classified);
+        let _ = writeln!(out, "location_clusters: {:?}", self.location_clusters);
+        let _ = writeln!(out, "endpoint_changes: {:?}", self.endpoint_changes);
+        let _ = writeln!(out, "distributions: {:?}", self.distributions);
+        let _ = writeln!(out, "shared_anomalies: {:?}", self.shared_anomalies);
+        let _ = writeln!(out, "behavior_streams: {:?}", self.behavior_streams);
+        out
+    }
 }
 
 impl Tero {
@@ -418,6 +459,24 @@ impl Tero {
         outcome
     }
 
+    /// Like [`Tero::run_window`], but never finalizes: a window that
+    /// reaches the horizon still runs ingest and extract (committing
+    /// after each) and returns [`WindowOutcome::Advanced`], leaving the
+    /// engine in place. The sharded orchestrator ([`crate::sharded`])
+    /// drives every per-shard engine this way, then merges the committed
+    /// per-shard state and finalizes the merged store exactly once.
+    pub fn advance_window(&self, world: &mut World, from: SimTime, to: SimTime) -> WindowOutcome {
+        let mut slot = self.engine.lock();
+        let mut engine = match std::mem::take(&mut *slot) {
+            EngineSlot::Running(engine) => engine,
+            EngineSlot::Idle => Box::new(Engine::new(self, world, from)),
+            EngineSlot::Restore(snap) => Box::new(Engine::restore(self, world, &snap)),
+        };
+        let outcome = engine.advance_window(self, world, to);
+        *slot = EngineSlot::Running(engine);
+        outcome
+    }
+
     /// The serving store of the most recently completed run on this
     /// `Tero`: the KV store holding every committed serving-layer sketch
     /// (see [`crate::serving`]), ready to back a `tero-serve` query
@@ -430,6 +489,25 @@ impl Tero {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .clone()
+    }
+
+    /// Like [`Tero::serving_store`], but distinguishes *why* there is
+    /// nothing to serve: [`ServingError::NoCompletedRun`] when no run
+    /// has finalized on this `Tero`, and — the subtle case —
+    /// [`ServingError::NoDistributions`] when a run completed but its
+    /// publish stage wrote zero distribution sketches (every
+    /// `{location, game}` group fell below [`Tero::min_streamers`],
+    /// which small random worlds hit routinely). A plain
+    /// [`Tero::serving_store`] returns `Some(store)` in that second
+    /// case, and a query engine over it answers every distribution
+    /// query with an empty result — prefer this method anywhere an
+    /// empty serving view should be an error rather than a shrug.
+    pub fn try_serving_store(&self) -> Result<KvStore, ServingError> {
+        let kv = self.serving_store().ok_or(ServingError::NoCompletedRun)?;
+        if kv.keys_with_prefix(DIST_SKETCH_PREFIX).is_empty() {
+            return Err(ServingError::NoDistributions);
+        }
+        Ok(kv)
     }
 
     /// A portable snapshot of the in-flight engine's stores (committed

@@ -78,6 +78,46 @@ impl ServeGranularity {
     }
 }
 
+/// Why a `Tero` cannot hand back a queryable serving view — the typed
+/// result of [`crate::pipeline::Tero::try_serving_store`].
+///
+/// The dangerous case is [`ServingError::NoDistributions`]: a run
+/// *completed* but the publish stage emitted zero distribution
+/// sketches, so a query engine built over the store would answer every
+/// percentile/CDF query with "unknown location" rather than failing
+/// loudly. This happens legitimately on small or unlucky worlds — §5.2
+/// drops every `{location, game}` group below the `min_streamers`
+/// threshold, and a handful of randomly-located streamers can leave no
+/// group large enough — which makes the silently-empty store easy to
+/// mistake for a serving bug. The typed condition lets callers tell
+/// "nothing ran" from "ran, but published nothing" at the point where
+/// the store is handed to `tero-serve`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServingError {
+    /// No run has completed on this `Tero` yet: either nothing was run,
+    /// or a windowed run is still in flight and has not finalized.
+    NoCompletedRun,
+    /// A run completed, but its publish stage wrote no
+    /// [`dist_sketch_key`] entries — every candidate `{location, game}`
+    /// group fell below the publish threshold.
+    NoDistributions,
+}
+
+impl std::fmt::Display for ServingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServingError::NoCompletedRun => write!(f, "no completed run to serve from"),
+            ServingError::NoDistributions => write!(
+                f,
+                "run completed but published no distributions \
+                 (every {{location, game}} group fell below the publish threshold)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServingError {}
+
 /// Index of `game` in [`GameId::ALL`], the serving schema's fixed-width
 /// game field (same convention as `stages::sample_list_key`).
 fn game_index(game: GameId) -> usize {

@@ -64,7 +64,18 @@ impl Stage for ExtractStage {
     fn run(&mut self, cx: &mut StageCx<'_>, _input: ()) -> Self::Out {
         let m = cx.stage_metrics(Self::NAME);
         let _t = m.begin();
-        let tasks = cx.io.drain_tasks();
+        let mut tasks = cx.io.drain_tasks();
+        // Sharded deployment: every engine ingests the full world (the
+        // download schedule is identical everywhere, which is what makes
+        // the committed cursors mergeable), but extracts only the
+        // streamers its shard owns. Filtering happens before any
+        // accounting, so the ledger, funnel and sample lists of one
+        // engine cover exactly its shard — disjoint across engines,
+        // union equal to a single-process run.
+        if let Some(spec) = cx.tero.shard {
+            let salt = cx.tero.salt;
+            tasks.retain(|t| spec.owns(AnonId::from_streamer(&t.streamer, salt)));
+        }
         m.records_in.add(tasks.len() as u64);
 
         let ledger = cx.tero.trace.ledger();

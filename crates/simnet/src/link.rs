@@ -24,6 +24,19 @@ pub struct LinkConfig {
     pub queue_packets: usize,
 }
 
+impl LinkConfig {
+    /// The uncontended one-way transfer time of a `bytes`-long frame over
+    /// this link: serialization at `rate_bps` plus propagation. This is
+    /// the delay model the networked store's transport uses per frame —
+    /// it deliberately ignores queueing (store frames are small and the
+    /// transport is request/response), so the result is a pure function
+    /// of `(bytes, config)` and replays byte-identically.
+    pub fn transfer_delay(&self, bytes: u64) -> SimDuration {
+        let tx_s = (bytes as f64 * 8.0) / self.rate_bps;
+        SimDuration::from_secs_f64(tx_s) + self.prop
+    }
+}
+
 /// A directed link and its dynamic state.
 #[derive(Debug)]
 pub struct Link {
@@ -212,6 +225,19 @@ mod tests {
             l.offer(pkt(1250), SimTime::from_millis(30)).0,
             Offer::Transmit { .. }
         ));
+    }
+
+    #[test]
+    fn transfer_delay_is_serialization_plus_prop() {
+        let cfg = LinkConfig {
+            rate_bps: 1e6,
+            prop: SimDuration::from_millis(5),
+            queue_packets: 8,
+        };
+        // 1250 B at 1 Mbps = 10 ms tx + 5 ms prop.
+        assert_eq!(cfg.transfer_delay(1250), SimDuration::from_millis(15));
+        // Zero-length frames still pay propagation.
+        assert_eq!(cfg.transfer_delay(0), SimDuration::from_millis(5));
     }
 
     #[test]

@@ -4,7 +4,15 @@
 //! strings, counters, lists with blocking pop (work queues), hashes
 //! (streamer-location state), key scans by prefix, and TTLs against the
 //! simulation's logical clock.
+//!
+//! The public API is a *facade* over one of two backends: the
+//! in-process shard array (the default), or a [`RemoteStore`] client
+//! speaking a wire protocol to networked store servers (see
+//! `tero-net`). Metrics and chaos write-drops live in the facade, so
+//! both deployments observe identical `store.kv.*` accounting and
+//! fault-injection draw order.
 
+use crate::remote::{KvRequest, KvResponse, RemoteStore};
 use parking_lot::{Condvar, Mutex};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
@@ -52,10 +60,27 @@ struct Shard {
     list_grew: Condvar,
 }
 
+/// Where the data actually lives.
+enum Backend {
+    /// The in-process shard array.
+    Local(Arc<[Shard; SHARDS]>),
+    /// A networked client (routing, retries and failover live there).
+    Remote(Arc<dyn RemoteStore>),
+}
+
+impl Clone for Backend {
+    fn clone(&self) -> Self {
+        match self {
+            Backend::Local(shards) => Backend::Local(Arc::clone(shards)),
+            Backend::Remote(r) => Backend::Remote(Arc::clone(r)),
+        }
+    }
+}
+
 /// A sharded key-value store. Cloning is cheap (shared handle).
 #[derive(Clone)]
 pub struct KvStore {
-    shards: Arc<[Shard; SHARDS]>,
+    backend: Backend,
     metrics: Arc<OnceLock<KvMetrics>>,
     chaos: Arc<OnceLock<ChaosInjector>>,
 }
@@ -76,10 +101,22 @@ fn key_hash(key: &str) -> usize {
 }
 
 impl KvStore {
-    /// Create an empty store.
+    /// Create an empty in-process store.
     pub fn new() -> Self {
         KvStore {
-            shards: Arc::new(std::array::from_fn(|_| Shard::default())),
+            backend: Backend::Local(Arc::new(std::array::from_fn(|_| Shard::default()))),
+            metrics: Arc::new(OnceLock::new()),
+            chaos: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// Create a store whose operations execute on a [`RemoteStore`]
+    /// client instead of in-process memory. The facade semantics
+    /// (metrics, chaos draws, the protected prefix) are unchanged —
+    /// only the backend differs.
+    pub fn remote(backend: Arc<dyn RemoteStore>) -> Self {
+        KvStore {
+            backend: Backend::Remote(backend),
             metrics: Arc::new(OnceLock::new()),
             chaos: Arc::new(OnceLock::new()),
         }
@@ -131,8 +168,10 @@ impl KvStore {
         Some(m.registry.stage_timer(&m.op_us))
     }
 
-    fn shard(&self, key: &str) -> &Shard {
-        &self.shards[key_hash(key)]
+    /// The local shard owning `key`. Panics on a remote backend — every
+    /// caller dispatches on the backend first.
+    fn local_shard<'a>(shards: &'a Arc<[Shard; SHARDS]>, key: &str) -> &'a Shard {
+        &shards[key_hash(key)]
     }
 
     /// Set a string value (no TTL).
@@ -141,14 +180,24 @@ impl KvStore {
         if self.dropped_write(key) {
             return;
         }
-        let mut map = self.shard(key).map.lock();
-        map.insert(
-            key.to_string(),
-            Entry {
-                value: Value::Str(value.into()),
-                expires_at: None,
-            },
-        );
+        match &self.backend {
+            Backend::Local(shards) => {
+                let mut map = Self::local_shard(shards, key).map.lock();
+                map.insert(
+                    key.to_string(),
+                    Entry {
+                        value: Value::Str(value.into()),
+                        expires_at: None,
+                    },
+                );
+            }
+            Backend::Remote(r) => {
+                r.kv(KvRequest::Set {
+                    key: key.to_string(),
+                    value: value.into(),
+                });
+            }
+        }
     }
 
     /// Set a string value that expires at logical time `expires_at`.
@@ -157,37 +206,78 @@ impl KvStore {
         if self.dropped_write(key) {
             return;
         }
-        let mut map = self.shard(key).map.lock();
-        map.insert(
-            key.to_string(),
-            Entry {
-                value: Value::Str(value.into()),
-                expires_at: Some(expires_at),
-            },
-        );
+        match &self.backend {
+            Backend::Local(shards) => {
+                let mut map = Self::local_shard(shards, key).map.lock();
+                map.insert(
+                    key.to_string(),
+                    Entry {
+                        value: Value::Str(value.into()),
+                        expires_at: Some(expires_at),
+                    },
+                );
+            }
+            Backend::Remote(r) => {
+                r.kv(KvRequest::SetWithTtl {
+                    key: key.to_string(),
+                    value: value.into(),
+                    expires_at,
+                });
+            }
+        }
     }
 
     /// Get a string value. Returns `None` for missing keys or keys holding a
     /// non-string value.
     pub fn get(&self, key: &str) -> Option<String> {
         let _op = self.observe(false);
-        let map = self.shard(key).map.lock();
-        match map.get(key)?.value {
-            Value::Str(ref s) => Some(s.clone()),
-            _ => None,
+        match &self.backend {
+            Backend::Local(shards) => {
+                let map = Self::local_shard(shards, key).map.lock();
+                match map.get(key)?.value {
+                    Value::Str(ref s) => Some(s.clone()),
+                    _ => None,
+                }
+            }
+            Backend::Remote(r) => match r.kv(KvRequest::Get {
+                key: key.to_string(),
+            }) {
+                KvResponse::MaybeStr(v) => v,
+                other => unreachable!("get returned {other:?}"),
+            },
         }
     }
 
     /// Delete a key of any type. Returns whether it existed.
     pub fn del(&self, key: &str) -> bool {
         let _op = self.observe(true);
-        self.shard(key).map.lock().remove(key).is_some()
+        match &self.backend {
+            Backend::Local(shards) => Self::local_shard(shards, key)
+                .map
+                .lock()
+                .remove(key)
+                .is_some(),
+            Backend::Remote(r) => match r.kv(KvRequest::Del {
+                key: key.to_string(),
+            }) {
+                KvResponse::Bool(b) => b,
+                other => unreachable!("del returned {other:?}"),
+            },
+        }
     }
 
     /// Whether a key exists (of any type).
     pub fn exists(&self, key: &str) -> bool {
         let _op = self.observe(false);
-        self.shard(key).map.lock().contains_key(key)
+        match &self.backend {
+            Backend::Local(shards) => Self::local_shard(shards, key).map.lock().contains_key(key),
+            Backend::Remote(r) => match r.kv(KvRequest::Exists {
+                key: key.to_string(),
+            }) {
+                KvResponse::Bool(b) => b,
+                other => unreachable!("exists returned {other:?}"),
+            },
+        }
     }
 
     /// Atomically increment a counter key by `delta`, creating it at 0
@@ -195,19 +285,30 @@ impl KvStore {
     /// non-numeric string or non-string value.
     pub fn incr_by(&self, key: &str, delta: i64) -> i64 {
         let _op = self.observe(true);
-        let mut map = self.shard(key).map.lock();
-        let entry = map.entry(key.to_string()).or_insert(Entry {
-            value: Value::Str("0".to_string()),
-            expires_at: None,
-        });
-        match entry.value {
-            Value::Str(ref mut s) => {
-                let cur: i64 = s.parse().expect("incr_by on non-numeric value");
-                let next = cur + delta;
-                *s = next.to_string();
-                next
+        match &self.backend {
+            Backend::Local(shards) => {
+                let mut map = Self::local_shard(shards, key).map.lock();
+                let entry = map.entry(key.to_string()).or_insert(Entry {
+                    value: Value::Str("0".to_string()),
+                    expires_at: None,
+                });
+                match entry.value {
+                    Value::Str(ref mut s) => {
+                        let cur: i64 = s.parse().expect("incr_by on non-numeric value");
+                        let next = cur + delta;
+                        *s = next.to_string();
+                        next
+                    }
+                    _ => panic!("incr_by on non-string key {key}"),
+                }
             }
-            _ => panic!("incr_by on non-string key {key}"),
+            Backend::Remote(r) => match r.kv(KvRequest::IncrBy {
+                key: key.to_string(),
+                delta,
+            }) {
+                KvResponse::Int(v) => v,
+                other => unreachable!("incr_by returned {other:?}"),
+            },
         }
     }
 
@@ -215,28 +316,50 @@ impl KvStore {
     /// needed, and wake any blocked poppers. Returns the new length.
     pub fn rpush(&self, key: &str, value: impl Into<String>) -> usize {
         let _op = self.observe(true);
-        let shard = self.shard(key);
-        let mut map = shard.map.lock();
-        if self.dropped_write(key) {
-            // Acked-but-lost: report the length the client expects to see.
-            return match map.get(key).map(|e| &e.value) {
-                Some(Value::List(l)) => l.len() + 1,
-                _ => 1,
-            };
-        }
-        let entry = map.entry(key.to_string()).or_insert(Entry {
-            value: Value::List(VecDeque::new()),
-            expires_at: None,
-        });
-        let len = match entry.value {
-            Value::List(ref mut l) => {
-                l.push_back(value.into());
-                l.len()
+        match &self.backend {
+            Backend::Local(shards) => {
+                let shard = Self::local_shard(shards, key);
+                let mut map = shard.map.lock();
+                if self.dropped_write(key) {
+                    // Acked-but-lost: report the length the client expects to see.
+                    return match map.get(key).map(|e| &e.value) {
+                        Some(Value::List(l)) => l.len() + 1,
+                        _ => 1,
+                    };
+                }
+                let entry = map.entry(key.to_string()).or_insert(Entry {
+                    value: Value::List(VecDeque::new()),
+                    expires_at: None,
+                });
+                let len = match entry.value {
+                    Value::List(ref mut l) => {
+                        l.push_back(value.into());
+                        l.len()
+                    }
+                    _ => panic!("rpush on non-list key {key}"),
+                };
+                shard.list_grew.notify_all();
+                len
             }
-            _ => panic!("rpush on non-list key {key}"),
-        };
-        shard.list_grew.notify_all();
-        len
+            Backend::Remote(r) => {
+                if self.dropped_write(key) {
+                    // Acked-but-lost: report the expected post-push length.
+                    return match r.kv(KvRequest::Llen {
+                        key: key.to_string(),
+                    }) {
+                        KvResponse::Uint(n) => n as usize + 1,
+                        other => unreachable!("llen returned {other:?}"),
+                    };
+                }
+                match r.kv(KvRequest::Rpush {
+                    key: key.to_string(),
+                    value: value.into(),
+                }) {
+                    KvResponse::Uint(n) => n as usize,
+                    other => unreachable!("rpush returned {other:?}"),
+                }
+            }
+        }
     }
 
     /// Push a batch of values to the tail of the list at `key` under a
@@ -251,36 +374,74 @@ impl KvStore {
         I::Item: Into<String>,
     {
         let _op = self.observe(true);
-        let shard = self.shard(key);
-        let mut map = shard.map.lock();
-        let entry = map.entry(key.to_string()).or_insert(Entry {
-            value: Value::List(VecDeque::new()),
-            expires_at: None,
-        });
-        let len = match entry.value {
-            Value::List(ref mut l) => {
-                let mut acked = l.len();
-                for v in values {
-                    acked += 1;
-                    if !self.dropped_write(key) {
-                        l.push_back(v.into());
+        match &self.backend {
+            Backend::Local(shards) => {
+                let shard = Self::local_shard(shards, key);
+                let mut map = shard.map.lock();
+                let entry = map.entry(key.to_string()).or_insert(Entry {
+                    value: Value::List(VecDeque::new()),
+                    expires_at: None,
+                });
+                let len = match entry.value {
+                    Value::List(ref mut l) => {
+                        let mut acked = l.len();
+                        for v in values {
+                            acked += 1;
+                            if !self.dropped_write(key) {
+                                l.push_back(v.into());
+                            }
+                        }
+                        acked
                     }
-                }
-                acked
+                    _ => panic!("rpush_batch on non-list key {key}"),
+                };
+                shard.list_grew.notify_all();
+                len
             }
-            _ => panic!("rpush_batch on non-list key {key}"),
-        };
-        shard.list_grew.notify_all();
-        len
+            Backend::Remote(r) => {
+                // Draw the per-element fault decisions at the facade (same
+                // stream order as the local path), ship only the kept
+                // elements, and ack the full count.
+                let mut dropped = 0usize;
+                let kept: Vec<String> = values
+                    .into_iter()
+                    .filter_map(|v| {
+                        if self.dropped_write(key) {
+                            dropped += 1;
+                            None
+                        } else {
+                            Some(v.into())
+                        }
+                    })
+                    .collect();
+                match r.kv(KvRequest::RpushBatch {
+                    key: key.to_string(),
+                    values: kept,
+                }) {
+                    KvResponse::Uint(n) => n as usize + dropped,
+                    other => unreachable!("rpush_batch returned {other:?}"),
+                }
+            }
+        }
     }
 
     /// Pop from the head of the list at `key`. Non-blocking.
     pub fn lpop(&self, key: &str) -> Option<String> {
         let _op = self.observe(true);
-        let mut map = self.shard(key).map.lock();
-        match map.get_mut(key)?.value {
-            Value::List(ref mut l) => l.pop_front(),
-            _ => None,
+        match &self.backend {
+            Backend::Local(shards) => {
+                let mut map = Self::local_shard(shards, key).map.lock();
+                match map.get_mut(key)?.value {
+                    Value::List(ref mut l) => l.pop_front(),
+                    _ => None,
+                }
+            }
+            Backend::Remote(r) => match r.kv(KvRequest::Lpop {
+                key: key.to_string(),
+            }) {
+                KvResponse::MaybeStr(v) => v,
+                other => unreachable!("lpop returned {other:?}"),
+            },
         }
     }
 
@@ -290,16 +451,27 @@ impl KvStore {
     /// batch when ready" (App. B).
     pub fn lpop_batch(&self, key: &str, n: usize) -> Vec<String> {
         let _op = self.observe(true);
-        let mut map = self.shard(key).map.lock();
-        match map.get_mut(key) {
-            Some(Entry {
-                value: Value::List(l),
-                ..
-            }) => {
-                let take = n.min(l.len());
-                l.drain(..take).collect()
+        match &self.backend {
+            Backend::Local(shards) => {
+                let mut map = Self::local_shard(shards, key).map.lock();
+                match map.get_mut(key) {
+                    Some(Entry {
+                        value: Value::List(l),
+                        ..
+                    }) => {
+                        let take = n.min(l.len());
+                        l.drain(..take).collect()
+                    }
+                    _ => vec![],
+                }
             }
-            _ => vec![],
+            Backend::Remote(r) => match r.kv(KvRequest::LpopBatch {
+                key: key.to_string(),
+                n: n as u64,
+            }) {
+                KvResponse::Strs(v) => v,
+                other => unreachable!("lpop_batch returned {other:?}"),
+            },
         }
     }
 
@@ -310,47 +482,78 @@ impl KvStore {
     /// up" (App. B).
     pub fn lpop_exact_batch(&self, key: &str, n: usize) -> Vec<String> {
         let _op = self.observe(true);
-        let mut map = self.shard(key).map.lock();
-        match map.get_mut(key) {
-            Some(Entry {
-                value: Value::List(l),
-                ..
-            }) if l.len() >= n => l.drain(..n).collect(),
-            _ => vec![],
+        match &self.backend {
+            Backend::Local(shards) => {
+                let mut map = Self::local_shard(shards, key).map.lock();
+                match map.get_mut(key) {
+                    Some(Entry {
+                        value: Value::List(l),
+                        ..
+                    }) if l.len() >= n => l.drain(..n).collect(),
+                    _ => vec![],
+                }
+            }
+            Backend::Remote(r) => match r.kv(KvRequest::LpopExactBatch {
+                key: key.to_string(),
+                n: n as u64,
+            }) {
+                KvResponse::Strs(v) => v,
+                other => unreachable!("lpop_exact_batch returned {other:?}"),
+            },
         }
     }
 
     /// Blocking pop with a wall-clock timeout (used by worker threads).
-    /// Returns `None` on timeout.
+    /// Returns `None` on timeout. On a remote backend this polls (there is
+    /// no cross-host condvar): the caller trades a little latency for the
+    /// same contract.
     pub fn blpop(&self, key: &str, timeout: std::time::Duration) -> Option<String> {
         let _op = self.observe(true);
-        let shard = self.shard(key);
-        let deadline = std::time::Instant::now() + timeout;
-        let mut map = shard.map.lock();
-        loop {
-            if let Some(Entry {
-                value: Value::List(l),
-                ..
-            }) = map.get_mut(key)
-            {
-                if let Some(v) = l.pop_front() {
-                    return Some(v);
+        match &self.backend {
+            Backend::Local(shards) => {
+                let shard = Self::local_shard(shards, key);
+                let deadline = std::time::Instant::now() + timeout;
+                let mut map = shard.map.lock();
+                loop {
+                    if let Some(Entry {
+                        value: Value::List(l),
+                        ..
+                    }) = map.get_mut(key)
+                    {
+                        if let Some(v) = l.pop_front() {
+                            return Some(v);
+                        }
+                    }
+                    let now = std::time::Instant::now();
+                    if now >= deadline {
+                        return None;
+                    }
+                    if shard.list_grew.wait_until(&mut map, deadline).timed_out() {
+                        // Check one last time after the timeout.
+                        if let Some(Entry {
+                            value: Value::List(l),
+                            ..
+                        }) = map.get_mut(key)
+                        {
+                            return l.pop_front();
+                        }
+                        return None;
+                    }
                 }
             }
-            let now = std::time::Instant::now();
-            if now >= deadline {
-                return None;
-            }
-            if shard.list_grew.wait_until(&mut map, deadline).timed_out() {
-                // Check one last time after the timeout.
-                if let Some(Entry {
-                    value: Value::List(l),
-                    ..
-                }) = map.get_mut(key)
-                {
-                    return l.pop_front();
+            Backend::Remote(r) => {
+                let deadline = std::time::Instant::now() + timeout;
+                loop {
+                    if let KvResponse::MaybeStr(Some(v)) = r.kv(KvRequest::Lpop {
+                        key: key.to_string(),
+                    }) {
+                        return Some(v);
+                    }
+                    if std::time::Instant::now() >= deadline {
+                        return None;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(1));
                 }
-                return None;
             }
         }
     }
@@ -358,13 +561,23 @@ impl KvStore {
     /// Length of the list at `key` (0 when missing).
     pub fn llen(&self, key: &str) -> usize {
         let _op = self.observe(false);
-        let map = self.shard(key).map.lock();
-        match map.get(key) {
-            Some(Entry {
-                value: Value::List(l),
-                ..
-            }) => l.len(),
-            _ => 0,
+        match &self.backend {
+            Backend::Local(shards) => {
+                let map = Self::local_shard(shards, key).map.lock();
+                match map.get(key) {
+                    Some(Entry {
+                        value: Value::List(l),
+                        ..
+                    }) => l.len(),
+                    _ => 0,
+                }
+            }
+            Backend::Remote(r) => match r.kv(KvRequest::Llen {
+                key: key.to_string(),
+            }) {
+                KvResponse::Uint(n) => n as usize,
+                other => unreachable!("llen returned {other:?}"),
+            },
         }
     }
 
@@ -374,76 +587,147 @@ impl KvStore {
         if self.dropped_write(key) {
             return;
         }
-        let mut map = self.shard(key).map.lock();
-        let entry = map.entry(key.to_string()).or_insert(Entry {
-            value: Value::Hash(HashMap::new()),
-            expires_at: None,
-        });
-        match entry.value {
-            Value::Hash(ref mut h) => {
-                h.insert(field.to_string(), value.into());
+        match &self.backend {
+            Backend::Local(shards) => {
+                let mut map = Self::local_shard(shards, key).map.lock();
+                let entry = map.entry(key.to_string()).or_insert(Entry {
+                    value: Value::Hash(HashMap::new()),
+                    expires_at: None,
+                });
+                match entry.value {
+                    Value::Hash(ref mut h) => {
+                        h.insert(field.to_string(), value.into());
+                    }
+                    _ => panic!("hset on non-hash key {key}"),
+                }
             }
-            _ => panic!("hset on non-hash key {key}"),
+            Backend::Remote(r) => {
+                r.kv(KvRequest::Hset {
+                    key: key.to_string(),
+                    field: field.to_string(),
+                    value: value.into(),
+                });
+            }
         }
     }
 
     /// Get a field from the hash at `key`.
     pub fn hget(&self, key: &str, field: &str) -> Option<String> {
         let _op = self.observe(false);
-        let map = self.shard(key).map.lock();
-        match map.get(key)?.value {
-            Value::Hash(ref h) => h.get(field).cloned(),
-            _ => None,
+        match &self.backend {
+            Backend::Local(shards) => {
+                let map = Self::local_shard(shards, key).map.lock();
+                match map.get(key)?.value {
+                    Value::Hash(ref h) => h.get(field).cloned(),
+                    _ => None,
+                }
+            }
+            Backend::Remote(r) => match r.kv(KvRequest::Hget {
+                key: key.to_string(),
+                field: field.to_string(),
+            }) {
+                KvResponse::MaybeStr(v) => v,
+                other => unreachable!("hget returned {other:?}"),
+            },
         }
     }
 
     /// All fields of the hash at `key`.
     pub fn hgetall(&self, key: &str) -> HashMap<String, String> {
         let _op = self.observe(false);
-        let map = self.shard(key).map.lock();
-        match map.get(key) {
-            Some(Entry {
-                value: Value::Hash(h),
-                ..
-            }) => h.clone(),
-            _ => HashMap::new(),
+        match &self.backend {
+            Backend::Local(shards) => {
+                let map = Self::local_shard(shards, key).map.lock();
+                match map.get(key) {
+                    Some(Entry {
+                        value: Value::Hash(h),
+                        ..
+                    }) => h.clone(),
+                    _ => HashMap::new(),
+                }
+            }
+            Backend::Remote(r) => match r.kv(KvRequest::Hgetall {
+                key: key.to_string(),
+            }) {
+                KvResponse::Pairs(pairs) => pairs.into_iter().collect(),
+                other => unreachable!("hgetall returned {other:?}"),
+            },
         }
     }
 
     /// All keys starting with `prefix`, across all shards. O(total keys).
     pub fn keys_with_prefix(&self, prefix: &str) -> Vec<String> {
         let _op = self.observe(false);
-        let mut out = Vec::new();
-        for shard in self.shards.iter() {
-            let map = shard.map.lock();
-            out.extend(map.keys().filter(|k| k.starts_with(prefix)).cloned());
+        match &self.backend {
+            Backend::Local(shards) => {
+                let mut out = Vec::new();
+                for shard in shards.iter() {
+                    let map = shard.map.lock();
+                    out.extend(map.keys().filter(|k| k.starts_with(prefix)).cloned());
+                }
+                out.sort_unstable();
+                out
+            }
+            Backend::Remote(r) => match r.kv(KvRequest::KeysWithPrefix {
+                prefix: prefix.to_string(),
+            }) {
+                KvResponse::Strs(mut keys) => {
+                    keys.sort_unstable();
+                    keys
+                }
+                other => unreachable!("keys_with_prefix returned {other:?}"),
+            },
         }
-        out.sort_unstable();
-        out
     }
 
     /// Drop every key whose TTL is at or before `now` (logical time).
     /// Returns the number of keys removed. The pipeline's coordinator calls
     /// this on its periodic tick.
     pub fn sweep_expired(&self, now: SimTime) -> usize {
+        self.sweep_expired_scoped(now, "")
+    }
+
+    /// [`KvStore::sweep_expired`] restricted to keys starting with
+    /// `prefix` (empty = everything). Multi-tenant servers need the
+    /// scope: one tenant's periodic sweep runs at *its* logical clock,
+    /// and letting it evict another tenant's TTL leases would expire
+    /// them at times the other tenant never chose.
+    pub fn sweep_expired_scoped(&self, now: SimTime, prefix: &str) -> usize {
         let _op = self.observe(true);
-        let mut removed = 0;
-        for shard in self.shards.iter() {
-            let mut map = shard.map.lock();
-            map.retain(|_, e| match e.expires_at {
-                Some(t) if t <= now => {
-                    removed += 1;
-                    false
+        match &self.backend {
+            Backend::Local(shards) => {
+                let mut removed = 0;
+                for shard in shards.iter() {
+                    let mut map = shard.map.lock();
+                    map.retain(|k, e| match e.expires_at {
+                        Some(t) if t <= now && k.starts_with(prefix) => {
+                            removed += 1;
+                            false
+                        }
+                        _ => true,
+                    });
                 }
-                _ => true,
-            });
+                removed
+            }
+            Backend::Remote(r) => match r.kv(KvRequest::SweepExpired {
+                now,
+                prefix: prefix.to_string(),
+            }) {
+                KvResponse::Uint(n) => n as usize,
+                other => unreachable!("sweep_expired returned {other:?}"),
+            },
         }
-        removed
     }
 
     /// Total number of keys.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.map.lock().len()).sum()
+        match &self.backend {
+            Backend::Local(shards) => shards.iter().map(|s| s.map.lock().len()).sum(),
+            Backend::Remote(r) => match r.kv(KvRequest::Len) {
+                KvResponse::Uint(n) => n as usize,
+                other => unreachable!("len returned {other:?}"),
+            },
+        }
     }
 
     /// Whether the store holds no keys.
@@ -453,8 +737,15 @@ impl KvStore {
 
     /// Remove every key (test helper).
     pub fn clear(&self) {
-        for shard in self.shards.iter() {
-            shard.map.lock().clear();
+        match &self.backend {
+            Backend::Local(shards) => {
+                for shard in shards.iter() {
+                    shard.map.lock().clear();
+                }
+            }
+            Backend::Remote(r) => {
+                r.kv(KvRequest::Clear);
+            }
         }
     }
 
@@ -463,29 +754,37 @@ impl KvStore {
     /// Two stores holding the same data produce equal snapshots however
     /// the data arrived. Administrative — not counted in `store.kv.*`.
     pub fn snapshot(&self) -> KvSnapshot {
-        let mut entries = Vec::new();
-        for shard in self.shards.iter() {
-            let map = shard.map.lock();
-            for (key, entry) in map.iter() {
-                let value = match &entry.value {
-                    Value::Str(s) => SnapshotValue::Str(s.clone()),
-                    Value::List(l) => SnapshotValue::List(l.iter().cloned().collect()),
-                    Value::Hash(h) => {
-                        let mut fields: Vec<(String, String)> =
-                            h.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
-                        fields.sort();
-                        SnapshotValue::Hash(fields)
+        match &self.backend {
+            Backend::Local(shards) => {
+                let mut entries = Vec::new();
+                for shard in shards.iter() {
+                    let map = shard.map.lock();
+                    for (key, entry) in map.iter() {
+                        let value = match &entry.value {
+                            Value::Str(s) => SnapshotValue::Str(s.clone()),
+                            Value::List(l) => SnapshotValue::List(l.iter().cloned().collect()),
+                            Value::Hash(h) => {
+                                let mut fields: Vec<(String, String)> =
+                                    h.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+                                fields.sort();
+                                SnapshotValue::Hash(fields)
+                            }
+                        };
+                        entries.push(SnapshotEntry {
+                            key: key.clone(),
+                            value,
+                            expires_at: entry.expires_at,
+                        });
                     }
-                };
-                entries.push(SnapshotEntry {
-                    key: key.clone(),
-                    value,
-                    expires_at: entry.expires_at,
-                });
+                }
+                entries.sort_by(|a, b| a.key.cmp(&b.key));
+                KvSnapshot { entries }
             }
+            Backend::Remote(r) => match r.kv(KvRequest::Snapshot) {
+                KvResponse::Snapshot(s) => s,
+                other => unreachable!("snapshot returned {other:?}"),
+            },
         }
-        entries.sort_by(|a, b| a.key.cmp(&b.key));
-        KvSnapshot { entries }
     }
 
     /// Replace the full store contents with a snapshot's. TTLs are
@@ -493,22 +792,33 @@ impl KvStore {
     /// processes). Bypasses fault injection and, like `snapshot`, is not
     /// counted in `store.kv.*`.
     pub fn restore(&self, snapshot: &KvSnapshot) {
-        self.clear();
-        for entry in &snapshot.entries {
-            let value = match &entry.value {
-                SnapshotValue::Str(s) => Value::Str(s.clone()),
-                SnapshotValue::List(l) => Value::List(l.iter().cloned().collect()),
-                SnapshotValue::Hash(fields) => Value::Hash(fields.iter().cloned().collect()),
-            };
-            let shard = self.shard(&entry.key);
-            shard.map.lock().insert(
-                entry.key.clone(),
-                Entry {
-                    value,
-                    expires_at: entry.expires_at,
-                },
-            );
-            shard.list_grew.notify_all();
+        match &self.backend {
+            Backend::Local(shards) => {
+                self.clear();
+                for entry in &snapshot.entries {
+                    let value = match &entry.value {
+                        SnapshotValue::Str(s) => Value::Str(s.clone()),
+                        SnapshotValue::List(l) => Value::List(l.iter().cloned().collect()),
+                        SnapshotValue::Hash(fields) => {
+                            Value::Hash(fields.iter().cloned().collect())
+                        }
+                    };
+                    let shard = Self::local_shard(shards, &entry.key);
+                    shard.map.lock().insert(
+                        entry.key.clone(),
+                        Entry {
+                            value,
+                            expires_at: entry.expires_at,
+                        },
+                    );
+                    shard.list_grew.notify_all();
+                }
+            }
+            Backend::Remote(r) => {
+                r.kv(KvRequest::Restore {
+                    snapshot: snapshot.clone(),
+                });
+            }
         }
     }
 }
@@ -530,6 +840,132 @@ impl KvSnapshot {
     /// Whether the snapshot holds no keys.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Merge entries from several snapshots into one, keeping entries
+    /// sorted by key. Later snapshots win on key collisions, except:
+    /// lists are concatenated in argument order, and hashes merge
+    /// field-wise (later parts win per *field*) — the shapes a sharded
+    /// deployment needs when folding disjoint per-streamer key spaces,
+    /// shared ledger lists, and hashes whose fields are spread across
+    /// engines back together.
+    pub fn merged(parts: &[KvSnapshot]) -> KvSnapshot {
+        let mut by_key: std::collections::BTreeMap<String, SnapshotEntry> =
+            std::collections::BTreeMap::new();
+        for part in parts {
+            for entry in &part.entries {
+                match by_key.get_mut(&entry.key) {
+                    Some(prev) => match (&mut prev.value, &entry.value) {
+                        (SnapshotValue::List(dst), SnapshotValue::List(src)) => {
+                            dst.extend(src.iter().cloned());
+                        }
+                        (SnapshotValue::Hash(dst), SnapshotValue::Hash(src)) => {
+                            for (field, value) in src {
+                                match dst.iter_mut().find(|(f, _)| f == field) {
+                                    Some((_, v)) => *v = value.clone(),
+                                    None => dst.push((field.clone(), value.clone())),
+                                }
+                            }
+                            dst.sort();
+                        }
+                        _ => *prev = entry.clone(),
+                    },
+                    None => {
+                        by_key.insert(entry.key.clone(), entry.clone());
+                    }
+                }
+            }
+        }
+        KvSnapshot {
+            entries: by_key.into_values().collect(),
+        }
+    }
+
+    /// A copy holding only the entries whose key starts with `prefix`,
+    /// with the prefix stripped. Used by namespaced shard clients to
+    /// carve their own view out of a shared server snapshot.
+    pub fn strip_prefix(&self, prefix: &str) -> KvSnapshot {
+        KvSnapshot {
+            entries: self
+                .entries
+                .iter()
+                .filter_map(|e| {
+                    e.key.strip_prefix(prefix).map(|k| SnapshotEntry {
+                        key: k.to_string(),
+                        value: e.value.clone(),
+                        expires_at: e.expires_at,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Decompose into the per-key write requests that recreate this
+    /// snapshot's entries on an empty (or pre-cleared) store. Unlike
+    /// [`KvRequest::Restore`], which replaces
+    /// a whole server's state, these requests are routable key-by-key —
+    /// a namespaced sharded client uses them to restore only its own
+    /// slice. List and hash entries are preceded by a `Del` so the
+    /// sequence is a replacement even when keys already exist. TTLs are
+    /// preserved for string entries (the only kind `set_with_ttl`
+    /// produces).
+    pub fn restore_requests(&self) -> Vec<crate::KvRequest> {
+        use crate::KvRequest;
+        let mut reqs = Vec::new();
+        for entry in &self.entries {
+            match &entry.value {
+                SnapshotValue::Str(v) => reqs.push(match entry.expires_at {
+                    Some(expires_at) => KvRequest::SetWithTtl {
+                        key: entry.key.clone(),
+                        value: v.clone(),
+                        expires_at,
+                    },
+                    None => KvRequest::Set {
+                        key: entry.key.clone(),
+                        value: v.clone(),
+                    },
+                }),
+                SnapshotValue::List(values) => {
+                    reqs.push(KvRequest::Del {
+                        key: entry.key.clone(),
+                    });
+                    reqs.push(KvRequest::RpushBatch {
+                        key: entry.key.clone(),
+                        values: values.clone(),
+                    });
+                }
+                SnapshotValue::Hash(fields) => {
+                    reqs.push(KvRequest::Del {
+                        key: entry.key.clone(),
+                    });
+                    for (field, value) in fields {
+                        reqs.push(KvRequest::Hset {
+                            key: entry.key.clone(),
+                            field: field.clone(),
+                            value: value.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        reqs
+    }
+
+    /// A copy with `prefix` prepended to every key — the inverse of
+    /// [`KvSnapshot::strip_prefix`], used when a namespaced client pushes
+    /// a snapshot back into the shared servers.
+    pub fn with_prefix(&self, prefix: &str) -> KvSnapshot {
+        KvSnapshot {
+            entries: self
+                .entries
+                .iter()
+                .map(|e| SnapshotEntry {
+                    key: format!("{prefix}{}", e.key),
+                    value: e.value.clone(),
+                    expires_at: e.expires_at,
+                })
+                .collect(),
+        }
     }
 }
 
@@ -751,6 +1187,26 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_merge_and_strip() {
+        let a = KvStore::new();
+        a.set("e0:x", "1");
+        a.rpush("e0:engine:ledger", "r1");
+        let b = KvStore::new();
+        b.set("e1:y", "2");
+        b.rpush("e1:engine:ledger", "r2");
+
+        let sa = a.snapshot().strip_prefix("e0:");
+        let sb = b.snapshot().strip_prefix("e1:");
+        let merged = KvSnapshot::merged(&[sa, sb]);
+        let kv = KvStore::new();
+        kv.restore(&merged);
+        assert_eq!(kv.get("x").as_deref(), Some("1"));
+        assert_eq!(kv.get("y").as_deref(), Some("2"));
+        // Ledger lists concatenate in argument order.
+        assert_eq!(kv.lpop_batch("engine:ledger", 10), vec!["r1", "r2"]);
+    }
+
+    #[test]
     fn protected_prefix_bypasses_chaos() {
         use tero_chaos::{ChaosInjector, FaultPlan};
         let kv = KvStore::new();
@@ -775,5 +1231,42 @@ mod tests {
         kv.set("str", "v");
         assert_eq!(kv.lpop("str"), None, "lpop on a string returns None");
         assert_eq!(kv.hget("str", "f"), None);
+    }
+
+    #[test]
+    fn remote_backend_round_trips_through_requests() {
+        use crate::remote::{KvRequest, KvResponse, ObjRequest, ObjResponse, RemoteStore};
+
+        /// A loopback remote: executes every request on one local store.
+        struct Loopback(KvStore);
+        impl RemoteStore for Loopback {
+            fn kv(&self, req: KvRequest) -> KvResponse {
+                crate::apply_kv(&self.0, req)
+            }
+            fn obj(&self, _req: ObjRequest) -> ObjResponse {
+                unimplemented!("kv-only loopback")
+            }
+        }
+
+        let kv = KvStore::remote(Arc::new(Loopback(KvStore::new())));
+        kv.set("a", "1");
+        assert_eq!(kv.get("a").as_deref(), Some("1"));
+        assert_eq!(kv.incr_by("c", 7), 7);
+        assert_eq!(kv.rpush("q", "x"), 1);
+        assert_eq!(kv.rpush_batch("q", ["y", "z"].map(String::from)), 3);
+        assert_eq!(kv.llen("q"), 3);
+        assert_eq!(kv.lpop("q").as_deref(), Some("x"));
+        assert_eq!(kv.lpop_exact_batch("q", 2), vec!["y", "z"]);
+        kv.hset("h", "f", "v");
+        assert_eq!(kv.hget("h", "f").as_deref(), Some("v"));
+        assert_eq!(kv.hgetall("h").len(), 1);
+        kv.set_with_ttl("lease", "l", SimTime::from_secs(5));
+        assert_eq!(kv.sweep_expired(SimTime::from_secs(5)), 1);
+        assert_eq!(kv.keys_with_prefix("a"), vec!["a"]);
+        assert!(kv.exists("a") && kv.del("a") && !kv.exists("a"));
+        let snap = kv.snapshot();
+        let local = KvStore::new();
+        local.restore(&snap);
+        assert_eq!(local.snapshot(), snap);
     }
 }

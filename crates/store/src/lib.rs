@@ -25,7 +25,11 @@
 pub mod doc;
 pub mod kv;
 pub mod object;
+pub mod remote;
 
 pub use doc::DocumentStore;
 pub use kv::{KvSnapshot, KvStore, PROTECTED_PREFIX};
 pub use object::{ObjectSnapshot, ObjectStore};
+pub use remote::{
+    apply_kv, apply_obj, KvRequest, KvResponse, ObjRequest, ObjResponse, RemoteStore,
+};

@@ -4,7 +4,13 @@
 //! image-processing here (App. B), and deletes them as soon as they are
 //! processed (§7's data-minimisation rule) — hence the emphasis on cheap
 //! deletion and occupancy accounting.
+//!
+//! Like [`KvStore`](crate::KvStore), the public API is a facade over
+//! either the in-process map or a [`RemoteStore`] client; metrics and
+//! chaos write-drops stay on the facade side so both deployments
+//! account identically.
 
+use crate::remote::{ObjRequest, ObjResponse, RemoteStore};
 use bytes::Bytes;
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -27,18 +33,49 @@ struct ObjectMetrics {
     registry: Registry,
 }
 
+/// Where the objects actually live.
+enum Backend {
+    Local(Arc<RwLock<Inner>>),
+    Remote(Arc<dyn RemoteStore>),
+}
+
+impl Clone for Backend {
+    fn clone(&self) -> Self {
+        match self {
+            Backend::Local(inner) => Backend::Local(Arc::clone(inner)),
+            Backend::Remote(r) => Backend::Remote(Arc::clone(r)),
+        }
+    }
+}
+
+impl Default for Backend {
+    fn default() -> Self {
+        Backend::Local(Arc::default())
+    }
+}
+
 /// A thread-safe in-memory object store. Cloning is cheap (shared handle).
 #[derive(Clone, Default)]
 pub struct ObjectStore {
-    inner: Arc<RwLock<Inner>>,
+    backend: Backend,
     metrics: Arc<OnceLock<ObjectMetrics>>,
     chaos: Arc<OnceLock<ChaosInjector>>,
 }
 
 impl ObjectStore {
-    /// Create an empty store.
+    /// Create an empty in-process store.
     pub fn new() -> Self {
         ObjectStore::default()
+    }
+
+    /// Create a store whose operations execute on a [`RemoteStore`]
+    /// client instead of in-process memory.
+    pub fn remote(backend: Arc<dyn RemoteStore>) -> Self {
+        ObjectStore {
+            backend: Backend::Remote(backend),
+            metrics: Arc::new(OnceLock::new()),
+            chaos: Arc::new(OnceLock::new()),
+        }
     }
 
     /// Register this store's operation metrics (`store.object.*`) with a
@@ -82,104 +119,190 @@ impl ObjectStore {
         if let Some(m) = self.metrics.get() {
             m.put_bytes.add(data.len() as u64);
         }
-        let mut inner = self.inner.write();
-        let b = inner.buckets.entry(bucket.to_string()).or_default();
-        let old = b.insert(key.to_string(), data.clone());
-        // Borrow of `b` ends here; update accounting on `inner`.
-        inner.total_bytes += data.len();
-        if let Some(old) = old {
-            inner.total_bytes -= old.len();
+        match &self.backend {
+            Backend::Local(inner) => {
+                let mut inner = inner.write();
+                let b = inner.buckets.entry(bucket.to_string()).or_default();
+                let old = b.insert(key.to_string(), data.clone());
+                // Borrow of `b` ends here; update accounting on `inner`.
+                inner.total_bytes += data.len();
+                if let Some(old) = old {
+                    inner.total_bytes -= old.len();
+                }
+            }
+            Backend::Remote(r) => {
+                r.obj(ObjRequest::Put {
+                    bucket: bucket.to_string(),
+                    key: key.to_string(),
+                    data: data.to_vec(),
+                });
+            }
         }
     }
 
-    /// Fetch an object (cheap: `Bytes` is reference-counted).
+    /// Fetch an object (cheap on the local backend: `Bytes` is
+    /// reference-counted).
     pub fn get(&self, bucket: &str, key: &str) -> Option<Bytes> {
         let _op = self.observe(false);
-        self.inner.read().buckets.get(bucket)?.get(key).cloned()
+        match &self.backend {
+            Backend::Local(inner) => inner.read().buckets.get(bucket)?.get(key).cloned(),
+            Backend::Remote(r) => match r.obj(ObjRequest::Get {
+                bucket: bucket.to_string(),
+                key: key.to_string(),
+            }) {
+                ObjResponse::MaybeBytes(v) => v.map(Bytes::from),
+                other => unreachable!("get returned {other:?}"),
+            },
+        }
     }
 
     /// Delete an object. Returns whether it existed.
     pub fn delete(&self, bucket: &str, key: &str) -> bool {
         let _op = self.observe(true);
-        let mut inner = self.inner.write();
-        let removed = inner.buckets.get_mut(bucket).and_then(|b| b.remove(key));
-        match removed {
-            Some(data) => {
-                inner.total_bytes -= data.len();
-                true
+        match &self.backend {
+            Backend::Local(inner) => {
+                let mut inner = inner.write();
+                let removed = inner.buckets.get_mut(bucket).and_then(|b| b.remove(key));
+                match removed {
+                    Some(data) => {
+                        inner.total_bytes -= data.len();
+                        true
+                    }
+                    None => false,
+                }
             }
-            None => false,
+            Backend::Remote(r) => match r.obj(ObjRequest::Delete {
+                bucket: bucket.to_string(),
+                key: key.to_string(),
+            }) {
+                ObjResponse::Bool(b) => b,
+                other => unreachable!("delete returned {other:?}"),
+            },
         }
     }
 
     /// Delete a whole bucket. Returns the number of objects removed.
     pub fn delete_bucket(&self, bucket: &str) -> usize {
         let _op = self.observe(true);
-        let mut inner = self.inner.write();
-        match inner.buckets.remove(bucket) {
-            Some(b) => {
-                let n = b.len();
-                let bytes: usize = b.values().map(|v| v.len()).sum();
-                inner.total_bytes -= bytes;
-                n
+        match &self.backend {
+            Backend::Local(inner) => {
+                let mut inner = inner.write();
+                match inner.buckets.remove(bucket) {
+                    Some(b) => {
+                        let n = b.len();
+                        let bytes: usize = b.values().map(|v| v.len()).sum();
+                        inner.total_bytes -= bytes;
+                        n
+                    }
+                    None => 0,
+                }
             }
-            None => 0,
+            Backend::Remote(r) => match r.obj(ObjRequest::DeleteBucket {
+                bucket: bucket.to_string(),
+            }) {
+                ObjResponse::Uint(n) => n as usize,
+                other => unreachable!("delete_bucket returned {other:?}"),
+            },
         }
     }
 
     /// Keys in a bucket, sorted.
     pub fn list(&self, bucket: &str) -> Vec<String> {
         let _op = self.observe(false);
-        let inner = self.inner.read();
-        let mut keys: Vec<String> = inner
-            .buckets
-            .get(bucket)
-            .map(|b| b.keys().cloned().collect())
-            .unwrap_or_default();
-        keys.sort_unstable();
-        keys
+        match &self.backend {
+            Backend::Local(inner) => {
+                let inner = inner.read();
+                let mut keys: Vec<String> = inner
+                    .buckets
+                    .get(bucket)
+                    .map(|b| b.keys().cloned().collect())
+                    .unwrap_or_default();
+                keys.sort_unstable();
+                keys
+            }
+            Backend::Remote(r) => match r.obj(ObjRequest::List {
+                bucket: bucket.to_string(),
+            }) {
+                ObjResponse::Strs(mut keys) => {
+                    keys.sort_unstable();
+                    keys
+                }
+                other => unreachable!("list returned {other:?}"),
+            },
+        }
     }
 
     /// Number of objects in a bucket.
     pub fn count(&self, bucket: &str) -> usize {
         let _op = self.observe(false);
-        self.inner.read().buckets.get(bucket).map_or(0, |b| b.len())
+        match &self.backend {
+            Backend::Local(inner) => inner.read().buckets.get(bucket).map_or(0, |b| b.len()),
+            Backend::Remote(r) => match r.obj(ObjRequest::Count {
+                bucket: bucket.to_string(),
+            }) {
+                ObjResponse::Uint(n) => n as usize,
+                other => unreachable!("count returned {other:?}"),
+            },
+        }
     }
 
     /// Total payload bytes across all buckets.
     pub fn total_bytes(&self) -> usize {
         let _op = self.observe(false);
-        self.inner.read().total_bytes
+        match &self.backend {
+            Backend::Local(inner) => inner.read().total_bytes,
+            Backend::Remote(r) => match r.obj(ObjRequest::TotalBytes) {
+                ObjResponse::Uint(n) => n as usize,
+                other => unreachable!("total_bytes returned {other:?}"),
+            },
+        }
     }
 
     /// Capture every object as a deterministic, serializable snapshot
     /// (sorted by bucket then key). Administrative — not counted in
     /// `store.object.*`.
     pub fn snapshot(&self) -> ObjectSnapshot {
-        let inner = self.inner.read();
-        let mut objects = Vec::new();
-        for (bucket, contents) in &inner.buckets {
-            for (key, data) in contents {
-                objects.push((bucket.clone(), key.clone(), data.to_vec()));
+        match &self.backend {
+            Backend::Local(inner) => {
+                let inner = inner.read();
+                let mut objects = Vec::new();
+                for (bucket, contents) in &inner.buckets {
+                    for (key, data) in contents {
+                        objects.push((bucket.clone(), key.clone(), data.to_vec()));
+                    }
+                }
+                objects.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+                ObjectSnapshot { objects }
             }
+            Backend::Remote(r) => match r.obj(ObjRequest::Snapshot) {
+                ObjResponse::Snapshot(s) => s,
+                other => unreachable!("snapshot returned {other:?}"),
+            },
         }
-        objects.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
-        ObjectSnapshot { objects }
     }
 
     /// Replace the full store contents with a snapshot's. Bypasses fault
     /// injection and is not counted in `store.object.*`.
     pub fn restore(&self, snapshot: &ObjectSnapshot) {
-        let mut inner = self.inner.write();
-        inner.buckets.clear();
-        inner.total_bytes = 0;
-        for (bucket, key, data) in &snapshot.objects {
-            inner.total_bytes += data.len();
-            inner
-                .buckets
-                .entry(bucket.clone())
-                .or_default()
-                .insert(key.clone(), Bytes::from(data.clone()));
+        match &self.backend {
+            Backend::Local(inner) => {
+                let mut inner = inner.write();
+                inner.buckets.clear();
+                inner.total_bytes = 0;
+                for (bucket, key, data) in &snapshot.objects {
+                    inner.total_bytes += data.len();
+                    inner
+                        .buckets
+                        .entry(bucket.clone())
+                        .or_default()
+                        .insert(key.clone(), Bytes::from(data.clone()));
+                }
+            }
+            Backend::Remote(r) => {
+                r.obj(ObjRequest::Restore {
+                    snapshot: snapshot.clone(),
+                });
+            }
         }
     }
 }
@@ -203,15 +326,104 @@ impl ObjectSnapshot {
     pub fn is_empty(&self) -> bool {
         self.objects.is_empty()
     }
+
+    /// Merge several snapshots into one, sorted by `(bucket, key)`.
+    /// Later snapshots win on collisions.
+    pub fn merged(parts: &[ObjectSnapshot]) -> ObjectSnapshot {
+        let mut by_key: std::collections::BTreeMap<(String, String), Vec<u8>> =
+            std::collections::BTreeMap::new();
+        for part in parts {
+            for (bucket, key, data) in &part.objects {
+                by_key.insert((bucket.clone(), key.clone()), data.clone());
+            }
+        }
+        ObjectSnapshot {
+            objects: by_key
+                .into_iter()
+                .map(|((bucket, key), data)| (bucket, key, data))
+                .collect(),
+        }
+    }
+
+    /// A copy holding only the objects whose bucket starts with
+    /// `prefix`, with the prefix stripped from the bucket name. Used by
+    /// namespaced shard clients.
+    pub fn strip_prefix(&self, prefix: &str) -> ObjectSnapshot {
+        ObjectSnapshot {
+            objects: self
+                .objects
+                .iter()
+                .filter_map(|(bucket, key, data)| {
+                    bucket
+                        .strip_prefix(prefix)
+                        .map(|b| (b.to_string(), key.clone(), data.clone()))
+                })
+                .collect(),
+        }
+    }
+
+    /// The distinct bucket names captured, sorted.
+    pub fn bucket_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.objects.iter().map(|(b, _, _)| b.clone()).collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Decompose into the per-bucket requests that recreate this
+    /// snapshot on a store: a `DeleteBucket` per captured bucket (so the
+    /// sequence replaces existing contents), then a `Put` per object.
+    /// Routable bucket-by-bucket, unlike
+    /// [`ObjRequest::Restore`], which
+    /// replaces a whole server's state.
+    pub fn restore_requests(&self) -> Vec<crate::ObjRequest> {
+        use crate::ObjRequest;
+        let mut reqs: Vec<ObjRequest> = self
+            .bucket_names()
+            .into_iter()
+            .map(|bucket| ObjRequest::DeleteBucket { bucket })
+            .collect();
+        reqs.extend(
+            self.objects
+                .iter()
+                .map(|(bucket, key, data)| ObjRequest::Put {
+                    bucket: bucket.clone(),
+                    key: key.clone(),
+                    data: data.clone(),
+                }),
+        );
+        reqs
+    }
+
+    /// A copy with `prefix` prepended to every bucket name — the inverse
+    /// of [`ObjectSnapshot::strip_prefix`], used when a namespaced client
+    /// pushes a snapshot back into the shared servers.
+    pub fn with_prefix(&self, prefix: &str) -> ObjectSnapshot {
+        ObjectSnapshot {
+            objects: self
+                .objects
+                .iter()
+                .map(|(bucket, key, data)| (format!("{prefix}{bucket}"), key.clone(), data.clone()))
+                .collect(),
+        }
+    }
 }
 
 impl std::fmt::Debug for ObjectStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.read();
-        f.debug_struct("ObjectStore")
-            .field("buckets", &inner.buckets.len())
-            .field("total_bytes", &inner.total_bytes)
-            .finish()
+        match &self.backend {
+            Backend::Local(inner) => {
+                let inner = inner.read();
+                f.debug_struct("ObjectStore")
+                    .field("buckets", &inner.buckets.len())
+                    .field("total_bytes", &inner.total_bytes)
+                    .finish()
+            }
+            Backend::Remote(_) => f
+                .debug_struct("ObjectStore")
+                .field("backend", &"remote")
+                .finish(),
+        }
     }
 }
 
@@ -286,6 +498,22 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_merge_and_strip() {
+        let a = ObjectStore::new();
+        a.put("e0:thumbs", "x", &b"1"[..]);
+        let b = ObjectStore::new();
+        b.put("e1:thumbs", "y", &b"2"[..]);
+        let merged = ObjectSnapshot::merged(&[
+            a.snapshot().strip_prefix("e0:"),
+            b.snapshot().strip_prefix("e1:"),
+        ]);
+        let s = ObjectStore::new();
+        s.restore(&merged);
+        assert_eq!(s.get("thumbs", "x").unwrap(), Bytes::from_static(b"1"));
+        assert_eq!(s.get("thumbs", "y").unwrap(), Bytes::from_static(b"2"));
+    }
+
+    #[test]
     fn concurrent_writers() {
         let s = ObjectStore::new();
         let mut handles = vec![];
@@ -302,5 +530,33 @@ mod tests {
         }
         assert_eq!(s.count("shared"), 400);
         assert_eq!(s.total_bytes(), 4_000);
+    }
+
+    #[test]
+    fn remote_backend_round_trips_through_requests() {
+        use crate::remote::{KvRequest, KvResponse, ObjRequest, ObjResponse, RemoteStore};
+
+        struct Loopback(ObjectStore);
+        impl RemoteStore for Loopback {
+            fn kv(&self, _req: KvRequest) -> KvResponse {
+                unimplemented!("object-only loopback")
+            }
+            fn obj(&self, req: ObjRequest) -> ObjResponse {
+                crate::apply_obj(&self.0, req)
+            }
+        }
+
+        let s = ObjectStore::remote(Arc::new(Loopback(ObjectStore::new())));
+        s.put("b", "k", &b"payload"[..]);
+        assert_eq!(s.get("b", "k").unwrap(), Bytes::from_static(b"payload"));
+        assert_eq!(s.list("b"), vec!["k"]);
+        assert_eq!(s.count("b"), 1);
+        assert_eq!(s.total_bytes(), 7);
+        let snap = s.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert!(s.delete("b", "k"));
+        assert_eq!(s.delete_bucket("b"), 0);
+        s.restore(&snap);
+        assert_eq!(s.count("b"), 1);
     }
 }

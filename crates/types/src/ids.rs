@@ -59,6 +59,35 @@ impl fmt::Display for AnonId {
 /// Keyed 64-bit FNV-1a: the salt is mixed in as a prefix and a suffix, and
 /// the result is finalised with an avalanche step (SplitMix64's mixer) so
 /// that nearby inputs do not produce nearby hashes.
+///
+/// This is the consistent-hash primitive behind [`AnonId`] *and* the
+/// key-to-shard routing of the networked store (`tero-net`): routing
+/// with the same construction the anonymisation layer already trusts
+/// keeps shard placement a pure function of `(key, salt)`.
+pub fn consistent_hash(bytes: &[u8], salt: u64) -> u64 {
+    keyed_fnv1a(bytes, salt)
+}
+
+/// Ownership of one shard out of `count` in a sharded deployment: the
+/// engine holding `ShardSpec { index, count }` processes exactly the
+/// streamers whose [`AnonId`] maps to `index` under `AnonId.0 % count`.
+/// Every engine computes the same partition from the same salt, so the
+/// shards are disjoint and cover the population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// This engine's shard, in `0..count`.
+    pub index: u32,
+    /// Total number of shards.
+    pub count: u32,
+}
+
+impl ShardSpec {
+    /// Whether this shard owns the given anonymised streamer.
+    pub fn owns(&self, id: AnonId) -> bool {
+        self.count <= 1 || id.0 % self.count as u64 == self.index as u64
+    }
+}
+
 fn keyed_fnv1a(bytes: &[u8], salt: u64) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01B3;

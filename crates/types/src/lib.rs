@@ -23,7 +23,7 @@ pub mod rng;
 pub mod time;
 
 pub use geo::{corrected_distance_km, fiber_delay_ms, haversine_km, LatLon};
-pub use ids::{AnonId, GameId, StreamerId};
+pub use ids::{consistent_hash, AnonId, GameId, ShardSpec, StreamerId};
 pub use latency::LatencySample;
 pub use location::{Continent, Location};
 pub use params::TeroParams;

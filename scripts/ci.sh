@@ -58,4 +58,23 @@ cargo run --quiet --release --example serve_explore -- 7 4 > "$trace_dir/s4.out"
 cmp "$trace_dir/s1.out" "$trace_dir/s4.out" \
   || { echo "FAIL: served answers differ between single-shot and windowed runs"; exit 1; }
 
+echo "==> sharded topology (sharded_explore twice under the stock NetFault plan, stdout byte-compare)"
+# The example runs 2 engines over the 3-shard store mesh under the
+# default NetFault schedule (frame loss/delay, one partition, one
+# primary kill), asserts the merged report is byte-identical to a
+# fault-free single-process run of the same world, and prints the
+# injected-fault and recovery counters — all deterministic for a fixed
+# seed, so two runs must produce identical stdout.
+cargo run --quiet --release --example sharded_explore -- 4242 > "$trace_dir/n1.out" 2>/dev/null
+cargo run --quiet --release --example sharded_explore -- 4242 > "$trace_dir/n2.out" 2>/dev/null
+cmp "$trace_dir/n1.out" "$trace_dir/n2.out" \
+  || { echo "FAIL: sharded run is not replay-deterministic under faults"; exit 1; }
+# And the happy path: a quiet plan must recover nothing (the example
+# prints the counters; failovers/timeouts are asserted zero here).
+cargo run --quiet --release --example sharded_explore -- 4242 quiet > "$trace_dir/nq.out" 2>/dev/null
+grep -q "^net.failovers  *0$" "$trace_dir/nq.out" \
+  || { echo "FAIL: quiet sharded run performed a failover"; exit 1; }
+grep -q "^net.timeouts  *0$" "$trace_dir/nq.out" \
+  || { echo "FAIL: quiet sharded run timed out"; exit 1; }
+
 echo "CI green."

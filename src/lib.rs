@@ -22,7 +22,8 @@
 //! | [`simnet`] | `tero-simnet` | network simulator + Fig 3 testbed |
 //! | [`world`] | `tero-world` | synthetic Twitch world with ground truth |
 //! | [`core`] | `tero-core` | the Tero pipeline itself |
-//! | [`chaos`] | `tero-chaos` | deterministic fault injection (API 5xx, CDN faults, crashes) |
+//! | [`chaos`] | `tero-chaos` | deterministic fault injection (API 5xx, CDN faults, crashes, network faults) |
+//! | [`net`] | `tero-net` | networked store: wire frames, shard servers, partition-tolerant client |
 //! | [`pool`] | `tero-pool` | work-stealing thread pool with deterministic ordered results |
 //! | [`trace`] | `tero-trace` | structured tracing: spans, flight recorder, sample provenance |
 //! | [`serve`] | `tero-serve` | distribution query front-end: sketch queries, hot-key cache, load generator |
@@ -50,6 +51,7 @@
 pub use tero_chaos as chaos;
 pub use tero_core as core;
 pub use tero_geoparse as geoparse;
+pub use tero_net as net;
 pub use tero_obs as obs;
 pub use tero_pool as pool;
 pub use tero_serve as serve;

@@ -73,6 +73,7 @@ fn every_fault_class_is_visible_in_metrics() {
             until: SimTime::from_hours(9),
         }],
         engine_kills: vec![],
+        net: tero::chaos::NetFault::quiet(),
     };
     let registry = Registry::new();
     let stats = run_download(34, Some(plan), &registry);
@@ -135,6 +136,56 @@ fn dead_letter_depth_matches_poison_injected() {
     // Draining empties the quarantine in arrival order.
     assert_eq!(module.drain_dead_letters(), poison);
     assert_eq!(module.dead_letter_depth(), 0);
+}
+
+/// The operator recovery path: a task quarantined *because of a fault*
+/// (its object was unreadable mid-plan) is reinjected by `requeue_dead`
+/// once the plan ends, and then completes — it decodes off the live
+/// queue and its thumbnail loads. Genuine poison stays quarantined.
+#[test]
+fn requeued_dead_letter_task_completes() {
+    let kv = KvStore::new();
+    let objects = ObjectStore::new();
+    let mut module = DownloadModule::new(kv.clone(), objects.clone());
+    module.instrument(&Registry::new());
+
+    let task = ThumbnailTask {
+        streamer: StreamerId::new("finewolf"),
+        game_label: GameId::Dota2,
+        generated_at: SimTime::from_mins(5),
+        object_key: "finewolf/300000000".into(),
+    };
+    // Mid-plan, the extract stage found the object unreadable and parked
+    // the (perfectly well-formed) task; a malformed entry is parked too.
+    module.dead_letter(task.encode());
+    module.dead_letter("not|a|task");
+    assert_eq!(module.dead_letter_depth(), 2);
+
+    // The fault plan is over: the object is readable again.
+    let (width, height) = (4u32, 3u32);
+    let mut payload = Vec::new();
+    payload.extend(width.to_le_bytes());
+    payload.extend(height.to_le_bytes());
+    payload.extend(vec![0u8; (width * height) as usize]);
+    objects.put("thumbs", &task.object_key, payload);
+
+    let (requeued, still_dead) = module.requeue_dead();
+    assert_eq!((requeued, still_dead), (1, 1));
+    assert_eq!(module.dead_letter_depth(), 1, "poison stays quarantined");
+
+    // The requeued task completes: it drains off the live queue and its
+    // thumbnail decodes.
+    let tasks = module.drain_tasks();
+    assert_eq!(tasks, vec![task.clone()]);
+    let image = module
+        .load_image(&task.object_key)
+        .expect("requeued task's object loads");
+    assert_eq!((image.width, image.height), (4, 3));
+    // Requeueing did not re-count the entries as fresh quarantines, and
+    // the decodable entry did not bump decode_failures on the way out.
+    assert_eq!(module.dead_letter_depth(), 1);
+    // A second sweep finds nothing new to requeue.
+    assert_eq!(module.requeue_dead(), (0, 1));
 }
 
 #[test]

@@ -77,6 +77,19 @@ fn populated_registry() -> tero_obs::Registry {
         50.0,
     );
 
+    // The networked-store layer registers the `net.*` family when a
+    // sharded client is constructed; route a couple of ops through a
+    // quiet one-shard mesh so the traffic counters move too. (The
+    // `chaos.injected.net_*` counters were registered above by
+    // `instrument` — every injector registers the full fault catalogue.)
+    let mesh_chaos = tero::chaos::ChaosInjector::new(tero::chaos::FaultPlan::quiet(3));
+    let mesh = tero::net::SimNet::with_shards(tero::net::default_link(), mesh_chaos, 1);
+    let client: std::sync::Arc<dyn tero::store::RemoteStore> =
+        std::sync::Arc::new(tero::net::ShardedStoreClient::new(mesh, 0, 1, &tero.obs, 3));
+    let net_kv = tero::store::KvStore::remote(client);
+    net_kv.set("ops:net", "1");
+    assert_eq!(net_kv.get("ops:net").as_deref(), Some("1"));
+
     let docs = DocumentStore::new();
     docs.instrument(&tero.obs);
     docs.insert("ops", &42u32);

@@ -70,8 +70,38 @@ fn run(seed: u64, worker_threads: usize, windows: u64) -> (TeroReport, KvStore) 
             }
         }
     };
-    let kv = t.serving_store().expect("completed run serves");
+    let kv = t.try_serving_store().expect("completed run serves");
     (report, kv)
+}
+
+/// The typed serving conditions: a fresh `Tero` is `NoCompletedRun`; a
+/// completed run whose publish stage cleared nothing is
+/// `NoDistributions` — even though the untyped accessor happily hands
+/// back the (silently empty) store in that case.
+#[test]
+fn try_serving_store_types_the_empty_conditions() {
+    let t = tero(1);
+    assert_eq!(
+        t.try_serving_store().unwrap_err(),
+        tero::core::serving::ServingError::NoCompletedRun
+    );
+
+    // A publish threshold no group can clear: the run completes, the
+    // store exists, but zero distribution sketches were published.
+    let mut world = pinned_world(9);
+    let t = Tero {
+        min_streamers: 10_000,
+        ..tero(1)
+    };
+    t.run(&mut world);
+    assert!(
+        t.serving_store().is_some(),
+        "untyped accessor serves the empty store without complaint"
+    );
+    assert_eq!(
+        t.try_serving_store().unwrap_err(),
+        tero::core::serving::ServingError::NoDistributions
+    );
 }
 
 /// Every committed serving key → value, minus the version counter (its
