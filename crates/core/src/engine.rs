@@ -5,12 +5,14 @@
 //! # Windowed execution and crash recovery
 //!
 //! The engine processes `[from, horizon]` as a sequence of windows. The
-//! ingest and extract stages advance per window; stitch, locate, clean and
-//! publish are *finalize* stages that run once when a window reaches the
-//! horizon, because their outputs depend on the complete timeline (stream
-//! splitting needs the next sample, profile lookups thread rate-limiter
-//! state). After every per-window stage the engine **commits**: the
-//! download cursor, the funnel ledger delta, every counter, and the
+//! ingest, extract and clean stages advance per window — the clean stage
+//! stitches, seals and re-serves incrementally over each window's new
+//! records (see `docs/CLEANING.md`) — while locate and publish are
+//! *finalize* stages that run once when a window reaches the horizon,
+//! because their outputs depend on the complete timeline (profile
+//! lookups thread rate-limiter state). After every per-window stage the
+//! engine **commits**: the download cursor, the funnel ledger delta,
+//! every counter, the cleaner's `engine:clean:*` state, and the
 //! engine's own progress markers are written under the chaos-exempt
 //! `engine:` key prefix. A run killed mid-window (see
 //! [`tero_chaos::EngineKill`]) can therefore be resumed — in-process or
@@ -26,7 +28,6 @@ use crate::stages::extract::ExtractStage;
 use crate::stages::ingest::IngestStage;
 use crate::stages::locate::LocateStage;
 use crate::stages::publish::{PublishInput, PublishStage};
-use crate::stages::stitch::StitchStage;
 use crate::stages::{Stage, StageCx};
 use serde::{Deserialize, Serialize};
 use tero_obs::Registry;
@@ -68,7 +69,6 @@ pub struct Engine {
     metrics: PipelineMetrics,
     ingest: IngestStage,
     extract: ExtractStage,
-    stitch: StitchStage,
     locate: LocateStage,
     clean: CleanStage,
     publish: PublishStage,
@@ -125,9 +125,8 @@ impl Engine {
             sp_run,
             extract: ExtractStage::new(&tero.obs),
             ingest: IngestStage::new(download, from, horizon),
-            stitch: StitchStage,
             locate: LocateStage,
-            clean: CleanStage,
+            clean: CleanStage::default(),
             publish: PublishStage,
             metrics,
             kv,
@@ -206,6 +205,10 @@ impl Engine {
                 engine.extract.sketches.insert(pair, sketch);
             }
         }
+        // Rebuild the online cleaner from the committed sample lists and
+        // `engine:clean:*` cursors (metric-silent: the counters above
+        // already carry the cleaner's committed totals).
+        engine.clean.rebuild(&engine.kv, &tero.params);
         engine.metrics.window_resumed.inc();
         engine
     }
@@ -272,6 +275,11 @@ impl Engine {
                 sp_run: &self.sp_run,
             };
             self.extract.run(&mut cx, ());
+            // Clean incrementally over the records extract just appended;
+            // skip the serving refresh when this window finalizes anyway
+            // (publish rewrites the whole distribution family).
+            let refresh_serving = !(finalize && to >= self.horizon);
+            self.clean.advance(&mut cx, refresh_serving);
             self.extracted_to = Some(to);
             self.commit(tero);
         }
@@ -349,8 +357,8 @@ impl Engine {
         }
     }
 
-    /// Run the finalize stages — stitch, locate, clean, publish — and
-    /// assemble the report. Called once, when a window reaches the horizon.
+    /// Run the finalize stages — locate, clean, publish — and assemble
+    /// the report. Called once, when a window reaches the horizon.
     fn finalize(&mut self, tero: &Tero, world: &mut World) -> TeroReport {
         let horizon = self.horizon;
         let mut cx = StageCx {
@@ -363,9 +371,8 @@ impl Engine {
             metrics: &self.metrics,
             sp_run: &self.sp_run,
         };
-        let streams = self.stitch.run(&mut cx, ());
         let located = self.locate.run(&mut cx, horizon);
-        let cleaned = self.clean.run(&mut cx, streams);
+        let cleaned = self.clean.run(&mut cx, ());
         self.publish.run(
             &mut cx,
             PublishInput {

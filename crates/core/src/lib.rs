@@ -18,8 +18,8 @@
 //! * [`behavior`] — the §6 user-behaviour study: Probit marginal effects of
 //!   spikes on server and game changes (Table 5);
 //! * [`stages`] — the staged execution engine's stage layer (App. B):
-//!   six typed [`stages::Stage`] implementations (ingest, extract,
-//!   stitch, locate, clean, publish) connected through `tero-store`
+//!   five typed [`stages::Stage`] implementations (ingest, extract,
+//!   clean, locate, publish) connected through `tero-store`
 //!   lists and blobs;
 //! * [`engine`] — the [`engine::Engine`] that owns the wiring (stores,
 //!   pool, tracer, chaos) once and drives the stages windowed, with

@@ -148,7 +148,6 @@ pub struct PipelineMetrics {
     pub(crate) shared_anomalies: CounterHandle,
     pub(crate) profile_retries: CounterHandle,
     pub(crate) stage_extract_us: HistogramHandle,
-    pub(crate) stage_stitch_us: HistogramHandle,
     pub(crate) stage_locate_us: HistogramHandle,
     pub(crate) stage_analyze_us: HistogramHandle,
     pub(crate) stage_aggregate_us: HistogramHandle,
@@ -172,9 +171,25 @@ pub struct PipelineMetrics {
     pub(crate) sketch_inserts: CounterHandle,
     pub(crate) sketch_commits: CounterHandle,
     pub(crate) sketch_bytes: CounterHandle,
+    /// Online-cleaning accounting (`clean.*`): per-window work done by
+    /// the incremental clean stage. All schedule-dependent — a finer
+    /// window schedule feeds/seals/refreshes in more, smaller steps —
+    /// and therefore excluded from the determinism tests'
+    /// schedule-invariant counter set (see ARCHITECTURE.md).
+    pub(crate) clean_samples_in: CounterHandle,
+    pub(crate) clean_series_dirty: CounterHandle,
+    pub(crate) clean_segments_sealed: CounterHandle,
+    pub(crate) clean_views: CounterHandle,
+    pub(crate) clean_dists_refreshed: CounterHandle,
+    pub(crate) clean_provisional_locations: CounterHandle,
+    /// Streaming changepoint accounting (`stats.changepoint.*`): samples
+    /// pushed into the per-series online PELT detectors, and level shifts
+    /// currently detected (the estimate is revised as data arrives, so
+    /// the family is schedule-dependent too).
+    pub(crate) changepoint_points: CounterHandle,
+    pub(crate) changepoint_shifts: CounterHandle,
     st_ingest: StageMetrics,
     st_extract: StageMetrics,
-    st_stitch: StageMetrics,
     st_locate: StageMetrics,
     st_clean: StageMetrics,
     st_publish: StageMetrics,
@@ -200,7 +215,6 @@ impl PipelineMetrics {
             shared_anomalies: registry.counter("analysis.shared_anomalies"),
             profile_retries: registry.counter("pipeline.profile_retries"),
             stage_extract_us: registry.histogram("pipeline.stage.extract_us"),
-            stage_stitch_us: registry.histogram("pipeline.stage.stitch_us"),
             stage_locate_us: registry.histogram("pipeline.stage.locate_us"),
             stage_analyze_us: registry.histogram("pipeline.stage.analyze_us"),
             stage_aggregate_us: registry.histogram("pipeline.stage.aggregate_us"),
@@ -218,9 +232,16 @@ impl PipelineMetrics {
             sketch_inserts: registry.counter("stats.sketch.inserts"),
             sketch_commits: registry.counter("stats.sketch.commits"),
             sketch_bytes: registry.counter("stats.sketch.bytes"),
+            clean_samples_in: registry.counter("clean.samples_in"),
+            clean_series_dirty: registry.counter("clean.series_dirty"),
+            clean_segments_sealed: registry.counter("clean.segments_sealed"),
+            clean_views: registry.counter("clean.views_refreshed"),
+            clean_dists_refreshed: registry.counter("clean.dists_refreshed"),
+            clean_provisional_locations: registry.counter("clean.provisional_locations"),
+            changepoint_points: registry.counter("stats.changepoint.points"),
+            changepoint_shifts: registry.counter("stats.changepoint.shifts"),
             st_ingest: StageMetrics::new(registry, "ingest"),
             st_extract: StageMetrics::new(registry, "extract"),
-            st_stitch: StageMetrics::new(registry, "stitch"),
             st_locate: StageMetrics::new(registry, "locate"),
             st_clean: StageMetrics::new(registry, "clean"),
             st_publish: StageMetrics::new(registry, "publish"),
@@ -228,12 +249,11 @@ impl PipelineMetrics {
         }
     }
 
-    /// The `stage.<name>.*` bundle for one of the six engine stages.
+    /// The `stage.<name>.*` bundle for one of the five engine stages.
     pub(crate) fn stage(&self, name: &str) -> &StageMetrics {
         match name {
             "ingest" => &self.st_ingest,
             "extract" => &self.st_extract,
-            "stitch" => &self.st_stitch,
             "locate" => &self.st_locate,
             "clean" => &self.st_clean,
             "publish" => &self.st_publish,
@@ -539,7 +559,7 @@ pub fn min_play_for(game: GameId) -> SimDuration {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stages::stitch::STREAM_GAP;
+    use crate::stages::clean::STREAM_GAP;
     use tero_world::WorldConfig;
 
     #[test]
@@ -679,7 +699,18 @@ mod tests {
             snap.counter("stage.extract.records_out"),
             Some(report.extracted)
         );
-        assert_eq!(snap.counter("stage.stitch.records_out"), Some(stitched));
+        assert_eq!(
+            snap.counter("stage.clean.records_out"),
+            Some(report.anomalies.len() as u64)
+        );
+        let sample_total: u64 = report
+            .streams
+            .values()
+            .flat_map(|series| series.iter())
+            .map(|s| s.samples.len() as u64)
+            .sum();
+        assert_eq!(snap.counter("clean.samples_in"), Some(sample_total));
+        assert_eq!(snap.counter("stats.changepoint.points"), Some(sample_total));
         assert_eq!(
             snap.counter("stage.locate.records_in"),
             Some(report.streamers_seen as u64)

@@ -196,7 +196,7 @@ pub fn run_sharded(cfg: &ShardedConfig) -> ShardedOutcome {
 
     // Finalize the merged state exactly once, locally: the restored
     // engine sees ingest and extract already at the horizon, so the
-    // first window call runs only stitch → locate → clean → publish.
+    // first window call runs only clean → locate → publish.
     let merge_tero = Tero {
         mode: cfg.mode,
         min_streamers: cfg.min_streamers,

@@ -1,14 +1,97 @@
 //! The clean stage: §3.3 per-`{streamer, game}` cleaning and
-//! classification — segmentation, glitch/spike anomaly detection, and
-//! static/mobile cluster classification — fanned out over the pool.
+//! classification — stream stitching, segmentation, glitch/spike anomaly
+//! detection, and static/mobile cluster classification — run *online*.
+//!
+//! # Online cleaning (docs/CLEANING.md)
+//!
+//! The legacy pipeline deferred all cleaning to the horizon: a separate
+//! stitch stage drained the sample lists once, then a stateless clean
+//! stage re-analysed every series from scratch. This stage instead keeps
+//! resumable per-series state and advances it every window:
+//!
+//! * **Feed** — each window, [`CleanStage::advance`] reads only the *new*
+//!   records of every `engine:samples:*` list (a non-destructive
+//!   [`tero_store::KvStore::lrange_from`] from the series' cursor),
+//!   extends the stream-stitching and segmentation folds, and pushes each
+//!   reading into a per-series streaming changepoint detector
+//!   ([`tero_stats::OnlinePelt`]).
+//! * **Seal** — segments strictly between two *closed stable* segments
+//!   can never change label again: every anomaly-detection rule (glitch,
+//!   spike fixpoint, correction, cleanup, spike-run merge) only reads up
+//!   to the closest stable segment on either side, so the detector's
+//!   output over a block bracketed by stable segments is final. The stage
+//!   therefore freezes ("seals") everything up to the last closed stable
+//!   segment and never re-detects it.
+//! * **View** — the full per-series [`AnomalyReport`] is reconstructed on
+//!   demand by re-detecting only the sealed anchor (the last sealed
+//!   stable segment) plus the unsealed tail. At the horizon this is
+//!   byte-identical to the batch detector over the whole series — the
+//!   freshness contract is *exact*, not a tolerance
+//!   (`online_view_matches_batch_under_any_window_split` below pins it).
+//! * **Refresh** — after each non-final window the stage resolves
+//!   *provisional* locations (tag lists + social directory only; profile
+//!   lookups stay at the horizon because they advance the platform's
+//!   rate limiter) and recomputes the distribution sketch of every
+//!   `{location, game}` group whose membership or member data changed,
+//!   so `engine:serve:dist:*` answers track the run window by window.
+//!
+//! All resumable state is committed under `engine:clean:*` keys
+//! ([`CLEAN_CURSORS_KEY`], [`clean_state_key`]) and rebuilt from the
+//! lists on [`CleanStage::rebuild`] after a chaos kill or a
+//! fresh-process restore.
 
-use super::{Stage, StageCx};
-use crate::analysis::anomaly::{detect_anomalies, AnomalyReport, SegmentLabel};
+use super::{parse_sample_list_key, SampleRecord, Stage, StageCx, NAMES_KEY, SAMPLES_PREFIX};
+use crate::analysis::anomaly::{detect_anomalies, AnomalyReport, SegmentLabel, SpikeEvent};
 use crate::analysis::clusters::{classify_streamer, ClassifiedStreamer};
-use crate::analysis::segments::{segment_stream, Segment, StreamSeries};
-use std::collections::BTreeMap;
+use crate::analysis::segments::{Segment, StreamSeries};
+use crate::location::{LocationModule, LocationSource};
+use crate::serving::{dist_sketch_key, ServeGranularity, SERVE_VERSION_KEY};
+use crate::stages::publish::{analyze_group, Granularity, ViewSource};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use tero_geoparse::tags::TagObservation;
+use tero_stats::OnlinePelt;
+use tero_store::KvStore;
 use tero_trace::{Level, TaskTrace};
-use tero_types::{AnonId, GameId};
+use tero_types::{
+    AnonId, GameId, LatencySample, Location, SimDuration, SimTime, StreamerId, TeroParams,
+};
+
+/// A gap larger than this starts a new stream (thumbnails are ≥ 5 min
+/// apart; in-stream breaks reach ~35 min; offline periods are longer).
+pub const STREAM_GAP: SimDuration = SimDuration(45 * 60 * 1_000_000);
+
+/// KV key prefix for the online cleaner's committed state. Lives under
+/// the chaos-exempt [`tero_store::PROTECTED_PREFIX`], like the engine's
+/// other cursors; *not* under `engine:serve:`, so serving-layer byte
+/// comparisons never see it.
+pub const CLEAN_PREFIX: &str = "engine:clean:";
+
+/// KV hash mapping each `engine:samples:*` list key to the number of
+/// records the cleaner has consumed from it. The lists themselves are the
+/// ground truth; [`CleanStage::rebuild`] replays each list up to its
+/// committed cursor to reconstruct the in-memory state exactly.
+pub const CLEAN_CURSORS_KEY: &str = "engine:clean:cursors";
+
+/// The fixed penalty of the per-series [`OnlinePelt`] detector. The
+/// online/batch equivalence contract holds only under a fixed penalty
+/// (a BIC penalty needs the full series length and variance up front);
+/// this value is `2 σ² ln n` at the nominal σ ≈ 3 ms OCR noise and
+/// n ≈ 500 samples of a multi-day series.
+pub const ONLINE_PELT_PENALTY: f64 = 112.0;
+
+/// The committed-state key for one `{streamer, game}` series: a compact
+/// JSON summary of the cleaner's sealed/tail split (the fields are
+/// documented in docs/CLEANING.md). Every field is a pure function of the
+/// series' sample prefix, so at the horizon the committed values are
+/// byte-identical across window schedules, worker counts, and
+/// kill/resume (pinned by `tests/determinism.rs`).
+pub fn clean_state_key(anon: AnonId, game: GameId) -> String {
+    let idx = GameId::ALL
+        .iter()
+        .position(|g| *g == game)
+        .expect("every GameId is in GameId::ALL");
+    format!("{CLEAN_PREFIX}state:{:016x}:{idx:02}", anon.0)
+}
 
 /// What the clean stage hands the publish stage.
 pub struct Cleaned {
@@ -20,54 +103,646 @@ pub struct Cleaned {
     pub classified: BTreeMap<(AnonId, GameId), ClassifiedStreamer>,
 }
 
-/// The clean stage. Stateless: pure analysis over the stitched streams.
+/// A cached per-series analysis view: the full report over sealed + tail,
+/// recomputed only when the series receives new samples.
+#[derive(Debug, Clone)]
+struct ViewCache {
+    report: AnomalyReport,
+    classified: ClassifiedStreamer,
+}
+
+/// The online cleaner's resumable state for one `{streamer, game}`
+/// series.
+#[derive(Debug, Clone)]
+struct SeriesState {
+    anon: AnonId,
+    game: GameId,
+    /// Raw samples per stitched stream — the `Cleaned.streams`
+    /// passthrough, identical to what the batch stitcher produced.
+    streams: Vec<Vec<LatencySample>>,
+    /// Timestamp of the last fed sample (stream-split + ordering guard).
+    last_at: Option<SimTime>,
+    /// Records consumed from this series' sample list.
+    cursor: usize,
+    /// Samples of the still-open (unclosed) trailing segment.
+    open: Vec<LatencySample>,
+    /// Value span of the open segment.
+    open_lo: u32,
+    open_hi: u32,
+    /// Closed segments after the sealed prefix — labels not yet final.
+    tail: Vec<Segment>,
+    /// Sealed prefix: segments whose labels, corrections and spikes are
+    /// final. When non-empty it always ends with a stable segment (the
+    /// *anchor*), which brackets every later detection block.
+    sealed: Vec<Segment>,
+    sealed_labels: Vec<SegmentLabel>,
+    sealed_spikes: Vec<SpikeEvent>,
+    /// The §3.3.2 streaming changepoint detector over the primary
+    /// readings, fed sample by sample.
+    pelt: OnlinePelt,
+    /// `pelt.change_count()` at the last metric flush, for the
+    /// `stats.changepoint.shifts` delta.
+    shifts_seen: usize,
+    /// Cached view; `None` while the series is dirty.
+    view: Option<ViewCache>,
+}
+
+impl SeriesState {
+    fn new(anon: AnonId, game: GameId, params: &TeroParams) -> SeriesState {
+        SeriesState {
+            anon,
+            game,
+            streams: Vec::new(),
+            last_at: None,
+            cursor: 0,
+            open: Vec::new(),
+            open_lo: 0,
+            open_hi: 0,
+            tail: Vec::new(),
+            sealed: Vec::new(),
+            sealed_labels: Vec::new(),
+            sealed_spikes: Vec::new(),
+            pelt: OnlinePelt::new(ONLINE_PELT_PENALTY, params.stable_points()),
+            shifts_seen: 0,
+            view: None,
+        }
+    }
+
+    /// Close the open segment (if any) into the tail, exactly as
+    /// `segment_stream` closes a segment at a span break or stream end.
+    fn close_open(&mut self, params: &TeroParams) {
+        if self.open.is_empty() {
+            return;
+        }
+        let stream_idx = self.streams.len().saturating_sub(1);
+        let samples = std::mem::take(&mut self.open);
+        let stable = samples.len() >= params.stable_points();
+        self.tail.push(Segment {
+            stream_idx,
+            samples,
+            stable,
+        });
+    }
+
+    /// Extend the stitching and segmentation folds with `samples` (sorted
+    /// by time, non-decreasing relative to everything fed before).
+    fn feed(&mut self, samples: &[LatencySample], params: &TeroParams) {
+        for &s in samples {
+            let new_stream = match self.last_at {
+                None => true,
+                Some(last) => s.at.since(last) > STREAM_GAP,
+            };
+            if new_stream {
+                self.close_open(params);
+                self.streams.push(Vec::new());
+            }
+            self.streams
+                .last_mut()
+                .expect("a stream was just opened")
+                .push(s);
+            self.last_at = Some(s.at);
+            if self.open.is_empty() {
+                self.open_lo = s.latency_ms;
+                self.open_hi = s.latency_ms;
+                self.open.push(s);
+            } else {
+                let lo = self.open_lo.min(s.latency_ms);
+                let hi = self.open_hi.max(s.latency_ms);
+                if hi - lo <= params.lat_gap_ms {
+                    self.open_lo = lo;
+                    self.open_hi = hi;
+                    self.open.push(s);
+                } else {
+                    self.close_open(params);
+                    self.open_lo = s.latency_ms;
+                    self.open_hi = s.latency_ms;
+                    self.open.push(s);
+                }
+            }
+            self.pelt.push(s.latency_ms as f64);
+        }
+        if !samples.is_empty() {
+            self.view = None;
+        }
+    }
+
+    /// Freeze every tail segment up to (and including) the last *closed*
+    /// stable segment: re-detect the block bracketed by the current
+    /// anchor, splice the final labels into the sealed prefix, and make
+    /// the block's last stable segment the new anchor. Returns the number
+    /// of segments sealed.
+    fn seal(&mut self, params: &TeroParams) -> usize {
+        let Some(last_stable) = self.tail.iter().rposition(|s| s.stable) else {
+            return 0;
+        };
+        let block_tail: Vec<Segment> = self.tail.drain(..=last_stable).collect();
+        let sealed_now = block_tail.len();
+        let (block, base) = match self.sealed.last() {
+            Some(anchor) => {
+                let mut block = Vec::with_capacity(block_tail.len() + 1);
+                block.push(anchor.clone());
+                block.extend(block_tail);
+                (block, self.sealed.len() - 1)
+            }
+            None => (block_tail, 0),
+        };
+        // The block contains a stable segment by construction, so the
+        // detector never takes its all-unstable early return here.
+        let report = detect_anomalies(block, params);
+        self.sealed.truncate(base);
+        self.sealed_labels.truncate(base);
+        self.sealed.extend(report.segments);
+        self.sealed_labels.extend(report.labels);
+        // Spikes are runs of unstable segments, so none references the
+        // (stable) anchor: previously sealed spikes all sit before
+        // `base`, and the block's spikes re-index after it.
+        for mut sp in report.spikes {
+            for idx in &mut sp.segment_idxs {
+                *idx += base;
+            }
+            self.sealed_spikes.push(sp);
+        }
+        debug_assert_eq!(
+            self.sealed_labels.last(),
+            Some(&SegmentLabel::Stable),
+            "the sealed prefix always ends with its anchor"
+        );
+        sealed_now
+    }
+
+    /// The full anomaly report over sealed + tail + open: re-detect only
+    /// the anchor and the unsealed suffix, then splice the sealed prefix
+    /// in front. Byte-identical to the batch detector over the complete
+    /// segment list.
+    fn view_report(&self, params: &TeroParams) -> AnomalyReport {
+        let mut suffix: Vec<Segment> = self.tail.clone();
+        if !self.open.is_empty() {
+            suffix.push(Segment {
+                stream_idx: self.streams.len().saturating_sub(1),
+                samples: self.open.clone(),
+                stable: self.open.len() >= params.stable_points(),
+            });
+        }
+        let Some(anchor) = self.sealed.last() else {
+            return detect_anomalies(suffix, params);
+        };
+        let mut block = Vec::with_capacity(suffix.len() + 1);
+        block.push(anchor.clone());
+        block.extend(suffix);
+        let r = detect_anomalies(block, params);
+        let base = self.sealed.len() - 1;
+        let mut segments = self.sealed[..base].to_vec();
+        let mut labels = self.sealed_labels[..base].to_vec();
+        segments.extend(r.segments);
+        labels.extend(r.labels);
+        let mut spikes = self.sealed_spikes.clone();
+        spikes.extend(r.spikes.into_iter().map(|mut sp| {
+            for idx in &mut sp.segment_idxs {
+                *idx += base;
+            }
+            sp
+        }));
+        AnomalyReport {
+            segments,
+            labels,
+            spikes,
+            all_unstable: false,
+        }
+    }
+
+    /// The committed per-series summary (see [`clean_state_key`]).
+    fn summary(&self) -> String {
+        format!(
+            "{{\"records\":{},\"streams\":{},\"sealed_segments\":{},\"sealed_spikes\":{},\"tail_segments\":{},\"open_len\":{},\"changepoints\":{}}}",
+            self.cursor,
+            self.streams.len(),
+            self.sealed.len(),
+            self.sealed_spikes.len(),
+            self.tail.len(),
+            self.open.len(),
+            self.pelt.change_count(),
+        )
+    }
+}
+
+/// Read-only view lookup over the cleaner's cached per-series analyses,
+/// for the group-level refresh (see [`ViewSource`]).
+struct StateViews<'a>(&'a BTreeMap<(AnonId, GameId), SeriesState>);
+
+impl ViewSource for StateViews<'_> {
+    fn classified_for(&self, anon: AnonId, game: GameId) -> Option<&ClassifiedStreamer> {
+        self.0
+            .get(&(anon, game))
+            .and_then(|s| s.view.as_ref())
+            .map(|v| &v.classified)
+    }
+
+    fn report_for(&self, anon: AnonId, game: GameId) -> Option<&AnomalyReport> {
+        self.0
+            .get(&(anon, game))
+            .and_then(|s| s.view.as_ref())
+            .map(|v| &v.report)
+    }
+}
+
+/// The clean stage: stateful, windowed, resumable.
 #[derive(Debug, Default)]
-pub struct CleanStage;
+pub struct CleanStage {
+    states: BTreeMap<(AnonId, GameId), SeriesState>,
+    /// Provisional-location cache: tag-list length at last lookup and the
+    /// result. Invalidated when the streamer's tag list grows.
+    loc_cache: BTreeMap<AnonId, (usize, Option<(Location, LocationSource)>)>,
+    /// Members of every `{location, game}` group at the last refresh,
+    /// keyed by distribution-sketch key — the membership-change detector.
+    group_members: BTreeMap<String, Vec<AnonId>>,
+    /// Distribution-sketch keys this stage currently has committed.
+    online_keys: BTreeSet<String>,
+}
+
+impl CleanStage {
+    /// Advance the online cleaner by one window: feed the new sample-list
+    /// records, seal newly closed stable blocks, commit `engine:clean:*`
+    /// state, and — unless this is the finalizing window — refresh the
+    /// per-window serving distributions. Per-window cost is proportional
+    /// to the new data plus the unsealed tails, not the total history
+    /// (`benches/window.rs`, `clean_scaling`).
+    pub fn advance(&mut self, cx: &mut StageCx<'_>, refresh_serving: bool) {
+        let m = cx.stage_metrics(<Self as Stage>::NAME);
+        let _t = m.begin();
+        let params = &cx.tero.params;
+        let mut fed_records = 0u64;
+        let mut fed_keys: Vec<(AnonId, GameId)> = Vec::new();
+        for key in cx.kv.keys_with_prefix(SAMPLES_PREFIX) {
+            let Some((anon, game)) = parse_sample_list_key(&key) else {
+                continue;
+            };
+            let state = self
+                .states
+                .entry((anon, game))
+                .or_insert_with(|| SeriesState::new(anon, game, params));
+            let raw = cx.kv.lrange_from(&key, state.cursor);
+            if raw.is_empty() {
+                continue;
+            }
+            state.cursor += raw.len();
+            let mut samples: Vec<LatencySample> = raw
+                .iter()
+                .filter_map(|r| SampleRecord::decode(r))
+                .map(decode_sample)
+                .collect();
+            samples.sort_by_key(|s| s.at);
+            // The batch stitcher sorts the *whole* list; the fold only
+            // matches it while batches arrive in time order. An inversion
+            // (first new sample earlier than the last fed one) falls back
+            // to a full metric-silent rebuild of this series from the
+            // list — the final state is the same either way.
+            let inverted = matches!(
+                (samples.first(), state.last_at),
+                (Some(first), Some(last)) if first.at < last
+            );
+            if inverted {
+                let consumed = state.cursor;
+                let mut rebuilt = SeriesState::new(anon, game, params);
+                rebuilt.cursor = consumed;
+                let mut all: Vec<LatencySample> = cx
+                    .kv
+                    .lrange_from(&key, 0)
+                    .iter()
+                    .take(consumed)
+                    .filter_map(|r| SampleRecord::decode(r))
+                    .map(decode_sample)
+                    .collect();
+                all.sort_by_key(|s| s.at);
+                rebuilt.feed(&all, params);
+                *state = rebuilt;
+            } else {
+                state.feed(&samples, params);
+            }
+            fed_records += samples.len() as u64;
+            fed_keys.push((anon, game));
+        }
+        cx.metrics.clean_samples_in.add(fed_records);
+        cx.metrics.clean_series_dirty.add(fed_keys.len() as u64);
+        cx.metrics.changepoint_points.add(fed_records);
+        // Seal, flush the changepoint delta, and commit per-series state.
+        let mut sealed_total = 0u64;
+        for key in &fed_keys {
+            let state = self.states.get_mut(key).expect("state was just fed");
+            sealed_total += state.seal(params) as u64;
+            let shifts = state.pelt.change_count();
+            cx.metrics
+                .changepoint_shifts
+                .add(shifts.saturating_sub(state.shifts_seen) as u64);
+            state.shifts_seen = shifts;
+            cx.kv
+                .set(&clean_state_key(state.anon, state.game), state.summary());
+            cx.kv.hset(
+                CLEAN_CURSORS_KEY,
+                &super::sample_list_key(state.anon, state.game),
+                state.cursor.to_string(),
+            );
+        }
+        cx.metrics.clean_segments_sealed.add(sealed_total);
+        if refresh_serving {
+            let fresh = self.refresh_views(cx);
+            self.refresh_serving(cx, &fresh);
+        }
+    }
+
+    /// Recompute the cached view of every dirty series, fanned out over
+    /// the pool (pure per-series work; results merged in key order).
+    /// Returns the set of series whose views were recomputed.
+    fn refresh_views(&mut self, cx: &mut StageCx<'_>) -> BTreeSet<(AnonId, GameId)> {
+        let stale: Vec<(AnonId, GameId)> = self
+            .states
+            .iter()
+            .filter(|(_, s)| s.view.is_none())
+            .map(|(k, _)| *k)
+            .collect();
+        if stale.is_empty() {
+            return BTreeSet::new();
+        }
+        let params = &cx.tero.params;
+        let views: Vec<ViewCache> = {
+            let entries: Vec<&SeriesState> = stale.iter().map(|k| &self.states[k]).collect();
+            cx.pool.par_map(&entries, |st| {
+                let report = st.view_report(params);
+                let classified = classify_streamer(st.anon, &report, params);
+                ViewCache { report, classified }
+            })
+        };
+        for (key, view) in stale.iter().zip(views) {
+            self.states.get_mut(key).expect("stale key exists").view = Some(view);
+        }
+        cx.metrics.clean_views.add(stale.len() as u64);
+        stale.into_iter().collect()
+    }
+
+    /// Refresh the serving-layer distribution sketches from the current
+    /// views: resolve provisional locations, regroup, and recompute every
+    /// `{location, game}` group whose membership or member data changed
+    /// since the last refresh (`fresh` is the set of series whose views
+    /// were just recomputed). One serve-version bump per refresh that
+    /// changed anything.
+    fn refresh_serving(&mut self, cx: &mut StageCx<'_>, fresh: &BTreeSet<(AnonId, GameId)>) {
+        let tero = cx.tero;
+        // Provisional locations: tags + social directory only. Profile
+        // lookups stay at the horizon — they advance the platform's rate
+        // limiter, so running them per window would make the lookup
+        // schedule depend on the window schedule.
+        let mut names: Vec<(AnonId, StreamerId)> = cx
+            .kv
+            .hgetall(NAMES_KEY)
+            .into_iter()
+            .filter_map(|(hex, name)| {
+                let anon = u64::from_str_radix(&hex, 16).ok()?;
+                Some((AnonId(anon), StreamerId::new(&name)))
+            })
+            .collect();
+        names.sort_unstable_by_key(|(a, _)| *a);
+        let location_module = LocationModule::new(&cx.world.gaz);
+        let mut locations: HashMap<AnonId, (Location, LocationSource)> = HashMap::new();
+        let mut lookups = 0u64;
+        for (anon, name) in &names {
+            let tags_key = format!("tags:{}", name.as_str());
+            let n_tags = cx.kv.llen(&tags_key);
+            let located = match self.loc_cache.get(anon) {
+                Some((seen, cached)) if *seen == n_tags => cached.clone(),
+                _ => {
+                    lookups += 1;
+                    // Non-destructive read: the horizon locate stage still
+                    // drains this list through `DownloadModule::tag_history`.
+                    let tags: Vec<TagObservation> = cx
+                        .kv
+                        .lrange_from(&tags_key, 0)
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, t)| TagObservation {
+                            poll: i as u64,
+                            country_tag: Some(t),
+                        })
+                        .collect();
+                    let located = location_module.locate(
+                        name.as_str(),
+                        None,
+                        &cx.world.social_directory,
+                        &tags,
+                    );
+                    self.loc_cache.insert(*anon, (n_tags, located.clone()));
+                    located
+                }
+            };
+            if let Some(ls) = located {
+                locations.insert(*anon, ls);
+            }
+        }
+        cx.metrics.clean_provisional_locations.add(lookups);
+
+        // Regroup at both granularities, keyed by sketch key.
+        struct GroupSpec {
+            granularity: Granularity,
+            game: GameId,
+            members: Vec<AnonId>,
+        }
+        let mut groups: BTreeMap<String, GroupSpec> = BTreeMap::new();
+        for (anon, game) in self.states.keys() {
+            let Some((loc, _)) = locations.get(anon) else {
+                continue;
+            };
+            for (granularity, serve, level) in [
+                (
+                    Granularity::Region,
+                    ServeGranularity::Region,
+                    loc.to_region_level(),
+                ),
+                (
+                    Granularity::Country,
+                    ServeGranularity::Country,
+                    loc.to_country_level(),
+                ),
+            ] {
+                let key = dist_sketch_key(serve, *game, &level.key());
+                groups
+                    .entry(key)
+                    .or_insert_with(|| GroupSpec {
+                        granularity,
+                        game: *game,
+                        members: Vec::new(),
+                    })
+                    .members
+                    .push(*anon);
+            }
+        }
+
+        // Recompute only groups whose membership changed or whose members
+        // received new data; groups below `min_streamers` are skipped
+        // before any heavy per-member work.
+        let mut results: Vec<(String, Option<tero_stats::QuantileSketch>)> = Vec::new();
+        {
+            let views = StateViews(&self.states);
+            for (key, spec) in &groups {
+                let membership_changed = self.group_members.get(key) != Some(&spec.members);
+                let member_fresh = spec
+                    .members
+                    .iter()
+                    .any(|a| fresh.contains(&(*a, spec.game)));
+                if !membership_changed && !member_fresh {
+                    continue;
+                }
+                let dist = if spec.members.len() >= tero.min_streamers {
+                    analyze_group(
+                        tero,
+                        &cx.world.gaz,
+                        spec.game,
+                        &spec.members,
+                        &locations,
+                        &views,
+                        spec.granularity,
+                    )
+                    .distribution
+                } else {
+                    None
+                };
+                results.push((
+                    key.clone(),
+                    dist.map(|d| tero_stats::QuantileSketch::from_values(&d.values_ms)),
+                ));
+            }
+        }
+        let mut changed = false;
+        let mut written = 0u64;
+        for (key, sketch) in results {
+            match sketch {
+                Some(sketch) => {
+                    let encoded = sketch.encode();
+                    cx.metrics.sketch_bytes.add(encoded.len() as u64);
+                    cx.metrics.sketch_commits.inc();
+                    cx.kv.set(&key, encoded);
+                    self.online_keys.insert(key);
+                    written += 1;
+                    changed = true;
+                }
+                None => {
+                    if self.online_keys.remove(&key) {
+                        cx.kv.del(&key);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // Groups that vanished entirely (membership moved away).
+        let gone: Vec<String> = self
+            .online_keys
+            .iter()
+            .filter(|k| !groups.contains_key(*k))
+            .cloned()
+            .collect();
+        for key in gone {
+            cx.kv.del(&key);
+            self.online_keys.remove(&key);
+            changed = true;
+        }
+        self.group_members = groups
+            .into_iter()
+            .map(|(k, spec)| (k, spec.members))
+            .collect();
+        if changed {
+            cx.kv.incr_by(SERVE_VERSION_KEY, 1);
+        }
+        cx.metrics.clean_dists_refreshed.add(written);
+    }
+
+    /// Rebuild the in-memory state from the store after a restore: replay
+    /// every sample list up to its committed cursor (metric-silent — the
+    /// counters were already restored from `engine:counters`). By the
+    /// sealing argument above, replaying the same sample prefix
+    /// reconstructs the identical sealed/tail split.
+    pub fn rebuild(&mut self, kv: &KvStore, params: &TeroParams) {
+        let cursors = kv.hgetall(CLEAN_CURSORS_KEY);
+        for key in kv.keys_with_prefix(SAMPLES_PREFIX) {
+            let Some((anon, game)) = parse_sample_list_key(&key) else {
+                continue;
+            };
+            let consumed: usize = cursors.get(&key).and_then(|v| v.parse().ok()).unwrap_or(0);
+            if consumed == 0 {
+                continue;
+            }
+            let mut state = SeriesState::new(anon, game, params);
+            state.cursor = consumed;
+            let mut samples: Vec<LatencySample> = kv
+                .lrange_from(&key, 0)
+                .iter()
+                .take(consumed)
+                .filter_map(|r| SampleRecord::decode(r))
+                .map(decode_sample)
+                .collect();
+            samples.sort_by_key(|s| s.at);
+            state.feed(&samples, params);
+            state.seal(params);
+            state.shifts_seen = state.pelt.change_count();
+            self.states.insert((anon, game), state);
+        }
+    }
+}
+
+/// Decode a wire [`SampleRecord`] into a [`LatencySample`], exactly as
+/// the batch stitcher did.
+fn decode_sample(r: SampleRecord) -> LatencySample {
+    match r.alternative {
+        Some(alt) => LatencySample::with_alternative(r.at, r.primary, alt),
+        None => LatencySample::new(r.at, r.primary),
+    }
+}
 
 impl Stage for CleanStage {
-    type In = BTreeMap<(AnonId, GameId), Vec<StreamSeries>>;
+    type In = ();
     type Out = Cleaned;
     const NAME: &'static str = "clean";
 
-    /// Segment, anomaly-scan and classify every `{streamer, game}` series.
-    fn run(&mut self, cx: &mut StageCx<'_>, streams: Self::In) -> Self::Out {
+    /// Finalize: produce the full per-series analyses from the online
+    /// state. Every view is recomputed fresh on the pool (sealed prefix +
+    /// one detection over the unsealed tail), so the output — and the
+    /// analyze task traces — are byte-identical to the legacy batch path.
+    fn run(&mut self, cx: &mut StageCx<'_>, _input: ()) -> Self::Out {
         let m = cx.stage_metrics(Self::NAME);
         let _t = m.begin();
-        m.records_in.add(streams.len() as u64);
-        // The cleaning + PELT changepoint fan-out: each `{streamer, game}`
-        // series is segmented, anomaly-scanned and classified
-        // independently; counters are bumped in the ordered merge.
+        m.records_in.add(self.states.len() as u64);
         let mut anomalies: BTreeMap<(AnonId, GameId), AnomalyReport> = BTreeMap::new();
         let mut classified: BTreeMap<(AnonId, GameId), ClassifiedStreamer> = BTreeMap::new();
-        let stream_entries: Vec<(&(AnonId, GameId), &Vec<StreamSeries>)> = streams.iter().collect();
+        let entries: Vec<(&(AnonId, GameId), &SeriesState)> = self.states.iter().collect();
         let sp_analyze = cx.sp_run.child("stage.analyze");
         let analyze_stage = cx.tero.trace.stage(&sp_analyze, "analyze.task");
         let params = &cx.tero.params;
         let analyzed: Vec<((AnomalyReport, ClassifiedStreamer), TaskTrace)> = {
             let _t = cx.tero.obs.stage_timer(&cx.metrics.stage_analyze_us);
-            cx.pool
-                .par_map_indexed(&stream_entries, |i, (key, series)| {
-                    let mut t = analyze_stage.task(i as u64);
-                    if let Some(first) = series.first().and_then(|s| s.samples.first()) {
-                        t.set_sim_time(first.at);
-                    }
-                    let (anon, _game) = **key;
-                    let mut segments: Vec<Segment> = Vec::new();
-                    for (idx, s) in series.iter().enumerate() {
-                        segments.extend(segment_stream(idx, &s.samples, params));
-                    }
-                    let report = detect_anomalies(segments, params);
-                    if report.all_unstable {
-                        t.event(Level::Warn, "all segments unstable; streamer discarded");
-                    }
-                    let cls = classify_streamer(anon, &report, params);
-                    ((report, cls), t.finish())
-                })
+            cx.pool.par_map_indexed(&entries, |i, (key, state)| {
+                let mut t = analyze_stage.task(i as u64);
+                if let Some(first) = state.streams.first().and_then(|s| s.first()) {
+                    t.set_sim_time(first.at);
+                }
+                let report = state.view_report(params);
+                if report.all_unstable {
+                    t.event(Level::Warn, "all segments unstable; streamer discarded");
+                }
+                let cls = classify_streamer(key.0, &report, params);
+                ((report, cls), t.finish())
+            })
         };
         let mut analyze_traces = Vec::with_capacity(analyzed.len());
-        for ((key, _series), ((report, cls), trace)) in stream_entries.iter().zip(analyzed) {
+        let mut streams: BTreeMap<(AnonId, GameId), Vec<StreamSeries>> = BTreeMap::new();
+        for ((key, state), ((report, cls), trace)) in entries.iter().zip(analyzed) {
             analyze_traces.push(trace);
             let (anon, game) = **key;
+            let series: Vec<StreamSeries> = state
+                .streams
+                .iter()
+                .map(|samples| StreamSeries {
+                    anon,
+                    game,
+                    samples: samples.clone(),
+                })
+                .collect();
+            cx.metrics.streams_stitched.add(series.len() as u64);
             cx.metrics.segments_built.add(report.segments.len() as u64);
             cx.metrics.spikes_detected.add(report.spikes.len() as u64);
             for label in &report.labels {
@@ -82,17 +757,222 @@ impl Stage for CleanStage {
             cx.metrics
                 .points_discarded
                 .add(total_points.saturating_sub(kept) as u64);
+            streams.insert((anon, game), series);
             classified.insert((anon, game), cls);
             anomalies.insert((anon, game), report);
         }
         analyze_stage.flush(analyze_traces);
         drop(sp_analyze);
         m.records_out.add(anomalies.len() as u64);
-        drop(stream_entries);
+        drop(entries);
         Cleaned {
             streams,
             anomalies,
             classified,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> TeroParams {
+        TeroParams::default() // LatGap 15, StableLen 30 min → 6 points
+    }
+
+    /// The batch reference: full stitch + segmentation + detection, as
+    /// the legacy stitch/clean stages computed it.
+    fn batch_report(samples: &[LatencySample], params: &TeroParams) -> AnomalyReport {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by_key(|s| s.at);
+        let mut streams: Vec<Vec<LatencySample>> = Vec::new();
+        for &s in &sorted {
+            let split = streams
+                .last()
+                .and_then(|st| st.last())
+                .is_none_or(|last| s.at.since(last.at) > STREAM_GAP);
+            if split {
+                streams.push(Vec::new());
+            }
+            streams.last_mut().unwrap().push(s);
+        }
+        let mut segments = Vec::new();
+        for (idx, stream) in streams.iter().enumerate() {
+            segments.extend(crate::analysis::segments::segment_stream(
+                idx, stream, params,
+            ));
+        }
+        detect_anomalies(segments, params)
+    }
+
+    /// A synthetic multi-stream series with stable plateaus, glitches,
+    /// spikes, drift, and an offline gap — rich enough to exercise every
+    /// label.
+    fn synthetic_series(seed: u64) -> Vec<LatencySample> {
+        let mut out = Vec::new();
+        let mut t = 0u64;
+        let mut rng = seed;
+        let mut next = || {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (rng >> 33) as u32
+        };
+        let push = |t: u64, v: u32, out: &mut Vec<LatencySample>| {
+            out.push(LatencySample::new(SimTime::from_mins(t), v));
+        };
+        for block in 0..6u32 {
+            let level = 40 + (next() % 4) * 25;
+            let len = 4 + next() % 10;
+            for _ in 0..len {
+                push(t, level + next() % 6, &mut out);
+                t += 5;
+            }
+            match next() % 4 {
+                0 => {
+                    // A short glitch run far below the level.
+                    for _ in 0..1 + next() % 2 {
+                        push(t, (level / 10).max(1), &mut out);
+                        t += 5;
+                    }
+                }
+                1 => {
+                    // A short spike run far above the level.
+                    for _ in 0..1 + next() % 3 {
+                        push(t, level + 120 + next() % 30, &mut out);
+                        t += 5;
+                    }
+                }
+                2 => {
+                    // Offline gap: a new stream starts.
+                    t += 60 * (1 + (next() % 4) as u64);
+                }
+                _ => {}
+            }
+            let _ = block;
+        }
+        out
+    }
+
+    #[test]
+    fn online_view_matches_batch_under_any_window_split() {
+        let p = params();
+        for seed in [1u64, 7, 23, 99, 1234] {
+            let series = synthetic_series(seed);
+            let want = format!("{:?}", batch_report(&series, &p));
+            // Feed the same series in windows of several sizes, checking
+            // the view after every batch against the batch detector over
+            // the fed prefix.
+            for chunk in [1usize, 3, 5, 17, series.len().max(1)] {
+                let mut state = SeriesState::new(AnonId(1), GameId::ALL[0], &p);
+                let mut fed = 0usize;
+                for batch in series.chunks(chunk) {
+                    state.feed(batch, &p);
+                    state.seal(&p);
+                    fed += batch.len();
+                    let got = format!("{:?}", state.view_report(&p));
+                    let want_prefix = format!("{:?}", batch_report(&series[..fed], &p));
+                    assert_eq!(
+                        got, want_prefix,
+                        "seed {seed} chunk {chunk}: view diverged after {fed} samples"
+                    );
+                }
+                let got = format!("{:?}", state.view_report(&p));
+                assert_eq!(got, want, "seed {seed} chunk {chunk}: horizon view");
+                // The passthrough streams match the batch stitcher too.
+                let batch_streams: Vec<usize> = {
+                    let mut sorted = series.clone();
+                    sorted.sort_by_key(|s| s.at);
+                    let mut streams: Vec<Vec<LatencySample>> = Vec::new();
+                    for &s in &sorted {
+                        let split = streams
+                            .last()
+                            .and_then(|st| st.last())
+                            .is_none_or(|last| s.at.since(last.at) > STREAM_GAP);
+                        if split {
+                            streams.push(Vec::new());
+                        }
+                        streams.last_mut().unwrap().push(s);
+                    }
+                    streams.iter().map(|s| s.len()).collect()
+                };
+                let got_streams: Vec<usize> = state.streams.iter().map(|s| s.len()).collect();
+                assert_eq!(got_streams, batch_streams, "seed {seed} chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn sealing_actually_freezes_a_prefix() {
+        // A series with several long stable plateaus must seal segments
+        // well before the horizon — otherwise the per-window cost claim
+        // is vacuous.
+        let p = params();
+        let series = synthetic_series(42);
+        let mut state = SeriesState::new(AnonId(1), GameId::ALL[0], &p);
+        let mut max_sealed = 0usize;
+        for batch in series.chunks(6) {
+            state.feed(batch, &p);
+            state.seal(&p);
+            max_sealed = max_sealed.max(state.sealed.len());
+        }
+        assert!(
+            max_sealed > 0,
+            "no segment ever sealed over {} samples",
+            series.len()
+        );
+        // The unsealed suffix stays bounded by the data since the last
+        // stable segment, not the total history.
+        assert!(state.tail.len() < state.sealed.len() + state.tail.len());
+    }
+
+    #[test]
+    fn all_unstable_series_never_seals_and_matches_batch() {
+        // Latencies that never settle: no stable segment, so nothing
+        // seals and the view takes the detector's all-unstable path.
+        let p = params();
+        let series: Vec<LatencySample> = (0..30)
+            .map(|i| LatencySample::new(SimTime::from_mins(5 * i), 40 + (i as u32 % 5) * 40))
+            .collect();
+        let mut state = SeriesState::new(AnonId(1), GameId::ALL[0], &p);
+        for batch in series.chunks(4) {
+            state.feed(batch, &p);
+            assert_eq!(state.seal(&p), 0);
+        }
+        let got = state.view_report(&p);
+        assert!(got.all_unstable);
+        assert_eq!(
+            format!("{got:?}"),
+            format!("{:?}", batch_report(&series, &p))
+        );
+    }
+
+    #[test]
+    fn clean_state_key_is_protected() {
+        let key = clean_state_key(AnonId(0xabcd), GameId::ALL[1]);
+        assert!(key.starts_with(tero_store::PROTECTED_PREFIX));
+        assert!(key.starts_with(CLEAN_PREFIX));
+        assert!(CLEAN_CURSORS_KEY.starts_with(CLEAN_PREFIX));
+    }
+
+    #[test]
+    fn summary_reflects_fed_state() {
+        let p = params();
+        let series = synthetic_series(7);
+        let mut a = SeriesState::new(AnonId(1), GameId::ALL[0], &p);
+        a.feed(&series, &p);
+        a.seal(&p);
+        a.cursor = series.len();
+        // Feeding the same series in two halves commits the same summary.
+        let mut b = SeriesState::new(AnonId(1), GameId::ALL[0], &p);
+        let mid = series.len() / 2;
+        b.feed(&series[..mid], &p);
+        b.seal(&p);
+        b.feed(&series[mid..], &p);
+        b.seal(&p);
+        b.cursor = series.len();
+        assert_eq!(a.summary(), b.summary());
+        assert!(a.summary().contains("\"records\":"));
     }
 }

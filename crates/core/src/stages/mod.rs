@@ -15,12 +15,13 @@
 //! * [`extract`] — image-processing (§3.2): drains `queue:thumbs`,
 //!   OCRs thumbnails on the pool, and appends [`SampleRecord`]s to
 //!   per-`{streamer, game}` KV lists;
-//! * [`stitch`] — splits each streamer's sample timeline into streams at
-//!   gaps larger than [`stitch::STREAM_GAP`];
 //! * [`locate`] — the §3.1 location module over the names the extractor
 //!   registered;
-//! * [`clean`] — §3.3 per-`{streamer, game}` segmentation, anomaly
-//!   detection and classification;
+//! * [`clean`] — §3.3 per-`{streamer, game}` stitching (streams split at
+//!   gaps larger than [`clean::STREAM_GAP`]), segmentation, anomaly
+//!   detection and classification — run *online*: every window feeds the
+//!   new records, seals finished blocks, and refreshes the per-window
+//!   serving distributions (see `docs/CLEANING.md`);
 //! * [`publish`] — §3.3.3/§5/§6 aggregation, the provenance pass, and
 //!   final report assembly.
 
@@ -29,7 +30,6 @@ pub mod extract;
 pub mod ingest;
 pub mod locate;
 pub mod publish;
-pub mod stitch;
 
 use crate::download::DownloadModule;
 use crate::pipeline::{PipelineMetrics, Tero};
@@ -90,9 +90,11 @@ pub trait Stage {
 }
 
 /// KV key prefix for the per-`{streamer, game}` extracted-sample lists
-/// the extract stage appends to and the stitch stage drains. Lives under
-/// the chaos-exempt [`tero_store::PROTECTED_PREFIX`]: these lists are the
-/// engine's own commit log, not the simulated data plane.
+/// the extract stage appends to and the clean stage consumes through a
+/// non-destructive per-series cursor (the lists stay in place as the
+/// cleaner's replay log). Lives under the chaos-exempt
+/// [`tero_store::PROTECTED_PREFIX`]: these lists are the engine's own
+/// commit log, not the simulated data plane.
 pub const SAMPLES_PREFIX: &str = "engine:samples:";
 
 /// KV hash mapping `{anon:016x}` → raw streamer username, written by the
@@ -118,7 +120,7 @@ pub fn parse_sample_list_key(key: &str) -> Option<(AnonId, GameId)> {
 }
 
 /// One extracted measurement, as it travels between the extract and
-/// stitch stages through a KV list (the in-process analogue of the
+/// clean stages through a KV list (the in-process analogue of the
 /// paper's Redis measurement queue).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SampleRecord {

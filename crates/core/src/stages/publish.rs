@@ -14,7 +14,7 @@ use crate::behavior::BehaviorStream;
 use crate::download::DownloadStats;
 use crate::location::LocationSource;
 use crate::pipeline::{Tero, TeroReport};
-use crate::serving::{dist_sketch_key, ServeGranularity, SERVE_VERSION_KEY};
+use crate::serving::{dist_sketch_key, ServeGranularity, DIST_SKETCH_PREFIX, SERVE_VERSION_KEY};
 use crate::stages::clean::Cleaned;
 use crate::stages::locate::Located;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -71,6 +71,16 @@ impl Stage for PublishStage {
         let tero = cx.tero;
         let ledger = tero.trace.ledger();
 
+        // Drop every per-window distribution sketch the online clean
+        // stage refreshed along the way: the horizon pass below rewrites
+        // the whole distribution family from its canonical output, so the
+        // final serving state is byte-identical to a single-shot run.
+        let mut cleared_online = false;
+        for key in cx.kv.keys_with_prefix(DIST_SKETCH_PREFIX) {
+            cx.kv.del(&key);
+            cleared_online = true;
+        }
+
         // ---- Per-{region, game} aggregation ----------------------------
         // Group located streamers at region granularity.
         let mut groups: BTreeMap<(String, GameId), Vec<AnonId>> = BTreeMap::new();
@@ -94,6 +104,10 @@ impl Stage for PublishStage {
         // exactly the order the sequential loop published distributions.
         let sp_aggregate = cx.sp_run.child("stage.aggregate");
         let _t_aggregate = tero.obs.stage_timer(&cx.metrics.stage_aggregate_us);
+        let views = MapViews {
+            classified: &classified,
+            anomalies: &anomalies,
+        };
         // Per-member publication outcomes at each granularity, for the
         // provenance pass below: a sample is published if its streamer
         // contributed at either level.
@@ -108,8 +122,7 @@ impl Stage for PublishStage {
                     key.1,
                     members,
                     &locations,
-                    &classified,
-                    &anomalies,
+                    &views,
                     Granularity::Region,
                 )
             });
@@ -149,8 +162,7 @@ impl Stage for PublishStage {
                     key.1,
                     members,
                     &locations,
-                    &classified,
-                    &anomalies,
+                    &views,
                     Granularity::Country,
                 )
             });
@@ -164,8 +176,9 @@ impl Stage for PublishStage {
             }
         }
         // One version bump for the whole publish pass: the serving view
-        // moved, so `tero-serve` caches must drop pre-publish answers.
-        if !distributions.is_empty() {
+        // moved (canonical distributions written, or stale per-window
+        // ones cleared), so `tero-serve` caches must drop stale answers.
+        if cleared_online || !distributions.is_empty() {
             cx.kv.incr_by(SERVE_VERSION_KEY, 1);
         }
         drop(_t_aggregate);
@@ -331,11 +344,37 @@ impl Stage for PublishStage {
     }
 }
 
+/// Read-only lookup of per-series analysis views, so [`analyze_group`]
+/// can run over either the finalize maps here or the online clean
+/// stage's cached per-window views without cloning any reports.
+pub(crate) trait ViewSource: Sync {
+    /// The classification for one `{streamer, game}` series, if any.
+    fn classified_for(&self, anon: AnonId, game: GameId) -> Option<&ClassifiedStreamer>;
+    /// The anomaly report for one `{streamer, game}` series, if any.
+    fn report_for(&self, anon: AnonId, game: GameId) -> Option<&AnomalyReport>;
+}
+
+/// The finalize-path [`ViewSource`]: borrowed clean-stage output maps.
+pub(crate) struct MapViews<'a> {
+    pub(crate) classified: &'a BTreeMap<(AnonId, GameId), ClassifiedStreamer>,
+    pub(crate) anomalies: &'a BTreeMap<(AnonId, GameId), AnomalyReport>,
+}
+
+impl ViewSource for MapViews<'_> {
+    fn classified_for(&self, anon: AnonId, game: GameId) -> Option<&ClassifiedStreamer> {
+        self.classified.get(&(anon, game))
+    }
+
+    fn report_for(&self, anon: AnonId, game: GameId) -> Option<&AnomalyReport> {
+        self.anomalies.get(&(anon, game))
+    }
+}
+
 /// Encode one published distribution as a serving-layer sketch and commit
 /// it under the granularity-tagged key. The sketch is built from exactly
 /// the values behind the report's `LocationDistribution`, so a serving
 /// answer and the report answer summarise the same sample multiset.
-fn commit_dist_sketch(
+pub(crate) fn commit_dist_sketch(
     cx: &mut StageCx<'_>,
     granularity: ServeGranularity,
     location_key: &str,
@@ -353,7 +392,7 @@ fn commit_dist_sketch(
 /// The aggregation granularity of one analysis group (§5's two published
 /// levels).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Granularity {
+pub(crate) enum Granularity {
     /// Region-level groups: the full §3.3.3/§5/§6 product set.
     Region,
     /// Country-level groups: distributions only (Figs 9, 11, 12).
@@ -378,13 +417,13 @@ enum MemberOutcome {
 
 /// Everything the per-`{location, game}` aggregation derives from one
 /// group — produced on a pool worker, merged in group-key order.
-struct GroupAnalysis {
+pub(crate) struct GroupAnalysis {
     /// §3.3.3 step-3 merged clusters (region granularity only).
     clusters: Vec<LatencyCluster>,
     /// Per-member end-point changes (region granularity only).
     changes: Vec<(AnonId, Vec<EndPointChange>)>,
     /// The published distribution, if the group clears `min_streamers`.
-    distribution: Option<LocationDistribution>,
+    pub(crate) distribution: Option<LocationDistribution>,
     /// Shared anomalies over the group (region granularity only).
     shared: Vec<SharedAnomaly>,
     /// Per-member publication outcome, for the provenance ledger.
@@ -397,14 +436,13 @@ struct GroupAnalysis {
 /// parallel; at [`Granularity::Country`] only the distribution is
 /// produced (matching the sequential country loop).
 #[allow(clippy::too_many_arguments)]
-fn analyze_group(
+pub(crate) fn analyze_group<V: ViewSource>(
     tero: &Tero,
     gaz: &Gazetteer,
     game: GameId,
     members: &[AnonId],
     locations: &HashMap<AnonId, (Location, LocationSource)>,
-    classified: &BTreeMap<(AnonId, GameId), ClassifiedStreamer>,
-    anomalies: &BTreeMap<(AnonId, GameId), AnomalyReport>,
+    views: &V,
     granularity: Granularity,
 ) -> GroupAnalysis {
     let level = |loc: &Location| match granularity {
@@ -413,7 +451,7 @@ fn analyze_group(
     };
     let classified_members: Vec<&ClassifiedStreamer> = members
         .iter()
-        .filter_map(|a| classified.get(&(*a, game)))
+        .filter_map(|a| views.classified_for(*a, game))
         .collect();
     // Step 3: merged clusters from static streamers.
     let clusters = merge_location_clusters(&classified_members, tero.params.lat_gap_ms);
@@ -421,7 +459,7 @@ fn analyze_group(
     let mut movers: Vec<AnonId> = Vec::new();
     let mut all_changes: Vec<(AnonId, Vec<EndPointChange>)> = Vec::new();
     for anon in members {
-        if let Some(report) = anomalies.get(&(*anon, game)) {
+        if let Some(report) = views.report_for(*anon, game) {
             let changes = endpoint_changes(report, &clusters, tero.params.lat_gap_ms);
             if changes
                 .iter()
@@ -440,7 +478,7 @@ fn analyze_group(
     let contributors: Vec<&ClassifiedStreamer> = members
         .iter()
         .filter(|a| !movers.contains(a))
-        .filter_map(|a| classified.get(&(*a, game)))
+        .filter_map(|a| views.classified_for(*a, game))
         .collect();
     let mut distribution = None;
     if contributors.len() >= tero.min_streamers {
@@ -475,7 +513,7 @@ fn analyze_group(
         let activities: Vec<StreamerActivity> = members
             .iter()
             .filter_map(|a| {
-                let report = anomalies.get(&(*a, game))?;
+                let report = views.report_for(*a, game)?;
                 let times: Vec<SimTime> = report
                     .segments
                     .iter()

@@ -718,6 +718,7 @@ fn prefix_kv(req: KvRequest, ns: &str) -> KvRequest {
         KvRequest::LpopBatch { key, n } => KvRequest::LpopBatch { key: p(key), n },
         KvRequest::LpopExactBatch { key, n } => KvRequest::LpopExactBatch { key: p(key), n },
         KvRequest::Llen { key } => KvRequest::Llen { key: p(key) },
+        KvRequest::LrangeFrom { key, start } => KvRequest::LrangeFrom { key: p(key), start },
         KvRequest::Hset { key, field, value } => KvRequest::Hset {
             key: p(key),
             field,

@@ -40,7 +40,7 @@ pub mod special;
 pub mod wasserstein;
 
 pub use binomial::{binomial_pmf, binomial_sf, SharedAnomalyTest};
-pub use changepoint::pelt_mean_shift;
+pub use changepoint::{pelt_mean_shift, OnlinePelt};
 pub use descriptive::{mean, percentile, percentile_nearest_rank, std_dev, variance, BoxplotStats};
 pub use iforest::IsolationForest;
 pub use lof::local_outlier_factor;

@@ -558,6 +558,38 @@ impl KvStore {
         }
     }
 
+    /// Read the list at `key` from index `start` to the tail, without
+    /// consuming anything (Redis `LRANGE key start -1`). Returns an empty
+    /// vector when the list is missing or `start` is past the end.
+    ///
+    /// This is the read the streaming consumers use: a cursor-holding
+    /// stage (see `tero-core`'s online clean stage) remembers how many
+    /// records it has already processed and fetches only the suffix,
+    /// while the list itself stays intact for replay after a crash — the
+    /// non-destructive complement of [`KvStore::lpop_batch`].
+    pub fn lrange_from(&self, key: &str, start: usize) -> Vec<String> {
+        let _op = self.observe(false);
+        match &self.backend {
+            Backend::Local(shards) => {
+                let map = Self::local_shard(shards, key).map.lock();
+                match map.get(key) {
+                    Some(Entry {
+                        value: Value::List(l),
+                        ..
+                    }) => l.iter().skip(start).cloned().collect(),
+                    _ => vec![],
+                }
+            }
+            Backend::Remote(r) => match r.kv(KvRequest::LrangeFrom {
+                key: key.to_string(),
+                start: start as u64,
+            }) {
+                KvResponse::Strs(v) => v,
+                other => unreachable!("lrange_from returned {other:?}"),
+            },
+        }
+    }
+
     /// Length of the list at `key` (0 when missing).
     pub fn llen(&self, key: &str) -> usize {
         let _op = self.observe(false);
@@ -1044,6 +1076,24 @@ mod tests {
         // Exactly enough for a batch of 5.
         assert_eq!(kv.lpop_exact_batch("batch", 5).len(), 5);
         assert_eq!(kv.llen("batch"), 0);
+    }
+
+    #[test]
+    fn lrange_from_reads_without_consuming() {
+        let kv = KvStore::new();
+        for i in 0..5 {
+            kv.rpush("log", i.to_string());
+        }
+        assert_eq!(kv.lrange_from("log", 0).len(), 5);
+        assert_eq!(kv.lrange_from("log", 3), vec!["3", "4"]);
+        assert!(kv.lrange_from("log", 5).is_empty());
+        assert!(kv.lrange_from("log", 99).is_empty());
+        assert!(kv.lrange_from("missing", 0).is_empty());
+        // The list is intact: a cursor consumer re-reads after a crash.
+        assert_eq!(kv.llen("log"), 5);
+        // Wrong type: a string key reads as an empty list, like llen.
+        kv.set("str", "x");
+        assert!(kv.lrange_from("str", 0).is_empty());
     }
 
     #[test]

@@ -98,6 +98,13 @@ pub enum KvRequest {
         /// Target list key.
         key: String,
     },
+    /// `lrange_from(key, start)` — non-destructive suffix read.
+    LrangeFrom {
+        /// Target list key.
+        key: String,
+        /// Index of the first element to return.
+        start: u64,
+    },
     /// `hset(key, field, value)`.
     Hset {
         /// Target hash key.
@@ -167,6 +174,7 @@ impl KvRequest {
             | KvRequest::LpopBatch { key, .. }
             | KvRequest::LpopExactBatch { key, .. }
             | KvRequest::Llen { key }
+            | KvRequest::LrangeFrom { key, .. }
             | KvRequest::Hset { key, .. }
             | KvRequest::Hget { key, .. }
             | KvRequest::Hgetall { key } => Some(key),
@@ -360,6 +368,9 @@ pub fn apply_kv(store: &crate::KvStore, req: KvRequest) -> KvResponse {
             KvResponse::Strs(store.lpop_exact_batch(&key, n as usize))
         }
         KvRequest::Llen { key } => KvResponse::Uint(store.llen(&key) as u64),
+        KvRequest::LrangeFrom { key, start } => {
+            KvResponse::Strs(store.lrange_from(&key, start as usize))
+        }
         KvRequest::Hset { key, field, value } => {
             store.hset(&key, &field, value);
             KvResponse::Unit

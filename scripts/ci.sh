@@ -58,6 +58,16 @@ cargo run --quiet --release --example serve_explore -- 7 4 > "$trace_dir/s4.out"
 cmp "$trace_dir/s1.out" "$trace_dir/s4.out" \
   || { echo "FAIL: served answers differ between single-shot and windowed runs"; exit 1; }
 
+echo "==> online cleaning determinism (streaming_clean twice, stdout byte-compare)"
+# The example drives 1-day windows and prints the provisional serving
+# view after each one plus the canonical view at finalize — all derived
+# from committed sketch bytes and engine:clean:* summaries, so two runs
+# of the same seed must produce identical stdout (docs/CLEANING.md).
+cargo run --quiet --release --example streaming_clean -- 7 > "$trace_dir/c1.out" 2>/dev/null
+cargo run --quiet --release --example streaming_clean -- 7 > "$trace_dir/c2.out" 2>/dev/null
+cmp "$trace_dir/c1.out" "$trace_dir/c2.out" \
+  || { echo "FAIL: streaming_clean stdout differs across identical runs"; exit 1; }
+
 echo "==> sharded topology (sharded_explore twice under the stock NetFault plan, stdout byte-compare)"
 # The example runs 2 engines over the 3-shard store mesh under the
 # default NetFault schedule (frame loss/delay, one partition, one

@@ -161,10 +161,13 @@ fn chrome_trace_parses() {
 /// Counters that describe the *schedule* rather than the data: commit
 /// frequency (`store.kv.*`, `stats.sketch.{commits,bytes}` — each window
 /// boundary re-persists the dirty serving sketches), window/stage
-/// bookkeeping, and the planned engine kill. Everything else — the
-/// funnel, `download.*`, `ocr.*`, `analysis.*`, `store.object.*`,
-/// `stats.sketch.inserts` — must be byte-identical between a
-/// single-shot run and any windowed drive.
+/// bookkeeping, the online cleaner's per-window activity (`clean.*`,
+/// `stats.changepoint.*` — how much work each window fed, sealed and
+/// refreshed is exactly what a schedule changes; the cleaner's *output*
+/// is pinned separately below), and the planned engine kill. Everything
+/// else — the funnel, `download.*`, `ocr.*`, `analysis.*`,
+/// `store.object.*`, `stats.sketch.inserts` — must be byte-identical
+/// between a single-shot run and any windowed drive.
 fn schedule_invariant(counters: BTreeMap<String, u64>) -> BTreeMap<String, u64> {
     counters
         .into_iter()
@@ -172,9 +175,15 @@ fn schedule_invariant(counters: BTreeMap<String, u64>) -> BTreeMap<String, u64> 
             !name.starts_with("store.kv.")
                 && !name.starts_with("pipeline.window.")
                 && !name.starts_with("stage.")
+                && !name.starts_with("clean.")
+                && !name.starts_with("stats.changepoint.")
                 && name != "chaos.injected.engine_kill"
                 && name != "stats.sketch.commits"
                 && name != "stats.sketch.bytes"
+                // Per-window view refreshes fan out over the pool, so the
+                // task count tracks the schedule (it is still pinned
+                // across worker counts by the tests above).
+                && name != "pool.tasks"
         })
         .collect()
 }
@@ -334,6 +343,98 @@ fn snapshot_restores_into_fresh_tero() {
         .ledger()
         .reconcile(&second.obs)
         .expect("replayed ledger reconciles");
+}
+
+/// Everything the online cleaner committed under `engine:clean:*`,
+/// rendered order-stably: per-series state summaries plus the cursor
+/// hash. These survive into the served store at the horizon, and —
+/// because every summary field is a pure function of the sample prefix
+/// consumed so far — must be byte-identical across window schedules,
+/// worker counts, chaos kill/resume and a fresh-`Tero` restore.
+fn clean_state(kv: &tero::store::KvStore) -> BTreeMap<String, String> {
+    use tero::core::stages::clean::{CLEAN_CURSORS_KEY, CLEAN_PREFIX};
+    let mut out = BTreeMap::new();
+    for key in kv.keys_with_prefix(CLEAN_PREFIX) {
+        if key == CLEAN_CURSORS_KEY {
+            for (field, value) in kv.hgetall(&key) {
+                out.insert(format!("{key}#{field}"), value);
+            }
+        } else {
+            let value = kv.get(&key).expect("clean state keys are plain strings");
+            out.insert(key, value);
+        }
+    }
+    out
+}
+
+#[test]
+fn windowed_online_clean_state_identical_across_schedules() {
+    // Reference: the committed cleaner state after a single-shot run.
+    let mut world = windowed_world(None);
+    let tero_ref = windowed_tero(1);
+    let reference = fingerprint(&tero_ref.run(&mut world));
+    let ref_state = clean_state(&tero_ref.serving_store().expect("run completed"));
+    assert!(
+        ref_state.len() > 10,
+        "clean state covers a real population of series"
+    );
+
+    let day = SimDuration::from_hours(24);
+    for window in [Some(day), Some(SimDuration::from_hours(72)), None] {
+        for workers in [1, 2, 8] {
+            let mut world = windowed_world(None);
+            let tero = windowed_tero(workers);
+            let report = drive(&tero, &mut world, window);
+            assert_eq!(fingerprint(&report), reference);
+            assert_eq!(
+                clean_state(&tero.serving_store().expect("run completed")),
+                ref_state,
+                "clean state diverged: window {window:?}, {workers} workers"
+            );
+        }
+    }
+
+    // Chaos kill mid-run: the re-driven window must resume the cleaner
+    // from its committed cursors, not re-feed consumed records.
+    let chaos_plan = FaultPlan {
+        engine_kills: vec![EngineKill { window: 1 }],
+        ..FaultPlan::quiet(7)
+    };
+    let mut world = windowed_world(Some(chaos_plan));
+    let tero = windowed_tero(2);
+    drive(&tero, &mut world, Some(day));
+    assert_eq!(
+        clean_state(&tero.serving_store().expect("run completed")),
+        ref_state,
+        "clean state diverged across a kill/resume"
+    );
+
+    // Fresh-`Tero` restore: the second engine rebuilds its cleaner from
+    // the snapshot's sample lists and cursors alone.
+    let mut world = windowed_world(None);
+    let first = windowed_tero(2);
+    assert!(matches!(
+        first.run_window(&mut world, SimTime::EPOCH, SimTime::EPOCH + day),
+        WindowOutcome::Advanced
+    ));
+    let snap = first.engine_snapshot().expect("windowed run in flight");
+    drop(first);
+    let second = windowed_tero(8);
+    second.restore_engine(snap);
+    let horizon = world.horizon;
+    let mut to = SimTime::EPOCH + day + day;
+    loop {
+        match second.run_window(&mut world, SimTime::EPOCH, to) {
+            WindowOutcome::Complete(_) => break,
+            WindowOutcome::Advanced => to = (to + day).min(horizon),
+            WindowOutcome::Killed => unreachable!("no chaos installed"),
+        }
+    }
+    assert_eq!(
+        clean_state(&second.serving_store().expect("run completed")),
+        ref_state,
+        "clean state diverged across a fresh-Tero restore"
+    );
 }
 
 #[test]

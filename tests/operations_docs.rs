@@ -7,7 +7,7 @@
 //! row (or a row without a metric) fails here.
 
 use std::collections::BTreeSet;
-use tero::core::pipeline::{ExtractionMode, Tero};
+use tero::core::pipeline::{ExtractionMode, Tero, WindowOutcome};
 use tero::core::serving::ServeGranularity;
 use tero::serve::{QueryEngine, SketchRef};
 use tero::store::DocumentStore;
@@ -40,7 +40,10 @@ fn documented_names() -> BTreeSet<String> {
 
 /// A registry populated the way the guide describes: one pipeline run
 /// (FullOcr, so the `ocr.*` engines fire) plus the two opt-in
-/// subsystems — an instrumented document store and simulator.
+/// subsystems — an instrumented document store and simulator. The run
+/// is driven as 1-day windows so the online cleaner's per-window
+/// refresh counters (`clean.*`) move too — a single-shot run is one
+/// finalizing window, which skips the serving refresh.
 fn populated_registry() -> tero_obs::Registry {
     let mut world = World::build(WorldConfig {
         seed: 9,
@@ -58,7 +61,16 @@ fn populated_registry() -> tero_obs::Registry {
         min_streamers: 2,
         ..Tero::default()
     };
-    tero.run(&mut world);
+    let horizon = world.horizon;
+    let day = SimDuration::from_hours(24);
+    let mut to = SimTime::EPOCH + day;
+    loop {
+        match tero.run_window(&mut world, SimTime::EPOCH, to) {
+            WindowOutcome::Complete(_) => break,
+            WindowOutcome::Advanced => to = (to + day).min(horizon),
+            WindowOutcome::Killed => {}
+        }
+    }
 
     // The serving front-end registers the `serve.*` family on
     // construction; issue a query per served distribution (plus one
@@ -169,6 +181,21 @@ fn documented_counters_move_during_a_run() {
         snap.counter("stats.sketch.inserts").unwrap() > 0,
         "extraction feeds the serving sketches"
     );
+    assert_eq!(
+        snap.counter("clean.samples_in"),
+        Some(extracted),
+        "the online cleaner consumes every extracted sample"
+    );
+    assert_eq!(
+        snap.counter("stats.changepoint.points"),
+        snap.counter("clean.samples_in"),
+        "every consumed sample feeds the streaming changepoint detector"
+    );
+    assert!(
+        snap.counter("clean.views_refreshed").unwrap() > 0,
+        "windowed drive refreshes per-series views"
+    );
+    assert!(snap.counter("clean.segments_sealed").unwrap() > 0);
     assert!(
         snap.counter("stats.sketch.commits").unwrap() > 0,
         "window commits persist the sketches"

@@ -94,6 +94,51 @@ impl Bencher<'_> {
     }
 }
 
+/// How `iter_batched` amortises setup cost (API parity with criterion).
+/// The stand-in times every routine call individually — setup is always
+/// excluded from the measurement — so the variants are equivalent here.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Inputs are cheap to hold; criterion batches many per allocation.
+    SmallInput,
+    /// Inputs are large; criterion keeps few alive at once.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+impl Bencher<'_> {
+    /// Time `routine` over inputs built by `setup`, excluding the setup
+    /// from the measurement. For expensive setups (driving a pipeline to
+    /// a known state before timing one step) this is the only honest
+    /// shape — `iter` would fold the setup into every sample.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up: at least one full setup + routine round.
+        let warm_end = Instant::now() + self.config.warm_up;
+        loop {
+            let input = setup();
+            black_box(routine(input));
+            if Instant::now() >= warm_end {
+                break;
+            }
+        }
+        // One timed routine call per sample; these benches are long
+        // enough (micro-setups belong in `iter`) that batching within a
+        // sample would only multiply the setup cost.
+        self.samples.clear();
+        for _ in 0..self.config.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
 #[derive(Clone, Copy)]
 struct Config {
     sample_size: usize,
