@@ -476,11 +476,7 @@ impl ChaosInjector {
     /// lookup — no RNG is consumed. Counted under
     /// `chaos.injected.net_partition_drop` once per blocked frame.
     pub fn net_partitioned(&self, a: &str, b: &str, window: u64) -> bool {
-        let hit = self.inner.plan.net.partitions.iter().any(|p| {
-            ((p.a == a && p.b == b) || (p.a == b && p.b == a))
-                && window >= p.from_window
-                && window < p.until_window
-        });
+        let hit = self.net_partitioned_quiet(a, b, window);
         if hit {
             if let Some(m) = self.inner.metrics.get() {
                 m.net_partition_drop.inc();
@@ -490,17 +486,24 @@ impl ChaosInjector {
         hit
     }
 
+    /// [`ChaosInjector::net_partitioned`] without the fault accounting:
+    /// same plan lookup, but no counter bump and no journal entry. The
+    /// ops plane (health polls) uses this so *monitoring* a partitioned
+    /// mesh never inflates the data plane's injected-fault counters or
+    /// perturbs replay determinism.
+    pub fn net_partitioned_quiet(&self, a: &str, b: &str, window: u64) -> bool {
+        self.inner.plan.net.partitions.iter().any(|p| {
+            ((p.a == a && p.b == b) || (p.a == b && p.b == a))
+                && window >= p.from_window
+                && window < p.until_window
+        })
+    }
+
     /// Is the named store host dead during `window`? Pure plan lookup — no
     /// RNG is consumed. Counted under `chaos.injected.net_shard_kill` once
     /// per frame the dead host would have answered.
     pub fn net_host_killed(&self, host: &str, window: u64) -> bool {
-        let hit = self
-            .inner
-            .plan
-            .net
-            .kills
-            .iter()
-            .any(|k| k.host == host && window >= k.from_window && window < k.until_window);
+        let hit = self.net_host_killed_quiet(host, window);
         if hit {
             if let Some(m) = self.inner.metrics.get() {
                 m.net_shard_kill.inc();
@@ -508,6 +511,18 @@ impl ChaosInjector {
             self.journal(Level::Error, "chaos: frame addressed to killed store host");
         }
         hit
+    }
+
+    /// [`ChaosInjector::net_host_killed`] without the fault accounting
+    /// (no counter, no journal) — the ops-plane variant, matching
+    /// [`ChaosInjector::net_partitioned_quiet`].
+    pub fn net_host_killed_quiet(&self, host: &str, window: u64) -> bool {
+        self.inner
+            .plan
+            .net
+            .kills
+            .iter()
+            .any(|k| k.host == host && window >= k.from_window && window < k.until_window)
     }
 
     /// Should this frame in flight suffer a random fault, and which? One

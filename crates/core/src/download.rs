@@ -435,6 +435,14 @@ pub struct DownloadModule {
     pub active_ttl: SimDuration,
     /// Seed of the retry-jitter stream (independent of the world seed).
     pub retry_seed: u64,
+    /// Advisory starvation signal from the ops layer (a
+    /// [`tero_ops::HealthReport::starvation`] verdict, refreshed by the
+    /// operator between runs). Strictly read-only and off by default:
+    /// when set, each coordinator poll acknowledges the advice by
+    /// bumping `download.advisory_polls`, but no scheduling decision
+    /// changes — `tests/observability.rs` pins that the off path and
+    /// the on path produce byte-identical download results.
+    pub starvation_advisory: Option<tero_ops::Starvation>,
 }
 
 /// Metric handles resolved once per [`DownloadModule::run`] — bumping them
@@ -459,6 +467,7 @@ struct DownloadObs {
     ttl_swept: tero_obs::CounterHandle,
     queue_depth: tero_obs::HistogramHandle,
     downloader_load: tero_obs::GaugeHandle,
+    advisory_polls: tero_obs::CounterHandle,
 }
 
 impl DownloadObs {
@@ -487,6 +496,7 @@ impl DownloadObs {
             ttl_swept: obs.counter("download.ttl_swept"),
             queue_depth: obs.histogram("download.queue_depth"),
             downloader_load: obs.gauge("download.downloader_load"),
+            advisory_polls: obs.counter("download.advisory_polls"),
         }
     }
 }
@@ -517,6 +527,7 @@ impl DownloadModule {
             offline_cooldown: SimDuration::from_secs(90),
             active_ttl: SimDuration::from_hours(2),
             retry_seed: 0x5eed_cafe,
+            starvation_advisory: None,
         }
     }
 
@@ -652,6 +663,11 @@ impl DownloadModule {
             let Reverse(HeapEv(at, _, ev)) = heap.pop().expect("peeked above");
             match ev {
                 Ev::Poll => {
+                    // Acknowledge the advisory signal (observability
+                    // only: no scheduling decision depends on it).
+                    if self.starvation_advisory.is_some() {
+                        obs.advisory_polls.inc();
+                    }
                     // Expire lapsed TTL keys (`active:*` leases, offline
                     // cooldowns) before reading any of them.
                     let swept = self.kv.sweep_expired(at);

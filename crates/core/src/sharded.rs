@@ -38,9 +38,10 @@ use crate::engine::{StoreSnapshot, ENGINE_KEY};
 use crate::pipeline::{ExtractionMode, Tero, TeroReport, WindowOutcome};
 use std::sync::Arc;
 use tero_chaos::{ChaosInjector, FaultPlan};
-use tero_net::{default_link, ShardedStoreClient, SimNet};
+use tero_net::{default_link, engine_host, ShardedStoreClient, SimNet};
 use tero_obs::Registry;
 use tero_store::{KvSnapshot, KvStore, ObjectSnapshot, ObjectStore, RemoteStore};
+use tero_trace::{merged_chrome_trace, Tracer};
 use tero_types::{ShardSpec, SimTime};
 use tero_world::{World, WorldConfig};
 
@@ -69,6 +70,20 @@ pub struct ShardedConfig {
     /// Seed of the per-client backoff-jitter streams (engine index is
     /// folded in per client).
     pub net_seed: u64,
+    /// Record a stitched mesh trace: every store host, engine and the
+    /// merge instance gets its own enabled [`Tracer`] (collected in
+    /// [`ShardedOutcome::mesh`]), and every store operation's span
+    /// context rides the wire so server-side handling nests under the
+    /// client op that caused it. Off by default — tracing a run it
+    /// wasn't asked for would change nothing but still cost memory.
+    pub trace: bool,
+    /// Worker threads of the merge/finalize [`Tero`] instance. `0` (the
+    /// default) keeps the machine default. The per-engine instances
+    /// always run at `worker_threads: 1` (see the field comment in
+    /// [`run_sharded_observed`]); this knob is how the worker-count
+    /// invariance of the report *and the mesh trace* is exercised —
+    /// both are byte-identical for every value.
+    pub merge_workers: usize,
 }
 
 impl Default for ShardedConfig {
@@ -82,8 +97,32 @@ impl Default for ShardedConfig {
             min_streamers: 5,
             plan: FaultPlan::quiet(1),
             net_seed: 1,
+            trace: false,
+            merge_workers: 0,
         }
     }
+}
+
+/// The live state of a sharded run, handed to the observer closure of
+/// [`run_sharded_observed`] after every completed window. Everything is
+/// a borrow of the run's own handles — the observer reads (or polls
+/// through `net`'s quiet ops plane) without owning any of it.
+pub struct MeshView<'a> {
+    /// The window that just completed (`0..windows`).
+    pub window: u64,
+    /// Total windows in the schedule.
+    pub windows: u64,
+    /// The store network — live servers, current fault window, and the
+    /// quiet `poll` ops plane.
+    pub net: &'a SimNet,
+    /// The registry holding the run's `net.*` and `chaos.*` families.
+    pub net_registry: &'a Registry,
+    /// One store client per engine, in engine order: failover state
+    /// (`shard_views`) for the health model.
+    pub clients: &'a [Arc<ShardedStoreClient>],
+    /// Each engine's own metric registry (`download.*`, `stage.*`, …),
+    /// in engine order.
+    pub engine_registries: &'a [Registry],
 }
 
 /// What a sharded run produces: the merged horizon report plus the
@@ -98,6 +137,26 @@ pub struct ShardedOutcome {
     pub net_registry: Registry,
     /// The store network, post-run (server inspection in tests).
     pub net: SimNet,
+    /// The mesh trace: one `(host, tracer)` per participant, sorted by
+    /// host name — every engine (`engine0`, …), every store server
+    /// (`shard0p`, `shard0r`, …) and the merge/finalize instance
+    /// (`merge`). Empty unless [`ShardedConfig::trace`] was set.
+    pub mesh: Vec<(String, Tracer)>,
+}
+
+impl ShardedOutcome {
+    /// Export the stitched mesh trace as one Chrome-trace JSON document
+    /// (`chrome://tracing` / Perfetto), one process per host. Requires
+    /// [`ShardedConfig::trace`]; byte-identical across replays of the
+    /// same `(plan, seed)` and across merge worker counts.
+    pub fn mesh_chrome_trace(&self) -> String {
+        let hosts: Vec<(&str, &Tracer)> = self
+            .mesh
+            .iter()
+            .map(|(name, tracer)| (name.as_str(), tracer))
+            .collect();
+        merged_chrome_trace(&hosts)
+    }
 }
 
 /// Run the sharded topology end to end. See the module docs for the
@@ -110,6 +169,23 @@ pub struct ShardedOutcome {
 /// impossible (both replicas of a store shard unreachable at once —
 /// the client's panic, surfaced unchanged).
 pub fn run_sharded(cfg: &ShardedConfig) -> ShardedOutcome {
+    run_sharded_observed(cfg, |_| {})
+}
+
+/// [`run_sharded`] with an ops-plane observer: `observe` is called with
+/// a [`MeshView`] after every completed window (fault timeline already
+/// at that window), which is where a `tero-ops` `HealthMonitor` polls
+/// the mesh mid-run. The observer sees the live network — anything it
+/// sends must go through the quiet [`SimNet::poll`] plane, or it would
+/// perturb the data plane's deterministic fault accounting.
+///
+/// # Panics
+///
+/// As [`run_sharded`].
+pub fn run_sharded_observed(
+    cfg: &ShardedConfig,
+    mut observe: impl FnMut(&MeshView<'_>),
+) -> ShardedOutcome {
     assert!(cfg.engines > 0, "need at least one engine");
     assert!(cfg.shards > 0, "need at least one store shard");
     assert!(cfg.windows > 0, "need at least one window");
@@ -118,22 +194,39 @@ pub fn run_sharded(cfg: &ShardedConfig) -> ShardedOutcome {
     chaos.instrument(&net_registry);
     let net = SimNet::with_shards(default_link(), chaos, cfg.shards);
 
+    // When tracing, every store host records its handling into its own
+    // tracer — attached before any client can reach the server, so the
+    // trace covers the run from the first frame.
+    let mut mesh: Vec<(String, Tracer)> = Vec::new();
+    if cfg.trace {
+        for host in net.hosts() {
+            let tracer = Tracer::new();
+            tracer.set_enabled(true);
+            net.server(&host)
+                .expect("with_shards registered every host it listed")
+                .set_trace(&tracer);
+            mesh.push((host, tracer));
+        }
+    }
+
     // One Tero + private world per engine. Store facades go through the
     // mesh; `worker_threads: 1` keeps every store access (and therefore
     // every chaos draw on the shared net stream) in one deterministic
     // sequential order. The merged report is unaffected: reports are
     // identical at any worker count.
+    let mut clients: Vec<Arc<ShardedStoreClient>> = Vec::with_capacity(cfg.engines);
     let mut engines: Vec<(Tero, World, KvStore)> = (0..cfg.engines)
         .map(|i| {
-            let client: Arc<dyn RemoteStore> = Arc::new(ShardedStoreClient::new(
+            let client = Arc::new(ShardedStoreClient::new(
                 net.clone(),
                 i,
                 cfg.shards,
                 &net_registry,
                 cfg.net_seed,
             ));
-            let kv = KvStore::remote(client.clone());
-            let objects = ObjectStore::remote(client);
+            let remote: Arc<dyn RemoteStore> = client.clone();
+            let kv = KvStore::remote(remote.clone());
+            let objects = ObjectStore::remote(remote);
             let tero = Tero {
                 mode: cfg.mode,
                 min_streamers: cfg.min_streamers,
@@ -145,12 +238,27 @@ pub fn run_sharded(cfg: &ShardedConfig) -> ShardedOutcome {
                 }),
                 ..Tero::default()
             };
+            if cfg.trace {
+                // The engine's own tracer doubles as the host tracer for
+                // its `net.*` op spans: client-side attempt/failover
+                // activity nests under the pipeline stage that caused it.
+                tero.trace.set_enabled(true);
+                client.set_trace(&tero.trace);
+                mesh.push((engine_host(i), tero.trace.clone()));
+            }
+            clients.push(client);
             (tero, World::build(cfg.world.clone()), kv)
         })
         .collect();
+    let engine_registries: Vec<Registry> = engines
+        .iter()
+        .map(|(tero, _, _)| tero.obs.clone())
+        .collect();
 
     // Drive every engine through the same window schedule, sequentially
-    // within each window, advancing the fault timeline first.
+    // within each window, advancing the fault timeline first. The
+    // observer runs after each window, against the same fault window the
+    // engines just lived through.
     let horizon = engines[0].1.horizon;
     for w in 0..cfg.windows {
         net.set_window(w);
@@ -162,6 +270,14 @@ pub fn run_sharded(cfg: &ShardedConfig) -> ShardedOutcome {
                 "advance_window never finalizes and the worlds carry no engine kills"
             );
         }
+        observe(&MeshView {
+            window: w,
+            windows: cfg.windows,
+            net: &net,
+            net_registry: &net_registry,
+            clients: &clients,
+            engine_registries: &engine_registries,
+        });
     }
 
     // Merge: namespace-scoped per-engine snapshots, plus a correction
@@ -197,11 +313,18 @@ pub fn run_sharded(cfg: &ShardedConfig) -> ShardedOutcome {
     // Finalize the merged state exactly once, locally: the restored
     // engine sees ingest and extract already at the horizon, so the
     // first window call runs only clean → locate → publish.
-    let merge_tero = Tero {
+    let mut merge_tero = Tero {
         mode: cfg.mode,
         min_streamers: cfg.min_streamers,
         ..Tero::default()
     };
+    if cfg.merge_workers > 0 {
+        merge_tero.worker_threads = cfg.merge_workers;
+    }
+    if cfg.trace {
+        merge_tero.trace.set_enabled(true);
+        mesh.push(("merge".to_string(), merge_tero.trace.clone()));
+    }
     let mut merge_world = World::build(cfg.world.clone());
     merge_tero.restore_engine(merged);
     let report = loop {
@@ -211,9 +334,11 @@ pub fn run_sharded(cfg: &ShardedConfig) -> ShardedOutcome {
             break report;
         }
     };
+    mesh.sort_by(|a, b| a.0.cmp(&b.0));
     ShardedOutcome {
         report,
         net_registry,
         net,
+        mesh,
     }
 }

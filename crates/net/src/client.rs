@@ -32,10 +32,12 @@
 use crate::frame::{decode, encode, Frame, Payload};
 use crate::transport::{engine_host, primary_host, replica_host, NetError, SimNet};
 use parking_lot::Mutex;
+use std::sync::OnceLock;
 use tero_obs::{CounterHandle, Registry};
 use tero_store::{
     KvRequest, KvResponse, KvSnapshot, ObjRequest, ObjResponse, ObjectSnapshot, RemoteStore,
 };
+use tero_trace::{Level, SpanGuard, Tracer};
 use tero_types::{consistent_hash, SimDuration, SimRng, SimTime};
 
 /// Retry attempts per request before the acting host is declared down.
@@ -235,7 +237,26 @@ pub struct ShardedStoreClient {
     namespace: String,
     net: SimNet,
     metrics: NetMetrics,
+    /// Tracer plus this client's derived trace id; first `set_trace`
+    /// wins. Absent → no spans, no wire context, zero overhead.
+    trace: OnceLock<(Tracer, u64)>,
     inner: Mutex<ClientInner>,
+}
+
+/// Point-in-time, client-side health facts about one shard, exposed to
+/// the ops layer by [`ShardedStoreClient::shard_views`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardView {
+    /// Shard index.
+    pub shard: usize,
+    /// A failover lease is in effect: the replica is acting primary.
+    pub lease_active: bool,
+    /// The configured primary missed leased writes and awaits resync.
+    pub primary_stale: bool,
+    /// The replica missed a replicated write and awaits resync.
+    pub replica_stale: bool,
+    /// The shard's circuit breaker as seen at the client's clock.
+    pub breaker: BreakerState,
 }
 
 impl ShardedStoreClient {
@@ -267,6 +288,7 @@ impl ShardedStoreClient {
             namespace: format!("e{engine_index}:"),
             net,
             metrics: NetMetrics::register(registry),
+            trace: OnceLock::new(),
             inner: Mutex::new(ClientInner {
                 seq: 0,
                 clock: SimTime::EPOCH,
@@ -286,6 +308,44 @@ impl ShardedStoreClient {
         self.inner.lock().shards.len()
     }
 
+    /// Record this client's operations as `net.*` spans/events in
+    /// `tracer`. Each operation's span is stamped into the frame header
+    /// as a [`tero_trace::TraceContext`] (trace id derived from the
+    /// client id), so server-side handling stitches under it in a
+    /// merged mesh trace. First call wins, like `Tracer::instrument`.
+    pub fn set_trace(&self, tracer: &Tracer) {
+        let trace_id = (self.client_id + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let _ = self.trace.set((tracer.clone(), trace_id));
+    }
+
+    /// Per-shard client-side health facts at the current logical clock,
+    /// for the ops layer. Read-only: no probes, no clock movement.
+    pub fn shard_views(&self) -> Vec<ShardView> {
+        let inner = self.inner.lock();
+        let now = inner.clock;
+        inner
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(shard, st)| ShardView {
+                shard,
+                lease_active: st.lease_until.is_some(),
+                primary_stale: st.primary_stale,
+                replica_stale: st.replica_stale,
+                breaker: st.breaker.state(now),
+            })
+            .collect()
+    }
+
+    /// Open the span for one logical operation, if tracing is attached.
+    /// Probes, resyncs and replication legs run *inside* this span —
+    /// one span per logical store operation.
+    fn op_span(&self, name: &str) -> Option<(SpanGuard, u64)> {
+        let (tracer, trace_id) = self.trace.get()?;
+        let guard = tracer.span(name);
+        guard.is_recording().then_some((guard, *trace_id))
+    }
+
     /// One request/response exchange with bounded retries. `Err` means
     /// the destination never produced a response within the attempt
     /// budget — the caller decides whether that means failover or panic.
@@ -303,6 +363,7 @@ impl ShardedStoreClient {
         let frame = encode(&Frame {
             client: self.client_id,
             seq,
+            ctx: None,
             payload,
         });
         self.send_frame(inner, to, &frame, seq, attempts)
@@ -455,6 +516,22 @@ impl ShardedStoreClient {
         self.maybe_reclaim_primary(inner, shard, window);
         self.maybe_heal_replica(inner, shard, window);
         let is_write = payload_is_write(&payload);
+        // The operation span covers every leg — retries, failover,
+        // replication — and its context rides the frame header so the
+        // server's handling span stitches under it.
+        let sp = self.op_span(match &payload {
+            Payload::KvReq(_) => "net.kv",
+            Payload::ObjReq(_) => "net.obj",
+            _ => "net.op",
+        });
+        let ctx = sp
+            .as_ref()
+            .and_then(|(guard, trace_id)| guard.context(*trace_id));
+        let note = |sp: &Option<(SpanGuard, u64)>, msg: String| {
+            if let Some((guard, _)) = sp {
+                guard.event(Level::Warn, msg);
+            }
+        };
         // One logical operation = one seq = one frame, no matter how
         // many hosts or recovery rounds it takes: a host that silently
         // applied it answers every later delivery from its dedup cache.
@@ -463,6 +540,7 @@ impl ShardedStoreClient {
         let frame = encode(&Frame {
             client: self.client_id,
             seq,
+            ctx,
             payload,
         });
         let mut last = NetError::FrameLost;
@@ -485,11 +563,22 @@ impl ShardedStoreClient {
                                     .is_err()
                                 {
                                     inner.shards[shard].replica_stale = true;
+                                    note(
+                                        &sp,
+                                        format!("shard {shard}: replica {replica} missed a write"),
+                                    );
                                 }
                             }
                             return resp;
                         }
-                        Err(_) => {
+                        Err(e) => {
+                            note(
+                                &sp,
+                                format!(
+                                    "shard {shard}: primary {} unreachable ({e:?})",
+                                    inner.shards[shard].primary
+                                ),
+                            );
                             let now = inner.clock;
                             if inner.shards[shard].breaker.record_fault(now) == BreakerState::Open {
                                 self.metrics.breaker_open.inc();
@@ -506,6 +595,14 @@ impl ShardedStoreClient {
                 );
                 st.lease_until = Some(window + LEASE_WINDOWS);
                 self.metrics.failovers.inc();
+                note(
+                    &sp,
+                    format!(
+                        "shard {shard}: failed over to {} under lease until window {}",
+                        st.replica,
+                        window + LEASE_WINDOWS
+                    ),
+                );
             }
             // The replica is the acting primary (lease holder).
             if is_write {

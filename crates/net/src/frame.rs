@@ -3,10 +3,10 @@
 //! Every message on the store network is one frame:
 //!
 //! ```text
-//! +-------+------+-----------+---------+----------+------------+
-//! | magic | kind | client_id |   seq   | body_len |    body    |
-//! | 4 B   | 1 B  |  8 B LE   | 8 B LE  | 4 B LE   | body_len B |
-//! +-------+------+-----------+---------+----------+------------+
+//! +-------+------+-----------+---------+----------------------------+----------+------------+
+//! | magic | kind | client_id |   seq   | trace_id | span  |  tick   | body_len |    body    |
+//! | 4 B   | 1 B  |  8 B LE   | 8 B LE  |  8 B LE  | 8 B LE| 8 B LE  | 4 B LE   | body_len B |
+//! +-------+------+-----------+---------+----------------------------+----------+------------+
 //! ```
 //!
 //! The body is the JSON encoding of the typed request/response (empty
@@ -18,15 +18,24 @@
 //! logical operation and reuses it verbatim on every retry, and the
 //! server caches its last response per client, so a retried mutation
 //! (`rpush`, `lpop`, …) is answered from cache instead of re-applied.
+//!
+//! The three trace words carry a [`TraceContext`] — the client's trace
+//! id, in-flight operation span id, and logical tick — so server-side
+//! handling spans stitch under the client's span tree across the
+//! process boundary. All-zero words mean "no context" (`trace_id` 0 is
+//! reserved, and span ids are never 0); tracing-disabled runs pay three
+//! zero words per frame and nothing else.
 
 use serde::{Deserialize, Serialize};
 use tero_store::{KvRequest, KvResponse, ObjRequest, ObjResponse};
+use tero_trace::TraceContext;
 
-/// Frame magic: "TN" + protocol version 1.
-pub const MAGIC: [u8; 4] = *b"TNv1";
+/// Frame magic: "TN" + protocol version 2 (v2 added the trace words).
+pub const MAGIC: [u8; 4] = *b"TNv2";
 
-/// Fixed header size in bytes (magic + kind + client + seq + body_len).
-pub const HEADER_LEN: usize = 4 + 1 + 8 + 8 + 4;
+/// Fixed header size in bytes (magic + kind + client + seq + trace
+/// context + body_len).
+pub const HEADER_LEN: usize = 4 + 1 + 8 + 8 + 24 + 4;
 
 /// The typed content of a frame.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +53,10 @@ pub enum Payload {
     Ping,
     /// Probe answer (server → client).
     Pong,
+    /// An operations-plane poll (monitor → server).
+    OpsReq(OpsRequest),
+    /// An operations-plane answer (server → monitor).
+    OpsResp(OpsResponse),
 }
 
 impl Payload {
@@ -55,8 +68,42 @@ impl Payload {
             Payload::ObjResp(_) => 3,
             Payload::Ping => 4,
             Payload::Pong => 5,
+            Payload::OpsReq(_) => 6,
+            Payload::OpsResp(_) => 7,
         }
     }
+}
+
+/// An operations-plane question a [`StoreServer`](crate::StoreServer)
+/// answers in-band — same framing, same dedup path as store traffic, so
+/// a health poll exercises exactly the machinery it is monitoring.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpsRequest {
+    /// Report the host's live health facts.
+    Health,
+}
+
+/// The server's answer to an [`OpsRequest`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpsResponse {
+    /// Answer to [`OpsRequest::Health`].
+    Health(HostHealth),
+}
+
+/// Live health facts one store host reports about itself.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostHealth {
+    /// The host's mesh name (`shard0p`, `shard0r`, …).
+    pub host: String,
+    /// Keys currently in the host's KV store.
+    pub kv_keys: u64,
+    /// Total bytes across the host's object buckets.
+    pub object_bytes: u64,
+    /// Store request frames executed since boot (dedup replays and
+    /// ops polls excluded).
+    pub frames_handled: u64,
+    /// Distinct clients the host has answered (dedup cache entries).
+    pub clients_seen: u64,
 }
 
 /// One framed message.
@@ -66,6 +113,10 @@ pub struct Frame {
     pub client: u64,
     /// Per-client operation sequence number; retries reuse it.
     pub seq: u64,
+    /// Trace context of the in-flight client operation, if tracing is
+    /// on. Retries reuse the encoded frame verbatim, so every leg of
+    /// one logical operation carries the same context.
+    pub ctx: Option<TraceContext>,
     /// Typed content.
     pub payload: Payload,
 }
@@ -113,14 +164,24 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
         Payload::KvResp(r) => body_json(r),
         Payload::ObjReq(r) => body_json(r),
         Payload::ObjResp(r) => body_json(r),
+        Payload::OpsReq(r) => body_json(r),
+        Payload::OpsResp(r) => body_json(r),
         Payload::Ping | Payload::Pong => String::new(),
     };
     let body = body.into_bytes();
+    let ctx = frame.ctx.unwrap_or(TraceContext {
+        trace_id: 0,
+        span: 0,
+        tick: 0,
+    });
     let mut out = Vec::with_capacity(HEADER_LEN + body.len());
     out.extend_from_slice(&MAGIC);
     out.push(frame.payload.kind());
     out.extend_from_slice(&frame.client.to_le_bytes());
     out.extend_from_slice(&frame.seq.to_le_bytes());
+    out.extend_from_slice(&ctx.trace_id.to_le_bytes());
+    out.extend_from_slice(&ctx.span.to_le_bytes());
+    out.extend_from_slice(&ctx.tick.to_le_bytes());
     out.extend_from_slice(&(body.len() as u32).to_le_bytes());
     out.extend_from_slice(&body);
     out
@@ -137,7 +198,15 @@ pub fn decode(bytes: &[u8]) -> Result<Frame, FrameError> {
     let kind = bytes[4];
     let client = u64::from_le_bytes(bytes[5..13].try_into().expect("sized"));
     let seq = u64::from_le_bytes(bytes[13..21].try_into().expect("sized"));
-    let body_len = u32::from_le_bytes(bytes[21..25].try_into().expect("sized")) as usize;
+    let trace_id = u64::from_le_bytes(bytes[21..29].try_into().expect("sized"));
+    let span = u64::from_le_bytes(bytes[29..37].try_into().expect("sized"));
+    let tick = u64::from_le_bytes(bytes[37..45].try_into().expect("sized"));
+    let ctx = (trace_id != 0).then_some(TraceContext {
+        trace_id,
+        span,
+        tick,
+    });
+    let body_len = u32::from_le_bytes(bytes[45..49].try_into().expect("sized")) as usize;
     let body = &bytes[HEADER_LEN..];
     if body.len() != body_len {
         return Err(FrameError::LengthMismatch);
@@ -149,11 +218,14 @@ pub fn decode(bytes: &[u8]) -> Result<Frame, FrameError> {
         3 => Payload::ObjResp(parse_body(body)?),
         4 => Payload::Ping,
         5 => Payload::Pong,
+        6 => Payload::OpsReq(parse_body(body)?),
+        7 => Payload::OpsResp(parse_body(body)?),
         k => return Err(FrameError::BadKind(k)),
     };
     Ok(Frame {
         client,
         seq,
+        ctx,
         payload,
     })
 }
@@ -167,10 +239,34 @@ mod tests {
         let frame = Frame {
             client: 3,
             seq: 99,
+            ctx: None,
             payload,
         };
         let bytes = encode(&frame);
         assert_eq!(decode(&bytes).expect("round trip"), frame);
+    }
+
+    #[test]
+    fn trace_context_rides_the_header() {
+        let ctx = TraceContext {
+            trace_id: 0x9e37_79b9,
+            span: 0xdead_beef,
+            tick: 42,
+        };
+        let frame = Frame {
+            client: 1,
+            seq: 7,
+            ctx: Some(ctx),
+            payload: Payload::KvReq(KvRequest::Len),
+        };
+        let bytes = encode(&frame);
+        assert_eq!(decode(&bytes).expect("round trip"), frame);
+        // An absent context encodes as all-zero words and decodes back
+        // to None — v2 frames are the same length either way.
+        let bare = Frame { ctx: None, ..frame };
+        let bare_bytes = encode(&bare);
+        assert_eq!(bare_bytes.len(), bytes.len());
+        assert_eq!(decode(&bare_bytes).expect("round trip").ctx, None);
     }
 
     #[test]
@@ -196,6 +292,14 @@ mod tests {
             data: vec![0, 1, 254, 255],
         }));
         round_trip(Payload::ObjResp(ObjResponse::MaybeBytes(Some(vec![7; 32]))));
+        round_trip(Payload::OpsReq(OpsRequest::Health));
+        round_trip(Payload::OpsResp(OpsResponse::Health(HostHealth {
+            host: "shard0p".into(),
+            kv_keys: 12,
+            object_bytes: 4096,
+            frames_handled: 99,
+            clients_seen: 2,
+        })));
     }
 
     #[test]
@@ -212,14 +316,19 @@ mod tests {
 
     #[test]
     fn corrupt_frames_are_rejected() {
-        assert_eq!(decode(b"TNv1"), Err(FrameError::Truncated));
+        assert_eq!(decode(b"TNv2"), Err(FrameError::Truncated));
         let frame = Frame {
             client: 0,
             seq: 1,
+            ctx: None,
             payload: Payload::Ping,
         };
         let mut bytes = encode(&frame);
         bytes[0] = b'X';
+        assert_eq!(decode(&bytes), Err(FrameError::BadMagic));
+        // A v1 frame (old magic) is rejected, not misparsed.
+        let mut bytes = encode(&frame);
+        bytes[3] = b'1';
         assert_eq!(decode(&bytes), Err(FrameError::BadMagic));
         let mut bytes = encode(&frame);
         bytes[4] = 200;
@@ -230,6 +339,7 @@ mod tests {
         let mut bytes = encode(&Frame {
             client: 0,
             seq: 1,
+            ctx: None,
             payload: Payload::KvReq(KvRequest::Len),
         });
         let len = bytes.len();

@@ -40,8 +40,8 @@ pub mod frame;
 pub mod server;
 pub mod transport;
 
-pub use client::{Breaker, BreakerState, NetMetrics, ShardedStoreClient};
-pub use frame::{decode, encode, Frame, FrameError, Payload};
+pub use client::{Breaker, BreakerState, NetMetrics, ShardView, ShardedStoreClient};
+pub use frame::{decode, encode, Frame, FrameError, HostHealth, OpsRequest, OpsResponse, Payload};
 pub use server::StoreServer;
 pub use transport::{
     default_link, default_net_fault, engine_host, primary_host, replica_host, NetError, SimNet,

@@ -167,6 +167,38 @@ impl SimNet {
         &self.inner.chaos
     }
 
+    /// All registered host names, sorted.
+    pub fn hosts(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.hosts.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Ops-plane exchange: the same windowed partition / host-kill
+    /// semantics as [`SimNet::exchange`], but *quiet* — no RNG draw, no
+    /// random frame faults, no chaos counters or journal entries, and
+    /// no time charged — so health polling observes a faulty mesh
+    /// without perturbing the data plane's deterministic fault
+    /// accounting or replay behaviour.
+    pub fn poll(&self, from: &str, to: &str, frame: &[u8]) -> Result<Vec<u8>, NetError> {
+        let window = self.window();
+        let chaos = &self.inner.chaos;
+        if chaos.net_partitioned_quiet(from, to, window) {
+            return Err(NetError::Partitioned);
+        }
+        if chaos.net_host_killed_quiet(to, window) {
+            return Err(NetError::HostDown);
+        }
+        let server = self
+            .inner
+            .hosts
+            .lock()
+            .get(to)
+            .cloned()
+            .ok_or(NetError::UnknownHost)?;
+        Ok(server.handle(frame))
+    }
+
     /// One request/response exchange from `from` to `to`. Returns the
     /// logical time the exchange consumed (even on failure) and either
     /// the response frame or the failure.
@@ -232,6 +264,7 @@ mod tests {
         encode(&Frame {
             client: 0,
             seq,
+            ctx: None,
             payload: Payload::Ping,
         })
     }
@@ -306,6 +339,58 @@ mod tests {
             net.exchange("engine0", "shard0p", &ping(1)).1,
             Err(NetError::FrameLost)
         );
+    }
+
+    #[test]
+    fn ops_polls_see_faults_but_never_count_them() {
+        let plan = FaultPlan {
+            net: NetFault {
+                frame_drop_rate: 1.0, // would kill every data-plane frame
+                partitions: vec![NetPartition {
+                    a: "ops0".into(),
+                    b: "shard0p".into(),
+                    from_window: 1,
+                    until_window: 2,
+                }],
+                kills: vec![HostKill {
+                    host: "shard0r".into(),
+                    from_window: 1,
+                    until_window: 2,
+                }],
+                ..NetFault::quiet()
+            },
+            ..FaultPlan::quiet(5)
+        };
+        let registry = tero_obs::Registry::new();
+        let chaos = ChaosInjector::new(plan);
+        chaos.instrument(&registry);
+        let net = SimNet::with_shards(default_link(), chaos, 1);
+        // Certain frame drop does not touch polls, and a healthy poll
+        // round-trips.
+        assert!(net.poll("ops0", "shard0p", &ping(1)).is_ok());
+        net.set_window(1);
+        assert_eq!(
+            net.poll("ops0", "shard0p", &ping(2)),
+            Err(NetError::Partitioned)
+        );
+        assert_eq!(
+            net.poll("ops0", "shard0r", &ping(3)),
+            Err(NetError::HostDown)
+        );
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("chaos.injected.net_partition_drop"),
+            Some(0),
+            "polling a partition must not count as an injected fault"
+        );
+        assert_eq!(snap.counter("chaos.injected.net_shard_kill"), Some(0));
+        assert_eq!(snap.counter("chaos.injected.net_frame_drop"), Some(0));
+    }
+
+    #[test]
+    fn hosts_are_listed_sorted() {
+        let net = quiet_net(2);
+        assert_eq!(net.hosts(), ["shard0p", "shard0r", "shard1p", "shard1r"]);
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! # tero-ops — the live operations layer
+//!
+//! The observability the distributed deployment was missing: PR 7 made
+//! the system multi-process (engines over a `tero-net` shard mesh), and
+//! this crate makes that mesh *diagnosable* while it runs instead of
+//! only auditable afterwards.
+//!
+//! Two pillars:
+//!
+//! * [`health`] — [`HealthMonitor`] polls every shard host in-band
+//!   (`OpsRequest::Health` frames over the quiet ops plane), folds in
+//!   client-side failover state and registry deltas, and produces a
+//!   typed per-window [`HealthReport`]: per-shard
+//!   Healthy/Degraded/Partitioned, every derived gauge with its
+//!   documented healthy band, and a [`Starvation`] verdict separating
+//!   *network starvation* from *processing starvation*.
+//! * [`budget`] — [`BudgetTable`] aggregates `tero-trace` spans into a
+//!   per-stage p50/p95/p99 latency table with declared budgets and a
+//!   pass/OVER verdict per row.
+//!
+//! Both render as aligned text and deterministic JSON: a replay of the
+//! same fault plan produces byte-identical reports, so dashboards can
+//! be pinned by `cmp` in CI like every other artifact in this
+//! workspace. See docs/OPERATIONS.md ("Live health & starvation
+//! diagnosis") for the operator's guide and `examples/ops_console.rs`
+//! for the live console.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod budget;
+pub mod health;
+
+pub use budget::{default_stage_budgets, Budget, BudgetRow, BudgetSource, BudgetTable};
+pub use health::{
+    GaugeBand, HealthMonitor, HealthReport, HostProbe, ShardHealth, ShardStatus, Starvation,
+};

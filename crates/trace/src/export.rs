@@ -35,9 +35,9 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-fn push_span_json(out: &mut String, s: &SpanRecord) {
+fn push_span_json(out: &mut String, pid: usize, s: &SpanRecord) {
     out.push_str(&format!(
-        "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"id\":\"{:#018x}\",\"parent\":\"{:#018x}\"",
+        "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{pid},\"tid\":{},\"args\":{{\"id\":\"{:#018x}\",\"parent\":\"{:#018x}\"",
         json_escape(&s.name),
         s.start_tick,
         s.end_tick.saturating_sub(s.start_tick).max(1),
@@ -54,12 +54,18 @@ fn push_span_json(out: &mut String, s: &SpanRecord) {
     if let Some(w) = s.wall_us {
         out.push_str(&format!(",\"wall_us\":{w}"));
     }
+    if let Some(ctx) = s.remote {
+        out.push_str(&format!(
+            ",\"remote_trace\":\"{:#018x}\",\"remote_tick\":{}",
+            ctx.trace_id, ctx.tick
+        ));
+    }
     out.push_str("}}");
 }
 
-fn push_event_json(out: &mut String, e: &EventRecord) {
+fn push_event_json(out: &mut String, pid: usize, e: &EventRecord) {
     out.push_str(&format!(
-        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"ts\":{},\"pid\":1,\"tid\":{},\"s\":\"t\",\"args\":{{\"span\":\"{:#018x}\"",
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"ts\":{},\"pid\":{pid},\"tid\":{},\"s\":\"t\",\"args\":{{\"span\":\"{:#018x}\"",
         json_escape(&e.message),
         e.level.as_str(),
         e.tick,
@@ -70,6 +76,69 @@ fn push_event_json(out: &mut String, e: &EventRecord) {
         out.push_str(&format!(",\"sim_us\":{}", at.as_micros()));
     }
     out.push_str("}}");
+}
+
+/// Name the virtual lanes of process `pid` (Chrome-trace `M` records):
+/// tid 0 is the coordinator, 1..=[`VIRTUAL_LANES`] the fan-out workers.
+/// Always all of them, so layout never depends on which lanes were used.
+fn push_thread_names(out: &mut String, pid: usize) {
+    out.push_str(&format!(
+        ",{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"coordinator\"}}}}"
+    ));
+    for lane in 1..=VIRTUAL_LANES {
+        out.push_str(&format!(
+            ",{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{lane},\"args\":{{\"name\":\"virtual worker {lane}\"}}}}"
+        ));
+    }
+}
+
+/// Stitch several hosts' tracers into one Chrome trace.
+///
+/// Hosts are sorted by name before anything is emitted and assigned
+/// pids `1..=N` in that order, each announced with `process_name` /
+/// `process_sort_index` metadata plus the standard lane thread names;
+/// within a host, spans and events keep the deterministic
+/// `(start_tick, id)` / `(tick, span)` order from [`Tracer::records`].
+/// The output is therefore byte-identical regardless of host
+/// registration order or span flush interleaving. Spans opened by
+/// [`Tracer::span_remote`](crate::Tracer::span_remote) carry
+/// `remote_trace` / `remote_tick` args and a `parent` id that lives in
+/// the originating host's process, stitching the mesh into one tree.
+pub fn merged_chrome_trace(hosts: &[(&str, &Tracer)]) -> String {
+    let mut hosts: Vec<(&str, &Tracer)> = hosts.to_vec();
+    hosts.sort_by_key(|&(name, _)| name);
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, (name, _)) in hosts.iter().enumerate() {
+        let pid = i + 1;
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(name)
+        ));
+        out.push_str(&format!(
+            ",{{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"sort_index\":{pid}}}}}"
+        ));
+        push_thread_names(&mut out, pid);
+    }
+    for (i, (_, tracer)) in hosts.iter().enumerate() {
+        let pid = i + 1;
+        let (spans, events) = tracer.records();
+        for s in &spans {
+            out.push(',');
+            push_span_json(&mut out, pid, s);
+        }
+        for e in &events {
+            out.push(',');
+            push_event_json(&mut out, pid, e);
+        }
+    }
+    out.push_str("]}");
+    if let Some((_, tracer)) = hosts.first() {
+        tracer.note_export_bytes(out.len() as u64);
+    }
+    out
 }
 
 impl Tracer {
@@ -87,21 +156,14 @@ impl Tracer {
         out.push_str(
             "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"tero\"}}",
         );
-        out.push_str(
-            ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"coordinator\"}}",
-        );
-        for lane in 1..=VIRTUAL_LANES {
-            out.push_str(&format!(
-                ",{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{lane},\"args\":{{\"name\":\"virtual worker {lane}\"}}}}"
-            ));
-        }
+        push_thread_names(&mut out, 1);
         for s in &spans {
             out.push(',');
-            push_span_json(&mut out, s);
+            push_span_json(&mut out, 1, s);
         }
         for e in &events {
             out.push(',');
-            push_event_json(&mut out, e);
+            push_event_json(&mut out, 1, e);
         }
         out.push_str("]}");
         self.note_export_bytes(out.len() as u64);
@@ -245,6 +307,32 @@ mod tests {
             .expect("traceEvents array");
         // 10 metadata + 4 spans + 3 events.
         assert_eq!(events.len(), 17);
+    }
+
+    #[test]
+    fn merged_trace_is_sorted_by_host_and_stitches_remote_spans() {
+        let client = Tracer::new();
+        client.set_enabled(true);
+        let server = Tracer::new();
+        server.set_enabled(true);
+        let op = client.span("net.kv");
+        let ctx = op.context(0x1234).expect("recording");
+        server.span_remote("server.kv", ctx).finish();
+        op.finish();
+        // Same content handed over in either host order → same bytes.
+        let a = crate::export::merged_chrome_trace(&[("engine0", &client), ("shard0p", &server)]);
+        let b = crate::export::merged_chrome_trace(&[("shard0p", &server), ("engine0", &client)]);
+        assert_eq!(a, b, "host registration order must not matter");
+        let parsed: serde_json::Value = serde_json::from_str(&a).expect("valid JSON");
+        assert!(a.contains("\"name\":\"engine0\""));
+        assert!(a.contains("\"name\":\"shard0p\""));
+        assert!(a.contains("\"remote_trace\":\"0x0000000000001234\""));
+        // The server span's parent is the client op span id.
+        let (client_spans, _) = client.records();
+        let (server_spans, _) = server.records();
+        assert_eq!(server_spans[0].parent, client_spans[0].id);
+        assert_eq!(server_spans[0].remote, Some(ctx));
+        drop(parsed);
     }
 
     #[test]

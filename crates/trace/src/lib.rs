@@ -45,7 +45,9 @@ pub mod export;
 pub mod ledger;
 pub mod span;
 
+pub use export::merged_chrome_trace;
 pub use ledger::{DropReason, Ledger, LedgerSummary, ReconcileError, SampleKey, SampleState};
 pub use span::{
-    EventRecord, Level, SpanGuard, SpanRecord, StageCtx, TaskCtx, TaskTrace, Tracer, VIRTUAL_LANES,
+    EventRecord, Level, SpanGuard, SpanRecord, StageCtx, TaskCtx, TaskTrace, TraceContext, Tracer,
+    VIRTUAL_LANES,
 };

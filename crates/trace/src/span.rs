@@ -95,6 +95,26 @@ impl std::fmt::Display for Level {
     }
 }
 
+/// Compact cross-process trace context, small enough to ride in a
+/// `tero-net` frame header. The client stamps its in-flight operation
+/// span here; the server opens its handling span via
+/// [`Tracer::span_remote`] so both halves stitch into one tree when the
+/// per-host tracers are merged by
+/// [`merged_chrome_trace`](crate::export::merged_chrome_trace).
+///
+/// `trace_id` 0 is reserved for "no context" (the wire encodes an
+/// absent context as all-zero words); span ids are never 0 either, so
+/// any non-zero `trace_id` implies a valid `span`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// Identifies the originating client's trace (non-zero).
+    pub trace_id: u64,
+    /// Id of the in-flight operation span on the originating host.
+    pub span: u64,
+    /// The originator's logical tick when the context was captured.
+    pub tick: u64,
+}
+
 /// A finished span, as retained by the recorder.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpanRecord {
@@ -116,6 +136,9 @@ pub struct SpanRecord {
     pub sim_at: Option<SimTime>,
     /// Wall-clock duration in microseconds, if wall timing was enabled.
     pub wall_us: Option<u64>,
+    /// The wire-carried context this span was opened under, if it was
+    /// started by [`Tracer::span_remote`] on behalf of another host.
+    pub remote: Option<TraceContext>,
 }
 
 /// A journal event, attached to a span (or to the run when `span == 0`).
@@ -334,6 +357,19 @@ impl Tracer {
         self.open_span(name, 0, Some(at))
     }
 
+    /// Open a span under a *remote* parent described by a wire-carried
+    /// [`TraceContext`] — the server half of cross-process stitching.
+    /// The span is parented to `ctx.span` (an id that lives in another
+    /// host's tracer) and keeps the full context on its record so
+    /// exporters can label the remote edge.
+    pub fn span_remote(&self, name: &str, ctx: TraceContext) -> SpanGuard {
+        let mut guard = self.open_span(name, ctx.span, None);
+        if let Some(g) = guard.inner.as_mut() {
+            g.remote = Some(ctx);
+        }
+        guard
+    }
+
     /// Record a run-level journal event (no owning span).
     pub fn event(&self, level: Level, message: impl AsRef<str>) {
         if !self.enabled() {
@@ -406,6 +442,7 @@ impl Tracer {
                 start_tick,
                 sim_at,
                 wall,
+                remote: None,
             }),
         }
     }
@@ -463,6 +500,7 @@ struct GuardInner {
     start_tick: u64,
     sim_at: Option<SimTime>,
     wall: Option<Instant>,
+    remote: Option<TraceContext>,
 }
 
 /// An open span. The span is recorded when the guard drops (or
@@ -482,6 +520,17 @@ impl SpanGuard {
     /// Whether this guard is actually recording.
     pub fn is_recording(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// Capture this span as a [`TraceContext`] to carry across the
+    /// wire under the caller's `trace_id`, or `None` when the guard is
+    /// not recording (so disabled tracing sends no context at all).
+    pub fn context(&self, trace_id: u64) -> Option<TraceContext> {
+        self.inner.as_ref().map(|g| TraceContext {
+            trace_id,
+            span: g.id,
+            tick: g.start_tick,
+        })
     }
 
     /// Open a child span.
@@ -535,6 +584,7 @@ impl Drop for SpanGuard {
             end_tick,
             sim_at: g.sim_at,
             wall_us,
+            remote: g.remote,
         });
     }
 }
@@ -626,6 +676,7 @@ impl StageCtx {
                     end_tick,
                     sim_at: buf.sim_at,
                     wall_us: buf.wall.map(|t| t.elapsed().as_micros() as u64),
+                    remote: None,
                 });
             }
         }

@@ -75,6 +75,7 @@ fn main() {
         min_streamers: 3,
         plan,
         net_seed: seed,
+        ..ShardedConfig::default()
     };
 
     println!("== sharded topology (seed {seed}, mode {mode}) ==");

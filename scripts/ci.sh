@@ -87,4 +87,21 @@ grep -q "^net.failovers  *0$" "$trace_dir/nq.out" \
 grep -q "^net.timeouts  *0$" "$trace_dir/nq.out" \
   || { echo "FAIL: quiet sharded run timed out"; exit 1; }
 
+echo "==> ops console determinism (ops_console twice mid-fault, stdout byte-compare)"
+# The console polls a 3-shard mesh through the quiet ops endpoint while
+# the stock NetFault plan kills a primary and partitions a link, prints
+# one health report per window, the latency-budget table, and the mesh
+# trace summary. Quiet polling draws no RNG and charges no simulated
+# time, so monitoring must not perturb the run: two runs of the same
+# seed must produce identical stdout.
+cargo run --quiet --release --example ops_console -- 4242 > "$trace_dir/o1.out" 2>/dev/null
+cargo run --quiet --release --example ops_console -- 4242 > "$trace_dir/o2.out" 2>/dev/null
+cmp "$trace_dir/o1.out" "$trace_dir/o2.out" \
+  || { echo "FAIL: ops_console stdout differs across identical runs"; exit 1; }
+# The console must see the injected fault and the recovery.
+grep -q "partitioned" "$trace_dir/o1.out" \
+  || { echo "FAIL: ops_console never observed the injected partition"; exit 1; }
+grep -q "== latency budgets" "$trace_dir/o1.out" \
+  || { echo "FAIL: ops_console printed no latency-budget table"; exit 1; }
+
 echo "CI green."

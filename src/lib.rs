@@ -26,6 +26,7 @@
 //! | [`net`] | `tero-net` | networked store: wire frames, shard servers, partition-tolerant client |
 //! | [`pool`] | `tero-pool` | work-stealing thread pool with deterministic ordered results |
 //! | [`trace`] | `tero-trace` | structured tracing: spans, flight recorder, sample provenance |
+//! | [`ops`] | `tero-ops` | live operations: mesh health model, starvation diagnosis, latency budgets |
 //! | [`serve`] | `tero-serve` | distribution query front-end: sketch queries, hot-key cache, load generator |
 //!
 //! ## Quickstart
@@ -53,6 +54,7 @@ pub use tero_core as core;
 pub use tero_geoparse as geoparse;
 pub use tero_net as net;
 pub use tero_obs as obs;
+pub use tero_ops as ops;
 pub use tero_pool as pool;
 pub use tero_serve as serve;
 pub use tero_simnet as simnet;

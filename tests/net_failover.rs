@@ -63,6 +63,7 @@ fn faulty_config() -> ShardedConfig {
             ..FaultPlan::quiet(97)
         },
         net_seed: 7,
+        ..ShardedConfig::default()
     }
 }
 

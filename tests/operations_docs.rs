@@ -96,11 +96,24 @@ fn populated_registry() -> tero_obs::Registry {
     // `instrument` — every injector registers the full fault catalogue.)
     let mesh_chaos = tero::chaos::ChaosInjector::new(tero::chaos::FaultPlan::quiet(3));
     let mesh = tero::net::SimNet::with_shards(tero::net::default_link(), mesh_chaos, 1);
-    let client: std::sync::Arc<dyn tero::store::RemoteStore> =
-        std::sync::Arc::new(tero::net::ShardedStoreClient::new(mesh, 0, 1, &tero.obs, 3));
-    let net_kv = tero::store::KvStore::remote(client);
+    let client = std::sync::Arc::new(tero::net::ShardedStoreClient::new(
+        mesh.clone(),
+        0,
+        1,
+        &tero.obs,
+        3,
+    ));
+    let net_kv = tero::store::KvStore::remote(
+        client.clone() as std::sync::Arc<dyn tero::store::RemoteStore>
+    );
     net_kv.set("ops:net", "1");
     assert_eq!(net_kv.get("ops:net").as_deref(), Some("1"));
+
+    // The ops layer registers `ops.*` / `health.*` on construction and
+    // moves them with one observation of the quiet mesh.
+    let mut monitor = tero::ops::HealthMonitor::new(&mesh, &tero.obs);
+    let report = monitor.observe(0, &[client], std::slice::from_ref(&tero.obs));
+    assert_eq!(report.count(tero::ops::ShardStatus::Healthy), 1);
 
     let docs = DocumentStore::new();
     docs.instrument(&tero.obs);
