@@ -359,6 +359,41 @@ impl ChaosInjector {
         hit
     }
 
+    /// How many consecutive transient 5xx faults does the *profile*
+    /// lookup for `key` suffer? Capped at 5 (after five the caller gives
+    /// up, matching the download module's retry discipline). Unlike
+    /// [`ChaosInjector::api_fault`], the draws come from a stream keyed on
+    /// `(plan.seed, key)` rather than the shared sequential API stream:
+    /// the location module runs on its own credentials, on its own
+    /// schedule, so its fault outcomes are a pure function of the
+    /// streamer — independent of call order and of the window schedule
+    /// the pipeline happens to be driven with. Each fault is counted
+    /// under `chaos.injected.api_5xx` and journaled like any other API
+    /// 5xx. Zero rates consume no RNG.
+    pub fn profile_faults(&self, key: &str) -> u32 {
+        let rate = self.inner.plan.api_5xx_rate;
+        if rate <= 0.0 {
+            return 0;
+        }
+        // FNV-1a over the key, folded into the plan seed: a cheap stable
+        // per-streamer stream id (same recipe the world uses to derive
+        // per-streamer scene seeds).
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.bytes() {
+            seed = (seed ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut rng = SimRng::new(self.inner.plan.seed ^ seed);
+        let mut faults = 0u32;
+        while faults < 5 && rng.chance(rate) {
+            faults += 1;
+            if let Some(m) = self.inner.metrics.get() {
+                m.api_5xx.inc();
+            }
+            self.journal(Level::Warn, "chaos: injected transient API 5xx");
+        }
+        faults
+    }
+
     /// Should this CDN fetch fault, and how? One draw per call; the three
     /// fault classes partition the unit interval.
     pub fn cdn_fault(&self) -> Option<CdnFault> {
@@ -710,6 +745,40 @@ mod tests {
             registry.snapshot().counter("chaos.injected.engine_kill"),
             Some(1)
         );
+    }
+
+    #[test]
+    fn profile_faults_are_keyed_and_capped() {
+        let registry = Registry::new();
+        let chaos = ChaosInjector::new(FaultPlan::default_plan(7));
+        chaos.instrument(&registry);
+        // Pure function of (seed, key): same key, same count, regardless
+        // of interleaved draws on the sequential API stream.
+        let a = chaos.profile_faults("streamer_a");
+        chaos.api_fault();
+        assert_eq!(chaos.profile_faults("streamer_a"), a);
+        // A certain rate hits the give-up cap.
+        let certain = ChaosInjector::new(FaultPlan {
+            api_5xx_rate: 1.0,
+            ..FaultPlan::quiet(3)
+        });
+        assert_eq!(certain.profile_faults("anyone"), 5);
+        // Quiet plans draw nothing and fault nobody.
+        let quiet = ChaosInjector::new(FaultPlan::quiet(3));
+        assert_eq!(quiet.profile_faults("anyone"), 0);
+        // Keyed draws never perturb the sequential streams.
+        let baseline = {
+            let c = ChaosInjector::new(FaultPlan::default_plan(9));
+            drain(200, || c.api_fault())
+        };
+        let interleaved = {
+            let c = ChaosInjector::new(FaultPlan::default_plan(9));
+            drain(200, || {
+                c.profile_faults("someone");
+                c.api_fault()
+            })
+        };
+        assert_eq!(baseline, interleaved);
     }
 
     #[test]

@@ -5,12 +5,16 @@
 //! # Windowed execution and crash recovery
 //!
 //! The engine processes `[from, horizon]` as a sequence of windows. The
-//! ingest, extract and clean stages advance per window — the clean stage
-//! stitches, seals and re-serves incrementally over each window's new
-//! records (see `docs/CLEANING.md`) — while locate and publish are
-//! *finalize* stages that run once when a window reaches the horizon,
-//! because their outputs depend on the complete timeline (profile
-//! lookups thread rate-limiter state). After every per-window stage the
+//! ingest, extract, clean, locate and aggregation stages all advance per
+//! window: the clean stage stitches, seals and re-serves incrementally
+//! over each window's new records (see `docs/CLEANING.md`); the locate
+//! stage spends an explicit per-window simulated-API budget and commits
+//! canonical `engine:locate:*` results as they settle; the aggregation
+//! stage re-analyses only the `{location, game}` groups the window
+//! dirtied and commits them under `engine:agg:*` (see
+//! `docs/AGGREGATION.md`). Only publish remains a *finalize* stage: it
+//! replays the committed aggregation state once, when a window reaches
+//! the horizon. After every per-window stage the
 //! engine **commits**: the download cursor, the funnel ledger delta,
 //! every counter, the cleaner's `engine:clean:*` state, and the
 //! engine's own progress markers are written under the chaos-exempt
@@ -23,13 +27,15 @@
 use crate::download::{DownloadCursor, DownloadModule};
 use crate::pipeline::{PipelineMetrics, Tero, TeroReport, WindowOutcome};
 use crate::serving::{parse_raw_sketch_key, raw_sketch_key, RAW_SKETCH_PREFIX, SERVE_VERSION_KEY};
+use crate::stages::agg::AggStage;
 use crate::stages::clean::CleanStage;
 use crate::stages::extract::ExtractStage;
 use crate::stages::ingest::IngestStage;
 use crate::stages::locate::LocateStage;
-use crate::stages::publish::{PublishInput, PublishStage};
+use crate::stages::publish::{MapViews, PublishInput, PublishStage};
 use crate::stages::{Stage, StageCx};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 use tero_obs::Registry;
 use tero_pool::Pool;
 use tero_store::{KvSnapshot, KvStore, ObjectSnapshot, ObjectStore};
@@ -71,6 +77,11 @@ pub struct Engine {
     extract: ExtractStage,
     locate: LocateStage,
     clean: CleanStage,
+    agg: AggStage,
+    /// Series fed by the clean stage since the last aggregation pass —
+    /// the aggregation stage's dirty-member input. Cleared after each
+    /// pass; the finalize pass consumes whatever the last window left.
+    agg_pending: BTreeSet<(AnonId, GameId)>,
     publish: PublishStage,
     /// Index of the window currently being processed (0-based).
     window_index: u64,
@@ -125,8 +136,10 @@ impl Engine {
             sp_run,
             extract: ExtractStage::new(&tero.obs),
             ingest: IngestStage::new(download, from, horizon),
-            locate: LocateStage,
+            locate: LocateStage::default(),
             clean: CleanStage::default(),
+            agg: AggStage::default(),
+            agg_pending: BTreeSet::new(),
             publish: PublishStage,
             metrics,
             kv,
@@ -209,6 +222,13 @@ impl Engine {
         // `engine:clean:*` cursors (metric-silent: the counters above
         // already carry the cleaner's committed totals).
         engine.clean.rebuild(&engine.kv, &tero.params);
+        // Rebuild the budgeted locate stage from its committed
+        // `engine:locate:*` hashes (profile outcomes are never re-drawn),
+        // and force the aggregation stage's next pass to recompute every
+        // group — the committed `engine:agg:*` keys may hold pre-kill or
+        // merged-shard fragments.
+        engine.locate.rebuild(&engine.kv);
+        engine.agg.mark_all_dirty();
         engine.metrics.window_resumed.inc();
         engine
     }
@@ -275,11 +295,39 @@ impl Engine {
                 sp_run: &self.sp_run,
             };
             self.extract.run(&mut cx, ());
-            // Clean incrementally over the records extract just appended;
-            // skip the serving refresh when this window finalizes anyway
-            // (publish rewrites the whole distribution family).
+            // Clean incrementally over the records extract just appended,
+            // then run the window's budgeted locate slice over the names
+            // extract just registered.
+            let fed = self.clean.advance(&mut cx);
+            self.agg_pending.extend(fed);
+            self.locate.advance(&mut cx);
+            // Skip the aggregation pass and serving refresh when this
+            // window finalizes anyway: finalize aggregates against the
+            // horizon views and publish rewrites the whole distribution
+            // family.
             let refresh_serving = !(finalize && to >= self.horizon);
-            self.clean.advance(&mut cx, refresh_serving);
+            if refresh_serving {
+                let fresh = self.clean.refresh_views(&mut cx);
+                let refreshed = {
+                    let views = self.clean.views();
+                    let series = self.clean.series_keys();
+                    self.agg.advance(
+                        &mut cx,
+                        &views,
+                        &series,
+                        self.locate.locations(),
+                        &self.agg_pending,
+                    )
+                };
+                self.agg_pending.clear();
+                self.clean.refresh_serving(
+                    &mut cx,
+                    self.locate.locations(),
+                    &self.agg,
+                    &fresh,
+                    &refreshed,
+                );
+            }
             self.extracted_to = Some(to);
             self.commit(tero);
         }
@@ -357,10 +405,11 @@ impl Engine {
         }
     }
 
-    /// Run the finalize stages — locate, clean, publish — and assemble
+    /// Run the finalize pass — drain the locate queue, produce the full
+    /// per-series analyses, settle the last aggregation pass against the
+    /// horizon views, and let publish replay the committed state into
     /// the report. Called once, when a window reaches the horizon.
     fn finalize(&mut self, tero: &Tero, world: &mut World) -> TeroReport {
-        let horizon = self.horizon;
         let mut cx = StageCx {
             tero,
             world,
@@ -371,13 +420,25 @@ impl Engine {
             metrics: &self.metrics,
             sp_run: &self.sp_run,
         };
-        let located = self.locate.run(&mut cx, horizon);
+        let located = self.locate.finalize(&mut cx);
         let cleaned = self.clean.run(&mut cx, ());
+        let pending = std::mem::take(&mut self.agg_pending);
+        {
+            let views = MapViews {
+                classified: &cleaned.classified,
+                anomalies: &cleaned.anomalies,
+            };
+            let series: Vec<(AnonId, GameId)> = cleaned.streams.keys().copied().collect();
+            self.agg
+                .advance(&mut cx, &views, &series, &located.locations, &pending);
+        }
+        let agg = self.agg.take_output();
         self.publish.run(
             &mut cx,
             PublishInput {
                 cleaned,
                 located,
+                agg,
                 download: self.ingest.stats().clone(),
                 thumbnails: self.extract.tasks_processed,
                 extracted: self.extract.extracted,

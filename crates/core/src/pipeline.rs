@@ -30,7 +30,7 @@ use crate::location::LocationSource;
 use crate::serving::{ServingError, DIST_SKETCH_PREFIX};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Mutex, PoisonError};
-use tero_obs::{CounterHandle, HistogramHandle, Registry, Snapshot, StageMetrics};
+use tero_obs::{CounterHandle, GaugeHandle, HistogramHandle, Registry, Snapshot, StageMetrics};
 use tero_store::{KvStore, ObjectStore};
 use tero_trace::{DropReason, Tracer};
 use tero_types::{AnonId, GameId, Location, ShardSpec, SimDuration, SimTime, TeroParams};
@@ -69,6 +69,14 @@ pub struct Tero {
     /// which screens out mislocated streamers (the paper leaves this to
     /// the data-set's users; we implement it as an opt-in).
     pub reject_outside_clusters: bool,
+    /// Simulated-API budget of the incremental locate stage, in calls
+    /// per window (a lookup costs up to five: the first call plus four
+    /// retries). Streamers whose lookup does not fit carry over to the
+    /// next window's queue; the horizon window ignores the budget and
+    /// drains the queue, so the report is identical for every value.
+    /// `None` (the default) is unlimited — every newly-seen streamer is
+    /// located in the window that first sees it.
+    pub locate_budget: Option<u64>,
     /// The metric registry every stage reports into. Counters are always
     /// on; per-operation timing histograms only populate after
     /// `obs.set_timing(true)`.
@@ -115,6 +123,7 @@ impl Default for Tero {
             mode: ExtractionMode::FullOcr,
             min_streamers: 5,
             reject_outside_clusters: false,
+            locate_budget: None,
             obs,
             worker_threads: tero_pool::default_workers(),
             trace: Tracer::new(),
@@ -182,6 +191,27 @@ pub struct PipelineMetrics {
     pub(crate) clean_views: CounterHandle,
     pub(crate) clean_dists_refreshed: CounterHandle,
     pub(crate) clean_provisional_locations: CounterHandle,
+    /// Canonical-vs-provisional split of the live serving view: how
+    /// many `engine:serve:dist:*` keys currently carry each provenance
+    /// marker. Levels, not totals — set after every serving refresh and
+    /// by the publish finalizer (which pins provisional to zero).
+    pub(crate) clean_dists_canonical: GaugeHandle,
+    pub(crate) clean_dists_provisional: GaugeHandle,
+    /// Budgeted-locate accounting (`locate.budget.*`, `locate.queue.*`,
+    /// `location.api_calls`): simulated API calls spent, lookups pushed
+    /// past their window by the budget, the carry-over queue's depth
+    /// after each window, and the running API-call total. The counters
+    /// are schedule-dependent (a finer schedule defers differently) and
+    /// excluded from the determinism tests' schedule-invariant set.
+    pub(crate) locate_budget_spent: CounterHandle,
+    pub(crate) locate_budget_deferred: CounterHandle,
+    pub(crate) locate_queue_depth: GaugeHandle,
+    pub(crate) locate_api_calls: GaugeHandle,
+    /// Incremental-aggregation accounting (`agg.dirty_groups`): how many
+    /// `{location, game}` groups each aggregation pass re-merged because
+    /// membership moved or a member gained sealed data. Schedule-
+    /// dependent for the same reason as `clean.*`.
+    pub(crate) agg_dirty_groups: CounterHandle,
     /// Streaming changepoint accounting (`stats.changepoint.*`): samples
     /// pushed into the per-series online PELT detectors, and level shifts
     /// currently detected (the estimate is revised as data arrives, so
@@ -238,6 +268,13 @@ impl PipelineMetrics {
             clean_views: registry.counter("clean.views_refreshed"),
             clean_dists_refreshed: registry.counter("clean.dists_refreshed"),
             clean_provisional_locations: registry.counter("clean.provisional_locations"),
+            clean_dists_canonical: registry.gauge("clean.dists_canonical"),
+            clean_dists_provisional: registry.gauge("clean.dists_provisional"),
+            locate_budget_spent: registry.counter("locate.budget.spent"),
+            locate_budget_deferred: registry.counter("locate.budget.deferred"),
+            locate_queue_depth: registry.gauge("locate.queue.depth"),
+            locate_api_calls: registry.gauge("location.api_calls"),
+            agg_dirty_groups: registry.counter("agg.dirty_groups"),
             changepoint_points: registry.counter("stats.changepoint.points"),
             changepoint_shifts: registry.counter("stats.changepoint.shifts"),
             st_ingest: StageMetrics::new(registry, "ingest"),

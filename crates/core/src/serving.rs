@@ -49,6 +49,59 @@ pub const RAW_SKETCH_PREFIX: &str = "engine:serve:raw:";
 /// sketches.
 pub const DIST_SKETCH_PREFIX: &str = "engine:serve:dist:";
 
+/// Prefix of the per-distribution provenance markers: for every
+/// [`dist_sketch_key`] the engine also writes
+/// `engine:serve:dist_meta:{same suffix}` holding a
+/// [`DistProvenance`] tag. The `_meta` spelling (underscore, not a
+/// colon segment) keeps the marker family out of any
+/// `keys_with_prefix(DIST_SKETCH_PREFIX)` scan.
+pub const DIST_META_PREFIX: &str = "engine:serve:dist_meta:";
+
+/// Whether a served distribution was aggregated under canonical
+/// (budgeted-locate, §3.1) locations or the mid-run provisional
+/// fallback. By the horizon every marker is canonical — the publish
+/// finalizer rewrites the whole family from committed aggregation
+/// state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistProvenance {
+    /// Every group member carried a committed `engine:locate:*` result.
+    Canonical,
+    /// At least one member was still located by the provisional
+    /// tags-only lookup (its budgeted profile fetch hasn't landed yet).
+    Provisional,
+}
+
+impl DistProvenance {
+    /// The stored marker value (`c` / `p`).
+    pub fn tag(self) -> &'static str {
+        match self {
+            DistProvenance::Canonical => "c",
+            DistProvenance::Provisional => "p",
+        }
+    }
+
+    /// Parse a stored [`DistProvenance::tag`] value.
+    pub fn from_tag(tag: &str) -> Option<DistProvenance> {
+        match tag {
+            "c" => Some(DistProvenance::Canonical),
+            "p" => Some(DistProvenance::Provisional),
+            _ => None,
+        }
+    }
+}
+
+/// The provenance-marker key paired with a [`dist_sketch_key`] (`None`
+/// if `dist_key` is not one).
+pub fn dist_meta_key(dist_key: &str) -> Option<String> {
+    let suffix = dist_key.strip_prefix(DIST_SKETCH_PREFIX)?;
+    Some(format!("{DIST_META_PREFIX}{suffix}"))
+}
+
+/// Read the provenance marker for a [`dist_sketch_key`], if present.
+pub fn dist_provenance(kv: &KvStore, dist_key: &str) -> Option<DistProvenance> {
+    DistProvenance::from_tag(&kv.get(&dist_meta_key(dist_key)?)?)
+}
+
 /// The aggregation level a distribution sketch was published at — the
 /// serving-layer mirror of the publish stage's two §5 granularities.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -120,7 +173,7 @@ impl std::error::Error for ServingError {}
 
 /// Index of `game` in [`GameId::ALL`], the serving schema's fixed-width
 /// game field (same convention as `stages::sample_list_key`).
-fn game_index(game: GameId) -> usize {
+pub(crate) fn game_index(game: GameId) -> usize {
     GameId::ALL
         .iter()
         .position(|g| *g == game)
@@ -219,6 +272,30 @@ mod tests {
         let r = dist_sketch_key(ServeGranularity::Region, game, "France");
         let c = dist_sketch_key(ServeGranularity::Country, game, "France");
         assert_ne!(r, c);
+    }
+
+    #[test]
+    fn meta_keys_pair_with_dist_keys_without_colliding() {
+        let game = GameId::ALL[1];
+        let dist = dist_sketch_key(ServeGranularity::Region, game, "France/Île-de-France");
+        let meta = dist_meta_key(&dist).unwrap();
+        assert!(meta.starts_with(DIST_META_PREFIX));
+        assert!(
+            !meta.starts_with(DIST_SKETCH_PREFIX),
+            "marker keys must never surface in a dist-prefix scan"
+        );
+        assert_eq!(dist_meta_key("engine:serve:raw:00:00"), None);
+
+        let kv = KvStore::new();
+        assert_eq!(dist_provenance(&kv, &dist), None);
+        kv.set(&meta, DistProvenance::Canonical.tag());
+        assert_eq!(dist_provenance(&kv, &dist), Some(DistProvenance::Canonical));
+        kv.set(&meta, DistProvenance::Provisional.tag());
+        assert_eq!(
+            dist_provenance(&kv, &dist),
+            Some(DistProvenance::Provisional)
+        );
+        assert_eq!(DistProvenance::from_tag("x"), None);
     }
 
     #[test]

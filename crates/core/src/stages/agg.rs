@@ -1,0 +1,262 @@
+//! The incremental §5/§6 aggregation stage: per-`{location, game}`
+//! group analyses — merged clusters, end-point changes, published
+//! distributions, shared anomalies and member outcomes — maintained
+//! window by window instead of once at the horizon.
+//!
+//! Each pass re-derives the desired group memberships from the series
+//! the clean stage tracks and the *canonical* locations the budgeted
+//! locate stage has committed so far, then re-analyses only the *dirty*
+//! groups: those whose membership moved, or with a member whose series
+//! gained sealed data since the group was last analysed. Clean groups
+//! keep their committed state untouched, so a window's aggregation cost
+//! tracks the window's dirty groups, not total history
+//! (`benches/locate.rs` pins the shape).
+//!
+//! Settled analyses are committed under `engine:agg:group:*` (one JSON
+//! `GroupAnalysis` per group) and the region-level merged clusters
+//! additionally under `engine:agg:clusters:*` — the live cluster
+//! picture the serving refresh screens provisional distributions
+//! against. After a kill/resume or snapshot restore the stage marks
+//! everything dirty and the next pass rebuilds both families from the
+//! restored views; at the horizon the committed bytes are identical
+//! across every window schedule, worker count and restore point,
+//! because each group's analysis is a pure function of its members'
+//! horizon views and canonical locations.
+
+use super::StageCx;
+use crate::analysis::clusters::OnlineLocationClusters;
+use crate::location::LocationSource;
+use crate::serving::{dist_sketch_key, game_index, ServeGranularity};
+use crate::stages::publish::{analyze_group, Granularity, GroupAnalysis, ViewSource};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use tero_types::{AnonId, GameId, Location};
+
+/// Everything the aggregation stage commits lives under this prefix
+/// (inside [`tero_store::PROTECTED_PREFIX`], so chaos never drops it).
+pub const AGG_PREFIX: &str = "engine:agg:";
+
+/// Prefix of the committed per-group analyses:
+/// `engine:agg:group:{r|c}:{game_idx:02}:{location_key}`, one JSON
+/// `GroupAnalysis` each.
+pub const AGG_GROUP_PREFIX: &str = "engine:agg:group:";
+
+/// Prefix of the committed region-level merged clusters:
+/// `engine:agg:clusters:{game_idx:02}:{location_key}`, one JSON
+/// cluster list each.
+pub const AGG_CLUSTERS_PREFIX: &str = "engine:agg:clusters:";
+
+/// The KV key of one committed group analysis.
+pub fn agg_group_key(granularity: ServeGranularity, game: GameId, location_key: &str) -> String {
+    format!(
+        "{AGG_GROUP_PREFIX}{}:{:02}:{location_key}",
+        granularity.tag(),
+        game_index(game)
+    )
+}
+
+/// The KV key of one committed region-level cluster list.
+pub fn agg_clusters_key(game: GameId, location_key: &str) -> String {
+    format!(
+        "{AGG_CLUSTERS_PREFIX}{:02}:{location_key}",
+        game_index(game)
+    )
+}
+
+/// One maintained group: the membership its analysis was computed for,
+/// and the analysis itself.
+#[derive(Debug)]
+struct GroupEntry {
+    members: Vec<AnonId>,
+    analysis: GroupAnalysis,
+}
+
+/// The settled analyses the aggregation stage hands the publish
+/// finalizer: every `{location, game}` group at both granularities, in
+/// key order.
+#[derive(Debug, Default)]
+pub struct AggOutput {
+    /// Region-level groups (the full §3.3.3/§5/§6 product set).
+    pub(crate) region: BTreeMap<(String, GameId), GroupAnalysis>,
+    /// Country-level groups (distributions only).
+    pub(crate) country: BTreeMap<(String, GameId), GroupAnalysis>,
+}
+
+/// The incremental aggregation stage.
+#[derive(Debug, Default)]
+pub struct AggStage {
+    region: BTreeMap<(String, GameId), GroupEntry>,
+    country: BTreeMap<(String, GameId), GroupEntry>,
+    clusters: OnlineLocationClusters,
+    /// Set after a restore: the in-memory maps are empty and the
+    /// committed `engine:agg:*` keys may be stale (a merged sharded
+    /// store holds last-writer-wins fragments), so the next pass wipes
+    /// and recomputes everything.
+    dirty_all: bool,
+}
+
+impl AggStage {
+    /// Force the next pass to re-analyse (and re-commit) every group.
+    pub(crate) fn mark_all_dirty(&mut self) {
+        self.dirty_all = true;
+    }
+
+    /// The live region-level merged clusters, as of the last pass.
+    pub(crate) fn live_clusters(&self) -> &OnlineLocationClusters {
+        &self.clusters
+    }
+
+    /// The maintained analysis of one group, if any.
+    pub(crate) fn analysis_for(
+        &self,
+        granularity: ServeGranularity,
+        location_key: &str,
+        game: GameId,
+    ) -> Option<&GroupAnalysis> {
+        let map = match granularity {
+            ServeGranularity::Region => &self.region,
+            ServeGranularity::Country => &self.country,
+        };
+        map.get(&(location_key.to_string(), game))
+            .map(|e| &e.analysis)
+    }
+
+    /// One aggregation pass: group `series` under the canonical
+    /// `locations` at both granularities, re-analyse the dirty groups
+    /// (`pending` lists the series that gained sealed data since the
+    /// last pass), commit the results, and drop vanished groups.
+    /// Returns the [`dist_sketch_key`]s of every group that changed, so
+    /// the serving refresh can skip the rest.
+    pub(crate) fn advance<V: ViewSource>(
+        &mut self,
+        cx: &mut StageCx<'_>,
+        views: &V,
+        series: &[(AnonId, GameId)],
+        locations: &HashMap<AnonId, (Location, LocationSource)>,
+        pending: &BTreeSet<(AnonId, GameId)>,
+    ) -> BTreeSet<String> {
+        let _sp = cx.sp_run.child("stage.aggregate");
+        let _t = cx.tero.obs.stage_timer(&cx.metrics.stage_aggregate_us);
+        if self.dirty_all {
+            // Stale committed fragments (pre-kill windows, or a merged
+            // sharded store's last-writer-wins fields) are wiped
+            // wholesale; the recompute below rewrites the live set.
+            for key in cx.kv.keys_with_prefix(AGG_PREFIX) {
+                cx.kv.del(&key);
+            }
+        }
+        let mut refreshed = BTreeSet::new();
+        for granularity in [Granularity::Region, Granularity::Country] {
+            self.pass(
+                cx,
+                views,
+                series,
+                locations,
+                pending,
+                granularity,
+                &mut refreshed,
+            );
+        }
+        self.dirty_all = false;
+        refreshed
+    }
+
+    /// Hand the settled analyses to the publish finalizer, clearing the
+    /// in-memory maps (the run is over).
+    pub(crate) fn take_output(&mut self) -> AggOutput {
+        let strip = |map: BTreeMap<(String, GameId), GroupEntry>| {
+            map.into_iter().map(|(k, e)| (k, e.analysis)).collect()
+        };
+        AggOutput {
+            region: strip(std::mem::take(&mut self.region)),
+            country: strip(std::mem::take(&mut self.country)),
+        }
+    }
+
+    /// The per-granularity half of [`AggStage::advance`].
+    #[allow(clippy::too_many_arguments)]
+    fn pass<V: ViewSource>(
+        &mut self,
+        cx: &mut StageCx<'_>,
+        views: &V,
+        series: &[(AnonId, GameId)],
+        locations: &HashMap<AnonId, (Location, LocationSource)>,
+        pending: &BTreeSet<(AnonId, GameId)>,
+        granularity: Granularity,
+        refreshed: &mut BTreeSet<String>,
+    ) {
+        let serve_g = match granularity {
+            Granularity::Region => ServeGranularity::Region,
+            Granularity::Country => ServeGranularity::Country,
+        };
+        // Desired membership, in series (= AnonId) order per group —
+        // exactly how the batch publish pass built its groups.
+        let mut desired: BTreeMap<(String, GameId), Vec<AnonId>> = BTreeMap::new();
+        for (anon, game) in series {
+            if let Some((loc, _)) = locations.get(anon) {
+                let key = match granularity {
+                    Granularity::Region => loc.to_region_level().key(),
+                    Granularity::Country => loc.to_country_level().key(),
+                };
+                desired.entry((key, *game)).or_default().push(*anon);
+            }
+        }
+        let stored = match granularity {
+            Granularity::Region => &self.region,
+            Granularity::Country => &self.country,
+        };
+        let vanished: Vec<(String, GameId)> = stored
+            .keys()
+            .filter(|k| !desired.contains_key(*k))
+            .cloned()
+            .collect();
+        let dirty: Vec<(&(String, GameId), &Vec<AnonId>)> = desired
+            .iter()
+            .filter(|(key, members)| {
+                self.dirty_all
+                    || stored.get(*key).map(|e| &e.members) != Some(*members)
+                    || members.iter().any(|a| pending.contains(&(*a, key.1)))
+            })
+            .collect();
+        cx.metrics.agg_dirty_groups.add(dirty.len() as u64);
+        let tero = cx.tero;
+        let gaz = &cx.world.gaz;
+        let results: Vec<GroupAnalysis> = cx.pool.par_map(&dirty, |(key, members)| {
+            analyze_group(tero, gaz, key.1, members, locations, views, granularity)
+        });
+        let map = match granularity {
+            Granularity::Region => &mut self.region,
+            Granularity::Country => &mut self.country,
+        };
+        for ((key, members), analysis) in dirty.into_iter().zip(results) {
+            cx.kv.set(
+                &agg_group_key(serve_g, key.1, &key.0),
+                serde_json::to_string(&analysis).expect("group analyses serialize"),
+            );
+            if granularity == Granularity::Region {
+                self.clusters
+                    .set(key.0.clone(), key.1, analysis.clusters.clone());
+                cx.kv.set(
+                    &agg_clusters_key(key.1, &key.0),
+                    serde_json::to_string(&analysis.clusters).expect("clusters serialize"),
+                );
+            }
+            refreshed.insert(dist_sketch_key(serve_g, key.1, &key.0));
+            map.insert(
+                key.clone(),
+                GroupEntry {
+                    members: members.clone(),
+                    analysis,
+                },
+            );
+        }
+        for key in vanished {
+            map.remove(&key);
+            cx.kv.del(&agg_group_key(serve_g, key.1, &key.0));
+            if granularity == Granularity::Region {
+                self.clusters.remove(&key.0, key.1);
+                cx.kv.del(&agg_clusters_key(key.1, &key.0));
+            }
+            refreshed.insert(dist_sketch_key(serve_g, key.1, &key.0));
+        }
+    }
+}

@@ -28,12 +28,19 @@
 //!   byte-identical to the batch detector over the whole series — the
 //!   freshness contract is *exact*, not a tolerance
 //!   (`online_view_matches_batch_under_any_window_split` below pins it).
-//! * **Refresh** — after each non-final window the stage resolves
-//!   *provisional* locations (tag lists + social directory only; profile
-//!   lookups stay at the horizon because they advance the platform's
-//!   rate limiter) and recomputes the distribution sketch of every
-//!   `{location, game}` group whose membership or member data changed,
-//!   so `engine:serve:dist:*` answers track the run window by window.
+//! * **Refresh** — after each non-final window the stage regroups the
+//!   series under the *canonical* locations the budgeted locate stage
+//!   has committed so far, falling back to *provisional* tags-only
+//!   lookups for streamers whose profile fetch hasn't landed yet, and
+//!   recomputes the distribution sketch of every `{location, game}`
+//!   group whose membership, member data, settled aggregation state or
+//!   provenance changed — so `engine:serve:dist:*` answers track the
+//!   run window by window. All-canonical groups reuse the aggregation
+//!   stage's committed analysis verbatim (marker `c`); mixed or
+//!   provisional groups are analysed against the current views and
+//!   screened against the live `engine:agg:clusters:*` picture
+//!   (marker `p`). Every sketch carries an `engine:serve:dist_meta:*`
+//!   provenance marker.
 //!
 //! All resumable state is committed under `engine:clean:*` keys
 //! ([`CLEAN_CURSORS_KEY`], [`clean_state_key`]) and rebuilt from the
@@ -45,8 +52,11 @@ use crate::analysis::anomaly::{detect_anomalies, AnomalyReport, SegmentLabel, Sp
 use crate::analysis::clusters::{classify_streamer, ClassifiedStreamer};
 use crate::analysis::segments::{Segment, StreamSeries};
 use crate::location::{LocationModule, LocationSource};
-use crate::serving::{dist_sketch_key, ServeGranularity, SERVE_VERSION_KEY};
-use crate::stages::publish::{analyze_group, Granularity, ViewSource};
+use crate::serving::{
+    dist_meta_key, dist_sketch_key, DistProvenance, ServeGranularity, SERVE_VERSION_KEY,
+};
+use crate::stages::agg::AggStage;
+use crate::stages::publish::{analyze_group, reject_outside, Granularity, ViewSource};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use tero_geoparse::tags::TagObservation;
 use tero_stats::OnlinePelt;
@@ -326,8 +336,9 @@ impl SeriesState {
 }
 
 /// Read-only view lookup over the cleaner's cached per-series analyses,
-/// for the group-level refresh (see [`ViewSource`]).
-struct StateViews<'a>(&'a BTreeMap<(AnonId, GameId), SeriesState>);
+/// for the group-level refresh and the incremental aggregation stage
+/// (see [`ViewSource`]).
+pub(crate) struct StateViews<'a>(&'a BTreeMap<(AnonId, GameId), SeriesState>);
 
 impl ViewSource for StateViews<'_> {
     fn classified_for(&self, anon: AnonId, game: GameId) -> Option<&ClassifiedStreamer> {
@@ -355,18 +366,30 @@ pub struct CleanStage {
     /// Members of every `{location, game}` group at the last refresh,
     /// keyed by distribution-sketch key — the membership-change detector.
     group_members: BTreeMap<String, Vec<AnonId>>,
-    /// Distribution-sketch keys this stage currently has committed.
-    online_keys: BTreeSet<String>,
+    /// Distribution-sketch keys this stage currently has committed,
+    /// with the provenance each was committed under.
+    online_keys: BTreeMap<String, DistProvenance>,
 }
 
 impl CleanStage {
+    /// The cleaner's cached per-series views, for the aggregation stage.
+    pub(crate) fn views(&self) -> StateViews<'_> {
+        StateViews(&self.states)
+    }
+
+    /// Every `{streamer, game}` series the cleaner tracks, in key order.
+    pub(crate) fn series_keys(&self) -> Vec<(AnonId, GameId)> {
+        self.states.keys().copied().collect()
+    }
+
     /// Advance the online cleaner by one window: feed the new sample-list
-    /// records, seal newly closed stable blocks, commit `engine:clean:*`
-    /// state, and — unless this is the finalizing window — refresh the
-    /// per-window serving distributions. Per-window cost is proportional
-    /// to the new data plus the unsealed tails, not the total history
-    /// (`benches/window.rs`, `clean_scaling`).
-    pub fn advance(&mut self, cx: &mut StageCx<'_>, refresh_serving: bool) {
+    /// records, seal newly closed stable blocks, and commit
+    /// `engine:clean:*` state. Returns the set of series that received
+    /// new records (the engine feeds it to the aggregation stage's dirty
+    /// tracking and to `CleanStage::refresh_serving`). Per-window cost
+    /// is proportional to the new data plus the unsealed tails, not the
+    /// total history (`benches/window.rs`, `clean_scaling`).
+    pub fn advance(&mut self, cx: &mut StageCx<'_>) -> BTreeSet<(AnonId, GameId)> {
         let m = cx.stage_metrics(<Self as Stage>::NAME);
         let _t = m.begin();
         let params = &cx.tero.params;
@@ -443,16 +466,13 @@ impl CleanStage {
             );
         }
         cx.metrics.clean_segments_sealed.add(sealed_total);
-        if refresh_serving {
-            let fresh = self.refresh_views(cx);
-            self.refresh_serving(cx, &fresh);
-        }
+        fed_keys.into_iter().collect()
     }
 
     /// Recompute the cached view of every dirty series, fanned out over
     /// the pool (pure per-series work; results merged in key order).
     /// Returns the set of series whose views were recomputed.
-    fn refresh_views(&mut self, cx: &mut StageCx<'_>) -> BTreeSet<(AnonId, GameId)> {
+    pub(crate) fn refresh_views(&mut self, cx: &mut StageCx<'_>) -> BTreeSet<(AnonId, GameId)> {
         let stale: Vec<(AnonId, GameId)> = self
             .states
             .iter()
@@ -479,17 +499,30 @@ impl CleanStage {
     }
 
     /// Refresh the serving-layer distribution sketches from the current
-    /// views: resolve provisional locations, regroup, and recompute every
-    /// `{location, game}` group whose membership or member data changed
-    /// since the last refresh (`fresh` is the set of series whose views
-    /// were just recomputed). One serve-version bump per refresh that
-    /// changed anything.
-    fn refresh_serving(&mut self, cx: &mut StageCx<'_>, fresh: &BTreeSet<(AnonId, GameId)>) {
+    /// views and the locate/aggregation stages' committed state: group
+    /// the series under the `canonical` locations (provisional tags-only
+    /// fallbacks for streamers whose budgeted profile lookup hasn't
+    /// landed yet), and recompute every `{location, game}` group whose
+    /// membership, member data, settled aggregation state or provenance
+    /// changed since the last refresh. All-canonical groups serve the
+    /// aggregation stage's committed distribution verbatim; mixed or
+    /// provisional groups are analysed against the current views and
+    /// screened against the live `engine:agg:clusters:*` picture. One
+    /// serve-version bump per refresh that changed anything.
+    pub(crate) fn refresh_serving(
+        &mut self,
+        cx: &mut StageCx<'_>,
+        canonical: &HashMap<AnonId, (Location, LocationSource)>,
+        agg: &AggStage,
+        fresh: &BTreeSet<(AnonId, GameId)>,
+        agg_refreshed: &BTreeSet<String>,
+    ) {
         let tero = cx.tero;
-        // Provisional locations: tags + social directory only. Profile
-        // lookups stay at the horizon — they advance the platform's rate
-        // limiter, so running them per window would make the lookup
-        // schedule depend on the window schedule.
+        // Provisional locations — tags + social directory only, no
+        // profile text — for the streamers the locate stage hasn't
+        // settled yet. Located streamers use their committed
+        // `engine:locate:*` result, which is canonical from the window
+        // it lands in.
         let mut names: Vec<(AnonId, StreamerId)> = cx
             .kv
             .hgetall(NAMES_KEY)
@@ -501,17 +534,20 @@ impl CleanStage {
             .collect();
         names.sort_unstable_by_key(|(a, _)| *a);
         let location_module = LocationModule::new(&cx.world.gaz);
-        let mut locations: HashMap<AnonId, (Location, LocationSource)> = HashMap::new();
+        let mut locations: HashMap<AnonId, (Location, LocationSource)> = canonical.clone();
         let mut lookups = 0u64;
         for (anon, name) in &names {
+            if canonical.contains_key(anon) {
+                continue;
+            }
             let tags_key = format!("tags:{}", name.as_str());
             let n_tags = cx.kv.llen(&tags_key);
             let located = match self.loc_cache.get(anon) {
                 Some((seen, cached)) if *seen == n_tags => cached.clone(),
                 _ => {
                     lookups += 1;
-                    // Non-destructive read: the horizon locate stage still
-                    // drains this list through `DownloadModule::tag_history`.
+                    // Non-destructive read: the lists stay in place as
+                    // the locate stage's replay log.
                     let tags: Vec<TagObservation> = cx
                         .kv
                         .lrange_from(&tags_key, 0)
@@ -542,6 +578,7 @@ impl CleanStage {
         struct GroupSpec {
             granularity: Granularity,
             game: GameId,
+            loc_key: String,
             members: Vec<AnonId>,
         }
         let mut groups: BTreeMap<String, GroupSpec> = BTreeMap::new();
@@ -561,12 +598,14 @@ impl CleanStage {
                     loc.to_country_level(),
                 ),
             ] {
-                let key = dist_sketch_key(serve, *game, &level.key());
+                let loc_key = level.key();
+                let key = dist_sketch_key(serve, *game, &loc_key);
                 groups
                     .entry(key)
                     .or_insert_with(|| GroupSpec {
                         granularity,
                         game: *game,
+                        loc_key,
                         members: Vec::new(),
                     })
                     .members
@@ -574,23 +613,44 @@ impl CleanStage {
             }
         }
 
-        // Recompute only groups whose membership changed or whose members
-        // received new data; groups below `min_streamers` are skipped
-        // before any heavy per-member work.
-        let mut results: Vec<(String, Option<tero_stats::QuantileSketch>)> = Vec::new();
+        // Recompute only groups that moved: membership changed, a member
+        // received new data, the settled aggregation state behind the
+        // group was re-committed, or the group's provenance flipped.
+        let gap = tero.params.lat_gap_ms;
+        let mut results: Vec<(String, DistProvenance, Option<tero_stats::QuantileSketch>)> =
+            Vec::new();
         {
             let views = StateViews(&self.states);
             for (key, spec) in &groups {
+                let prov = if spec.members.iter().all(|a| canonical.contains_key(a)) {
+                    DistProvenance::Canonical
+                } else {
+                    DistProvenance::Provisional
+                };
                 let membership_changed = self.group_members.get(key) != Some(&spec.members);
                 let member_fresh = spec
                     .members
                     .iter()
                     .any(|a| fresh.contains(&(*a, spec.game)));
-                if !membership_changed && !member_fresh {
+                let agg_moved = agg_refreshed.contains(key);
+                let prov_moved = self.online_keys.get(key).is_some_and(|p| *p != prov);
+                if !membership_changed && !member_fresh && !agg_moved && !prov_moved {
                     continue;
                 }
-                let dist = if spec.members.len() >= tero.min_streamers {
-                    analyze_group(
+                let serve = match spec.granularity {
+                    Granularity::Region => ServeGranularity::Region,
+                    Granularity::Country => ServeGranularity::Country,
+                };
+                let dist = if prov == DistProvenance::Canonical {
+                    // Every member carries a committed locate result, so
+                    // the aggregation stage analysed exactly this group
+                    // this window: serve its settled distribution — the
+                    // same bytes the publish finalizer will write at the
+                    // horizon.
+                    agg.analysis_for(serve, &spec.loc_key, spec.game)
+                        .and_then(|a| a.distribution.clone())
+                } else if spec.members.len() >= tero.min_streamers {
+                    let mut dist = analyze_group(
                         tero,
                         &cx.world.gaz,
                         spec.game,
@@ -599,32 +659,51 @@ impl CleanStage {
                         &views,
                         spec.granularity,
                     )
-                    .distribution
+                    .distribution;
+                    // §3.1.2 screen for provisional groups: a mislocated
+                    // provisional member's samples rarely land inside the
+                    // location's *canonical* latency clusters, so filter
+                    // against the live `engine:agg:clusters:*` picture
+                    // (on top of the group's own merged clusters, which
+                    // `analyze_group` already applied).
+                    if tero.reject_outside_clusters && spec.granularity == Granularity::Region {
+                        if let (Some(d), Some(clusters)) = (
+                            dist.as_mut(),
+                            agg.live_clusters().get(&spec.loc_key, spec.game),
+                        ) {
+                            reject_outside(d, clusters, gap);
+                        }
+                    }
+                    dist
                 } else {
                     None
                 };
                 results.push((
                     key.clone(),
+                    prov,
                     dist.map(|d| tero_stats::QuantileSketch::from_values(&d.values_ms)),
                 ));
             }
         }
         let mut changed = false;
         let mut written = 0u64;
-        for (key, sketch) in results {
+        for (key, prov, sketch) in results {
+            let meta = dist_meta_key(&key).expect("online keys are dist keys");
             match sketch {
                 Some(sketch) => {
                     let encoded = sketch.encode();
                     cx.metrics.sketch_bytes.add(encoded.len() as u64);
                     cx.metrics.sketch_commits.inc();
                     cx.kv.set(&key, encoded);
-                    self.online_keys.insert(key);
+                    cx.kv.set(&meta, prov.tag());
+                    self.online_keys.insert(key, prov);
                     written += 1;
                     changed = true;
                 }
                 None => {
-                    if self.online_keys.remove(&key) {
+                    if self.online_keys.remove(&key).is_some() {
                         cx.kv.del(&key);
+                        cx.kv.del(&meta);
                         changed = true;
                     }
                 }
@@ -633,12 +712,14 @@ impl CleanStage {
         // Groups that vanished entirely (membership moved away).
         let gone: Vec<String> = self
             .online_keys
-            .iter()
+            .keys()
             .filter(|k| !groups.contains_key(*k))
             .cloned()
             .collect();
         for key in gone {
             cx.kv.del(&key);
+            cx.kv
+                .del(&dist_meta_key(&key).expect("online keys are dist keys"));
             self.online_keys.remove(&key);
             changed = true;
         }
@@ -646,6 +727,15 @@ impl CleanStage {
             .into_iter()
             .map(|(k, spec)| (k, spec.members))
             .collect();
+        let canonical_count = self
+            .online_keys
+            .values()
+            .filter(|p| **p == DistProvenance::Canonical)
+            .count();
+        cx.metrics.clean_dists_canonical.set(canonical_count as i64);
+        cx.metrics
+            .clean_dists_provisional
+            .set((self.online_keys.len() - canonical_count) as i64);
         if changed {
             cx.kv.incr_by(SERVE_VERSION_KEY, 1);
         }

@@ -1,16 +1,60 @@
 //! The locate stage: the §3.1 location module over every streamer the
-//! extract stage registered in the [`super::NAMES_KEY`] hash.
+//! extract stage registered in the [`super::NAMES_KEY`] hash — run
+//! *incrementally*, one budgeted slice per window.
 //!
-//! Runs once, at finalize: profile lookups advance the platform's rate
-//! limiter, whose state threads from one call to the next, so running
-//! them incrementally per window would make the lookup schedule (and
-//! which lookups hit injected 5xx faults) depend on the window schedule.
+//! The location module runs as a separate program with its own API
+//! credentials (App. B), so its call accounting is independent of the
+//! download scheduler's rate limiter. Each window gets an explicit
+//! simulated-API budget ([`crate::pipeline::Tero::locate_budget`]):
+//! newly-seen streamers queue up, the stage admits as many as the
+//! budget covers (worst case `PROFILE_ATTEMPTS` calls each), and the
+//! rest carry over to the next window. A streamer's profile outcome —
+//! how many injected 5xx faults its lookup hit and the description it
+//! ultimately fetched — is drawn once, from a per-streamer keyed chaos
+//! stream, and committed under [`LOCATE_PROFILES_KEY`]; it is never
+//! re-drawn, so the outcome is independent of the window schedule and
+//! of kill/resume.
+//!
+//! Once a streamer's profile is committed its location is *canonical*:
+//! the geoparse verdict over the committed description plus the
+//! country-tag history collected so far. Tag lists keep growing while
+//! the run is in flight, so the stage re-evaluates a committed streamer
+//! whenever its tag count moves (committing the refreshed verdict under
+//! [`LOCATE_RESULTS_KEY`]); at the horizon the tag history is complete
+//! and the committed results are byte-identical to what the old
+//! single-shot locate pass produced.
 
-use super::{Stage, StageCx, NAMES_KEY};
+use super::{StageCx, NAMES_KEY};
 use crate::location::{LocationModule, LocationSource};
-use std::collections::HashMap;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use tero_geoparse::tags::TagObservation;
-use tero_types::{AnonId, Location, SimDuration, SimTime, StreamerId};
+use tero_store::KvStore;
+use tero_types::{AnonId, Location, StreamerId};
+
+/// Everything the locate stage commits lives under this prefix (inside
+/// [`tero_store::PROTECTED_PREFIX`], so chaos never drops it).
+pub const LOCATE_PREFIX: &str = "engine:locate:";
+
+/// Hash of committed profile outcomes: field `{anon:016x}`, value a
+/// JSON `{faults, description}` record. A field is written exactly once
+/// per streamer, when the budget admits its lookup.
+pub const LOCATE_PROFILES_KEY: &str = "engine:locate:profiles";
+
+/// Hash of committed location verdicts: field `{anon:016x}`, value a
+/// JSON `{tags_seen, located}` record. Rewritten when the streamer's
+/// tag history grows.
+pub const LOCATE_RESULTS_KEY: &str = "engine:locate:results";
+
+/// Hash of stage bookkeeping (`api_calls`: total simulated API calls
+/// spent so far — resumes the `location.api_calls` gauge).
+pub const LOCATE_META_KEY: &str = "engine:locate:meta";
+
+/// Lookup attempts per streamer: the first call plus up to four
+/// retries. A streamer whose keyed fault stream yields this many
+/// consecutive 5xx responses stays unlocated for the run (matching the
+/// pre-budgeted stage's give-up rule).
+pub(crate) const PROFILE_ATTEMPTS: u32 = 5;
 
 /// What the locate stage hands the downstream stages.
 pub struct Located {
@@ -20,64 +64,194 @@ pub struct Located {
     pub streamers_seen: usize,
 }
 
-/// The locate stage. Stateless: its input is the names hash in the store.
+/// A streamer's committed profile-fetch outcome. `faults` is how many
+/// injected 5xx responses the keyed chaos stream dealt the lookup; at
+/// [`PROFILE_ATTEMPTS`] the fetch gave up and `description` is `None`
+/// regardless of what the platform holds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ProfileOutcome {
+    faults: u32,
+    description: Option<String>,
+}
+
+/// A streamer's committed location verdict, stamped with the tag-count
+/// it was evaluated at so tag growth forces a re-evaluation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LocateResult {
+    tags_seen: usize,
+    located: Option<(Location, LocationSource)>,
+}
+
+/// The budgeted incremental locate stage. In-memory state mirrors the
+/// committed `engine:locate:*` hashes; `LocateStage::rebuild`
+/// reconstructs it from the store after a kill or snapshot restore.
 #[derive(Debug, Default)]
-pub struct LocateStage;
+pub struct LocateStage {
+    /// Username per seen streamer (the names-hash rows, parsed).
+    names: BTreeMap<AnonId, StreamerId>,
+    /// Streamers already counted into `records_in`.
+    seen: BTreeSet<AnonId>,
+    /// Committed profile outcomes.
+    profiles: BTreeMap<AnonId, ProfileOutcome>,
+    /// Committed location verdicts.
+    results: BTreeMap<AnonId, LocateResult>,
+    /// Located streamers (the `Some` projection of `results`), kept in
+    /// sync so downstream stages can borrow it every window.
+    canonical: HashMap<AnonId, (Location, LocationSource)>,
+    /// Carry-over queue: seen streamers whose lookup hasn't been
+    /// admitted by any window's budget yet, in arrival order.
+    queue: VecDeque<(AnonId, StreamerId)>,
+    /// Total simulated API calls spent.
+    api_calls: u64,
+}
 
-impl Stage for LocateStage {
-    type In = SimTime;
-    type Out = Located;
-    const NAME: &'static str = "locate";
+impl LocateStage {
+    /// The canonical locations committed so far.
+    pub(crate) fn locations(&self) -> &HashMap<AnonId, (Location, LocationSource)> {
+        &self.canonical
+    }
 
-    /// Locate every registered streamer, starting lookups at `horizon`.
-    fn run(&mut self, cx: &mut StageCx<'_>, horizon: Self::In) -> Self::Out {
-        let m = cx.stage_metrics(Self::NAME);
+    /// One budgeted per-window slice: queue newly-seen streamers,
+    /// admit lookups while the window's budget lasts, and re-evaluate
+    /// any committed streamer whose tag history grew.
+    pub(crate) fn advance(&mut self, cx: &mut StageCx<'_>) {
+        let m = cx.stage_metrics("locate");
         let _t = m.begin();
-        // Profile lookups stay sequential: they advance the platform's
-        // rate limiter, whose state threads from one call to the next.
-        // Sorting by anonymised id pins that order — hash iteration
-        // varies between processes, and with fault injection the call
-        // order decides which lookups hit an injected 5xx.
         let _sp_locate = cx.sp_run.child("stage.locate");
         let _t_locate = cx.tero.obs.stage_timer(&cx.metrics.stage_locate_us);
-        let mut names: Vec<(AnonId, StreamerId)> = cx
-            .kv
-            .hgetall(NAMES_KEY)
-            .into_iter()
-            .filter_map(|(hex, name)| {
-                let anon = u64::from_str_radix(&hex, 16).ok()?;
-                Some((AnonId(anon), StreamerId::new(&name)))
-            })
+        self.enqueue_new(cx);
+        let budget = cx.tero.locate_budget;
+        self.process_queue(cx, budget);
+        self.reevaluate(cx);
+    }
+
+    /// The horizon slice: drain the queue regardless of budget, settle
+    /// every verdict against the now-complete tag history, and hand the
+    /// final location map downstream.
+    pub(crate) fn finalize(&mut self, cx: &mut StageCx<'_>) -> Located {
+        let m = cx.stage_metrics("locate");
+        let _t = m.begin();
+        let _sp_locate = cx.sp_run.child("stage.locate");
+        let _t_locate = cx.tero.obs.stage_timer(&cx.metrics.stage_locate_us);
+        self.enqueue_new(cx);
+        self.process_queue(cx, None);
+        self.reevaluate(cx);
+        let locations = self.canonical.clone();
+        cx.metrics.streamers_located.add(locations.len() as u64);
+        m.records_out.add(locations.len() as u64);
+        Located {
+            locations,
+            streamers_seen: self.seen.len(),
+        }
+    }
+
+    /// Reconstruct in-memory state from the committed hashes. Metric-
+    /// silent: counters were restored from the engine's counter
+    /// snapshot, and nothing here re-draws a chaos outcome.
+    pub(crate) fn rebuild(&mut self, kv: &KvStore) {
+        self.names = parse_names(kv);
+        self.seen = self.names.keys().copied().collect();
+        self.profiles = parse_hash(kv, LOCATE_PROFILES_KEY);
+        self.results = parse_hash(kv, LOCATE_RESULTS_KEY);
+        self.canonical = self
+            .results
+            .iter()
+            .filter_map(|(anon, r)| r.located.clone().map(|ls| (*anon, ls)))
             .collect();
-        names.sort_unstable_by_key(|(a, _)| *a);
-        m.records_in.add(names.len() as u64);
-        let location_module = LocationModule::new(&cx.world.gaz);
-        let mut locations: HashMap<AnonId, (Location, LocationSource)> = HashMap::new();
-        let mut now = horizon;
-        for (anon, name) in &names {
-            let mut server_errors = 0u32;
-            let description = loop {
-                match cx.world.twitch.get_profile(name.as_str(), now) {
-                    Ok(d) => break d,
-                    Err(tero_world::twitch::ApiError::RateLimited(limited)) => {
-                        now = limited.retry_at;
-                    }
-                    Err(tero_world::twitch::ApiError::ServerError) => {
-                        // Transient 5xx: retry a few times with logical-time
-                        // spacing, then carry on without a profile — the
-                        // streamer is simply unlocated this run.
-                        server_errors += 1;
-                        cx.metrics.profile_retries.inc();
-                        if server_errors > 4 {
-                            break None;
-                        }
-                        now += SimDuration::from_secs(1);
-                    }
-                }
+        self.queue = self
+            .names
+            .iter()
+            .filter(|(anon, _)| !self.profiles.contains_key(anon))
+            .map(|(anon, name)| (*anon, name.clone()))
+            .collect();
+        self.api_calls = kv
+            .hget(LOCATE_META_KEY, "api_calls")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+    }
+
+    /// Pull newly-registered names into the carry-over queue (sorted by
+    /// anonymised id within the window, so admission order is
+    /// deterministic).
+    fn enqueue_new(&mut self, cx: &mut StageCx<'_>) {
+        let m = cx.stage_metrics("locate");
+        for (anon, name) in parse_names(cx.kv) {
+            if self.seen.insert(anon) {
+                m.records_in.inc();
+                self.queue.push_back((anon, name.clone()));
+                self.names.insert(anon, name);
+            }
+        }
+    }
+
+    /// Admit queued lookups while `budget` covers the worst case
+    /// ([`PROFILE_ATTEMPTS`] calls); `None` means unlimited. Each
+    /// admitted streamer's fault count comes from the injector's
+    /// per-streamer keyed stream — drawn exactly once, here, so the
+    /// outcome is the same under every window schedule.
+    fn process_queue(&mut self, cx: &mut StageCx<'_>, budget: Option<u64>) {
+        let mut spent = 0u64;
+        while let Some((anon, name)) = self.queue.front() {
+            if budget.is_some_and(|b| spent + PROFILE_ATTEMPTS as u64 > b) {
+                break;
+            }
+            let (anon, name) = (*anon, name.clone());
+            self.queue.pop_front();
+            let faults = cx
+                .world
+                .chaos()
+                .map_or(0, |chaos| chaos.profile_faults(name.as_str()));
+            cx.metrics.profile_retries.add(faults as u64);
+            let (calls, description) = if faults >= PROFILE_ATTEMPTS {
+                (PROFILE_ATTEMPTS as u64, None)
+            } else {
+                (
+                    faults as u64 + 1,
+                    cx.world.twitch.profile_description(name.as_str()),
+                )
             };
+            spent += calls;
+            self.api_calls += calls;
+            cx.metrics.locate_budget_spent.add(calls);
+            let outcome = ProfileOutcome {
+                faults,
+                description,
+            };
+            cx.kv.hset(
+                LOCATE_PROFILES_KEY,
+                &format!("{:016x}", anon.0),
+                serde_json::to_string(&outcome).expect("profile outcomes serialize"),
+            );
+            self.profiles.insert(anon, outcome);
+        }
+        let deferred = self.queue.len() as u64;
+        if deferred > 0 {
+            cx.metrics.locate_budget_deferred.add(deferred);
+        }
+        cx.metrics.locate_queue_depth.set(deferred as i64);
+        cx.metrics.locate_api_calls.set(self.api_calls as i64);
+        cx.kv
+            .hset(LOCATE_META_KEY, "api_calls", self.api_calls.to_string());
+    }
+
+    /// Settle the verdict of every profile-committed streamer whose tag
+    /// history grew since its last evaluation (or that has none yet).
+    fn reevaluate(&mut self, cx: &mut StageCx<'_>) {
+        let location_module = LocationModule::new(&cx.world.gaz);
+        for (anon, outcome) in &self.profiles {
+            let name = &self.names[anon];
+            let tags_key = format!("tags:{}", name.as_str());
+            let tags_seen = cx.kv.llen(&tags_key);
+            if self
+                .results
+                .get(anon)
+                .is_some_and(|r| r.tags_seen == tags_seen)
+            {
+                continue;
+            }
             let tags: Vec<TagObservation> = cx
-                .io
-                .tag_history(name.as_str())
+                .kv
+                .lrange_from(&tags_key, 0)
                 .into_iter()
                 .enumerate()
                 .map(|(i, t)| TagObservation {
@@ -85,20 +259,49 @@ impl Stage for LocateStage {
                     country_tag: Some(t),
                 })
                 .collect();
-            if let Some((loc, source)) = location_module.locate(
+            let located = location_module.locate(
                 name.as_str(),
-                description.as_deref(),
+                outcome.description.as_deref(),
                 &cx.world.social_directory,
                 &tags,
-            ) {
-                locations.insert(*anon, (loc, source));
+            );
+            match &located {
+                Some(ls) => {
+                    self.canonical.insert(*anon, ls.clone());
+                }
+                None => {
+                    self.canonical.remove(anon);
+                }
             }
-        }
-        cx.metrics.streamers_located.add(locations.len() as u64);
-        m.records_out.add(locations.len() as u64);
-        Located {
-            locations,
-            streamers_seen: names.len(),
+            let result = LocateResult { tags_seen, located };
+            cx.kv.hset(
+                LOCATE_RESULTS_KEY,
+                &format!("{:016x}", anon.0),
+                serde_json::to_string(&result).expect("locate results serialize"),
+            );
+            self.results.insert(*anon, result);
         }
     }
+}
+
+/// The names hash, parsed and sorted by anonymised id.
+fn parse_names(kv: &KvStore) -> BTreeMap<AnonId, StreamerId> {
+    kv.hgetall(NAMES_KEY)
+        .into_iter()
+        .filter_map(|(hex, name)| {
+            let anon = u64::from_str_radix(&hex, 16).ok()?;
+            Some((AnonId(anon), StreamerId::new(&name)))
+        })
+        .collect()
+}
+
+/// A committed `{anon:016x}` → JSON hash, parsed and sorted.
+fn parse_hash<T: serde::de::DeserializeOwned>(kv: &KvStore, key: &str) -> BTreeMap<AnonId, T> {
+    kv.hgetall(key)
+        .into_iter()
+        .filter_map(|(hex, json)| {
+            let anon = u64::from_str_radix(&hex, 16).ok()?;
+            Some((AnonId(anon), serde_json::from_str(&json).ok()?))
+        })
+        .collect()
 }

@@ -16,15 +16,27 @@
 //!   OCRs thumbnails on the pool, and appends [`SampleRecord`]s to
 //!   per-`{streamer, game}` KV lists;
 //! * [`locate`] — the §3.1 location module over the names the extractor
-//!   registered;
+//!   registered, run *incrementally*: every window spends an explicit
+//!   simulated-API budget locating newly-seen streamers (over-budget
+//!   lookups carry over), commits resumable `engine:locate:*` state, and
+//!   re-evaluates committed results as tag history grows — so locations
+//!   become canonical as soon as a streamer is located, not at the
+//!   horizon (see `docs/AGGREGATION.md`);
 //! * [`clean`] — §3.3 per-`{streamer, game}` stitching (streams split at
 //!   gaps larger than [`clean::STREAM_GAP`]), segmentation, anomaly
 //!   detection and classification — run *online*: every window feeds the
 //!   new records, seals finished blocks, and refreshes the per-window
 //!   serving distributions (see `docs/CLEANING.md`);
-//! * [`publish`] — §3.3.3/§5/§6 aggregation, the provenance pass, and
-//!   final report assembly.
+//! * [`agg`] — the §3.3.3/§5/§6 per-`{location, game}` group analyses
+//!   (merged clusters, end-point changes, distributions, shared
+//!   anomalies), maintained incrementally: each window re-analyses only
+//!   the groups whose membership or sealed data moved and commits the
+//!   results under `engine:agg:*`;
+//! * [`publish`] — the horizon finalizer: replays the committed
+//!   aggregation state, runs the provenance pass, and assembles the
+//!   final report.
 
+pub mod agg;
 pub mod clean;
 pub mod extract;
 pub mod ingest;

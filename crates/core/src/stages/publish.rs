@@ -1,6 +1,11 @@
-//! The publish stage: §3.3.3 location-based aggregation, §5's published
-//! distributions, the sample-provenance pass, §6 behaviour preparation,
-//! and final [`TeroReport`] assembly.
+//! The publish stage: the horizon finalizer of the §3.3.3/§5/§6
+//! products. Since the aggregation stage went incremental
+//! ([`crate::stages::agg`]) this stage no longer computes anything
+//! group-wise — it *replays* the committed per-`{location, game}`
+//! analyses in key order (byte-identical to the old batch fan-out's
+//! merge order), rewrites the serving distribution family from them,
+//! runs the sample-provenance pass and §6 behaviour preparation, and
+//! assembles the final [`TeroReport`].
 
 use super::{Stage, StageCx};
 use crate::analysis::anomaly::{AnomalyReport, SegmentLabel};
@@ -14,9 +19,14 @@ use crate::behavior::BehaviorStream;
 use crate::download::DownloadStats;
 use crate::location::LocationSource;
 use crate::pipeline::{Tero, TeroReport};
-use crate::serving::{dist_sketch_key, ServeGranularity, DIST_SKETCH_PREFIX, SERVE_VERSION_KEY};
+use crate::serving::{
+    dist_meta_key, dist_sketch_key, DistProvenance, ServeGranularity, DIST_META_PREFIX,
+    DIST_SKETCH_PREFIX, SERVE_VERSION_KEY,
+};
+use crate::stages::agg::AggOutput;
 use crate::stages::clean::Cleaned;
 use crate::stages::locate::Located;
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use tero_geoparse::Gazetteer;
 use tero_trace::{DropReason, SampleKey, SampleState};
@@ -30,6 +40,8 @@ pub struct PublishInput {
     pub cleaned: Cleaned,
     /// The locate stage's output.
     pub located: Located,
+    /// The aggregation stage's settled per-group analyses.
+    pub agg: AggOutput,
     /// Cumulative download statistics.
     pub download: DownloadStats,
     /// Thumbnails processed by the extract stage, across all windows.
@@ -54,6 +66,7 @@ impl Stage for PublishStage {
         let PublishInput {
             cleaned,
             located,
+            agg,
             download,
             thumbnails,
             extracted,
@@ -71,62 +84,43 @@ impl Stage for PublishStage {
         let tero = cx.tero;
         let ledger = tero.trace.ledger();
 
-        // Drop every per-window distribution sketch the online clean
-        // stage refreshed along the way: the horizon pass below rewrites
-        // the whole distribution family from its canonical output, so the
-        // final serving state is byte-identical to a single-shot run.
+        // Drop every per-window distribution sketch (and its provenance
+        // marker) the online refresh wrote along the way: the replay
+        // below rewrites the whole distribution family from the settled
+        // aggregation state, so the final serving bytes are identical to
+        // a single-shot run.
         let mut cleared_online = false;
-        for key in cx.kv.keys_with_prefix(DIST_SKETCH_PREFIX) {
+        for key in cx
+            .kv
+            .keys_with_prefix(DIST_SKETCH_PREFIX)
+            .into_iter()
+            .chain(cx.kv.keys_with_prefix(DIST_META_PREFIX))
+        {
             cx.kv.del(&key);
             cleared_online = true;
         }
 
-        // ---- Per-{region, game} aggregation ----------------------------
-        // Group located streamers at region granularity.
-        let mut groups: BTreeMap<(String, GameId), Vec<AnonId>> = BTreeMap::new();
-        for (anon, game) in streams.keys() {
-            if let Some((loc, _)) = locations.get(anon) {
-                let key = loc.to_region_level().key();
-                groups.entry((key, *game)).or_default().push(*anon);
-            }
-        }
-
+        // ---- Replay of the settled §5/§6 aggregation -------------------
+        // The aggregation stage already analysed every `{location, game}`
+        // group against the horizon views and canonical locations; walk
+        // its maps in key order — exactly the order the old batch fan-out
+        // merged group results — and fan the fields out into the report.
+        let AggOutput {
+            region: region_groups,
+            country: country_groups,
+        } = agg;
         let mut location_clusters: BTreeMap<(String, GameId), Vec<LatencyCluster>> =
             BTreeMap::new();
         let mut all_endpoint_changes: BTreeMap<(AnonId, GameId), Vec<EndPointChange>> =
             BTreeMap::new();
         let mut distributions = Vec::new();
         let mut shared_anomalies = Vec::new();
-
-        // The per-group §5/§6 fan-out: each `{region, game}` group reads
-        // only the classified/anomaly maps built above, so groups run on
-        // the pool and the merge walks them in `BTreeMap` key order —
-        // exactly the order the sequential loop published distributions.
-        let sp_aggregate = cx.sp_run.child("stage.aggregate");
-        let _t_aggregate = tero.obs.stage_timer(&cx.metrics.stage_aggregate_us);
-        let views = MapViews {
-            classified: &classified,
-            anomalies: &anomalies,
-        };
         // Per-member publication outcomes at each granularity, for the
         // provenance pass below: a sample is published if its streamer
         // contributed at either level.
         let mut region_outcomes: BTreeMap<(AnonId, GameId), MemberOutcome> = BTreeMap::new();
         let mut country_outcomes: BTreeMap<(AnonId, GameId), MemberOutcome> = BTreeMap::new();
-        let group_entries: Vec<(&(String, GameId), &Vec<AnonId>)> = groups.iter().collect();
-        let group_results: Vec<GroupAnalysis> =
-            cx.pool.par_map(&group_entries, |(key, members)| {
-                analyze_group(
-                    tero,
-                    &cx.world.gaz,
-                    key.1,
-                    members,
-                    &locations,
-                    &views,
-                    Granularity::Region,
-                )
-            });
-        for ((key, _members), analysis) in group_entries.iter().zip(group_results) {
+        for (key, analysis) in region_groups {
             for (anon, changes) in analysis.changes {
                 all_endpoint_changes.insert((anon, key.1), changes);
             }
@@ -136,53 +130,32 @@ impl Stage for PublishStage {
             location_clusters.insert((key.0.clone(), key.1), analysis.clusters);
             if let Some(dist) = analysis.distribution {
                 commit_dist_sketch(cx, ServeGranularity::Region, &key.0, key.1, &dist);
+                mark_canonical(cx, ServeGranularity::Region, &key.0, key.1);
                 distributions.push(dist);
             }
             shared_anomalies.extend(analysis.shared);
         }
-
-        // ---- Country-level distributions -------------------------------
-        // The paper publishes distributions at country granularity too
-        // (Figs 9, 11, 12); the aggregation logic is the same with a
-        // coarser key.
-        let mut country_groups: BTreeMap<(String, GameId), Vec<AnonId>> = BTreeMap::new();
-        for (anon, game) in streams.keys() {
-            if let Some((loc, _)) = locations.get(anon) {
-                let key = loc.to_country_level().key();
-                country_groups.entry((key, *game)).or_default().push(*anon);
-            }
-        }
-        let country_entries: Vec<(&(String, GameId), &Vec<AnonId>)> =
-            country_groups.iter().collect();
-        let country_results: Vec<GroupAnalysis> =
-            cx.pool.par_map(&country_entries, |(key, members)| {
-                analyze_group(
-                    tero,
-                    &cx.world.gaz,
-                    key.1,
-                    members,
-                    &locations,
-                    &views,
-                    Granularity::Country,
-                )
-            });
-        for ((key, _members), analysis) in country_entries.iter().zip(country_results) {
+        for (key, analysis) in country_groups {
             for (anon, outcome) in analysis.outcomes {
                 country_outcomes.insert((anon, key.1), outcome);
             }
             if let Some(dist) = analysis.distribution {
                 commit_dist_sketch(cx, ServeGranularity::Country, &key.0, key.1, &dist);
+                mark_canonical(cx, ServeGranularity::Country, &key.0, key.1);
                 distributions.push(dist);
             }
         }
+        // Every served distribution now carries canonical locations.
+        cx.metrics
+            .clean_dists_canonical
+            .set(distributions.len() as i64);
+        cx.metrics.clean_dists_provisional.set(0);
         // One version bump for the whole publish pass: the serving view
         // moved (canonical distributions written, or stale per-window
         // ones cleared), so `tero-serve` caches must drop stale answers.
         if cleared_online || !distributions.is_empty() {
             cx.kv.incr_by(SERVE_VERSION_KEY, 1);
         }
-        drop(_t_aggregate);
-        drop(sp_aggregate);
 
         // ---- Sample provenance -----------------------------------------
         // Resolve every still-pending ledger record to its final fate,
@@ -389,6 +362,21 @@ pub(crate) fn commit_dist_sketch(
         .set(&dist_sketch_key(granularity, game, location_key), encoded);
 }
 
+/// Write the canonical provenance marker next to a just-committed
+/// distribution sketch (the publish finalizer only ever writes
+/// canonical ones — every location it aggregates under is a settled
+/// `engine:locate:*` result).
+fn mark_canonical(
+    cx: &mut StageCx<'_>,
+    granularity: ServeGranularity,
+    location_key: &str,
+    game: GameId,
+) {
+    let key = dist_meta_key(&dist_sketch_key(granularity, game, location_key))
+        .expect("dist keys always map to meta keys");
+    cx.kv.set(&key, DistProvenance::Canonical.tag());
+}
+
 /// The aggregation granularity of one analysis group (§5's two published
 /// levels).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -402,8 +390,8 @@ pub(crate) enum Granularity {
 /// How one member of a `{location, game}` group fared in the
 /// distribution-publication decision — the group-level input to the
 /// sample-provenance pass.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum MemberOutcome {
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) enum MemberOutcome {
     /// Non-mover in a group that published a distribution: the member's
     /// cluster samples are in the data-set (subject to the per-streamer
     /// quality gates, which provenance checks separately).
@@ -417,17 +405,21 @@ enum MemberOutcome {
 
 /// Everything the per-`{location, game}` aggregation derives from one
 /// group — produced on a pool worker, merged in group-key order.
+/// Serializable so the incremental aggregation stage can commit each
+/// group's settled analysis under `engine:agg:group:*` and replay it
+/// after a kill/resume.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) struct GroupAnalysis {
     /// §3.3.3 step-3 merged clusters (region granularity only).
-    clusters: Vec<LatencyCluster>,
+    pub(crate) clusters: Vec<LatencyCluster>,
     /// Per-member end-point changes (region granularity only).
-    changes: Vec<(AnonId, Vec<EndPointChange>)>,
+    pub(crate) changes: Vec<(AnonId, Vec<EndPointChange>)>,
     /// The published distribution, if the group clears `min_streamers`.
     pub(crate) distribution: Option<LocationDistribution>,
     /// Shared anomalies over the group (region granularity only).
-    shared: Vec<SharedAnomaly>,
+    pub(crate) shared: Vec<SharedAnomaly>,
     /// Per-member publication outcome, for the provenance ledger.
-    outcomes: Vec<(AnonId, MemberOutcome)>,
+    pub(crate) outcomes: Vec<(AnonId, MemberOutcome)>,
 }
 
 /// Analyse one `{location, game}` group: merged clusters, end-point

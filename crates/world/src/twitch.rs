@@ -188,6 +188,19 @@ impl TwitchSim {
             .map(|s| s.description.clone()))
     }
 
+    /// The profile description `get_profile` would return for `username`,
+    /// without spending API budget or consulting fault injection. This is
+    /// the location module's view of the platform: it runs as a separate
+    /// program with its own credentials (App. B), so its call accounting
+    /// is modelled by the pipeline's own locate budget, not this
+    /// limiter's state.
+    pub fn profile_description(&self, username: &str) -> Option<String> {
+        self.streamers
+            .iter()
+            .find(|s| s.id.as_str() == username)
+            .map(|s| s.description.clone())
+    }
+
     /// CDN fetch (not rate-limited — it's a CDN). Returns the thumbnail
     /// whose content currently sits at the URL, i.e. the one generated at
     /// the latest sample instant ≤ `now`.

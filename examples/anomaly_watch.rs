@@ -69,6 +69,32 @@ fn main() {
         );
     }
 
+    // A monitoring deployment also cares *what kind* of locations the
+    // served latency picture was aggregated under: every committed
+    // distribution sketch carries a provenance marker (`c` = canonical,
+    // all members located by committed profile-backed `engine:locate:*`
+    // results; `p` = a mid-run provisional tags-only fallback). At the
+    // horizon the publish finalizer rewrites the family from the settled
+    // aggregation state, so the watch must read 100 % canonical.
+    use tero::core::serving::{dist_provenance, DistProvenance, DIST_SKETCH_PREFIX};
+    let store = tero.serving_store().expect("completed run serves");
+    let dist_keys = store.keys_with_prefix(DIST_SKETCH_PREFIX);
+    let canonical = dist_keys
+        .iter()
+        .filter(|key| dist_provenance(&store, key) == Some(DistProvenance::Canonical))
+        .count();
+    assert_eq!(
+        canonical,
+        dist_keys.len(),
+        "the horizon serves canonical locations only"
+    );
+    println!();
+    println!(
+        "served distributions: {} sketches, {canonical} canonical — the",
+        dist_keys.len()
+    );
+    println!("  anomaly picture above was aggregated under settled locations.");
+
     // How a deployment would read this: simultaneous spikes in multiple
     // regions for one game on release day → the game's own infrastructure,
     // not the regions' networks.

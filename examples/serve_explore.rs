@@ -21,7 +21,7 @@
 //! schedule and diffs again.
 
 use tero::core::pipeline::{ExtractionMode, Tero, TeroReport, WindowOutcome};
-use tero::core::serving::ServeGranularity;
+use tero::core::serving::{dist_provenance, dist_sketch_key, DistProvenance, ServeGranularity};
 use tero::pool::Pool;
 use tero::serve::{run_load, LoadGen, QueryEngine, SketchRef};
 use tero::types::{GameId, Location, SimDuration, SimTime};
@@ -102,6 +102,13 @@ fn main() {
         served.len(),
         report.distributions.len()
     );
+    // Every sketch carries a provenance marker: `c` when all members were
+    // located by committed (profile-backed) `engine:locate:*` results, `p`
+    // when a mid-run window served a provisional tags-only fallback. By
+    // the horizon the publish finalizer has rewritten the family from the
+    // settled aggregation state, so the markers must read 100 % canonical
+    // regardless of the window schedule.
+    let store = tero.serving_store().expect("completed run serves");
     for (granularity, game, location_key) in &served {
         let target = SketchRef::dist(*granularity, *game, location_key);
         let sketch_bp = engine.boxplot(&target).expect("served sketch is non-empty");
@@ -119,11 +126,29 @@ fn main() {
             ServeGranularity::Region => 'r',
             ServeGranularity::Country => 'c',
         };
+        let prov = dist_provenance(&store, &dist_sketch_key(*granularity, *game, location_key))
+            .expect("every served sketch carries a provenance marker");
         println!(
-            "[{tag}] {location_key} / {game}: n={} served p50={:.2} p95={:.2} (report p50={:.2} p95={:.2})",
-            sketch_bp.n, sketch_bp.p50, sketch_bp.p95, exact.stats.p50, exact.stats.p95
+            "[{tag}/{}] {location_key} / {game}: n={} served p50={:.2} p95={:.2} (report p50={:.2} p95={:.2})",
+            prov.tag(), sketch_bp.n, sketch_bp.p50, sketch_bp.p95, exact.stats.p50, exact.stats.p95
         );
     }
+    let canonical = served
+        .iter()
+        .filter(|(g, game, loc)| {
+            dist_provenance(&store, &dist_sketch_key(*g, *game, loc))
+                == Some(DistProvenance::Canonical)
+        })
+        .count();
+    assert_eq!(
+        canonical,
+        served.len(),
+        "the horizon serves canonical locations only"
+    );
+    println!(
+        "provenance: {canonical}/{} canonical at the horizon",
+        served.len()
+    );
 
     // ---- CDF and histogram of the largest distribution ----------------
     let largest = served

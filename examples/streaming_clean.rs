@@ -10,16 +10,20 @@
 //!
 //! After every non-final window the clean stage reseals its per-series
 //! state and rebuilds the distribution sketch of every dirty
-//! `{location, game}` group under provisional (profile-free) locations;
-//! this example snapshots the in-flight engine's store after each window
-//! and queries those mid-run sketches. Stdout is **byte-stable**: for a
-//! fixed seed it is identical across repeat runs and worker counts,
-//! because everything printed derives from committed sketch bytes and
-//! the committed `engine:clean:*` summaries, both covered by the
-//! determinism contract (`tests/determinism.rs`). `scripts/ci.sh` runs
-//! this example twice and diffs stdout.
+//! `{location, game}` group — under the *canonical* locations the
+//! budgeted locate stage has committed so far (all of them, at the
+//! default unlimited budget), with provisional tags-only fallbacks for
+//! anyone still queued. This example snapshots the in-flight engine's
+//! store after each window and queries those mid-run sketches, printing
+//! each one's provenance marker (`c`/`p`). Stdout is **byte-stable**:
+//! for a fixed seed it is identical across repeat runs and worker
+//! counts, because everything printed derives from committed sketch
+//! bytes and the committed `engine:clean:*` summaries, both covered by
+//! the determinism contract (`tests/determinism.rs`). `scripts/ci.sh`
+//! runs this example twice and diffs stdout.
 
 use tero::core::pipeline::{ExtractionMode, Tero, WindowOutcome};
+use tero::core::serving::{dist_provenance, dist_sketch_key};
 use tero::core::stages::clean::CLEAN_CURSORS_KEY;
 use tero::serve::{QueryEngine, SketchRef};
 use tero::store::KvStore;
@@ -27,17 +31,24 @@ use tero::types::{GameId, Location, SimDuration, SimTime};
 use tero::world::{World, WorldConfig};
 
 /// Query every distribution the given store serves and print one line
-/// per sketch, in the serving layer's stable key order.
+/// per sketch — with its provenance marker — in the serving layer's
+/// stable key order.
 fn print_served(label: &str, kv: KvStore, obs: &tero::obs::Registry) {
-    let engine = QueryEngine::new(kv, obs);
+    let engine = QueryEngine::new(kv.clone(), obs);
     let served = engine.distributions();
     println!("{label}: {} distributions served", served.len());
     for (granularity, game, location_key) in &served {
         let target = SketchRef::dist(*granularity, *game, location_key);
         let bp = engine.boxplot(&target).expect("served sketch is non-empty");
+        let prov = dist_provenance(&kv, &dist_sketch_key(*granularity, *game, location_key))
+            .expect("every served sketch carries a provenance marker");
         println!(
-            "  [{granularity:?}] {location_key} / {game}: n={} p25={:.2} p50={:.2} p95={:.2}",
-            bp.n, bp.p25, bp.p50, bp.p95
+            "  [{granularity:?}/{}] {location_key} / {game}: n={} p25={:.2} p50={:.2} p95={:.2}",
+            prov.tag(),
+            bp.n,
+            bp.p25,
+            bp.p50,
+            bp.p95
         );
     }
 }
@@ -93,18 +104,19 @@ fn main() {
                 let series = kv.hgetall(CLEAN_CURSORS_KEY).len();
                 println!();
                 println!("-- after window {window} ({series} series fed) --");
-                print_served("provisional view", kv, &tero.obs);
+                print_served("mid-run view", kv, &tero.obs);
                 to = (to + day).min(horizon);
             }
             WindowOutcome::Killed => unreachable!("no chaos installed"),
         }
     };
 
-    // The horizon replaces the provisional view with the canonical one:
-    // profile-backed locations, full §5 aggregation. Same cleaning —
-    // the online views are byte-identical to a batch clean (the
-    // docs/CLEANING.md contract) — so any drift between the last
-    // provisional view and this one is located streamers moving groups.
+    // The horizon settles the mid-run view: the publish finalizer
+    // replays the committed aggregation state and rewrites the whole
+    // family under canonical locations (every marker reads `c`). Same
+    // cleaning — the online views are byte-identical to a batch clean
+    // (the docs/CLEANING.md contract) — so any drift between the last
+    // mid-run view and this one is late-arriving data, not relocation.
     println!();
     println!("== finalize ==");
     print_served(

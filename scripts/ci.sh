@@ -68,6 +68,18 @@ cargo run --quiet --release --example streaming_clean -- 7 > "$trace_dir/c2.out"
 cmp "$trace_dir/c1.out" "$trace_dir/c2.out" \
   || { echo "FAIL: streaming_clean stdout differs across identical runs"; exit 1; }
 
+echo "==> budgeted locate determinism (locate_budget twice, stdout byte-compare)"
+# The example drives 1-day windows under a tight per-window API budget
+# and prints the coverage ramp — spend, carry-over queue, served
+# canonical/provisional marker counts per window — all derived from
+# committed engine:locate:* / engine:serve:* state and deterministic
+# counters, so two runs of the same seed must produce identical stdout
+# (docs/AGGREGATION.md).
+cargo run --quiet --release --example locate_budget -- 7 > "$trace_dir/l1.out" 2>/dev/null
+cargo run --quiet --release --example locate_budget -- 7 > "$trace_dir/l2.out" 2>/dev/null
+cmp "$trace_dir/l1.out" "$trace_dir/l2.out" \
+  || { echo "FAIL: locate_budget stdout differs across identical runs"; exit 1; }
+
 echo "==> sharded topology (sharded_explore twice under the stock NetFault plan, stdout byte-compare)"
 # The example runs 2 engines over the 3-shard store mesh under the
 # default NetFault schedule (frame loss/delay, one partition, one

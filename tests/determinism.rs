@@ -164,10 +164,15 @@ fn chrome_trace_parses() {
 /// bookkeeping, the online cleaner's per-window activity (`clean.*`,
 /// `stats.changepoint.*` — how much work each window fed, sealed and
 /// refreshed is exactly what a schedule changes; the cleaner's *output*
-/// is pinned separately below), and the planned engine kill. Everything
-/// else — the funnel, `download.*`, `ocr.*`, `analysis.*`,
-/// `store.object.*`, `stats.sketch.inserts` — must be byte-identical
-/// between a single-shot run and any windowed drive.
+/// is pinned separately below), the budgeted locate stage's admission
+/// accounting (`locate.budget.*` — how often a lookup is deferred is a
+/// property of the window count) and the incremental aggregation's
+/// dirty-group work (`agg.*` — more windows re-analyse more groups; the
+/// committed `engine:agg:*` *state* is pinned separately below), and the
+/// planned engine kill. Everything else — the funnel, `download.*`,
+/// `ocr.*`, `analysis.*`, `store.object.*`, `stats.sketch.inserts` —
+/// must be byte-identical between a single-shot run and any windowed
+/// drive.
 fn schedule_invariant(counters: BTreeMap<String, u64>) -> BTreeMap<String, u64> {
     counters
         .into_iter()
@@ -177,6 +182,8 @@ fn schedule_invariant(counters: BTreeMap<String, u64>) -> BTreeMap<String, u64> 
                 && !name.starts_with("stage.")
                 && !name.starts_with("clean.")
                 && !name.starts_with("stats.changepoint.")
+                && !name.starts_with("locate.budget.")
+                && !name.starts_with("agg.")
                 && name != "chaos.injected.engine_kill"
                 && name != "stats.sketch.commits"
                 && name != "stats.sketch.bytes"
@@ -434,6 +441,299 @@ fn windowed_online_clean_state_identical_across_schedules() {
         clean_state(&second.serving_store().expect("run completed")),
         ref_state,
         "clean state diverged across a fresh-Tero restore"
+    );
+}
+
+/// Everything the budgeted locate stage and the incremental aggregation
+/// committed under `engine:locate:*` / `engine:agg:*`, rendered
+/// order-stably (the locate keys are hashes, rendered as
+/// `{key}#{field}`; the agg keys are plain strings). At the horizon
+/// both families are pure functions of the world — who streamed, what
+/// their committed profiles said, where the complete tag histories
+/// point — so they must be byte-identical across window schedules,
+/// worker counts, chaos kill/resume and a fresh-`Tero` restore.
+fn locate_agg_state(kv: &tero::store::KvStore) -> BTreeMap<String, String> {
+    use tero::core::stages::agg::AGG_PREFIX;
+    use tero::core::stages::locate::LOCATE_PREFIX;
+    let mut out = BTreeMap::new();
+    for key in kv.keys_with_prefix(LOCATE_PREFIX) {
+        for (field, value) in kv.hgetall(&key) {
+            out.insert(format!("{key}#{field}"), value);
+        }
+    }
+    for key in kv.keys_with_prefix(AGG_PREFIX) {
+        let value = kv.get(&key).expect("agg state keys are plain strings");
+        out.insert(key, value);
+    }
+    out
+}
+
+#[test]
+fn windowed_locate_agg_state_identical_across_schedules() {
+    // Reference: the committed locate + aggregation state after a
+    // single-shot run.
+    let mut world = windowed_world(None);
+    let tero_ref = windowed_tero(1);
+    let reference = fingerprint(&tero_ref.run(&mut world));
+    let ref_state = locate_agg_state(&tero_ref.serving_store().expect("run completed"));
+    assert!(
+        ref_state
+            .keys()
+            .any(|k| k.starts_with("engine:locate:profiles#")),
+        "locate state covers committed profiles"
+    );
+    assert!(
+        ref_state.keys().any(|k| k.starts_with("engine:agg:group:")),
+        "agg state covers committed groups"
+    );
+
+    let day = SimDuration::from_hours(24);
+    for window in [Some(day), Some(SimDuration::from_hours(72)), None] {
+        for workers in [1, 2, 8] {
+            let mut world = windowed_world(None);
+            let tero = windowed_tero(workers);
+            let report = drive(&tero, &mut world, window);
+            assert_eq!(fingerprint(&report), reference);
+            assert_eq!(
+                locate_agg_state(&tero.serving_store().expect("run completed")),
+                ref_state,
+                "locate/agg state diverged: window {window:?}, {workers} workers"
+            );
+        }
+    }
+
+    // Chaos kill mid-run: the re-driven window must resume from the
+    // committed profiles/results, not re-draw a profile outcome.
+    let chaos_plan = FaultPlan {
+        engine_kills: vec![EngineKill { window: 1 }],
+        ..FaultPlan::quiet(7)
+    };
+    let mut world = windowed_world(Some(chaos_plan));
+    let tero = windowed_tero(2);
+    drive(&tero, &mut world, Some(day));
+    assert_eq!(
+        locate_agg_state(&tero.serving_store().expect("run completed")),
+        ref_state,
+        "locate/agg state diverged across a kill/resume"
+    );
+
+    // Fresh-`Tero` restore: the second engine rebuilds its locate queue
+    // and marks every aggregation group dirty from the snapshot alone.
+    let mut world = windowed_world(None);
+    let first = windowed_tero(2);
+    assert!(matches!(
+        first.run_window(&mut world, SimTime::EPOCH, SimTime::EPOCH + day),
+        WindowOutcome::Advanced
+    ));
+    let snap = first.engine_snapshot().expect("windowed run in flight");
+    drop(first);
+    let second = windowed_tero(8);
+    second.restore_engine(snap);
+    let horizon = world.horizon;
+    let mut to = SimTime::EPOCH + day + day;
+    loop {
+        match second.run_window(&mut world, SimTime::EPOCH, to) {
+            WindowOutcome::Complete(_) => break,
+            WindowOutcome::Advanced => to = (to + day).min(horizon),
+            WindowOutcome::Killed => unreachable!("no chaos installed"),
+        }
+    }
+    assert_eq!(
+        locate_agg_state(&second.serving_store().expect("run completed")),
+        ref_state,
+        "locate/agg state diverged across a fresh-Tero restore"
+    );
+}
+
+/// A world whose streamers are pinned to a few locations (the §5.2
+/// workload shape, as in `examples/serve_explore.rs`): location groups
+/// clear `min_streamers` early, so the per-window refresh serves real
+/// distributions mid-run — which is what the provenance pins below
+/// inspect. A random small world rarely concentrates enough located
+/// streamers in one place to publish anything before the horizon.
+fn pinned_world() -> World {
+    use tero_types::{GameId, Location};
+    let locations = [
+        Location::country("Netherlands"),
+        Location::country("Poland"),
+        Location::region("United States", "Illinois"),
+    ];
+    let pinned = locations
+        .iter()
+        .map(|l| (l.clone(), GameId::LeagueOfLegends, 8))
+        .collect();
+    World::build(WorldConfig {
+        seed: 4242,
+        n_streamers: 0,
+        days: 4,
+        pinned,
+        api_budget_per_min: 2_000,
+        ..WorldConfig::default()
+    })
+}
+
+/// Every committed distribution sketch's provenance marker, from a
+/// mid-run engine snapshot or the final serving store.
+fn provenances(kv: &tero::store::KvStore) -> Vec<tero::core::serving::DistProvenance> {
+    use tero::core::serving::{dist_provenance, DIST_SKETCH_PREFIX};
+    kv.keys_with_prefix(DIST_SKETCH_PREFIX)
+        .iter()
+        .map(|key| dist_provenance(kv, key).expect("every sketch carries a provenance marker"))
+        .collect()
+}
+
+#[test]
+fn locate_budget_zero_defers_every_lookup_and_converges() {
+    use tero::core::serving::DistProvenance;
+
+    // Reference: the default unlimited budget.
+    let mut world = pinned_world();
+    let tero_ref = windowed_tero(2);
+    let reference = fingerprint(&tero_ref.run(&mut world));
+    let ref_state = locate_agg_state(&tero_ref.serving_store().expect("run completed"));
+    let ref_spent = funnel(&tero_ref)
+        .get("locate.budget.spent")
+        .copied()
+        .expect("reference run spent API calls");
+    assert!(ref_spent > 0);
+
+    // Zero budget: the first window admits no lookup — everything is
+    // deferred, the queue gauge shows the backlog, and every served
+    // distribution falls back to provisional tags-only locations.
+    let day = SimDuration::from_hours(24);
+    let mut world = pinned_world();
+    let tero = Tero {
+        locate_budget: Some(0),
+        ..windowed_tero(2)
+    };
+    assert!(matches!(
+        tero.run_window(&mut world, SimTime::EPOCH, SimTime::EPOCH + day),
+        WindowOutcome::Advanced
+    ));
+    let snap = tero.metrics_snapshot();
+    assert_eq!(
+        snap.counter("locate.budget.spent").unwrap_or(0),
+        0,
+        "a zero budget must not admit any lookup mid-run"
+    );
+    let deferred = snap.counter("locate.budget.deferred").unwrap_or(0);
+    assert!(deferred > 0, "seen streamers queue up under a zero budget");
+    let depth = snap
+        .gauge("locate.queue.depth")
+        .map(|g| g.value)
+        .unwrap_or(0);
+    assert!(depth > 0, "queue gauge shows the carried-over backlog");
+    assert_eq!(
+        snap.gauge("location.api_calls").map(|g| g.value),
+        Some(0),
+        "no simulated API call was made"
+    );
+    let mid = tero::store::KvStore::new();
+    mid.restore(&tero.engine_snapshot().expect("run in flight").kv);
+    let marks = provenances(&mid);
+    assert!(!marks.is_empty(), "window 1 serves real distributions");
+    assert!(
+        marks.iter().all(|p| *p == DistProvenance::Provisional),
+        "with no canonical location committed, every served distribution is provisional"
+    );
+
+    // Finishing the drive drains the queue at the horizon; the final
+    // report and committed state match the unlimited-budget run byte
+    // for byte, and every marker flips to canonical.
+    let horizon = world.horizon;
+    let mut to = SimTime::EPOCH + day + day;
+    let report = loop {
+        match tero.run_window(&mut world, SimTime::EPOCH, to) {
+            WindowOutcome::Complete(report) => break report,
+            WindowOutcome::Advanced => to = (to + day).min(horizon),
+            WindowOutcome::Killed => unreachable!("no chaos installed"),
+        }
+    };
+    assert_eq!(
+        fingerprint(&report),
+        reference,
+        "zero-budget horizon diverged"
+    );
+    let store = tero.serving_store().expect("run completed");
+    assert_eq!(
+        locate_agg_state(&store),
+        ref_state,
+        "zero-budget committed state diverged"
+    );
+    assert!(
+        provenances(&store)
+            .iter()
+            .all(|p| *p == DistProvenance::Canonical),
+        "the horizon serves canonical locations only"
+    );
+    assert_eq!(
+        funnel(&tero).get("locate.budget.spent").copied(),
+        Some(ref_spent),
+        "the horizon drain spends exactly the single-shot call count"
+    );
+}
+
+#[test]
+fn locate_budget_huge_matches_single_shot_exactly() {
+    // A budget that always covers the whole queue must reproduce the
+    // unbudgeted run exactly — report, funnel and committed state.
+    let mut world = windowed_world(None);
+    let tero_ref = windowed_tero(2);
+    let reference = fingerprint(&tero_ref.run(&mut world));
+    let ref_counters = funnel(&tero_ref);
+    let ref_state = locate_agg_state(&tero_ref.serving_store().expect("run completed"));
+
+    let mut world = windowed_world(None);
+    let tero = Tero {
+        locate_budget: Some(1_000_000),
+        ..windowed_tero(2)
+    };
+    let report = tero.run(&mut world);
+    assert_eq!(fingerprint(&report), reference);
+    assert_eq!(funnel(&tero), ref_counters);
+    assert_eq!(
+        locate_agg_state(&tero.serving_store().expect("run completed")),
+        ref_state
+    );
+}
+
+#[test]
+fn windows_after_location_serve_canonical_distributions() {
+    use tero::core::serving::DistProvenance;
+
+    // Unlimited budget: every seen streamer's profile is committed in
+    // the window that first saw it, so *every* mid-run window — not
+    // just the horizon — serves canonical locations for every group.
+    let day = SimDuration::from_hours(24);
+    let mut world = pinned_world();
+    let tero = windowed_tero(2);
+    let horizon = world.horizon;
+    let mut to = SimTime::EPOCH + day;
+    let mut windows_checked = 0usize;
+    loop {
+        match tero.run_window(&mut world, SimTime::EPOCH, to) {
+            WindowOutcome::Complete(_) => break,
+            WindowOutcome::Advanced => {
+                let mid = tero::store::KvStore::new();
+                mid.restore(&tero.engine_snapshot().expect("run in flight").kv);
+                let marks = provenances(&mid);
+                assert!(!marks.is_empty(), "each window serves real distributions");
+                assert!(
+                    marks.iter().all(|p| *p == DistProvenance::Canonical),
+                    "an unlimited budget makes every window canonical"
+                );
+                windows_checked += 1;
+                to = (to + day).min(horizon);
+            }
+            WindowOutcome::Killed => unreachable!("no chaos installed"),
+        }
+    }
+    assert!(windows_checked >= 3, "the pin covers real mid-run windows");
+    assert!(
+        provenances(&tero.serving_store().expect("run completed"))
+            .iter()
+            .all(|p| *p == DistProvenance::Canonical),
+        "the horizon serves canonical locations only"
     );
 }
 
